@@ -1,0 +1,61 @@
+// A1 — ablation of TDRM's contribution cap mu (the design choice at the
+// heart of Algorithm 4). Smaller mu means finer linearization: a larger
+// reward computation tree (cost), but a *smaller* quantum-fill gain in
+// the Sec. 5 UGSA counterexample (exposure). The bench quantifies both
+// sides of that trade plus the USA tie margin.
+#include <iostream>
+
+#include "core/registry.h"
+#include "core/tdrm.h"
+#include "tree/generators.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  const BudgetParams budget = default_budget();
+  std::cout << "=== A1: TDRM mu ablation ===\n\n";
+
+  // A representative heavy-tailed campaign tree.
+  Rng rng(13);
+  const Tree campaign = random_recursive_tree(
+      2000, capped_contribution(pareto_contribution(0.5, 1.3), 25.0), rng);
+
+  TextTable table({"mu", "RCT blowup", "R(T)/Phi*C(T)",
+                   "Sec.5 gain (C: mu/2 -> mu, k=40)",
+                   "gain / C(T_attacker)"});
+  for (double mu : {0.125, 0.5, 1.0, 2.0, 8.0}) {
+    const Tdrm mechanism(
+        budget, TdrmParams{.lambda = 0.4, .mu = mu, .a = 0.5, .b = 0.4});
+
+    const RewardComputationTree rct = mechanism.build_rct(campaign);
+    const double blowup = static_cast<double>(rct.node_count()) /
+                          static_cast<double>(campaign.node_count());
+    const double utilization =
+        total_reward(mechanism.compute(campaign)) /
+        (budget.Phi * campaign.total_contribution());
+
+    // The counterexample at this mu: u fills its partial quantum.
+    auto profit_for = [&](double c) {
+      Tree tree;
+      const NodeId u = tree.add_independent(c);
+      for (int i = 0; i < 40; ++i) {
+        tree.add_node(u, mu);
+      }
+      const RewardVector rewards = mechanism.compute(tree);
+      return profit(tree, rewards, u);
+    };
+    const double gain = profit_for(mu) - profit_for(0.5 * mu);
+    const double attacker_subtree = mu + 40.0 * mu;
+
+    table.add_row({compact_number(mu), TextTable::num(blowup, 3),
+                   TextTable::num(utilization, 3), TextTable::num(gain, 4),
+                   TextTable::num(gain / attacker_subtree, 4)});
+  }
+  std::cout << table.to_string()
+            << "\nThe UGSA exposure scales linearly with mu (the gain is a "
+               "quantum-fill effect),\nwhile the RCT cost scales with 1/mu: "
+               "operators pick mu to price that trade.\n";
+  return 0;
+}

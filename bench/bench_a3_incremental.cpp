@@ -1,0 +1,125 @@
+// A3 — deployment-path ablation: incremental reward maintenance
+// (core/incremental.h, served through server/reward_service.h) against
+// naive batch recomputation per event. The paper's model is inherently
+// online (joins and purchases arrive one at a time); this bench measures
+// what the O(depth) fast path buys a real service.
+#include <chrono>
+#include <iostream>
+
+#include "core/registry.h"
+#include "server/reward_service.h"
+#include "tree/generators.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace itree;
+
+struct StreamResult {
+  double incremental_events_per_sec = 0.0;
+  double batch_events_per_sec = 0.0;
+  double audit_divergence = 0.0;
+};
+
+/// Feeds `events` seeded events through (a) an incremental service with
+/// a per-event reward query and (b) batch recomputation per event.
+StreamResult run_stream(const Mechanism& mechanism, std::size_t events,
+                        std::uint64_t seed) {
+  using clock = std::chrono::steady_clock;
+  StreamResult result;
+
+  // (a) incremental service.
+  {
+    Rng rng(seed);
+    RewardService service(mechanism);
+    double sink = 0.0;
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < events; ++i) {
+      const std::size_t n = service.tree().participant_count();
+      NodeId touched;
+      if (n == 0 || rng.bernoulli(0.7)) {
+        const NodeId parent =
+            (n == 0 || rng.bernoulli(0.1))
+                ? kRoot
+                : static_cast<NodeId>(1 + rng.index(n));
+        touched = service.apply(JoinEvent{parent, rng.uniform(0.0, 2.0)});
+      } else {
+        touched = static_cast<NodeId>(1 + rng.index(n));
+        service.apply(ContributeEvent{touched, rng.uniform(0.0, 1.0)});
+      }
+      sink += service.reward(touched);
+    }
+    const double secs =
+        std::chrono::duration<double>(clock::now() - start).count();
+    result.incremental_events_per_sec = static_cast<double>(events) / secs;
+    result.audit_divergence = service.audit();
+    if (sink < 0.0) {
+      std::cerr << "impossible\n";
+    }
+  }
+
+  // (b) naive batch: recompute all rewards after every event.
+  {
+    Rng rng(seed);
+    Tree tree;
+    double sink = 0.0;
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < events; ++i) {
+      const std::size_t n = tree.participant_count();
+      NodeId touched;
+      if (n == 0 || rng.bernoulli(0.7)) {
+        const NodeId parent =
+            (n == 0 || rng.bernoulli(0.1))
+                ? kRoot
+                : static_cast<NodeId>(1 + rng.index(n));
+        touched = tree.add_node(parent, rng.uniform(0.0, 2.0));
+      } else {
+        touched = static_cast<NodeId>(1 + rng.index(n));
+        tree.set_contribution(touched,
+                              tree.contribution(touched) +
+                                  rng.uniform(0.0, 1.0));
+      }
+      sink += mechanism.compute(tree)[touched];
+    }
+    const double secs =
+        std::chrono::duration<double>(clock::now() - start).count();
+    result.batch_events_per_sec = static_cast<double>(events) / secs;
+    if (sink < 0.0) {
+      std::cerr << "impossible\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace itree;
+
+  std::cout << "=== A3: incremental vs batch event processing ===\n\n"
+            << "Stream of 70% joins / 30% purchases with a reward query "
+               "after every event.\n\n";
+
+  TextTable table({"mechanism", "events", "incremental ev/s", "batch ev/s",
+                   "speedup", "audit |divergence|"});
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kLLuxor,
+        MechanismKind::kCdrmReciprocal, MechanismKind::kCdrmLogarithmic}) {
+    const MechanismPtr mechanism = make_default(kind);
+    for (std::size_t events : {2000u, 20000u}) {
+      const StreamResult result = run_stream(*mechanism, events, 99);
+      table.add_row({mechanism->display_name(), std::to_string(events),
+                     TextTable::num(result.incremental_events_per_sec, 0),
+                     TextTable::num(result.batch_events_per_sec, 0),
+                     TextTable::num(result.incremental_events_per_sec /
+                                        result.batch_events_per_sec,
+                                    1),
+                     TextTable::num(result.audit_divergence, 12)});
+    }
+  }
+  std::cout << table.to_string()
+            << "\nBatch is O(n) per event (O(n^2) per deployment); the "
+               "incremental path is O(depth).\nAudit divergence confirms "
+               "the fast path pays exactly what the mechanism defines.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// A4 — adaptive-adversary economics: how much value identity forging
+// extracts from a live deployment under each mechanism. Every strategic
+// joiner runs the full attack search against the current tree and
+// executes the best entry it finds. This prices the USA/UGSA rows of the
+// property matrix in deployment terms.
+#include <iostream>
+
+#include "core/registry.h"
+#include "sim/adversary.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  std::cout << "=== A4: adaptive adversary economics ===\n\n"
+            << "12 waves x 3 joiners; one strategic joiner per wave runs "
+               "the attack search\nbefore entering (contribution 0.5, 15 "
+               "expected future recruits).\n\n";
+
+  for (const bool generalized : {false, true}) {
+    AdversaryOptions options;
+    options.waves = 12;
+    options.contribution = 0.5;
+    options.future_recruits = 15;
+    options.allow_extra_contribution = generalized;
+    options.search.identity_counts = {2, 3};
+    options.search.random_splits = 2;
+
+    TextTable table({"mechanism", "attacks chosen", "honest value",
+                     "extracted value", "attack premium", "payout ratio"});
+    for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+      const AdversaryOutcome outcome =
+          run_adaptive_adversary(*mechanism, options);
+      table.add_row({outcome.mechanism,
+                     std::to_string(outcome.attacks_chosen) + "/" +
+                         std::to_string(outcome.strategic_joiners),
+                     TextTable::num(outcome.honest_value, 3),
+                     TextTable::num(outcome.extracted_value, 3),
+                     TextTable::num(outcome.attack_premium, 3),
+                     TextTable::num(outcome.final_payout_ratio, 3)});
+    }
+    std::cout << (generalized
+                      ? "Generalized attacks allowed (UGSA threat model):"
+                      : "Equal-cost attacks only (USA threat model):")
+              << '\n'
+              << table.to_string() << '\n';
+  }
+  std::cout
+      << "USA-satisfying mechanisms show zero premium under equal cost; "
+         "only the\nUGSA-satisfying CDRM family stays at zero when "
+         "attackers may add contribution.\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// A5 — the paper's optimality claim, measured: "both of our mechanisms
+// achieve a notion of optimality ... they achieve a maximal mutually
+// satisfiable subset of properties" (Sec. 1). Runs the full property
+// matrix, then checks (1) Theorem 3 holds empirically (no measured set
+// contains SL+PO+UGSA) and (2) which mechanisms sit on the maximal
+// frontier.
+#include <iostream>
+
+#include "core/registry.h"
+#include "properties/frontier.h"
+
+int main() {
+  using namespace itree;
+
+  std::cout << "=== A5: property frontier / maximality ===\n\n";
+  const std::vector<MatrixRow> rows = run_matrix(all_feasible_mechanisms());
+  const FrontierAnalysis analysis = analyze_frontier(rows);
+  std::cout << render_frontier(analysis) << '\n'
+            << "Paper claim: TDRM and CDRM are maximal (each gives up only "
+               "the one property\nTheorem 3 forces). Mechanisms dominated "
+               "by another offer no reason to deploy.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E10 — Theorem 5 + Algorithm 5: the CDRM family. Numerically verifies
+// properties (i)-(iv) of "successfully contribution-deterministic"
+// functions for both Algorithm 5 instances, then demonstrates the URO
+// trade-off (rewards capped below Phi*x) and full Sybil immunity.
+#include <iostream>
+
+#include "core/cdrm.h"
+#include "core/registry.h"
+#include "properties/cdrm_validation.h"
+#include "properties/sybil_search.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  const BudgetParams budget = default_budget();
+  const CdrmReciprocal reciprocal(budget, 0.4);
+  const CdrmLogarithmic logarithmic(budget, 0.4);
+
+  std::cout << "=== E10: CDRM mechanisms — Theorem 5 / Algorithm 5 ===\n\n";
+
+  // (1) Conditions (i)-(iv) on a numeric grid.
+  {
+    TextTable table({"function", "grid checks", "(i)-(iv) hold"});
+    for (const CdrmMechanism* mechanism :
+         {static_cast<const CdrmMechanism*>(&reciprocal),
+          static_cast<const CdrmMechanism*>(&logarithmic)}) {
+      const CdrmValidation validation = validate_cdrm_function(
+          [mechanism](double x, double y) {
+            return mechanism->reward_function(x, y);
+          },
+          budget);
+      table.add_row({mechanism->display_name(),
+                     std::to_string(validation.checks),
+                     validation.ok ? "yes" : ("NO: " + validation.failure)});
+    }
+    std::cout << "(1) successfully-contribution-deterministic validation:\n"
+              << table.to_string() << '\n';
+  }
+
+  // (2) URO failure: descendant mass cannot push R past Phi*x.
+  {
+    TextTable table({"subtree mass y", "CDRM-1 R(1,y)", "CDRM-2 R(1,y)",
+                     "cap Phi*x"});
+    for (double y : {0.0, 10.0, 1000.0, 1e6}) {
+      table.add_row({compact_number(y),
+                     TextTable::num(reciprocal.reward_function(1.0, y), 6),
+                     TextTable::num(logarithmic.reward_function(1.0, y), 6),
+                     TextTable::num(budget.Phi * 1.0, 6)});
+    }
+    std::cout << "(2) URO trade-off (x = 1): rewards approach but never "
+                 "reach Phi*x\n"
+              << table.to_string() << '\n';
+  }
+
+  // (3) Sybil immunity: the full attack search never gains.
+  {
+    TextTable table(
+        {"mechanism", "scenario", "honest P", "best attack P", "UGSA holds"});
+    for (const Mechanism* mechanism :
+         {static_cast<const Mechanism*>(&reciprocal),
+          static_cast<const Mechanism*>(&logarithmic)}) {
+      for (const SybilScenario& scenario : standard_scenarios()) {
+        const AttackOutcome outcome =
+            search_attacks(*mechanism, scenario, true);
+        table.add_row(
+            {mechanism->display_name(), scenario.label,
+             TextTable::num(outcome.honest_profit, 4),
+             TextTable::num(outcome.best_profit, 4),
+             yes_no(outcome.best_profit <= outcome.honest_profit + 1e-9)});
+      }
+    }
+    std::cout << "(3) generalized Sybil attack search:\n" << table.to_string()
+              << "\nEvery attack loses or ties: UGSA holds (Theorem 5); the "
+                 "price was URO/PO.\n";
+  }
+  return 0;
+}

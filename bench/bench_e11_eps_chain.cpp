@@ -1,0 +1,96 @@
+// E11 — Fig. 4 and appendix Lemmas 1-5: the reward-maximizing Sybil
+// partition under TDRM is the eps-chain with all solicited subtrees on
+// its tail — exactly the shape the mechanism's own RCT gives every
+// participant. The bench enumerates partition shapes for a concrete
+// scenario and ranks them.
+#include <algorithm>
+#include <iostream>
+
+#include "core/registry.h"
+#include "core/tdrm.h"
+#include "properties/sybil_search.h"
+#include "tree/generators.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  const BudgetParams budget = default_budget();
+  const Tdrm mechanism(budget,
+                       TdrmParams{.lambda = 0.4, .mu = 1.0, .a = 0.5, .b = 0.4});
+
+  // The participant: total contribution 3.0 (so mu-splitting matters),
+  // soliciting two future subtrees.
+  SybilScenario scenario;
+  scenario.label = "fig4";
+  scenario.contribution = 3.0;
+  scenario.future_subtrees.push_back(make_star(4, 1.0, 1.0));
+  scenario.future_subtrees.push_back(make_chain(2, 1.0));
+
+  std::cout << "=== E11: optimal Sybil partition is the eps-chain (Fig. 4, "
+               "Lemmas 1-5) ===\n\n"
+            << "Participant with C = 3.0 and two future subtrees; every "
+               "partition the search\nengine knows, ranked by total "
+               "reward.\n\n";
+
+  struct Ranked {
+    double reward;
+    std::string config;
+  };
+  std::vector<Ranked> ranked;
+  Rng rng(5);
+  for (std::size_t k : {1u, 2u, 3u, 4u}) {
+    for (SybilTopology topology : {SybilTopology::kChain, SybilTopology::kStar,
+                                   SybilTopology::kTwoLevel}) {
+      for (SplitRule split :
+           {SplitRule::kBalanced, SplitRule::kHeadHeavy, SplitRule::kTailHeavy,
+            SplitRule::kMuQuantized}) {
+        for (SubtreePlacement placement :
+             {SubtreePlacement::kAllOnTail, SubtreePlacement::kAllOnHead,
+              SubtreePlacement::kSpread}) {
+          const AttackConfig config{.topology = topology,
+                                    .split = split,
+                                    .placement = placement,
+                                    .identities = k};
+          const ConfigResult result =
+              evaluate_attack(mechanism, scenario, config, rng, 1.0);
+          ranked.push_back({result.total_reward, config.to_string()});
+        }
+      }
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.reward > b.reward; });
+
+  // All k = 1 entries coincide (a single identity IS the honest join);
+  // show only genuine multi-identity partitions in the ranking.
+  std::erase_if(ranked, [](const Ranked& r) {
+    return r.config.find("k=1 ") != std::string::npos;
+  });
+
+  TextTable table({"rank", "total reward", "partition (k >= 2 only)"});
+  for (std::size_t i = 0; i < 8 && i < ranked.size(); ++i) {
+    table.add_row({std::to_string(i + 1), TextTable::num(ranked[i].reward, 6),
+                   ranked[i].config});
+  }
+  table.add_row({"...", "", ""});
+  table.add_row({std::to_string(ranked.size()),
+                 TextTable::num(ranked.back().reward, 6),
+                 ranked.back().config});
+  std::cout << table.to_string() << '\n';
+
+  // The honest single join (which TDRM turns into the eps-chain itself).
+  Tree honest = scenario.base;
+  const NodeId u = honest.add_node(scenario.join_parent, scenario.contribution);
+  for (const Tree& future : scenario.future_subtrees) {
+    graft_forest(honest, u, future);
+  }
+  const double honest_reward = mechanism.compute(honest)[u];
+  std::cout << "Honest single join earns " << TextTable::num(honest_reward, 6)
+            << " — identical to the best partitions above: they are all "
+               "mu-quantized\nchains with subtrees on the tail, i.e. the "
+               "eps-chain TDRM builds internally.\nNo partition beats it "
+               "(USA), matching the appendix's optimality lemmas.\n";
+  return 0;
+}

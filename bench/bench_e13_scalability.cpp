@@ -1,0 +1,80 @@
+// E13 — systems hygiene: reward computation throughput for every
+// mechanism (google-benchmark). All mechanisms run in O(n) (TDRM in
+// O(total RCT chain length)); this bench pins that down across tree
+// sizes and shapes.
+#include <benchmark/benchmark.h>
+
+#include "core/registry.h"
+#include "tree/generators.h"
+
+namespace {
+
+using namespace itree;
+
+Tree make_tree(std::int64_t n, int shape) {
+  Rng rng(42);
+  switch (shape) {
+    case 0:
+      return random_recursive_tree(static_cast<std::size_t>(n),
+                                   fixed_contribution(1.0), rng);
+    case 1:
+      return make_chain(static_cast<std::size_t>(n), 1.0);
+    default:
+      return random_recursive_tree(
+          static_cast<std::size_t>(n),
+          capped_contribution(pareto_contribution(0.5, 1.2), 40.0), rng);
+  }
+}
+
+void run_mechanism(benchmark::State& state, MechanismKind kind, int shape) {
+  const MechanismPtr mechanism = make_default(kind);
+  const Tree tree = make_tree(state.range(0), shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism->compute(tree));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Geometric(benchmark::State& state) {
+  run_mechanism(state, MechanismKind::kGeometric, 0);
+}
+void BM_LLuxor(benchmark::State& state) {
+  run_mechanism(state, MechanismKind::kLLuxor, 0);
+}
+void BM_LPachira(benchmark::State& state) {
+  run_mechanism(state, MechanismKind::kLPachira, 0);
+}
+void BM_SplitProof(benchmark::State& state) {
+  run_mechanism(state, MechanismKind::kSplitProof, 0);
+}
+void BM_Tdrm(benchmark::State& state) {
+  run_mechanism(state, MechanismKind::kTdrm, 0);
+}
+void BM_TdrmHeavyTail(benchmark::State& state) {
+  // Heavy-tailed contributions stress the RCT chain expansion.
+  run_mechanism(state, MechanismKind::kTdrm, 2);
+}
+void BM_TdrmDeepChain(benchmark::State& state) {
+  run_mechanism(state, MechanismKind::kTdrm, 1);
+}
+void BM_CdrmReciprocal(benchmark::State& state) {
+  run_mechanism(state, MechanismKind::kCdrmReciprocal, 0);
+}
+void BM_CdrmLogarithmic(benchmark::State& state) {
+  run_mechanism(state, MechanismKind::kCdrmLogarithmic, 0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Geometric)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_LLuxor)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_LPachira)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_SplitProof)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_Tdrm)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_TdrmHeavyTail)->Arg(100)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_TdrmDeepChain)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_CdrmReciprocal)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_CdrmLogarithmic)->Arg(100)->Arg(10000)->Arg(1000000);
+
+BENCHMARK_MAIN();

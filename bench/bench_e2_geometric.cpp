@@ -1,0 +1,45 @@
+// E2 — Theorem 1: the (a,b)-Geometric Mechanism achieves every property
+// except USA/UGSA. This bench sweeps the explicit chain-split attack
+// (the proof's counterexample) and shows how the Sybil gain scales with
+// the number of forged identities and the decay parameter a.
+#include <iostream>
+
+#include "core/geometric.h"
+#include "core/registry.h"
+#include "tree/generators.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  std::cout << "=== E2: Geometric Mechanism — Theorem 1 ===\n\n"
+            << "Attacker with total contribution 4.0 splits into a "
+               "self-referral chain of k identities.\n"
+            << "Paper: the bubbled-up rewards accumulate, so any k >= 2 "
+               "strictly beats k = 1.\n\n";
+
+  const BudgetParams budget = default_budget();
+  TextTable table({"a", "b", "k=1 (honest)", "k=2", "k=4", "k=8",
+                   "gain at k=8"});
+  for (double a : {0.2, 0.5, 0.8}) {
+    const double b = (1.0 - a) * budget.Phi;  // max feasible b
+    const GeometricMechanism mechanism(budget, a, b);
+    std::vector<double> rewards_by_k;
+    for (std::size_t k : {1u, 2u, 4u, 8u}) {
+      const Tree chain = make_chain(k, 4.0 / static_cast<double>(k));
+      const RewardVector rewards = mechanism.compute(chain);
+      rewards_by_k.push_back(total_reward(rewards));
+    }
+    table.add_row({TextTable::num(a, 1), TextTable::num(b, 2),
+                   TextTable::num(rewards_by_k[0], 4),
+                   TextTable::num(rewards_by_k[1], 4),
+                   TextTable::num(rewards_by_k[2], 4),
+                   TextTable::num(rewards_by_k[3], 4),
+                   TextTable::num(rewards_by_k[3] - rewards_by_k[0], 4)});
+  }
+  std::cout << table.to_string()
+            << "\nEvery row grows monotonically in k: the classic Sybil "
+               "attack the paper's\nnew mechanisms are built to prevent. "
+               "The gain approaches b*C*a/(1-a) as k grows.\n";
+  return 0;
+}

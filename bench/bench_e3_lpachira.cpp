@@ -1,0 +1,98 @@
+// E3 — Theorem 2: (beta,delta)-L-Pachira achieves every property except
+// SL and UGSA. This bench demonstrates:
+//   (1) the SL violation: a participant's reward moves when contribution
+//       is added strictly outside its subtree (the C(T) dependence);
+//   (2) USA resilience: Jensen on the convex pi makes splits lose;
+//   (3) the UGSA violation: over a heavy descendant subtree the marginal
+//       reward per unit of own contribution exceeds 1;
+//   (4) the measured URO deviation at k = 1 (reward cap Phi*C(u)*pi'(1)).
+#include <iostream>
+
+#include "core/l_transform.h"
+#include "core/registry.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  const BudgetParams budget = default_budget();
+  const LPachiraMechanism mechanism(budget, 0.2, 2.0);
+  std::cout << "=== E3: L-Pachira — Theorem 2 ===\n\n";
+
+  // (1) SL violation.
+  {
+    Tree tree = parse_tree("(2 (1)) (3)");
+    const double before = mechanism.compute(tree)[1];
+    tree.set_contribution(3, 33.0);
+    const double after = mechanism.compute(tree)[1];
+    std::cout << "(1) SL violation: node u (C=2, subtree untouched) earned "
+              << TextTable::num(before, 4)
+              << "; after an unrelated forest root grew from 3 to 33, u "
+                 "earns "
+              << TextTable::num(after, 4) << ".\n\n";
+  }
+
+  // (2) USA: star splits lose, chain splits tie (telescoping).
+  {
+    TextTable table({"join shape", "total reward", "vs honest"});
+    const Tree honest_tree = parse_tree("(0.01 (4))");
+    const double honest = mechanism.compute(honest_tree)[2];
+    const Tree chain = parse_tree("(0.01 (2 (2)))");
+    const RewardVector chain_rewards = mechanism.compute(chain);
+    const double chain_total = chain_rewards[2] + chain_rewards[3];
+    const Tree star = parse_tree("(0.01 (2) (2))");
+    const RewardVector star_rewards = mechanism.compute(star);
+    const double star_total = star_rewards[2] + star_rewards[3];
+    table.add_row({"single node C=4", TextTable::num(honest, 4), "-"});
+    table.add_row({"chain 2 -> 2", TextTable::num(chain_total, 4),
+                   TextTable::num(chain_total - honest, 4)});
+    table.add_row({"siblings 2, 2", TextTable::num(star_total, 4),
+                   TextTable::num(star_total - honest, 4)});
+    std::cout << "(2) USA holds: equal-cost splits never gain\n"
+              << table.to_string() << '\n';
+  }
+
+  // (3) UGSA violation: marginal reward > 1 over a heavy subtree.
+  {
+    TextTable table({"own C(u)", "R(u)", "P(u)"});
+    for (double c : {0.3, 0.6, 1.2, 2.4}) {
+      Tree tree;
+      const NodeId u = tree.add_independent(c);
+      const NodeId hub = tree.add_node(u, 1.0);
+      for (int i = 0; i < 50; ++i) {
+        tree.add_node(hub, 1.0);
+      }
+      const RewardVector rewards = mechanism.compute(tree);
+      table.add_row({TextTable::num(c, 1), TextTable::num(rewards[u], 4),
+                     TextTable::num(profit(tree, rewards, u), 4)});
+    }
+    std::cout << "(3) UGSA violation: profit INCREASES with own "
+                 "contribution over a 51-node downline\n"
+              << table.to_string() << '\n';
+  }
+
+  // (4) URO at k = 1: the telescoped reward is capped.
+  {
+    TextTable table({"single-child subtree size", "R(u)",
+                     "analytic cap Phi*C(u)*pi'(1)"});
+    const double cap = budget.Phi * 1.0 * (0.2 + 0.8 * 3.0);
+    for (std::size_t w : {10u, 100u, 1000u, 10000u}) {
+      Tree tree;
+      const NodeId u = tree.add_independent(1.0);
+      const NodeId mid = tree.add_node(u, 1.0);
+      for (std::size_t i = 0; i < w; ++i) {
+        tree.add_node(mid, 1.0);
+      }
+      table.add_row({std::to_string(w + 1),
+                     TextTable::num(mechanism.compute(tree)[u], 4),
+                     TextTable::num(cap, 4)});
+    }
+    std::cout << "(4) Measured URO deviation (EXPERIMENTS.md): with k=1 "
+                 "attached tree the reward\n    plateaus below the cap — "
+                 "URO's literal for-all-k quantifier fails at k=1\n"
+              << table.to_string();
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E7 — Figure 3 / Algorithm 4: the transformation of a referral tree T
+// into TDRM's Reward Computation Tree T'. Prints the chain layout for
+// the figure's example, per-chain reward attribution, and transformation
+// statistics/throughput across mu values.
+#include <chrono>
+#include <iostream>
+
+#include "core/registry.h"
+#include "core/tdrm.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  const BudgetParams budget = default_budget();
+  const Tdrm mechanism(budget,
+                       TdrmParams{.lambda = 0.4, .mu = 1.0, .a = 0.5, .b = 0.4});
+
+  std::cout << "=== E7: Reward Computation Tree transformation (Fig. 3) "
+               "===\n\n";
+
+  // Fig. 3-style example: mixed contributions, mu = 1.
+  const Tree tree = parse_tree("(2.5 (1 (0.6)) (3.2 (1) (1)))");
+  std::cout << "Referral tree T:  " << to_string(tree) << "\n\n";
+
+  const RewardComputationTree rct = mechanism.build_rct(tree);
+  const RewardVector on_rct = mechanism.compute_on_rct(rct);
+  const RewardVector rewards = mechanism.compute(tree);
+
+  TextTable table({"participant", "C(u)", "chain N_u", "chain C' values",
+                   "R(u) = sum R'(w)"});
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    std::vector<std::string> chain_values;
+    for (NodeId w : rct.chain_of(u)) {
+      chain_values.push_back(compact_number(rct.tree().contribution(w), 2));
+    }
+    table.add_row({std::to_string(u),
+                   compact_number(tree.contribution(u)),
+                   std::to_string(rct.chain_of(u).size()),
+                   join(chain_values, " -> "),
+                   TextTable::num(rewards[u], 5)});
+  }
+  std::cout << table.to_string()
+            << "\nHeads carry the remainder C(u) - (N_u - 1)*mu; every "
+               "other chain node carries mu\n(the eps-chain the appendix "
+               "proves optimal). Edges: tail(CH_u) -> head(CH_v).\n\n";
+
+  // Sanity: total reward preserved between views.
+  double rct_total = 0.0;
+  for (NodeId w = 1; w < rct.tree().node_count(); ++w) {
+    rct_total += on_rct[w];
+  }
+  std::cout << "sum R'(w) over T' = " << TextTable::num(rct_total, 6)
+            << " == sum R(u) over T = "
+            << TextTable::num(total_reward(rewards), 6) << "\n\n";
+
+  // Transformation statistics across mu.
+  Rng rng(7);
+  const Tree big = random_recursive_tree(
+      20000, capped_contribution(pareto_contribution(0.5, 1.2), 50.0), rng);
+  TextTable stats({"mu", "|T| participants", "|T'| nodes", "blowup",
+                   "transform+reward time (ms)"});
+  for (double mu : {0.25, 1.0, 4.0, 16.0}) {
+    const Tdrm variant(
+        budget, TdrmParams{.lambda = 0.4, .mu = mu, .a = 0.5, .b = 0.4});
+    const auto start = std::chrono::steady_clock::now();
+    const RewardComputationTree big_rct = variant.build_rct(big);
+    const RewardVector big_rewards = variant.compute(big);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    stats.add_row({compact_number(mu),
+                   std::to_string(big.participant_count()),
+                   std::to_string(big_rct.node_count() - 1),
+                   TextTable::num(static_cast<double>(big_rct.node_count()) /
+                                      static_cast<double>(big.node_count()),
+                                  2),
+                   TextTable::num(elapsed.count(), 2)});
+    // Keep the compiler honest about using the rewards.
+    if (big_rewards.empty()) {
+      return 1;
+    }
+  }
+  std::cout << "Transformation cost on a 20k-participant heavy-tailed tree:\n"
+            << stats.to_string()
+            << "\nSmaller mu = finer linearization = larger T' (cost is "
+               "linear in total chain length).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E8 — Theorem 4 + the Sec. 5 counterexample: TDRM satisfies USA (no
+// equal-cost Sybil split gains) but violates UGSA (contributing more
+// raises profit). The bench sweeps the paper's exact counterexample
+// family — u with C(u) = mu/2 and k children of contribution mu — over
+// k, showing the profit jump when u raises C(u) to mu, with the paper's
+// threshold k > 1/(a*b*lambda) marked.
+#include <iostream>
+
+#include "core/registry.h"
+#include "core/tdrm.h"
+#include "properties/sybil_search.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  const BudgetParams budget = default_budget();
+  const TdrmParams params{.lambda = 0.4, .mu = 1.0, .a = 0.5, .b = 0.4};
+  const Tdrm mechanism(budget, params);
+  const double threshold = 1.0 / (params.a * params.b * params.lambda);
+
+  std::cout << "=== E8: TDRM — USA holds, UGSA fails (Sec. 5) ===\n\n";
+
+  // (1) USA: the attack search cannot beat the honest reward.
+  {
+    TextTable table({"scenario", "honest R", "best equal-cost attack R",
+                     "configs tried", "USA holds"});
+    for (const SybilScenario& scenario : standard_scenarios(params.mu)) {
+      const AttackOutcome outcome =
+          search_attacks(mechanism, scenario, false);
+      table.add_row(
+          {scenario.label, TextTable::num(outcome.honest_reward, 4),
+           TextTable::num(outcome.best_reward, 4),
+           std::to_string(outcome.configurations_tried),
+           yes_no(outcome.best_reward <= outcome.honest_reward + 1e-9)});
+    }
+    std::cout << "(1) USA attack search (Theorem 4):\n" << table.to_string()
+              << '\n';
+  }
+
+  // (2) The UGSA counterexample sweep over k.
+  {
+    auto profit_for = [&](double c, int k) {
+      Tree tree;
+      const NodeId u = tree.add_independent(c);
+      for (int i = 0; i < k; ++i) {
+        tree.add_node(u, params.mu);
+      }
+      const RewardVector rewards = mechanism.compute(tree);
+      return profit(tree, rewards, u);
+    };
+    TextTable table({"k children", "P(u) at C=mu/2", "P(u) at C=mu",
+                     "gain from contributing more", "profitable?"});
+    for (int k : {1, 5, 12, 13, 20, 40, 100}) {
+      const double p_half = profit_for(0.5 * params.mu, k);
+      const double p_full = profit_for(params.mu, k);
+      table.add_row({std::to_string(k), TextTable::num(p_half, 4),
+                     TextTable::num(p_full, 4),
+                     TextTable::num(p_full - p_half, 4),
+                     yes_no(p_full > p_half + 1e-12)});
+    }
+    std::cout << "(2) Sec. 5 counterexample sweep (paper threshold k > "
+              << TextTable::num(threshold, 1)
+              << " for the profit itself to be positive):\n"
+              << table.to_string()
+              << "\nDoubling the contribution more than doubles the "
+                 "reward, so profit rises with\ncontribution at every k — "
+                 "the UGSA violation Theorem 4 concedes.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Crowdsourcing bootstrap: the network-effect problem of Sec. 1. A data
+// collection platform needs participants; below a critical mass it offers
+// no inherent value, so growth must come from the incentive tree. This
+// example prints the epoch-by-epoch growth curve for two mechanisms and
+// shows how a Sybil-infested population changes the picture.
+//
+//   $ example_crowdsourcing_bootstrap
+#include <iostream>
+
+#include "core/registry.h"
+#include "sim/scenarios.h"
+#include "util/table.h"
+
+namespace {
+
+void print_curve(const itree::ScenarioOutcome& outcome, std::size_t stride) {
+  using itree::TextTable;
+  TextTable table({"epoch", "participants", "C(T)", "R(T)", "payout ratio",
+                   "reward gini", "max depth"});
+  for (std::size_t i = stride - 1; i < outcome.history.size(); i += stride) {
+    const itree::EpochStats& stats = outcome.history[i];
+    table.add_row({std::to_string(stats.epoch),
+                   std::to_string(stats.participants),
+                   TextTable::num(stats.total_contribution, 1),
+                   TextTable::num(stats.total_reward, 1),
+                   TextTable::num(stats.payout_ratio, 3),
+                   TextTable::num(stats.reward_gini, 3),
+                   TextTable::num(stats.max_depth, 0)});
+  }
+  std::cout << outcome.mechanism << '\n' << table.to_string() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace itree;
+
+  std::cout << "Bootstrap growth curves (clean population):\n\n";
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kCdrmReciprocal}) {
+    const MechanismPtr mechanism = make_default(kind);
+    print_curve(run_scenario(*mechanism, bootstrap_config()), 8);
+  }
+
+  std::cout << "Same platform, 30% Sybil joiners:\n\n";
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kTdrm}) {
+    const MechanismPtr mechanism = make_default(kind);
+    print_curve(run_scenario(*mechanism, sybil_infested_config(0.3)), 8);
+  }
+
+  std::cout
+      << "Topology-driven mechanisms (Geometric) mobilize faster thanks to\n"
+         "unbounded upline rewards; contribution-deterministic mechanisms\n"
+         "(CDRM) grow more slowly but are immune to identity forging.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Auditing a custom mechanism: the extensibility path.
+//
+// Suppose you invent a reward rule and want to know which of the paper's
+// guarantees it provides before deploying it. Implement `Mechanism`,
+// declare what you BELIEVE it satisfies, and run the checker matrix —
+// every belief is tested, with counterexamples on failure.
+//
+//   $ example_property_audit
+#include <iostream>
+
+#include "core/mechanism.h"
+#include "core/registry.h"
+#include "properties/matrix.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace itree;
+
+// A plausible-looking homebrew rule: pay every participant a fixed
+// fraction of their own contribution plus a bonus per direct child's
+// contribution ("referral headhunter fees").
+class HeadhunterMechanism : public Mechanism {
+ public:
+  HeadhunterMechanism(BudgetParams budget, double own_rate, double child_rate)
+      : Mechanism(budget), own_rate_(own_rate), child_rate_(child_rate) {
+    require(own_rate >= phi(), "Headhunter: own_rate must cover phi-RPC");
+    require(own_rate + child_rate <= Phi(),
+            "Headhunter: own_rate + child_rate must fit the budget");
+  }
+
+  std::string name() const override { return "Headhunter"; }
+  std::string params_string() const override {
+    return "own=" + std::to_string(own_rate_) +
+           " child=" + std::to_string(child_rate_);
+  }
+
+  RewardVector compute(const Tree& tree) const override {
+    RewardVector rewards(tree.node_count(), 0.0);
+    for (NodeId u = 1; u < tree.node_count(); ++u) {
+      double direct_children_mass = 0.0;
+      for (NodeId child : tree.children(u)) {
+        direct_children_mass += tree.contribution(child);
+      }
+      rewards[u] = own_rate_ * tree.contribution(u) +
+                   child_rate_ * direct_children_mass;
+    }
+    return rewards;
+  }
+
+  // The (over-)optimistic beliefs we want audited.
+  PropertySet claimed_properties() const override {
+    return PropertySet{Property::kBudget, Property::kCCI, Property::kCSI,
+                       Property::kRPC,    Property::kSL,  Property::kUSB,
+                       Property::kUSA,    Property::kUGSA};
+  }
+
+ private:
+  double own_rate_;
+  double child_rate_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace itree;
+
+  const HeadhunterMechanism mechanism(default_budget(), /*own_rate=*/0.1,
+                                      /*child_rate=*/0.4);
+  std::cout << "Auditing a homebrew mechanism: flat fee on own "
+               "contribution + per-direct-child bonus.\n\nClaimed: Budget, "
+               "CCI, CSI, phi-RPC, SL, USB, USA, UGSA.\nMeasured:\n\n";
+
+  const MatrixRow row = run_all_checks(mechanism);
+  std::cout << render_matrix({row}) << '\n'
+            << render_evidence({row}) << '\n'
+            << "Lessons the audit teaches about this rule:\n"
+               "  * CSI fails beyond direct children — grandchildren earn "
+               "you nothing, so the\n    referral cascade has no reason to "
+               "deepen;\n"
+               "  * depth-one bonuses invite Sybil relaying (join, then "
+               "re-parent your real\n    account under your fake one to "
+               "collect the child bonus on yourself).\n"
+               "Run this audit before believing any reward rule's folk "
+               "claims.\n";
+  return 0;
+}

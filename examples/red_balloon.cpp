@@ -1,0 +1,71 @@
+// Red-Balloon-style social mobilization (cf. the DARPA Network Challenge
+// discussed in Sec. 1 and [13]): a task is solved once the crowd's
+// cumulative search effort crosses a threshold. Contribution = search
+// effort; the incentive mechanism determines how fast the referral
+// cascade mobilizes that effort.
+//
+//   $ example_red_balloon
+#include <iostream>
+
+#include "core/registry.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  constexpr double kEffortToFindBalloons = 250.0;
+  constexpr std::size_t kMaxEpochs = 120;
+
+  std::cout << "Red-balloon mobilization: epochs until cumulative search\n"
+            << "effort reaches " << kEffortToFindBalloons
+            << " units, per mechanism (3 seeds each).\n\n";
+
+  TextTable table({"mechanism", "median epochs", "participants at finish",
+                   "payout ratio", "found?"});
+
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    std::vector<double> epochs_needed;
+    std::size_t final_participants = 0;
+    double final_payout_ratio = 0.0;
+    bool found_all = true;
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+      SimulationConfig config;
+      config.epochs = kMaxEpochs;
+      config.base_arrival_rate = 0.6;
+      config.solicitation_rate = 0.45;
+      config.reward_responsiveness = 4.0;
+      config.contribution = uniform_contribution(0.5, 1.5);
+      config.seed = seed;
+      SimulationEngine engine(*mechanism, config);
+
+      bool found = false;
+      for (std::size_t epoch = 0; epoch < kMaxEpochs; ++epoch) {
+        const EpochStats stats = engine.step();
+        if (stats.total_contribution >= kEffortToFindBalloons) {
+          epochs_needed.push_back(static_cast<double>(stats.epoch));
+          final_participants = stats.participants;
+          final_payout_ratio = stats.payout_ratio;
+          found = true;
+          break;
+        }
+      }
+      found_all &= found;
+      if (!found) {
+        epochs_needed.push_back(static_cast<double>(kMaxEpochs));
+      }
+    }
+    table.add_row({mechanism->display_name(),
+                   TextTable::num(percentile(epochs_needed, 50), 0),
+                   std::to_string(final_participants),
+                   TextTable::num(final_payout_ratio, 3),
+                   found_all ? "yes" : "timeout"});
+  }
+
+  std::cout << table.to_string()
+            << "\nStronger solicitation incentives (higher marginal reward "
+               "per recruit)\nmobilize the threshold effort in fewer "
+               "epochs.\n";
+  return 0;
+}

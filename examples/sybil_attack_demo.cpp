@@ -1,0 +1,58 @@
+// Sybil attack demo: runs the attack-search engine against three
+// mechanisms and shows why the paper's Sec. 3.2 resilience properties
+// matter — the Geometric mechanism is exploitable, TDRM resists
+// equal-cost attacks (USA) but not the generalized contribute-more
+// attack (UGSA), and CDRM resists both.
+//
+//   $ example_sybil_attack_demo
+#include <iostream>
+
+#include "core/registry.h"
+#include "properties/sybil_search.h"
+#include "tree/generators.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace itree;
+
+  // The attacker's situation: solicited into a fresh campaign, willing to
+  // spend 2 units, expecting to later recruit a 5-person star.
+  SybilScenario scenario;
+  scenario.label = "demo";
+  scenario.join_parent = kRoot;
+  scenario.contribution = 2.0;
+  scenario.future_subtrees.push_back(make_star(5, 1.0, 1.0));
+
+  std::cout
+      << "An attacker with contribution 2.0 (and 5 future recruits) asks:\n"
+         "is forging identities worth it?\n\n";
+
+  TextTable table({"mechanism", "honest R", "best attack R (equal cost)",
+                   "USA holds?", "honest P", "best attack P", "UGSA holds?",
+                   "best attack"});
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kTdrm,
+        MechanismKind::kCdrmReciprocal}) {
+    const MechanismPtr mechanism = make_default(kind);
+    const AttackOutcome outcome =
+        search_attacks(*mechanism, scenario, /*allow_extra_contribution=*/true);
+    const bool usa = outcome.best_reward <= outcome.honest_reward + 1e-9;
+    const bool ugsa = outcome.best_profit <= outcome.honest_profit + 1e-9;
+    table.add_row({mechanism->display_name(),
+                   TextTable::num(outcome.honest_reward, 3),
+                   TextTable::num(outcome.best_reward, 3), yes_no(usa),
+                   TextTable::num(outcome.honest_profit, 3),
+                   TextTable::num(outcome.best_profit, 3), yes_no(ugsa),
+                   ugsa ? "-" : outcome.best_profit_config.to_string()});
+  }
+  std::cout << table.to_string() << '\n'
+            << "Geometric: chain-splitting harvests its own bubbled-up "
+               "rewards (Theorem 1).\n"
+            << "TDRM: equal-cost splits tie at best (USA, Theorem 4), but "
+               "contributing more\n"
+            << "  raises profit (the Sec. 5 UGSA counterexample).\n"
+            << "CDRM: both attacks lose (Theorem 5) - the price is bounded "
+               "rewards (no URO).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "core/claims.h"
+
+#include "util/check.h"
+
+namespace itree {
+
+std::string property_name(Property p) {
+  switch (p) {
+    case Property::kBudget:
+      return "Budget";
+    case Property::kCCI:
+      return "CCI";
+    case Property::kCSI:
+      return "CSI";
+    case Property::kRPC:
+      return "phi-RPC";
+    case Property::kPO:
+      return "PO";
+    case Property::kURO:
+      return "URO";
+    case Property::kSL:
+      return "SL";
+    case Property::kUSB:
+      return "USB";
+    case Property::kUSA:
+      return "USA";
+    case Property::kUGSA:
+      return "UGSA";
+  }
+  ensure(false, "property_name: unknown property");
+  return {};
+}
+
+std::string property_description(Property p) {
+  switch (p) {
+    case Property::kBudget:
+      return "total reward at most Phi times total contribution";
+    case Property::kCCI:
+      return "contributing more strictly increases own reward";
+    case Property::kCSI:
+      return "every new participant in the subtree strictly increases the "
+             "ancestor's reward";
+    case Property::kRPC:
+      return "every participant receives at least phi times its contribution";
+    case Property::kPO:
+      return "some descendant trees give reward at least the own "
+             "contribution";
+    case Property::kURO:
+      return "some descendant trees push the reward beyond any bound";
+    case Property::kSL:
+      return "reward depends only on the participant's own subtree";
+    case Property::kUSB:
+      return "a joiner gains nothing by joining away from its solicitor";
+    case Property::kUSA:
+      return "splitting a fixed contribution across Sybil identities never "
+             "increases reward";
+    case Property::kUGSA:
+      return "Sybil identities never increase profit even with extra "
+             "contribution";
+  }
+  ensure(false, "property_description: unknown property");
+  return {};
+}
+
+const std::vector<Property>& all_properties() {
+  static const std::vector<Property> kAll = {
+      Property::kBudget, Property::kCCI, Property::kCSI, Property::kRPC,
+      Property::kPO,     Property::kURO, Property::kSL,  Property::kUSB,
+      Property::kUSA,    Property::kUGSA};
+  return kAll;
+}
+
+PropertySet PropertySet::all() {
+  PropertySet set;
+  for (Property p : all_properties()) {
+    set.insert(p);
+  }
+  return set;
+}
+
+}  // namespace itree

@@ -1,0 +1,82 @@
+// The paper's eight desirable properties (Sec. 3) plus the budget
+// constraint and the USB special case of SL, as a typed set.
+//
+// Every mechanism declares the subset the paper *claims* it satisfies
+// (Theorems 1, 2, 4, 5 and Sec. 4.3); the property-checking engine in
+// src/properties/ measures the actual subset, and bench E1 prints the two
+// side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace itree {
+
+enum class Property : std::uint8_t {
+  kBudget,  ///< R(T) <= Phi * C(T)                          (Sec. 2)
+  kCCI,     ///< Continuing Contribution Incentive           (Sec. 3.1)
+  kCSI,     ///< Continuing Solicitation Incentive           (Sec. 3.1)
+  kRPC,     ///< phi-Reward Proportional to Contribution     (Sec. 3.1)
+  kPO,      ///< Profitable Opportunity                      (Sec. 3.1)
+  kURO,     ///< Unbounded Reward Opportunity                (Sec. 3.1)
+  kSL,      ///< Subtree Locality                            (Sec. 3.1)
+  kUSB,     ///< Unprofitable Solicitor Bypassing (SL corollary)
+  kUSA,     ///< Unprofitable Sybil Attack                   (Sec. 3.2)
+  kUGSA,    ///< Unprofitable Generalized Sybil Attack       (Sec. 3.2)
+};
+
+inline constexpr std::size_t kPropertyCount = 10;
+
+/// Short paper name, e.g. "CCI", "phi-RPC", "UGSA".
+std::string property_name(Property p);
+
+/// One-line description for documentation output.
+std::string property_description(Property p);
+
+/// All properties in declaration order.
+const std::vector<Property>& all_properties();
+
+/// Small value-type set of properties.
+class PropertySet {
+ public:
+  PropertySet() = default;
+  PropertySet(std::initializer_list<Property> properties) {
+    for (Property p : properties) {
+      insert(p);
+    }
+  }
+
+  /// The full set (all ten properties).
+  static PropertySet all();
+
+  PropertySet& insert(Property p) {
+    bits_ |= bit(p);
+    return *this;
+  }
+
+  PropertySet& erase(Property p) {
+    bits_ &= ~bit(p);
+    return *this;
+  }
+
+  /// Fluent: returns a copy without the given property.
+  PropertySet without(Property p) const {
+    PropertySet copy = *this;
+    copy.erase(p);
+    return copy;
+  }
+
+  bool contains(Property p) const { return (bits_ & bit(p)) != 0; }
+
+  bool operator==(const PropertySet&) const = default;
+
+ private:
+  static std::uint32_t bit(Property p) {
+    return 1u << static_cast<std::uint8_t>(p);
+  }
+
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace itree

@@ -1,0 +1,31 @@
+// Textual mechanism construction for the CLI and config files.
+//
+//   make_mechanism("tdrm", parse_param_string("lambda=0.3,mu=0.5"))
+//
+// Unspecified parameters fall back to the registry defaults; unknown
+// names or parameters throw std::invalid_argument (constructors still
+// enforce the paper's constraints on whatever values arrive).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/registry.h"
+
+namespace itree {
+
+using ParamMap = std::map<std::string, double>;
+
+/// Parses "key=value,key=value" (spaces allowed around separators).
+ParamMap parse_param_string(const std::string& text);
+
+/// Mechanism names accepted: geometric, l-luxor, l-pachira, split-proof,
+/// preliminary-tdrm, tdrm, cdrm-1, cdrm-2, norm-preliminary-tdrm.
+/// Recognized parameters per mechanism mirror the constructor arguments
+/// (e.g. geometric: a, b; tdrm: lambda, mu, a, b; cdrm-1: theta).
+/// The budget itself can be overridden with Phi / phi entries.
+MechanismPtr make_mechanism(const std::string& name,
+                            const ParamMap& params = {},
+                            BudgetParams budget = default_budget());
+
+}  // namespace itree

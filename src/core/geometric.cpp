@@ -1,0 +1,35 @@
+#include "core/geometric.h"
+
+#include "tree/subtree_sums.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace itree {
+
+GeometricMechanism::GeometricMechanism(BudgetParams budget, double a, double b)
+    : Mechanism(budget), a_(a), b_(b) {
+  require(a > 0.0 && a < 1.0, "Geometric: a must be in (0, 1)");
+  require(b >= phi(), "Geometric: b must be >= phi (phi-RPC)");
+  require(b <= (1.0 - a) * Phi(),
+          "Geometric: b must be <= (1-a)*Phi (budget constraint)");
+}
+
+std::string GeometricMechanism::params_string() const {
+  return "a=" + compact_number(a_) + " b=" + compact_number(b_);
+}
+
+RewardVector GeometricMechanism::compute(const Tree& tree) const {
+  RewardVector rewards = geometric_subtree_sums(tree, a_);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    rewards[u] *= b_;
+  }
+  rewards[kRoot] = 0.0;
+  return rewards;
+}
+
+PropertySet GeometricMechanism::claimed_properties() const {
+  // Theorem 1: everything except USA and UGSA.
+  return PropertySet::all().without(Property::kUSA).without(Property::kUGSA);
+}
+
+}  // namespace itree

@@ -1,0 +1,118 @@
+#include "core/incremental.h"
+
+#include "tree/subtree_sums.h"
+#include "util/check.h"
+
+namespace itree {
+
+IncrementalGeometricState::IncrementalGeometricState(double a) : a_(a) {
+  require(a > 0.0 && a < 1.0,
+          "IncrementalGeometricState: a must be in (0, 1)");
+  sums_.push_back(0.0);
+}
+
+IncrementalGeometricState::IncrementalGeometricState(double a,
+                                                     const Tree& initial)
+    : a_(a), tree_(initial) {
+  require(a > 0.0 && a < 1.0,
+          "IncrementalGeometricState: a must be in (0, 1)");
+  sums_ = geometric_subtree_sums(tree_, a_);
+  for (NodeId u = 1; u < tree_.node_count(); ++u) {
+    total_sum_ += sums_[u];
+  }
+}
+
+void IncrementalGeometricState::bubble_up(NodeId from, double delta) {
+  // A contribution change of `delta` at `from` changes S_a(w) by
+  // a^{dep_w(from)} * delta for every ancestor w. total_sum_ gains
+  // delta * (1 + a + a^2 + ...) along the path, excluding the root.
+  NodeId w = from;
+  double scaled = delta;
+  while (true) {
+    sums_[w] += scaled;
+    if (w != kRoot) {
+      total_sum_ += scaled;
+    }
+    if (w == kRoot) {
+      break;
+    }
+    w = tree_.parent(w);
+    scaled *= a_;
+  }
+}
+
+NodeId IncrementalGeometricState::add_leaf(NodeId parent,
+                                           double contribution) {
+  const NodeId leaf = tree_.add_node(parent, contribution);
+  sums_.push_back(0.0);
+  bubble_up(leaf, contribution);
+  return leaf;
+}
+
+void IncrementalGeometricState::add_contribution(NodeId u, double delta) {
+  require(tree_.contains(u) && u != kRoot,
+          "IncrementalGeometricState::add_contribution: bad node");
+  require(delta >= 0.0,
+          "IncrementalGeometricState::add_contribution: delta must be >= 0");
+  tree_.set_contribution(u, tree_.contribution(u) + delta);
+  bubble_up(u, delta);
+}
+
+double IncrementalGeometricState::subtree_sum(NodeId u) const {
+  require(u < sums_.size(), "IncrementalGeometricState::subtree_sum");
+  return sums_[u];
+}
+
+double IncrementalGeometricState::geometric_reward(NodeId u, double b) const {
+  require(u != kRoot, "IncrementalGeometricState: the root earns nothing");
+  return b * subtree_sum(u);
+}
+
+IncrementalSubtreeState::IncrementalSubtreeState() { totals_.push_back(0.0); }
+
+IncrementalSubtreeState::IncrementalSubtreeState(const Tree& initial)
+    : tree_(initial) {
+  totals_ = compute_subtree_data(tree_).subtree_contribution;
+}
+
+NodeId IncrementalSubtreeState::add_leaf(NodeId parent, double contribution) {
+  const NodeId leaf = tree_.add_node(parent, contribution);
+  totals_.push_back(contribution);
+  for (NodeId w = parent;; w = tree_.parent(w)) {
+    totals_[w] += contribution;
+    if (w == kRoot) {
+      break;
+    }
+  }
+  return leaf;
+}
+
+void IncrementalSubtreeState::add_contribution(NodeId u, double delta) {
+  require(tree_.contains(u) && u != kRoot,
+          "IncrementalSubtreeState::add_contribution: bad node");
+  require(delta >= 0.0,
+          "IncrementalSubtreeState::add_contribution: delta must be >= 0");
+  tree_.set_contribution(u, tree_.contribution(u) + delta);
+  for (NodeId w = u;; w = tree_.parent(w)) {
+    totals_[w] += delta;
+    if (w == kRoot) {
+      break;
+    }
+  }
+}
+
+double IncrementalSubtreeState::subtree_contribution(NodeId u) const {
+  require(u < totals_.size(), "IncrementalSubtreeState::subtree_contribution");
+  return totals_[u];
+}
+
+double IncrementalSubtreeState::x_of(NodeId u) const {
+  require(u != kRoot, "IncrementalSubtreeState::x_of: not a participant");
+  return tree_.contribution(u);
+}
+
+double IncrementalSubtreeState::y_of(NodeId u) const {
+  return subtree_contribution(u) - x_of(u);
+}
+
+}  // namespace itree

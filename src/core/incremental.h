@@ -1,0 +1,85 @@
+// Incremental reward maintenance for growing deployments.
+//
+// A production Incentive Tree service must answer "what is u's reward
+// now?" after every join and purchase. Recomputing the whole tree is
+// O(n) per event; this module maintains the per-node aggregates the
+// mechanisms need under two event types —
+//   * add_leaf(parent, contribution)     (a join)
+//   * add_contribution(u, delta)         (a repeat purchase)
+// — in O(depth(u)) per event (only ancestors' aggregates change), with
+// O(1) reward queries for the supported mechanisms:
+//   * IncrementalGeometricState: maintains S_a(u) = sum a^dep C(v),
+//     serving Geometric and L-Luxor style rewards;
+//   * IncrementalSubtreeState: maintains C(T_u), serving CDRM rewards
+//     and Pachira shares.
+// Tests verify event-by-event equivalence with the batch mechanisms.
+#pragma once
+
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace itree {
+
+/// Maintains the geometric-decay subtree sums S_a(u) of a growing tree.
+/// The tree is owned by the state object: all mutations must go through
+/// it so the aggregates stay consistent.
+class IncrementalGeometricState {
+ public:
+  explicit IncrementalGeometricState(double a);
+
+  /// Builds from an existing tree in O(n).
+  IncrementalGeometricState(double a, const Tree& initial);
+
+  /// A join: adds a leaf and updates ancestors in O(depth).
+  NodeId add_leaf(NodeId parent, double contribution);
+
+  /// A purchase: raises C(u) by delta (>= 0) and updates ancestors.
+  void add_contribution(NodeId u, double delta);
+
+  /// S_a(u) = sum_{v in T_u} a^{dep_u(v)} C(v), maintained exactly.
+  double subtree_sum(NodeId u) const;
+
+  /// Geometric reward b * S_a(u) for a participant.
+  double geometric_reward(NodeId u, double b) const;
+
+  /// sum over participants of b * S_a(u) — maintained in O(1) per event.
+  double total_geometric_reward(double b) const { return b * total_sum_; }
+
+  const Tree& tree() const { return tree_; }
+  double a() const { return a_; }
+
+ private:
+  void bubble_up(NodeId from, double delta);
+
+  double a_;
+  Tree tree_;
+  std::vector<double> sums_;  // S_a per node
+  double total_sum_ = 0.0;    // sum of S_a over participants
+};
+
+/// Maintains plain subtree contribution totals C(T_u) of a growing tree
+/// (the aggregate CDRM and Pachira need).
+class IncrementalSubtreeState {
+ public:
+  IncrementalSubtreeState();
+  explicit IncrementalSubtreeState(const Tree& initial);
+
+  NodeId add_leaf(NodeId parent, double contribution);
+  void add_contribution(NodeId u, double delta);
+
+  /// C(T_u).
+  double subtree_contribution(NodeId u) const;
+
+  /// CDRM inputs for participant u: x = C(u), y = C(T_u) - C(u).
+  double x_of(NodeId u) const;
+  double y_of(NodeId u) const;
+
+  const Tree& tree() const { return tree_; }
+
+ private:
+  Tree tree_;
+  std::vector<double> totals_;  // C(T_u) per node
+};
+
+}  // namespace itree

@@ -1,0 +1,39 @@
+#include "core/mechanism.h"
+
+#include "util/check.h"
+
+namespace itree {
+
+void BudgetParams::validate() const {
+  require(Phi > 0.0 && Phi <= 1.0, "BudgetParams: Phi must be in (0, 1]");
+  require(phi >= 0.0 && phi <= Phi, "BudgetParams: phi must be in [0, Phi]");
+}
+
+Mechanism::Mechanism(BudgetParams budget) : budget_(budget) {
+  budget_.validate();
+}
+
+double Mechanism::reward_of(const Tree& tree, NodeId u) const {
+  const RewardVector rewards = compute(tree);
+  require(u < rewards.size(), "Mechanism::reward_of: node out of range");
+  return rewards[u];
+}
+
+double total_reward(const RewardVector& rewards) {
+  double total = 0.0;
+  for (double r : rewards) {
+    total += r;
+  }
+  return total;
+}
+
+double profit(const Tree& tree, const RewardVector& rewards, NodeId u) {
+  require(u < rewards.size() && tree.contains(u), "profit: bad node id");
+  return rewards[u] - tree.contribution(u);
+}
+
+double payment(const Tree& tree, const RewardVector& rewards, NodeId u) {
+  return -profit(tree, rewards, u);
+}
+
+}  // namespace itree

@@ -1,0 +1,79 @@
+// The Incentive Tree mechanism interface (paper Sec. 2).
+//
+// A reward mechanism maps a weighted referral tree T to a non-negative
+// reward R(u) per participant, subject to the budget constraint
+// R(T) <= Phi * C(T). The system-wide budget parameters are
+//   Phi — the fraction of total contribution the organizer pays out, and
+//   phi — the per-participant fairness floor of phi-RPC (phi <= Phi).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/claims.h"
+#include "tree/tree.h"
+
+namespace itree {
+
+/// Rewards indexed by NodeId; entry kRoot is always 0.
+using RewardVector = std::vector<double>;
+
+struct BudgetParams {
+  double Phi = 0.5;   ///< budget fraction, 0 < Phi <= 1
+  double phi = 0.05;  ///< fairness floor of phi-RPC, 0 <= phi <= Phi
+
+  void validate() const;
+};
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  Mechanism(const Mechanism&) = delete;
+  Mechanism& operator=(const Mechanism&) = delete;
+
+  /// Mechanism family name, e.g. "Geometric" or "TDRM".
+  virtual std::string name() const = 0;
+
+  /// Human-readable parameterization, e.g. "a=0.5 b=0.2".
+  virtual std::string params_string() const = 0;
+
+  /// Computes all rewards for the given referral tree. The result has
+  /// one entry per node id; the imaginary root's entry is 0.
+  virtual RewardVector compute(const Tree& tree) const = 0;
+
+  /// Reward of a single participant. Default: full compute; mechanisms
+  /// with cheaper single-node paths may override.
+  virtual double reward_of(const Tree& tree, NodeId u) const;
+
+  /// The property subset the paper claims for this mechanism.
+  virtual PropertySet claimed_properties() const = 0;
+
+  const BudgetParams& budget() const { return budget_; }
+  double Phi() const { return budget_.Phi; }
+  double phi() const { return budget_.phi; }
+
+  std::string display_name() const { return name() + "(" + params_string() + ")"; }
+
+ protected:
+  explicit Mechanism(BudgetParams budget);
+
+ private:
+  BudgetParams budget_;
+};
+
+using MechanismPtr = std::unique_ptr<Mechanism>;
+
+// --- RewardVector helpers ---------------------------------------------------
+
+/// R(T): total reward paid to all participants.
+double total_reward(const RewardVector& rewards);
+
+/// Profit P(u) = R(u) - C(u) (paper Sec. 2, MLM view).
+double profit(const Tree& tree, const RewardVector& rewards, NodeId u);
+
+/// Payment Pay(u) = C(u) - R(u) (paper Sec. 2, MLM view).
+double payment(const Tree& tree, const RewardVector& rewards, NodeId u);
+
+}  // namespace itree

@@ -1,0 +1,52 @@
+#include "core/normalized.h"
+
+#include <algorithm>
+
+namespace itree {
+
+NormalizedPreliminaryTdrm::NormalizedPreliminaryTdrm(BudgetParams budget,
+                                                     double a, double b)
+    : Mechanism(budget), raw_(budget, a, b) {}
+
+std::string NormalizedPreliminaryTdrm::params_string() const {
+  return raw_.params_string();
+}
+
+double NormalizedPreliminaryTdrm::scale_for(const Tree& tree) const {
+  const double total = total_reward(raw_.compute(tree));
+  const double cap = Phi() * tree.total_contribution();
+  if (total <= cap || total <= 0.0) {
+    return 1.0;
+  }
+  return cap / total;
+}
+
+RewardVector NormalizedPreliminaryTdrm::compute(const Tree& tree) const {
+  RewardVector rewards = raw_.compute(tree);
+  const double total = total_reward(rewards);
+  const double cap = Phi() * tree.total_contribution();
+  if (total > cap && total > 0.0) {
+    const double scale = cap / total;
+    for (double& r : rewards) {
+      r *= scale;
+    }
+  }
+  return rewards;
+}
+
+PropertySet NormalizedPreliminaryTdrm::claimed_properties() const {
+  // What survives the global rescaling (measured; see
+  // normalized_test.cpp): the budget is restored, CCI/PO/URO remain, and
+  // — perhaps surprisingly — so does USA (the quadratic structure still
+  // dominates the scale shifts in every searched scenario). But the
+  // C(T)-dependent scale breaks MORE than the SL property the paper
+  // calls out: CSI falls (a large recruit can shrink the scale faster
+  // than it grows the solicitor's raw reward), USB falls (the join
+  // position changes ancestors' raw rewards and hence the global
+  // scale), and phi-RPC has no floor once scaled. The RCT approach of
+  // Algorithm 4 avoids all of this.
+  return PropertySet{Property::kBudget, Property::kCCI, Property::kPO,
+                     Property::kURO, Property::kUSA};
+}
+
+}  // namespace itree

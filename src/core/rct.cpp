@@ -1,0 +1,64 @@
+#include "core/rct.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace itree {
+
+RewardComputationTree::RewardComputationTree(const Tree& referral, double mu)
+    : mu_(mu) {
+  require(mu > 0.0, "RewardComputationTree: mu must be > 0");
+  chains_.resize(referral.node_count());
+  origin_.assign(1, kRoot);  // RCT root is the image of the referral root
+  chains_[kRoot] = {kRoot};
+
+  // Preorder guarantees a parent's chain exists before its children's.
+  for (NodeId u : referral.preorder()) {
+    if (u == kRoot) {
+      continue;
+    }
+    const double c = referral.contribution(u);
+    const auto chain_length =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     std::ceil(c / mu_ - 1e-12)));
+    const double head_contribution =
+        c - static_cast<double>(chain_length - 1) * mu_;
+
+    // Attach the head below the parent's tail, then extend downward.
+    NodeId attach = tail_of(referral.parent(u));
+    std::vector<NodeId>& chain = chains_[u];
+    chain.reserve(chain_length);
+    for (std::size_t i = 0; i < chain_length; ++i) {
+      const double node_contribution = (i == 0) ? head_contribution : mu_;
+      attach = rct_.add_node(attach, node_contribution);
+      chain.push_back(attach);
+      origin_.push_back(u);
+      ensure(origin_.size() == rct_.node_count(),
+             "RewardComputationTree: origin bookkeeping");
+    }
+  }
+}
+
+const std::vector<NodeId>& RewardComputationTree::chain_of(
+    NodeId referral_node) const {
+  require(referral_node < chains_.size(),
+          "RewardComputationTree::chain_of: bad referral node");
+  return chains_[referral_node];
+}
+
+NodeId RewardComputationTree::head_of(NodeId referral_node) const {
+  return chain_of(referral_node).front();
+}
+
+NodeId RewardComputationTree::tail_of(NodeId referral_node) const {
+  return chain_of(referral_node).back();
+}
+
+NodeId RewardComputationTree::origin_of(NodeId rct_node) const {
+  require(rct_node < origin_.size(),
+          "RewardComputationTree::origin_of: bad RCT node");
+  return origin_[rct_node];
+}
+
+}  // namespace itree

@@ -1,0 +1,51 @@
+// Reward Computation Tree (RCT) — the transformation step of Algorithm 4.
+//
+// TDRM simulates an upper bound mu on per-node contribution: every
+// participant u with contribution C(u) becomes a chain CH_u of
+// N_u = ceil(C(u)/mu) nodes in T'; the head carries the remainder
+// C(u) - (N_u - 1)*mu (in (0, mu]) and every other chain node carries
+// exactly mu. A referral edge (u, v) becomes an edge from the TAIL of
+// CH_u to the HEAD of CH_v. The appendix proves this chain — an
+// "eps-chain" — is the reward-maximizing Sybil split, which is why
+// handing it to every participant for free yields USA.
+#pragma once
+
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace itree {
+
+class RewardComputationTree {
+ public:
+  /// Builds the RCT of `referral` with contribution cap `mu > 0`.
+  /// Zero-contribution participants map to a single zero-weight node so
+  /// their descendants stay connected.
+  RewardComputationTree(const Tree& referral, double mu);
+
+  const Tree& tree() const { return rct_; }
+  double mu() const { return mu_; }
+
+  /// The chain CH_u (head first) for referral node `u`.
+  const std::vector<NodeId>& chain_of(NodeId referral_node) const;
+
+  /// Head node m_1^u of CH_u in the RCT.
+  NodeId head_of(NodeId referral_node) const;
+
+  /// Tail node m_{N_u}^u of CH_u in the RCT.
+  NodeId tail_of(NodeId referral_node) const;
+
+  /// The referral-tree node a given RCT node belongs to.
+  NodeId origin_of(NodeId rct_node) const;
+
+  /// Number of RCT nodes (including the root's single image).
+  std::size_t node_count() const { return rct_.node_count(); }
+
+ private:
+  Tree rct_;
+  double mu_;
+  std::vector<std::vector<NodeId>> chains_;  // indexed by referral node id
+  std::vector<NodeId> origin_;               // indexed by RCT node id
+};
+
+}  // namespace itree

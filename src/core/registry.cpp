@@ -1,0 +1,66 @@
+#include "core/registry.h"
+
+#include "core/cdrm.h"
+#include "core/geometric.h"
+#include "core/l_transform.h"
+#include "core/split_proof.h"
+#include "core/tdrm.h"
+#include "util/check.h"
+
+namespace itree {
+
+BudgetParams default_budget() { return BudgetParams{.Phi = 0.5, .phi = 0.05}; }
+
+MechanismPtr make_default(MechanismKind kind, BudgetParams budget) {
+  switch (kind) {
+    case MechanismKind::kGeometric:
+      // b in [phi, (1-a)*Phi] = [0.05, 0.25] for the default budget.
+      return std::make_unique<GeometricMechanism>(budget, /*a=*/0.5,
+                                                  /*b=*/0.2);
+    case MechanismKind::kLLuxor:
+      // Effective geometric coefficient Phi*(1-delta) = 0.25 >= phi.
+      return std::make_unique<LLuxorMechanism>(budget, /*delta=*/0.5);
+    case MechanismKind::kLPachira:
+      // beta >= phi/Phi = 0.1. delta = 2 keeps Phi*pi'(1) > 1 so that a
+      // k=1 profit witness exists (see EXPERIMENTS.md, E3).
+      return std::make_unique<LPachiraMechanism>(budget, /*beta=*/0.2,
+                                                 /*delta=*/2.0);
+    case MechanismKind::kSplitProof:
+      // b + lambda = 0.45 <= Phi.
+      return std::make_unique<SplitProofMechanism>(budget, /*b=*/0.1,
+                                                   /*lambda=*/0.35);
+    case MechanismKind::kPreliminaryTdrm:
+      return std::make_unique<PreliminaryTdrm>(budget, /*a=*/0.5, /*b=*/0.2);
+    case MechanismKind::kTdrm:
+      // lambda = 0.4 < Phi - phi = 0.45; a + b = 0.9 < 1.
+      return std::make_unique<Tdrm>(
+          budget, TdrmParams{.lambda = 0.4, .mu = 1.0, .a = 0.5, .b = 0.4});
+    case MechanismKind::kCdrmReciprocal:
+      // theta + phi = 0.45 < Phi.
+      return std::make_unique<CdrmReciprocal>(budget, /*theta=*/0.4);
+    case MechanismKind::kCdrmLogarithmic:
+      return std::make_unique<CdrmLogarithmic>(budget, /*theta=*/0.4);
+  }
+  ensure(false, "make_default: unknown mechanism kind");
+  return nullptr;
+}
+
+std::vector<MechanismPtr> all_feasible_mechanisms(BudgetParams budget) {
+  std::vector<MechanismPtr> mechanisms;
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kLLuxor,
+        MechanismKind::kLPachira, MechanismKind::kSplitProof,
+        MechanismKind::kTdrm, MechanismKind::kCdrmReciprocal,
+        MechanismKind::kCdrmLogarithmic}) {
+    mechanisms.push_back(make_default(kind, budget));
+  }
+  return mechanisms;
+}
+
+std::vector<MechanismPtr> all_mechanisms(BudgetParams budget) {
+  std::vector<MechanismPtr> mechanisms = all_feasible_mechanisms(budget);
+  mechanisms.push_back(make_default(MechanismKind::kPreliminaryTdrm, budget));
+  return mechanisms;
+}
+
+}  // namespace itree

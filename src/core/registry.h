@@ -1,0 +1,43 @@
+// Default-parameterized instances of every mechanism in the paper.
+//
+// The defaults mirror the running parameterization used throughout our
+// experiments: Phi = 0.5, phi = 0.05, and per-mechanism parameters chosen
+// to satisfy each mechanism's constraints with comfortable margins (see
+// the factory functions for the constraint arithmetic).
+#pragma once
+
+#include <vector>
+
+#include "core/mechanism.h"
+
+namespace itree {
+
+/// The default budget parameters used by benches and examples.
+BudgetParams default_budget();
+
+/// Identifier for constructing a specific default mechanism.
+enum class MechanismKind {
+  kGeometric,
+  kLLuxor,
+  kLPachira,
+  kSplitProof,
+  kPreliminaryTdrm,
+  kTdrm,
+  kCdrmReciprocal,
+  kCdrmLogarithmic,
+};
+
+/// Constructs one mechanism with the default parameterization.
+MechanismPtr make_default(MechanismKind kind,
+                          BudgetParams budget = default_budget());
+
+/// All *feasible* mechanisms (everything except PreliminaryTDRM, which
+/// violates the budget constraint by design).
+std::vector<MechanismPtr> all_feasible_mechanisms(
+    BudgetParams budget = default_budget());
+
+/// All mechanisms including the deliberately-infeasible PreliminaryTDRM.
+std::vector<MechanismPtr> all_mechanisms(
+    BudgetParams budget = default_budget());
+
+}  // namespace itree

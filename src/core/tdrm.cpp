@@ -1,0 +1,86 @@
+#include "core/tdrm.h"
+
+#include "tree/subtree_sums.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace itree {
+
+PreliminaryTdrm::PreliminaryTdrm(BudgetParams budget, double a, double b)
+    : Mechanism(budget), a_(a), b_(b) {
+  require(a > 0.0 && a < 1.0, "PreliminaryTDRM: a must be in (0, 1)");
+  require(b > 0.0, "PreliminaryTDRM: b must be > 0");
+}
+
+std::string PreliminaryTdrm::params_string() const {
+  return "a=" + compact_number(a_) + " b=" + compact_number(b_);
+}
+
+RewardVector PreliminaryTdrm::compute(const Tree& tree) const {
+  const std::vector<double> sums = geometric_subtree_sums(tree, a_);
+  RewardVector rewards(tree.node_count(), 0.0);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    rewards[u] = tree.contribution(u) * b_ * sums[u];
+  }
+  return rewards;
+}
+
+PropertySet PreliminaryTdrm::claimed_properties() const {
+  // "Not a correct reward mechanism" (Alg. 3): the quadratic form loses
+  // the budget constraint; phi-RPC also has no floor for small
+  // contributions (R(u) -> 0 quadratically as C(u) -> 0).
+  return PropertySet::all()
+      .without(Property::kBudget)
+      .without(Property::kRPC)
+      .without(Property::kUGSA);
+}
+
+Tdrm::Tdrm(BudgetParams budget, TdrmParams params)
+    : Mechanism(budget), params_(params) {
+  require(params_.lambda > 0.0 && params_.lambda < Phi() - phi(),
+          "TDRM: lambda must be in (0, Phi - phi)");
+  require(params_.mu > 0.0, "TDRM: mu must be > 0");
+  require(params_.a > 0.0 && params_.a < 1.0, "TDRM: a must be in (0, 1)");
+  require(params_.b > 0.0 && params_.a + params_.b < 1.0,
+          "TDRM: need b > 0 and a + b < 1");
+}
+
+std::string Tdrm::params_string() const {
+  return "lambda=" + compact_number(params_.lambda) +
+         " mu=" + compact_number(params_.mu) +
+         " a=" + compact_number(params_.a) +
+         " b=" + compact_number(params_.b);
+}
+
+RewardComputationTree Tdrm::build_rct(const Tree& tree) const {
+  return RewardComputationTree(tree, params_.mu);
+}
+
+RewardVector Tdrm::compute_on_rct(const RewardComputationTree& rct) const {
+  const Tree& t = rct.tree();
+  const std::vector<double> sums = geometric_subtree_sums(t, params_.a);
+  RewardVector rewards(t.node_count(), 0.0);
+  const double scale = params_.lambda / params_.mu * params_.b;
+  for (NodeId w = 1; w < t.node_count(); ++w) {
+    rewards[w] =
+        scale * t.contribution(w) * sums[w] + phi() * t.contribution(w);
+  }
+  return rewards;
+}
+
+RewardVector Tdrm::compute(const Tree& tree) const {
+  const RewardComputationTree rct = build_rct(tree);
+  const RewardVector rct_rewards = compute_on_rct(rct);
+  RewardVector rewards(tree.node_count(), 0.0);
+  for (NodeId w = 1; w < rct.tree().node_count(); ++w) {
+    rewards[rct.origin_of(w)] += rct_rewards[w];
+  }
+  return rewards;
+}
+
+PropertySet Tdrm::claimed_properties() const {
+  // Theorem 4: everything except UGSA.
+  return PropertySet::all().without(Property::kUGSA);
+}
+
+}  // namespace itree

@@ -1,0 +1,316 @@
+#include "exact/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace itree {
+
+namespace {
+
+constexpr std::uint64_t kBase = 1ULL << 32;
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid UB on INT64_MIN: widen via unsigned negation.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude > 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffULL));
+    magnitude >>= 32;
+  }
+  if (limbs_.empty()) {
+    negative_ = false;
+  }
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+  if (limbs_.empty()) {
+    negative_ = false;
+  }
+}
+
+BigInt BigInt::from_string(const std::string& text) {
+  require(!text.empty(), "BigInt::from_string: empty input");
+  std::size_t start = 0;
+  bool negative = false;
+  if (text[0] == '-') {
+    negative = true;
+    start = 1;
+  }
+  require(start < text.size(), "BigInt::from_string: no digits");
+  BigInt result;
+  const BigInt ten(10);
+  for (std::size_t i = start; i < text.size(); ++i) {
+    require(text[i] >= '0' && text[i] <= '9',
+            "BigInt::from_string: invalid digit");
+    result = result * ten + BigInt(text[i] - '0');
+  }
+  result.negative_ = negative && !result.is_zero();
+  return result;
+}
+
+int BigInt::compare_magnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::add_magnitude(const BigInt& a, const BigInt& b) {
+  BigInt result;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  result.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) {
+      sum += a.limbs_[i];
+    }
+    if (i < b.limbs_.size()) {
+      sum += b.limbs_[i];
+    }
+    result.limbs_.push_back(static_cast<std::uint32_t>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry > 0) {
+    result.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  }
+  return result;
+}
+
+BigInt BigInt::sub_magnitude(const BigInt& a, const BigInt& b) {
+  ensure(compare_magnitude(a, b) >= 0, "BigInt::sub_magnitude: |a| < |b|");
+  BigInt result;
+  result.limbs_.reserve(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) {
+      diff -= b.limbs_[i];
+    }
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  result.trim();
+  return result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) {
+    result.negative_ = !result.negative_;
+  }
+  return result;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (negative_ == other.negative_) {
+    BigInt result = add_magnitude(*this, other);
+    result.negative_ = negative_ && !result.is_zero();
+    return result;
+  }
+  const int cmp = compare_magnitude(*this, other);
+  if (cmp == 0) {
+    return BigInt();
+  }
+  BigInt result = cmp > 0 ? sub_magnitude(*this, other)
+                          : sub_magnitude(other, *this);
+  result.negative_ =
+      (cmp > 0 ? negative_ : other.negative_) && !result.is_zero();
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  return *this + (-other);
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (is_zero() || other.is_zero()) {
+    return BigInt();
+  }
+  BigInt result;
+  result.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      std::uint64_t cur = result.limbs_[i + j] +
+                          static_cast<std::uint64_t>(limbs_[i]) *
+                              other.limbs_[j] +
+                          carry;
+      result.limbs_[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry > 0) {
+      std::uint64_t cur = result.limbs_[k] + carry;
+      result.limbs_[k] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  result.trim();
+  result.negative_ = (negative_ != other.negative_);
+  return result;
+}
+
+bool BigInt::bit(std::size_t index) const {
+  const std::size_t limb = index / 32;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (index % 32)) & 1u;
+}
+
+void BigInt::set_bit(std::size_t index) {
+  const std::size_t limb = index / 32;
+  if (limb >= limbs_.size()) {
+    limbs_.resize(limb + 1, 0);
+  }
+  limbs_[limb] |= (1u << (index % 32));
+}
+
+void BigInt::shift_left_one() {
+  std::uint32_t carry = 0;
+  for (std::uint32_t& limb : limbs_) {
+    const std::uint32_t next_carry = limb >> 31;
+    limb = (limb << 1) | carry;
+    carry = next_carry;
+  }
+  if (carry) {
+    limbs_.push_back(carry);
+  }
+}
+
+std::size_t BigInt::bit_count() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top > 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+void BigInt::divmod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt& quotient, BigInt& remainder) {
+  require(!divisor.is_zero(), "BigInt: division by zero");
+  quotient = BigInt();
+  remainder = BigInt();
+  // Restoring binary long division on magnitudes, MSB first.
+  for (std::size_t i = dividend.bit_count(); i-- > 0;) {
+    remainder.shift_left_one();
+    if (dividend.bit(i)) {
+      if (remainder.limbs_.empty()) {
+        remainder.limbs_.push_back(1);
+      } else {
+        remainder.limbs_[0] |= 1u;
+      }
+    }
+    if (compare_magnitude(remainder, divisor) >= 0) {
+      remainder = sub_magnitude(remainder, divisor);
+      quotient.set_bit(i);
+    }
+  }
+  quotient.trim();
+  remainder.trim();
+  // Truncated semantics: quotient sign is the XOR of operand signs,
+  // remainder takes the dividend's sign.
+  quotient.negative_ =
+      (dividend.negative_ != divisor.negative_) && !quotient.is_zero();
+  remainder.negative_ = dividend.negative_ && !remainder.is_zero();
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt quotient, remainder;
+  divmod(*this, other, quotient, remainder);
+  return quotient;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt quotient, remainder;
+  divmod(*this, other, quotient, remainder);
+  return remainder;
+}
+
+bool BigInt::operator==(const BigInt& other) const {
+  return negative_ == other.negative_ && limbs_ == other.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& other) const {
+  if (negative_ != other.negative_) {
+    return negative_;
+  }
+  const int cmp = compare_magnitude(*this, other);
+  return negative_ ? cmp > 0 : cmp < 0;
+}
+
+bool BigInt::operator<=(const BigInt& other) const {
+  return *this < other || *this == other;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) {
+    return "0";
+  }
+  // Repeated division by 10^9 (single "limb" in decimal terms).
+  BigInt value = *this;
+  value.negative_ = false;
+  const BigInt chunk_divisor(1000000000);
+  std::vector<std::uint32_t> chunks;
+  while (!value.is_zero()) {
+    BigInt quotient, remainder;
+    divmod(value, chunk_divisor, quotient, remainder);
+    chunks.push_back(remainder.limbs_.empty() ? 0u : remainder.limbs_[0]);
+    value = quotient;
+  }
+  std::string out = negative_ ? "-" : "";
+  out += std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(9 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+double BigInt::to_double() const {
+  double value = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = value * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -value : value;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt quotient, remainder;
+    divmod(a, b, quotient, remainder);
+    a = b;
+    b = remainder;
+  }
+  return a;
+}
+
+}  // namespace itree

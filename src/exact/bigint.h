@@ -1,0 +1,73 @@
+// Arbitrary-precision signed integers.
+//
+// The exact verification layer (exact_rewards.h) certifies the paper's
+// strict inequalities — Sybil gains, Jensen gaps, budget slack — without
+// floating-point tolerance arguments. Rewards are money: exactness is a
+// feature, not pedantry. Sign-magnitude representation over 2^32-base
+// limbs; schoolbook multiplication and restoring binary division, which
+// is ample for the certificate sizes this library produces (chains of a
+// few hundred nodes yield numbers of a few thousand bits).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace itree {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses an optional '-' followed by decimal digits.
+  static BigInt from_string(const std::string& text);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& other) const;
+  BigInt operator%(const BigInt& other) const;
+
+  bool operator==(const BigInt& other) const;
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const;
+  bool operator<=(const BigInt& other) const;
+  bool operator>(const BigInt& other) const { return other < *this; }
+  bool operator>=(const BigInt& other) const { return other <= *this; }
+
+  std::string to_string() const;
+
+  /// Best-effort conversion (may lose precision / overflow to inf).
+  double to_double() const;
+
+  /// Greatest common divisor of the magnitudes (non-negative).
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  std::size_t bit_count() const;
+
+ private:
+  static int compare_magnitude(const BigInt& a, const BigInt& b);
+  static BigInt add_magnitude(const BigInt& a, const BigInt& b);
+  /// Requires |a| >= |b|.
+  static BigInt sub_magnitude(const BigInt& a, const BigInt& b);
+  static void divmod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt& quotient, BigInt& remainder);
+  void trim();
+  bool bit(std::size_t index) const;
+  void set_bit(std::size_t index);
+  void shift_left_one();
+
+  // Least significant limb first; no trailing zero limbs; zero has no
+  // limbs and negative_ == false.
+  std::vector<std::uint32_t> limbs_;
+  bool negative_ = false;
+};
+
+}  // namespace itree

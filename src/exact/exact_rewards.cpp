@@ -1,0 +1,199 @@
+#include "exact/exact_rewards.h"
+
+#include "tree/subtree_sums.h"
+#include "util/check.h"
+
+namespace itree {
+
+std::vector<Rational> exact_contributions(const Tree& tree) {
+  std::vector<Rational> contributions;
+  contributions.reserve(tree.node_count());
+  for (NodeId u = 0; u < tree.node_count(); ++u) {
+    contributions.push_back(Rational::from_double(tree.contribution(u)));
+  }
+  return contributions;
+}
+
+Rational exact_total_contribution(const Tree& tree) {
+  Rational total;
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    total += Rational::from_double(tree.contribution(u));
+  }
+  return total;
+}
+
+std::vector<Rational> exact_geometric_sums(const Tree& tree,
+                                           const Rational& a) {
+  const std::vector<Rational> contributions = exact_contributions(tree);
+  std::vector<Rational> sums(tree.node_count());
+  for (NodeId u : tree.postorder()) {
+    Rational s = contributions[u];
+    for (NodeId child : tree.children(u)) {
+      s += a * sums[child];
+    }
+    sums[u] = s;
+  }
+  return sums;
+}
+
+ExactRewardVector exact_geometric_rewards(const Tree& tree, const Rational& a,
+                                          const Rational& b) {
+  std::vector<Rational> rewards = exact_geometric_sums(tree, a);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    rewards[u] = b * rewards[u];
+  }
+  rewards[kRoot] = Rational();
+  return rewards;
+}
+
+ExactRewardVector exact_preliminary_tdrm_rewards(const Tree& tree,
+                                                 const Rational& a,
+                                                 const Rational& b) {
+  const std::vector<Rational> contributions = exact_contributions(tree);
+  const std::vector<Rational> sums = exact_geometric_sums(tree, a);
+  ExactRewardVector rewards(tree.node_count());
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    rewards[u] = contributions[u] * b * sums[u];
+  }
+  return rewards;
+}
+
+ExactRewardVector exact_cdrm1_rewards(const Tree& tree, const Rational& Phi,
+                                      const Rational& theta) {
+  const std::vector<Rational> contributions = exact_contributions(tree);
+  // Exact subtree totals.
+  std::vector<Rational> totals(tree.node_count());
+  for (NodeId u : tree.postorder()) {
+    Rational total = contributions[u];
+    for (NodeId child : tree.children(u)) {
+      total += totals[child];
+    }
+    totals[u] = total;
+  }
+  ExactRewardVector rewards(tree.node_count());
+  const Rational one(1);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    if (contributions[u].is_zero()) {
+      continue;  // zero contribution earns zero (matches CdrmMechanism)
+    }
+    rewards[u] = (Phi - theta / (one + totals[u])) * contributions[u];
+  }
+  return rewards;
+}
+
+ExactRewardVector exact_lpachira_rewards(const Tree& tree,
+                                         const Rational& Phi,
+                                         const Rational& beta,
+                                         unsigned delta) {
+  const Rational total = exact_total_contribution(tree);
+  ExactRewardVector rewards(tree.node_count());
+  if (total.is_zero()) {
+    return rewards;
+  }
+  const std::vector<Rational> contributions = exact_contributions(tree);
+  std::vector<Rational> totals(tree.node_count());
+  for (NodeId u : tree.postorder()) {
+    Rational subtotal = contributions[u];
+    for (NodeId child : tree.children(u)) {
+      subtotal += totals[child];
+    }
+    totals[u] = subtotal;
+  }
+  const Rational one(1);
+  auto pi = [&](const Rational& x) {
+    return beta * x + (one - beta) * x.pow(delta + 1);
+  };
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    Rational share = pi(totals[u] / total);
+    for (NodeId child : tree.children(u)) {
+      share = share - pi(totals[child] / total);
+    }
+    rewards[u] = Phi * total * share;
+  }
+  return rewards;
+}
+
+namespace {
+
+/// ceil(c / mu) as a machine integer (certificate trees are small).
+std::size_t exact_chain_length(const Rational& c, const Rational& mu) {
+  if (c.is_zero()) {
+    return 1;
+  }
+  // ceil(p1*q2 / (q1*p2)) for c = p1/q1, mu = p2/q2.
+  const BigInt numerator = c.numerator() * mu.denominator();
+  const BigInt denominator = c.denominator() * mu.numerator();
+  BigInt quotient = numerator / denominator;
+  if (!(numerator % denominator).is_zero()) {
+    quotient = quotient + BigInt(1);
+  }
+  const double value = quotient.to_double();
+  ensure(value >= 1.0 && value < 1e9, "exact_chain_length: absurd chain");
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+ExactRewardVector exact_tdrm_rewards(const Tree& tree, const Rational& lambda,
+                                     const Rational& mu, const Rational& a,
+                                     const Rational& b, const Rational& phi) {
+  // Build the RCT with exact chain contributions. We mirror
+  // core/rct.h's layout: per referral node, a downward chain whose head
+  // carries C(u) - (N_u - 1)*mu.
+  Tree rct;
+  std::vector<std::vector<NodeId>> chains(tree.node_count());
+  std::vector<Rational> rct_contribution{Rational()};  // root image
+  chains[kRoot] = {kRoot};
+
+  for (NodeId u : tree.preorder()) {
+    if (u == kRoot) {
+      continue;
+    }
+    const Rational c = Rational::from_double(tree.contribution(u));
+    const std::size_t length = exact_chain_length(c, mu);
+    const Rational head =
+        c - mu * Rational(static_cast<std::int64_t>(length - 1));
+    ensure(!head.is_negative(), "exact_tdrm_rewards: negative chain head");
+    NodeId attach = chains[tree.parent(u)].back();
+    for (std::size_t i = 0; i < length; ++i) {
+      const Rational node_c = (i == 0) ? head : mu;
+      // The double value is only for the Tree container's bookkeeping;
+      // exact values are kept alongside.
+      attach = rct.add_node(attach, node_c.to_double());
+      chains[u].push_back(attach);
+      rct_contribution.push_back(node_c);
+    }
+  }
+
+  // Exact geometric sums over the RCT.
+  std::vector<Rational> sums(rct.node_count());
+  for (NodeId w : rct.postorder()) {
+    Rational s = rct_contribution[w];
+    for (NodeId child : rct.children(w)) {
+      s += a * sums[child];
+    }
+    sums[w] = s;
+  }
+
+  ExactRewardVector rewards(tree.node_count());
+  const Rational scale = lambda / mu * b;
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    Rational total;
+    for (NodeId w : chains[u]) {
+      total += scale * rct_contribution[w] * sums[w] +
+               phi * rct_contribution[w];
+    }
+    rewards[u] = total;
+  }
+  return rewards;
+}
+
+Rational exact_total(const ExactRewardVector& rewards) {
+  Rational total;
+  for (const Rational& r : rewards) {
+    total += r;
+  }
+  return total;
+}
+
+}  // namespace itree

@@ -1,0 +1,65 @@
+// Exact (rational) reward computation for the rational-representable
+// mechanisms, plus certificate helpers.
+//
+// Supported exactly:
+//   * (a,b)-Geometric (Algorithm 1) — a, b rational;
+//   * preliminary TDRM (Algorithm 3);
+//   * CDRM-1 (Algorithm 5-i) — Phi, theta rational;
+//   * L-Pachira (Algorithm 2) with integer delta (pi is a polynomial).
+// Tree contributions are converted from their doubles exactly (every
+// finite double is dyadic). These let tests certify, with no epsilon:
+//   * Theorem 1's chain-split gain is strictly positive;
+//   * Pachira's Jensen gap is strictly positive;
+//   * budget constraints hold as exact inequalities;
+//   * the double-precision implementations agree to ~1e-12.
+#pragma once
+
+#include <vector>
+
+#include "exact/rational.h"
+#include "tree/tree.h"
+
+namespace itree {
+
+using ExactRewardVector = std::vector<Rational>;
+
+/// Exact contributions of every node.
+std::vector<Rational> exact_contributions(const Tree& tree);
+
+/// Exact C(T).
+Rational exact_total_contribution(const Tree& tree);
+
+/// Exact S_a(u) = sum_{v in T_u} a^{dep_u(v)} C(v) for all u.
+std::vector<Rational> exact_geometric_sums(const Tree& tree,
+                                           const Rational& a);
+
+/// Algorithm 1, exactly. Root entry is 0.
+ExactRewardVector exact_geometric_rewards(const Tree& tree, const Rational& a,
+                                          const Rational& b);
+
+/// Algorithm 3 (preliminary TDRM), exactly.
+ExactRewardVector exact_preliminary_tdrm_rewards(const Tree& tree,
+                                                 const Rational& a,
+                                                 const Rational& b);
+
+/// Algorithm 5-i (CDRM-1), exactly: R = (Phi - theta/(1+x+y)) * x.
+ExactRewardVector exact_cdrm1_rewards(const Tree& tree, const Rational& Phi,
+                                      const Rational& theta);
+
+/// Algorithm 2 (L-Pachira) with integer delta >= 1, exactly.
+ExactRewardVector exact_lpachira_rewards(const Tree& tree,
+                                         const Rational& Phi,
+                                         const Rational& beta,
+                                         unsigned delta);
+
+/// Algorithm 4 (TDRM), exactly: builds the RCT with rational chain
+/// arithmetic (N_u = ceil(C(u)/mu) via BigInt division) and evaluates
+/// R'(w) = (lambda/mu)*C'(w)*sum a^dep b C'(x) + phi*C'(w).
+ExactRewardVector exact_tdrm_rewards(const Tree& tree, const Rational& lambda,
+                                     const Rational& mu, const Rational& a,
+                                     const Rational& b, const Rational& phi);
+
+/// Exact total reward (root excluded by construction).
+Rational exact_total(const ExactRewardVector& rewards);
+
+}  // namespace itree

@@ -1,0 +1,132 @@
+#include "exact/rational.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace itree {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  require(!denominator_.is_zero(), "Rational: zero denominator");
+  normalize();
+}
+
+Rational Rational::fraction(std::int64_t numerator,
+                            std::int64_t denominator) {
+  return Rational(BigInt(numerator), BigInt(denominator));
+}
+
+Rational Rational::from_double(double value) {
+  require(std::isfinite(value), "Rational::from_double: non-finite value");
+  if (value == 0.0) {
+    return Rational();
+  }
+  int exponent = 0;
+  // mantissa in [0.5, 1); value = mantissa * 2^exponent.
+  double mantissa = std::frexp(value, &exponent);
+  // 53 doublings make the mantissa an exact integer.
+  for (int i = 0; i < 53; ++i) {
+    mantissa *= 2.0;
+  }
+  exponent -= 53;
+  const auto integral = static_cast<std::int64_t>(mantissa);
+  ensure(static_cast<double>(integral) == mantissa,
+          "Rational::from_double: mantissa extraction failed");
+  BigInt numerator(integral);
+  BigInt denominator(1);
+  const BigInt two(2);
+  for (int i = 0; i < exponent; ++i) {
+    numerator = numerator * two;
+  }
+  for (int i = 0; i < -exponent; ++i) {
+    denominator = denominator * two;
+  }
+  return Rational(std::move(numerator), std::move(denominator));
+}
+
+void Rational::normalize() {
+  if (denominator_.is_negative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  const BigInt divisor = BigInt::gcd(numerator_, denominator_);
+  numerator_ = numerator_ / divisor;
+  denominator_ = denominator_ / divisor;
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(numerator_ * other.denominator_ +
+                      other.numerator_ * denominator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return *this + (-other);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(numerator_ * other.numerator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  require(!other.is_zero(), "Rational: division by zero");
+  return Rational(numerator_ * other.denominator_,
+                  denominator_ * other.numerator_);
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  *this = *this + other;
+  return *this;
+}
+
+bool Rational::operator==(const Rational& other) const {
+  return numerator_ == other.numerator_ &&
+         denominator_ == other.denominator_;
+}
+
+bool Rational::operator<(const Rational& other) const {
+  return numerator_ * other.denominator_ < other.numerator_ * denominator_;
+}
+
+bool Rational::operator<=(const Rational& other) const {
+  return *this < other || *this == other;
+}
+
+Rational Rational::pow(unsigned exponent) const {
+  Rational result(1);
+  Rational base = *this;
+  while (exponent > 0) {
+    if (exponent & 1u) {
+      result = result * base;
+    }
+    base = base * base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+std::string Rational::to_string() const {
+  if (denominator_ == BigInt(1)) {
+    return numerator_.to_string();
+  }
+  return numerator_.to_string() + "/" + denominator_.to_string();
+}
+
+double Rational::to_double() const {
+  // Good enough for display: both conversions are best-effort.
+  return numerator_.to_double() / denominator_.to_double();
+}
+
+}  // namespace itree

@@ -1,0 +1,62 @@
+// Exact rational arithmetic over BigInt.
+//
+// Always stored in lowest terms with a positive denominator. Supports
+// exact conversion from IEEE doubles (every finite double is a dyadic
+// rational), which is how tree contributions and mechanism parameters
+// enter the exact layer without rounding.
+#pragma once
+
+#include <string>
+
+#include "exact/bigint.h"
+
+namespace itree {
+
+class Rational {
+ public:
+  Rational() : numerator_(0), denominator_(1) {}
+  Rational(std::int64_t value) : numerator_(value), denominator_(1) {}
+  // NOLINTPREVLINE(google-explicit-constructor) — integer literals are
+  // rationals.
+  Rational(BigInt numerator, BigInt denominator);
+
+  /// p/q from machine integers.
+  static Rational fraction(std::int64_t numerator, std::int64_t denominator);
+
+  /// Exact value of a finite double (dyadic expansion, no rounding).
+  static Rational from_double(double value);
+
+  const BigInt& numerator() const { return numerator_; }
+  const BigInt& denominator() const { return denominator_; }
+
+  bool is_zero() const { return numerator_.is_zero(); }
+  bool is_negative() const { return numerator_.is_negative(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  Rational operator/(const Rational& other) const;
+  Rational& operator+=(const Rational& other);
+
+  bool operator==(const Rational& other) const;
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const;
+  bool operator<=(const Rational& other) const;
+  bool operator>(const Rational& other) const { return other < *this; }
+  bool operator>=(const Rational& other) const { return other <= *this; }
+
+  /// Integer power with exponent >= 0.
+  Rational pow(unsigned exponent) const;
+
+  std::string to_string() const;  ///< "p/q" (or "p" when q == 1)
+  double to_double() const;
+
+ private:
+  void normalize();
+
+  BigInt numerator_;
+  BigInt denominator_;  // always positive
+};
+
+}  // namespace itree

@@ -1,0 +1,58 @@
+#include "lottery/drawing.h"
+
+#include "util/check.h"
+
+namespace itree {
+
+NodeId draw_winner(const std::vector<double>& shares, Rng& rng) {
+  double total = 0.0;
+  for (double share : shares) {
+    require(share >= -1e-12, "draw_winner: negative share");
+    total += share;
+  }
+  require(total <= 1.0 + 1e-9, "draw_winner: shares exceed probability 1");
+  double target = rng.uniform01();
+  for (std::size_t u = 0; u < shares.size(); ++u) {
+    target -= shares[u];
+    if (target < 0.0) {
+      return static_cast<NodeId>(u);
+    }
+  }
+  return kInvalidNode;  // organizer keeps the prize
+}
+
+DrawingStats run_drawings(const Lottree& lottree, const Tree& tree,
+                          std::size_t count, Rng& rng) {
+  const std::vector<double> shares = lottree.shares(tree);
+  DrawingStats stats;
+  stats.drawings = count;
+  stats.wins.assign(tree.node_count(), 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId winner = draw_winner(shares, rng);
+    if (winner == kInvalidNode) {
+      ++stats.house_wins;
+    } else {
+      ++stats.wins[winner];
+    }
+  }
+  stats.frequencies.assign(tree.node_count(), 0.0);
+  if (count > 0) {
+    for (NodeId u = 0; u < tree.node_count(); ++u) {
+      stats.frequencies[u] =
+          static_cast<double>(stats.wins[u]) / static_cast<double>(count);
+    }
+  }
+  return stats;
+}
+
+std::vector<double> expected_prizes(const Lottree& lottree, const Tree& tree,
+                                    double prize) {
+  require(prize >= 0.0, "expected_prizes: prize must be >= 0");
+  std::vector<double> prizes = lottree.shares(tree);
+  for (double& p : prizes) {
+    p *= prize;
+  }
+  return prizes;
+}
+
+}  // namespace itree

@@ -1,0 +1,40 @@
+// Lottery drawings: realizing lottree shares as actual winners.
+//
+// Lottery Trees (Douceur & Moscibroda) pay a fixed prize to a randomly
+// drawn winner; a node's share (lottree.h) is its win probability. This
+// module samples winners and estimates realized payouts, letting the
+// L-transform mechanisms be compared against their lottery ancestors in
+// expectation AND in realization (variance matters to participants).
+#pragma once
+
+#include <vector>
+
+#include "lottery/lottree.h"
+#include "util/rng.h"
+
+namespace itree {
+
+/// Draws one winner according to `shares`. The probability mass
+/// 1 - sum(shares) (the organizer's retained share) is returned as
+/// kInvalidNode ("house wins"). Requires shares to be non-negative and
+/// sum to at most 1 (+ tolerance).
+NodeId draw_winner(const std::vector<double>& shares, Rng& rng);
+
+struct DrawingStats {
+  std::size_t drawings = 0;
+  std::size_t house_wins = 0;
+  /// Realized wins per node id.
+  std::vector<std::size_t> wins;
+  /// Empirical win frequency per node id.
+  std::vector<double> frequencies;
+};
+
+/// Runs `count` independent drawings for the lottree on `tree`.
+DrawingStats run_drawings(const Lottree& lottree, const Tree& tree,
+                          std::size_t count, Rng& rng);
+
+/// Expected prize per participant for a fixed prize pool: share * prize.
+std::vector<double> expected_prizes(const Lottree& lottree, const Tree& tree,
+                                    double prize);
+
+}  // namespace itree

@@ -1,0 +1,156 @@
+#include "lottery/lottree_properties.h"
+
+#include "tree/generators.h"
+#include "util/almost_equal.h"
+#include "util/strings.h"
+
+namespace itree {
+
+namespace {
+
+std::vector<Tree> check_trees(const LottreeCheckOptions& options) {
+  std::vector<Tree> trees;
+  trees.push_back(make_chain(5, 1.0));
+  trees.push_back(make_star(6, 2.0, 1.0));
+  trees.push_back(make_kary(3, 2, 1.5));
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < options.random_trees; ++i) {
+    trees.push_back(random_recursive_tree(
+        options.tree_size, uniform_contribution(0.1, 4.0), rng));
+  }
+  return trees;
+}
+
+}  // namespace
+
+LottreeCheckResult check_zero_value(const Lottree& lottree,
+                                    const LottreeCheckOptions& options) {
+  LottreeCheckResult result;
+  for (Tree tree : check_trees(options)) {
+    // A freeloader leaf: no contribution, no descendants.
+    const NodeId freeloader = tree.add_node(1, 0.0);
+    const std::vector<double> shares = lottree.shares(tree);
+    ++result.trials;
+    if (std::abs(shares[freeloader]) > options.tolerance) {
+      result.satisfied = false;
+      result.evidence = "freeloader leaf received share " +
+                        compact_number(shares[freeloader], 9);
+      return result;
+    }
+  }
+  result.evidence = "freeloader leaves always received share 0";
+  return result;
+}
+
+LottreeCheckResult check_contribution_monotonicity(
+    const Lottree& lottree, const LottreeCheckOptions& options) {
+  LottreeCheckResult result;
+  Rng rng(options.seed);
+  for (Tree tree : check_trees(options)) {
+    const NodeId u =
+        static_cast<NodeId>(1 + rng.index(tree.participant_count()));
+    const double before = lottree.shares(tree)[u];
+    tree.set_contribution(u, tree.contribution(u) + 1.3);
+    const double after = lottree.shares(tree)[u];
+    ++result.trials;
+    if (!(after > before)) {
+      result.satisfied = false;
+      result.evidence = "share of node " + std::to_string(u) +
+                        " did not grow with its contribution (" +
+                        compact_number(before, 6) + " -> " +
+                        compact_number(after, 6) + ")";
+      return result;
+    }
+  }
+  result.evidence = "shares grew with own contribution in every trial";
+  return result;
+}
+
+LottreeCheckResult check_solicitation_monotonicity(
+    const Lottree& lottree, const LottreeCheckOptions& options) {
+  LottreeCheckResult result;
+  Rng rng(options.seed);
+  for (Tree tree : check_trees(options)) {
+    const NodeId u =
+        static_cast<NodeId>(1 + rng.index(tree.participant_count()));
+    const double before = lottree.shares(tree)[u];
+    tree.add_node(u, 1.0);
+    const double after = lottree.shares(tree)[u];
+    ++result.trials;
+    if (!(after > before)) {
+      result.satisfied = false;
+      result.evidence = "share of node " + std::to_string(u) +
+                        " did not grow with a new recruit (" +
+                        compact_number(before, 6) + " -> " +
+                        compact_number(after, 6) + ")";
+      return result;
+    }
+  }
+  result.evidence = "shares grew with every new recruit";
+  return result;
+}
+
+LottreeCheckResult check_value_proportionality(
+    const Lottree& lottree, double beta,
+    const LottreeCheckOptions& options) {
+  LottreeCheckResult result;
+  for (const Tree& tree : check_trees(options)) {
+    const std::vector<double> shares = lottree.shares(tree);
+    const double total = tree.total_contribution();
+    for (NodeId u = 1; u < tree.node_count(); ++u) {
+      ++result.trials;
+      const double floor = beta * tree.contribution(u) / total;
+      if (definitely_greater(floor, shares[u], options.tolerance)) {
+        result.satisfied = false;
+        result.evidence = "node " + std::to_string(u) + " share " +
+                          compact_number(shares[u], 6) +
+                          " below beta*C/C(T) = " + compact_number(floor, 6);
+        return result;
+      }
+    }
+  }
+  result.evidence = "every share met the beta*C(u)/C(T) floor";
+  return result;
+}
+
+LottreeCheckResult check_share_sybil_resistance(
+    const Lottree& lottree, const LottreeCheckOptions& options) {
+  LottreeCheckResult result;
+  for (const double total : {1.0, 2.0, 5.0}) {
+    // Single node vs chain split vs sibling split under a common parent.
+    Tree single;
+    const NodeId parent_s = single.add_independent(1.0);
+    const NodeId u = single.add_node(parent_s, total);
+    const double merged = lottree.shares(single)[u];
+
+    Tree chain;
+    const NodeId parent_c = chain.add_independent(1.0);
+    const NodeId c1 = chain.add_node(parent_c, total / 2);
+    const NodeId c2 = chain.add_node(c1, total / 2);
+    const std::vector<double> chain_shares = lottree.shares(chain);
+
+    Tree star;
+    const NodeId parent_t = star.add_independent(1.0);
+    const NodeId s1 = star.add_node(parent_t, total / 2);
+    const NodeId s2 = star.add_node(parent_t, total / 2);
+    const std::vector<double> star_shares = lottree.shares(star);
+
+    for (const double split_total :
+         {chain_shares[c1] + chain_shares[c2],
+          star_shares[s1] + star_shares[s2]}) {
+      ++result.trials;
+      if (definitely_greater(split_total, merged, options.tolerance)) {
+        result.satisfied = false;
+        result.evidence = "splitting C=" + compact_number(total) +
+                          " raised the total share from " +
+                          compact_number(merged, 6) + " to " +
+                          compact_number(split_total, 6);
+        return result;
+      }
+    }
+  }
+  result.evidence = "no split beat the merged share";
+  return result;
+}
+
+}  // namespace itree

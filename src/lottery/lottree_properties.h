@@ -1,0 +1,55 @@
+// Property checkers for fixed-prize lottrees (Douceur & Moscibroda's
+// axiomatic framework, the ancestor of this paper's Sec. 3).
+//
+// These are the *share-level* analogues of the Incentive Tree
+// properties, checked directly on Lottree::shares():
+//   * zero value          — no contribution and no descendants => share 0
+//   * contribution mono.  — raising C(u) raises share(u)
+//   * solicitation mono.  — a new descendant raises share(u)
+//   * beta-value-proport. — share(u) >= beta * C(u)/C(T)
+//   * sybil resistance    — equal-cost splits never raise the total share
+// They document which guarantees the L-transform inherits from its
+// lottery ancestor and which are genuinely new in the linear-budget
+// model.
+#pragma once
+
+#include <string>
+
+#include "lottery/lottree.h"
+#include "util/rng.h"
+
+namespace itree {
+
+struct LottreeCheckResult {
+  bool satisfied = true;
+  std::string evidence;
+  std::size_t trials = 0;
+};
+
+struct LottreeCheckOptions {
+  std::uint64_t seed = 20130722;
+  std::size_t random_trees = 4;
+  std::size_t tree_size = 24;
+  double tolerance = 1e-9;
+};
+
+LottreeCheckResult check_zero_value(const Lottree& lottree,
+                                    const LottreeCheckOptions& options = {});
+
+LottreeCheckResult check_contribution_monotonicity(
+    const Lottree& lottree, const LottreeCheckOptions& options = {});
+
+LottreeCheckResult check_solicitation_monotonicity(
+    const Lottree& lottree, const LottreeCheckOptions& options = {});
+
+/// share(u) >= beta * C(u)/C(T) for every participant.
+LottreeCheckResult check_value_proportionality(
+    const Lottree& lottree, double beta,
+    const LottreeCheckOptions& options = {});
+
+/// No equal-cost split (chain or siblings) strictly raises the total
+/// share of the split identities.
+LottreeCheckResult check_share_sybil_resistance(
+    const Lottree& lottree, const LottreeCheckOptions& options = {});
+
+}  // namespace itree

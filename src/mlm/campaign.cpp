@@ -1,0 +1,57 @@
+#include "mlm/campaign.h"
+
+#include "util/check.h"
+
+namespace itree {
+
+Campaign::Campaign(const Mechanism& mechanism) : mechanism_(&mechanism) {}
+
+NodeId Campaign::join(NodeId referrer, double initial_purchase) {
+  require(initial_purchase >= 0.0, "Campaign::join: purchase must be >= 0");
+  dirty_ = true;
+  return tree_.add_node(referrer, initial_purchase);
+}
+
+NodeId Campaign::join_organic(double initial_purchase) {
+  return join(kRoot, initial_purchase);
+}
+
+void Campaign::purchase(NodeId buyer, double amount) {
+  require(buyer != kRoot && tree_.contains(buyer),
+          "Campaign::purchase: unknown buyer");
+  require(amount > 0.0, "Campaign::purchase: amount must be > 0");
+  dirty_ = true;
+  tree_.set_contribution(buyer, tree_.contribution(buyer) + amount);
+}
+
+const RewardVector& Campaign::rewards() const {
+  if (dirty_) {
+    cached_rewards_ = mechanism_->compute(tree_);
+    dirty_ = false;
+  }
+  return cached_rewards_;
+}
+
+Campaign::BuyerAccount Campaign::account(NodeId buyer) const {
+  require(buyer != kRoot && tree_.contains(buyer),
+          "Campaign::account: unknown buyer");
+  BuyerAccount account;
+  account.spend = tree_.contribution(buyer);
+  account.reward = rewards()[buyer];
+  account.payment = account.spend - account.reward;
+  account.profit = account.reward - account.spend;
+  return account;
+}
+
+Campaign::SellerLedger Campaign::ledger() const {
+  SellerLedger ledger;
+  ledger.revenue = tree_.total_contribution();
+  ledger.payout = total_reward(rewards());
+  ledger.margin = ledger.revenue - ledger.payout;
+  ledger.payout_ratio =
+      (ledger.revenue > 0.0) ? ledger.payout / ledger.revenue : 0.0;
+  ledger.budget_headroom = mechanism_->Phi() * ledger.revenue - ledger.payout;
+  return ledger;
+}
+
+}  // namespace itree

@@ -1,0 +1,63 @@
+// Generalized multi-level marketing view of the model (Sec. 2).
+//
+// Participants are buyers; a buyer's contribution C(u) is the total cost
+// of goods purchased. The seller returns rewards R(u), so a buyer's
+// effective payment is Pay(u) = C(u) - R(u) and profit is
+// P(u) = R(u) - C(u). A Campaign wraps a referral tree plus a mechanism
+// and keeps seller-side accounting: revenue (= C(T)), payout (= R(T)),
+// margin, and the payout ratio against the budget Phi.
+#pragma once
+
+#include <string>
+
+#include "core/mechanism.h"
+#include "tree/tree.h"
+
+namespace itree {
+
+class Campaign {
+ public:
+  /// The mechanism must outlive the campaign.
+  explicit Campaign(const Mechanism& mechanism);
+
+  /// A buyer joins through a referral by `referrer` and makes an initial
+  /// purchase. Returns the buyer's id.
+  NodeId join(NodeId referrer, double initial_purchase);
+
+  /// A buyer joins without any referral (walk-in).
+  NodeId join_organic(double initial_purchase);
+
+  /// An existing buyer purchases additional goods for `amount`.
+  void purchase(NodeId buyer, double amount);
+
+  struct BuyerAccount {
+    double spend = 0.0;    ///< C(u)
+    double reward = 0.0;   ///< R(u)
+    double payment = 0.0;  ///< Pay(u) = C(u) - R(u)
+    double profit = 0.0;   ///< P(u) = R(u) - C(u)
+  };
+  BuyerAccount account(NodeId buyer) const;
+
+  struct SellerLedger {
+    double revenue = 0.0;       ///< C(T)
+    double payout = 0.0;        ///< R(T)
+    double margin = 0.0;        ///< revenue - payout
+    double payout_ratio = 0.0;  ///< payout / revenue (0 when no revenue)
+    double budget_headroom = 0.0;  ///< Phi*C(T) - R(T) (>= 0 iff in budget)
+  };
+  SellerLedger ledger() const;
+
+  const Tree& tree() const { return tree_; }
+  const Mechanism& mechanism() const { return *mechanism_; }
+  std::size_t buyer_count() const { return tree_.participant_count(); }
+
+ private:
+  const RewardVector& rewards() const;
+
+  const Mechanism* mechanism_;
+  Tree tree_;
+  mutable RewardVector cached_rewards_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace itree

@@ -1,0 +1,58 @@
+#include "mlm/settlement.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace itree {
+
+SettlementEngine::SettlementEngine(const Mechanism& mechanism,
+                                   PayoutPolicy policy, double holdback)
+    : mechanism_(&mechanism), policy_(policy), holdback_(holdback) {
+  require(holdback >= 0.0 && holdback < 1.0,
+          "SettlementEngine: holdback must be in [0, 1)");
+}
+
+SettlementEngine::Statement SettlementEngine::settle_internal(
+    const Tree& tree, bool final_cycle) {
+  require(tree.node_count() >= paid_.size(),
+          "SettlementEngine: the tree must only grow between settlements");
+  paid_.resize(tree.node_count(), 0.0);
+
+  const RewardVector rewards = mechanism_->compute(tree);
+  Statement statement;
+  statement.cycle = ++cycle_;
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    const double accrued = rewards[u];
+    double target = accrued;
+    if (policy_ == PayoutPolicy::kHoldback && !final_cycle) {
+      target = (1.0 - holdback_) * accrued;
+    }
+    const double delta = std::max(0.0, target - paid_[u]);
+    paid_[u] += delta;
+    statement.cycle_paid += delta;
+    if (paid_[u] > accrued) {
+      statement.overpayment += paid_[u] - accrued;
+      ++statement.overpaid_participants;
+    }
+    statement.current_rewards += accrued;
+  }
+  total_paid_ += statement.cycle_paid;
+  statement.total_paid = total_paid_;
+  return statement;
+}
+
+SettlementEngine::Statement SettlementEngine::settle(const Tree& tree) {
+  return settle_internal(tree, /*final_cycle=*/false);
+}
+
+SettlementEngine::Statement SettlementEngine::finalize(const Tree& tree) {
+  return settle_internal(tree, /*final_cycle=*/true);
+}
+
+double SettlementEngine::paid(NodeId u) const {
+  require(u < paid_.size(), "SettlementEngine::paid: unknown participant");
+  return paid_[u];
+}
+
+}  // namespace itree

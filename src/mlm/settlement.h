@@ -1,0 +1,73 @@
+// Periodic settlement of rewards — the operational face of SL.
+//
+// A live system pays out periodically, but rewards are recomputed on a
+// growing tree. Under a Subtree-Local mechanism a participant's reward
+// can only grow when the system grows by JOINS, so paying "high-water"
+// deltas is safe in join-only deployments. Two things break that:
+// non-SL mechanisms (L-Pachira's C(T) dependence), and — a measured
+// finding of this library — TDRM under repeat PURCHASES, where a
+// descendant's contribution crossing a mu boundary re-chains its RCT
+// and shrinks ancestors' rewards (see properties/monotonicity.h). In
+// both cases money already paid may exceed the current accrual. This
+// engine implements two payout policies and tracks exactly that risk:
+//   * kHighWater — each settlement pays max(0, R(u) - paid(u));
+//   * kHoldback(h) — pays only (1-h) of the high-water target, keeping a
+//     buffer against reward drops; finalize() releases the remainder.
+#pragma once
+
+#include <vector>
+
+#include "core/mechanism.h"
+#include "tree/tree.h"
+
+namespace itree {
+
+enum class PayoutPolicy {
+  kHighWater,
+  kHoldback,
+};
+
+class SettlementEngine {
+ public:
+  /// The mechanism must outlive the engine. `holdback` in [0, 1) is the
+  /// fraction withheld under kHoldback (ignored for kHighWater).
+  SettlementEngine(const Mechanism& mechanism, PayoutPolicy policy,
+                   double holdback = 0.2);
+
+  struct Statement {
+    std::size_t cycle = 0;
+    double cycle_paid = 0.0;      ///< paid out this settlement
+    double total_paid = 0.0;      ///< cumulative payout
+    double current_rewards = 0.0; ///< R(T) at this settlement
+    /// Sum over participants of max(0, paid(u) - R(u)): money already
+    /// out the door that the current rewards no longer justify.
+    double overpayment = 0.0;
+    std::size_t overpaid_participants = 0;
+  };
+
+  /// Settles against the current tree state. The tree must only have
+  /// grown since the last settlement (ids are stable).
+  Statement settle(const Tree& tree);
+
+  /// Final settlement: pays all remaining accrued rewards regardless of
+  /// policy (campaign end).
+  Statement finalize(const Tree& tree);
+
+  /// Cumulative amount paid to one participant.
+  double paid(NodeId u) const;
+
+  double total_paid() const { return total_paid_; }
+  std::size_t cycles() const { return cycle_; }
+
+ private:
+  Statement settle_internal(const Tree& tree, bool final_cycle);
+
+  const Mechanism* mechanism_;
+  PayoutPolicy policy_;
+  double holdback_;
+  std::vector<double> paid_;
+  double total_paid_ = 0.0;
+  std::size_t cycle_ = 0;
+};
+
+}  // namespace itree

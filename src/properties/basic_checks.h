@@ -1,0 +1,49 @@
+// Checkers for the basic properties of Sec. 3.1 plus the budget
+// constraint: Budget, CCI, CSI, phi-RPC, SL and USB.
+//
+// Each checker evaluates its property's definition directly on every tree
+// of a corpus (sampling nodes on large trees), returning a
+// PropertyReport with a concrete counterexample on violation.
+#pragma once
+
+#include <vector>
+
+#include "core/mechanism.h"
+#include "properties/corpus.h"
+#include "properties/report.h"
+
+namespace itree {
+
+/// R(T) <= Phi*C(T) and R(u) >= 0 on every corpus tree.
+PropertyReport check_budget(const Mechanism& mechanism,
+                            const std::vector<CorpusTree>& corpus,
+                            const CheckOptions& options = {});
+
+/// CCI: raising C(u) (several deltas) strictly raises R(u).
+PropertyReport check_cci(const Mechanism& mechanism,
+                         const std::vector<CorpusTree>& corpus,
+                         const CheckOptions& options = {});
+
+/// CSI: a new (positively contributing) participant anywhere in T_u
+/// strictly raises R(u).
+PropertyReport check_csi(const Mechanism& mechanism,
+                         const std::vector<CorpusTree>& corpus,
+                         const CheckOptions& options = {});
+
+/// phi-RPC: R(u) >= phi * C(u) for every participant.
+PropertyReport check_rpc(const Mechanism& mechanism,
+                         const std::vector<CorpusTree>& corpus,
+                         const CheckOptions& options = {});
+
+/// SL: R(u) is invariant under contribution changes and joins strictly
+/// outside T_u.
+PropertyReport check_sl(const Mechanism& mechanism,
+                        const std::vector<CorpusTree>& corpus,
+                        const CheckOptions& options = {});
+
+/// USB: a joiner's reward does not depend on where in the tree it joins.
+PropertyReport check_usb(const Mechanism& mechanism,
+                         const std::vector<CorpusTree>& corpus,
+                         const CheckOptions& options = {});
+
+}  // namespace itree

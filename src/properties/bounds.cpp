@@ -1,0 +1,54 @@
+#include "properties/bounds.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace itree {
+
+double geometric_chain_attack_gain_limit(const GeometricMechanism& mechanism,
+                                         double contribution) {
+  const double a = mechanism.a();
+  return mechanism.b() * contribution * a / (1.0 - a);
+}
+
+double geometric_chain_attack_gain(const GeometricMechanism& mechanism,
+                                   double contribution, std::size_t k) {
+  require(k >= 1, "geometric_chain_attack_gain: k must be >= 1");
+  const double a = mechanism.a();
+  const double b = mechanism.b();
+  const double c = contribution / static_cast<double>(k);
+  // Chain of k identities with c each: node i (1 = top) has k - i
+  // identities below, so S(u_i) = c * (1 - a^{k-i+1})/(1-a); summing and
+  // subtracting the honest reward b*C gives the gain.
+  double total = 0.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    total += b * c *
+             (1.0 - std::pow(a, static_cast<double>(k - i + 1))) / (1.0 - a);
+  }
+  return total - b * contribution;
+}
+
+double lpachira_single_child_cap(const LPachiraMechanism& mechanism,
+                                 double contribution) {
+  const double beta = mechanism.beta();
+  const double delta = mechanism.delta();
+  const double pi_prime_at_one = beta + (1.0 - beta) * (1.0 + delta);
+  return mechanism.Phi() * contribution * pi_prime_at_one;
+}
+
+double tdrm_quantum_fill_gain(const Tdrm& mechanism, std::size_t k) {
+  const TdrmParams& p = mechanism.params();
+  // P(mu) - P(mu/2) with k children of contribution mu each, closed
+  // form from R(C) = (lambda/mu)*C*b*(C + a*k*mu) + phi*C for C <= mu:
+  //   gain = lambda*b*mu*(3/4 + a*k/2) + (phi - 1)*mu/2.
+  return p.lambda * p.b * p.mu *
+             (0.75 + p.a * static_cast<double>(k) / 2.0) +
+         (mechanism.phi() - 1.0) * p.mu / 2.0;
+}
+
+double cdrm_reward_cap(const Mechanism& mechanism, double contribution) {
+  return mechanism.Phi() * contribution;
+}
+
+}  // namespace itree

@@ -1,0 +1,41 @@
+// Closed-form bounds derived from the paper's formulas.
+//
+// Each function returns an analytically derived quantity that the
+// measured benches should approach; tests cross-validate measurement
+// against analysis, catching implementation drift in either.
+#pragma once
+
+#include "core/geometric.h"
+#include "core/l_transform.h"
+#include "core/tdrm.h"
+
+namespace itree {
+
+/// Supremum of the chain-split Sybil gain against Geometric(a, b) for an
+/// attacker of total contribution C (k -> infinity):
+///   lim gain = b*C*a/(1-a) - (the k=1 self term is b*C, the k-chain
+///   total approaches b*C/(1-a)).
+double geometric_chain_attack_gain_limit(const GeometricMechanism& mechanism,
+                                         double contribution);
+
+/// Chain-split gain at a specific k (balanced split):
+///   gain(k) = b*(C/k)*sum_{i=1}^{k-1}(k-i)*a^i ... computed in closed
+///   loop form (exact for the balanced chain).
+double geometric_chain_attack_gain(const GeometricMechanism& mechanism,
+                                   double contribution, std::size_t k);
+
+/// L-Pachira's reward cap with k = 1 attached tree (EXPERIMENTS.md E3):
+///   R(u) < Phi * C(u) * pi'(1),  pi'(1) = beta + (1-beta)*(1+delta).
+double lpachira_single_child_cap(const LPachiraMechanism& mechanism,
+                                 double contribution);
+
+/// TDRM's Sec. 5 quantum-fill UGSA gain for the counterexample family
+/// (C: mu/2 -> mu with k children of contribution mu), exact:
+///   gain = lambda*b*mu*(1 + a*k)/2 + (phi*mu - mu)/2 ... derived from
+///   the closed forms of both profits.
+double tdrm_quantum_fill_gain(const Tdrm& mechanism, std::size_t k);
+
+/// CDRM's universal reward cap: Phi * C(u) (never attained).
+double cdrm_reward_cap(const Mechanism& mechanism, double contribution);
+
+}  // namespace itree

@@ -1,0 +1,89 @@
+#include "properties/cdrm_validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace itree {
+
+namespace {
+
+std::string at(double x, double y) {
+  return " at (x=" + compact_number(x) + ", y=" + compact_number(y) + ")";
+}
+
+}  // namespace
+
+CdrmValidation validate_cdrm_function(const CdrmFunction& function,
+                                      const BudgetParams& budget,
+                                      const CdrmValidationOptions& options) {
+  CdrmValidation result;
+  const double h = options.derivative_step;
+  const double tol = options.tolerance;
+
+  for (double x : options.x_grid) {
+    for (double y : options.y_grid) {
+      ++result.checks;
+      const double r = function(x, y);
+
+      // (iii) phi*x < R < Phi*x.
+      if (r <= budget.phi * x - tol || r >= budget.Phi * x + tol) {
+        result.ok = false;
+        result.failure = "(iii) R=" + compact_number(r) +
+                         " outside (phi*x, Phi*x)=(" +
+                         compact_number(budget.phi * x) + ", " +
+                         compact_number(budget.Phi * x) + ")" + at(x, y);
+        return result;
+      }
+
+      // (i) 0 < dR/dx < 1 (central difference; step scaled to x).
+      const double hx = h * std::max(1.0, x);
+      const double ddx = (function(x + hx, y) - function(x - hx, y)) /
+                         (2.0 * hx);
+      if (ddx <= 0.0 || ddx >= 1.0) {
+        result.ok = false;
+        result.failure =
+            "(i) dR/dx=" + compact_number(ddx, 8) + " not in (0, 1)" + at(x, y);
+        return result;
+      }
+
+      // (ii) 0 < dR/dy (forward difference at y = 0, central otherwise).
+      const double hy = h * std::max(1.0, y);
+      const double ddy =
+          (y >= hy)
+              ? (function(x, y + hy) - function(x, y - hy)) / (2.0 * hy)
+              : (function(x, y + hy) - function(x, y)) / hy;
+      if (ddy <= 0.0) {
+        result.ok = false;
+        result.failure =
+            "(ii) dR/dy=" + compact_number(ddy, 10) + " not positive" +
+            at(x, y);
+        return result;
+      }
+
+      // (iv) superadditivity under stacked splits.
+      for (double fraction : options.split_fractions) {
+        ++result.checks;
+        const double x1 = fraction * x;
+        const double x2 = x - x1;
+        if (x1 <= 0.0 || x2 <= 0.0) {
+          continue;
+        }
+        const double merged = function(x, y);
+        const double split = function(x1, x2 + y) + function(x2, y);
+        if (split > merged + tol * std::max(1.0, std::abs(merged))) {
+          result.ok = false;
+          result.failure = "(iv) R(x',x''+y)+R(x'',y)=" +
+                           compact_number(split) + " exceeds R(x,y)=" +
+                           compact_number(merged) + " for x'=" +
+                           compact_number(x1) + at(x, y);
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace itree

@@ -1,0 +1,43 @@
+// Numeric validator for "successfully contribution-deterministic"
+// functions (Sec. 6, properties (i)-(iv)).
+//
+// Given a candidate R(x, y), the validator sweeps a log-spaced grid of
+// (x, y) pairs and checks:
+//   (i)   0 < dR/dx < 1          (central finite difference)
+//   (ii)  0 < dR/dy
+//   (iii) phi*x < R(x, y) < Phi*x
+//   (iv)  R(x, y) >= R(x', x''+y) + R(x'', y)  for x' + x'' = x.
+// Theorem 5 then guarantees the induced mechanism satisfies every
+// property except URO; the validator lets users certify their own CDRM
+// functions before deployment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cdrm.h"
+#include "core/mechanism.h"
+
+namespace itree {
+
+struct CdrmValidationOptions {
+  std::vector<double> x_grid = {0.01, 0.1, 0.5, 1.0, 3.0, 10.0, 100.0};
+  std::vector<double> y_grid = {0.0, 0.1, 1.0, 5.0, 25.0, 200.0, 5000.0};
+  /// Fractions x'/x used to test the superadditivity property (iv).
+  std::vector<double> split_fractions = {0.1, 0.25, 0.5, 0.75, 0.9};
+  double derivative_step = 1e-6;
+  double tolerance = 1e-9;
+};
+
+struct CdrmValidation {
+  bool ok = true;
+  /// Description of the first violated condition, empty when ok.
+  std::string failure;
+  std::size_t checks = 0;
+};
+
+CdrmValidation validate_cdrm_function(
+    const CdrmFunction& function, const BudgetParams& budget,
+    const CdrmValidationOptions& options = {});
+
+}  // namespace itree

@@ -1,0 +1,65 @@
+#include "properties/corpus.h"
+
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+
+std::vector<CorpusTree> standard_corpus(const CorpusOptions& options) {
+  std::vector<CorpusTree> corpus;
+
+  corpus.push_back({"single-node", parse_tree("(3.5)")});
+  corpus.push_back({"two-forest-roots", parse_tree("(2 (1)) (4)")});
+  corpus.push_back({"chain-6-unit", make_chain(6, 1.0)});
+  corpus.push_back(
+      {"chain-5-mixed", make_chain(std::vector<double>{5, 0.5, 2, 7, 0.1})});
+  corpus.push_back({"star-8", make_star(8, 2.0, 1.0)});
+  corpus.push_back({"binary-4-levels", make_kary(4, 2, 1.0)});
+  corpus.push_back({"ternary-3-levels", make_kary(3, 3, 2.5)});
+  corpus.push_back({"caterpillar-4x3", make_caterpillar(4, 3, 1.0)});
+  corpus.push_back({"zero-contrib-mix", parse_tree("(0 (3 (0) (2)) (0 (5)))")});
+  corpus.push_back(
+      {"fig3-example", parse_tree("(2.5 (1 (0.6)) (3.2 (1) (1)))")});
+
+  Rng rng(options.seed);
+  struct Model {
+    std::string label;
+    ContributionSampler sampler;
+  };
+  // Heavy tails are capped at 12 so that strict-increase checks stay
+  // observable in double precision (see capped_contribution).
+  const std::vector<Model> models = {
+      {"unit", fixed_contribution(1.0)},
+      {"uniform", uniform_contribution(0.1, 5.0)},
+      {"lognormal", capped_contribution(lognormal_contribution(0.0, 1.0), 12.0)},
+      {"pareto", capped_contribution(pareto_contribution(0.5, 1.5), 12.0)},
+  };
+  for (const Model& model : models) {
+    for (std::size_t i = 0; i < options.random_trees_per_model; ++i) {
+      corpus.push_back(
+          {"rrt-" + model.label + "-" + std::to_string(i),
+           random_recursive_tree(options.random_tree_size, model.sampler,
+                                 rng)});
+      corpus.push_back(
+          {"pa-" + model.label + "-" + std::to_string(i),
+           preferential_attachment_tree(options.random_tree_size,
+                                        model.sampler, rng)});
+    }
+  }
+  return corpus;
+}
+
+std::vector<CorpusTree> small_corpus(std::uint64_t seed) {
+  std::vector<CorpusTree> corpus;
+  corpus.push_back({"single-node", parse_tree("(2)")});
+  corpus.push_back({"chain-3", make_chain(3, 1.0)});
+  corpus.push_back({"star-4", make_star(4, 1.0, 1.0)});
+  corpus.push_back({"mixed", parse_tree("(2 (1) (0.5 (3)))")});
+  Rng rng(seed);
+  corpus.push_back(
+      {"rrt-small",
+       random_recursive_tree(10, uniform_contribution(0.2, 3.0), rng)});
+  return corpus;
+}
+
+}  // namespace itree

@@ -1,0 +1,35 @@
+// Standard tree corpus the property checkers quantify over.
+//
+// The paper's properties are universally quantified over referral trees;
+// the corpus mixes deterministic adversarial shapes (chains, stars,
+// k-ary, caterpillars — the extremal topologies the proofs reason about)
+// with seeded random growth processes under unit, uniform and heavy-tailed
+// contribution models (the regimes Sec. 2 contrasts with prior work).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "properties/report.h"
+#include "tree/tree.h"
+
+namespace itree {
+
+struct CorpusTree {
+  std::string label;
+  Tree tree;
+};
+
+struct CorpusOptions {
+  std::uint64_t seed = 20130722;
+  std::size_t random_trees_per_model = 2;
+  std::size_t random_tree_size = 48;
+};
+
+/// Deterministic + seeded-random corpus (same options => same corpus).
+std::vector<CorpusTree> standard_corpus(const CorpusOptions& options = {});
+
+/// A small corpus (few, small trees) for expensive searches.
+std::vector<CorpusTree> small_corpus(std::uint64_t seed = 20130722);
+
+}  // namespace itree

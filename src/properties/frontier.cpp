@@ -1,0 +1,99 @@
+#include "properties/frontier.h"
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace itree {
+
+namespace {
+
+bool subset(const PropertySet& inner, const PropertySet& outer) {
+  for (Property p : all_properties()) {
+    if (inner.contains(p) && !outer.contains(p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t count(const PropertySet& set) {
+  std::size_t n = 0;
+  for (Property p : all_properties()) {
+    if (set.contains(p)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+PropertySet measured_set(const MatrixRow& row) {
+  PropertySet set;
+  for (const auto& [property, report] : row.measured) {
+    if (report.satisfied()) {
+      set.insert(property);
+    }
+  }
+  return set;
+}
+
+FrontierAnalysis analyze_frontier(const std::vector<MatrixRow>& rows) {
+  FrontierAnalysis analysis;
+  std::vector<PropertySet> sets;
+  sets.reserve(rows.size());
+  for (const MatrixRow& row : rows) {
+    sets.push_back(measured_set(row));
+  }
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    FrontierEntry entry;
+    entry.mechanism = rows[i].mechanism;
+    entry.measured = sets[i];
+    entry.property_count = count(sets[i]);
+    entry.violates_impossibility = sets[i].contains(Property::kSL) &&
+                                   sets[i].contains(Property::kPO) &&
+                                   sets[i].contains(Property::kUGSA);
+    if (entry.violates_impossibility) {
+      analysis.impossibility_respected = false;
+    }
+    entry.maximal = true;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      if (subset(sets[i], sets[j]) && sets[i] != sets[j]) {
+        entry.maximal = false;
+        entry.dominated_by = rows[j].mechanism;
+        break;
+      }
+    }
+    analysis.entries.push_back(std::move(entry));
+  }
+  return analysis;
+}
+
+std::string render_frontier(const FrontierAnalysis& analysis) {
+  TextTable table({"mechanism", "#properties", "measured set", "maximal",
+                   "dominated by"});
+  for (const FrontierEntry& entry : analysis.entries) {
+    std::vector<std::string> names;
+    for (Property p : all_properties()) {
+      if (entry.measured.contains(p)) {
+        names.push_back(property_name(p));
+      }
+    }
+    table.add_row({entry.mechanism, std::to_string(entry.property_count),
+                   join(names, ","), yes_no(entry.maximal),
+                   entry.dominated_by.empty() ? "-" : entry.dominated_by});
+  }
+  std::string out = table.to_string();
+  out += analysis.impossibility_respected
+             ? "Theorem 3 respected: no mechanism measures SL+PO+UGSA "
+               "together.\n"
+             : "!! A mechanism measures SL+PO+UGSA together — check the "
+               "checkers.\n";
+  return out;
+}
+
+}  // namespace itree

@@ -1,0 +1,44 @@
+// Property-frontier analysis: the paper's maximality claim, executable.
+//
+// The paper argues that TDRM and CDRM are "effectively the best we can
+// hope for": each achieves a *maximal mutually satisfiable* subset of
+// the desirable properties, given Theorem 3's constraint that SL, PO
+// and UGSA cannot coexist. This module checks that claim against
+// measured matrices:
+//   * no measured property set may contain {SL, PO, UGSA} (Theorem 3
+//     must hold empirically);
+//   * a mechanism is *frontier-maximal* when no other measured
+//     mechanism strictly dominates it (satisfies a strict superset).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "properties/matrix.h"
+
+namespace itree {
+
+struct FrontierEntry {
+  std::string mechanism;
+  PropertySet measured;
+  std::size_t property_count = 0;
+  bool maximal = false;            ///< not strictly dominated
+  std::string dominated_by;        ///< a dominator, when not maximal
+  bool violates_impossibility = false;  ///< contains SL+PO+UGSA
+};
+
+struct FrontierAnalysis {
+  std::vector<FrontierEntry> entries;
+  /// True when no mechanism's measured set contains SL+PO+UGSA.
+  bool impossibility_respected = true;
+};
+
+/// Extracts a PropertySet from measured reports.
+PropertySet measured_set(const MatrixRow& row);
+
+FrontierAnalysis analyze_frontier(const std::vector<MatrixRow>& rows);
+
+/// Table rendering for the frontier bench.
+std::string render_frontier(const FrontierAnalysis& analysis);
+
+}  // namespace itree

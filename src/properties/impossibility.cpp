@@ -1,0 +1,91 @@
+#include "properties/impossibility.h"
+
+#include "util/almost_equal.h"
+#include "util/strings.h"
+
+namespace itree {
+
+namespace {
+
+/// Case-1 tree: root -> v* -> u* -> (w unit leaves).
+Tree build_single_case(const ImpossibilityOptions& options, std::size_t width,
+                       NodeId& v_star, NodeId& u_star) {
+  Tree tree;
+  v_star = tree.add_independent(options.v_star_contribution);
+  u_star = tree.add_node(v_star, options.u_star_contribution);
+  for (std::size_t i = 0; i < width; ++i) {
+    tree.add_node(u_star, 1.0);
+  }
+  return tree;
+}
+
+/// Case-2 tree: root -> v* -> u_a(C(v*)) -> u_b(C(u*)) -> (w leaves).
+Tree build_sybil_case(const ImpossibilityOptions& options, std::size_t width,
+                      NodeId& u_a, NodeId& u_b) {
+  Tree tree;
+  const NodeId v_star = tree.add_independent(options.v_star_contribution);
+  u_a = tree.add_node(v_star, options.v_star_contribution);
+  u_b = tree.add_node(u_a, options.u_star_contribution);
+  for (std::size_t i = 0; i < width; ++i) {
+    tree.add_node(u_b, 1.0);
+  }
+  return tree;
+}
+
+}  // namespace
+
+ImpossibilityOutcome run_impossibility_construction(
+    const Mechanism& mechanism, const ImpossibilityOptions& options) {
+  ImpossibilityOutcome outcome;
+
+  // Step 1: find the PO witness — grow the star under u* until v*'s
+  // profit turns positive.
+  std::size_t width = 1;
+  for (std::size_t round = 0; round < options.max_doublings;
+       ++round, width *= 2) {
+    NodeId v_star = kInvalidNode;
+    NodeId u_star = kInvalidNode;
+    const Tree tree = build_single_case(options, width, v_star, u_star);
+    const RewardVector rewards = mechanism.compute(tree);
+    const double p_v = profit(tree, rewards, v_star);
+    if (definitely_greater(p_v, 0.0, options.tolerance)) {
+      outcome.po_witness_found = true;
+      outcome.witness_width = width;
+      outcome.v_star_profit = p_v;
+      outcome.u_star_profit = profit(tree, rewards, u_star);
+      break;
+    }
+  }
+
+  if (!outcome.po_witness_found) {
+    outcome.description =
+        "no PO witness within search budget: the mechanism's reward for "
+        "v* stays below its contribution (consistent with a mechanism "
+        "that trades PO/URO for UGSA)";
+    return outcome;
+  }
+
+  // Step 2: u* relaunches as the stacked Sybil pair (u_a, u_b).
+  NodeId u_a = kInvalidNode;
+  NodeId u_b = kInvalidNode;
+  const Tree sybil_tree =
+      build_sybil_case(options, outcome.witness_width, u_a, u_b);
+  const RewardVector rewards = mechanism.compute(sybil_tree);
+  outcome.sybil_profit =
+      profit(sybil_tree, rewards, u_a) + profit(sybil_tree, rewards, u_b);
+  outcome.ugsa_gain = outcome.sybil_profit - outcome.u_star_profit;
+  outcome.ugsa_violated =
+      definitely_greater(outcome.ugsa_gain, 0.0, options.tolerance);
+
+  outcome.description =
+      "witness width " + std::to_string(outcome.witness_width) +
+      ": P(v*)=" + compact_number(outcome.v_star_profit) +
+      ", P(u*)=" + compact_number(outcome.u_star_profit) +
+      ", Sybil pair profit=" + compact_number(outcome.sybil_profit) +
+      ", gain=" + compact_number(outcome.ugsa_gain) +
+      (outcome.ugsa_violated ? " -> UGSA violated (as Theorem 3 predicts)"
+                             : " -> no gain (SL must have failed)");
+  return outcome;
+}
+
+}  // namespace itree

@@ -1,0 +1,47 @@
+// Executable version of Theorem 3 (SL + PO + UGSA are incompatible).
+//
+// The proof is constructive (Fig. 2): take a PO witness — a node v* with
+// one child tree T* and positive profit — then let the root u* of T*
+// rejoin as two stacked Sybils u_a (with C(v*)) and u_b (with C(u*)).
+// Under SL, R(u_a) = R(v*) and R(u_b) = R(u*), so the Sybil pair's
+// profit exceeds u*'s by exactly P(v*) > 0, violating UGSA. This driver
+// runs that construction against any mechanism and reports each
+// quantity, letting benches show the theorem "happen" numerically.
+#pragma once
+
+#include <string>
+
+#include "core/mechanism.h"
+
+namespace itree {
+
+struct ImpossibilityOutcome {
+  /// Whether a positive-profit witness (v* with one child tree) exists
+  /// within the search budget; mechanisms without PO never yield one.
+  bool po_witness_found = false;
+  /// Width of the star under u* in the witness.
+  std::size_t witness_width = 0;
+
+  double v_star_profit = 0.0;   ///< P(v*) in the witness tree
+  double u_star_profit = 0.0;   ///< P(u*), case 1 (single node)
+  double sybil_profit = 0.0;    ///< P(u_a) + P(u_b), case 2
+  double ugsa_gain = 0.0;       ///< sybil_profit - u_star_profit
+
+  /// True when the measured gain is strictly positive: the generalized
+  /// Sybil attack of the construction is profitable.
+  bool ugsa_violated = false;
+
+  std::string description;
+};
+
+struct ImpossibilityOptions {
+  double v_star_contribution = 1.0;
+  double u_star_contribution = 1.0;
+  std::size_t max_doublings = 20;
+  double tolerance = 1e-9;
+};
+
+ImpossibilityOutcome run_impossibility_construction(
+    const Mechanism& mechanism, const ImpossibilityOptions& options = {});
+
+}  // namespace itree

@@ -1,0 +1,94 @@
+#include "properties/matrix.h"
+
+#include <sstream>
+
+#include "properties/basic_checks.h"
+#include "properties/opportunity_checks.h"
+#include "properties/sybil_checks.h"
+#include "util/table.h"
+
+namespace itree {
+
+MatrixRow run_all_checks(const Mechanism& mechanism,
+                         const MatrixOptions& options) {
+  MatrixRow row;
+  row.mechanism = mechanism.display_name();
+  row.claimed = mechanism.claimed_properties();
+
+  const std::vector<CorpusTree> corpus = standard_corpus(options.corpus);
+  OpportunityOptions opportunity{.check = options.check};
+
+  auto record = [&row](PropertyReport report) {
+    row.measured[report.property] = std::move(report);
+  };
+  record(check_budget(mechanism, corpus, options.check));
+  record(check_cci(mechanism, corpus, options.check));
+  record(check_csi(mechanism, corpus, options.check));
+  record(check_rpc(mechanism, corpus, options.check));
+  record(check_po(mechanism, opportunity));
+  record(check_uro(mechanism, opportunity));
+  record(check_sl(mechanism, corpus, options.check));
+  record(check_usb(mechanism, corpus, options.check));
+  record(check_usa(mechanism, options.check, options.search));
+  record(check_ugsa(mechanism, options.check, options.search));
+  return row;
+}
+
+std::vector<MatrixRow> run_matrix(const std::vector<MechanismPtr>& mechanisms,
+                                  const MatrixOptions& options) {
+  std::vector<MatrixRow> rows;
+  rows.reserve(mechanisms.size());
+  for (const MechanismPtr& mechanism : mechanisms) {
+    rows.push_back(run_all_checks(*mechanism, options));
+  }
+  return rows;
+}
+
+std::string render_matrix(const std::vector<MatrixRow>& rows) {
+  std::vector<std::string> headers = {"mechanism"};
+  for (Property p : all_properties()) {
+    headers.push_back(property_name(p));
+  }
+  TextTable table(std::move(headers));
+  for (const MatrixRow& row : rows) {
+    std::vector<std::string> cells = {row.mechanism};
+    for (Property p : all_properties()) {
+      const auto it = row.measured.find(p);
+      std::string cell = "-";
+      if (it != row.measured.end()) {
+        const bool measured = it->second.satisfied();
+        cell = measured ? "yes" : "no";
+        if (measured != row.claimed.contains(p)) {
+          cell += "*";  // deviation from the paper's claim
+        }
+      }
+      cells.push_back(std::move(cell));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.to_string() +
+         "(*) measured verdict differs from the paper's claim\n";
+}
+
+std::string render_evidence(const std::vector<MatrixRow>& rows, bool verbose) {
+  std::ostringstream out;
+  for (const MatrixRow& row : rows) {
+    for (Property p : all_properties()) {
+      const auto it = row.measured.find(p);
+      if (it == row.measured.end()) {
+        continue;
+      }
+      const bool measured = it->second.satisfied();
+      const bool claimed = row.claimed.contains(p);
+      if (verbose || measured != claimed || !measured) {
+        out << row.mechanism << " / " << property_name(p) << " ["
+            << verdict_name(it->second.verdict) << ", claimed "
+            << (claimed ? "yes" : "no") << "]: " << it->second.evidence
+            << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace itree

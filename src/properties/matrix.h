@@ -1,0 +1,47 @@
+// Full property matrix: every checker against one mechanism, and the
+// rendering used by bench E1 (the paper's implicit central table).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "properties/corpus.h"
+#include "properties/report.h"
+#include "properties/sybil_search.h"
+
+namespace itree {
+
+struct MatrixRow {
+  std::string mechanism;     ///< display name
+  PropertySet claimed;       ///< the paper's claims
+  std::map<Property, PropertyReport> measured;
+};
+
+struct MatrixOptions {
+  CheckOptions check;
+  CorpusOptions corpus;
+  SearchOptions search;
+};
+
+/// Runs all ten property checks against one mechanism.
+MatrixRow run_all_checks(const Mechanism& mechanism,
+                         const MatrixOptions& options = {});
+
+/// Runs the checks for a set of mechanisms.
+std::vector<MatrixRow> run_matrix(
+    const std::vector<MechanismPtr>& mechanisms,
+    const MatrixOptions& options = {});
+
+/// Renders the matrix: one row per mechanism, one column per property;
+/// cells are "yes"/"no", suffixed with '*' where the measurement
+/// disagrees with the paper's claim.
+std::string render_matrix(const std::vector<MatrixRow>& rows);
+
+/// Renders the evidence lines (one per mechanism x property) for rows
+/// whose measurement differs from the claim, or all when `verbose`.
+std::string render_evidence(const std::vector<MatrixRow>& rows,
+                            bool verbose = false);
+
+}  // namespace itree

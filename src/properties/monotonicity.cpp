@@ -1,0 +1,56 @@
+#include "properties/monotonicity.h"
+
+#include "util/almost_equal.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace itree {
+
+PropertyReport check_reward_monotonicity(const Mechanism& mechanism,
+                                         const MonotonicityOptions& options) {
+  // Reported under the SL banner: monotonicity is the operational face
+  // of Subtree Locality (plus the continuing-incentive properties).
+  PropertyReport report{.property = Property::kSL};
+  Rng rng(options.seed);
+  for (std::size_t trace = 0; trace < options.traces; ++trace) {
+    Tree tree;
+    RewardVector previous(1, 0.0);
+    for (std::size_t event = 0; event < options.events_per_trace; ++event) {
+      if (tree.participant_count() == 0 ||
+          options.join_probability >= 1.0 ||
+          rng.bernoulli(options.join_probability)) {
+        const NodeId parent =
+            (tree.participant_count() == 0 || rng.bernoulli(0.2))
+                ? kRoot
+                : static_cast<NodeId>(1 +
+                                      rng.index(tree.participant_count()));
+        tree.add_node(parent, rng.uniform(0.1, 3.0));
+      } else {
+        const NodeId u = static_cast<NodeId>(
+            1 + rng.index(tree.participant_count()));
+        tree.set_contribution(u,
+                              tree.contribution(u) + rng.uniform(0.1, 2.0));
+      }
+      const RewardVector current = mechanism.compute(tree);
+      for (NodeId u = 1; u < previous.size(); ++u) {
+        ++report.trials;
+        if (definitely_greater(previous[u], current[u], options.tolerance)) {
+          report.verdict = Verdict::kViolated;
+          report.evidence =
+              "trace " + std::to_string(trace) + ", event " +
+              std::to_string(event) + ": reward of node " +
+              std::to_string(u) + " dropped from " +
+              compact_number(previous[u], 6) + " to " +
+              compact_number(current[u], 6);
+          return report;
+        }
+      }
+      previous = current;
+    }
+  }
+  report.evidence = "no reward ever decreased across " +
+                    std::to_string(report.trials) + " (node, event) pairs";
+  return report;
+}
+
+}  // namespace itree

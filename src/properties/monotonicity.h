@@ -1,0 +1,42 @@
+// Reward monotonicity under growth — the derived property behind safe
+// high-water settlement (mlm/settlement.h).
+//
+// If a mechanism satisfies SL (outside events don't touch R(u)) and CSI
+// (joins inside strictly raise it), then R(u) is non-decreasing along
+// any JOIN trace, so paid-out money never exceeds accrued rewards.
+// PURCHASE events (contribution increases) are different: CCI only
+// protects the *purchaser's* reward. A notable measured fact of this
+// library (see EXPERIMENTS.md): TDRM is NOT purchase-monotone — when a
+// descendant's contribution crosses a mu boundary its RCT chain grows,
+// pushing its whole subtree one level deeper and shrinking every
+// ancestor's geometric sum. Operators settling TDRM deployments with
+// repeat purchases need the holdback policy.
+//
+// This checker replays random growth traces (joins only, or joins +
+// purchases) and asserts no participant's reward ever drops.
+#pragma once
+
+#include "core/mechanism.h"
+#include "properties/report.h"
+
+namespace itree {
+
+struct MonotonicityOptions {
+  std::uint64_t seed = 20130722;
+  std::size_t traces = 4;
+  std::size_t events_per_trace = 40;
+  /// Probability an event is a join; the rest are purchases. Set to 1
+  /// for join-only traces (the regime where SL+CSI guarantee
+  /// monotonicity).
+  double join_probability = 0.7;
+  double tolerance = 1e-9;
+};
+
+/// Satisfied iff every participant's reward is non-decreasing after
+/// every event of every trace. Not one of the paper's named properties —
+/// it is implied by SL + CSI + CCI and is the exact condition under
+/// which high-water payouts are safe.
+PropertyReport check_reward_monotonicity(
+    const Mechanism& mechanism, const MonotonicityOptions& options = {});
+
+}  // namespace itree

@@ -1,0 +1,45 @@
+// Checkers for Profitable Opportunity (PO) and Unbounded Reward
+// Opportunity (URO), Sec. 3.1.
+//
+// Both properties are existential ("there exist k trees T_1..T_k attached
+// to u such that ..."), so the checker *constructs* witnesses instead of
+// sampling: it grows booster attachments under u following the shapes the
+// paper's own URO proof uses (wide stars of mu-sized children), plus
+// heavy single children and deep complete binary trees — between them
+// these drive every mechanism in the library that has unbounded rewards.
+// The property is reported satisfied as soon as the target is crossed and
+// violated when the reward provably plateaus (relative growth below
+// epsilon across doubling rounds while the target is still far).
+#pragma once
+
+#include "core/mechanism.h"
+#include "properties/report.h"
+
+namespace itree {
+
+struct OpportunityOptions {
+  CheckOptions check;
+  /// Contribution of the fixed participant u under test.
+  double own_contribution = 1.0;
+  /// Number of attached trees k demanded by the property (the checker
+  /// verifies for each k in {1, .., k_max}).
+  std::size_t k_max = 3;
+  /// URO reward targets to cross (each must be exceeded for URO).
+  std::vector<double> uro_targets = {10.0, 1000.0};
+};
+
+/// PO: R(u) >= C(u) reachable by attaching descendant trees.
+PropertyReport check_po(const Mechanism& mechanism,
+                        const OpportunityOptions& options = {});
+
+/// URO: R(u) > R reachable for every R (tested against uro_targets).
+PropertyReport check_uro(const Mechanism& mechanism,
+                         const OpportunityOptions& options = {});
+
+/// Shared machinery, exposed for tests: the best reward found for `u`
+/// with `k` attached booster trees after growing boosters for
+/// `rounds` doubling rounds, or until `target` is crossed.
+double grow_reward_witness(const Mechanism& mechanism, double own_contribution,
+                           std::size_t k, double target, std::size_t rounds);
+
+}  // namespace itree

@@ -1,0 +1,15 @@
+#include "properties/report.h"
+
+namespace itree {
+
+std::string verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kSatisfied:
+      return "satisfied";
+    case Verdict::kViolated:
+      return "VIOLATED";
+  }
+  return "?";
+}
+
+}  // namespace itree

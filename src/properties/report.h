@@ -1,0 +1,40 @@
+// Result type shared by all property checkers.
+#pragma once
+
+#include <string>
+
+#include "core/claims.h"
+
+namespace itree {
+
+enum class Verdict {
+  kSatisfied,  ///< no violation found over all trials
+  kViolated,   ///< a concrete counterexample was found
+};
+
+struct PropertyReport {
+  Property property;
+  Verdict verdict = Verdict::kSatisfied;
+  /// Human-readable evidence: the counterexample when violated, a trial
+  /// summary when satisfied.
+  std::string evidence;
+  /// Number of individual assertions evaluated.
+  std::size_t trials = 0;
+
+  bool satisfied() const { return verdict == Verdict::kSatisfied; }
+};
+
+/// "satisfied" / "VIOLATED" rendering for tables.
+std::string verdict_name(Verdict verdict);
+
+/// Common knobs for the randomized checkers.
+struct CheckOptions {
+  std::uint64_t seed = 20130722;  ///< PODC'13 presentation week
+  double tolerance = 1e-9;
+  /// Per-tree node sample bound (checkers sample nodes on large trees).
+  std::size_t max_nodes_per_tree = 24;
+  /// Doubling rounds for the constructive PO/URO witness growth.
+  std::size_t booster_rounds = 18;
+};
+
+}  // namespace itree

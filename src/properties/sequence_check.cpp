@@ -1,0 +1,238 @@
+#include "properties/sequence_check.h"
+
+#include "tree/generators.h"
+#include "util/almost_equal.h"
+#include "util/strings.h"
+
+namespace itree {
+
+namespace {
+
+double identities_total(const RewardVector& rewards,
+                        const std::vector<NodeId>& identities) {
+  double total = 0.0;
+  for (NodeId id : identities) {
+    total += rewards[id];
+  }
+  return total;
+}
+
+}  // namespace
+
+SequenceOutcome run_sequence(const Mechanism& mechanism,
+                             const SequenceScenario& scenario,
+                             double tolerance) {
+  SequenceOutcome outcome;
+
+  // Honest run: one node, solicited joiners attach under it.
+  Tree honest = scenario.base;
+  const NodeId honest_u =
+      honest.add_node(scenario.join_parent, scenario.contribution);
+
+  // Sybil run: materialize the attack entry (no future subtrees yet —
+  // the sequence drives growth).
+  Tree sybil = scenario.base;
+  Rng rng(7);
+  const double attack_total =
+      scenario.contribution * scenario.attack.contribution_multiplier;
+  const std::vector<NodeId> identities = materialize_attack(
+      sybil, scenario.join_parent, attack_total, {}, scenario.attack, rng);
+
+  auto record = [&](std::size_t index) {
+    const RewardVector honest_rewards = mechanism.compute(honest);
+    const RewardVector sybil_rewards = mechanism.compute(sybil);
+    const double honest_r = honest_rewards[honest_u];
+    const double sybil_r = identities_total(sybil_rewards, identities);
+    outcome.honest_rewards.push_back(honest_r);
+    outcome.sybil_rewards.push_back(sybil_r);
+    outcome.honest_profits.push_back(honest_r - scenario.contribution);
+    outcome.sybil_profits.push_back(sybil_r - attack_total);
+    if (outcome.first_usa_violation < 0 &&
+        scenario.attack.contribution_multiplier == 1.0 &&
+        definitely_greater(sybil_r, honest_r, tolerance)) {
+      outcome.first_usa_violation = static_cast<int>(index);
+    }
+    if (outcome.first_ugsa_violation < 0 &&
+        definitely_greater(sybil_r - attack_total,
+                           honest_r - scenario.contribution, tolerance)) {
+      outcome.first_ugsa_violation = static_cast<int>(index);
+    }
+  };
+
+  record(0);
+  NodeId honest_last_solicited = kInvalidNode;
+  NodeId sybil_last_solicited = kInvalidNode;
+  for (std::size_t i = 0; i < scenario.sequence.size(); ++i) {
+    const SequenceJoiner& joiner = scenario.sequence[i];
+    if (joiner.solicited_by_attacker) {
+      const bool chain =
+          joiner.chain_below_previous && honest_last_solicited != kInvalidNode;
+      honest_last_solicited = honest.add_node(
+          chain ? honest_last_solicited : honest_u, joiner.contribution);
+      if (chain) {
+        sybil_last_solicited =
+            sybil.add_node(sybil_last_solicited, joiner.contribution);
+      } else {
+        // Adaptive routing: try each identity, keep the best placement.
+        NodeId best_identity = identities.front();
+        double best_total = -1.0;
+        for (NodeId candidate : identities) {
+          sybil.add_node(candidate, joiner.contribution);
+          const double total =
+              identities_total(mechanism.compute(sybil), identities);
+          sybil.remove_last_node();
+          if (total > best_total) {
+            best_total = total;
+            best_identity = candidate;
+          }
+        }
+        sybil_last_solicited =
+            sybil.add_node(best_identity, joiner.contribution);
+      }
+    } else {
+      honest.add_node(joiner.outside_parent, joiner.contribution);
+      sybil.add_node(joiner.outside_parent, joiner.contribution);
+    }
+    record(i + 1);
+  }
+  return outcome;
+}
+
+std::vector<SequenceScenario> standard_sequence_scenarios(
+    std::uint64_t seed, bool allow_extra_contribution) {
+  std::vector<SequenceScenario> scenarios;
+  Rng rng(seed);
+
+  const std::vector<AttackConfig> entries_equal = {
+      {.topology = SybilTopology::kChain,
+       .split = SplitRule::kBalanced,
+       .identities = 2},
+      {.topology = SybilTopology::kChain,
+       .split = SplitRule::kMuQuantized,
+       .identities = 3},
+      {.topology = SybilTopology::kStar,
+       .split = SplitRule::kBalanced,
+       .identities = 2},
+      {.topology = SybilTopology::kTwoLevel,
+       .split = SplitRule::kHeadHeavy,
+       .identities = 3},
+  };
+  std::vector<AttackConfig> entries = entries_equal;
+  if (allow_extra_contribution) {
+    entries.push_back({.topology = SybilTopology::kChain,
+                       .split = SplitRule::kBalanced,
+                       .identities = 1,
+                       .contribution_multiplier = 2.0});
+    entries.push_back({.topology = SybilTopology::kChain,
+                       .split = SplitRule::kMuQuantized,
+                       .identities = 2,
+                       .contribution_multiplier = 4.0});
+  }
+
+  for (const AttackConfig& entry : entries) {
+    // Scenario A: growing stream of attacker-solicited unit joiners (the
+    // paper's counterexample shape, prefix-checked).
+    {
+      SequenceScenario s;
+      s.label = "solicited-stream/" + entry.to_string();
+      s.join_parent = kRoot;
+      s.contribution = 0.5;
+      s.attack = entry;
+      for (int i = 0; i < 16; ++i) {
+        s.sequence.push_back(SequenceJoiner{true, kRoot, 1.0});
+      }
+      scenarios.push_back(std::move(s));
+    }
+    // Scenario C: cascade — solicited joiners chain below one another,
+    // concentrating mass under one child of the attacker (the pattern
+    // that makes own-contribution marginally worth > 1 under
+    // whole-subtree mechanisms like L-Pachira).
+    {
+      SequenceScenario s;
+      s.label = "cascade/" + entry.to_string();
+      s.join_parent = kRoot;
+      s.contribution = 0.3;
+      s.attack = entry;
+      for (int i = 0; i < 25; ++i) {
+        SequenceJoiner joiner{true, kRoot, 2.0};
+        joiner.chain_below_previous = (i > 0);
+        s.sequence.push_back(joiner);
+      }
+      scenarios.push_back(std::move(s));
+    }
+    // Scenario B: mixed stream — outside joiners interleaved, random
+    // contributions (exercises SL-dependent mechanisms along prefixes).
+    {
+      SequenceScenario s;
+      s.label = "mixed-stream/" + entry.to_string();
+      s.base = make_star(4, 1.0, 1.0);
+      s.join_parent = 1;
+      s.contribution = 1.3;
+      s.attack = entry;
+      for (int i = 0; i < 12; ++i) {
+        SequenceJoiner joiner;
+        joiner.solicited_by_attacker = rng.bernoulli(0.5);
+        joiner.outside_parent =
+            static_cast<NodeId>(1 + rng.index(4));  // base nodes only
+        joiner.contribution = rng.uniform(0.2, 2.0);
+        s.sequence.push_back(joiner);
+      }
+      scenarios.push_back(std::move(s));
+    }
+  }
+  return scenarios;
+}
+
+PropertyReport check_usa_sequences(const Mechanism& mechanism,
+                                   const CheckOptions& options) {
+  PropertyReport report{.property = Property::kUSA};
+  for (const SequenceScenario& scenario :
+       standard_sequence_scenarios(options.seed, false)) {
+    const SequenceOutcome outcome =
+        run_sequence(mechanism, scenario, options.tolerance);
+    report.trials += outcome.honest_rewards.size();
+    if (outcome.first_usa_violation >= 0) {
+      report.verdict = Verdict::kViolated;
+      report.evidence =
+          "sequence '" + scenario.label + "' violates USA at prefix " +
+          std::to_string(outcome.first_usa_violation) + ": Sybil R=" +
+          compact_number(
+              outcome.sybil_rewards[outcome.first_usa_violation], 4) +
+          " vs honest R=" +
+          compact_number(
+              outcome.honest_rewards[outcome.first_usa_violation], 4);
+      return report;
+    }
+  }
+  report.evidence = "no prefix of any join sequence favoured the Sybil set (" +
+                    std::to_string(report.trials) + " prefixes)";
+  return report;
+}
+
+PropertyReport check_ugsa_sequences(const Mechanism& mechanism,
+                                    const CheckOptions& options) {
+  PropertyReport report{.property = Property::kUGSA};
+  for (const SequenceScenario& scenario :
+       standard_sequence_scenarios(options.seed, true)) {
+    const SequenceOutcome outcome =
+        run_sequence(mechanism, scenario, options.tolerance);
+    report.trials += outcome.honest_rewards.size();
+    if (outcome.first_ugsa_violation >= 0) {
+      report.verdict = Verdict::kViolated;
+      report.evidence =
+          "sequence '" + scenario.label + "' violates UGSA at prefix " +
+          std::to_string(outcome.first_ugsa_violation) + ": Sybil P=" +
+          compact_number(
+              outcome.sybil_profits[outcome.first_ugsa_violation], 4) +
+          " vs honest P=" +
+          compact_number(
+              outcome.honest_profits[outcome.first_ugsa_violation], 4);
+      return report;
+    }
+  }
+  report.evidence = "no prefix of any join sequence favoured the Sybil set (" +
+                    std::to_string(report.trials) + " prefixes)";
+  return report;
+}
+
+}  // namespace itree

@@ -1,0 +1,83 @@
+// Join-sequence semantics for the Sybil resilience properties.
+//
+// Sec. 3.2 defines USA/UGSA over *sequences*: after the attacker enters
+// (as one node or as a Sybil set), an arbitrary sequence J = v_1, v_2, …
+// of new participants joins, producing trees T'_1, T'_2, … and
+// T''_1, T''_2, …; the property must hold at EVERY index i, with the
+// attacker free to steer each solicited joiner to any of its identities.
+// The one-shot search in sybil_search.h covers the final state; this
+// module replays full sequences and checks every prefix, greedily
+// steering each joiner to the identity that maximizes the attacker's
+// total (an adaptive routing adversary).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "properties/report.h"
+#include "properties/sybil_search.h"
+
+namespace itree {
+
+/// One joiner of the sequence J: who solicited it (in attacker-relative
+/// terms) and what it contributes.
+struct SequenceJoiner {
+  /// True when the attacker solicited this joiner (so in the Sybil run
+  /// it may attach to any identity); false for joiners that attach to a
+  /// fixed outside node.
+  bool solicited_by_attacker = true;
+  /// Parent when not solicited by the attacker (ignored otherwise).
+  NodeId outside_parent = kRoot;
+  double contribution = 1.0;
+  /// When true (and a previous solicited joiner exists), this joiner
+  /// attaches below the previous solicited joiner instead — modelling a
+  /// referral cascade growing *down* from the attacker (the pattern that
+  /// concentrates subtree mass under one child).
+  bool chain_below_previous = false;
+};
+
+struct SequenceScenario {
+  std::string label;
+  Tree base;
+  NodeId join_parent = kRoot;
+  double contribution = 1.0;      ///< attacker's honest contribution C'
+  AttackConfig attack;            ///< the Sybil entry being tested
+  std::vector<SequenceJoiner> sequence;  ///< J = v_1, v_2, ...
+};
+
+struct SequenceOutcome {
+  /// Reward/profit trajectories indexed by prefix length i = 0..|J|.
+  std::vector<double> honest_rewards;
+  std::vector<double> sybil_rewards;
+  std::vector<double> honest_profits;
+  std::vector<double> sybil_profits;
+  /// First index where the Sybil reward strictly beats honest (USA
+  /// violation), or -1.
+  int first_usa_violation = -1;
+  /// First index where the Sybil profit strictly beats honest (UGSA
+  /// violation), or -1.
+  int first_ugsa_violation = -1;
+};
+
+/// Replays the scenario honestly and under the attack, checking every
+/// prefix. In the Sybil run, each attacker-solicited joiner is routed
+/// greedily to the identity that maximizes the attacker's total reward
+/// after that join.
+SequenceOutcome run_sequence(const Mechanism& mechanism,
+                             const SequenceScenario& scenario,
+                             double tolerance = 1e-9);
+
+/// USA over a standard suite of sequence scenarios (equal-cost attacks).
+PropertyReport check_usa_sequences(const Mechanism& mechanism,
+                                   const CheckOptions& options = {});
+
+/// UGSA over the same suite plus contribution-increasing attacks.
+PropertyReport check_ugsa_sequences(const Mechanism& mechanism,
+                                    const CheckOptions& options = {});
+
+/// The standard sequence scenario suite (seeded, deterministic).
+std::vector<SequenceScenario> standard_sequence_scenarios(
+    std::uint64_t seed = 20130722, bool allow_extra_contribution = false);
+
+}  // namespace itree

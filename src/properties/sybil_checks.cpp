@@ -1,0 +1,61 @@
+#include "properties/sybil_checks.h"
+
+#include "util/almost_equal.h"
+#include "util/strings.h"
+
+namespace itree {
+
+PropertyReport check_usa(const Mechanism& mechanism,
+                         const CheckOptions& options,
+                         const SearchOptions& search) {
+  PropertyReport report{.property = Property::kUSA};
+  for (const SybilScenario& scenario :
+       standard_scenarios(search.mu, options.seed)) {
+    const AttackOutcome outcome =
+        search_attacks(mechanism, scenario, /*allow_extra_contribution=*/false,
+                       search);
+    report.trials += outcome.configurations_tried;
+    if (definitely_greater(outcome.best_reward, outcome.honest_reward,
+                           options.tolerance)) {
+      report.verdict = Verdict::kViolated;
+      report.evidence = "scenario '" + scenario.label + "': attack " +
+                        outcome.best_reward_config.to_string() + " earns R=" +
+                        compact_number(outcome.best_reward) +
+                        " vs honest R=" +
+                        compact_number(outcome.honest_reward);
+      return report;
+    }
+  }
+  report.evidence = "no equal-cost attack beat the honest reward in " +
+                    std::to_string(report.trials) + " configurations";
+  return report;
+}
+
+PropertyReport check_ugsa(const Mechanism& mechanism,
+                          const CheckOptions& options,
+                          const SearchOptions& search) {
+  PropertyReport report{.property = Property::kUGSA};
+  for (const SybilScenario& scenario :
+       standard_scenarios(search.mu, options.seed)) {
+    const AttackOutcome outcome =
+        search_attacks(mechanism, scenario, /*allow_extra_contribution=*/true,
+                       search);
+    report.trials += outcome.configurations_tried;
+    if (definitely_greater(outcome.best_profit, outcome.honest_profit,
+                           options.tolerance)) {
+      report.verdict = Verdict::kViolated;
+      report.evidence = "scenario '" + scenario.label + "': attack " +
+                        outcome.best_profit_config.to_string() +
+                        " yields profit " +
+                        compact_number(outcome.best_profit) +
+                        " vs honest profit " +
+                        compact_number(outcome.honest_profit);
+      return report;
+    }
+  }
+  report.evidence = "no generalized attack beat the honest profit in " +
+                    std::to_string(report.trials) + " configurations";
+  return report;
+}
+
+}  // namespace itree

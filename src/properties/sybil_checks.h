@@ -1,0 +1,23 @@
+// USA / UGSA property checkers (Sec. 3.2) on top of the attack-search
+// engine.
+#pragma once
+
+#include "core/mechanism.h"
+#include "properties/report.h"
+#include "properties/sybil_search.h"
+
+namespace itree {
+
+/// USA: over the standard scenarios, no equal-cost Sybil configuration
+/// earns strictly more total reward than joining as a single node.
+PropertyReport check_usa(const Mechanism& mechanism,
+                         const CheckOptions& options = {},
+                         const SearchOptions& search = {});
+
+/// UGSA: additionally, no configuration with equal-or-larger total
+/// contribution earns strictly more *profit*.
+PropertyReport check_ugsa(const Mechanism& mechanism,
+                          const CheckOptions& options = {},
+                          const SearchOptions& search = {});
+
+}  // namespace itree

@@ -1,0 +1,350 @@
+#include "properties/sybil_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tree/generators.h"
+#include "util/almost_equal.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace itree {
+
+namespace {
+
+std::string topology_name(SybilTopology t) {
+  switch (t) {
+    case SybilTopology::kChain:
+      return "chain";
+    case SybilTopology::kStar:
+      return "star";
+    case SybilTopology::kTwoLevel:
+      return "two-level";
+  }
+  return "?";
+}
+
+std::string split_name(SplitRule s) {
+  switch (s) {
+    case SplitRule::kBalanced:
+      return "balanced";
+    case SplitRule::kHeadHeavy:
+      return "head-heavy";
+    case SplitRule::kTailHeavy:
+      return "tail-heavy";
+    case SplitRule::kMuQuantized:
+      return "mu-quantized";
+    case SplitRule::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::string placement_name(SubtreePlacement p) {
+  switch (p) {
+    case SubtreePlacement::kAllOnTail:
+      return "all-on-tail";
+    case SubtreePlacement::kAllOnHead:
+      return "all-on-head";
+    case SubtreePlacement::kSpread:
+      return "spread";
+  }
+  return "?";
+}
+
+/// Splits `total` across `k` identities according to `rule`.
+std::vector<double> split_contribution(double total, std::size_t k,
+                                       SplitRule rule, double mu, Rng& rng) {
+  ensure(k >= 1, "split_contribution: k must be >= 1");
+  std::vector<double> parts(k, 0.0);
+  switch (rule) {
+    case SplitRule::kBalanced: {
+      std::fill(parts.begin(), parts.end(), total / static_cast<double>(k));
+      break;
+    }
+    case SplitRule::kHeadHeavy: {
+      const double rest = 0.1 * total / static_cast<double>(k);
+      std::fill(parts.begin(), parts.end(), rest);
+      parts.front() = total - rest * static_cast<double>(k - 1);
+      break;
+    }
+    case SplitRule::kTailHeavy: {
+      const double rest = 0.1 * total / static_cast<double>(k);
+      std::fill(parts.begin(), parts.end(), rest);
+      parts.back() = total - rest * static_cast<double>(k - 1);
+      break;
+    }
+    case SplitRule::kMuQuantized: {
+      // eps-chain shape: mu per identity from the tail upward, remainder
+      // (possibly exceeding mu when total > k*mu) on the head.
+      double remaining = total;
+      for (std::size_t i = k - 1; i >= 1; --i) {
+        const double take = std::min(mu, std::max(0.0, remaining - 1e-12));
+        parts[i] = take;
+        remaining -= take;
+      }
+      parts[0] = remaining;
+      break;
+    }
+    case SplitRule::kRandom: {
+      double sum = 0.0;
+      for (double& p : parts) {
+        p = rng.uniform(0.05, 1.0);
+        sum += p;
+      }
+      for (double& p : parts) {
+        p *= total / sum;
+      }
+      break;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string AttackConfig::to_string() const {
+  return "k=" + std::to_string(identities) + " " + topology_name(topology) +
+         "/" + split_name(split) + "/" + placement_name(placement) +
+         " x" + compact_number(contribution_multiplier);
+}
+
+std::vector<NodeId> materialize_attack(Tree& tree, NodeId join_parent,
+                                       double total_contribution,
+                                       const std::vector<Tree>& future_subtrees,
+                                       const AttackConfig& config, Rng& rng,
+                                       double mu) {
+  const std::vector<double> parts = split_contribution(
+      total_contribution, config.identities, config.split, mu, rng);
+
+  std::vector<NodeId> identities;
+  identities.reserve(config.identities);
+  for (std::size_t i = 0; i < config.identities; ++i) {
+    NodeId parent = join_parent;
+    switch (config.topology) {
+      case SybilTopology::kChain:
+        parent = identities.empty() ? join_parent : identities.back();
+        break;
+      case SybilTopology::kStar:
+        parent = join_parent;
+        break;
+      case SybilTopology::kTwoLevel:
+        parent = identities.empty() ? join_parent : identities.front();
+        break;
+    }
+    identities.push_back(tree.add_node(parent, parts[i]));
+  }
+
+  std::size_t next = 0;
+  for (const Tree& future : future_subtrees) {
+    NodeId target = identities.back();
+    switch (config.placement) {
+      case SubtreePlacement::kAllOnTail:
+        target = identities.back();
+        break;
+      case SubtreePlacement::kAllOnHead:
+        target = identities.front();
+        break;
+      case SubtreePlacement::kSpread:
+        target = identities[next++ % identities.size()];
+        break;
+    }
+    graft_forest(tree, target, future);
+  }
+  return identities;
+}
+
+ConfigResult evaluate_attack(const Mechanism& mechanism,
+                             const SybilScenario& scenario,
+                             const AttackConfig& config, Rng& rng, double mu) {
+  Tree tree = scenario.base;
+  const double total =
+      scenario.contribution * config.contribution_multiplier;
+  const std::vector<NodeId> identities =
+      materialize_attack(tree, scenario.join_parent, total,
+                         scenario.future_subtrees, config, rng, mu);
+
+  const RewardVector rewards = mechanism.compute(tree);
+  ConfigResult result;
+  for (NodeId id : identities) {
+    result.total_reward += rewards[id];
+    result.total_contribution += tree.contribution(id);
+  }
+  return result;
+}
+
+namespace {
+
+/// Honest baseline: join as one node, all future subtrees underneath.
+ConfigResult evaluate_honest(const Mechanism& mechanism,
+                             const SybilScenario& scenario) {
+  Tree tree = scenario.base;
+  const NodeId u = tree.add_node(scenario.join_parent, scenario.contribution);
+  for (const Tree& future : scenario.future_subtrees) {
+    graft_forest(tree, u, future);
+  }
+  const RewardVector rewards = mechanism.compute(tree);
+  return ConfigResult{rewards[u], scenario.contribution};
+}
+
+}  // namespace
+
+AttackOutcome search_attacks(const Mechanism& mechanism,
+                             const SybilScenario& scenario,
+                             bool allow_extra_contribution,
+                             const SearchOptions& options) {
+  Rng rng(options.seed);
+  AttackOutcome outcome;
+  const ConfigResult honest = evaluate_honest(mechanism, scenario);
+  outcome.honest_reward = honest.total_reward;
+  outcome.honest_profit = honest.total_reward - honest.total_contribution;
+  outcome.best_reward = -1.0;
+  outcome.best_profit = outcome.honest_profit;  // seeded; beaten only by gain
+
+  std::vector<double> multipliers = {1.0};
+  if (allow_extra_contribution) {
+    multipliers = options.contribution_multipliers;
+  }
+
+  std::vector<std::size_t> identity_counts = options.identity_counts;
+  if (allow_extra_contribution) {
+    // The generalized attack includes k = 1: simply contributing more
+    // (the paper's TDRM counterexample is exactly this).
+    identity_counts.insert(identity_counts.begin(), 1);
+  }
+
+  bool best_profit_seen = false;
+  for (std::size_t k : identity_counts) {
+    for (SybilTopology topology : {SybilTopology::kChain, SybilTopology::kStar,
+                                   SybilTopology::kTwoLevel}) {
+      if (k == 1 && topology != SybilTopology::kChain) {
+        continue;  // all topologies coincide for a single identity
+      }
+      for (SplitRule split :
+           {SplitRule::kBalanced, SplitRule::kHeadHeavy, SplitRule::kTailHeavy,
+            SplitRule::kMuQuantized, SplitRule::kRandom}) {
+        if (k == 1 && split != SplitRule::kBalanced) {
+          continue;  // splits coincide for a single identity
+        }
+        const std::size_t split_variants =
+            (split == SplitRule::kRandom) ? options.random_splits : 1;
+        for (SubtreePlacement placement :
+             {SubtreePlacement::kAllOnTail, SubtreePlacement::kAllOnHead,
+              SubtreePlacement::kSpread}) {
+          if (scenario.future_subtrees.empty() &&
+              placement != SubtreePlacement::kAllOnTail) {
+            continue;  // placement is irrelevant without future subtrees
+          }
+          for (double multiplier : multipliers) {
+            for (std::size_t variant = 0; variant < split_variants;
+                 ++variant) {
+              AttackConfig config{.topology = topology,
+                                  .split = split,
+                                  .placement = placement,
+                                  .identities = k,
+                                  .contribution_multiplier = multiplier};
+              const ConfigResult result =
+                  evaluate_attack(mechanism, scenario, config, rng,
+                                  options.mu);
+              ++outcome.configurations_tried;
+
+              if (multiplier == 1.0 &&
+                  result.total_reward > outcome.best_reward) {
+                outcome.best_reward = result.total_reward;
+                outcome.best_reward_config = config;
+              }
+              const double attack_profit =
+                  result.total_reward - result.total_contribution;
+              if (!best_profit_seen || attack_profit > outcome.best_profit) {
+                outcome.best_profit = attack_profit;
+                outcome.best_profit_config = config;
+                best_profit_seen = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+std::vector<SybilScenario> standard_scenarios(double mu, std::uint64_t seed) {
+  std::vector<SybilScenario> scenarios;
+  Rng rng(seed);
+
+  {
+    SybilScenario s;
+    s.label = "lone-joiner";
+    s.join_parent = kRoot;
+    s.contribution = 1.7 * mu;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    SybilScenario s;
+    s.label = "joiner-with-stars";
+    s.join_parent = kRoot;
+    s.contribution = 1.7 * mu;
+    s.future_subtrees.push_back(make_star(5, mu, mu));
+    s.future_subtrees.push_back(make_star(3, 2.0 * mu, 0.4 * mu));
+    scenarios.push_back(std::move(s));
+  }
+  {
+    SybilScenario s;
+    s.label = "mid-tree-joiner";
+    s.base = make_caterpillar(3, 2, mu);
+    s.join_parent = 4;  // a spine node's leg
+    s.contribution = 2.5 * mu;
+    s.future_subtrees.push_back(make_chain(3, mu));
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // The Sec. 5 TDRM counterexample family: C(u) = mu/2 with k children
+    // of contribution mu each; k = 40 > 1/(a*b*lambda) for the default
+    // parameters (0.5 * 0.4 * 0.4 => threshold 12.5).
+    SybilScenario s;
+    s.label = "tdrm-counterexample";
+    s.join_parent = kRoot;
+    s.contribution = 0.5 * mu;
+    for (int i = 0; i < 40; ++i) {
+      Tree child;
+      child.add_independent(mu);
+      s.future_subtrees.push_back(std::move(child));
+    }
+    scenarios.push_back(std::move(s));
+  }
+  {
+    SybilScenario s;
+    s.label = "whale-joiner";
+    s.join_parent = kRoot;
+    s.contribution = 7.3 * mu;
+    s.future_subtrees.push_back(make_star(6, mu, mu));
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Tiny own contribution on top of a massive descendant subtree: for
+    // topology-dependent mechanisms whose reward tracks the whole
+    // subtree (e.g. L-Pachira), the marginal reward per unit of own
+    // contribution exceeds 1 here, so the generalized "just contribute
+    // more" attack becomes profitable.
+    SybilScenario s;
+    s.label = "heavy-descendants";
+    s.join_parent = kRoot;
+    s.contribution = 0.3 * mu;
+    s.future_subtrees.push_back(make_star(51, mu, mu));
+    scenarios.push_back(std::move(s));
+  }
+  {
+    SybilScenario s;
+    s.label = "random-base";
+    s.base = random_recursive_tree(18, uniform_contribution(0.2 * mu, 3.0 * mu),
+                                   rng);
+    s.join_parent = static_cast<NodeId>(1 + rng.index(18));
+    s.contribution = 2.0 * mu;
+    s.future_subtrees.push_back(make_star(4, mu, mu));
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+}  // namespace itree

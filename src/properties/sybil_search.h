@@ -1,0 +1,134 @@
+// Sybil attack-search engine (Sec. 3.2).
+//
+// A Sybil scenario fixes everything a strategic participant cannot
+// control — the existing tree, the join point (its solicitor), and the
+// descendant subtrees it will eventually solicit — and the engine
+// searches over everything the participant CAN control:
+//   * how many identities to forge (k),
+//   * the identities' topology under the solicitor (chain, star, and
+//     two-level hybrids),
+//   * how the fixed total contribution is partitioned across identities
+//     (balanced, head-heavy, tail-heavy, mu-quantized eps-chains — the
+//     split TDRM's appendix proves optimal, plus seeded random splits),
+//   * which identity each later-solicited subtree attaches to
+//     (head / tail / spread),
+//   * for the generalized attack (UGSA) additionally: *increasing* the
+//     total contribution by a set of multipliers, including the pure
+//     k = 1 "just contribute more" attack the paper's TDRM
+//     counterexample uses.
+// The engine reports the honest outcome, the best attack found, and the
+// configuration that achieved it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "properties/report.h"
+#include "tree/tree.h"
+#include "util/rng.h"
+
+namespace itree {
+
+/// The fixed environment of an attack.
+struct SybilScenario {
+  std::string label;
+  Tree base;                        ///< existing tree T_0
+  NodeId join_parent = kRoot;       ///< the attacker's solicitor
+  double contribution = 1.0;        ///< honest contribution C'(u)
+  /// Subtrees the attacker's future solicitees form (each Tree's forest
+  /// roots become children of one of the attacker's identities).
+  std::vector<Tree> future_subtrees;
+};
+
+/// Topology of the forged identities under the join parent.
+enum class SybilTopology {
+  kChain,     ///< u_1 -> u_2 -> ... -> u_k
+  kStar,      ///< u_1..u_k all children of the join parent
+  kTwoLevel,  ///< u_1 under parent; u_2..u_k children of u_1
+};
+
+/// How the attacker's total contribution is split across k identities.
+enum class SplitRule {
+  kBalanced,     ///< equal shares
+  kHeadHeavy,    ///< nearly all on u_1
+  kTailHeavy,    ///< nearly all on u_k
+  kMuQuantized,  ///< eps-chain: mu each from the tail, remainder on head
+  kRandom,       ///< seeded random partition
+};
+
+/// Where the future subtrees attach.
+enum class SubtreePlacement {
+  kAllOnTail,
+  kAllOnHead,
+  kSpread,  ///< round-robin over identities
+};
+
+struct AttackConfig {
+  SybilTopology topology = SybilTopology::kChain;
+  SplitRule split = SplitRule::kBalanced;
+  SubtreePlacement placement = SubtreePlacement::kAllOnTail;
+  std::size_t identities = 2;
+  /// Contribution multiplier (1 for USA; > 1 allowed for UGSA).
+  double contribution_multiplier = 1.0;
+
+  std::string to_string() const;
+};
+
+struct AttackOutcome {
+  double honest_reward = 0.0;  ///< R'(u): joins as one node, C'(u)
+  double honest_profit = 0.0;
+  double best_reward = 0.0;  ///< max total Sybil reward at equal cost
+  double best_profit = 0.0;  ///< max total Sybil profit over all configs
+  AttackConfig best_reward_config;
+  AttackConfig best_profit_config;
+  std::size_t configurations_tried = 0;
+};
+
+struct SearchOptions {
+  std::uint64_t seed = 20130722;
+  std::vector<std::size_t> identity_counts = {2, 3, 5};
+  /// Multipliers > 1 explored by the UGSA search (USA always uses 1).
+  std::vector<double> contribution_multipliers = {1.0, 1.5, 2.0, 4.0};
+  std::size_t random_splits = 4;
+  /// mu used by the kMuQuantized split (should match TDRM's mu).
+  double mu = 1.0;
+};
+
+/// Materializes one attack configuration into `tree`: creates the
+/// identities under `join_parent` per the config's topology/split and
+/// attaches `future_subtrees` per its placement. Returns the identity
+/// ids (head first). Used by the evaluator below and by the adaptive
+/// adversary in sim/adversary.h.
+std::vector<NodeId> materialize_attack(Tree& tree, NodeId join_parent,
+                                       double total_contribution,
+                                       const std::vector<Tree>& future_subtrees,
+                                       const AttackConfig& config, Rng& rng,
+                                       double mu = 1.0);
+
+/// Evaluates one attack configuration; returns total reward of the
+/// attacker's identities and their total contribution.
+struct ConfigResult {
+  double total_reward = 0.0;
+  double total_contribution = 0.0;
+};
+ConfigResult evaluate_attack(const Mechanism& mechanism,
+                             const SybilScenario& scenario,
+                             const AttackConfig& config, Rng& rng,
+                             double mu = 1.0);
+
+/// Runs the full search. `allow_extra_contribution` = false restricts to
+/// equal-cost attacks (USA); true also explores the generalized attack
+/// space (UGSA), including the single-identity contribute-more attack.
+AttackOutcome search_attacks(const Mechanism& mechanism,
+                             const SybilScenario& scenario,
+                             bool allow_extra_contribution,
+                             const SearchOptions& options = {});
+
+/// The standard scenario suite used by the USA/UGSA checkers and the
+/// attack benches: hand-built extremal scenarios plus the paper's Sec. 5
+/// TDRM counterexample family.
+std::vector<SybilScenario> standard_scenarios(double mu = 1.0,
+                                              std::uint64_t seed = 20130722);
+
+}  // namespace itree

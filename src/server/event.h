@@ -1,0 +1,34 @@
+// Events of a live Incentive Tree deployment.
+//
+// A deployment is fully described by its event history: who joined under
+// whom with what initial contribution, and who contributed more later.
+// The reward service (reward_service.h) consumes these events; the event
+// log (event_log.h) persists and replays them.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "tree/tree.h"
+
+namespace itree {
+
+/// A participant joins (referrer == kRoot means an organic join).
+struct JoinEvent {
+  NodeId referrer = kRoot;
+  double initial_contribution = 0.0;
+
+  bool operator==(const JoinEvent&) const = default;
+};
+
+/// An existing participant adds contribution (a purchase, more work...).
+struct ContributeEvent {
+  NodeId participant = kInvalidNode;
+  double amount = 0.0;
+
+  bool operator==(const ContributeEvent&) const = default;
+};
+
+using Event = std::variant<JoinEvent, ContributeEvent>;
+
+}  // namespace itree

@@ -1,0 +1,81 @@
+#include "server/event_log.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace itree {
+
+std::string EventLog::serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  for (const Event& event : events_) {
+    if (const auto* join = std::get_if<JoinEvent>(&event)) {
+      out << "J " << join->referrer << ' ' << join->initial_contribution
+          << '\n';
+    } else {
+      const auto& contribute = std::get<ContributeEvent>(event);
+      out << "C " << contribute.participant << ' ' << contribute.amount
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+EventLog EventLog::parse(const std::string& text) {
+  EventLog log;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    char kind = 0;
+    unsigned long id = 0;
+    double value = 0.0;
+    fields >> kind >> id >> value;
+    require(!fields.fail(),
+            "EventLog::parse: malformed line " + std::to_string(line_number) +
+                ": '" + line + "'");
+    switch (kind) {
+      case 'J':
+        log.append(JoinEvent{static_cast<NodeId>(id), value});
+        break;
+      case 'C':
+        log.append(ContributeEvent{static_cast<NodeId>(id), value});
+        break;
+      default:
+        require(false, "EventLog::parse: unknown event kind '" +
+                           std::string(1, kind) + "' on line " +
+                           std::to_string(line_number));
+    }
+  }
+  return log;
+}
+
+RewardService EventLog::replay(const Mechanism& mechanism) const {
+  RewardService service(mechanism);
+  for (const Event& event : events_) {
+    service.apply(event);
+  }
+  return service;
+}
+
+NodeId RecordingService::join(NodeId referrer, double initial_contribution) {
+  const JoinEvent event{referrer, initial_contribution};
+  const NodeId id = service_.apply(event);
+  log_.append(event);
+  return id;
+}
+
+void RecordingService::contribute(NodeId participant, double amount) {
+  const ContributeEvent event{participant, amount};
+  service_.apply(event);
+  log_.append(event);
+}
+
+}  // namespace itree

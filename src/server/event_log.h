@@ -1,0 +1,61 @@
+// Persistent event log: serialization and replay.
+//
+// Line format (one event per line, whitespace-separated):
+//   J <referrer-id> <initial-contribution>
+//   C <participant-id> <amount>
+// Replay feeds the log through a fresh RewardService, reconstructing
+// the exact deployment state (ids are assigned deterministically in
+// event order).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "server/event.h"
+#include "server/reward_service.h"
+
+namespace itree {
+
+class EventLog {
+ public:
+  EventLog() = default;
+
+  void append(Event event) { events_.push_back(std::move(event)); }
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// One line per event (see format above).
+  std::string serialize() const;
+
+  /// Parses a serialized log. Throws std::invalid_argument on malformed
+  /// lines.
+  static EventLog parse(const std::string& text);
+
+  /// Feeds every event through a fresh service for `mechanism`.
+  RewardService replay(const Mechanism& mechanism) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Records every event applied to a service so the deployment can be
+/// replayed or audited later. Thin wrapper keeping log and service in
+/// lockstep.
+class RecordingService {
+ public:
+  explicit RecordingService(const Mechanism& mechanism)
+      : service_(mechanism) {}
+
+  NodeId join(NodeId referrer, double initial_contribution);
+  void contribute(NodeId participant, double amount);
+
+  const RewardService& service() const { return service_; }
+  const EventLog& log() const { return log_; }
+
+ private:
+  RewardService service_;
+  EventLog log_;
+};
+
+}  // namespace itree

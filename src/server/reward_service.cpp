@@ -1,0 +1,140 @@
+#include "server/reward_service.h"
+
+#include <cmath>
+
+#include "core/l_transform.h"
+#include "util/check.h"
+
+namespace itree {
+
+RewardService::RewardService(const Mechanism& mechanism)
+    : mechanism_(&mechanism) {
+  // Select the incremental fast path where the mechanism's structure
+  // allows it. dynamic_cast keeps the Mechanism interface clean: the
+  // service, not the mechanism, owns deployment concerns.
+  if (const auto* geometric =
+          dynamic_cast<const GeometricMechanism*>(mechanism_)) {
+    mode_ = Mode::kGeometric;
+    geometric_state_.emplace(geometric->a());
+    geometric_b_ = geometric->b();
+  } else if (const auto* lluxor =
+                 dynamic_cast<const LLuxorMechanism*>(mechanism_)) {
+    // L-Luxor(delta) == Geometric(a=delta, b=Phi*(1-delta)).
+    mode_ = Mode::kGeometric;
+    geometric_state_.emplace(lluxor->delta());
+    geometric_b_ = lluxor->Phi() * (1.0 - lluxor->delta());
+  } else if (const auto* cdrm =
+                 dynamic_cast<const CdrmMechanism*>(mechanism_)) {
+    mode_ = Mode::kCdrm;
+    subtree_state_.emplace();
+    cdrm_ = cdrm;
+  }
+}
+
+const Tree& RewardService::tree() const {
+  switch (mode_) {
+    case Mode::kGeometric:
+      return geometric_state_->tree();
+    case Mode::kCdrm:
+      return subtree_state_->tree();
+    case Mode::kBatch:
+      break;
+  }
+  return batch_tree_;
+}
+
+NodeId RewardService::apply(const JoinEvent& event) {
+  require(event.initial_contribution >= 0.0,
+          "RewardService: initial contribution must be >= 0");
+  ++events_applied_;
+  dirty_ = true;
+  switch (mode_) {
+    case Mode::kGeometric:
+      return geometric_state_->add_leaf(event.referrer,
+                                        event.initial_contribution);
+    case Mode::kCdrm:
+      return subtree_state_->add_leaf(event.referrer,
+                                      event.initial_contribution);
+    case Mode::kBatch:
+      break;
+  }
+  return batch_tree_.add_node(event.referrer, event.initial_contribution);
+}
+
+void RewardService::apply(const ContributeEvent& event) {
+  require(event.amount >= 0.0, "RewardService: amount must be >= 0");
+  ++events_applied_;
+  dirty_ = true;
+  switch (mode_) {
+    case Mode::kGeometric:
+      geometric_state_->add_contribution(event.participant, event.amount);
+      return;
+    case Mode::kCdrm:
+      subtree_state_->add_contribution(event.participant, event.amount);
+      return;
+    case Mode::kBatch:
+      break;
+  }
+  require(batch_tree_.contains(event.participant) &&
+              event.participant != kRoot,
+          "RewardService: unknown participant");
+  batch_tree_.set_contribution(
+      event.participant,
+      batch_tree_.contribution(event.participant) + event.amount);
+}
+
+std::optional<NodeId> RewardService::apply(const Event& event) {
+  if (const auto* join = std::get_if<JoinEvent>(&event)) {
+    return apply(*join);
+  }
+  apply(std::get<ContributeEvent>(event));
+  return std::nullopt;
+}
+
+double RewardService::reward(NodeId participant) const {
+  require(participant != kRoot && tree().contains(participant),
+          "RewardService::reward: unknown participant");
+  switch (mode_) {
+    case Mode::kGeometric:
+      return geometric_state_->geometric_reward(participant, geometric_b_);
+    case Mode::kCdrm: {
+      const double x = subtree_state_->x_of(participant);
+      if (x <= 0.0) {
+        return 0.0;
+      }
+      return cdrm_->reward_function(x, subtree_state_->y_of(participant));
+    }
+    case Mode::kBatch:
+      break;
+  }
+  return rewards()[participant];
+}
+
+const RewardVector& RewardService::rewards() const {
+  if (dirty_) {
+    cached_rewards_ = mechanism_->compute(tree());
+    dirty_ = false;
+  }
+  return cached_rewards_;
+}
+
+double RewardService::total_reward() const {
+  if (mode_ == Mode::kGeometric) {
+    return geometric_state_->total_geometric_reward(geometric_b_);
+  }
+  return itree::total_reward(rewards());
+}
+
+double RewardService::audit() const {
+  if (mode_ == Mode::kBatch) {
+    return 0.0;
+  }
+  const RewardVector batch = mechanism_->compute(tree());
+  double worst = 0.0;
+  for (NodeId u = 1; u < tree().node_count(); ++u) {
+    worst = std::max(worst, std::fabs(batch[u] - reward(u)));
+  }
+  return worst;
+}
+
+}  // namespace itree

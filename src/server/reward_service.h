@@ -1,0 +1,81 @@
+// Event-sourced reward service: the deployment-facing API.
+//
+// Wraps a mechanism behind an event stream. For mechanisms whose
+// aggregates admit O(depth) maintenance (Geometric and the CDRM family)
+// the service answers reward queries from incremental state; for every
+// other mechanism it falls back to a dirty-cached batch computation.
+// `audit()` recomputes from scratch and reports the largest divergence —
+// the operation a real deployment runs before paying out.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/cdrm.h"
+#include "core/geometric.h"
+#include "core/incremental.h"
+#include "core/mechanism.h"
+#include "server/event.h"
+
+namespace itree {
+
+class RewardService {
+ public:
+  /// The mechanism must outlive the service. An incremental fast path is
+  /// selected automatically when the mechanism supports one.
+  explicit RewardService(const Mechanism& mechanism);
+
+  /// Applies a join; returns the assigned participant id.
+  NodeId apply(const JoinEvent& event);
+
+  /// Applies a contribution. Throws std::invalid_argument for unknown
+  /// participants or negative amounts.
+  void apply(const ContributeEvent& event);
+
+  /// Applies any event; returns the new participant id for joins.
+  std::optional<NodeId> apply(const Event& event);
+
+  /// Current reward of one participant.
+  double reward(NodeId participant) const;
+
+  /// Current rewards of everyone (batch path; root entry is 0). The
+  /// reference stays valid until the next applied event.
+  const RewardVector& rewards() const;
+
+  /// Total reward paid if the system settled now.
+  double total_reward() const;
+
+  /// True when the service answers `reward()` from incremental state.
+  bool incremental() const { return mode_ != Mode::kBatch; }
+
+  /// Largest |incremental - batch| divergence across participants
+  /// (0 for batch-mode services). A production deployment runs this
+  /// before each payout cycle.
+  double audit() const;
+
+  const Tree& tree() const;
+  const Mechanism& mechanism() const { return *mechanism_; }
+  std::size_t events_applied() const { return events_applied_; }
+
+ private:
+  enum class Mode { kBatch, kGeometric, kCdrm };
+
+  const Mechanism* mechanism_;
+  Mode mode_ = Mode::kBatch;
+
+  // Exactly one of these backs the service, per mode_.
+  std::optional<IncrementalGeometricState> geometric_state_;
+  std::optional<IncrementalSubtreeState> subtree_state_;
+  Tree batch_tree_;
+
+  // Geometric fast-path coefficient (b, or Phi*(1-delta) for L-Luxor).
+  double geometric_b_ = 0.0;
+  // CDRM fast path evaluates the mechanism's own R(x, y).
+  const CdrmMechanism* cdrm_ = nullptr;
+
+  mutable RewardVector cached_rewards_;
+  mutable bool dirty_ = true;
+  std::size_t events_applied_ = 0;
+};
+
+}  // namespace itree

@@ -1,0 +1,73 @@
+#include "sim/adversary.h"
+
+#include "util/check.h"
+
+namespace itree {
+
+AdversaryOutcome run_adaptive_adversary(const Mechanism& mechanism,
+                                        const AdversaryOptions& options) {
+  require(options.joiners_per_wave >= 1,
+          "run_adaptive_adversary: needs at least one joiner per wave");
+  Rng rng(options.seed);
+  Tree tree;
+  AdversaryOutcome outcome;
+  outcome.mechanism = mechanism.display_name();
+
+  auto random_parent = [&]() -> NodeId {
+    if (tree.participant_count() == 0 || rng.bernoulli(0.2)) {
+      return kRoot;
+    }
+    return static_cast<NodeId>(1 + rng.index(tree.participant_count()));
+  };
+
+  for (std::size_t wave = 0; wave < options.waves; ++wave) {
+    // Honest joiners of this wave.
+    for (std::size_t j = 0; j + 1 < options.joiners_per_wave; ++j) {
+      tree.add_node(random_parent(), options.contribution);
+    }
+
+    // The strategic joiner: search, then execute the best entry.
+    SybilScenario scenario;
+    scenario.label = "wave-" + std::to_string(wave);
+    scenario.base = tree;
+    scenario.join_parent = random_parent();
+    scenario.contribution = options.contribution;
+    for (std::size_t r = 0; r < options.future_recruits; ++r) {
+      Tree recruit;
+      recruit.add_independent(1.0);
+      scenario.future_subtrees.push_back(std::move(recruit));
+    }
+    const AttackOutcome search = search_attacks(
+        mechanism, scenario, options.allow_extra_contribution,
+        options.search);
+
+    ++outcome.strategic_joiners;
+    outcome.honest_value += search.honest_profit;
+
+    if (search.best_profit > search.honest_profit + 1e-12) {
+      // Execute the winning attack configuration on the real tree.
+      ++outcome.attacks_chosen;
+      outcome.extracted_value += search.best_profit;
+      const AttackConfig& config = search.best_profit_config;
+      materialize_attack(
+          tree, scenario.join_parent,
+          options.contribution * config.contribution_multiplier,
+          scenario.future_subtrees, config, rng, options.search.mu);
+    } else {
+      outcome.extracted_value += search.honest_profit;
+      const NodeId joined =
+          tree.add_node(scenario.join_parent, options.contribution);
+      for (const Tree& future : scenario.future_subtrees) {
+        graft_forest(tree, joined, future);
+      }
+    }
+  }
+
+  outcome.attack_premium = outcome.extracted_value - outcome.honest_value;
+  const double total = tree.total_contribution();
+  outcome.final_payout_ratio =
+      total > 0.0 ? total_reward(mechanism.compute(tree)) / total : 0.0;
+  return outcome;
+}
+
+}  // namespace itree

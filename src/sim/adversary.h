@@ -1,0 +1,55 @@
+// Adaptive adversary: a strategic joiner that *optimizes* its entry.
+//
+// The static USA/UGSA checkers fix a scenario and search attack
+// configurations. This module models the stronger, deployment-time
+// threat: each strategic joiner runs the attack search against the
+// CURRENT tree before entering, picks the most profitable configuration
+// it can find (possibly honest), and executes it. Running a population
+// of such adversaries against a mechanism measures how much value
+// identity-forging actually extracts over a deployment's lifetime —
+// the operational cost of a missing USA/UGSA property.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "properties/sybil_search.h"
+#include "util/rng.h"
+
+namespace itree {
+
+struct AdversaryOptions {
+  std::size_t waves = 20;            ///< join waves
+  std::size_t joiners_per_wave = 3;  ///< one strategic joiner among them
+  double contribution = 2.0;         ///< each joiner's (honest) budget
+  /// Unit-contribution recruits each strategic joiner expects to solicit
+  /// later (the attack search places them optimally; the honest entry
+  /// attaches them directly). TDRM's contribute-more attack only pays
+  /// off with enough future recruits (Sec. 5's k threshold).
+  std::size_t future_recruits = 0;
+  /// Allow attacks that add contribution (UGSA-style) when true;
+  /// equal-cost (USA-style) only when false.
+  bool allow_extra_contribution = false;
+  SearchOptions search;
+  std::uint64_t seed = 20130722;
+};
+
+struct AdversaryOutcome {
+  std::string mechanism;
+  std::size_t strategic_joiners = 0;
+  std::size_t attacks_chosen = 0;  ///< times an attack beat honest entry
+  /// Profits are evaluated at each joiner's decision time (rewards keep
+  /// evolving afterwards; the premium measures the entry-time edge).
+  double honest_value = 0.0;     ///< sum of honest-entry profits
+  double extracted_value = 0.0;  ///< sum of best-entry profits
+  /// extracted - honest: what identity forging was worth in total.
+  double attack_premium = 0.0;
+  double final_payout_ratio = 0.0;  ///< R(T)/C(T) at the end
+};
+
+/// Runs the adaptive-adversary deployment against one mechanism.
+AdversaryOutcome run_adaptive_adversary(const Mechanism& mechanism,
+                                        const AdversaryOptions& options = {});
+
+}  // namespace itree

@@ -1,0 +1,191 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace itree {
+
+SocialGraph::SocialGraph(std::size_t size) : adjacency_(size) {
+  require(size >= 2, "SocialGraph: needs at least two people");
+}
+
+void SocialGraph::add_edge(std::size_t a, std::size_t b) {
+  require(a < size() && b < size(), "SocialGraph::add_edge: out of range");
+  require(a != b, "SocialGraph::add_edge: self loops are not allowed");
+  if (has_edge(a, b)) {
+    return;
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edges_;
+}
+
+bool SocialGraph::has_edge(std::size_t a, std::size_t b) const {
+  require(a < size() && b < size(), "SocialGraph::has_edge: out of range");
+  const auto& smaller = adjacency_[a].size() <= adjacency_[b].size()
+                            ? adjacency_[a]
+                            : adjacency_[b];
+  const std::size_t target = adjacency_[a].size() <= adjacency_[b].size()
+                                 ? b
+                                 : a;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+const std::vector<std::size_t>& SocialGraph::neighbors(
+    std::size_t person) const {
+  require(person < size(), "SocialGraph::neighbors: out of range");
+  return adjacency_[person];
+}
+
+SocialGraph SocialGraph::watts_strogatz(std::size_t size, std::size_t k,
+                                        double beta, Rng& rng) {
+  require(k >= 2 && k % 2 == 0, "watts_strogatz: k must be even and >= 2");
+  require(size > k, "watts_strogatz: size must exceed k");
+  require(beta >= 0.0 && beta <= 1.0, "watts_strogatz: beta in [0, 1]");
+  SocialGraph graph(size);
+  // Ring lattice: each node to its k/2 clockwise neighbours; rewire the
+  // far endpoint with probability beta.
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      std::size_t target = (i + j) % size;
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniform random non-self, non-duplicate node.
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const std::size_t candidate = rng.index(size);
+          if (candidate != i && !graph.has_edge(i, candidate)) {
+            target = candidate;
+            break;
+          }
+        }
+      }
+      if (target != i) {
+        graph.add_edge(i, target);
+      }
+    }
+  }
+  return graph;
+}
+
+SocialGraph SocialGraph::barabasi_albert(std::size_t size, std::size_t m,
+                                         Rng& rng) {
+  require(m >= 1, "barabasi_albert: m must be >= 1");
+  require(size > m, "barabasi_albert: size must exceed m");
+  SocialGraph graph(size);
+  // Degree-proportional sampling via the repeated-endpoints trick.
+  std::vector<std::size_t> endpoints;
+  // Seed clique over the first m+1 nodes.
+  for (std::size_t a = 0; a <= m; ++a) {
+    for (std::size_t b = a + 1; b <= m; ++b) {
+      graph.add_edge(a, b);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  for (std::size_t node = m + 1; node < size; ++node) {
+    std::vector<std::size_t> chosen;
+    for (int attempt = 0;
+         chosen.size() < m && attempt < 64 * static_cast<int>(m);
+         ++attempt) {
+      const std::size_t candidate = endpoints[rng.index(endpoints.size())];
+      if (candidate != node &&
+          std::find(chosen.begin(), chosen.end(), candidate) ==
+              chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (std::size_t target : chosen) {
+      graph.add_edge(node, target);
+      endpoints.push_back(node);
+      endpoints.push_back(target);
+    }
+  }
+  return graph;
+}
+
+NetworkCampaignOutcome run_network_campaign(
+    const Mechanism& mechanism, const SocialGraph& graph,
+    const NetworkCampaignConfig& config) {
+  require(config.seed_participants >= 1 &&
+              config.seed_participants <= graph.size(),
+          "run_network_campaign: bad seed count");
+  Rng rng(config.seed);
+
+  NetworkCampaignOutcome outcome;
+  outcome.mechanism = mechanism.display_name();
+  outcome.population = graph.size();
+
+  // person -> node id in the referral tree (kInvalidNode = not joined).
+  std::vector<NodeId> node_of(graph.size(), kInvalidNode);
+  std::vector<std::size_t> joined_people;
+
+  auto join = [&](std::size_t person, NodeId parent) {
+    node_of[person] = outcome.tree.add_node(parent, config.contribution);
+    joined_people.push_back(person);
+  };
+
+  // Seed joiners (uniform, without replacement).
+  while (joined_people.size() < config.seed_participants) {
+    const std::size_t person = rng.index(graph.size());
+    if (node_of[person] == kInvalidNode) {
+      join(person, kRoot);
+    }
+  }
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const RewardVector base = mechanism.compute(outcome.tree);
+    const std::size_t joined_at_epoch_start = joined_people.size();
+    const int attempts =
+        rng.poisson(config.solicitation_rate *
+                    static_cast<double>(joined_at_epoch_start));
+    for (int i = 0; i < attempts; ++i) {
+      const std::size_t solicitor =
+          joined_people[rng.index(joined_at_epoch_start)];
+      // Pick an unjoined contact, if any.
+      const auto& contacts = graph.neighbors(solicitor);
+      if (contacts.empty()) {
+        continue;
+      }
+      const std::size_t contact = contacts[rng.index(contacts.size())];
+      if (node_of[contact] != kInvalidNode) {
+        continue;  // already joined; the attempt is wasted
+      }
+      // Solicitation effort driven by the measured marginal reward.
+      const NodeId solicitor_node = node_of[solicitor];
+      outcome.tree.add_node(solicitor_node, config.probe_contribution);
+      const double with_recruit =
+          mechanism.reward_of(outcome.tree, solicitor_node);
+      outcome.tree.remove_last_node();
+      const double marginal = with_recruit - base[solicitor_node];
+      const double success = 1.0 - std::exp(-config.reward_responsiveness *
+                                            std::max(0.0, marginal));
+      if (rng.bernoulli(success)) {
+        join(contact, solicitor_node);
+      }
+    }
+    outcome.adoption_curve.push_back(joined_people.size());
+    if (outcome.half_adoption_epoch == 0 &&
+        2 * joined_people.size() >= graph.size()) {
+      outcome.half_adoption_epoch = epoch + 1;
+    }
+  }
+
+  outcome.joined = joined_people.size();
+  outcome.adoption = static_cast<double>(outcome.joined) /
+                     static_cast<double>(graph.size());
+  for (std::size_t person = 0; person < graph.size(); ++person) {
+    if (node_of[person] != kInvalidNode) {
+      continue;
+    }
+    for (std::size_t contact : graph.neighbors(person)) {
+      if (node_of[contact] != kInvalidNode) {
+        ++outcome.reached_but_unconverted;
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace itree

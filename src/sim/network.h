@@ -1,0 +1,82 @@
+// Social-contact-network substrate for campaign simulations.
+//
+// Real referral cascades (the crowdsourcing deployments of Sec. 1, the
+// Red Balloon Challenge) spread over a *contact graph*: a participant
+// can only solicit people it knows. This module provides the two
+// standard social topologies — Watts–Strogatz small worlds and
+// Barabási–Albert scale-free graphs — plus a growth engine in which
+// joined people recruit unjoined contacts with success probability
+// driven by their measured marginal reward. Campaign reach then depends
+// on BOTH the mechanism's incentive pull and the network's structure,
+// which bench A9 quantifies.
+#pragma once
+
+#include <vector>
+
+#include "core/mechanism.h"
+#include "tree/tree.h"
+#include "util/rng.h"
+
+namespace itree {
+
+/// Undirected simple graph over people 0..size-1.
+class SocialGraph {
+ public:
+  explicit SocialGraph(std::size_t size);
+
+  std::size_t size() const { return adjacency_.size(); }
+
+  /// Adds an undirected edge (idempotent; self-loops rejected).
+  void add_edge(std::size_t a, std::size_t b);
+
+  bool has_edge(std::size_t a, std::size_t b) const;
+  const std::vector<std::size_t>& neighbors(std::size_t person) const;
+  std::size_t edge_count() const { return edges_; }
+
+  /// Watts–Strogatz small world: ring lattice with `k` nearest
+  /// neighbours per side... each node connects to its k nearest (k even,
+  /// k/2 per side), then each edge rewires with probability `beta`.
+  static SocialGraph watts_strogatz(std::size_t size, std::size_t k,
+                                    double beta, Rng& rng);
+
+  /// Barabási–Albert scale-free: each new node attaches `m` edges
+  /// preferentially by degree.
+  static SocialGraph barabasi_albert(std::size_t size, std::size_t m,
+                                     Rng& rng);
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+struct NetworkCampaignConfig {
+  std::size_t epochs = 60;
+  std::size_t seed_participants = 3;  ///< initial joiners (random people)
+  /// Solicitation attempts per joined person per epoch.
+  double solicitation_rate = 0.5;
+  double reward_responsiveness = 4.0;
+  double probe_contribution = 1.0;
+  double contribution = 1.0;  ///< contribution of every joiner
+  std::uint64_t seed = 20130722;
+};
+
+struct NetworkCampaignOutcome {
+  std::string mechanism;
+  std::size_t population = 0;
+  std::size_t joined = 0;
+  double adoption = 0.0;  ///< joined / population
+  /// First epoch at which half the population had joined (0 if never).
+  std::size_t half_adoption_epoch = 0;
+  /// People who never joined although at least one contact did (the
+  /// campaign reached but failed to convert them).
+  std::size_t reached_but_unconverted = 0;
+  std::vector<std::size_t> adoption_curve;  ///< joined count per epoch
+  Tree tree;                                ///< the realized referral tree
+};
+
+/// Runs a network-constrained campaign for `mechanism` over `graph`.
+NetworkCampaignOutcome run_network_campaign(
+    const Mechanism& mechanism, const SocialGraph& graph,
+    const NetworkCampaignConfig& config = {});
+
+}  // namespace itree

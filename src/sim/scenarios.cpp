@@ -1,0 +1,59 @@
+#include "sim/scenarios.h"
+
+namespace itree {
+
+SimulationConfig bootstrap_config(std::uint64_t seed) {
+  SimulationConfig config;
+  config.epochs = 40;
+  config.base_arrival_rate = 0.8;
+  config.solicitation_rate = 0.5;
+  config.reward_responsiveness = 5.0;
+  config.contribution = fixed_contribution(1.0);
+  config.seed = seed;
+  return config;
+}
+
+SimulationConfig sybil_infested_config(double sybil_fraction,
+                                       std::uint64_t seed) {
+  SimulationConfig config = bootstrap_config(seed);
+  config.sybil_fraction = sybil_fraction;
+  config.sybil_identities = 4;
+  return config;
+}
+
+SimulationConfig marketplace_config(std::uint64_t seed) {
+  SimulationConfig config;
+  config.epochs = 40;
+  config.base_arrival_rate = 1.2;
+  config.solicitation_rate = 0.4;
+  config.reward_responsiveness = 3.0;
+  config.contribution = lognormal_contribution(0.0, 1.0);
+  config.free_rider_fraction = 0.1;
+  config.seed = seed;
+  return config;
+}
+
+ScenarioOutcome run_scenario(const Mechanism& mechanism,
+                             const SimulationConfig& config) {
+  SimulationEngine engine(mechanism, config);
+  ScenarioOutcome outcome;
+  outcome.mechanism = mechanism.display_name();
+  outcome.history = engine.run();
+  if (!outcome.history.empty()) {
+    const EpochStats& last = outcome.history.back();
+    outcome.participants = last.participants;
+    outcome.total_contribution = last.total_contribution;
+    outcome.total_reward = last.total_reward;
+    outcome.payout_ratio = last.payout_ratio;
+    outcome.final_gini = last.reward_gini;
+    double marginal_sum = 0.0;
+    for (const EpochStats& stats : outcome.history) {
+      marginal_sum += stats.mean_marginal_reward;
+    }
+    outcome.mean_marginal_reward =
+        marginal_sum / static_cast<double>(outcome.history.size());
+  }
+  return outcome;
+}
+
+}  // namespace itree

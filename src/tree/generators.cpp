@@ -1,0 +1,167 @@
+#include "tree/generators.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace itree {
+
+ContributionSampler fixed_contribution(double value) {
+  require(value >= 0.0, "fixed_contribution: value must be >= 0");
+  return [value](Rng&) { return value; };
+}
+
+ContributionSampler uniform_contribution(double lo, double hi) {
+  require(lo >= 0.0 && hi >= lo, "uniform_contribution: need 0 <= lo <= hi");
+  return [lo, hi](Rng& rng) { return rng.uniform(lo, hi); };
+}
+
+ContributionSampler lognormal_contribution(double mu, double sigma) {
+  return [mu, sigma](Rng& rng) { return rng.lognormal(mu, sigma); };
+}
+
+ContributionSampler pareto_contribution(double x_m, double alpha) {
+  return [x_m, alpha](Rng& rng) { return rng.pareto(x_m, alpha); };
+}
+
+ContributionSampler capped_contribution(ContributionSampler sampler,
+                                        double cap) {
+  require(cap > 0.0, "capped_contribution: cap must be > 0");
+  return [sampler = std::move(sampler), cap](Rng& rng) {
+    return std::min(cap, sampler(rng));
+  };
+}
+
+Tree make_chain(const std::vector<double>& contributions) {
+  require(!contributions.empty(), "make_chain: needs at least one node");
+  Tree tree;
+  NodeId parent = kRoot;
+  for (double c : contributions) {
+    parent = tree.add_node(parent, c);
+  }
+  return tree;
+}
+
+Tree make_chain(std::size_t n, double contribution) {
+  return make_chain(std::vector<double>(n, contribution));
+}
+
+Tree make_star(std::size_t n, double hub_contribution,
+               double leaf_contribution) {
+  require(n >= 1, "make_star: needs at least one node");
+  Tree tree;
+  const NodeId hub = tree.add_independent(hub_contribution);
+  for (std::size_t i = 1; i < n; ++i) {
+    tree.add_node(hub, leaf_contribution);
+  }
+  return tree;
+}
+
+Tree make_kary(std::size_t levels, std::size_t arity, double contribution) {
+  require(levels >= 1, "make_kary: needs at least one level");
+  require(arity >= 1, "make_kary: arity must be >= 1");
+  Tree tree;
+  std::vector<NodeId> frontier{tree.add_independent(contribution)};
+  for (std::size_t level = 1; level < levels; ++level) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * arity);
+    for (NodeId parent : frontier) {
+      for (std::size_t k = 0; k < arity; ++k) {
+        next.push_back(tree.add_node(parent, contribution));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return tree;
+}
+
+Tree make_caterpillar(std::size_t spine_length, std::size_t legs,
+                      double contribution) {
+  require(spine_length >= 1, "make_caterpillar: spine must be non-empty");
+  Tree tree;
+  NodeId spine = kRoot;
+  for (std::size_t i = 0; i < spine_length; ++i) {
+    spine = tree.add_node(spine, contribution);
+    for (std::size_t leg = 0; leg < legs; ++leg) {
+      tree.add_node(spine, contribution);
+    }
+  }
+  return tree;
+}
+
+namespace {
+
+NodeId pick_parent_uniform(const Tree& tree, Rng& rng,
+                           const GrowthOptions& options) {
+  if (tree.participant_count() == 0 ||
+      rng.bernoulli(options.independent_join_probability)) {
+    return kRoot;
+  }
+  return static_cast<NodeId>(
+      1 + rng.index(tree.participant_count()));  // ids 1..n are participants
+}
+
+}  // namespace
+
+Tree random_recursive_tree(std::size_t n, const ContributionSampler& sampler,
+                           Rng& rng, const GrowthOptions& options) {
+  Tree tree;
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.add_node(pick_parent_uniform(tree, rng, options), sampler(rng));
+  }
+  return tree;
+}
+
+Tree preferential_attachment_tree(std::size_t n,
+                                  const ContributionSampler& sampler, Rng& rng,
+                                  const GrowthOptions& options) {
+  Tree tree;
+  // weight(u) = 1 + #children(u); maintained incrementally. Entry 0
+  // (root) is excluded from the weighted draw.
+  std::vector<double> weights;
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId parent = kRoot;
+    if (!weights.empty() &&
+        !rng.bernoulli(options.independent_join_probability)) {
+      double target = rng.uniform01() * weight_total;
+      std::size_t chosen = weights.size() - 1;
+      for (std::size_t w = 0; w < weights.size(); ++w) {
+        target -= weights[w];
+        if (target < 0.0) {
+          chosen = w;
+          break;
+        }
+      }
+      parent = static_cast<NodeId>(chosen + 1);
+    }
+    tree.add_node(parent, sampler(rng));
+    weights.push_back(1.0);
+    weight_total += 1.0;
+    if (parent != kRoot) {
+      weights[parent - 1] += 1.0;
+      weight_total += 1.0;
+    }
+  }
+  return tree;
+}
+
+Tree bounded_depth_tree(std::size_t n, std::size_t max_depth,
+                        const ContributionSampler& sampler, Rng& rng,
+                        const GrowthOptions& options) {
+  require(max_depth >= 1, "bounded_depth_tree: max_depth must be >= 1");
+  Tree tree;
+  std::vector<std::size_t> depth_of{0};  // per node id
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId parent = pick_parent_uniform(tree, rng, options);
+    while (depth_of[parent] >= max_depth) {
+      parent = tree.parent(parent);
+    }
+    const NodeId id = tree.add_node(parent, sampler(rng));
+    depth_of.push_back(depth_of[parent] + 1);
+    ensure(id + 1 == depth_of.size(), "bounded_depth_tree: id bookkeeping");
+  }
+  return tree;
+}
+
+}  // namespace itree

@@ -1,0 +1,88 @@
+// Referral tree generators and contribution models.
+//
+// The paper has no datasets: every theorem is universally quantified over
+// trees, so the reproduction exercises mechanisms on a seeded corpus of
+// deterministic shapes (chains, stars, k-ary, caterpillars) and random
+// growth processes (uniform-random-recruiter and preferential
+// attachment — the two standard referral-cascade models), with
+// contribution distributions spanning the regimes the paper discusses
+// (unit contributions as in Emek et al.; heterogeneous heavy-tailed
+// contributions, which are this paper's generalization).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/rng.h"
+
+namespace itree {
+
+/// Samples one participant's contribution.
+using ContributionSampler = std::function<double(Rng&)>;
+
+/// Every participant contributes exactly `value` (the Emek et al.
+/// single-item regime when value == 1).
+ContributionSampler fixed_contribution(double value);
+
+/// Uniform contributions in [lo, hi).
+ContributionSampler uniform_contribution(double lo, double hi);
+
+/// Log-normal contributions (heavy-ish tail; typical purchase sizes).
+ContributionSampler lognormal_contribution(double mu, double sigma);
+
+/// Pareto contributions (heavy tail; a few whales dominate C(T)).
+ContributionSampler pareto_contribution(double x_m, double alpha);
+
+/// Clamps another sampler's output to [0, cap]. Property checkers use
+/// this to keep heavy tails observable in double precision (a whale of
+/// contribution C becomes a C/mu-long chain in TDRM's RCT, and effects
+/// decaying through such a chain underflow).
+ContributionSampler capped_contribution(ContributionSampler sampler,
+                                        double cap);
+
+// --- Deterministic shapes -------------------------------------------------
+
+/// A single path of n participants under the root; contributions[i] is
+/// the contribution of the node at depth i+1. Requires n >= 1.
+Tree make_chain(const std::vector<double>& contributions);
+Tree make_chain(std::size_t n, double contribution);
+
+/// One hub (child of root) with n-1 leaf children. Requires n >= 1.
+Tree make_star(std::size_t n, double hub_contribution,
+               double leaf_contribution);
+
+/// Complete k-ary tree with `levels` levels (level 0 = single top
+/// participant). All contributions equal.
+Tree make_kary(std::size_t levels, std::size_t arity, double contribution);
+
+/// Spine of `spine_length` nodes, each with `legs` leaf children.
+Tree make_caterpillar(std::size_t spine_length, std::size_t legs,
+                      double contribution);
+
+// --- Random growth processes ----------------------------------------------
+
+struct GrowthOptions {
+  /// Probability a joiner attaches to the imaginary root (joins
+  /// independently of any solicitation) rather than to a participant.
+  double independent_join_probability = 0.05;
+};
+
+/// Uniform random recruitment: each joiner picks an existing participant
+/// uniformly at random as solicitor.
+Tree random_recursive_tree(std::size_t n, const ContributionSampler& sampler,
+                           Rng& rng, const GrowthOptions& options = {});
+
+/// Preferential attachment: solicitor chosen with probability
+/// proportional to (1 + #children) — successful recruiters recruit more.
+Tree preferential_attachment_tree(std::size_t n,
+                                  const ContributionSampler& sampler, Rng& rng,
+                                  const GrowthOptions& options = {});
+
+/// Random tree whose depth never exceeds `max_depth` (joiners retry onto
+/// shallower solicitors) — shallow/bushy referral campaigns.
+Tree bounded_depth_tree(std::size_t n, std::size_t max_depth,
+                        const ContributionSampler& sampler, Rng& rng,
+                        const GrowthOptions& options = {});
+
+}  // namespace itree

@@ -1,0 +1,37 @@
+// Textual (de)serialization of referral trees.
+//
+// Format: an s-expression per forest root, `(contribution child child …)`,
+// e.g. "(5 (3) (2 (1)))" is a participant with C=5 whose children have
+// C=3 and C=2, the latter with one child of C=1. The imaginary root is
+// implicit. `to_dot` emits Graphviz for documentation / debugging.
+#pragma once
+
+#include <string>
+
+#include "tree/tree.h"
+
+namespace itree {
+
+/// Parses one or more s-expressions into a referral tree (each top-level
+/// expression becomes a child of the imaginary root). Throws
+/// std::invalid_argument on malformed input.
+Tree parse_tree(const std::string& text);
+
+/// Serializes the tree back to the s-expression format (round-trips with
+/// parse_tree).
+std::string to_string(const Tree& tree);
+
+/// Graphviz rendering, nodes labelled "id:C(u)".
+std::string to_dot(const Tree& tree);
+
+/// CSV edge list: header "node,parent,contribution", one row per
+/// participant (parent 0 = the imaginary root). The common interchange
+/// format for referral data exports.
+std::string to_edge_list(const Tree& tree);
+
+/// Parses the edge-list format back into a tree. Rows may appear in any
+/// order as long as ids form the contiguous range 1..n and every parent
+/// id is smaller than its child's (the join-order invariant).
+Tree parse_edge_list(const std::string& text);
+
+}  // namespace itree

@@ -1,0 +1,37 @@
+// Structural metrics of referral trees.
+//
+// Used by the simulator, benches and examples to characterize the trees
+// a mechanism induces: how deep do referral cascades go, how
+// concentrated is contribution, how "binary" is the branching (the
+// quantity the split-proof baseline pays for).
+#pragma once
+
+#include <cstddef>
+
+#include "tree/tree.h"
+
+namespace itree {
+
+struct TreeMetrics {
+  std::size_t participants = 0;
+  std::size_t forest_roots = 0;  ///< children of the imaginary root
+  std::size_t leaves = 0;
+  std::size_t max_depth = 0;
+  double mean_depth = 0.0;
+  double mean_branching = 0.0;  ///< mean children per internal node
+  std::size_t max_out_degree = 0;
+  double total_contribution = 0.0;
+  double max_contribution = 0.0;
+  /// Gini coefficient of the contribution distribution.
+  double contribution_gini = 0.0;
+  /// Strahler number of the whole forest (depth of the deepest
+  /// embeddable complete binary tree).
+  std::size_t strahler = 0;
+};
+
+TreeMetrics compute_metrics(const Tree& tree);
+
+/// One-line rendering for logs and benches.
+std::string to_string(const TreeMetrics& metrics);
+
+}  // namespace itree

@@ -1,0 +1,69 @@
+#include "tree/subtree_sums.h"
+
+#include <algorithm>
+
+namespace itree {
+
+SubtreeData compute_subtree_data(const Tree& tree) {
+  const std::size_t n = tree.node_count();
+  SubtreeData data;
+  data.subtree_contribution.assign(n, 0.0);
+  data.subtree_size.assign(n, 1);
+  data.depth.assign(n, 0);
+
+  for (NodeId u : tree.postorder()) {
+    data.subtree_contribution[u] += tree.contribution(u);
+    const NodeId p = (u == kRoot) ? kInvalidNode : tree.parent(u);
+    if (p != kInvalidNode) {
+      data.subtree_contribution[p] += data.subtree_contribution[u];
+      data.subtree_size[p] += data.subtree_size[u];
+    }
+  }
+  for (NodeId u : tree.preorder()) {
+    if (u != kRoot) {
+      data.depth[u] = data.depth[tree.parent(u)] + 1;
+    }
+  }
+  return data;
+}
+
+std::vector<double> geometric_subtree_sums(const Tree& tree, double a) {
+  std::vector<double> sums(tree.node_count(), 0.0);
+  for (NodeId u : tree.postorder()) {
+    double s = tree.contribution(u);
+    for (NodeId child : tree.children(u)) {
+      s += a * sums[child];
+    }
+    sums[u] = s;
+  }
+  return sums;
+}
+
+std::vector<std::uint32_t> binary_subtree_depths(const Tree& tree) {
+  // Depth of the deepest complete binary tree embeddable (as a minor)
+  // in T_u — the Strahler-number recurrence. A complete binary tree of
+  // depth k+1 needs two disjoint subtrees each embedding depth k, so with
+  // d1 >= d2 the two largest child values: d(u) = max(d1, d2 + 1).
+  // A leaf embeds depth 1. This is the quantity the Emek et al.
+  // split-proof mechanism bases rewards on (paper Sec. 4.3): a chain has
+  // constant depth no matter how long it grows, which is exactly why
+  // that mechanism fails CSI.
+  std::vector<std::uint32_t> depth(tree.node_count(), 1);
+  for (NodeId u : tree.postorder()) {
+    std::uint32_t first = 0;   // largest child depth
+    std::uint32_t second = 0;  // second largest child depth
+    for (NodeId child : tree.children(u)) {
+      const std::uint32_t d = depth[child];
+      if (d > first) {
+        second = first;
+        first = d;
+      } else if (d > second) {
+        second = d;
+      }
+    }
+    depth[u] = std::max<std::uint32_t>({1, first, second + 1});
+  }
+  return depth;
+}
+
+}  // namespace itree

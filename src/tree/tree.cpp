@@ -1,0 +1,176 @@
+#include "tree/tree.h"
+
+#include "util/check.h"
+
+namespace itree {
+
+Tree::Tree() {
+  parent_.push_back(kInvalidNode);
+  children_.emplace_back();
+  contribution_.push_back(0.0);
+}
+
+void Tree::check_node(NodeId u, const char* what) const {
+  require(contains(u), std::string(what) + ": node does not exist");
+}
+
+NodeId Tree::add_node(NodeId parent, double contribution) {
+  check_node(parent, "Tree::add_node");
+  require(contribution >= 0.0, "Tree::add_node: contribution must be >= 0");
+  const auto id = static_cast<NodeId>(parent_.size());
+  parent_.push_back(parent);
+  children_.emplace_back();
+  contribution_.push_back(contribution);
+  children_[parent].push_back(id);
+  total_contribution_ += contribution;
+  return id;
+}
+
+NodeId Tree::parent(NodeId u) const {
+  check_node(u, "Tree::parent");
+  return parent_[u];
+}
+
+const std::vector<NodeId>& Tree::children(NodeId u) const {
+  check_node(u, "Tree::children");
+  return children_[u];
+}
+
+double Tree::contribution(NodeId u) const {
+  check_node(u, "Tree::contribution");
+  return contribution_[u];
+}
+
+void Tree::set_contribution(NodeId u, double contribution) {
+  check_node(u, "Tree::set_contribution");
+  require(contribution >= 0.0,
+          "Tree::set_contribution: contribution must be >= 0");
+  require(u != kRoot || contribution == 0.0,
+          "Tree::set_contribution: the imaginary root contributes 0");
+  total_contribution_ += contribution - contribution_[u];
+  contribution_[u] = contribution;
+}
+
+void Tree::remove_last_node() {
+  require(parent_.size() > 1, "Tree::remove_last_node: no participants");
+  const NodeId last = static_cast<NodeId>(parent_.size() - 1);
+  ensure(children_[last].empty(),
+         "Tree::remove_last_node: the last node must be a leaf");
+  const NodeId p = parent_[last];
+  ensure(!children_[p].empty() && children_[p].back() == last,
+         "Tree::remove_last_node: the last node must be its parent's "
+         "newest child");
+  children_[p].pop_back();
+  total_contribution_ -= contribution_[last];
+  parent_.pop_back();
+  children_.pop_back();
+  contribution_.pop_back();
+}
+
+std::size_t Tree::depth(NodeId u) const {
+  check_node(u, "Tree::depth");
+  std::size_t d = 0;
+  while (u != kRoot) {
+    u = parent_[u];
+    ++d;
+  }
+  return d;
+}
+
+bool Tree::is_ancestor(NodeId ancestor, NodeId u) const {
+  check_node(ancestor, "Tree::is_ancestor");
+  check_node(u, "Tree::is_ancestor");
+  while (true) {
+    if (u == ancestor) {
+      return true;
+    }
+    if (u == kRoot) {
+      return false;
+    }
+    u = parent_[u];
+  }
+}
+
+std::vector<NodeId> Tree::subtree(NodeId u) const {
+  check_node(u, "Tree::subtree");
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{u};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    const auto& kids = children_[v];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+double Tree::subtree_contribution(NodeId u) const {
+  double total = 0.0;
+  for (NodeId v : subtree(u)) {
+    total += contribution_[v];
+  }
+  return total;
+}
+
+std::vector<NodeId> Tree::preorder() const { return subtree(kRoot); }
+
+std::vector<NodeId> Tree::postorder() const {
+  // Preorder visits parents before children; reversing a preorder that
+  // pushes children left-to-right yields a valid postorder.
+  std::vector<NodeId> order;
+  order.reserve(node_count());
+  std::vector<NodeId> stack{kRoot};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (NodeId child : children_[v]) {
+      stack.push_back(child);
+    }
+  }
+  std::vector<NodeId> out(order.rbegin(), order.rend());
+  return out;
+}
+
+NodeId graft_subtree(Tree& dst, NodeId dst_parent, const Tree& src,
+                     NodeId src_node) {
+  require(src_node != kRoot,
+          "graft_subtree: cannot graft the imaginary root; use graft_forest");
+  const NodeId copied_root =
+      dst.add_node(dst_parent, src.contribution(src_node));
+  // Pair stack of (src node, its copy's id). Children are *added* in
+  // forward order (preserving sibling order); stack order is irrelevant
+  // because each pair carries its own destination.
+  std::vector<std::pair<NodeId, NodeId>> stack{{src_node, copied_root}};
+  while (!stack.empty()) {
+    const auto [s, d] = stack.back();
+    stack.pop_back();
+    for (NodeId child : src.children(s)) {
+      stack.emplace_back(child, dst.add_node(d, src.contribution(child)));
+    }
+  }
+  return copied_root;
+}
+
+std::vector<NodeId> graft_forest(Tree& dst, NodeId dst_parent,
+                                 const Tree& src) {
+  std::vector<NodeId> copied;
+  for (NodeId child : src.children(kRoot)) {
+    copied.push_back(graft_subtree(dst, dst_parent, src, child));
+  }
+  return copied;
+}
+
+std::vector<NodeId> Tree::participants() const {
+  std::vector<NodeId> out;
+  out.reserve(participant_count());
+  for (NodeId u = 1; u < node_count(); ++u) {
+    out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace itree

@@ -1,0 +1,118 @@
+// Referral tree: the core data structure of the paper's model (Sec. 2).
+//
+// Participants form a referral forest F; following the paper we store the
+// equivalent referral tree T with an imaginary root node `kRoot` of
+// contribution 0 whose children are the forest roots. Node weights are
+// contributions C(u) >= 0.
+//
+// The structure is arena-backed (indices, no pointers) and append-only:
+// participants join over time, as the CSI / USA property definitions
+// require, but never leave. Contributions are mutable (needed by the CCI
+// and SL checkers, and by the "buyer keeps purchasing" MLM view).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace itree {
+
+using NodeId = std::uint32_t;
+
+class Tree;
+
+/// Copies the subtree of `src` rooted at `src_node` into `dst` as a new
+/// child of `dst_parent`; returns the id of `src_node`'s copy. `src_node`
+/// must not be the imaginary root (use graft_forest for that).
+NodeId graft_subtree(Tree& dst, NodeId dst_parent, const Tree& src,
+                     NodeId src_node);
+
+/// Copies every forest root of `src` under `dst_parent`; returns the new
+/// ids of the copied forest roots.
+std::vector<NodeId> graft_forest(Tree& dst, NodeId dst_parent,
+                                 const Tree& src);
+
+/// The imaginary root r with C(r) = 0 (paper Sec. 2). It is not a
+/// participant: mechanisms never pay it.
+inline constexpr NodeId kRoot = 0;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+class Tree {
+ public:
+  /// Creates a tree containing only the imaginary root.
+  Tree();
+
+  /// Adds a participant with the given contribution as a child of
+  /// `parent`. Returns the new node's id. Requires `parent` to exist and
+  /// `contribution >= 0`.
+  NodeId add_node(NodeId parent, double contribution);
+
+  /// Adds a participant who joined independently of any solicitation
+  /// (a forest root; child of the imaginary root).
+  NodeId add_independent(double contribution) {
+    return add_node(kRoot, contribution);
+  }
+
+  /// Total number of nodes including the imaginary root.
+  std::size_t node_count() const { return parent_.size(); }
+
+  /// Number of participants (excludes the imaginary root).
+  std::size_t participant_count() const { return parent_.size() - 1; }
+
+  bool contains(NodeId u) const { return u < parent_.size(); }
+
+  /// Parent of `u`; the root's parent is kInvalidNode.
+  NodeId parent(NodeId u) const;
+
+  const std::vector<NodeId>& children(NodeId u) const;
+
+  double contribution(NodeId u) const;
+
+  /// Updates a participant's contribution (e.g. an additional purchase in
+  /// the MLM view). The imaginary root must stay at 0.
+  void set_contribution(NodeId u, double contribution);
+
+  /// Removes the most recently added node. In an append-only arena the
+  /// highest id is always a leaf, which makes add/remove an O(1)
+  /// "probe" operation (used by the simulator to measure marginal
+  /// rewards without copying the tree). The root cannot be removed.
+  void remove_last_node();
+
+  /// C(T): total contribution over all nodes (root contributes 0).
+  double total_contribution() const { return total_contribution_; }
+
+  /// Depth of `u`: number of edges from the root. O(depth).
+  std::size_t depth(NodeId u) const;
+
+  /// True when `ancestor` lies on the path from `u` to the root
+  /// (a node is an ancestor of itself). O(depth).
+  bool is_ancestor(NodeId ancestor, NodeId u) const;
+
+  /// All nodes of the subtree T_u in preorder. O(|T_u|).
+  std::vector<NodeId> subtree(NodeId u) const;
+
+  /// C(T_u): contribution sum over the subtree rooted at `u`. O(|T_u|).
+  double subtree_contribution(NodeId u) const;
+
+  /// All node ids in postorder (every child precedes its parent);
+  /// iterative, safe for million-node chains. O(n).
+  std::vector<NodeId> postorder() const;
+
+  /// All node ids in preorder (every parent precedes its children). O(n).
+  std::vector<NodeId> preorder() const;
+
+  /// Participant ids (all nodes except the imaginary root), in id order.
+  std::vector<NodeId> participants() const;
+
+ private:
+  void check_node(NodeId u, const char* what) const;
+
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<double> contribution_;
+  double total_contribution_ = 0.0;
+};
+
+}  // namespace itree

@@ -1,0 +1,38 @@
+// Floating point comparison helpers.
+//
+// Property checks compare rewards produced by different evaluations of the
+// same mechanism; they need tolerance-aware comparisons with explicit
+// semantics ("strictly greater beyond noise" vs "equal up to noise").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace itree {
+
+/// Default tolerance used across property checkers. Reward computations
+/// are O(n) sums of doubles, so relative error ~1e-12 per operation is
+/// the right order of magnitude; 1e-9 gives comfortable headroom for
+/// trees of up to ~10^6 nodes.
+inline constexpr double kDefaultTolerance = 1e-9;
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+inline bool almost_equal(double a, double b, double tol = kDefaultTolerance) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+/// True when a exceeds b by more than the noise floor.
+inline bool definitely_greater(double a, double b,
+                               double tol = kDefaultTolerance) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return a - b > tol * scale;
+}
+
+/// True when a is >= b, allowing b to exceed a only within the noise floor.
+inline bool greater_or_close(double a, double b,
+                             double tol = kDefaultTolerance) {
+  return a > b || almost_equal(a, b, tol);
+}
+
+}  // namespace itree

@@ -1,0 +1,94 @@
+#include "util/args.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace itree {
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         bool expects_value) {
+  require(name.rfind("--", 0) == 0, "ArgParser: flags must start with --");
+  flags_[name] = Flag{help, expects_value};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    std::string name = token;
+    std::optional<std::string> inline_value;
+    const std::size_t equals = token.find('=');
+    if (equals != std::string::npos) {
+      name = token.substr(0, equals);
+      inline_value = token.substr(equals + 1);
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: " + name;
+      return false;
+    }
+    if (!it->second.expects_value) {
+      if (inline_value) {
+        error_ = "flag " + name + " does not take a value";
+        return false;
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error_ = "flag " + name + " expects a value";
+      return false;
+    }
+    values_[name] = argv[++i];
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& name,
+                              const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double ArgParser::get_double_or(const std::string& name,
+                                double fallback) const {
+  const auto value = get(name);
+  return value ? std::stod(*value) : fallback;
+}
+
+std::int64_t ArgParser::get_int_or(const std::string& name,
+                                   std::int64_t fallback) const {
+  const auto value = get(name);
+  return value ? std::stoll(*value) : fallback;
+}
+
+std::string ArgParser::help(const std::string& program_summary) const {
+  std::ostringstream out;
+  out << program_summary << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  " << name << (flag.expects_value ? " <value>" : "") << "\n    "
+        << flag.help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace itree

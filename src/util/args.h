@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the CLI tool and examples.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag`;
+// positional arguments are collected in order. Unknown flags are errors
+// so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace itree {
+
+class ArgParser {
+ public:
+  /// Declares a flag with a help line; `expects_value` false makes it a
+  /// boolean switch.
+  void add_flag(const std::string& name, const std::string& help,
+                bool expects_value = true);
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// missing values.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+  double get_double_or(const std::string& name, double fallback) const;
+  std::int64_t get_int_or(const std::string& name,
+                          std::int64_t fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Usage text from the declared flags.
+  std::string help(const std::string& program_summary) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    bool expects_value = true;
+  };
+  std::map<std::string, Flag> flags_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace itree

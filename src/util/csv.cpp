@@ -1,0 +1,32 @@
+#include "util/csv.h"
+
+namespace itree {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      quoted += '"';
+    }
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace itree

@@ -1,0 +1,24 @@
+// CSV emission for bench series that downstream plotting tools consume.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace itree {
+
+/// Writes RFC-4180-style CSV rows to a stream. Cells containing commas,
+/// quotes, or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ostream& out_;
+};
+
+}  // namespace itree

@@ -1,0 +1,146 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace itree {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) {
+    word = sm.next();
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL / span) * span;
+  std::uint64_t value = next_u64();
+  while (value >= limit) {
+    value = next_u64();
+  }
+  return lo + static_cast<std::int64_t>(value % span);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = uniform01();
+  while (u1 <= 0.0) {
+    u1 = uniform01();
+  }
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  require(x_m > 0.0 && alpha > 0.0, "Rng::pareto: x_m and alpha must be > 0");
+  double u = uniform01();
+  while (u <= 0.0) {
+    u = uniform01();
+  }
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::exponential(double lambda) {
+  require(lambda > 0.0, "Rng::exponential: lambda must be > 0");
+  double u = uniform01();
+  while (u <= 0.0) {
+    u = uniform01();
+  }
+  return -std::log(u) / lambda;
+}
+
+int Rng::poisson(double mean) {
+  require(mean >= 0.0, "Rng::poisson: mean must be >= 0");
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    int k = 0;
+    double product = uniform01();
+    while (product > limit) {
+      ++k;
+      product *= uniform01();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample < 0.0 ? 0 : static_cast<int>(sample + 0.5);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  require(size > 0, "Rng::index: size must be > 0");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "Rng::weighted_index: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "Rng::weighted_index: needs a positive weight");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // numerical fallback
+}
+
+}  // namespace itree

@@ -1,0 +1,95 @@
+// Deterministic random number generation.
+//
+// All randomized components of the library (tree generators, property
+// checkers, simulations) take an explicit Rng so that every experiment is
+// reproducible from its seed. The engine is xoshiro256** seeded via
+// SplitMix64, both implemented here so results do not depend on the
+// standard library's unspecified distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace itree {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** with convenience distributions. Copyable: forking an Rng
+/// by copy yields an identical stream, which checkers use to replay runs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0.
+  double pareto(double x_m, double alpha);
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Poisson-distributed count with the given mean (Knuth for small mean,
+  /// normal approximation for large mean).
+  int poisson(double mean);
+
+  /// Uniformly random index in [0, size). Requires size > 0.
+  std::size_t index(std::size_t size);
+
+  /// Picks a uniformly random element of `items`. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  /// Weighted index selection: probability of i proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace itree

@@ -1,0 +1,98 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace itree {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  ensure(count_ > 0, "OnlineStats::min on empty accumulator");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  ensure(count_ > 0, "OnlineStats::max on empty accumulator");
+  return max_;
+}
+
+double percentile(std::vector<double> data, double q) {
+  require(!data.empty(), "percentile: data must be non-empty");
+  require(q >= 0.0 && q <= 100.0, "percentile: q must be in [0, 100]");
+  std::sort(data.begin(), data.end());
+  if (data.size() == 1) {
+    return data.front();
+  }
+  const double rank = q / 100.0 * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+double gini(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    require(values[i] >= 0.0, "gini: values must be non-negative");
+    total += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  const auto n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  require(hi > lo, "Histogram: hi must be > lo");
+  require(bins > 0, "Histogram: needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<long>((x - lo_) / span *
+                               static_cast<double>(counts_.size()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+}  // namespace itree

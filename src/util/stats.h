@@ -1,0 +1,59 @@
+// Small statistics toolkit used by benches and the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace itree {
+
+/// Single-pass accumulator for mean / variance / extrema (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile via linear interpolation on a copy of the data.
+/// `q` in [0, 100]. Requires non-empty data.
+double percentile(std::vector<double> data, double q);
+
+/// Gini coefficient of a non-negative distribution; 0 = perfectly equal,
+/// -> 1 = maximally concentrated. Returns 0 for empty or all-zero input.
+double gini(std::vector<double> values);
+
+/// Simple fixed-width histogram over [lo, hi) with `bins` buckets;
+/// out-of-range samples are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace itree

@@ -1,0 +1,19 @@
+// String helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace itree {
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+/// Formats a double compactly: fixed-point, trailing zeros trimmed.
+std::string compact_number(double value, int max_decimals = 6);
+
+/// "yes"/"no" rendering for property matrices.
+std::string yes_no(bool value);
+
+}  // namespace itree

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace itree {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TextTable: needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() <= headers_.size(),
+          "TextTable::add_row: more cells than columns");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream out;
+  out.precision(precision);
+  out << std::fixed << value;
+  return out.str();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t rule_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(rule_width, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+}  // namespace itree

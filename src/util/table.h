@@ -1,0 +1,34 @@
+// Plain-text table rendering for bench output.
+//
+// Every bench binary prints the rows the paper's (implicit) tables
+// contain; TextTable keeps the formatting consistent across all of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace itree {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells are rendered empty, extra cells are an
+  /// error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string num(double value, int precision = 4);
+
+  /// Renders with aligned columns, a header rule, and 2-space gutters.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace itree

@@ -1,0 +1,92 @@
+// Tests for the adaptive-adversary deployment model.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "sim/adversary.h"
+
+namespace itree {
+namespace {
+
+AdversaryOptions fast_options() {
+  AdversaryOptions options;
+  options.waves = 6;
+  options.search.identity_counts = {2, 3};
+  options.search.random_splits = 1;
+  return options;
+}
+
+TEST(Adversary, RejectsEmptyWaves) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  AdversaryOptions options = fast_options();
+  options.joiners_per_wave = 0;
+  EXPECT_THROW(run_adaptive_adversary(*mechanism, options),
+               std::invalid_argument);
+}
+
+TEST(Adversary, GeometricGetsExploited) {
+  // Against the Geometric mechanism the adaptive attacker always finds
+  // the chain split, so every strategic joiner attacks and the premium
+  // is strictly positive.
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const AdversaryOutcome outcome =
+      run_adaptive_adversary(*mechanism, fast_options());
+  EXPECT_EQ(outcome.strategic_joiners, 6u);
+  EXPECT_EQ(outcome.attacks_chosen, 6u);
+  EXPECT_GT(outcome.attack_premium, 0.0);
+}
+
+TEST(Adversary, CdrmIsNeverExploited) {
+  const MechanismPtr mechanism =
+      make_default(MechanismKind::kCdrmReciprocal);
+  AdversaryOptions options = fast_options();
+  options.allow_extra_contribution = true;  // even UGSA-style attacks
+  const AdversaryOutcome outcome =
+      run_adaptive_adversary(*mechanism, options);
+  EXPECT_EQ(outcome.attacks_chosen, 0u);
+  EXPECT_NEAR(outcome.attack_premium, 0.0, 1e-12);
+}
+
+TEST(Adversary, TdrmResistsEqualCostButNotGeneralized) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  const AdversaryOutcome equal_cost =
+      run_adaptive_adversary(*mechanism, fast_options());
+  EXPECT_EQ(equal_cost.attacks_chosen, 0u);
+
+  AdversaryOptions generalized = fast_options();
+  generalized.allow_extra_contribution = true;
+  // Sec. 5: the contribute-more attack pays when topping up a partial
+  // mu-quantum adjacent to enough recruits (C: mu/2 -> mu with
+  // k > 1/(a*b*lambda) = 12.5 future children for the defaults).
+  generalized.contribution = 0.5;
+  generalized.future_recruits = 20;
+  const AdversaryOutcome ugsa =
+      run_adaptive_adversary(*mechanism, generalized);
+  EXPECT_GT(ugsa.attacks_chosen, 0u);
+}
+
+TEST(Adversary, PayoutStaysWithinBudgetUnderAttack) {
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kTdrm,
+        MechanismKind::kCdrmLogarithmic}) {
+    const MechanismPtr mechanism = make_default(kind);
+    AdversaryOptions options = fast_options();
+    options.allow_extra_contribution = true;
+    const AdversaryOutcome outcome =
+        run_adaptive_adversary(*mechanism, options);
+    EXPECT_LE(outcome.final_payout_ratio, mechanism->Phi() + 1e-9)
+        << mechanism->display_name();
+  }
+}
+
+TEST(Adversary, IsDeterministicPerSeed) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const AdversaryOutcome a =
+      run_adaptive_adversary(*mechanism, fast_options());
+  const AdversaryOutcome b =
+      run_adaptive_adversary(*mechanism, fast_options());
+  EXPECT_DOUBLE_EQ(a.attack_premium, b.attack_premium);
+  EXPECT_EQ(a.attacks_chosen, b.attacks_chosen);
+}
+
+}  // namespace
+}  // namespace itree

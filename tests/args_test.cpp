@@ -1,0 +1,86 @@
+// Unit tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace itree {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser;
+  parser.add_flag("--name", "a string");
+  parser.add_flag("--count", "a number");
+  parser.add_flag("--verbose", "a switch", false);
+  return parser;
+}
+
+TEST(Args, ParsesSpaceSeparatedValues) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "run", "--name", "alpha", "--count", "3"};
+  ASSERT_TRUE(parser.parse(6, argv));
+  EXPECT_EQ(parser.get_or("--name", ""), "alpha");
+  EXPECT_EQ(parser.get_int_or("--count", 0), 3);
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "run");
+}
+
+TEST(Args, ParsesEqualsSyntax) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--name=beta", "--count=2.5"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_or("--name", ""), "beta");
+  EXPECT_DOUBLE_EQ(parser.get_double_or("--count", 0.0), 2.5);
+}
+
+TEST(Args, BooleanSwitches) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.has("--verbose"));
+  EXPECT_FALSE(parser.has("--name"));
+}
+
+TEST(Args, RejectsUnknownFlags) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(parser.parse(3, argv));
+  EXPECT_NE(parser.error().find("--bogus"), std::string::npos);
+}
+
+TEST(Args, RejectsMissingValue) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--name"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_NE(parser.error().find("expects a value"), std::string::npos);
+}
+
+TEST(Args, RejectsValueOnSwitch) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(Args, DefaultsApplyWhenAbsent) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_or("--name", "fallback"), "fallback");
+  EXPECT_EQ(parser.get_int_or("--count", 7), 7);
+  EXPECT_FALSE(parser.get("--name").has_value());
+}
+
+TEST(Args, FlagsMustStartWithDashes) {
+  ArgParser parser;
+  EXPECT_THROW(parser.add_flag("name", "bad"), std::invalid_argument);
+}
+
+TEST(Args, HelpListsFlags) {
+  const ArgParser parser = make_parser();
+  const std::string help = parser.help("summary line");
+  EXPECT_NE(help.find("summary line"), std::string::npos);
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,127 @@
+// Unit tests for the arbitrary-precision integer substrate.
+#include <gtest/gtest.h>
+
+#include "exact/bigint.h"
+#include "util/rng.h"
+
+namespace itree {
+namespace {
+
+TEST(BigIntTest, ConstructsFromInt64) {
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+  EXPECT_EQ(BigInt(42).to_string(), "42");
+  EXPECT_EQ(BigInt(-42).to_string(), "-42");
+  EXPECT_EQ(BigInt(9223372036854775807LL).to_string(),
+            "9223372036854775807");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::min()).to_string(),
+            "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromStringRoundTrips) {
+  const std::string big = "123456789012345678901234567890";
+  EXPECT_EQ(BigInt::from_string(big).to_string(), big);
+  EXPECT_EQ(BigInt::from_string("-" + big).to_string(), "-" + big);
+  EXPECT_EQ(BigInt::from_string("0").to_string(), "0");
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12x"), std::invalid_argument);
+}
+
+TEST(BigIntTest, AdditionHandlesSignsAndCarries) {
+  const BigInt a = BigInt::from_string("99999999999999999999");
+  EXPECT_EQ((a + BigInt(1)).to_string(), "100000000000000000000");
+  EXPECT_EQ((a + (-a)).to_string(), "0");
+  EXPECT_EQ((BigInt(-5) + BigInt(3)).to_string(), "-2");
+  EXPECT_EQ((BigInt(5) + BigInt(-8)).to_string(), "-3");
+}
+
+TEST(BigIntTest, SubtractionHandlesBorrows) {
+  const BigInt a = BigInt::from_string("100000000000000000000");
+  EXPECT_EQ((a - BigInt(1)).to_string(), "99999999999999999999");
+  EXPECT_EQ((BigInt(3) - BigInt(5)).to_string(), "-2");
+}
+
+TEST(BigIntTest, MultiplicationMatchesKnownProducts) {
+  const BigInt a = BigInt::from_string("123456789");
+  const BigInt b = BigInt::from_string("987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631112635269");
+  EXPECT_EQ((a * BigInt(0)).to_string(), "0");
+  EXPECT_EQ((a * BigInt(-1)).to_string(), "-123456789");
+  // 2^128.
+  BigInt power(1);
+  for (int i = 0; i < 128; ++i) {
+    power = power * BigInt(2);
+  }
+  EXPECT_EQ(power.to_string(), "340282366920938463463374607431768211456");
+}
+
+TEST(BigIntTest, DivisionIsTruncatedLikeCpp) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_string(), "3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_string(), "1");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_string(), "-3");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_string(), "-1");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_string(), "-3");
+  EXPECT_THROW(BigInt(1) / BigInt(0), std::invalid_argument);
+}
+
+TEST(BigIntTest, DivisionAgreesWithInt64OnRandomPairs) {
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::int64_t a = rng.uniform_int(-1000000000000LL, 1000000000000LL);
+    std::int64_t b = rng.uniform_int(-1000000LL, 1000000LL);
+    if (b == 0) {
+      b = 7;
+    }
+    EXPECT_EQ((BigInt(a) / BigInt(b)).to_string(), std::to_string(a / b));
+    EXPECT_EQ((BigInt(a) % BigInt(b)).to_string(), std::to_string(a % b));
+  }
+}
+
+TEST(BigIntTest, MultiplyDivideRoundTripsOnHugeNumbers) {
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string digits_a, digits_b;
+    for (int i = 0; i < 40; ++i) {
+      digits_a += static_cast<char>('1' + rng.index(9));
+      digits_b += static_cast<char>('1' + rng.index(9));
+    }
+    const BigInt a = BigInt::from_string(digits_a);
+    const BigInt b = BigInt::from_string(digits_b);
+    const BigInt product = a * b;
+    EXPECT_EQ((product / b), a);
+    EXPECT_EQ((product % b).to_string(), "0");
+    EXPECT_EQ((product + a) % b, a % b);
+  }
+}
+
+TEST(BigIntTest, ComparisonsOrderCorrectly) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LE(BigInt(5), BigInt(5));
+  EXPECT_GT(BigInt::from_string("10000000000000000000"),
+            BigInt::from_string("9999999999999999999"));
+}
+
+TEST(BigIntTest, GcdMatchesEuclid) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_string(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_string(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_string(), "5");
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_string(), "1");
+}
+
+TEST(BigIntTest, BitCount) {
+  EXPECT_EQ(BigInt(0).bit_count(), 0u);
+  EXPECT_EQ(BigInt(1).bit_count(), 1u);
+  EXPECT_EQ(BigInt(255).bit_count(), 8u);
+  EXPECT_EQ(BigInt(256).bit_count(), 9u);
+}
+
+TEST(BigIntTest, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigInt(1000000).to_double(), 1e6);
+  EXPECT_NEAR(BigInt::from_string("1000000000000000000000").to_double(),
+              1e21, 1e6);
+  EXPECT_DOUBLE_EQ(BigInt(-3).to_double(), -3.0);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,100 @@
+// Cross-validation of analytic bounds against measured rewards.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "properties/bounds.h"
+#include "properties/opportunity_checks.h"
+#include "tree/generators.h"
+
+namespace itree {
+namespace {
+
+BudgetParams budget() { return BudgetParams{.Phi = 0.5, .phi = 0.05}; }
+
+TEST(Bounds, GeometricChainGainMatchesMeasurement) {
+  const GeometricMechanism mechanism(budget(), 0.5, 0.2);
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    const Tree chain = make_chain(k, 4.0 / static_cast<double>(k));
+    const double measured =
+        total_reward(mechanism.compute(chain)) -
+        total_reward(mechanism.compute(make_chain(1, 4.0)));
+    EXPECT_NEAR(measured, geometric_chain_attack_gain(mechanism, 4.0, k),
+                1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Bounds, GeometricChainGainApproachesTheLimit) {
+  const GeometricMechanism mechanism(budget(), 0.5, 0.2);
+  const double limit = geometric_chain_attack_gain_limit(mechanism, 4.0);
+  // Convergence is 1/k (the per-identity mass shrinks as the chain
+  // lengthens): gap(k) = b*C*a/(k*(1-a)^2).
+  const double at_128 = geometric_chain_attack_gain(mechanism, 4.0, 128);
+  EXPECT_LT(at_128, limit);
+  EXPECT_NEAR(at_128, limit, 0.02 * limit);
+  // Monotone in k.
+  EXPECT_LT(geometric_chain_attack_gain(mechanism, 4.0, 2), at_128);
+  EXPECT_EQ(geometric_chain_attack_gain(mechanism, 4.0, 1), 0.0);
+}
+
+TEST(Bounds, LPachiraSingleChildCapIsApproachedNotCrossed) {
+  const LPachiraMechanism mechanism(budget(), 0.2, 2.0);
+  const double cap = lpachira_single_child_cap(mechanism, 1.0);
+  EXPECT_NEAR(cap, 1.3, 1e-12);  // Phi * (beta + (1-beta)*3) = 0.5*2.6
+  // Grow a single-child witness: reward below cap but within 1%.
+  Tree tree;
+  const NodeId u = tree.add_independent(1.0);
+  const NodeId mid = tree.add_node(u, 1.0);
+  for (int i = 0; i < 20000; ++i) {
+    tree.add_node(mid, 1.0);
+  }
+  const double reward = mechanism.compute(tree)[u];
+  EXPECT_LT(reward, cap);
+  EXPECT_GT(reward, 0.99 * cap);
+}
+
+TEST(Bounds, TdrmQuantumFillGainMatchesMeasurement) {
+  const Tdrm mechanism(budget(),
+                       TdrmParams{.lambda = 0.4, .mu = 1.0, .a = 0.5, .b = 0.4});
+  auto measured_gain = [&](int k) {
+    auto profit_for = [&](double c) {
+      Tree tree;
+      const NodeId u = tree.add_independent(c);
+      for (int i = 0; i < k; ++i) {
+        tree.add_node(u, 1.0);
+      }
+      const RewardVector rewards = mechanism.compute(tree);
+      return profit(tree, rewards, u);
+    };
+    return profit_for(1.0) - profit_for(0.5);
+  };
+  for (int k : {1, 5, 12, 40, 100}) {
+    EXPECT_NEAR(measured_gain(k),
+                tdrm_quantum_fill_gain(mechanism,
+                                       static_cast<std::size_t>(k)),
+                1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Bounds, TdrmQuantumFillGainScalesLinearlyWithMu) {
+  // The A1 ablation's claim in closed form.
+  for (double mu : {0.25, 1.0, 4.0}) {
+    BudgetParams b = budget();
+    const Tdrm mechanism(
+        b, TdrmParams{.lambda = 0.4, .mu = mu, .a = 0.5, .b = 0.4});
+    const double gain = tdrm_quantum_fill_gain(mechanism, 40);
+    EXPECT_NEAR(gain / mu, 1.245, 1e-9) << "mu=" << mu;
+  }
+}
+
+TEST(Bounds, CdrmCapBoundsEveryWitness) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kCdrmReciprocal);
+  const double cap = cdrm_reward_cap(*mechanism, 1.0);
+  const double best = grow_reward_witness(*mechanism, 1.0, 3, cap, 16);
+  EXPECT_LT(best, cap);
+  EXPECT_GT(best, 0.95 * cap);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,65 @@
+// Tests for the property-checker corpus itself.
+#include <gtest/gtest.h>
+
+#include "properties/corpus.h"
+
+namespace itree {
+namespace {
+
+TEST(Corpus, CoversTheExtremalShapes) {
+  const std::vector<CorpusTree> corpus = standard_corpus();
+  auto find = [&](const std::string& label) -> const Tree* {
+    for (const CorpusTree& entry : corpus) {
+      if (entry.label == label) {
+        return &entry.tree;
+      }
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("single-node"), nullptr);
+  ASSERT_NE(find("chain-6-unit"), nullptr);
+  ASSERT_NE(find("star-8"), nullptr);
+  ASSERT_NE(find("zero-contrib-mix"), nullptr);
+  ASSERT_NE(find("two-forest-roots"), nullptr);
+  EXPECT_EQ(find("chain-6-unit")->participant_count(), 6u);
+  EXPECT_EQ(find("two-forest-roots")->children(kRoot).size(), 2u);
+}
+
+TEST(Corpus, IncludesAllFourContributionModels) {
+  const std::vector<CorpusTree> corpus = standard_corpus();
+  for (const char* model : {"unit", "uniform", "lognormal", "pareto"}) {
+    bool found = false;
+    for (const CorpusTree& entry : corpus) {
+      found |= entry.label.find(model) != std::string::npos;
+    }
+    EXPECT_TRUE(found) << model;
+  }
+}
+
+TEST(Corpus, OptionsControlRandomPortionSize) {
+  CorpusOptions small;
+  small.random_trees_per_model = 1;
+  CorpusOptions large;
+  large.random_trees_per_model = 3;
+  EXPECT_GT(standard_corpus(large).size(), standard_corpus(small).size());
+}
+
+TEST(Corpus, HeavyTailsAreCappedForNumericObservability) {
+  const std::vector<CorpusTree> corpus = standard_corpus();
+  for (const CorpusTree& entry : corpus) {
+    for (NodeId u = 1; u < entry.tree.node_count(); ++u) {
+      EXPECT_LE(entry.tree.contribution(u), 12.0) << entry.label;
+    }
+  }
+}
+
+TEST(Corpus, SmallCorpusIsSmall) {
+  const std::vector<CorpusTree> corpus = small_corpus();
+  EXPECT_LE(corpus.size(), 8u);
+  for (const CorpusTree& entry : corpus) {
+    EXPECT_LE(entry.tree.participant_count(), 16u) << entry.label;
+  }
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,72 @@
+// Tests for lottery drawings.
+#include <gtest/gtest.h>
+
+#include "lottery/drawing.h"
+#include "lottery/luxor.h"
+#include "lottery/pachira.h"
+#include "tree/generators.h"
+
+namespace itree {
+namespace {
+
+TEST(Drawing, DrawWinnerFollowsShares) {
+  Rng rng(1);
+  const std::vector<double> shares = {0.0, 0.5, 0.25};  // 0.25 house
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const NodeId winner = draw_winner(shares, rng);
+    ++counts[winner == kInvalidNode ? 3 : winner];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[1] / 40000.0, 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.25, 0.01);
+  EXPECT_NEAR(counts[3] / 40000.0, 0.25, 0.01);
+}
+
+TEST(Drawing, RejectsInvalidShares) {
+  Rng rng(2);
+  EXPECT_THROW(draw_winner({0.5, 0.7}, rng), std::invalid_argument);
+  EXPECT_THROW(draw_winner({-0.1, 0.5}, rng), std::invalid_argument);
+}
+
+TEST(Drawing, EmpiricalFrequenciesMatchLuxorShares) {
+  Rng rng(3);
+  const Tree tree = make_star(5, 2.0, 1.0);
+  const Luxor luxor(0.5);
+  const std::vector<double> shares = luxor.shares(tree);
+  const DrawingStats stats = run_drawings(luxor, tree, 60000, rng);
+  EXPECT_EQ(stats.drawings, 60000u);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(stats.frequencies[u], shares[u], 0.01) << "node " << u;
+  }
+  // The organizer keeps the unallocated mass.
+  double allocated = 0.0;
+  for (double s : shares) {
+    allocated += s;
+  }
+  EXPECT_NEAR(static_cast<double>(stats.house_wins) / 60000.0,
+              1.0 - allocated, 0.01);
+}
+
+TEST(Drawing, PachiraSoleRootChildLeavesNoHouseShare) {
+  Rng rng(4);
+  const Tree tree = make_star(4, 1.0, 1.0);  // single forest root
+  const Pachira pachira(0.2, 1.0);
+  const DrawingStats stats = run_drawings(pachira, tree, 20000, rng);
+  // Shares telescope to exactly 1: the house never wins.
+  EXPECT_EQ(stats.house_wins, 0u);
+}
+
+TEST(Drawing, ExpectedPrizesScaleShares) {
+  const Tree tree = make_chain(3, 1.0);
+  const Luxor luxor(0.5);
+  const std::vector<double> shares = luxor.shares(tree);
+  const std::vector<double> prizes = expected_prizes(luxor, tree, 1000.0);
+  for (NodeId u = 0; u < tree.node_count(); ++u) {
+    EXPECT_DOUBLE_EQ(prizes[u], 1000.0 * shares[u]);
+  }
+  EXPECT_THROW(expected_prizes(luxor, tree, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace itree

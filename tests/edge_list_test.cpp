@@ -1,0 +1,68 @@
+// Tests for the CSV edge-list interchange format.
+#include <gtest/gtest.h>
+
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+TEST(EdgeList, EmitsHeaderAndRows) {
+  Tree tree;
+  const NodeId a = tree.add_independent(2.5);
+  tree.add_node(a, 1.0);
+  const std::string csv = to_edge_list(tree);
+  EXPECT_EQ(csv, "node,parent,contribution\n1,0,2.5\n2,1,1\n");
+}
+
+TEST(EdgeList, RoundTripsRandomTrees) {
+  Rng rng(91);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Tree tree =
+        random_recursive_tree(40, uniform_contribution(0.0, 5.0), rng);
+    const Tree reparsed = parse_edge_list(to_edge_list(tree));
+    ASSERT_EQ(reparsed.node_count(), tree.node_count());
+    for (NodeId u = 1; u < tree.node_count(); ++u) {
+      EXPECT_EQ(reparsed.parent(u), tree.parent(u));
+      EXPECT_DOUBLE_EQ(reparsed.contribution(u), tree.contribution(u));
+    }
+  }
+}
+
+TEST(EdgeList, AcceptsRowsInAnyOrder) {
+  const Tree tree = parse_edge_list(
+      "node,parent,contribution\n2,1,3\n1,0,2\n3,1,0.5\n");
+  EXPECT_EQ(tree.participant_count(), 3u);
+  EXPECT_EQ(tree.parent(2), 1u);
+  EXPECT_DOUBLE_EQ(tree.contribution(3), 0.5);
+}
+
+TEST(EdgeList, RejectsMalformedInput) {
+  EXPECT_THROW(parse_edge_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("wrong,header,here\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("node,parent,contribution\n1,0\n"),
+               std::invalid_argument);
+  // Parent must precede child (join-order invariant).
+  EXPECT_THROW(parse_edge_list("node,parent,contribution\n1,2,1\n2,0,1\n"),
+               std::invalid_argument);
+  // Duplicate id.
+  EXPECT_THROW(
+      parse_edge_list("node,parent,contribution\n1,0,1\n1,0,2\n"),
+      std::invalid_argument);
+  // Gap in ids.
+  EXPECT_THROW(parse_edge_list("node,parent,contribution\n2,0,1\n"),
+               std::invalid_argument);
+  // Node ids start at 1.
+  EXPECT_THROW(parse_edge_list("node,parent,contribution\n0,0,1\n"),
+               std::invalid_argument);
+}
+
+TEST(EdgeList, EmptyTreeIsJustTheHeader) {
+  Tree tree;
+  EXPECT_EQ(to_edge_list(tree), "node,parent,contribution\n");
+  const Tree reparsed = parse_edge_list("node,parent,contribution\n");
+  EXPECT_EQ(reparsed.participant_count(), 0u);
+}
+
+}  // namespace
+}  // namespace itree

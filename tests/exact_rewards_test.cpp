@@ -1,0 +1,212 @@
+// Exact certificates: the paper's strict inequalities verified with no
+// floating-point tolerance, and cross-validation of the double-precision
+// mechanisms against the rational implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cdrm.h"
+#include "core/geometric.h"
+#include "core/l_transform.h"
+#include "core/tdrm.h"
+#include "exact/exact_rewards.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+BudgetParams budget() { return BudgetParams{.Phi = 0.5, .phi = 0.05}; }
+
+TEST(ExactRewards, GeometricMatchesDoubleImplementation) {
+  Rng rng(81);
+  const Tree tree =
+      random_recursive_tree(30, uniform_contribution(0.0, 4.0), rng);
+  const GeometricMechanism mechanism(budget(), 0.5, 0.2);
+  const RewardVector doubles = mechanism.compute(tree);
+  const ExactRewardVector exact = exact_geometric_rewards(
+      tree, Rational::fraction(1, 2), Rational::fraction(1, 5));
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(doubles[u], exact[u].to_double(), 1e-12) << "node " << u;
+  }
+}
+
+TEST(ExactRewards, GeometricBudgetHoldsAsExactInequality) {
+  // b = (1-a)*Phi exactly: the worst admissible parameterization.
+  const Rational a = Rational::fraction(1, 2);
+  const Rational b = Rational::fraction(1, 4);
+  const Rational Phi = Rational::fraction(1, 2);
+  const Tree tree = make_chain(64, 1.0);
+  const ExactRewardVector rewards = exact_geometric_rewards(tree, a, b);
+  const Rational total = exact_total(rewards);
+  const Rational cap = Phi * exact_total_contribution(tree);
+  EXPECT_TRUE(total < cap) << total.to_string() << " vs " << cap.to_string();
+}
+
+TEST(ExactRewards, ChainSplitGainIsExactlyABTimesMass) {
+  // Theorem 1's violation, certified: splitting C = 2 into 1 -> 1 gains
+  // exactly a*b*1 — a strict rational inequality, no epsilon.
+  const Rational a = Rational::fraction(1, 2);
+  const Rational b = Rational::fraction(1, 5);
+  const ExactRewardVector single =
+      exact_geometric_rewards(parse_tree("(2)"), a, b);
+  const ExactRewardVector split =
+      exact_geometric_rewards(parse_tree("(1 (1))"), a, b);
+  const Rational gain = split[1] + split[2] - single[1];
+  EXPECT_EQ(gain, a * b);
+  EXPECT_TRUE(gain > Rational());
+}
+
+TEST(ExactRewards, PreliminaryTdrmQuadraticSplitLossIsExact)
+{
+  // Algorithm 3's USA lever: merging 1 + 1 into 2 gains exactly
+  // b*(C^2 - c1^2 - c2^2 - a*c1*c2) ... certified numerically: merged
+  // strictly beats the split.
+  const Rational a = Rational::fraction(1, 2);
+  const Rational b = Rational::fraction(1, 5);
+  const ExactRewardVector merged =
+      exact_preliminary_tdrm_rewards(parse_tree("(2)"), a, b);
+  const ExactRewardVector split =
+      exact_preliminary_tdrm_rewards(parse_tree("(1 (1))"), a, b);
+  EXPECT_TRUE(split[1] + split[2] < merged[1]);
+  // The gap is b*(4 - 1 - (1 + 1/2)) = b*3/2... compute it exactly:
+  const Rational gap = merged[1] - (split[1] + split[2]);
+  EXPECT_EQ(gap, b * Rational::fraction(3, 2) - Rational());
+}
+
+TEST(ExactRewards, Cdrm1MatchesDoubleImplementation) {
+  Rng rng(82);
+  const Tree tree =
+      random_recursive_tree(25, uniform_contribution(0.0, 3.0), rng);
+  const CdrmReciprocal mechanism(budget(), 0.4);
+  const RewardVector doubles = mechanism.compute(tree);
+  const ExactRewardVector exact = exact_cdrm1_rewards(
+      tree, Rational::fraction(1, 2), Rational::fraction(2, 5));
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(doubles[u], exact[u].to_double(), 1e-12);
+  }
+}
+
+TEST(ExactRewards, Cdrm1SuperadditivityIsStrictExactly) {
+  // Property (iv) at a concrete point, certified: R(2, 1) vs
+  // R(1, 2) + R(1, 1) for Phi = 1/2, theta = 2/5.
+  const Rational Phi = Rational::fraction(1, 2);
+  const Rational theta = Rational::fraction(2, 5);
+  const Rational one(1);
+  auto R = [&](std::int64_t x, std::int64_t y) {
+    return (Phi - theta / (one + Rational(x) + Rational(y))) * Rational(x);
+  };
+  EXPECT_TRUE(R(2, 1) > R(1, 2) + R(1, 1));
+}
+
+TEST(ExactRewards, LPachiraMatchesDoubleImplementation) {
+  const Tree tree = parse_tree("(2 (1) (1)) (3 (0.5))");
+  const LPachiraMechanism mechanism(budget(), 0.2, 2.0);
+  const RewardVector doubles = mechanism.compute(tree);
+  const ExactRewardVector exact = exact_lpachira_rewards(
+      tree, Rational::fraction(1, 2), Rational::fraction(1, 5), 2);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(doubles[u], exact[u].to_double(), 1e-12);
+  }
+}
+
+TEST(ExactRewards, PachiraJensenGapIsStrictlyPositiveExactly) {
+  // The USA lever of Theorem 2, certified: merging two sibling Sybils
+  // strictly increases the total reward.
+  const Rational Phi = Rational::fraction(1, 2);
+  const Rational beta = Rational::fraction(1, 5);
+  const ExactRewardVector merged =
+      exact_lpachira_rewards(parse_tree("(0.25 (4))"), Phi, beta, 2);
+  const ExactRewardVector split =
+      exact_lpachira_rewards(parse_tree("(0.25 (2) (2))"), Phi, beta, 2);
+  EXPECT_TRUE(split[2] + split[3] < merged[2]);
+}
+
+TEST(ExactRewards, LPachiraSharesTelescopeExactly) {
+  // Total reward equals Phi*C(T) exactly when one participant roots the
+  // whole forest (shares telescope to pi(1) = 1).
+  const Tree tree = parse_tree("(1 (2 (3)) (4))");
+  const Rational Phi = Rational::fraction(1, 2);
+  const ExactRewardVector rewards =
+      exact_lpachira_rewards(tree, Phi, Rational::fraction(1, 5), 1);
+  EXPECT_EQ(exact_total(rewards), Phi * exact_total_contribution(tree));
+}
+
+TEST(ExactRewards, TdrmMatchesDoubleImplementation) {
+  Rng rng(83);
+  const Tree tree = random_recursive_tree(
+      20, capped_contribution(uniform_contribution(0.0, 5.0), 5.0), rng);
+  const Tdrm mechanism(budget(),
+                       TdrmParams{.lambda = 0.4, .mu = 1.0, .a = 0.5, .b = 0.4});
+  const RewardVector doubles = mechanism.compute(tree);
+  const ExactRewardVector exact = exact_tdrm_rewards(
+      tree, Rational::fraction(2, 5), Rational(1), Rational::fraction(1, 2),
+      Rational::fraction(2, 5), Rational::fraction(1, 20));
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(doubles[u], exact[u].to_double(), 1e-9) << "node " << u;
+  }
+}
+
+TEST(ExactRewards, TdrmMuSplitTiesExactly) {
+  // The USA equality, certified with no tolerance: joining C = 5/2 as
+  // one node equals joining as the 1/2 -> 1 -> 1 eps-chain.
+  const Rational lambda = Rational::fraction(2, 5);
+  const Rational mu(1);
+  const Rational a = Rational::fraction(1, 2);
+  const Rational b = Rational::fraction(2, 5);
+  const Rational phi = Rational::fraction(1, 20);
+  Tree single;
+  single.add_independent(2.5);
+  const ExactRewardVector merged =
+      exact_tdrm_rewards(single, lambda, mu, a, b, phi);
+  const Tree chain = make_chain(std::vector<double>{0.5, 1.0, 1.0});
+  const ExactRewardVector split =
+      exact_tdrm_rewards(chain, lambda, mu, a, b, phi);
+  EXPECT_EQ(split[1] + split[2] + split[3], merged[1]);
+}
+
+TEST(ExactRewards, TdrmQuantumFillGainFormulaIsExact) {
+  // gain = lambda*b*mu*(3/4 + a*k/2) + (phi - 1)*mu/2, certified.
+  const Rational lambda = Rational::fraction(2, 5);
+  const Rational mu(1);
+  const Rational a = Rational::fraction(1, 2);
+  const Rational b = Rational::fraction(2, 5);
+  const Rational phi = Rational::fraction(1, 20);
+  const int k = 40;
+  auto profit_of = [&](double c) {
+    Tree tree;
+    const NodeId u = tree.add_independent(c);
+    for (int i = 0; i < k; ++i) {
+      tree.add_node(u, 1.0);
+    }
+    const ExactRewardVector rewards =
+        exact_tdrm_rewards(tree, lambda, mu, a, b, phi);
+    return rewards[u] - Rational::from_double(c);
+  };
+  const Rational gain = profit_of(1.0) - profit_of(0.5);
+  const Rational formula =
+      lambda * b * mu *
+          (Rational::fraction(3, 4) + a * Rational(k) / Rational(2)) +
+      (phi - Rational(1)) * mu / Rational(2);
+  EXPECT_EQ(gain, formula);
+}
+
+TEST(ExactRewards, TdrmBudgetStrictExactly) {
+  const Tree tree = parse_tree("(2.5 (1 (0.6)) (3.2 (1) (1)))");
+  const ExactRewardVector rewards = exact_tdrm_rewards(
+      tree, Rational::fraction(2, 5), Rational(1), Rational::fraction(1, 2),
+      Rational::fraction(2, 5), Rational::fraction(1, 20));
+  const Rational cap =
+      Rational::fraction(1, 2) * exact_total_contribution(tree);
+  EXPECT_TRUE(exact_total(rewards) < cap);
+}
+
+TEST(ExactRewards, DyadicContributionsConvertExactly) {
+  Tree tree;
+  tree.add_independent(0.1);  // non-dyadic decimal, exact binary double
+  const std::vector<Rational> contributions = exact_contributions(tree);
+  EXPECT_EQ(contributions[1].to_double(), 0.1);
+}
+
+}  // namespace
+}  // namespace itree

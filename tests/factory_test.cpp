@@ -1,0 +1,74 @@
+// Tests for textual mechanism construction.
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+TEST(ParamString, ParsesKeyValueLists) {
+  const ParamMap params = parse_param_string("a=0.5, b=0.2 ,mu=3");
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_DOUBLE_EQ(params.at("a"), 0.5);
+  EXPECT_DOUBLE_EQ(params.at("b"), 0.2);
+  EXPECT_DOUBLE_EQ(params.at("mu"), 3.0);
+  EXPECT_TRUE(parse_param_string("").empty());
+  EXPECT_TRUE(parse_param_string("  ,  ").empty());
+}
+
+TEST(ParamString, RejectsMalformedEntries) {
+  EXPECT_THROW(parse_param_string("a"), std::invalid_argument);
+  EXPECT_THROW(parse_param_string("=1"), std::invalid_argument);
+  EXPECT_THROW(parse_param_string("a=x"), std::invalid_argument);
+  EXPECT_THROW(parse_param_string("a=1.5z"), std::invalid_argument);
+  EXPECT_THROW(parse_param_string("a=1,a=2"), std::invalid_argument);
+}
+
+TEST(Factory, BuildsEveryMechanismWithDefaults) {
+  for (const char* name :
+       {"geometric", "l-luxor", "l-pachira", "split-proof",
+        "preliminary-tdrm", "norm-preliminary-tdrm", "tdrm", "cdrm-1",
+        "cdrm-2"}) {
+    const MechanismPtr mechanism = make_mechanism(name);
+    ASSERT_NE(mechanism, nullptr) << name;
+    const Tree tree = parse_tree("(2 (1))");
+    EXPECT_EQ(mechanism->compute(tree).size(), tree.node_count()) << name;
+  }
+}
+
+TEST(Factory, AppliesParameterOverrides) {
+  const MechanismPtr mechanism =
+      make_mechanism("geometric", parse_param_string("a=0.25,b=0.3"));
+  const Tree tree = parse_tree("(1 (1))");
+  // R(top) = b*(1 + a*1) = 0.3 * 1.25.
+  EXPECT_NEAR(mechanism->compute(tree)[1], 0.375, 1e-12);
+  EXPECT_NE(mechanism->params_string().find("a=0.25"), std::string::npos);
+}
+
+TEST(Factory, AppliesBudgetOverrides) {
+  const MechanismPtr mechanism =
+      make_mechanism("cdrm-1", parse_param_string("Phi=0.8,theta=0.5"));
+  EXPECT_DOUBLE_EQ(mechanism->Phi(), 0.8);
+  // theta=0.5 is only admissible because Phi was raised.
+  EXPECT_THROW(make_mechanism("cdrm-1", parse_param_string("theta=0.5")),
+               std::invalid_argument);
+}
+
+TEST(Factory, RejectsUnknownNamesAndParameters) {
+  EXPECT_THROW(make_mechanism("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_mechanism("geometric", parse_param_string("delta=1")),
+               std::invalid_argument);
+  EXPECT_THROW(make_mechanism("tdrm", parse_param_string("theta=0.1")),
+               std::invalid_argument);
+}
+
+TEST(Factory, ConstructorConstraintsStillApply) {
+  EXPECT_THROW(make_mechanism("geometric", parse_param_string("a=0.9,b=0.3")),
+               std::invalid_argument);
+  EXPECT_THROW(make_mechanism("tdrm", parse_param_string("lambda=0.9")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,83 @@
+// Tests for the property-frontier analysis (the paper's maximality
+// claim).
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "properties/frontier.h"
+
+namespace itree {
+namespace {
+
+MatrixOptions fast_options() {
+  MatrixOptions options;
+  options.corpus.random_trees_per_model = 1;
+  options.corpus.random_tree_size = 20;
+  options.check.max_nodes_per_tree = 8;
+  options.check.booster_rounds = 15;
+  options.search.identity_counts = {2, 3};
+  options.search.random_splits = 2;
+  return options;
+}
+
+TEST(Frontier, MeasuredSetsRespectTheorem3) {
+  const std::vector<MatrixRow> rows =
+      run_matrix(all_feasible_mechanisms(), fast_options());
+  const FrontierAnalysis analysis = analyze_frontier(rows);
+  EXPECT_TRUE(analysis.impossibility_respected);
+  for (const FrontierEntry& entry : analysis.entries) {
+    EXPECT_FALSE(entry.violates_impossibility) << entry.mechanism;
+  }
+}
+
+TEST(Frontier, TdrmAndCdrmAreMaximal) {
+  // The paper's optimality claim: TDRM's and CDRM's property sets are
+  // maximal — no other mechanism strictly dominates them.
+  const std::vector<MatrixRow> rows =
+      run_matrix(all_feasible_mechanisms(), fast_options());
+  const FrontierAnalysis analysis = analyze_frontier(rows);
+  for (const FrontierEntry& entry : analysis.entries) {
+    if (entry.mechanism.rfind("TDRM", 0) == 0 ||
+        entry.mechanism.rfind("CDRM", 0) == 0) {
+      EXPECT_TRUE(entry.maximal) << entry.mechanism << " dominated by "
+                                 << entry.dominated_by;
+    }
+  }
+}
+
+TEST(Frontier, GeometricIsDominatedByTdrm) {
+  // TDRM achieves a strict superset of the Geometric mechanism's
+  // properties (it adds USA without losing anything).
+  std::vector<MechanismPtr> mechanisms;
+  mechanisms.push_back(make_default(MechanismKind::kGeometric));
+  mechanisms.push_back(make_default(MechanismKind::kTdrm));
+  const FrontierAnalysis analysis =
+      analyze_frontier(run_matrix(mechanisms, fast_options()));
+  EXPECT_FALSE(analysis.entries[0].maximal);
+  EXPECT_EQ(analysis.entries[0].dominated_by,
+            analysis.entries[1].mechanism);
+  EXPECT_TRUE(analysis.entries[1].maximal);
+}
+
+TEST(Frontier, RenderingSummarizes) {
+  std::vector<MechanismPtr> mechanisms;
+  mechanisms.push_back(make_default(MechanismKind::kTdrm));
+  const FrontierAnalysis analysis =
+      analyze_frontier(run_matrix(mechanisms, fast_options()));
+  const std::string rendered = render_frontier(analysis);
+  EXPECT_NE(rendered.find("TDRM"), std::string::npos);
+  EXPECT_NE(rendered.find("Theorem 3 respected"), std::string::npos);
+}
+
+TEST(Frontier, MeasuredSetExtractsSatisfiedProperties) {
+  MatrixRow row;
+  row.measured[Property::kCCI] =
+      PropertyReport{.property = Property::kCCI, .verdict = Verdict::kSatisfied};
+  row.measured[Property::kUSA] =
+      PropertyReport{.property = Property::kUSA, .verdict = Verdict::kViolated};
+  const PropertySet set = measured_set(row);
+  EXPECT_TRUE(set.contains(Property::kCCI));
+  EXPECT_FALSE(set.contains(Property::kUSA));
+}
+
+}  // namespace
+}  // namespace itree

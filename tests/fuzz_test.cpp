@@ -1,0 +1,105 @@
+// Robustness fuzzing: the text parsers must either parse or throw
+// std::invalid_argument on arbitrary input — never crash, hang, or
+// accept garbage silently.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/event_log.h"
+#include "tree/io.h"
+#include "util/rng.h"
+
+namespace itree {
+namespace {
+
+std::string random_text(Rng& rng, std::size_t max_length,
+                        const std::string& alphabet) {
+  const std::size_t length = rng.index(max_length + 1);
+  std::string text;
+  text.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    text += alphabet[rng.index(alphabet.size())];
+  }
+  return text;
+}
+
+TEST(Fuzz, ParseTreeNeverCrashesOnStructuredNoise) {
+  Rng rng(1001);
+  const std::string alphabet = "()0123456789 .-+eE";
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::string text = random_text(rng, 40, alphabet);
+    try {
+      const Tree tree = parse_tree(text);
+      ++parsed;
+      // Anything accepted must round-trip stably.
+      EXPECT_EQ(to_string(parse_tree(to_string(tree))), to_string(tree));
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    } catch (const std::out_of_range&) {
+      ++rejected;  // std::stod range failure on absurd exponents
+    }
+  }
+  // Sanity: the fuzz actually exercises both paths.
+  EXPECT_GT(parsed, 10);
+  EXPECT_GT(rejected, 10);
+}
+
+TEST(Fuzz, ParseTreeRejectsAdversarialCases) {
+  for (const char* text :
+       {"(", ")", "(()", "(1 2)", "((1))" /* number must follow '(' */,
+        "(1))", "(--1)", "(1e)", "(.)", "(1 (2) 3)"}) {
+    EXPECT_THROW(parse_tree(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(Fuzz, ParseTreeRejectsNegativeContributions) {
+  EXPECT_THROW(parse_tree("(-1)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("(1 (-0.5))"), std::invalid_argument);
+}
+
+TEST(Fuzz, EdgeListParserNeverCrashes) {
+  Rng rng(1002);
+  const std::string alphabet = "nodeparcntibu,0123456789.\n-";
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string text =
+        "node,parent,contribution\n" + random_text(rng, 60, alphabet);
+    try {
+      parse_edge_list(text);
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, EventLogParserNeverCrashes) {
+  Rng rng(1003);
+  const std::string alphabet = "JC 0123456789.\n-e";
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string text = random_text(rng, 60, alphabet);
+    try {
+      EventLog::parse(text);
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, DeeplyNestedTreesParseWithinStackLimits) {
+  // The s-expression parser recurses; 20k levels must still be fine.
+  std::string text;
+  for (int i = 0; i < 20000; ++i) {
+    text += "(1 ";
+  }
+  text += "(1)";
+  for (int i = 0; i < 20000; ++i) {
+    text += ")";
+  }
+  const Tree tree = parse_tree(text);
+  EXPECT_EQ(tree.participant_count(), 20001u);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,116 @@
+// Unit tests for the (a,b)-Geometric Mechanism (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/geometric.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+BudgetParams budget() { return BudgetParams{.Phi = 0.5, .phi = 0.05}; }
+
+// O(n^2) reference implementation straight from the Algorithm 1 formula.
+RewardVector reference_rewards(const Tree& tree, double a, double b) {
+  RewardVector rewards(tree.node_count(), 0.0);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    for (NodeId v : tree.subtree(u)) {
+      const auto dep = tree.depth(v) - tree.depth(u);
+      rewards[u] +=
+          std::pow(a, static_cast<double>(dep)) * b * tree.contribution(v);
+    }
+  }
+  return rewards;
+}
+
+TEST(Geometric, EnforcesParameterConstraints) {
+  EXPECT_THROW(GeometricMechanism(budget(), 0.0, 0.2), std::invalid_argument);
+  EXPECT_THROW(GeometricMechanism(budget(), 1.0, 0.2), std::invalid_argument);
+  // b below phi violates phi-RPC.
+  EXPECT_THROW(GeometricMechanism(budget(), 0.5, 0.01), std::invalid_argument);
+  // b above (1-a)*Phi violates the budget.
+  EXPECT_THROW(GeometricMechanism(budget(), 0.5, 0.3), std::invalid_argument);
+  EXPECT_NO_THROW(GeometricMechanism(budget(), 0.5, 0.25));
+}
+
+TEST(Geometric, MatchesHandComputedExample) {
+  // (5 (3 (4)) (2)): R(ada) = b*(5 + a*3 + a*2 + a^2*4).
+  const Tree tree = parse_tree("(5 (3 (4)) (2))");
+  const GeometricMechanism mechanism(budget(), 0.5, 0.2);
+  const RewardVector rewards = mechanism.compute(tree);
+  EXPECT_NEAR(rewards[1], 0.2 * (5 + 1.5 + 1.0 + 1.0), 1e-12);
+  EXPECT_NEAR(rewards[2], 0.2 * (3 + 2.0), 1e-12);
+  EXPECT_NEAR(rewards[3], 0.2 * 4, 1e-12);
+  EXPECT_NEAR(rewards[4], 0.2 * 2, 1e-12);
+  EXPECT_EQ(rewards[kRoot], 0.0);
+}
+
+TEST(Geometric, AgreesWithBruteForceReference) {
+  Rng rng(42);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Tree tree =
+        random_recursive_tree(50, uniform_contribution(0.0, 5.0), rng);
+    const GeometricMechanism mechanism(budget(), 0.4, 0.2);
+    const RewardVector fast = mechanism.compute(tree);
+    const RewardVector slow = reference_rewards(tree, 0.4, 0.2);
+    for (NodeId u = 0; u < tree.node_count(); ++u) {
+      EXPECT_NEAR(fast[u], slow[u], 1e-9);
+    }
+  }
+}
+
+TEST(Geometric, TotalRewardStaysWithinBudgetEvenOnDeepChains) {
+  // Chains maximize bubble-up accumulation: the worst case for the
+  // b <= (1-a)*Phi constraint.
+  const Tree tree = make_chain(200, 1.0);
+  const GeometricMechanism mechanism(budget(), 0.5, 0.25);  // b = (1-a)*Phi
+  const RewardVector rewards = mechanism.compute(tree);
+  EXPECT_LE(total_reward(rewards),
+            mechanism.Phi() * tree.total_contribution() + 1e-9);
+}
+
+TEST(Geometric, ChainSplitIsProfitable) {
+  // Theorem 1's USA violation: splitting C=2 into a 1 -> 1 chain earns
+  // extra bubbled-up reward a*b*1.
+  const GeometricMechanism mechanism(budget(), 0.5, 0.2);
+  const Tree single = parse_tree("(2)");
+  const Tree chain = parse_tree("(1 (1))");
+  const double single_reward = mechanism.compute(single)[1];
+  const RewardVector split = mechanism.compute(chain);
+  EXPECT_GT(split[1] + split[2], single_reward);
+  EXPECT_NEAR(split[1] + split[2] - single_reward, 0.5 * 0.2 * 1.0, 1e-12);
+}
+
+TEST(Geometric, RewardOfSingleNodeEqualsFullCompute) {
+  const Tree tree = parse_tree("(5 (3 (4)) (2))");
+  const GeometricMechanism mechanism(budget(), 0.5, 0.2);
+  const RewardVector all = mechanism.compute(tree);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_DOUBLE_EQ(mechanism.reward_of(tree, u), all[u]);
+  }
+}
+
+TEST(Geometric, ClaimsMatchTheorem1) {
+  const GeometricMechanism mechanism(budget(), 0.5, 0.2);
+  const PropertySet claims = mechanism.claimed_properties();
+  EXPECT_TRUE(claims.contains(Property::kBudget));
+  EXPECT_TRUE(claims.contains(Property::kCCI));
+  EXPECT_TRUE(claims.contains(Property::kCSI));
+  EXPECT_TRUE(claims.contains(Property::kURO));
+  EXPECT_TRUE(claims.contains(Property::kSL));
+  EXPECT_FALSE(claims.contains(Property::kUSA));
+  EXPECT_FALSE(claims.contains(Property::kUGSA));
+}
+
+TEST(Geometric, EmptyTreeYieldsNoRewards) {
+  Tree tree;
+  const GeometricMechanism mechanism(budget(), 0.5, 0.2);
+  const RewardVector rewards = mechanism.compute(tree);
+  EXPECT_EQ(rewards.size(), 1u);
+  EXPECT_EQ(rewards[kRoot], 0.0);
+}
+
+}  // namespace
+}  // namespace itree

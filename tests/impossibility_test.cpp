@@ -1,0 +1,81 @@
+// Tests for the executable Theorem 3 construction.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "properties/impossibility.h"
+
+namespace itree {
+namespace {
+
+TEST(Impossibility, GeometricYieldsAProfitableGeneralizedAttack) {
+  // Geometric satisfies SL and PO, so Theorem 3 forces a UGSA breach.
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const ImpossibilityOutcome outcome =
+      run_impossibility_construction(*mechanism);
+  ASSERT_TRUE(outcome.po_witness_found);
+  EXPECT_GT(outcome.v_star_profit, 0.0);
+  EXPECT_TRUE(outcome.ugsa_violated);
+  // Under SL the gain equals P(v*) exactly (the proof's punchline).
+  EXPECT_NEAR(outcome.ugsa_gain, outcome.v_star_profit, 1e-9);
+}
+
+TEST(Impossibility, TdrmYieldsAProfitableGeneralizedAttack) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  const ImpossibilityOutcome outcome =
+      run_impossibility_construction(*mechanism);
+  ASSERT_TRUE(outcome.po_witness_found);
+  EXPECT_TRUE(outcome.ugsa_violated);
+  EXPECT_NEAR(outcome.ugsa_gain, outcome.v_star_profit, 1e-9);
+}
+
+TEST(Impossibility, LLuxorYieldsAProfitableGeneralizedAttack) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kLLuxor);
+  const ImpossibilityOutcome outcome =
+      run_impossibility_construction(*mechanism);
+  ASSERT_TRUE(outcome.po_witness_found);
+  EXPECT_TRUE(outcome.ugsa_violated);
+}
+
+TEST(Impossibility, CdrmEscapesViaMissingPoWitness) {
+  // CDRM trades PO/URO for UGSA: the construction's precondition never
+  // materializes.
+  for (MechanismKind kind :
+       {MechanismKind::kCdrmReciprocal, MechanismKind::kCdrmLogarithmic}) {
+    const MechanismPtr mechanism = make_default(kind);
+    const ImpossibilityOutcome outcome =
+        run_impossibility_construction(*mechanism);
+    EXPECT_FALSE(outcome.po_witness_found) << mechanism->display_name();
+    EXPECT_FALSE(outcome.ugsa_violated);
+    EXPECT_NE(outcome.description.find("no PO witness"), std::string::npos);
+  }
+}
+
+TEST(Impossibility, SplitProofEscapesViaMissingPoWitness) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kSplitProof);
+  const ImpossibilityOutcome outcome =
+      run_impossibility_construction(*mechanism);
+  EXPECT_FALSE(outcome.po_witness_found);
+}
+
+TEST(Impossibility, LPachiraEscapesViaBrokenSubtreeLocality) {
+  // L-Pachira has PO (witness exists) but lacks SL, so the proof's
+  // R(u_a) = R(v*) step does not bind; the measured gain may be anything
+  // — the theorem's *preconditions* are what fails.
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  const ImpossibilityOutcome outcome =
+      run_impossibility_construction(*mechanism);
+  EXPECT_TRUE(outcome.po_witness_found);
+  // Without SL the gain need not equal P(v*); assert the decoupling.
+  EXPECT_FALSE(std::abs(outcome.ugsa_gain - outcome.v_star_profit) < 1e-9);
+}
+
+TEST(Impossibility, DescriptionSummarizesNumbers) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const ImpossibilityOutcome outcome =
+      run_impossibility_construction(*mechanism);
+  EXPECT_NE(outcome.description.find("P(v*)"), std::string::npos);
+  EXPECT_NE(outcome.description.find("gain"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itree

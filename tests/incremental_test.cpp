@@ -1,0 +1,144 @@
+// Tests for the incremental reward-maintenance states: event-by-event
+// equivalence with the batch mechanisms.
+#include <gtest/gtest.h>
+
+#include "core/geometric.h"
+#include "core/incremental.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+#include "tree/subtree_sums.h"
+
+namespace itree {
+namespace {
+
+TEST(IncrementalGeometric, RejectsBadDecay) {
+  EXPECT_THROW(IncrementalGeometricState(0.0), std::invalid_argument);
+  EXPECT_THROW(IncrementalGeometricState(1.0), std::invalid_argument);
+}
+
+TEST(IncrementalGeometric, MatchesBatchOnHandExample) {
+  IncrementalGeometricState state(0.5);
+  const NodeId a = state.add_leaf(kRoot, 5.0);
+  const NodeId b = state.add_leaf(a, 3.0);
+  state.add_leaf(b, 4.0);
+  state.add_leaf(a, 2.0);
+  const std::vector<double> batch =
+      geometric_subtree_sums(state.tree(), 0.5);
+  for (NodeId u = 0; u < state.tree().node_count(); ++u) {
+    EXPECT_NEAR(state.subtree_sum(u), batch[u], 1e-12) << "node " << u;
+  }
+}
+
+TEST(IncrementalGeometric, ContributionUpdatesBubbleUp) {
+  IncrementalGeometricState state(0.5);
+  const NodeId a = state.add_leaf(kRoot, 1.0);
+  const NodeId b = state.add_leaf(a, 1.0);
+  state.add_contribution(b, 2.0);
+  EXPECT_NEAR(state.subtree_sum(b), 3.0, 1e-12);
+  EXPECT_NEAR(state.subtree_sum(a), 1.0 + 0.5 * 3.0, 1e-12);
+}
+
+TEST(IncrementalGeometric, RandomEventStreamMatchesBatch) {
+  Rng rng(51);
+  IncrementalGeometricState state(0.4);
+  for (int event = 0; event < 400; ++event) {
+    if (state.tree().participant_count() == 0 || rng.bernoulli(0.6)) {
+      const NodeId parent =
+          state.tree().participant_count() == 0 || rng.bernoulli(0.15)
+              ? kRoot
+              : static_cast<NodeId>(
+                    1 + rng.index(state.tree().participant_count()));
+      state.add_leaf(parent, rng.uniform(0.0, 3.0));
+    } else {
+      const NodeId u = static_cast<NodeId>(
+          1 + rng.index(state.tree().participant_count()));
+      state.add_contribution(u, rng.uniform(0.0, 2.0));
+    }
+  }
+  const std::vector<double> batch =
+      geometric_subtree_sums(state.tree(), 0.4);
+  double expected_total = 0.0;
+  for (NodeId u = 1; u < state.tree().node_count(); ++u) {
+    EXPECT_NEAR(state.subtree_sum(u), batch[u], 1e-9);
+    expected_total += batch[u];
+  }
+  EXPECT_NEAR(state.total_geometric_reward(0.2), 0.2 * expected_total, 1e-9);
+}
+
+TEST(IncrementalGeometric, BuildsFromExistingTree) {
+  const Tree tree = parse_tree("(5 (3 (4)) (2))");
+  IncrementalGeometricState state(0.5, tree);
+  const std::vector<double> batch = geometric_subtree_sums(tree, 0.5);
+  for (NodeId u = 0; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(state.subtree_sum(u), batch[u], 1e-12);
+  }
+  // And keeps tracking after construction.
+  state.add_leaf(1, 7.0);
+  const std::vector<double> after =
+      geometric_subtree_sums(state.tree(), 0.5);
+  EXPECT_NEAR(state.subtree_sum(1), after[1], 1e-12);
+}
+
+TEST(IncrementalGeometric, GeometricRewardMatchesMechanism) {
+  const BudgetParams budget{.Phi = 0.5, .phi = 0.05};
+  const GeometricMechanism mechanism(budget, 0.5, 0.2);
+  IncrementalGeometricState state(0.5);
+  const NodeId a = state.add_leaf(kRoot, 5.0);
+  state.add_leaf(a, 3.0);
+  const RewardVector batch = mechanism.compute(state.tree());
+  EXPECT_NEAR(state.geometric_reward(a, 0.2), batch[a], 1e-12);
+}
+
+TEST(IncrementalGeometric, RejectsRootQueriesAndBadUpdates) {
+  IncrementalGeometricState state(0.5);
+  const NodeId a = state.add_leaf(kRoot, 1.0);
+  EXPECT_THROW(state.geometric_reward(kRoot, 0.2), std::invalid_argument);
+  EXPECT_THROW(state.add_contribution(a, -1.0), std::invalid_argument);
+  EXPECT_THROW(state.add_contribution(99, 1.0), std::invalid_argument);
+}
+
+TEST(IncrementalSubtree, MatchesBatchOnRandomStream) {
+  Rng rng(52);
+  IncrementalSubtreeState state;
+  for (int event = 0; event < 300; ++event) {
+    if (state.tree().participant_count() == 0 || rng.bernoulli(0.7)) {
+      const NodeId parent =
+          state.tree().participant_count() == 0 || rng.bernoulli(0.1)
+              ? kRoot
+              : static_cast<NodeId>(
+                    1 + rng.index(state.tree().participant_count()));
+      state.add_leaf(parent, rng.uniform(0.0, 4.0));
+    } else {
+      state.add_contribution(
+          static_cast<NodeId>(1 +
+                              rng.index(state.tree().participant_count())),
+          rng.uniform(0.0, 1.0));
+    }
+  }
+  const SubtreeData batch = compute_subtree_data(state.tree());
+  for (NodeId u = 0; u < state.tree().node_count(); ++u) {
+    EXPECT_NEAR(state.subtree_contribution(u),
+                batch.subtree_contribution[u], 1e-9);
+  }
+}
+
+TEST(IncrementalSubtree, XYSplitMatchesDefinition) {
+  IncrementalSubtreeState state;
+  const NodeId a = state.add_leaf(kRoot, 2.0);
+  const NodeId b = state.add_leaf(a, 3.0);
+  state.add_leaf(b, 1.5);
+  EXPECT_DOUBLE_EQ(state.x_of(a), 2.0);
+  EXPECT_DOUBLE_EQ(state.y_of(a), 4.5);
+  EXPECT_DOUBLE_EQ(state.y_of(b), 1.5);
+  EXPECT_THROW(state.x_of(kRoot), std::invalid_argument);
+}
+
+TEST(IncrementalSubtree, BuildsFromExistingTree) {
+  const Tree tree = parse_tree("(2 (3 (1.5)))");
+  IncrementalSubtreeState state(tree);
+  EXPECT_DOUBLE_EQ(state.subtree_contribution(1), 6.5);
+  EXPECT_DOUBLE_EQ(state.subtree_contribution(2), 4.5);
+}
+
+}  // namespace
+}  // namespace itree

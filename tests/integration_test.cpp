@@ -1,0 +1,148 @@
+// Cross-module integration tests: the paper's narrative end-to-end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.h"
+#include "mlm/campaign.h"
+#include "properties/impossibility.h"
+#include "properties/matrix.h"
+#include "properties/sybil_checks.h"
+#include "sim/scenarios.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+// The paper's core storyline, executed:
+//   1. the simple Geometric mechanism is Sybil-vulnerable;
+//   2. TDRM fixes USA but, per Theorem 3, must give up either UGSA or
+//      PO — it keeps PO and loses UGSA;
+//   3. CDRM keeps UGSA and loses PO/URO;
+//   4. no mechanism in the library beats the impossibility frontier.
+TEST(PaperNarrative, TheFrontierIsExactlyAsProved) {
+  CheckOptions check;
+  SearchOptions search;
+  search.identity_counts = {2, 3};
+  search.random_splits = 2;
+
+  const MechanismPtr geometric = make_default(MechanismKind::kGeometric);
+  const MechanismPtr tdrm = make_default(MechanismKind::kTdrm);
+  const MechanismPtr cdrm = make_default(MechanismKind::kCdrmReciprocal);
+
+  // (1) Geometric: Sybil-vulnerable.
+  EXPECT_FALSE(check_usa(*geometric, check, search).satisfied());
+
+  // (2) TDRM: USA yes, UGSA no, PO yes.
+  EXPECT_TRUE(check_usa(*tdrm, check, search).satisfied());
+  EXPECT_FALSE(check_ugsa(*tdrm, check, search).satisfied());
+  const ImpossibilityOutcome tdrm_outcome =
+      run_impossibility_construction(*tdrm);
+  EXPECT_TRUE(tdrm_outcome.po_witness_found);
+  EXPECT_TRUE(tdrm_outcome.ugsa_violated);
+
+  // (3) CDRM: UGSA yes, PO no.
+  EXPECT_TRUE(check_ugsa(*cdrm, check, search).satisfied());
+  EXPECT_FALSE(run_impossibility_construction(*cdrm).po_witness_found);
+
+  // (4) Nobody beats Theorem 3: any mechanism with a PO witness and SL
+  // must show the construction's UGSA gain.
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    const ImpossibilityOutcome outcome =
+        run_impossibility_construction(*mechanism);
+    if (!outcome.po_witness_found) {
+      continue;
+    }
+    const bool has_sl =
+        std::abs(outcome.ugsa_gain - outcome.v_star_profit) < 1e-9;
+    if (has_sl) {
+      EXPECT_TRUE(outcome.ugsa_violated) << mechanism->display_name();
+    }
+  }
+}
+
+TEST(PaperNarrative, MlmViewAndRawRewardsAgree) {
+  // The MLM translation of Sec. 2 is pure accounting over the same
+  // mechanism outputs.
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  Campaign campaign(*mechanism);
+  const NodeId a = campaign.join_organic(4.0);
+  const NodeId b = campaign.join(a, 2.0);
+  campaign.purchase(b, 1.0);
+
+  const RewardVector direct = mechanism->compute(campaign.tree());
+  EXPECT_NEAR(campaign.account(a).reward, direct[a], 1e-12);
+  EXPECT_NEAR(campaign.account(b).reward, direct[b], 1e-12);
+  EXPECT_NEAR(campaign.ledger().payout, total_reward(direct), 1e-12);
+}
+
+TEST(PaperNarrative, SimulatedTreesSatisfyStaticProperties) {
+  // Trees grown by the simulator are ordinary referral trees: the budget
+  // and phi-RPC hold on them for every mechanism that claims them.
+  const MechanismPtr grower = make_default(MechanismKind::kGeometric);
+  SimulationConfig config = bootstrap_config();
+  config.epochs = 12;
+  SimulationEngine engine(*grower, config);
+  engine.run();
+  const Tree& tree = engine.tree();
+
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    const RewardVector rewards = mechanism->compute(tree);
+    EXPECT_LE(total_reward(rewards),
+              mechanism->Phi() * tree.total_contribution() + 1e-9)
+        << mechanism->display_name();
+    for (NodeId u = 1; u < tree.node_count(); ++u) {
+      EXPECT_GE(rewards[u], mechanism->phi() * tree.contribution(u) - 1e-9)
+          << mechanism->display_name();
+    }
+  }
+}
+
+TEST(PaperNarrative, SerializedTreesReproduceRewards) {
+  // Round-tripping a tree through the text format preserves the
+  // structure (canonical form is stable) and therefore every
+  // mechanism's reward *multiset* — node ids are renumbered in DFS
+  // order, so rewards are compared position-independently.
+  Rng rng(31);
+  const Tree tree =
+      random_recursive_tree(40, uniform_contribution(0.1, 5.0), rng);
+  const Tree reparsed = parse_tree(to_string(tree));
+  ASSERT_EQ(reparsed.node_count(), tree.node_count());
+  EXPECT_EQ(to_string(reparsed), to_string(tree));
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    RewardVector original = mechanism->compute(tree);
+    RewardVector round_tripped = mechanism->compute(reparsed);
+    std::sort(original.begin(), original.end());
+    std::sort(round_tripped.begin(), round_tripped.end());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_NEAR(original[i], round_tripped[i], 1e-9)
+          << mechanism->display_name() << " rank " << i;
+    }
+  }
+}
+
+TEST(PaperNarrative, BudgetHoldsUnderIncrementalGrowth) {
+  // The budget constraint is not just static: it holds after every
+  // single join in a growing system (the setting of the USA/UGSA
+  // definitions' join sequences).
+  Rng rng(32);
+  Tree tree;
+  std::vector<MechanismPtr> mechanisms = all_feasible_mechanisms();
+  for (int step = 0; step < 60; ++step) {
+    const NodeId parent = static_cast<NodeId>(
+        tree.participant_count() == 0
+            ? kRoot
+            : (rng.bernoulli(0.2)
+                   ? kRoot
+                   : 1 + rng.index(tree.participant_count())));
+    tree.add_node(parent, rng.uniform(0.0, 4.0));
+    for (const MechanismPtr& mechanism : mechanisms) {
+      EXPECT_LE(total_reward(mechanism->compute(tree)),
+                mechanism->Phi() * tree.total_contribution() + 1e-9)
+          << mechanism->display_name() << " at step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,104 @@
+// Unit tests for the Section 4.2 L-transform mechanisms (L-Luxor,
+// L-Pachira, and the generic adapter).
+#include <gtest/gtest.h>
+
+#include "core/l_transform.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+BudgetParams budget() { return BudgetParams{.Phi = 0.5, .phi = 0.05}; }
+
+TEST(LTransform, GenericAdapterScalesSharesByPhiCT) {
+  auto lottree = std::make_unique<Luxor>(0.5);
+  const Luxor reference(0.5);
+  LTransformMechanism mechanism(budget(), std::move(lottree),
+                                PropertySet::all());
+  const Tree tree = parse_tree("(2 (1))");
+  const std::vector<double> shares = reference.shares(tree);
+  const RewardVector rewards = mechanism.compute(tree);
+  const double scale = 0.5 * tree.total_contribution();
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(rewards[u], scale * shares[u], 1e-12);
+  }
+  EXPECT_EQ(mechanism.name(), "L-Luxor");
+}
+
+TEST(LTransform, GenericAdapterRejectsNullLottree) {
+  EXPECT_THROW(LTransformMechanism(budget(), nullptr, PropertySet::all()),
+               std::invalid_argument);
+}
+
+TEST(LLuxor, EquivalentToGeometricWithTransformedParameters) {
+  // L-Luxor(delta) pays Phi*(1-delta) * sum delta^dep C(v): exactly the
+  // (a=delta, b=Phi*(1-delta))-Geometric Mechanism.
+  const LLuxorMechanism mechanism(budget(), 0.5);
+  const Tree tree = parse_tree("(5 (3 (4)) (2))");
+  const RewardVector rewards = mechanism.compute(tree);
+  const double b = 0.5 * 0.5;  // Phi * (1 - delta)
+  EXPECT_NEAR(rewards[1], b * (5 + 0.5 * 3 + 0.5 * 2 + 0.25 * 4), 1e-12);
+  EXPECT_NEAR(rewards[3], b * 4, 1e-12);
+}
+
+TEST(LLuxor, RequiresRpcCompatibleDelta) {
+  // Phi*(1-delta) >= phi requires delta <= 0.9 for the default budget.
+  EXPECT_THROW(LLuxorMechanism(budget(), 0.95), std::invalid_argument);
+  EXPECT_NO_THROW(LLuxorMechanism(budget(), 0.8));
+}
+
+TEST(LPachira, EnforcesTheorem2BetaFloor) {
+  // beta >= phi/Phi = 0.1.
+  EXPECT_THROW(LPachiraMechanism(budget(), 0.05, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(LPachiraMechanism(budget(), 0.1, 1.0));
+}
+
+TEST(LPachira, MatchesPachiraSharesTimesBudget) {
+  const LPachiraMechanism mechanism(budget(), 0.2, 2.0);
+  const Pachira reference(0.2, 2.0);
+  const Tree tree = parse_tree("(2 (1) (1)) (3)");
+  const std::vector<double> shares = reference.shares(tree);
+  const RewardVector rewards = mechanism.compute(tree);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(rewards[u], 0.5 * tree.total_contribution() * shares[u],
+                1e-12);
+  }
+}
+
+TEST(LPachira, RewardDependsOnGlobalTotal) {
+  // The SL violation of Theorem 2: adding contribution OUTSIDE u's
+  // subtree changes u's reward.
+  const LPachiraMechanism mechanism(budget(), 0.2, 2.0);
+  Tree tree = parse_tree("(2 (1)) (3)");
+  const double before = mechanism.compute(tree)[1];
+  tree.set_contribution(3, 30.0);  // the other forest root
+  const double after = mechanism.compute(tree)[1];
+  EXPECT_NE(before, after);
+}
+
+TEST(LPachira, SatisfiesRpcFloorOnRandomTrees) {
+  Rng rng(5);
+  const LPachiraMechanism mechanism(budget(), 0.2, 2.0);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Tree tree =
+        random_recursive_tree(40, uniform_contribution(0.1, 3.0), rng);
+    const RewardVector rewards = mechanism.compute(tree);
+    for (NodeId u = 1; u < tree.node_count(); ++u) {
+      EXPECT_GE(rewards[u], 0.05 * tree.contribution(u) - 1e-9);
+    }
+  }
+}
+
+TEST(LPachira, ClaimsMatchTheorem2) {
+  const LPachiraMechanism mechanism(budget(), 0.2, 2.0);
+  const PropertySet claims = mechanism.claimed_properties();
+  EXPECT_FALSE(claims.contains(Property::kSL));
+  EXPECT_FALSE(claims.contains(Property::kUGSA));
+  EXPECT_TRUE(claims.contains(Property::kUSA));
+  EXPECT_TRUE(claims.contains(Property::kCSI));
+  EXPECT_TRUE(claims.contains(Property::kUSB));
+}
+
+}  // namespace
+}  // namespace itree

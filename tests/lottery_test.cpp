@@ -1,0 +1,106 @@
+// Unit tests for the fixed-total-reward lottree substrate (Luxor,
+// Pachira) underlying the Section 4.2 L-transforms.
+#include <gtest/gtest.h>
+
+#include "lottery/luxor.h"
+#include "lottery/pachira.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+double share_total(const std::vector<double>& shares) {
+  double total = 0.0;
+  for (double s : shares) {
+    total += s;
+  }
+  return total;
+}
+
+TEST(LuxorTest, RejectsBadDelta) {
+  EXPECT_THROW(Luxor(0.0), std::invalid_argument);
+  EXPECT_THROW(Luxor(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(Luxor(0.5));
+}
+
+TEST(LuxorTest, SharesMatchHandComputedChain) {
+  // Chain 1 -> 1: share(leaf) = (1-d)/2, share(top) = (1-d)(1 + d)/2.
+  const Tree tree = make_chain(2, 1.0);
+  const Luxor luxor(0.5);
+  const std::vector<double> shares = luxor.shares(tree);
+  EXPECT_DOUBLE_EQ(shares[2], 0.25);
+  EXPECT_DOUBLE_EQ(shares[1], 0.375);
+  EXPECT_DOUBLE_EQ(shares[0], 0.0);
+}
+
+TEST(LuxorTest, SharesSumBelowOne) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tree tree =
+        random_recursive_tree(60, uniform_contribution(0.1, 4.0), rng);
+    const Luxor luxor(0.7);
+    EXPECT_LE(share_total(luxor.shares(tree)), 1.0 + 1e-12);
+  }
+}
+
+TEST(LuxorTest, EmptyAndZeroContributionTreesGetZeroShares) {
+  const Luxor luxor(0.5);
+  Tree empty;
+  EXPECT_EQ(share_total(luxor.shares(empty)), 0.0);
+  Tree zero;
+  zero.add_independent(0.0);
+  EXPECT_EQ(share_total(luxor.shares(zero)), 0.0);
+}
+
+TEST(PachiraTest, RejectsBadParameters) {
+  EXPECT_THROW(Pachira(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pachira(1.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pachira(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(PachiraTest, PiBlendsLinearAndConvex) {
+  const Pachira pachira(0.25, 1.0);
+  EXPECT_DOUBLE_EQ(pachira.pi(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pachira.pi(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pachira.pi(0.5), 0.25 * 0.5 + 0.75 * 0.25);
+}
+
+TEST(PachiraTest, SharesTelescopeOnSingleRootChild) {
+  // A lone participant owning the whole tree gets pi(1) - pi(children).
+  const Tree tree = parse_tree("(2 (1) (1))");
+  const Pachira pachira(0.2, 1.0);
+  const std::vector<double> shares = pachira.shares(tree);
+  const double f_child = 1.0 / 4.0;
+  EXPECT_NEAR(shares[1], pachira.pi(1.0) - 2 * pachira.pi(f_child), 1e-12);
+  EXPECT_NEAR(shares[2], pachira.pi(f_child), 1e-12);
+  EXPECT_NEAR(share_total(shares), 1.0, 1e-12);  // sole root child: tight
+}
+
+TEST(PachiraTest, SharesAreNonNegativeAndSumBelowOne) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tree tree =
+        random_recursive_tree(60, uniform_contribution(0.1, 4.0), rng);
+    const Pachira pachira(0.3, 2.0);
+    const std::vector<double> shares = pachira.shares(tree);
+    for (double s : shares) {
+      EXPECT_GE(s, -1e-12);
+    }
+    EXPECT_LE(share_total(shares), 1.0 + 1e-12);
+  }
+}
+
+TEST(PachiraTest, ConvexityPenalizesSplitting) {
+  // Two siblings holding mass m each yield less total share than one
+  // node holding 2m (Jensen on the convex pi) — the USA lever.
+  const Pachira pachira(0.2, 1.0);
+  const Tree merged = parse_tree("(0 (2))");
+  const Tree split = parse_tree("(0 (1) (1))");
+  const double merged_share = pachira.shares(merged)[2];
+  const std::vector<double> split_shares = pachira.shares(split);
+  EXPECT_GT(merged_share, split_shares[2] + split_shares[3]);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,67 @@
+// Tests for the fixed-prize lottree property checkers: Luxor and
+// Pachira must reproduce the Douceur–Moscibroda profile (Pachira is
+// split-resistant; Luxor is not; both are monotone, fair, and pay
+// freeloaders nothing).
+#include <gtest/gtest.h>
+
+#include "lottery/lottree_properties.h"
+#include "lottery/luxor.h"
+#include "lottery/pachira.h"
+
+namespace itree {
+namespace {
+
+TEST(LottreeProperties, BothPayFreeloadersNothing) {
+  const Luxor luxor(0.5);
+  const Pachira pachira(0.2, 1.0);
+  EXPECT_TRUE(check_zero_value(luxor).satisfied);
+  EXPECT_TRUE(check_zero_value(pachira).satisfied);
+}
+
+TEST(LottreeProperties, BothAreContributionMonotone) {
+  const Luxor luxor(0.5);
+  const Pachira pachira(0.2, 1.0);
+  EXPECT_TRUE(check_contribution_monotonicity(luxor).satisfied);
+  EXPECT_TRUE(check_contribution_monotonicity(pachira).satisfied);
+}
+
+TEST(LottreeProperties, BothAreSolicitationMonotone) {
+  const Luxor luxor(0.5);
+  const Pachira pachira(0.2, 1.0);
+  EXPECT_TRUE(check_solicitation_monotonicity(luxor).satisfied);
+  EXPECT_TRUE(check_solicitation_monotonicity(pachira).satisfied);
+}
+
+TEST(LottreeProperties, ValueProportionalityFloors) {
+  // Luxor guarantees (1-delta)*C/C(T); Pachira guarantees beta*C/C(T).
+  const Luxor luxor(0.5);
+  EXPECT_TRUE(check_value_proportionality(luxor, 0.5).satisfied);
+  const Pachira pachira(0.2, 1.0);
+  EXPECT_TRUE(check_value_proportionality(pachira, 0.2).satisfied);
+  // And a floor above the guarantee fails (the checker has teeth).
+  const auto too_high = check_value_proportionality(pachira, 0.95);
+  EXPECT_FALSE(too_high.satisfied);
+  EXPECT_FALSE(too_high.evidence.empty());
+}
+
+TEST(LottreeProperties, OnlyPachiraResistsSplits) {
+  // The distinction the paper inherits: Pachira's convex pi vs Luxor's
+  // linear bubble-up.
+  const Luxor luxor(0.5);
+  const auto luxor_result = check_share_sybil_resistance(luxor);
+  EXPECT_FALSE(luxor_result.satisfied);
+  EXPECT_NE(luxor_result.evidence.find("raised the total share"),
+            std::string::npos);
+  const Pachira pachira(0.2, 1.0);
+  EXPECT_TRUE(check_share_sybil_resistance(pachira).satisfied);
+}
+
+TEST(LottreeProperties, ReportsCountTrials) {
+  const Pachira pachira(0.2, 1.0);
+  const LottreeCheckResult result = check_value_proportionality(pachira, 0.2);
+  EXPECT_GT(result.trials, 50u);
+  EXPECT_FALSE(result.evidence.empty());
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,134 @@
+// Unit tests for the Mechanism interface plumbing: budget parameters,
+// reward helpers, claims, registry, split-proof baseline.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/split_proof.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+TEST(BudgetParamsTest, ValidatesRanges) {
+  EXPECT_THROW(BudgetParams({.Phi = 0.0, .phi = 0.0}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(BudgetParams({.Phi = 1.5, .phi = 0.0}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(BudgetParams({.Phi = 0.5, .phi = 0.6}).validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(BudgetParams({.Phi = 1.0, .phi = 0.0}).validate());
+}
+
+TEST(RewardHelpers, TotalProfitAndPayment) {
+  const Tree tree = parse_tree("(2 (3))");
+  const RewardVector rewards = {0.0, 2.5, 1.0};
+  EXPECT_DOUBLE_EQ(total_reward(rewards), 3.5);
+  EXPECT_DOUBLE_EQ(profit(tree, rewards, 1), 0.5);
+  EXPECT_DOUBLE_EQ(payment(tree, rewards, 2), 2.0);
+  EXPECT_THROW(profit(tree, rewards, 9), std::invalid_argument);
+}
+
+TEST(PropertySetTest, InsertEraseContains) {
+  PropertySet set{Property::kCCI, Property::kSL};
+  EXPECT_TRUE(set.contains(Property::kCCI));
+  EXPECT_FALSE(set.contains(Property::kUSA));
+  set.insert(Property::kUSA);
+  EXPECT_TRUE(set.contains(Property::kUSA));
+  const PropertySet smaller = set.without(Property::kCCI);
+  EXPECT_FALSE(smaller.contains(Property::kCCI));
+  EXPECT_TRUE(set.contains(Property::kCCI));  // original untouched
+}
+
+TEST(PropertySetTest, AllContainsEveryProperty) {
+  const PropertySet all = PropertySet::all();
+  for (Property p : all_properties()) {
+    EXPECT_TRUE(all.contains(p)) << property_name(p);
+  }
+  EXPECT_EQ(all_properties().size(), kPropertyCount);
+}
+
+TEST(PropertyNames, AreUniqueAndNonEmpty) {
+  std::vector<std::string> seen;
+  for (Property p : all_properties()) {
+    const std::string name = property_name(p);
+    EXPECT_FALSE(name.empty());
+    EXPECT_FALSE(property_description(p).empty());
+    for (const std::string& other : seen) {
+      EXPECT_NE(name, other);
+    }
+    seen.push_back(name);
+  }
+}
+
+TEST(Registry, ProducesAllFeasibleMechanisms) {
+  const std::vector<MechanismPtr> mechanisms = all_feasible_mechanisms();
+  EXPECT_EQ(mechanisms.size(), 7u);
+  for (const MechanismPtr& mechanism : mechanisms) {
+    EXPECT_FALSE(mechanism->name().empty());
+    // Every feasible mechanism claims the budget constraint.
+    EXPECT_TRUE(mechanism->claimed_properties().contains(Property::kBudget));
+  }
+}
+
+TEST(Registry, AllMechanismsIncludesThePreliminaryTdrm) {
+  const std::vector<MechanismPtr> mechanisms = all_mechanisms();
+  EXPECT_EQ(mechanisms.size(), 8u);
+  bool found = false;
+  for (const MechanismPtr& mechanism : mechanisms) {
+    if (mechanism->name() == "PreliminaryTDRM") {
+      found = true;
+      EXPECT_FALSE(
+          mechanism->claimed_properties().contains(Property::kBudget));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Registry, DefaultsComputeOnATreeWithoutThrowing) {
+  const Tree tree = parse_tree("(5 (3 (4)) (2))");
+  for (const MechanismPtr& mechanism : all_mechanisms()) {
+    const RewardVector rewards = mechanism->compute(tree);
+    EXPECT_EQ(rewards.size(), tree.node_count());
+    EXPECT_EQ(rewards[kRoot], 0.0);
+  }
+}
+
+TEST(SplitProofTest, EnforcesParameterConstraints) {
+  const BudgetParams budget{.Phi = 0.5, .phi = 0.05};
+  EXPECT_THROW(SplitProofMechanism(budget, 0.01, 0.3), std::invalid_argument);
+  EXPECT_THROW(SplitProofMechanism(budget, 0.2, 0.4), std::invalid_argument);
+  EXPECT_NO_THROW(SplitProofMechanism(budget, 0.1, 0.35));
+}
+
+TEST(SplitProofTest, RewardScalesWithBinaryDepth) {
+  const BudgetParams budget{.Phi = 0.5, .phi = 0.05};
+  const SplitProofMechanism mechanism(budget, 0.1, 0.35);
+  // Leaf: BD = 1 -> bonus 0. Two children: BD = 2 -> bonus lambda/2.
+  const Tree leaf = parse_tree("(2)");
+  EXPECT_NEAR(mechanism.compute(leaf)[1], 2 * 0.1, 1e-12);
+  const Tree branch = parse_tree("(2 (1) (1))");
+  EXPECT_NEAR(mechanism.compute(branch)[1], 2 * (0.1 + 0.35 * 0.5), 1e-12);
+}
+
+TEST(SplitProofTest, ThirdChildEarnsNothingExtra) {
+  // The CSI failure of Sec. 4.3.
+  const BudgetParams budget{.Phi = 0.5, .phi = 0.05};
+  const SplitProofMechanism mechanism(budget, 0.1, 0.35);
+  Tree tree = parse_tree("(2 (1) (1))");
+  const double before = mechanism.compute(tree)[1];
+  tree.add_node(1, 1.0);
+  EXPECT_DOUBLE_EQ(mechanism.compute(tree)[1], before);
+}
+
+TEST(SplitProofTest, DeepChainEarnsNothingExtraEither) {
+  const BudgetParams budget{.Phi = 0.5, .phi = 0.05};
+  const SplitProofMechanism mechanism(budget, 0.1, 0.35);
+  Tree chain = make_chain(std::vector<double>{1.0});
+  const double before = mechanism.compute(chain)[1];
+  Tree longer = make_chain(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(mechanism.compute(longer)[1], before);
+}
+
+}  // namespace
+}  // namespace itree

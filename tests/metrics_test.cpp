@@ -1,0 +1,66 @@
+// Tests for tree structural metrics.
+#include <gtest/gtest.h>
+
+#include "tree/generators.h"
+#include "tree/io.h"
+#include "tree/metrics.h"
+
+namespace itree {
+namespace {
+
+TEST(Metrics, EmptyTreeIsAllZero) {
+  Tree tree;
+  const TreeMetrics metrics = compute_metrics(tree);
+  EXPECT_EQ(metrics.participants, 0u);
+  EXPECT_EQ(metrics.forest_roots, 0u);
+  EXPECT_EQ(metrics.strahler, 0u);
+  EXPECT_EQ(metrics.total_contribution, 0.0);
+}
+
+TEST(Metrics, ChainMetrics) {
+  const TreeMetrics metrics = compute_metrics(make_chain(5, 2.0));
+  EXPECT_EQ(metrics.participants, 5u);
+  EXPECT_EQ(metrics.forest_roots, 1u);
+  EXPECT_EQ(metrics.leaves, 1u);
+  EXPECT_EQ(metrics.max_depth, 5u);
+  EXPECT_DOUBLE_EQ(metrics.mean_depth, 3.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_branching, 1.0);
+  EXPECT_EQ(metrics.max_out_degree, 1u);
+  EXPECT_DOUBLE_EQ(metrics.total_contribution, 10.0);
+  EXPECT_NEAR(metrics.contribution_gini, 0.0, 1e-12);
+  EXPECT_EQ(metrics.strahler, 1u);
+}
+
+TEST(Metrics, StarMetrics) {
+  const TreeMetrics metrics = compute_metrics(make_star(6, 5.0, 1.0));
+  EXPECT_EQ(metrics.leaves, 5u);
+  EXPECT_EQ(metrics.max_out_degree, 5u);
+  EXPECT_EQ(metrics.max_depth, 2u);
+  EXPECT_DOUBLE_EQ(metrics.max_contribution, 5.0);
+  EXPECT_EQ(metrics.strahler, 2u);
+  EXPECT_GT(metrics.contribution_gini, 0.2);  // hub dominates
+}
+
+TEST(Metrics, CompleteBinaryTreeStrahlerEqualsLevels) {
+  const TreeMetrics metrics = compute_metrics(make_kary(4, 2, 1.0));
+  EXPECT_EQ(metrics.strahler, 4u);
+  EXPECT_EQ(metrics.participants, 15u);
+  EXPECT_EQ(metrics.leaves, 8u);
+}
+
+TEST(Metrics, MultiRootForestTakesBestStrahler) {
+  const TreeMetrics metrics =
+      compute_metrics(parse_tree("(1) (1 (1) (1))"));
+  EXPECT_EQ(metrics.forest_roots, 2u);
+  EXPECT_EQ(metrics.strahler, 2u);
+}
+
+TEST(Metrics, ToStringMentionsKeyFields) {
+  const std::string text = to_string(compute_metrics(make_chain(3, 1.0)));
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("strahler=1"), std::string::npos);
+  EXPECT_NE(text.find("C(T)=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itree

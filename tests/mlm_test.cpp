@@ -1,0 +1,105 @@
+// Unit tests for the multi-level marketing campaign view.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "mlm/campaign.h"
+
+namespace itree {
+namespace {
+
+TEST(CampaignTest, JoinAndPurchaseAccumulateSpend) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  Campaign campaign(*mechanism);
+  const NodeId alice = campaign.join_organic(3.0);
+  campaign.purchase(alice, 2.0);
+  EXPECT_DOUBLE_EQ(campaign.account(alice).spend, 5.0);
+  EXPECT_EQ(campaign.buyer_count(), 1u);
+}
+
+TEST(CampaignTest, ReferralJoinBuildsTheTree) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  Campaign campaign(*mechanism);
+  const NodeId alice = campaign.join_organic(3.0);
+  const NodeId bob = campaign.join(alice, 2.0);
+  EXPECT_EQ(campaign.tree().parent(bob), alice);
+}
+
+TEST(CampaignTest, AccountIdentitiesHold) {
+  // Pay(u) = C(u) - R(u) and P(u) = R(u) - C(u) for every buyer.
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  Campaign campaign(*mechanism);
+  const NodeId alice = campaign.join_organic(3.0);
+  const NodeId bob = campaign.join(alice, 2.0);
+  campaign.join(bob, 1.5);
+  for (NodeId buyer : {alice, bob}) {
+    const Campaign::BuyerAccount account = campaign.account(buyer);
+    EXPECT_NEAR(account.payment + account.reward, account.spend, 1e-12);
+    EXPECT_NEAR(account.profit, -account.payment, 1e-12);
+  }
+}
+
+TEST(CampaignTest, LedgerTracksSellerEconomics) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  Campaign campaign(*mechanism);
+  const NodeId alice = campaign.join_organic(4.0);
+  campaign.join(alice, 6.0);
+  const Campaign::SellerLedger ledger = campaign.ledger();
+  EXPECT_DOUBLE_EQ(ledger.revenue, 10.0);
+  EXPECT_NEAR(ledger.margin, ledger.revenue - ledger.payout, 1e-12);
+  EXPECT_NEAR(ledger.payout_ratio, ledger.payout / 10.0, 1e-12);
+  EXPECT_GE(ledger.budget_headroom, 0.0);  // mechanism meets its budget
+}
+
+TEST(CampaignTest, LedgerIsConsistentAfterMutations) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kCdrmReciprocal);
+  Campaign campaign(*mechanism);
+  const NodeId alice = campaign.join_organic(1.0);
+  const double payout_before = campaign.ledger().payout;
+  campaign.purchase(alice, 9.0);
+  const double payout_after = campaign.ledger().payout;
+  EXPECT_GT(payout_after, payout_before);  // CCI at the ledger level
+}
+
+TEST(CampaignTest, EmptyCampaignHasZeroLedger) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const Campaign campaign(*mechanism);
+  const Campaign::SellerLedger ledger = campaign.ledger();
+  EXPECT_EQ(ledger.revenue, 0.0);
+  EXPECT_EQ(ledger.payout, 0.0);
+  EXPECT_EQ(ledger.payout_ratio, 0.0);
+}
+
+TEST(CampaignTest, RejectsBadOperations) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  Campaign campaign(*mechanism);
+  const NodeId alice = campaign.join_organic(1.0);
+  EXPECT_THROW(campaign.join(alice, -2.0), std::invalid_argument);
+  EXPECT_THROW(campaign.purchase(alice, 0.0), std::invalid_argument);
+  EXPECT_THROW(campaign.purchase(kRoot, 1.0), std::invalid_argument);
+  EXPECT_THROW(campaign.account(99), std::invalid_argument);
+}
+
+TEST(CampaignTest, CdrmBuyersAlwaysPayButGeometricUplinesCanProfit) {
+  // CDRM caps R < Phi*C(u), so every buyer keeps paying (the PO
+  // failure); Geometric satisfies PO, so an upline over a big enough
+  // downline turns a profit.
+  const MechanismPtr geometric = make_default(MechanismKind::kGeometric);
+  const MechanismPtr cdrm = make_default(MechanismKind::kCdrmReciprocal);
+  for (const Mechanism* mechanism : {geometric.get(), cdrm.get()}) {
+    Campaign campaign(*mechanism);
+    const NodeId top = campaign.join_organic(1.0);
+    const NodeId hub = campaign.join(top, 1.0);
+    for (int i = 0; i < 60; ++i) {
+      campaign.join(hub, 1.0);
+    }
+    const double top_profit = campaign.account(top).profit;
+    if (mechanism == cdrm.get()) {
+      EXPECT_LT(top_profit, 0.0);
+    } else {
+      EXPECT_GT(top_profit, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itree

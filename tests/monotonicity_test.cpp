@@ -1,0 +1,85 @@
+// Tests for the reward-monotonicity checker (the settlement-safety
+// condition).
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "properties/monotonicity.h"
+
+namespace itree {
+namespace {
+
+TEST(Monotonicity, LinearMechanismsAreMonotoneUnderJoinsAndPurchases) {
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kLLuxor,
+        MechanismKind::kCdrmReciprocal, MechanismKind::kCdrmLogarithmic,
+        MechanismKind::kSplitProof}) {
+    const MechanismPtr mechanism = make_default(kind);
+    const PropertyReport report = check_reward_monotonicity(*mechanism);
+    EXPECT_TRUE(report.satisfied())
+        << mechanism->display_name() << ": " << report.evidence;
+  }
+}
+
+TEST(Monotonicity, EverySlMechanismIsMonotoneUnderJoinsOnly) {
+  MonotonicityOptions joins_only;
+  joins_only.join_probability = 1.0;
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kLLuxor,
+        MechanismKind::kTdrm, MechanismKind::kCdrmReciprocal,
+        MechanismKind::kCdrmLogarithmic, MechanismKind::kSplitProof}) {
+    const MechanismPtr mechanism = make_default(kind);
+    const PropertyReport report =
+        check_reward_monotonicity(*mechanism, joins_only);
+    EXPECT_TRUE(report.satisfied())
+        << mechanism->display_name() << ": " << report.evidence;
+  }
+}
+
+TEST(Monotonicity, TdrmIsNotPurchaseMonotone) {
+  // Measured finding (EXPERIMENTS.md): a descendant's purchase can grow
+  // its RCT chain and push its subtree deeper, REDUCING ancestors'
+  // rewards — even though TDRM satisfies SL, CCI and CSI.
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  const PropertyReport report = check_reward_monotonicity(*mechanism);
+  EXPECT_FALSE(report.satisfied());
+
+  // Minimal deterministic repro: v (C=0.9) with a heavy child; raising
+  // C(v) to 1.4 inserts a chain node between v's parent and the child.
+  Tree tree;
+  const NodeId top = tree.add_independent(1.0);
+  const NodeId v = tree.add_node(top, 0.9);
+  tree.add_node(v, 8.0);
+  const double before = mechanism->compute(tree)[top];
+  tree.set_contribution(v, 1.4);
+  const double after = mechanism->compute(tree)[top];
+  EXPECT_LT(after, before);
+}
+
+TEST(Monotonicity, LPachiraIsNotMonotone) {
+  // The C(T) dependence makes rewards drop when unrelated parts grow —
+  // exactly why its high-water settlements overpay.
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  const PropertyReport report = check_reward_monotonicity(*mechanism);
+  EXPECT_FALSE(report.satisfied());
+  EXPECT_NE(report.evidence.find("dropped"), std::string::npos);
+}
+
+TEST(Monotonicity, ReportsTrialCounts) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  MonotonicityOptions options;
+  options.traces = 2;
+  options.events_per_trace = 10;
+  const PropertyReport report =
+      check_reward_monotonicity(*mechanism, options);
+  EXPECT_GT(report.trials, 20u);
+}
+
+TEST(Monotonicity, IsDeterministicPerSeed) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  const PropertyReport a = check_reward_monotonicity(*mechanism);
+  const PropertyReport b = check_reward_monotonicity(*mechanism);
+  EXPECT_EQ(a.evidence, b.evidence);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,137 @@
+// Tests for the social-graph substrate and network-constrained campaigns.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "sim/network.h"
+
+namespace itree {
+namespace {
+
+TEST(SocialGraphTest, EdgesAreUndirectedAndDeduplicated) {
+  SocialGraph graph(4);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 0);  // duplicate, ignored
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(1, 0));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+  EXPECT_THROW(graph.add_edge(2, 2), std::invalid_argument);
+  EXPECT_THROW(graph.add_edge(0, 9), std::invalid_argument);
+}
+
+TEST(SocialGraphTest, WattsStrogatzLatticeWithoutRewiring) {
+  Rng rng(1);
+  const SocialGraph graph = SocialGraph::watts_strogatz(20, 4, 0.0, rng);
+  // Pure ring lattice: every node has exactly k neighbours.
+  for (std::size_t person = 0; person < graph.size(); ++person) {
+    EXPECT_EQ(graph.neighbors(person).size(), 4u) << person;
+  }
+  EXPECT_EQ(graph.edge_count(), 40u);  // n*k/2
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(0, 19));  // wrap-around
+}
+
+TEST(SocialGraphTest, WattsStrogatzRewiringKeepsEdgeBudget) {
+  Rng rng(2);
+  const SocialGraph graph = SocialGraph::watts_strogatz(100, 6, 0.3, rng);
+  // Rewiring replaces endpoints; duplicates can only shrink the count.
+  EXPECT_LE(graph.edge_count(), 300u);
+  EXPECT_GE(graph.edge_count(), 280u);
+}
+
+TEST(SocialGraphTest, BarabasiAlbertIsScaleFreeIsh) {
+  Rng rng(3);
+  const SocialGraph graph = SocialGraph::barabasi_albert(400, 2, rng);
+  std::size_t max_degree = 0;
+  double total_degree = 0.0;
+  for (std::size_t person = 0; person < graph.size(); ++person) {
+    max_degree = std::max(max_degree, graph.neighbors(person).size());
+    total_degree += static_cast<double>(graph.neighbors(person).size());
+  }
+  const double mean_degree = total_degree / 400.0;
+  // Hubs dominate: the max degree is far above the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * mean_degree);
+  EXPECT_NEAR(mean_degree, 4.0, 1.0);  // ~2m
+}
+
+TEST(SocialGraphTest, GeneratorsValidateParameters) {
+  Rng rng(4);
+  EXPECT_THROW(SocialGraph::watts_strogatz(10, 3, 0.1, rng),
+               std::invalid_argument);  // odd k
+  EXPECT_THROW(SocialGraph::watts_strogatz(4, 4, 0.1, rng),
+               std::invalid_argument);  // size <= k
+  EXPECT_THROW(SocialGraph::barabasi_albert(3, 3, rng),
+               std::invalid_argument);
+}
+
+TEST(NetworkCampaign, SpreadsOnlyAlongEdges) {
+  // Two disconnected cliques: a campaign seeded in one can never reach
+  // the other.
+  SocialGraph graph(10);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) {
+      graph.add_edge(a, b);
+      graph.add_edge(a + 5, b + 5);
+    }
+  }
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  NetworkCampaignConfig config;
+  config.seed_participants = 1;
+  config.epochs = 80;
+  config.seed = 5;  // seeds person 0..9; whichever clique it lands in
+  const NetworkCampaignOutcome outcome =
+      run_network_campaign(*mechanism, graph, config);
+  EXPECT_LE(outcome.joined, 5u);
+  EXPECT_GT(outcome.joined, 0u);
+}
+
+TEST(NetworkCampaign, StrongIncentivesConvertMoreThanNone) {
+  Rng rng(6);
+  const SocialGraph graph = SocialGraph::watts_strogatz(120, 6, 0.1, rng);
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  NetworkCampaignConfig active;
+  active.epochs = 40;
+  NetworkCampaignConfig inert = active;
+  inert.reward_responsiveness = 0.0;
+  const NetworkCampaignOutcome grown =
+      run_network_campaign(*mechanism, graph, active);
+  const NetworkCampaignOutcome stalled =
+      run_network_campaign(*mechanism, graph, inert);
+  EXPECT_GT(grown.joined, stalled.joined);
+  // With zero responsiveness nobody ever converts beyond the seeds.
+  EXPECT_EQ(stalled.joined, inert.seed_participants);
+}
+
+TEST(NetworkCampaign, OutcomeFieldsAreConsistent) {
+  Rng rng(7);
+  const SocialGraph graph = SocialGraph::barabasi_albert(80, 2, rng);
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  NetworkCampaignConfig config;
+  config.epochs = 30;
+  const NetworkCampaignOutcome outcome =
+      run_network_campaign(*mechanism, graph, config);
+  EXPECT_EQ(outcome.population, 80u);
+  EXPECT_EQ(outcome.adoption_curve.size(), 30u);
+  EXPECT_EQ(outcome.adoption_curve.back(), outcome.joined);
+  EXPECT_NEAR(outcome.adoption, outcome.joined / 80.0, 1e-12);
+  EXPECT_EQ(outcome.tree.participant_count(), outcome.joined);
+  // Adoption curve is non-decreasing.
+  for (std::size_t i = 1; i < outcome.adoption_curve.size(); ++i) {
+    EXPECT_GE(outcome.adoption_curve[i], outcome.adoption_curve[i - 1]);
+  }
+}
+
+TEST(NetworkCampaign, IsDeterministicPerSeed) {
+  Rng rng(8);
+  const SocialGraph graph = SocialGraph::watts_strogatz(60, 4, 0.2, rng);
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const NetworkCampaignOutcome a =
+      run_network_campaign(*mechanism, graph);
+  const NetworkCampaignOutcome b =
+      run_network_campaign(*mechanism, graph);
+  EXPECT_EQ(a.joined, b.joined);
+  EXPECT_EQ(a.adoption_curve, b.adoption_curve);
+}
+
+}  // namespace
+}  // namespace itree

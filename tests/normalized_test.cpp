@@ -1,0 +1,73 @@
+// Tests for the budget-normalized preliminary TDRM: the paper's Sec. 5
+// claim that global rescaling restores the budget but destroys SL.
+#include <gtest/gtest.h>
+
+#include "core/normalized.h"
+#include "properties/basic_checks.h"
+#include "properties/matrix.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+BudgetParams budget() { return BudgetParams{.Phi = 0.5, .phi = 0.05}; }
+
+TEST(Normalized, RestoresTheBudgetEverywhere) {
+  const NormalizedPreliminaryTdrm mechanism(budget(), 0.5, 0.2);
+  const std::vector<CorpusTree> corpus = standard_corpus();
+  EXPECT_TRUE(check_budget(mechanism, corpus).satisfied());
+}
+
+TEST(Normalized, ScaleKicksInExactlyWhenRawExceedsBudget) {
+  const NormalizedPreliminaryTdrm mechanism(budget(), 0.5, 0.2);
+  Tree small;
+  small.add_independent(0.5);  // raw quadratic is tiny: no scaling
+  EXPECT_DOUBLE_EQ(mechanism.scale_for(small), 1.0);
+  Tree whale;
+  whale.add_independent(100.0);  // raw = 0.2*100^2 >> 0.5*100
+  EXPECT_LT(mechanism.scale_for(whale), 1.0);
+  const RewardVector rewards = mechanism.compute(whale);
+  EXPECT_NEAR(total_reward(rewards), 0.5 * 100.0, 1e-9);
+}
+
+TEST(Normalized, BreaksSubtreeLocalityAsThePaperPredicts) {
+  const NormalizedPreliminaryTdrm mechanism(budget(), 0.5, 0.2);
+  const std::vector<CorpusTree> corpus = standard_corpus();
+  const PropertyReport report = check_sl(mechanism, corpus);
+  EXPECT_FALSE(report.satisfied());
+  // The violation is the C(T)-dependent scale: an outside change moved
+  // an untouched participant's reward.
+  EXPECT_NE(report.evidence.find("changed the reward"), std::string::npos);
+}
+
+TEST(Normalized, MeasuredMatrixMatchesDeclaredClaims) {
+  const NormalizedPreliminaryTdrm mechanism(budget(), 0.5, 0.2);
+  MatrixOptions options;
+  options.corpus.random_trees_per_model = 1;
+  options.corpus.random_tree_size = 24;
+  options.check.max_nodes_per_tree = 8;
+  options.check.booster_rounds = 15;
+  options.search.identity_counts = {2, 3};
+  options.search.random_splits = 2;
+  const MatrixRow row = run_all_checks(mechanism, options);
+  for (const auto& [property, report] : row.measured) {
+    EXPECT_EQ(report.satisfied(), row.claimed.contains(property))
+        << property_name(property) << ": " << report.evidence;
+  }
+}
+
+TEST(Normalized, DirectRewardsScaleTheQuadraticForm) {
+  const NormalizedPreliminaryTdrm mechanism(budget(), 0.5, 0.2);
+  const PreliminaryTdrm raw(budget(), 0.5, 0.2);
+  const Tree tree = parse_tree("(10 (8))");
+  const RewardVector scaled = mechanism.compute(tree);
+  const RewardVector unscaled = raw.compute(tree);
+  const double scale = mechanism.scale_for(tree);
+  ASSERT_LT(scale, 1.0);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_NEAR(scaled[u], scale * unscaled[u], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace itree

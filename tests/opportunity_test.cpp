@@ -1,0 +1,86 @@
+// Tests for the constructive PO / URO checkers.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "properties/opportunity_checks.h"
+
+namespace itree {
+namespace {
+
+OpportunityOptions fast_options() {
+  OpportunityOptions options;
+  options.check.booster_rounds = 16;
+  options.uro_targets = {10.0, 200.0};
+  return options;
+}
+
+TEST(Opportunity, GeometricHasUnboundedRewards) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  EXPECT_TRUE(check_po(*mechanism, fast_options()).satisfied());
+  EXPECT_TRUE(check_uro(*mechanism, fast_options()).satisfied());
+}
+
+TEST(Opportunity, LLuxorHasUnboundedRewards) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kLLuxor);
+  EXPECT_TRUE(check_po(*mechanism, fast_options()).satisfied());
+  EXPECT_TRUE(check_uro(*mechanism, fast_options()).satisfied());
+}
+
+TEST(Opportunity, TdrmHasUnboundedRewards) {
+  // Theorem 4 / the appendix URO proof: wide stars of mu-contributors
+  // under a child drive R(u) to infinity.
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  EXPECT_TRUE(check_po(*mechanism, fast_options()).satisfied());
+  EXPECT_TRUE(check_uro(*mechanism, fast_options()).satisfied());
+}
+
+TEST(Opportunity, CdrmRewardsAreBounded) {
+  // Theorem 5's trade-off: R < Phi*x_p caps both PO and URO.
+  for (MechanismKind kind :
+       {MechanismKind::kCdrmReciprocal, MechanismKind::kCdrmLogarithmic}) {
+    const MechanismPtr mechanism = make_default(kind);
+    const PropertyReport po = check_po(*mechanism, fast_options());
+    EXPECT_FALSE(po.satisfied()) << mechanism->display_name();
+    EXPECT_FALSE(check_uro(*mechanism, fast_options()).satisfied());
+    EXPECT_NE(po.evidence.find("plateaued"), std::string::npos);
+  }
+}
+
+TEST(Opportunity, SplitProofPortIsBounded) {
+  // Substitution note in DESIGN.md: the budget-safe port caps rewards at
+  // (b + lambda) * C(u) < C(u).
+  const MechanismPtr mechanism = make_default(MechanismKind::kSplitProof);
+  EXPECT_FALSE(check_po(*mechanism, fast_options()).satisfied());
+  EXPECT_FALSE(check_uro(*mechanism, fast_options()).satisfied());
+}
+
+TEST(Opportunity, LPachiraIsBoundedWithASingleAttachedTree) {
+  // Measured deviation from Theorem 2 (see EXPERIMENTS.md E3): with
+  // k = 1 attached tree the telescoped reward is capped at
+  // Phi*C(u)*pi'(1), so URO's literal for-all-k quantifier fails.
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  OpportunityOptions options = fast_options();
+  options.k_max = 1;
+  // PO still passes at k=1 because Phi*pi'(1) = 1.3 > 1 for delta = 2 …
+  EXPECT_TRUE(check_po(*mechanism, options).satisfied());
+  // … but no finite witness crosses an arbitrary target.
+  EXPECT_FALSE(check_uro(*mechanism, options).satisfied());
+}
+
+TEST(Opportunity, LPachiraIsUnboundedWithTwoAttachedTrees) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  const double best = grow_reward_witness(*mechanism, 1.0, /*k=*/2,
+                                          /*target=*/200.0, /*rounds=*/16);
+  EXPECT_GT(best, 200.0);
+}
+
+TEST(Opportunity, WitnessGrowthIsMonotoneInTarget) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const double small = grow_reward_witness(*mechanism, 1.0, 1, 5.0, 16);
+  const double large = grow_reward_witness(*mechanism, 1.0, 1, 50.0, 16);
+  EXPECT_GT(small, 5.0);
+  EXPECT_GT(large, 50.0);
+}
+
+}  // namespace
+}  // namespace itree

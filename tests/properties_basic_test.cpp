@@ -1,0 +1,121 @@
+// Tests for the basic property checkers (Budget, CCI, CSI, phi-RPC, SL,
+// USB): each checker must reproduce the verdicts the paper's theorems
+// assign to each mechanism.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "properties/basic_checks.h"
+
+namespace itree {
+namespace {
+
+class BasicChecks : public ::testing::Test {
+ protected:
+  BasicChecks() {
+    corpus_options_.random_trees_per_model = 1;
+    corpus_options_.random_tree_size = 24;
+    corpus_ = standard_corpus(corpus_options_);
+    check_options_.max_nodes_per_tree = 10;
+  }
+
+  MechanismPtr make(MechanismKind kind) { return make_default(kind); }
+
+  CorpusOptions corpus_options_;
+  std::vector<CorpusTree> corpus_;
+  CheckOptions check_options_;
+};
+
+TEST_F(BasicChecks, CorpusIsDeterministic) {
+  const std::vector<CorpusTree> again = standard_corpus(corpus_options_);
+  ASSERT_EQ(again.size(), corpus_.size());
+  for (std::size_t i = 0; i < corpus_.size(); ++i) {
+    EXPECT_EQ(again[i].label, corpus_[i].label);
+    EXPECT_EQ(again[i].tree.node_count(), corpus_[i].tree.node_count());
+  }
+  EXPECT_GE(corpus_.size(), 15u);
+}
+
+TEST_F(BasicChecks, EveryFeasibleMechanismMeetsTheBudget) {
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    const PropertyReport report =
+        check_budget(*mechanism, corpus_, check_options_);
+    EXPECT_TRUE(report.satisfied())
+        << mechanism->display_name() << ": " << report.evidence;
+  }
+}
+
+TEST_F(BasicChecks, PreliminaryTdrmBreaksTheBudget) {
+  const MechanismPtr mechanism = make(MechanismKind::kPreliminaryTdrm);
+  const PropertyReport report =
+      check_budget(*mechanism, corpus_, check_options_);
+  EXPECT_FALSE(report.satisfied());
+}
+
+TEST_F(BasicChecks, EveryMechanismSatisfiesCci) {
+  // CCI holds for every mechanism in the paper (feasible or not).
+  for (const MechanismPtr& mechanism : all_mechanisms()) {
+    const PropertyReport report =
+        check_cci(*mechanism, corpus_, check_options_);
+    EXPECT_TRUE(report.satisfied())
+        << mechanism->display_name() << ": " << report.evidence;
+  }
+}
+
+TEST_F(BasicChecks, CsiHoldsExactlyWhereTheoremsSayIt) {
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    const PropertyReport report =
+        check_csi(*mechanism, corpus_, check_options_);
+    const bool expected = mechanism->name() != "SplitProof";
+    EXPECT_EQ(report.satisfied(), expected)
+        << mechanism->display_name() << ": " << report.evidence;
+  }
+}
+
+TEST_F(BasicChecks, EveryFeasibleMechanismSatisfiesRpc) {
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    const PropertyReport report =
+        check_rpc(*mechanism, corpus_, check_options_);
+    EXPECT_TRUE(report.satisfied())
+        << mechanism->display_name() << ": " << report.evidence;
+  }
+}
+
+TEST_F(BasicChecks, SlFailsOnlyForLPachira) {
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    const PropertyReport report =
+        check_sl(*mechanism, corpus_, check_options_);
+    const bool expected = mechanism->name() != "L-Pachira";
+    EXPECT_EQ(report.satisfied(), expected)
+        << mechanism->display_name() << ": " << report.evidence;
+  }
+}
+
+TEST_F(BasicChecks, EveryFeasibleMechanismSatisfiesUsb) {
+  // USB holds even for L-Pachira: the joiner's own reward is
+  // position-independent (only *others'* rewards leak through C(T)).
+  for (const MechanismPtr& mechanism : all_feasible_mechanisms()) {
+    const PropertyReport report =
+        check_usb(*mechanism, corpus_, check_options_);
+    EXPECT_TRUE(report.satisfied())
+        << mechanism->display_name() << ": " << report.evidence;
+  }
+}
+
+TEST_F(BasicChecks, ReportsCarryEvidenceAndTrials) {
+  const MechanismPtr mechanism = make(MechanismKind::kGeometric);
+  const PropertyReport report =
+      check_cci(*mechanism, corpus_, check_options_);
+  EXPECT_GT(report.trials, 100u);
+  EXPECT_FALSE(report.evidence.empty());
+}
+
+TEST_F(BasicChecks, ViolationEvidenceNamesTheTree) {
+  const MechanismPtr mechanism = make(MechanismKind::kSplitProof);
+  const PropertyReport report =
+      check_csi(*mechanism, corpus_, check_options_);
+  ASSERT_FALSE(report.satisfied());
+  EXPECT_NE(report.evidence.find("tree '"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,84 @@
+// Unit tests for exact rationals.
+#include <gtest/gtest.h>
+
+#include "exact/rational.h"
+
+namespace itree {
+namespace {
+
+TEST(RationalTest, NormalizesToLowestTermsWithPositiveDenominator) {
+  EXPECT_EQ(Rational::fraction(6, 8).to_string(), "3/4");
+  EXPECT_EQ(Rational::fraction(-6, 8).to_string(), "-3/4");
+  EXPECT_EQ(Rational::fraction(6, -8).to_string(), "-3/4");
+  EXPECT_EQ(Rational::fraction(-6, -8).to_string(), "3/4");
+  EXPECT_EQ(Rational::fraction(0, 5).to_string(), "0");
+  EXPECT_EQ(Rational::fraction(8, 4).to_string(), "2");
+  EXPECT_THROW(Rational::fraction(1, 0), std::invalid_argument);
+}
+
+TEST(RationalTest, ArithmeticIsExact) {
+  const Rational third = Rational::fraction(1, 3);
+  const Rational sixth = Rational::fraction(1, 6);
+  EXPECT_EQ((third + sixth).to_string(), "1/2");
+  EXPECT_EQ((third - sixth).to_string(), "1/6");
+  EXPECT_EQ((third * sixth).to_string(), "1/18");
+  EXPECT_EQ((third / sixth).to_string(), "2");
+  EXPECT_EQ((-third).to_string(), "-1/3");
+  EXPECT_THROW(third / Rational(), std::invalid_argument);
+}
+
+TEST(RationalTest, OneThirdTimesThreeIsExactlyOne) {
+  // The identity that doubles famously miss.
+  Rational sum;
+  for (int i = 0; i < 3; ++i) {
+    sum += Rational::fraction(1, 3);
+  }
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(RationalTest, ComparisonsUseCrossMultiplication) {
+  EXPECT_LT(Rational::fraction(1, 3), Rational::fraction(1, 2));
+  EXPECT_LT(Rational::fraction(-1, 2), Rational::fraction(-1, 3));
+  EXPECT_LE(Rational::fraction(2, 4), Rational::fraction(1, 2));
+  EXPECT_GT(Rational::fraction(7, 8), Rational::fraction(6, 7));
+}
+
+TEST(RationalTest, FromDoubleIsExactForDyadics) {
+  EXPECT_EQ(Rational::from_double(0.5).to_string(), "1/2");
+  EXPECT_EQ(Rational::from_double(0.375).to_string(), "3/8");
+  EXPECT_EQ(Rational::from_double(-2.25).to_string(), "-9/4");
+  EXPECT_EQ(Rational::from_double(3.0).to_string(), "3");
+  EXPECT_EQ(Rational::from_double(0.0).to_string(), "0");
+}
+
+TEST(RationalTest, FromDoubleCapturesTheExactBitPattern) {
+  // 0.1 is NOT 1/10 in IEEE754; the exact value ends in ...55511151231257827/2^55.
+  const Rational tenth = Rational::from_double(0.1);
+  EXPECT_NE(tenth, Rational::fraction(1, 10));
+  // But converting back reproduces the double bit-for-bit.
+  EXPECT_EQ(tenth.to_double(), 0.1);
+  EXPECT_THROW(Rational::from_double(
+                   std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(RationalTest, PowComputesIntegerPowers) {
+  EXPECT_EQ(Rational::fraction(1, 2).pow(10).to_string(), "1/1024");
+  EXPECT_EQ(Rational::fraction(2, 3).pow(0).to_string(), "1");
+  EXPECT_EQ(Rational::fraction(-1, 2).pow(3).to_string(), "-1/8");
+}
+
+TEST(RationalTest, GeometricSeriesIdentity) {
+  // sum_{i=0}^{n-1} a^i == (1 - a^n) / (1 - a), exactly.
+  const Rational a = Rational::fraction(3, 7);
+  Rational sum;
+  for (unsigned i = 0; i < 20; ++i) {
+    sum += a.pow(i);
+  }
+  const Rational closed_form =
+      (Rational(1) - a.pow(20)) / (Rational(1) - a);
+  EXPECT_EQ(sum, closed_form);
+}
+
+}  // namespace
+}  // namespace itree

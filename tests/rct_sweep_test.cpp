@@ -1,0 +1,100 @@
+// Parameterized RCT invariants across mu values and tree shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rct.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+class RctMuSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RctMuSweep, InvariantsHoldOnRandomTrees) {
+  const double mu = GetParam();
+  Rng rng(17);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Tree tree = random_recursive_tree(
+        30, capped_contribution(pareto_contribution(0.3, 1.2), 20.0), rng);
+    const RewardComputationTree rct(tree, mu);
+
+    // Total contribution preserved.
+    EXPECT_NEAR(rct.tree().total_contribution(), tree.total_contribution(),
+                1e-9);
+
+    std::size_t total_chain_nodes = 1;  // root image
+    for (NodeId u = 1; u < tree.node_count(); ++u) {
+      const auto& chain = rct.chain_of(u);
+      const double c = tree.contribution(u);
+      // Chain length is ceil(C/mu) (>= 1 even for zero contribution).
+      const auto expected_length = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(c / mu - 1e-9)));
+      EXPECT_EQ(chain.size(), expected_length) << "node " << u;
+      total_chain_nodes += chain.size();
+
+      // Head carries the remainder in [0, mu]; the rest carry exactly mu.
+      EXPECT_LE(rct.tree().contribution(chain.front()), mu + 1e-9);
+      double chain_total = 0.0;
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        const double node_c = rct.tree().contribution(chain[i]);
+        chain_total += node_c;
+        if (i > 0) {
+          EXPECT_NEAR(node_c, mu, 1e-12);
+          // Chain runs downward.
+          EXPECT_EQ(rct.tree().parent(chain[i]), chain[i - 1]);
+        }
+        EXPECT_EQ(rct.origin_of(chain[i]), u);
+      }
+      EXPECT_NEAR(chain_total, c, 1e-9);
+
+      // Referral edge becomes tail(parent) -> head(child).
+      EXPECT_EQ(rct.tree().parent(rct.head_of(u)),
+                rct.tail_of(tree.parent(u)));
+    }
+    EXPECT_EQ(rct.node_count(), total_chain_nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MuGrid, RctMuSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 100.0));
+
+class IoShapeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoShapeSweep, SExpressionAndEdgeListRoundTrip) {
+  Rng rng(23 + GetParam());
+  Tree tree;
+  switch (GetParam()) {
+    case 0:
+      tree = make_chain(12, 1.5);
+      break;
+    case 1:
+      tree = make_star(9, 0.25, 3.0);
+      break;
+    case 2:
+      tree = make_kary(3, 3, 1.0);
+      break;
+    case 3:
+      tree = make_caterpillar(4, 2, 0.7);
+      break;
+    default:
+      tree = preferential_attachment_tree(
+          25, lognormal_contribution(0.0, 1.0), rng);
+      break;
+  }
+  // Edge list preserves ids exactly.
+  const Tree via_edges = parse_edge_list(to_edge_list(tree));
+  ASSERT_EQ(via_edges.node_count(), tree.node_count());
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_EQ(via_edges.parent(u), tree.parent(u));
+    EXPECT_DOUBLE_EQ(via_edges.contribution(u), tree.contribution(u));
+  }
+  // S-expression preserves the canonical form.
+  EXPECT_EQ(to_string(parse_tree(to_string(tree))), to_string(tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IoShapeSweep, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,124 @@
+// Unit tests for the Reward Computation Tree transformation (Algorithm 4,
+// Fig. 3).
+#include <gtest/gtest.h>
+
+#include "core/rct.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+TEST(Rct, RejectsNonPositiveMu) {
+  Tree tree;
+  EXPECT_THROW(RewardComputationTree(tree, 0.0), std::invalid_argument);
+  EXPECT_THROW(RewardComputationTree(tree, -1.0), std::invalid_argument);
+}
+
+TEST(Rct, SmallContributionStaysSingleNode) {
+  Tree tree;
+  tree.add_independent(0.6);
+  const RewardComputationTree rct(tree, 1.0);
+  EXPECT_EQ(rct.chain_of(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(rct.tree().contribution(rct.head_of(1)), 0.6);
+}
+
+TEST(Rct, LargeContributionSplitsIntoCeilChain) {
+  Tree tree;
+  tree.add_independent(3.5);  // N = ceil(3.5) = 4
+  const RewardComputationTree rct(tree, 1.0);
+  const auto& chain = rct.chain_of(1);
+  ASSERT_EQ(chain.size(), 4u);
+  // Head carries the remainder C - (N-1)*mu = 0.5; the rest carry mu.
+  EXPECT_DOUBLE_EQ(rct.tree().contribution(chain[0]), 0.5);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rct.tree().contribution(chain[i]), 1.0);
+  }
+  // The chain runs downward: head is the parent side.
+  EXPECT_EQ(rct.tree().parent(chain[1]), chain[0]);
+  EXPECT_EQ(rct.head_of(1), chain.front());
+  EXPECT_EQ(rct.tail_of(1), chain.back());
+}
+
+TEST(Rct, ExactMultipleOfMuHasFullHead) {
+  Tree tree;
+  tree.add_independent(3.0);  // N = 3, head = 3 - 2 = 1.0
+  const RewardComputationTree rct(tree, 1.0);
+  const auto& chain = rct.chain_of(1);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_DOUBLE_EQ(rct.tree().contribution(chain[0]), 1.0);
+}
+
+TEST(Rct, ZeroContributionGetsPlaceholderNode) {
+  Tree tree;
+  const NodeId zero = tree.add_independent(0.0);
+  tree.add_node(zero, 2.0);
+  const RewardComputationTree rct(tree, 1.0);
+  EXPECT_EQ(rct.chain_of(zero).size(), 1u);
+  EXPECT_DOUBLE_EQ(rct.tree().contribution(rct.head_of(zero)), 0.0);
+  // The child's chain still hangs below the placeholder.
+  EXPECT_EQ(rct.tree().parent(rct.head_of(2)), rct.tail_of(zero));
+}
+
+TEST(Rct, EdgesConnectParentTailToChildHead) {
+  Tree tree;
+  const NodeId u = tree.add_independent(2.5);  // chain of 3
+  const NodeId v = tree.add_node(u, 1.8);      // chain of 2
+  const RewardComputationTree rct(tree, 1.0);
+  EXPECT_EQ(rct.tree().parent(rct.head_of(v)), rct.tail_of(u));
+}
+
+TEST(Rct, PreservesTotalContribution) {
+  const Tree tree = parse_tree("(2.5 (1 (0.6)) (3.2 (1) (1)))");
+  const RewardComputationTree rct(tree, 1.0);
+  EXPECT_NEAR(rct.tree().total_contribution(), tree.total_contribution(),
+              1e-12);
+}
+
+TEST(Rct, Figure3StyleExample) {
+  // Participants 2.5 and 3.2 split into chains under mu = 1; the units
+  // stay single nodes.
+  const Tree tree = parse_tree("(2.5 (1 (0.6)) (3.2 (1) (1)))");
+  const RewardComputationTree rct(tree, 1.0);
+  EXPECT_EQ(rct.chain_of(1).size(), 3u);  // 2.5 -> 0.5, 1, 1
+  EXPECT_EQ(rct.chain_of(2).size(), 1u);  // 1.0
+  EXPECT_EQ(rct.chain_of(3).size(), 1u);  // 0.6
+  EXPECT_EQ(rct.chain_of(4).size(), 4u);  // 3.2 -> 0.2, 1, 1, 1
+  // Total RCT participants: 3 + 1 + 1 + 4 + 1 + 1 (+ root image).
+  EXPECT_EQ(rct.node_count(), 12u);
+}
+
+TEST(Rct, OriginMapsEveryRctNodeBack) {
+  const Tree tree = parse_tree("(2.5 (1.4))");
+  const RewardComputationTree rct(tree, 1.0);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    for (NodeId w : rct.chain_of(u)) {
+      EXPECT_EQ(rct.origin_of(w), u);
+    }
+  }
+  EXPECT_EQ(rct.origin_of(kRoot), kRoot);
+}
+
+TEST(Rct, MuLargerThanEverythingIsIdentityShape) {
+  const Tree tree = parse_tree("(5 (3 (4)) (2))");
+  const RewardComputationTree rct(tree, 100.0);
+  EXPECT_EQ(rct.node_count(), tree.node_count());
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_EQ(rct.chain_of(u).size(), 1u);
+    EXPECT_DOUBLE_EQ(rct.tree().contribution(rct.head_of(u)),
+                     tree.contribution(u));
+  }
+}
+
+TEST(Rct, FloatingPointBoundaryDoesNotCreateEmptyHead) {
+  // 0.1 * 3 = 0.30000000000000004: without the epsilon guard the chain
+  // length would round up and leave a degenerate ~0 head.
+  Tree tree;
+  tree.add_independent(0.1 * 3);
+  const RewardComputationTree rct(tree, 0.1);
+  const auto& chain = rct.chain_of(1);
+  EXPECT_EQ(chain.size(), 3u);
+  EXPECT_GT(rct.tree().contribution(chain[0]), 0.05);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,106 @@
+// Tests for the join-sequence semantics of USA/UGSA (Sec. 3.2's
+// "for any i > 0" quantifier).
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "properties/sequence_check.h"
+
+namespace itree {
+namespace {
+
+TEST(Sequence, OutcomeTrajectoriesCoverEveryPrefix) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  SequenceScenario scenario;
+  scenario.contribution = 1.0;
+  scenario.attack = {.topology = SybilTopology::kChain,
+                     .split = SplitRule::kBalanced,
+                     .identities = 2};
+  for (int i = 0; i < 5; ++i) {
+    scenario.sequence.push_back(SequenceJoiner{true, kRoot, 1.0});
+  }
+  const SequenceOutcome outcome = run_sequence(*mechanism, scenario);
+  EXPECT_EQ(outcome.honest_rewards.size(), 6u);  // prefix 0..5
+  EXPECT_EQ(outcome.sybil_rewards.size(), 6u);
+  // Rewards grow along the sequence (CSI at the trajectory level).
+  EXPECT_GT(outcome.honest_rewards.back(), outcome.honest_rewards.front());
+}
+
+TEST(Sequence, GeometricViolatesUsaAtSomePrefix) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const PropertyReport report = check_usa_sequences(*mechanism);
+  EXPECT_FALSE(report.satisfied());
+  EXPECT_NE(report.evidence.find("prefix"), std::string::npos);
+}
+
+TEST(Sequence, GeometricViolationHoldsFromTheFirstPrefix) {
+  // The chain split profits immediately (before any joiner arrives).
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  SequenceScenario scenario;
+  scenario.contribution = 2.0;
+  scenario.attack = {.topology = SybilTopology::kChain,
+                     .split = SplitRule::kBalanced,
+                     .identities = 2};
+  scenario.sequence.push_back(SequenceJoiner{true, kRoot, 1.0});
+  const SequenceOutcome outcome = run_sequence(*mechanism, scenario);
+  EXPECT_EQ(outcome.first_usa_violation, 0);
+}
+
+TEST(Sequence, TdrmSatisfiesUsaAtEveryPrefix) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  const PropertyReport report = check_usa_sequences(*mechanism);
+  EXPECT_TRUE(report.satisfied()) << report.evidence;
+  EXPECT_GT(report.trials, 100u);
+}
+
+TEST(Sequence, TdrmViolatesUgsaOnceEnoughJoinersArrive) {
+  // The Sec. 5 counterexample needs k > 1/(a*b*lambda) children: the
+  // sequence checker must find the violation only after enough of the
+  // solicited stream has arrived — not at prefix 0.
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  SequenceScenario scenario;
+  scenario.contribution = 0.5;
+  scenario.attack = {.topology = SybilTopology::kChain,
+                     .split = SplitRule::kBalanced,
+                     .identities = 1,
+                     .contribution_multiplier = 2.0};  // C: mu/2 -> mu
+  for (int i = 0; i < 16; ++i) {
+    scenario.sequence.push_back(SequenceJoiner{true, kRoot, 1.0});
+  }
+  const SequenceOutcome outcome = run_sequence(*mechanism, scenario);
+  EXPECT_GT(outcome.first_ugsa_violation, 0);
+  EXPECT_LE(outcome.first_ugsa_violation, 13);  // around the k threshold
+}
+
+TEST(Sequence, CdrmSatisfiesBothAtEveryPrefix) {
+  for (MechanismKind kind :
+       {MechanismKind::kCdrmReciprocal, MechanismKind::kCdrmLogarithmic}) {
+    const MechanismPtr mechanism = make_default(kind);
+    EXPECT_TRUE(check_usa_sequences(*mechanism).satisfied());
+    EXPECT_TRUE(check_ugsa_sequences(*mechanism).satisfied());
+  }
+}
+
+TEST(Sequence, LPachiraSatisfiesUsaSequencesButNotUgsa) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  EXPECT_TRUE(check_usa_sequences(*mechanism).satisfied());
+  EXPECT_FALSE(check_ugsa_sequences(*mechanism).satisfied());
+}
+
+TEST(Sequence, ScenarioSuiteIsDeterministic) {
+  const auto a = standard_sequence_scenarios(123, true);
+  const auto b = standard_sequence_scenarios(123, true);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    ASSERT_EQ(a[i].sequence.size(), b[i].sequence.size());
+    for (std::size_t j = 0; j < a[i].sequence.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i].sequence[j].contribution,
+                       b[i].sequence[j].contribution);
+    }
+  }
+  // The generalized suite adds contribution-increasing entries.
+  EXPECT_GT(a.size(), standard_sequence_scenarios(123, false).size());
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,133 @@
+// Tests for the event-sourced reward service and the event log.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "server/event_log.h"
+#include "server/reward_service.h"
+#include "tree/generators.h"
+
+namespace itree {
+namespace {
+
+TEST(RewardServiceTest, SelectsIncrementalModeWhereSupported) {
+  const MechanismPtr geometric = make_default(MechanismKind::kGeometric);
+  const MechanismPtr lluxor = make_default(MechanismKind::kLLuxor);
+  const MechanismPtr cdrm = make_default(MechanismKind::kCdrmReciprocal);
+  const MechanismPtr tdrm = make_default(MechanismKind::kTdrm);
+  EXPECT_TRUE(RewardService(*geometric).incremental());
+  EXPECT_TRUE(RewardService(*lluxor).incremental());
+  EXPECT_TRUE(RewardService(*cdrm).incremental());
+  EXPECT_FALSE(RewardService(*tdrm).incremental());
+}
+
+TEST(RewardServiceTest, JoinAndContributeUpdateRewards) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  RewardService service(*mechanism);
+  const NodeId a = service.apply(JoinEvent{kRoot, 5.0});
+  const NodeId b = service.apply(JoinEvent{a, 3.0});
+  EXPECT_NEAR(service.reward(a), 0.2 * (5.0 + 0.5 * 3.0), 1e-12);
+  service.apply(ContributeEvent{b, 1.0});
+  EXPECT_NEAR(service.reward(a), 0.2 * (5.0 + 0.5 * 4.0), 1e-12);
+  EXPECT_EQ(service.events_applied(), 3u);
+}
+
+class ServiceEquivalence
+    : public ::testing::TestWithParam<MechanismKind> {};
+
+TEST_P(ServiceEquivalence, IncrementalAndBatchAgreeOnRandomStreams) {
+  const MechanismPtr mechanism = make_default(GetParam());
+  RewardService service(*mechanism);
+  Rng rng(61);
+  for (int event = 0; event < 250; ++event) {
+    const std::size_t n = service.tree().participant_count();
+    if (n == 0 || rng.bernoulli(0.65)) {
+      const NodeId parent =
+          (n == 0 || rng.bernoulli(0.1))
+              ? kRoot
+              : static_cast<NodeId>(1 + rng.index(n));
+      service.apply(JoinEvent{parent, rng.uniform(0.0, 3.0)});
+    } else {
+      service.apply(ContributeEvent{
+          static_cast<NodeId>(1 + rng.index(n)), rng.uniform(0.0, 2.0)});
+    }
+  }
+  // audit() compares incremental answers against a fresh batch compute.
+  EXPECT_LT(service.audit(), 1e-9);
+  // Spot checks of the single-participant query path.
+  const RewardVector batch = service.rewards();
+  for (NodeId u = 1; u < service.tree().node_count(); u += 7) {
+    EXPECT_NEAR(service.reward(u), batch[u], 1e-9);
+  }
+  // Total reward agreement.
+  EXPECT_NEAR(service.total_reward(), total_reward(batch), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(IncrementalMechanisms, ServiceEquivalence,
+                         ::testing::Values(MechanismKind::kGeometric,
+                                           MechanismKind::kLLuxor,
+                                           MechanismKind::kCdrmReciprocal,
+                                           MechanismKind::kCdrmLogarithmic,
+                                           MechanismKind::kTdrm,
+                                           MechanismKind::kLPachira));
+
+TEST(RewardServiceTest, RejectsBadEvents) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  RewardService service(*mechanism);
+  EXPECT_THROW(service.apply(JoinEvent{kRoot, -1.0}), std::invalid_argument);
+  EXPECT_THROW(service.apply(ContributeEvent{42, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(service.reward(kRoot), std::invalid_argument);
+}
+
+TEST(EventLogTest, SerializeParseRoundTrip) {
+  EventLog log;
+  log.append(JoinEvent{kRoot, 2.5});
+  log.append(JoinEvent{1, 1.25});
+  log.append(ContributeEvent{1, 0.75});
+  const EventLog parsed = EventLog::parse(log.serialize());
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(std::get<JoinEvent>(parsed.events()[0]), (JoinEvent{kRoot, 2.5}));
+  EXPECT_EQ(std::get<ContributeEvent>(parsed.events()[2]),
+            (ContributeEvent{1, 0.75}));
+}
+
+TEST(EventLogTest, ParseRejectsGarbage) {
+  EXPECT_THROW(EventLog::parse("X 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(EventLog::parse("J one 2\n"), std::invalid_argument);
+  EXPECT_NO_THROW(EventLog::parse("\nJ 0 1\n\n"));  // blank lines ok
+}
+
+TEST(EventLogTest, ReplayReconstructsTheDeployment) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  RecordingService recording(*mechanism);
+  const NodeId a = recording.join(kRoot, 4.0);
+  const NodeId b = recording.join(a, 2.0);
+  recording.contribute(b, 1.5);
+  recording.join(b, 0.5);
+
+  const EventLog parsed = EventLog::parse(recording.log().serialize());
+  const RewardService replayed = parsed.replay(*mechanism);
+  ASSERT_EQ(replayed.tree().node_count(),
+            recording.service().tree().node_count());
+  for (NodeId u = 1; u < replayed.tree().node_count(); ++u) {
+    EXPECT_DOUBLE_EQ(replayed.reward(u), recording.service().reward(u));
+    EXPECT_DOUBLE_EQ(replayed.tree().contribution(u),
+                     recording.service().tree().contribution(u));
+  }
+}
+
+TEST(EventLogTest, ReplayUnderDifferentMechanismReusesHistory) {
+  // The same deployment history can be re-priced under another
+  // mechanism — e.g. to evaluate a migration before switching.
+  const MechanismPtr geometric = make_default(MechanismKind::kGeometric);
+  const MechanismPtr cdrm = make_default(MechanismKind::kCdrmReciprocal);
+  RecordingService recording(*geometric);
+  const NodeId a = recording.join(kRoot, 4.0);
+  recording.join(a, 2.0);
+  const RewardService repriced = recording.log().replay(*cdrm);
+  EXPECT_NEAR(repriced.reward(a),
+              (0.5 - 0.4 / (1.0 + 4.0 + 2.0)) * 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,152 @@
+// Tests for the settlement engine: high-water payouts are safe exactly
+// when the mechanism is Subtree-Local.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "mlm/settlement.h"
+#include "tree/generators.h"
+#include "util/rng.h"
+
+namespace itree {
+namespace {
+
+TEST(Settlement, RejectsBadHoldback) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  EXPECT_THROW(SettlementEngine(*mechanism, PayoutPolicy::kHoldback, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(SettlementEngine(*mechanism, PayoutPolicy::kHoldback, -0.1),
+               std::invalid_argument);
+}
+
+TEST(Settlement, HighWaterPaysDeltasAsRewardsGrow) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  SettlementEngine engine(*mechanism, PayoutPolicy::kHighWater);
+  Tree tree;
+  const NodeId a = tree.add_independent(5.0);
+  const auto first = engine.settle(tree);
+  EXPECT_NEAR(first.cycle_paid, 1.0, 1e-12);  // b * 5
+  EXPECT_NEAR(engine.paid(a), 1.0, 1e-12);
+
+  tree.add_node(a, 3.0);
+  const auto second = engine.settle(tree);
+  // a gains b*a*3 = 0.3; the new child accrues b*3 = 0.6.
+  EXPECT_NEAR(second.cycle_paid, 0.9, 1e-12);
+  EXPECT_NEAR(second.total_paid, 1.9, 1e-12);
+  EXPECT_EQ(second.overpaid_participants, 0u);
+}
+
+TEST(Settlement, SubtreeLocalMechanismsNeverOverpay) {
+  // SL + CSI/CCI imply monotone rewards under growth: high-water payouts
+  // carry no risk.
+  Rng rng(71);
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kTdrm,
+        MechanismKind::kCdrmReciprocal}) {
+    const MechanismPtr mechanism = make_default(kind);
+    SettlementEngine engine(*mechanism, PayoutPolicy::kHighWater);
+    Tree tree;
+    for (int step = 0; step < 40; ++step) {
+      const NodeId parent =
+          (tree.participant_count() == 0 || rng.bernoulli(0.2))
+              ? kRoot
+              : static_cast<NodeId>(1 +
+                                    rng.index(tree.participant_count()));
+      tree.add_node(parent, rng.uniform(0.1, 3.0));
+      const auto statement = engine.settle(tree);
+      EXPECT_EQ(statement.overpaid_participants, 0u)
+          << mechanism->display_name() << " step " << step;
+      EXPECT_NEAR(statement.total_paid, statement.current_rewards, 1e-9)
+          << mechanism->display_name();
+    }
+  }
+}
+
+TEST(Settlement, LPachiraOverpaysUnderHighWater) {
+  // The operational cost of the SL violation: a participant's reward
+  // drops after others grow, but the money is already out.
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  SettlementEngine engine(*mechanism, PayoutPolicy::kHighWater);
+  Tree tree;
+  const NodeId a = tree.add_independent(2.0);
+  tree.add_node(a, 1.0);
+  engine.settle(tree);
+  // A huge unrelated forest root dilutes a's share.
+  tree.add_independent(50.0);
+  const auto statement = engine.settle(tree);
+  EXPECT_GT(statement.overpayment, 0.0);
+  EXPECT_GE(statement.overpaid_participants, 1u);
+}
+
+TEST(Settlement, TdrmOverpaysUnderPurchases) {
+  // The purchase-monotonicity failure in settlement terms: after v's
+  // repeat purchase re-chains its RCT, the referrer's already-paid
+  // high-water exceeds its new accrual.
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  SettlementEngine engine(*mechanism, PayoutPolicy::kHighWater);
+  Tree tree;
+  const NodeId top = tree.add_independent(1.0);
+  const NodeId v = tree.add_node(top, 0.9);
+  tree.add_node(v, 8.0);
+  engine.settle(tree);
+  tree.set_contribution(v, 1.4);  // purchase crossing the mu boundary
+  const auto statement = engine.settle(tree);
+  EXPECT_GT(statement.overpayment, 0.0);
+}
+
+TEST(Settlement, HoldbackShrinksOverpaymentRisk) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  SettlementEngine high_water(*mechanism, PayoutPolicy::kHighWater);
+  SettlementEngine holdback(*mechanism, PayoutPolicy::kHoldback, 0.5);
+  Tree tree;
+  const NodeId a = tree.add_independent(2.0);
+  tree.add_node(a, 1.0);
+  high_water.settle(tree);
+  holdback.settle(tree);
+  tree.add_independent(50.0);
+  const auto risky = high_water.settle(tree);
+  const auto hedged = holdback.settle(tree);
+  EXPECT_LT(hedged.overpayment, risky.overpayment);
+}
+
+TEST(Settlement, FinalizeReleasesTheHoldback) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  SettlementEngine engine(*mechanism, PayoutPolicy::kHoldback, 0.3);
+  Tree tree;
+  tree.add_independent(5.0);
+  const auto partial = engine.settle(tree);
+  EXPECT_NEAR(partial.cycle_paid, 0.7 * 1.0, 1e-12);
+  const auto final_statement = engine.finalize(tree);
+  EXPECT_NEAR(final_statement.total_paid, 1.0, 1e-12);
+}
+
+TEST(Settlement, TotalPaidNeverExceedsBudgetForSlMechanisms) {
+  Rng rng(72);
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  SettlementEngine engine(*mechanism, PayoutPolicy::kHighWater);
+  Tree tree;
+  for (int step = 0; step < 30; ++step) {
+    tree.add_node(
+        (tree.participant_count() == 0 || rng.bernoulli(0.3))
+            ? kRoot
+            : static_cast<NodeId>(1 + rng.index(tree.participant_count())),
+        rng.uniform(0.0, 2.0));
+    engine.settle(tree);
+    EXPECT_LE(engine.total_paid(),
+              mechanism->Phi() * tree.total_contribution() + 1e-9);
+  }
+}
+
+TEST(Settlement, RejectsShrunkenTrees) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  SettlementEngine engine(*mechanism, PayoutPolicy::kHighWater);
+  Tree big;
+  big.add_independent(1.0);
+  big.add_independent(1.0);
+  engine.settle(big);
+  Tree small;
+  small.add_independent(1.0);
+  EXPECT_THROW(engine.settle(small), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,114 @@
+// Unit tests for per-node aggregates: subtree sums, geometric-decay
+// sums, and the binary-subtree (Strahler) depth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tree/generators.h"
+#include "tree/io.h"
+#include "tree/subtree_sums.h"
+
+namespace itree {
+namespace {
+
+// O(n^2) reference: sum a^{dep_u(v)} C(v) over v in T_u by walking.
+std::vector<double> brute_force_geometric(const Tree& tree, double a) {
+  std::vector<double> sums(tree.node_count(), 0.0);
+  for (NodeId u = 0; u < tree.node_count(); ++u) {
+    for (NodeId v : tree.subtree(u)) {
+      const auto dep = tree.depth(v) - tree.depth(u);
+      sums[u] += std::pow(a, static_cast<double>(dep)) * tree.contribution(v);
+    }
+  }
+  return sums;
+}
+
+TEST(SubtreeData, MatchesHandComputedExample) {
+  const Tree tree = parse_tree("(1 (2 (3)) (4))");
+  const SubtreeData data = compute_subtree_data(tree);
+  EXPECT_DOUBLE_EQ(data.subtree_contribution[0], 10.0);
+  EXPECT_DOUBLE_EQ(data.subtree_contribution[1], 10.0);
+  EXPECT_DOUBLE_EQ(data.subtree_contribution[2], 5.0);
+  EXPECT_DOUBLE_EQ(data.subtree_contribution[3], 3.0);
+  EXPECT_EQ(data.subtree_size[0], 5u);
+  EXPECT_EQ(data.subtree_size[1], 4u);
+  EXPECT_EQ(data.depth[3], 3u);
+}
+
+TEST(GeometricSums, MatchesHandComputedChain) {
+  const Tree tree = make_chain(std::vector<double>{1, 1, 1});
+  const std::vector<double> sums = geometric_subtree_sums(tree, 0.5);
+  EXPECT_DOUBLE_EQ(sums[3], 1.0);
+  EXPECT_DOUBLE_EQ(sums[2], 1.5);
+  EXPECT_DOUBLE_EQ(sums[1], 1.75);
+  EXPECT_DOUBLE_EQ(sums[0], 0.875);  // root has C=0, decayed children
+}
+
+class GeometricSumsRandom : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricSumsRandom, AgreesWithBruteForceOnRandomTrees) {
+  const double a = GetParam();
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Tree tree =
+        random_recursive_tree(40, uniform_contribution(0.0, 3.0), rng);
+    const std::vector<double> fast = geometric_subtree_sums(tree, a);
+    const std::vector<double> slow = brute_force_geometric(tree, a);
+    for (NodeId u = 0; u < tree.node_count(); ++u) {
+      EXPECT_NEAR(fast[u], slow[u], 1e-9) << "a=" << a << " node " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DecaySweep, GeometricSumsRandom,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.9, 0.99));
+
+TEST(BinaryDepth, LeafIsOne) {
+  const Tree tree = parse_tree("(1)");
+  EXPECT_EQ(binary_subtree_depths(tree)[1], 1u);
+}
+
+TEST(BinaryDepth, ChainsDoNotGrowDepth) {
+  const Tree tree = make_chain(50, 1.0);
+  const auto depths = binary_subtree_depths(tree);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_EQ(depths[u], 1u);
+  }
+}
+
+TEST(BinaryDepth, CompleteBinaryTreeDepthEqualsLevels) {
+  const Tree tree = make_kary(5, 2, 1.0);
+  const auto depths = binary_subtree_depths(tree);
+  EXPECT_EQ(depths[1], 5u);  // top participant of the 5-level tree
+}
+
+TEST(BinaryDepth, TwoLeavesGiveDepthTwo) {
+  const Tree tree = parse_tree("(1 (1) (1))");
+  EXPECT_EQ(binary_subtree_depths(tree)[1], 2u);
+}
+
+TEST(BinaryDepth, AsymmetricChildrenTakeStrahlerRecurrence) {
+  // One child of depth 3, one of depth 1: max(3, 1+1) = 3.
+  const Tree tree = parse_tree("(1 (1 (1 (1) (1)) (1 (1) (1))) (1))");
+  const auto depths = binary_subtree_depths(tree);
+  EXPECT_EQ(depths[2], 3u);  // the balanced child
+  EXPECT_EQ(depths[1], 3u);  // its parent cannot do better
+}
+
+TEST(BinaryDepth, ThirdChildDoesNotRaiseDepth) {
+  // This is exactly why the Emek et al. baseline fails CSI.
+  Tree tree = parse_tree("(1 (1) (1))");
+  const auto before = binary_subtree_depths(tree)[1];
+  tree.add_node(1, 1.0);
+  const auto after = binary_subtree_depths(tree)[1];
+  EXPECT_EQ(before, after);
+}
+
+TEST(BinaryDepth, TernaryTreeGrowsLikeBinary) {
+  // A complete ternary tree embeds a complete binary tree of equal depth.
+  const Tree tree = make_kary(4, 3, 1.0);
+  EXPECT_EQ(binary_subtree_depths(tree)[1], 4u);
+}
+
+}  // namespace
+}  // namespace itree

@@ -1,0 +1,215 @@
+// Unit tests for TDRM (Algorithm 4) and the preliminary quadratic TDRM
+// (Algorithm 3), including the paper's Section 5 UGSA counterexample.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tdrm.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+
+namespace itree {
+namespace {
+
+BudgetParams budget() { return BudgetParams{.Phi = 0.5, .phi = 0.05}; }
+
+TdrmParams params() {
+  return TdrmParams{.lambda = 0.4, .mu = 1.0, .a = 0.5, .b = 0.4};
+}
+
+TEST(PreliminaryTdrmTest, MatchesQuadraticFormula) {
+  // R(u) = C(u) * b * sum a^dep C(v).
+  const PreliminaryTdrm mechanism(budget(), 0.5, 0.2);
+  const Tree tree = parse_tree("(2 (3))");
+  const RewardVector rewards = mechanism.compute(tree);
+  EXPECT_NEAR(rewards[1], 2.0 * 0.2 * (2.0 + 0.5 * 3.0), 1e-12);
+  EXPECT_NEAR(rewards[2], 3.0 * 0.2 * 3.0, 1e-12);
+}
+
+TEST(PreliminaryTdrmTest, ViolatesBudgetOnLargeContributions) {
+  // The quadratic self-term C(u)^2 * b outgrows Phi*C(T) — the reason
+  // Algorithm 3 is "not a correct reward mechanism".
+  const PreliminaryTdrm mechanism(budget(), 0.5, 0.2);
+  Tree tree;
+  tree.add_independent(100.0);
+  const RewardVector rewards = mechanism.compute(tree);
+  EXPECT_GT(total_reward(rewards), 0.5 * tree.total_contribution());
+}
+
+TEST(PreliminaryTdrmTest, SplittingNeverHelps) {
+  // The quadratic structure achieves USA (Sec. 5): chain-splitting C=2
+  // into 1+1 cannot beat the single node.
+  const PreliminaryTdrm mechanism(budget(), 0.5, 0.2);
+  const double single = mechanism.compute(parse_tree("(2)"))[1];
+  const RewardVector split = mechanism.compute(parse_tree("(1 (1))"));
+  EXPECT_LE(split[1] + split[2], single + 1e-12);
+}
+
+TEST(TdrmTest, EnforcesParameterConstraints) {
+  EXPECT_THROW(Tdrm(budget(), {.lambda = 0.45, .mu = 1, .a = 0.5, .b = 0.4}),
+               std::invalid_argument);  // lambda must be < Phi - phi
+  EXPECT_THROW(Tdrm(budget(), {.lambda = 0.4, .mu = 0, .a = 0.5, .b = 0.4}),
+               std::invalid_argument);
+  EXPECT_THROW(Tdrm(budget(), {.lambda = 0.4, .mu = 1, .a = 0.6, .b = 0.4}),
+               std::invalid_argument);  // a + b must be < 1
+  EXPECT_NO_THROW(Tdrm(budget(), params()));
+}
+
+TEST(TdrmTest, SingleSmallNodeMatchesClosedForm) {
+  // One participant with C <= mu: R = (lambda/mu)*C*b*C + phi*C.
+  const Tdrm mechanism(budget(), params());
+  Tree tree;
+  tree.add_independent(0.5);
+  const double reward = mechanism.compute(tree)[1];
+  EXPECT_NEAR(reward, 0.4 * 0.5 * 0.4 * 0.5 + 0.05 * 0.5, 1e-12);
+}
+
+TEST(TdrmTest, WholeChainRewardSumsChainNodes) {
+  // C = 2, mu = 1: chain 1 -> 1 in the RCT.
+  // R'(head) = lambda*1*b*(1 + a*1) + phi*1; R'(tail) = lambda*b + phi.
+  const Tdrm mechanism(budget(), params());
+  Tree tree;
+  tree.add_independent(2.0);
+  const double reward = mechanism.compute(tree)[1];
+  const double head = 0.4 * 0.4 * (1.0 + 0.5) + 0.05;
+  const double tail = 0.4 * 0.4 + 0.05;
+  EXPECT_NEAR(reward, head + tail, 1e-12);
+}
+
+TEST(TdrmTest, ChildRewardFlowsThroughParentTail) {
+  // u (C=2) with child v (C=1): v's chain hangs below u's tail, so u's
+  // tail sees v at depth 1 and u's head at depth 2.
+  const Tdrm mechanism(budget(), params());
+  const Tree tree = parse_tree("(2 (1))");
+  const double reward_u = mechanism.compute(tree)[1];
+  const double head = 0.4 * 0.4 * (1.0 + 0.5 * 1.0 + 0.25 * 1.0) + 0.05;
+  const double tail = 0.4 * 0.4 * (1.0 + 0.5 * 1.0) + 0.05;
+  EXPECT_NEAR(reward_u, head + tail, 1e-12);
+}
+
+TEST(TdrmTest, MeetsBudgetOnAdversarialShapes) {
+  const Tdrm mechanism(budget(), params());
+  Rng rng(11);
+  std::vector<Tree> trees;
+  trees.push_back(make_chain(100, 1.0));
+  trees.push_back(make_star(60, 5.0, 1.0));
+  trees.push_back(make_kary(5, 3, 2.0));
+  trees.push_back(
+      random_recursive_tree(120, uniform_contribution(0.0, 8.0), rng));
+  Tree whale;
+  whale.add_independent(500.0);
+  trees.push_back(std::move(whale));
+  for (const Tree& tree : trees) {
+    const RewardVector rewards = mechanism.compute(tree);
+    EXPECT_LE(total_reward(rewards),
+              mechanism.Phi() * tree.total_contribution() + 1e-9);
+    for (double r : rewards) {
+      EXPECT_GE(r, 0.0);
+    }
+  }
+}
+
+TEST(TdrmTest, SatisfiesRpcStrictly) {
+  const Tdrm mechanism(budget(), params());
+  Rng rng(12);
+  const Tree tree =
+      random_recursive_tree(60, uniform_contribution(0.1, 6.0), rng);
+  const RewardVector rewards = mechanism.compute(tree);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_GT(rewards[u], mechanism.phi() * tree.contribution(u) - 1e-12);
+  }
+}
+
+TEST(TdrmTest, WhaleRewardGrowsLinearly) {
+  // The RCT linearizes large contributions: R(u)/C(u) approaches a
+  // constant instead of the quadratic blow-up of Algorithm 3.
+  const Tdrm mechanism(budget(), params());
+  auto reward_for = [&](double c) {
+    Tree tree;
+    tree.add_independent(c);
+    return mechanism.compute(tree)[1];
+  };
+  const double ratio_100 = reward_for(100.0) / 100.0;
+  const double ratio_1000 = reward_for(1000.0) / 1000.0;
+  EXPECT_NEAR(ratio_100, ratio_1000, 0.01);
+}
+
+TEST(TdrmTest, MuSplitEqualsWhatMechanismDoesInternally) {
+  // Joining as the eps-chain the mechanism would build anyway yields
+  // exactly the same total reward (the USA argument): C = 2.5 as one
+  // node vs as a 0.5 -> 1 -> 1 chain of identities.
+  const Tdrm mechanism(budget(), params());
+  Tree single;
+  single.add_independent(2.5);
+  const double merged = mechanism.compute(single)[1];
+  const Tree chain = make_chain(std::vector<double>{0.5, 1.0, 1.0});
+  const RewardVector split = mechanism.compute(chain);
+  EXPECT_NEAR(split[1] + split[2] + split[3], merged, 1e-12);
+}
+
+TEST(TdrmTest, NonOptimalSplitsEarnStrictlyLess) {
+  const Tdrm mechanism(budget(), params());
+  Tree single;
+  single.add_independent(2.0);
+  const double merged = mechanism.compute(single)[1];
+  // Star split (two siblings of 1 each) loses the chain's mutual terms.
+  const RewardVector star = mechanism.compute(parse_tree("(1) (1)"));
+  EXPECT_LT(star[1] + star[2], merged - 1e-9);
+}
+
+TEST(TdrmTest, Section5CounterexampleViolatesUgsa) {
+  // u with C = mu/2 and k = 40 children of contribution mu: raising
+  // C(u) to mu more than doubles the profit, so profit-per-identity
+  // increases with contribution — the UGSA violation.
+  const Tdrm mechanism(budget(), params());
+  auto profit_for = [&](double c) {
+    Tree tree;
+    const NodeId u = tree.add_independent(c);
+    for (int i = 0; i < 40; ++i) {
+      tree.add_node(u, 1.0);
+    }
+    const RewardVector rewards = mechanism.compute(tree);
+    return profit(tree, rewards, u);
+  };
+  const double profit_half = profit_for(0.5);
+  const double profit_full = profit_for(1.0);
+  EXPECT_GT(profit_full, profit_half);
+  // The gain is structural, not epsilon: the full-mu head keeps the
+  // whole ak-term instead of half of it.
+  EXPECT_GT(profit_full - profit_half, 0.1);
+}
+
+TEST(TdrmTest, ExposedRctMatchesStandaloneTransform) {
+  const Tdrm mechanism(budget(), params());
+  const Tree tree = parse_tree("(2.5 (1.4))");
+  const RewardComputationTree via_mechanism = mechanism.build_rct(tree);
+  const RewardComputationTree direct(tree, 1.0);
+  EXPECT_EQ(via_mechanism.node_count(), direct.node_count());
+}
+
+TEST(TdrmTest, RewardsOnRctSumToReferralRewards) {
+  const Tdrm mechanism(budget(), params());
+  const Tree tree = parse_tree("(2.5 (1 (0.6)) (3.2 (1) (1)))");
+  const RewardComputationTree rct = mechanism.build_rct(tree);
+  const RewardVector on_rct = mechanism.compute_on_rct(rct);
+  const RewardVector on_referral = mechanism.compute(tree);
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    double chain_total = 0.0;
+    for (NodeId w : rct.chain_of(u)) {
+      chain_total += on_rct[w];
+    }
+    EXPECT_NEAR(chain_total, on_referral[u], 1e-12);
+  }
+}
+
+TEST(TdrmTest, ClaimsMatchTheorem4) {
+  const Tdrm mechanism(budget(), params());
+  const PropertySet claims = mechanism.claimed_properties();
+  EXPECT_TRUE(claims.contains(Property::kUSA));
+  EXPECT_TRUE(claims.contains(Property::kURO));
+  EXPECT_TRUE(claims.contains(Property::kSL));
+  EXPECT_FALSE(claims.contains(Property::kUGSA));
+}
+
+}  // namespace
+}  // namespace itree

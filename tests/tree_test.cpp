@@ -1,0 +1,207 @@
+// Unit tests for the referral tree substrate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tree/io.h"
+#include "tree/tree.h"
+
+namespace itree {
+namespace {
+
+TEST(Tree, StartsWithOnlyTheImaginaryRoot) {
+  Tree tree;
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.participant_count(), 0u);
+  EXPECT_EQ(tree.contribution(kRoot), 0.0);
+  EXPECT_EQ(tree.parent(kRoot), kInvalidNode);
+  EXPECT_EQ(tree.total_contribution(), 0.0);
+}
+
+TEST(Tree, AddNodeLinksParentAndChild) {
+  Tree tree;
+  const NodeId a = tree.add_independent(2.0);
+  const NodeId b = tree.add_node(a, 3.0);
+  EXPECT_EQ(tree.parent(b), a);
+  ASSERT_EQ(tree.children(a).size(), 1u);
+  EXPECT_EQ(tree.children(a)[0], b);
+  EXPECT_DOUBLE_EQ(tree.total_contribution(), 5.0);
+}
+
+TEST(Tree, AddNodeRejectsNegativeContribution) {
+  Tree tree;
+  EXPECT_THROW(tree.add_independent(-0.5), std::invalid_argument);
+}
+
+TEST(Tree, AddNodeRejectsUnknownParent) {
+  Tree tree;
+  EXPECT_THROW(tree.add_node(42, 1.0), std::invalid_argument);
+}
+
+TEST(Tree, SetContributionUpdatesTotal) {
+  Tree tree;
+  const NodeId a = tree.add_independent(2.0);
+  tree.set_contribution(a, 7.5);
+  EXPECT_DOUBLE_EQ(tree.contribution(a), 7.5);
+  EXPECT_DOUBLE_EQ(tree.total_contribution(), 7.5);
+}
+
+TEST(Tree, RootContributionMustStayZero) {
+  Tree tree;
+  EXPECT_THROW(tree.set_contribution(kRoot, 1.0), std::invalid_argument);
+  tree.set_contribution(kRoot, 0.0);  // a no-op is allowed
+}
+
+TEST(Tree, DepthCountsEdgesFromRoot) {
+  Tree tree;
+  const NodeId a = tree.add_independent(1.0);
+  const NodeId b = tree.add_node(a, 1.0);
+  const NodeId c = tree.add_node(b, 1.0);
+  EXPECT_EQ(tree.depth(kRoot), 0u);
+  EXPECT_EQ(tree.depth(a), 1u);
+  EXPECT_EQ(tree.depth(c), 3u);
+}
+
+TEST(Tree, IsAncestorIncludesSelfAndRoot) {
+  Tree tree;
+  const NodeId a = tree.add_independent(1.0);
+  const NodeId b = tree.add_node(a, 1.0);
+  const NodeId other = tree.add_independent(1.0);
+  EXPECT_TRUE(tree.is_ancestor(a, b));
+  EXPECT_TRUE(tree.is_ancestor(b, b));
+  EXPECT_TRUE(tree.is_ancestor(kRoot, b));
+  EXPECT_FALSE(tree.is_ancestor(b, a));
+  EXPECT_FALSE(tree.is_ancestor(a, other));
+}
+
+TEST(Tree, SubtreeReturnsPreorderOfDescendants) {
+  const Tree tree = parse_tree("(1 (2 (3)) (4))");
+  // ids: 1 -> C=1, 2 -> C=2, 3 -> C=3, 4 -> C=4
+  const std::vector<NodeId> subtree = tree.subtree(1);
+  ASSERT_EQ(subtree.size(), 4u);
+  EXPECT_EQ(subtree[0], 1u);
+  EXPECT_EQ(subtree[1], 2u);
+  EXPECT_EQ(subtree[2], 3u);
+  EXPECT_EQ(subtree[3], 4u);
+}
+
+TEST(Tree, SubtreeContributionSumsDescendants) {
+  const Tree tree = parse_tree("(1 (2 (3)) (4))");
+  EXPECT_DOUBLE_EQ(tree.subtree_contribution(1), 10.0);
+  EXPECT_DOUBLE_EQ(tree.subtree_contribution(2), 5.0);
+  EXPECT_DOUBLE_EQ(tree.subtree_contribution(4), 4.0);
+}
+
+TEST(Tree, PostorderVisitsChildrenBeforeParents) {
+  const Tree tree = parse_tree("(1 (2 (3)) (4))");
+  const std::vector<NodeId> order = tree.postorder();
+  ASSERT_EQ(order.size(), tree.node_count());
+  std::vector<std::size_t> position(tree.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = i;
+  }
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    EXPECT_LT(position[u], position[tree.parent(u)])
+        << "node " << u << " must precede its parent";
+  }
+}
+
+TEST(Tree, PostorderHandlesDeepChainsWithoutRecursion) {
+  Tree tree;
+  NodeId parent = kRoot;
+  for (int i = 0; i < 200000; ++i) {
+    parent = tree.add_node(parent, 1.0);
+  }
+  const std::vector<NodeId> order = tree.postorder();
+  EXPECT_EQ(order.size(), tree.node_count());
+  EXPECT_EQ(order.front(), parent);  // deepest node first
+  EXPECT_EQ(order.back(), kRoot);
+}
+
+TEST(Tree, GraftSubtreeCopiesStructureAndContributions) {
+  const Tree src = parse_tree("(5 (3) (2 (1)))");
+  Tree dst;
+  const NodeId anchor = dst.add_independent(9.0);
+  const NodeId copy = graft_subtree(dst, anchor, src, 1);
+  EXPECT_DOUBLE_EQ(dst.contribution(copy), 5.0);
+  EXPECT_EQ(dst.children(copy).size(), 2u);
+  EXPECT_DOUBLE_EQ(dst.subtree_contribution(copy), 11.0);
+  // Sibling order preserved.
+  EXPECT_DOUBLE_EQ(dst.contribution(dst.children(copy)[0]), 3.0);
+  EXPECT_DOUBLE_EQ(dst.contribution(dst.children(copy)[1]), 2.0);
+}
+
+TEST(Tree, GraftForestCopiesAllForestRoots) {
+  const Tree src = parse_tree("(1) (2 (3))");
+  Tree dst;
+  const NodeId anchor = dst.add_independent(1.0);
+  const std::vector<NodeId> roots = graft_forest(dst, anchor, src);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_DOUBLE_EQ(dst.subtree_contribution(anchor), 7.0);
+}
+
+TEST(Tree, GraftSubtreeRejectsImaginaryRoot) {
+  const Tree src = parse_tree("(1)");
+  Tree dst;
+  EXPECT_THROW(graft_subtree(dst, kRoot, src, kRoot), std::invalid_argument);
+}
+
+TEST(Tree, RemoveLastNodeUndoesAnAppend) {
+  Tree tree;
+  const NodeId a = tree.add_independent(2.0);
+  tree.add_node(a, 3.0);
+  tree.remove_last_node();
+  EXPECT_EQ(tree.participant_count(), 1u);
+  EXPECT_TRUE(tree.children(a).empty());
+  EXPECT_DOUBLE_EQ(tree.total_contribution(), 2.0);
+  // Append again: ids are reused deterministically.
+  const NodeId b = tree.add_node(a, 1.0);
+  EXPECT_EQ(b, 2u);
+}
+
+TEST(Tree, RemoveLastNodeRejectsEmptyTree) {
+  Tree tree;
+  EXPECT_THROW(tree.remove_last_node(), std::invalid_argument);
+}
+
+TEST(Tree, ProbePatternLeavesTreeBitIdentical) {
+  // The simulator's probe: add, measure, remove must restore exactly.
+  Tree tree = parse_tree("(5 (3 (4)) (2))");
+  const std::string before = to_string(tree);
+  const double total_before = tree.total_contribution();
+  // 1.5 is dyadic, so add/subtract round-trips the cached total exactly.
+  for (NodeId parent = 1; parent < tree.node_count(); ++parent) {
+    tree.add_node(parent, 1.5);
+    tree.remove_last_node();
+  }
+  EXPECT_EQ(to_string(tree), before);
+  EXPECT_EQ(tree.total_contribution(), total_before);
+}
+
+TEST(TreeIo, RoundTripsSExpressions) {
+  const std::string text = "(5 (3) (2 (1))) (4)";
+  const Tree tree = parse_tree(text);
+  EXPECT_EQ(to_string(tree), text);
+}
+
+TEST(TreeIo, ParsesFractionalAndScientificNumbers) {
+  const Tree tree = parse_tree("(0.5 (1e2))");
+  EXPECT_DOUBLE_EQ(tree.contribution(1), 0.5);
+  EXPECT_DOUBLE_EQ(tree.contribution(2), 100.0);
+}
+
+TEST(TreeIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_tree("(1 (2)"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("1 2"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("()"), std::invalid_argument);
+}
+
+TEST(TreeIo, DotOutputMentionsEveryEdge) {
+  const Tree tree = parse_tree("(1 (2))");
+  const std::string dot = to_dot(tree);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itree

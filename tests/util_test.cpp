@@ -1,0 +1,260 @@
+// Unit tests for the utility layer: RNG, statistics, tables, CSV,
+// strings, comparisons.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/almost_equal.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace itree {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), std::invalid_argument);
+}
+
+TEST(Check, EnsureThrowsLogicError) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(ensure(false, "bug"), std::logic_error);
+}
+
+TEST(Rng, IsDeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool any_difference = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) {
+    any_difference |= (a2.next_u64() != c.next_u64());
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Rng, Uniform01StaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsAboutHalf) {
+  Rng rng(2);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(rng.uniform01());
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(4);
+  EXPECT_THROW(rng.uniform_int(5, 2), std::invalid_argument);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(5);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.normal(3.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(7);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.exponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatchesParameterSmallAndLarge) {
+  Rng rng(8);
+  OnlineStats small, large;
+  for (int i = 0; i < 20000; ++i) {
+    small.add(rng.poisson(2.5));
+    large.add(rng.poisson(80.0));
+  }
+  EXPECT_NEAR(small.mean(), 2.5, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.poisson(0.0), 0);
+  }
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(10);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZeroWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(AlmostEqual, ToleratesRelativeNoise) {
+  EXPECT_TRUE(almost_equal(1e6, 1e6 * (1.0 + 1e-12)));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(0.0, 1e-12));
+}
+
+TEST(AlmostEqual, DefinitelyGreaterNeedsMargin) {
+  EXPECT_TRUE(definitely_greater(1.001, 1.0));
+  EXPECT_FALSE(definitely_greater(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(definitely_greater(0.9, 1.0));
+}
+
+TEST(AlmostEqual, GreaterOrCloseAcceptsTinyDeficit) {
+  EXPECT_TRUE(greater_or_close(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(greater_or_close(1.0, 1.1));
+}
+
+TEST(OnlineStats, TracksMeanVarianceAndExtrema) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyAccumulatorRejectsExtrema) {
+  OnlineStats stats;
+  EXPECT_THROW(stats.min(), std::logic_error);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 2.5);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQuantile) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Gini, ZeroForEqualDistribution) {
+  EXPECT_NEAR(gini({3.0, 3.0, 3.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(Gini, ApproachesOneForConcentration) {
+  std::vector<double> values(100, 0.0);
+  values.back() = 100.0;
+  EXPECT_GT(gini(values), 0.95);
+}
+
+TEST(Gini, EmptyAndAllZeroAreZero) {
+  EXPECT_EQ(gini({}), 0.0);
+  EXPECT_EQ(gini({0.0, 0.0}), 0.0);
+}
+
+TEST(HistogramTest, CountsAndClampsOutOfRange) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.add(1.0);
+  histogram.add(9.9);
+  histogram.add(-5.0);  // clamped into first bucket
+  histogram.add(42.0);  // clamped into last bucket
+  EXPECT_EQ(histogram.total(), 4u);
+  EXPECT_EQ(histogram.counts()[0], 2u);
+  EXPECT_EQ(histogram.counts()[4], 2u);
+  EXPECT_DOUBLE_EQ(histogram.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.bucket_hi(1), 4.0);
+}
+
+TEST(TextTableTest, AlignsColumnsAndCountsRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "2"});
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("longer-name"), std::string::npos);
+  EXPECT_NE(rendered.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsTooManyCells) {
+  TextTable table({"one"});
+  EXPECT_THROW(table.add_row({"a", "b"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"plain", "has,comma", "has\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Strings, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, CompactNumberTrimsTrailingZeros) {
+  EXPECT_EQ(compact_number(1.5), "1.5");
+  EXPECT_EQ(compact_number(2.0), "2");
+  EXPECT_EQ(compact_number(0.25), "0.25");
+}
+
+TEST(Strings, YesNo) {
+  EXPECT_EQ(yes_no(true), "yes");
+  EXPECT_EQ(yes_no(false), "no");
+}
+
+}  // namespace
+}  // namespace itree
