@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_geometric_grid.dir/bench/bench_a2_geometric_grid.cpp.o"
+  "CMakeFiles/bench_a2_geometric_grid.dir/bench/bench_a2_geometric_grid.cpp.o.d"
+  "bench/bench_a2_geometric_grid"
+  "bench/bench_a2_geometric_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_geometric_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

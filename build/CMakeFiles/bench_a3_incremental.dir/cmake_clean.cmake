@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_incremental.dir/bench/bench_a3_incremental.cpp.o"
+  "CMakeFiles/bench_a3_incremental.dir/bench/bench_a3_incremental.cpp.o.d"
+  "bench/bench_a3_incremental"
+  "bench/bench_a3_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_frontier.dir/bench/bench_a5_frontier.cpp.o"
+  "CMakeFiles/bench_a5_frontier.dir/bench/bench_a5_frontier.cpp.o.d"
+  "bench/bench_a5_frontier"
+  "bench/bench_a5_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

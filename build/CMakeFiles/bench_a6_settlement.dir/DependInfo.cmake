@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a6_settlement.cpp" "CMakeFiles/bench_a6_settlement.dir/bench/bench_a6_settlement.cpp.o" "gcc" "CMakeFiles/bench_a6_settlement.dir/bench/bench_a6_settlement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/itree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/properties/CMakeFiles/itree_properties.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlm/CMakeFiles/itree_mlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/itree_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/itree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lottery/CMakeFiles/itree_lottery.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/itree_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/itree_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

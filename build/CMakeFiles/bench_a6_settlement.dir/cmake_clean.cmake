@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_settlement.dir/bench/bench_a6_settlement.cpp.o"
+  "CMakeFiles/bench_a6_settlement.dir/bench/bench_a6_settlement.cpp.o.d"
+  "bench/bench_a6_settlement"
+  "bench/bench_a6_settlement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_settlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_lottery.dir/bench/bench_a7_lottery.cpp.o"
+  "CMakeFiles/bench_a7_lottery.dir/bench/bench_a7_lottery.cpp.o.d"
+  "bench/bench_a7_lottery"
+  "bench/bench_a7_lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

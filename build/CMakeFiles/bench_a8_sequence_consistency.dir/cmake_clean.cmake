@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_sequence_consistency.dir/bench/bench_a8_sequence_consistency.cpp.o"
+  "CMakeFiles/bench_a8_sequence_consistency.dir/bench/bench_a8_sequence_consistency.cpp.o.d"
+  "bench/bench_a8_sequence_consistency"
+  "bench/bench_a8_sequence_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_sequence_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_cdrm.dir/bench/bench_e10_cdrm.cpp.o"
+  "CMakeFiles/bench_e10_cdrm.dir/bench/bench_e10_cdrm.cpp.o.d"
+  "bench/bench_e10_cdrm"
+  "bench/bench_e10_cdrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_cdrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_eps_chain.dir/bench/bench_e11_eps_chain.cpp.o"
+  "CMakeFiles/bench_e11_eps_chain.dir/bench/bench_e11_eps_chain.cpp.o.d"
+  "bench/bench_e11_eps_chain"
+  "bench/bench_e11_eps_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_eps_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_deployment_sim.dir/bench/bench_e12_deployment_sim.cpp.o"
+  "CMakeFiles/bench_e12_deployment_sim.dir/bench/bench_e12_deployment_sim.cpp.o.d"
+  "bench/bench_e12_deployment_sim"
+  "bench/bench_e12_deployment_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_deployment_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_scalability.dir/bench/bench_e13_scalability.cpp.o"
+  "CMakeFiles/bench_e13_scalability.dir/bench/bench_e13_scalability.cpp.o.d"
+  "bench/bench_e13_scalability"
+  "bench/bench_e13_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_geometric.dir/bench/bench_e2_geometric.cpp.o"
+  "CMakeFiles/bench_e2_geometric.dir/bench/bench_e2_geometric.cpp.o.d"
+  "bench/bench_e2_geometric"
+  "bench/bench_e2_geometric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_lpachira.dir/bench/bench_e3_lpachira.cpp.o"
+  "CMakeFiles/bench_e3_lpachira.dir/bench/bench_e3_lpachira.cpp.o.d"
+  "bench/bench_e3_lpachira"
+  "bench/bench_e3_lpachira.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_lpachira.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

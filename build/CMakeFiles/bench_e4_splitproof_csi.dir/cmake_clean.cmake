@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_splitproof_csi.dir/bench/bench_e4_splitproof_csi.cpp.o"
+  "CMakeFiles/bench_e4_splitproof_csi.dir/bench/bench_e4_splitproof_csi.cpp.o.d"
+  "bench/bench_e4_splitproof_csi"
+  "bench/bench_e4_splitproof_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_splitproof_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

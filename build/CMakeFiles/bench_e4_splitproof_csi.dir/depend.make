@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_splitproof_csi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_impossibility.dir/bench/bench_e5_impossibility.cpp.o"
+  "CMakeFiles/bench_e5_impossibility.dir/bench/bench_e5_impossibility.cpp.o.d"
+  "bench/bench_e5_impossibility"
+  "bench/bench_e5_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

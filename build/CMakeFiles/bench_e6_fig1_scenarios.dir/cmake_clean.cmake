@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_fig1_scenarios.dir/bench/bench_e6_fig1_scenarios.cpp.o"
+  "CMakeFiles/bench_e6_fig1_scenarios.dir/bench/bench_e6_fig1_scenarios.cpp.o.d"
+  "bench/bench_e6_fig1_scenarios"
+  "bench/bench_e6_fig1_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_fig1_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

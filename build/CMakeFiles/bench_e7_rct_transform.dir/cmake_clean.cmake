@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_rct_transform.dir/bench/bench_e7_rct_transform.cpp.o"
+  "CMakeFiles/bench_e7_rct_transform.dir/bench/bench_e7_rct_transform.cpp.o.d"
+  "bench/bench_e7_rct_transform"
+  "bench/bench_e7_rct_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_rct_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

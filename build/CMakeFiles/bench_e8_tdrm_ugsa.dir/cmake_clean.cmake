@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_tdrm_ugsa.dir/bench/bench_e8_tdrm_ugsa.cpp.o"
+  "CMakeFiles/bench_e8_tdrm_ugsa.dir/bench/bench_e8_tdrm_ugsa.cpp.o.d"
+  "bench/bench_e8_tdrm_ugsa"
+  "bench/bench_e8_tdrm_ugsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_tdrm_ugsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

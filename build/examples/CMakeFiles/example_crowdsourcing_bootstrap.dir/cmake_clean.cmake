@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crowdsourcing_bootstrap.dir/crowdsourcing_bootstrap.cpp.o"
+  "CMakeFiles/example_crowdsourcing_bootstrap.dir/crowdsourcing_bootstrap.cpp.o.d"
+  "example_crowdsourcing_bootstrap"
+  "example_crowdsourcing_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crowdsourcing_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

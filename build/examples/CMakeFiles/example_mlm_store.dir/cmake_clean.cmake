@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mlm_store.dir/mlm_store.cpp.o"
+  "CMakeFiles/example_mlm_store.dir/mlm_store.cpp.o.d"
+  "example_mlm_store"
+  "example_mlm_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mlm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_property_audit.dir/property_audit.cpp.o"
+  "CMakeFiles/example_property_audit.dir/property_audit.cpp.o.d"
+  "example_property_audit"
+  "example_property_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_property_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

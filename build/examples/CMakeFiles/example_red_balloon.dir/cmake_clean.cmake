@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_red_balloon.dir/red_balloon.cpp.o"
+  "CMakeFiles/example_red_balloon.dir/red_balloon.cpp.o.d"
+  "example_red_balloon"
+  "example_red_balloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_red_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reward_server.dir/reward_server.cpp.o"
+  "CMakeFiles/example_reward_server.dir/reward_server.cpp.o.d"
+  "example_reward_server"
+  "example_reward_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reward_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

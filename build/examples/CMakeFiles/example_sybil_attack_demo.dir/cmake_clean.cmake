@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sybil_attack_demo.dir/sybil_attack_demo.cpp.o"
+  "CMakeFiles/example_sybil_attack_demo.dir/sybil_attack_demo.cpp.o.d"
+  "example_sybil_attack_demo"
+  "example_sybil_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sybil_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

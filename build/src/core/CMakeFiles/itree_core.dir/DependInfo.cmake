@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cdrm.cpp" "src/core/CMakeFiles/itree_core.dir/cdrm.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/cdrm.cpp.o.d"
+  "/root/repo/src/core/claims.cpp" "src/core/CMakeFiles/itree_core.dir/claims.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/claims.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/itree_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/geometric.cpp" "src/core/CMakeFiles/itree_core.dir/geometric.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/geometric.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/itree_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/l_transform.cpp" "src/core/CMakeFiles/itree_core.dir/l_transform.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/l_transform.cpp.o.d"
+  "/root/repo/src/core/mechanism.cpp" "src/core/CMakeFiles/itree_core.dir/mechanism.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/mechanism.cpp.o.d"
+  "/root/repo/src/core/normalized.cpp" "src/core/CMakeFiles/itree_core.dir/normalized.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/normalized.cpp.o.d"
+  "/root/repo/src/core/rct.cpp" "src/core/CMakeFiles/itree_core.dir/rct.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/rct.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/itree_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/split_proof.cpp" "src/core/CMakeFiles/itree_core.dir/split_proof.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/split_proof.cpp.o.d"
+  "/root/repo/src/core/tdrm.cpp" "src/core/CMakeFiles/itree_core.dir/tdrm.cpp.o" "gcc" "src/core/CMakeFiles/itree_core.dir/tdrm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/itree_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/lottery/CMakeFiles/itree_lottery.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_core.dir/cdrm.cpp.o"
+  "CMakeFiles/itree_core.dir/cdrm.cpp.o.d"
+  "CMakeFiles/itree_core.dir/claims.cpp.o"
+  "CMakeFiles/itree_core.dir/claims.cpp.o.d"
+  "CMakeFiles/itree_core.dir/factory.cpp.o"
+  "CMakeFiles/itree_core.dir/factory.cpp.o.d"
+  "CMakeFiles/itree_core.dir/geometric.cpp.o"
+  "CMakeFiles/itree_core.dir/geometric.cpp.o.d"
+  "CMakeFiles/itree_core.dir/incremental.cpp.o"
+  "CMakeFiles/itree_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/itree_core.dir/l_transform.cpp.o"
+  "CMakeFiles/itree_core.dir/l_transform.cpp.o.d"
+  "CMakeFiles/itree_core.dir/mechanism.cpp.o"
+  "CMakeFiles/itree_core.dir/mechanism.cpp.o.d"
+  "CMakeFiles/itree_core.dir/normalized.cpp.o"
+  "CMakeFiles/itree_core.dir/normalized.cpp.o.d"
+  "CMakeFiles/itree_core.dir/rct.cpp.o"
+  "CMakeFiles/itree_core.dir/rct.cpp.o.d"
+  "CMakeFiles/itree_core.dir/registry.cpp.o"
+  "CMakeFiles/itree_core.dir/registry.cpp.o.d"
+  "CMakeFiles/itree_core.dir/split_proof.cpp.o"
+  "CMakeFiles/itree_core.dir/split_proof.cpp.o.d"
+  "CMakeFiles/itree_core.dir/tdrm.cpp.o"
+  "CMakeFiles/itree_core.dir/tdrm.cpp.o.d"
+  "libitree_core.a"
+  "libitree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/bigint.cpp" "src/exact/CMakeFiles/itree_exact.dir/bigint.cpp.o" "gcc" "src/exact/CMakeFiles/itree_exact.dir/bigint.cpp.o.d"
+  "/root/repo/src/exact/exact_rewards.cpp" "src/exact/CMakeFiles/itree_exact.dir/exact_rewards.cpp.o" "gcc" "src/exact/CMakeFiles/itree_exact.dir/exact_rewards.cpp.o.d"
+  "/root/repo/src/exact/rational.cpp" "src/exact/CMakeFiles/itree_exact.dir/rational.cpp.o" "gcc" "src/exact/CMakeFiles/itree_exact.dir/rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/itree_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_exact.dir/bigint.cpp.o"
+  "CMakeFiles/itree_exact.dir/bigint.cpp.o.d"
+  "CMakeFiles/itree_exact.dir/exact_rewards.cpp.o"
+  "CMakeFiles/itree_exact.dir/exact_rewards.cpp.o.d"
+  "CMakeFiles/itree_exact.dir/rational.cpp.o"
+  "CMakeFiles/itree_exact.dir/rational.cpp.o.d"
+  "libitree_exact.a"
+  "libitree_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_lottery.dir/drawing.cpp.o"
+  "CMakeFiles/itree_lottery.dir/drawing.cpp.o.d"
+  "CMakeFiles/itree_lottery.dir/lottree_properties.cpp.o"
+  "CMakeFiles/itree_lottery.dir/lottree_properties.cpp.o.d"
+  "CMakeFiles/itree_lottery.dir/luxor.cpp.o"
+  "CMakeFiles/itree_lottery.dir/luxor.cpp.o.d"
+  "CMakeFiles/itree_lottery.dir/pachira.cpp.o"
+  "CMakeFiles/itree_lottery.dir/pachira.cpp.o.d"
+  "libitree_lottery.a"
+  "libitree_lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

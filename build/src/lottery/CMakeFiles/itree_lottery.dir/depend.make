@@ -1,0 +1,2 @@
+# Empty dependencies file for itree_lottery.
+# This may be replaced when dependencies are built.

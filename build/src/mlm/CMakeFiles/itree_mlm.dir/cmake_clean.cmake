@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_mlm.dir/campaign.cpp.o"
+  "CMakeFiles/itree_mlm.dir/campaign.cpp.o.d"
+  "CMakeFiles/itree_mlm.dir/settlement.cpp.o"
+  "CMakeFiles/itree_mlm.dir/settlement.cpp.o.d"
+  "libitree_mlm.a"
+  "libitree_mlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_mlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

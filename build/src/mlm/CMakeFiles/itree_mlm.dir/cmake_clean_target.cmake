@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libitree_mlm.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/properties/basic_checks.cpp" "src/properties/CMakeFiles/itree_properties.dir/basic_checks.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/basic_checks.cpp.o.d"
+  "/root/repo/src/properties/bounds.cpp" "src/properties/CMakeFiles/itree_properties.dir/bounds.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/bounds.cpp.o.d"
+  "/root/repo/src/properties/cdrm_validation.cpp" "src/properties/CMakeFiles/itree_properties.dir/cdrm_validation.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/cdrm_validation.cpp.o.d"
+  "/root/repo/src/properties/corpus.cpp" "src/properties/CMakeFiles/itree_properties.dir/corpus.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/corpus.cpp.o.d"
+  "/root/repo/src/properties/frontier.cpp" "src/properties/CMakeFiles/itree_properties.dir/frontier.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/frontier.cpp.o.d"
+  "/root/repo/src/properties/impossibility.cpp" "src/properties/CMakeFiles/itree_properties.dir/impossibility.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/impossibility.cpp.o.d"
+  "/root/repo/src/properties/matrix.cpp" "src/properties/CMakeFiles/itree_properties.dir/matrix.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/matrix.cpp.o.d"
+  "/root/repo/src/properties/monotonicity.cpp" "src/properties/CMakeFiles/itree_properties.dir/monotonicity.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/monotonicity.cpp.o.d"
+  "/root/repo/src/properties/opportunity_checks.cpp" "src/properties/CMakeFiles/itree_properties.dir/opportunity_checks.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/opportunity_checks.cpp.o.d"
+  "/root/repo/src/properties/report.cpp" "src/properties/CMakeFiles/itree_properties.dir/report.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/report.cpp.o.d"
+  "/root/repo/src/properties/sequence_check.cpp" "src/properties/CMakeFiles/itree_properties.dir/sequence_check.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/sequence_check.cpp.o.d"
+  "/root/repo/src/properties/sybil_checks.cpp" "src/properties/CMakeFiles/itree_properties.dir/sybil_checks.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/sybil_checks.cpp.o.d"
+  "/root/repo/src/properties/sybil_search.cpp" "src/properties/CMakeFiles/itree_properties.dir/sybil_search.cpp.o" "gcc" "src/properties/CMakeFiles/itree_properties.dir/sybil_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/itree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lottery/CMakeFiles/itree_lottery.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/itree_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_properties.dir/basic_checks.cpp.o"
+  "CMakeFiles/itree_properties.dir/basic_checks.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/bounds.cpp.o"
+  "CMakeFiles/itree_properties.dir/bounds.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/cdrm_validation.cpp.o"
+  "CMakeFiles/itree_properties.dir/cdrm_validation.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/corpus.cpp.o"
+  "CMakeFiles/itree_properties.dir/corpus.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/frontier.cpp.o"
+  "CMakeFiles/itree_properties.dir/frontier.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/impossibility.cpp.o"
+  "CMakeFiles/itree_properties.dir/impossibility.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/matrix.cpp.o"
+  "CMakeFiles/itree_properties.dir/matrix.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/monotonicity.cpp.o"
+  "CMakeFiles/itree_properties.dir/monotonicity.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/opportunity_checks.cpp.o"
+  "CMakeFiles/itree_properties.dir/opportunity_checks.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/report.cpp.o"
+  "CMakeFiles/itree_properties.dir/report.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/sequence_check.cpp.o"
+  "CMakeFiles/itree_properties.dir/sequence_check.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/sybil_checks.cpp.o"
+  "CMakeFiles/itree_properties.dir/sybil_checks.cpp.o.d"
+  "CMakeFiles/itree_properties.dir/sybil_search.cpp.o"
+  "CMakeFiles/itree_properties.dir/sybil_search.cpp.o.d"
+  "libitree_properties.a"
+  "libitree_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

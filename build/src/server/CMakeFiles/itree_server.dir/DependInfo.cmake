@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/event_log.cpp" "src/server/CMakeFiles/itree_server.dir/event_log.cpp.o" "gcc" "src/server/CMakeFiles/itree_server.dir/event_log.cpp.o.d"
+  "/root/repo/src/server/reward_service.cpp" "src/server/CMakeFiles/itree_server.dir/reward_service.cpp.o" "gcc" "src/server/CMakeFiles/itree_server.dir/reward_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/itree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lottery/CMakeFiles/itree_lottery.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/itree_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

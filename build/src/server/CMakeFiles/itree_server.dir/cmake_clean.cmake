@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_server.dir/event_log.cpp.o"
+  "CMakeFiles/itree_server.dir/event_log.cpp.o.d"
+  "CMakeFiles/itree_server.dir/reward_service.cpp.o"
+  "CMakeFiles/itree_server.dir/reward_service.cpp.o.d"
+  "libitree_server.a"
+  "libitree_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

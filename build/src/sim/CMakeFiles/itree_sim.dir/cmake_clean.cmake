@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_sim.dir/adversary.cpp.o"
+  "CMakeFiles/itree_sim.dir/adversary.cpp.o.d"
+  "CMakeFiles/itree_sim.dir/engine.cpp.o"
+  "CMakeFiles/itree_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/itree_sim.dir/network.cpp.o"
+  "CMakeFiles/itree_sim.dir/network.cpp.o.d"
+  "CMakeFiles/itree_sim.dir/scenarios.cpp.o"
+  "CMakeFiles/itree_sim.dir/scenarios.cpp.o.d"
+  "libitree_sim.a"
+  "libitree_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/generators.cpp" "src/tree/CMakeFiles/itree_tree.dir/generators.cpp.o" "gcc" "src/tree/CMakeFiles/itree_tree.dir/generators.cpp.o.d"
+  "/root/repo/src/tree/io.cpp" "src/tree/CMakeFiles/itree_tree.dir/io.cpp.o" "gcc" "src/tree/CMakeFiles/itree_tree.dir/io.cpp.o.d"
+  "/root/repo/src/tree/metrics.cpp" "src/tree/CMakeFiles/itree_tree.dir/metrics.cpp.o" "gcc" "src/tree/CMakeFiles/itree_tree.dir/metrics.cpp.o.d"
+  "/root/repo/src/tree/subtree_sums.cpp" "src/tree/CMakeFiles/itree_tree.dir/subtree_sums.cpp.o" "gcc" "src/tree/CMakeFiles/itree_tree.dir/subtree_sums.cpp.o.d"
+  "/root/repo/src/tree/tree.cpp" "src/tree/CMakeFiles/itree_tree.dir/tree.cpp.o" "gcc" "src/tree/CMakeFiles/itree_tree.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/itree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_tree.dir/generators.cpp.o"
+  "CMakeFiles/itree_tree.dir/generators.cpp.o.d"
+  "CMakeFiles/itree_tree.dir/io.cpp.o"
+  "CMakeFiles/itree_tree.dir/io.cpp.o.d"
+  "CMakeFiles/itree_tree.dir/metrics.cpp.o"
+  "CMakeFiles/itree_tree.dir/metrics.cpp.o.d"
+  "CMakeFiles/itree_tree.dir/subtree_sums.cpp.o"
+  "CMakeFiles/itree_tree.dir/subtree_sums.cpp.o.d"
+  "CMakeFiles/itree_tree.dir/tree.cpp.o"
+  "CMakeFiles/itree_tree.dir/tree.cpp.o.d"
+  "libitree_tree.a"
+  "libitree_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree_util.dir/args.cpp.o"
+  "CMakeFiles/itree_util.dir/args.cpp.o.d"
+  "CMakeFiles/itree_util.dir/csv.cpp.o"
+  "CMakeFiles/itree_util.dir/csv.cpp.o.d"
+  "CMakeFiles/itree_util.dir/rng.cpp.o"
+  "CMakeFiles/itree_util.dir/rng.cpp.o.d"
+  "CMakeFiles/itree_util.dir/stats.cpp.o"
+  "CMakeFiles/itree_util.dir/stats.cpp.o.d"
+  "CMakeFiles/itree_util.dir/strings.cpp.o"
+  "CMakeFiles/itree_util.dir/strings.cpp.o.d"
+  "CMakeFiles/itree_util.dir/table.cpp.o"
+  "CMakeFiles/itree_util.dir/table.cpp.o.d"
+  "libitree_util.a"
+  "libitree_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

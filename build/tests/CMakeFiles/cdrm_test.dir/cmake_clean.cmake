@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdrm_test.dir/cdrm_test.cpp.o"
+  "CMakeFiles/cdrm_test.dir/cdrm_test.cpp.o.d"
+  "cdrm_test"
+  "cdrm_test.pdb"
+  "cdrm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drawing_test.dir/drawing_test.cpp.o"
+  "CMakeFiles/drawing_test.dir/drawing_test.cpp.o.d"
+  "drawing_test"
+  "drawing_test.pdb"
+  "drawing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drawing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

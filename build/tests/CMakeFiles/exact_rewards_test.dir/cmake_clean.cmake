@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_rewards_test.dir/exact_rewards_test.cpp.o"
+  "CMakeFiles/exact_rewards_test.dir/exact_rewards_test.cpp.o.d"
+  "exact_rewards_test"
+  "exact_rewards_test.pdb"
+  "exact_rewards_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_rewards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

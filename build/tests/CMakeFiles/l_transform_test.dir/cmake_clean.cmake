@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l_transform_test.dir/l_transform_test.cpp.o"
+  "CMakeFiles/l_transform_test.dir/l_transform_test.cpp.o.d"
+  "l_transform_test"
+  "l_transform_test.pdb"
+  "l_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

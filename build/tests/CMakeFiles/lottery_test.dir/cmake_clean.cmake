@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lottery_test.dir/lottery_test.cpp.o"
+  "CMakeFiles/lottery_test.dir/lottery_test.cpp.o.d"
+  "lottery_test"
+  "lottery_test.pdb"
+  "lottery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lottery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

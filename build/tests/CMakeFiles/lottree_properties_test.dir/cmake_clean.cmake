@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lottree_properties_test.dir/lottree_properties_test.cpp.o"
+  "CMakeFiles/lottree_properties_test.dir/lottree_properties_test.cpp.o.d"
+  "lottree_properties_test"
+  "lottree_properties_test.pdb"
+  "lottree_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lottree_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotonicity_test.dir/monotonicity_test.cpp.o"
+  "CMakeFiles/monotonicity_test.dir/monotonicity_test.cpp.o.d"
+  "monotonicity_test"
+  "monotonicity_test.pdb"
+  "monotonicity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotonicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalized_test.dir/normalized_test.cpp.o"
+  "CMakeFiles/normalized_test.dir/normalized_test.cpp.o.d"
+  "normalized_test"
+  "normalized_test.pdb"
+  "normalized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

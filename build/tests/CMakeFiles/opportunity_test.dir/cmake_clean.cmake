@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opportunity_test.dir/opportunity_test.cpp.o"
+  "CMakeFiles/opportunity_test.dir/opportunity_test.cpp.o.d"
+  "opportunity_test"
+  "opportunity_test.pdb"
+  "opportunity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opportunity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

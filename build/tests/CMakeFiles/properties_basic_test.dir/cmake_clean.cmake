@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/properties_basic_test.dir/properties_basic_test.cpp.o"
+  "CMakeFiles/properties_basic_test.dir/properties_basic_test.cpp.o.d"
+  "properties_basic_test"
+  "properties_basic_test.pdb"
+  "properties_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/properties_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_sweep_test.dir/rct_sweep_test.cpp.o"
+  "CMakeFiles/rct_sweep_test.dir/rct_sweep_test.cpp.o.d"
+  "rct_sweep_test"
+  "rct_sweep_test.pdb"
+  "rct_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

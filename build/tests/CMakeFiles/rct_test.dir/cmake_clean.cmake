@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_test.dir/rct_test.cpp.o"
+  "CMakeFiles/rct_test.dir/rct_test.cpp.o.d"
+  "rct_test"
+  "rct_test.pdb"
+  "rct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

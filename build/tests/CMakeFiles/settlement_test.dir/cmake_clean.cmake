@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settlement_test.dir/settlement_test.cpp.o"
+  "CMakeFiles/settlement_test.dir/settlement_test.cpp.o.d"
+  "settlement_test"
+  "settlement_test.pdb"
+  "settlement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settlement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtree_sums_test.dir/subtree_sums_test.cpp.o"
+  "CMakeFiles/subtree_sums_test.dir/subtree_sums_test.cpp.o.d"
+  "subtree_sums_test"
+  "subtree_sums_test.pdb"
+  "subtree_sums_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtree_sums_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

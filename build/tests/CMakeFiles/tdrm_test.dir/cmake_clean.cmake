@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdrm_test.dir/tdrm_test.cpp.o"
+  "CMakeFiles/tdrm_test.dir/tdrm_test.cpp.o.d"
+  "tdrm_test"
+  "tdrm_test.pdb"
+  "tdrm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itree.dir/itree_main.cpp.o"
+  "CMakeFiles/itree.dir/itree_main.cpp.o.d"
+  "itree"
+  "itree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
