@@ -3,6 +3,7 @@
 // reward computation tree (cost), but a *smaller* quantum-fill gain in
 // the Sec. 5 UGSA counterexample (exposure). The bench quantifies both
 // sides of that trade plus the USA tie margin.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
@@ -11,7 +12,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("a1_tdrm_mu_ablation", &argc, argv);
   using namespace itree;
 
   const BudgetParams budget = default_budget();
@@ -57,5 +59,5 @@ int main() {
             << "\nThe UGSA exposure scales linearly with mu (the gain is a "
                "quantum-fill effect),\nwhile the RCT cost scales with 1/mu: "
                "operators pick mu to price that trade.\n";
-  return 0;
+  return harness.finish();
 }

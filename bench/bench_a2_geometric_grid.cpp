@@ -3,6 +3,7 @@
 // exposure (the chain-attack gain b*C*a/(1-a) grows with a). Every
 // admissible parameterization shares Theorem 1's profile; the grid shows
 // how much each failure costs quantitatively.
+#include "bench_harness.h"
 #include <cmath>
 #include <iostream>
 
@@ -12,7 +13,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("a2_geometric_grid", &argc, argv);
   using namespace itree;
 
   const BudgetParams budget = default_budget();
@@ -52,5 +54,5 @@ int main() {
             << "\nLarger a pays deeper uplines (stronger continuing "
                "solicitation pull) but both\nthe Sybil gain and the budget "
                "pressure rise; b is capped at (1-a)*Phi throughout.\n";
-  return 0;
+  return harness.finish();
 }

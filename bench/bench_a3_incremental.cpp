@@ -3,6 +3,7 @@
 // naive batch recomputation per event. The paper's model is inherently
 // online (joins and purchases arrive one at a time); this bench measures
 // what the O(depth) fast path buys a real service.
+#include "bench_harness.h"
 #include <chrono>
 #include <iostream>
 
@@ -93,7 +94,8 @@ StreamResult run_stream(const Mechanism& mechanism, std::size_t events,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("a3_incremental", &argc, argv);
   using namespace itree;
 
   std::cout << "=== A3: incremental vs batch event processing ===\n\n"
@@ -121,5 +123,5 @@ int main() {
             << "\nBatch is O(n) per event (O(n^2) per deployment); the "
                "incremental path is O(depth).\nAudit divergence confirms "
                "the fast path pays exactly what the mechanism defines.\n";
-  return 0;
+  return harness.finish();
 }

@@ -4,12 +4,14 @@
 // matrix, then checks (1) Theorem 3 holds empirically (no measured set
 // contains SL+PO+UGSA) and (2) which mechanisms sit on the maximal
 // frontier.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
 #include "properties/frontier.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("a5_frontier", &argc, argv);
   using namespace itree;
 
   std::cout << "=== A5: property frontier / maximality ===\n\n";
@@ -19,5 +21,5 @@ int main() {
             << "Paper claim: TDRM and CDRM are maximal (each gives up only "
                "the one property\nTheorem 3 forces). Mechanisms dominated "
                "by another offer no reason to deploy.\n";
-  return 0;
+  return harness.finish();
 }

@@ -2,6 +2,7 @@
 // mechanisms, on a join-only deployment and on one with repeat
 // purchases. Prices the monotonicity findings (L-Pachira's SL failure;
 // TDRM's purchase re-chaining) in money terms.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
@@ -54,7 +55,8 @@ RiskRow run_deployment(const Mechanism& mechanism, bool with_purchases,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("a6_settlement", &argc, argv);
   using namespace itree;
 
   std::cout << "=== A6: settlement overpayment risk ===\n\n"
@@ -82,5 +84,5 @@ int main() {
          "only L-Pachira\noverpays. With purchases TDRM joins it (RCT "
          "re-chaining — see EXPERIMENTS.md);\nthe holdback buffer absorbs "
          "most of both.\n";
-  return 0;
+  return harness.finish();
 }

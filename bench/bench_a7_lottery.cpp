@@ -3,6 +3,7 @@
 // lottree shares, and (2) the Section 4.2 L-transform pays exactly the
 // prize-pool-scaled expectation — tying the paper's linear-budget model
 // back to the fixed-prize model it generalizes.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/l_transform.h"
@@ -11,7 +12,8 @@
 #include "tree/generators.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("a7_lottery", &argc, argv);
   using namespace itree;
 
   Rng rng(2013);
@@ -68,5 +70,5 @@ int main() {
   std::cout << "The L-reward column equals pool x share exactly: the "
                "Sec. 4.2 transform is the\nlottery's expectation with a "
                "prize pool growing linearly in C(T).\n";
-  return 0;
+  return harness.finish();
 }

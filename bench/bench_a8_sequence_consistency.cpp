@@ -3,6 +3,7 @@
 // final states. This bench runs both against every mechanism and prints
 // the verdicts side by side — they must agree on every mechanism (the
 // sequence checker additionally certifies every prefix).
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
@@ -11,7 +12,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("a8_sequence_consistency", &argc, argv);
   using namespace itree;
 
   std::cout << "=== A8: one-shot vs join-sequence Sybil checks ===\n\n";
@@ -36,5 +38,5 @@ int main() {
                       "sequence checker additionally\ncertifies the "
                       "property at every prefix of every join stream.\n"
                     : "\n!! Semantics disagree somewhere — investigate.\n");
-  return all_agree ? 0 : 1;
+  return all_agree ? harness.finish() : 1;
 }

@@ -2,13 +2,15 @@
 // mechanisms spreading over small-world vs scale-free social graphs.
 // Adoption depends on the interaction of incentive pull (the CSI margin)
 // with network structure (hubs vs local clustering).
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
 #include "sim/network.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("a9_network", &argc, argv);
   using namespace itree;
 
   constexpr std::size_t kPopulation = 300;
@@ -54,5 +56,5 @@ int main() {
                "cascade (high-degree recruiters meet many\nunjoined "
                "contacts), while ring-like small worlds throttle it to "
                "local frontiers.\n";
-  return 0;
+  return harness.finish();
 }

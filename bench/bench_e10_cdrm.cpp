@@ -2,6 +2,7 @@
 // properties (i)-(iv) of "successfully contribution-deterministic"
 // functions for both Algorithm 5 instances, then demonstrates the URO
 // trade-off (rewards capped below Phi*x) and full Sybil immunity.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/cdrm.h"
@@ -11,7 +12,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e10_cdrm", &argc, argv);
   using namespace itree;
 
   const BudgetParams budget = default_budget();
@@ -75,5 +77,5 @@ int main() {
               << "\nEvery attack loses or ties: UGSA holds (Theorem 5); the "
                  "price was URO/PO.\n";
   }
-  return 0;
+  return harness.finish();
 }

@@ -3,6 +3,7 @@
 // its tail — exactly the shape the mechanism's own RCT gives every
 // participant. The bench enumerates partition shapes for a concrete
 // scenario and ranks them.
+#include "bench_harness.h"
 #include <algorithm>
 #include <iostream>
 
@@ -13,7 +14,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e11_eps_chain", &argc, argv);
   using namespace itree;
 
   const BudgetParams budget = default_budget();
@@ -92,5 +94,5 @@ int main() {
                "mu-quantized\nchains with subtrees on the tail, i.e. the "
                "eps-chain TDRM builds internally.\nNo partition beats it "
                "(USA), matching the appendix's optimality lemmas.\n";
-  return 0;
+  return harness.finish();
 }

@@ -3,6 +3,7 @@
 // deployment simulator under every mechanism, on a clean population and
 // on a 30% Sybil-infested one, and compare mobilization speed, seller
 // economics and fairness.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
@@ -46,7 +47,8 @@ void run_population(const char* title, const itree::SimulationConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e12_deployment_sim", &argc, argv);
   using namespace itree;
 
   std::cout << "=== E12: deployment simulation (40 epochs, seeded) ===\n\n";
@@ -61,5 +63,5 @@ int main() {
       << "Reading: higher mean marginal reward = stronger CSI pull = faster "
          "growth.\nAll payout ratios stay within each mechanism's Phi — the "
          "budget constraint\nholds under dynamics, not just statically.\n";
-  return 0;
+  return harness.finish();
 }

@@ -2,10 +2,15 @@
 // mechanism (google-benchmark). All mechanisms run in O(n) (TDRM in
 // O(total RCT chain length)); this bench pins that down across tree
 // sizes and shapes.
+//
+// Flags: --threads N and --json <path> (wall time + a reward-total
+// digest per mechanism; google-benchmark's own flags pass through).
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "core/registry.h"
 #include "tree/generators.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -77,4 +82,20 @@ BENCHMARK(BM_TdrmDeepChain)->Arg(100)->Arg(10000)->Arg(1000000);
 BENCHMARK(BM_CdrmReciprocal)->Arg(100)->Arg(10000)->Arg(1000000);
 BENCHMARK(BM_CdrmLogarithmic)->Arg(100)->Arg(10000)->Arg(1000000);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e13_scalability", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Determinism probe for the trajectory: total reward of every
+  // mechanism on a fixed 10k-node tree must never drift across PRs.
+  const Tree probe = make_tree(10000, 0);
+  for (const itree::MechanismPtr& mechanism :
+       itree::all_feasible_mechanisms()) {
+    harness.json().add_digest(
+        mechanism->display_name(),
+        itree::compact_number(
+            itree::total_reward(mechanism->compute(probe)), 9));
+  }
+  return harness.finish();
+}

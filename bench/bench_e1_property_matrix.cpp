@@ -4,13 +4,19 @@
 // Prints the measured mechanisms x properties matrix next to the paper's
 // claims; cells marked '*' deviate from the claim and are explained in
 // EXPERIMENTS.md.
+//
+// Flags: --threads N (matrix cells fan out over the pool; the matrix is
+// bit-identical at every thread count) and --json <path> (wall time +
+// matrix/evidence digests for the perf trajectory).
 #include <iostream>
 
+#include "bench_harness.h"
 #include "core/registry.h"
 #include "properties/matrix.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itree;
+  BenchHarness harness("e1_property_matrix", &argc, argv);
 
   std::cout << "=== E1: property matrix (Theorems 1, 2, 4, 5; Sec. 4.3) "
                "===\n\n";
@@ -23,8 +29,19 @@ int main() {
                "  CDRM-1 / CDRM-2     : all except URO (and PO) (Theorem "
                "5)\n\n";
 
+  const double matrix_start = monotonic_seconds();
   const std::vector<MatrixRow> rows = run_matrix(all_feasible_mechanisms());
-  std::cout << "Measured verdicts:\n" << render_matrix(rows) << '\n';
-  std::cout << "Violation / deviation evidence:\n" << render_evidence(rows);
-  return 0;
+  harness.json().add_metric("matrix_seconds",
+                            monotonic_seconds() - matrix_start);
+
+  const std::string matrix = render_matrix(rows);
+  const std::string evidence = render_evidence(rows);
+  std::cout << "Measured verdicts:\n" << matrix << '\n';
+  std::cout << "Violation / deviation evidence:\n" << evidence;
+
+  harness.json().add_metric("mechanisms",
+                            static_cast<double>(rows.size()));
+  harness.json().add_digest("matrix", matrix);
+  harness.json().add_digest("evidence", evidence);
+  return harness.finish();
 }

@@ -2,6 +2,7 @@
 // except USA/UGSA. This bench sweeps the explicit chain-split attack
 // (the proof's counterexample) and shows how the Sybil gain scales with
 // the number of forged identities and the decay parameter a.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/geometric.h"
@@ -9,7 +10,8 @@
 #include "tree/generators.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e2_geometric", &argc, argv);
   using namespace itree;
 
   std::cout << "=== E2: Geometric Mechanism — Theorem 1 ===\n\n"
@@ -41,5 +43,5 @@ int main() {
             << "\nEvery row grows monotonically in k: the classic Sybil "
                "attack the paper's\nnew mechanisms are built to prevent. "
                "The gain approaches b*C*a/(1-a) as k grows.\n";
-  return 0;
+  return harness.finish();
 }

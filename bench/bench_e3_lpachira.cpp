@@ -6,6 +6,7 @@
 //   (3) the UGSA violation: over a heavy descendant subtree the marginal
 //       reward per unit of own contribution exceeds 1;
 //   (4) the measured URO deviation at k = 1 (reward cap Phi*C(u)*pi'(1)).
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/l_transform.h"
@@ -14,7 +15,8 @@
 #include "tree/io.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e3_lpachira", &argc, argv);
   using namespace itree;
 
   const BudgetParams budget = default_budget();
@@ -94,5 +96,5 @@ int main() {
                  "URO's literal for-all-k quantifier fails at k=1\n"
               << table.to_string();
   }
-  return 0;
+  return harness.finish();
 }

@@ -7,6 +7,7 @@
 // recruit; it also shows the generalized-model breakdown documented in
 // DESIGN.md: cheap Sybil identities assemble the binary subtree the depth
 // bonus pays for.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
@@ -15,7 +16,8 @@
 #include "tree/io.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e4_splitproof_csi", &argc, argv);
   using namespace itree;
 
   const SplitProofMechanism mechanism(default_budget(), 0.1, 0.35);
@@ -75,5 +77,5 @@ int main() {
                  "paper's point that single-item mechanisms do not "
                  "transfer.\n";
   }
-  return 0;
+  return harness.finish();
 }

@@ -3,6 +3,7 @@
 // mechanism: wherever SL and PO hold, the stacked-Sybil rejoin gains
 // exactly P(v*) > 0 of profit — a UGSA violation; mechanisms escape only
 // by lacking one precondition.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
@@ -10,7 +11,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e5_impossibility", &argc, argv);
   using namespace itree;
 
   std::cout << "=== E5: Theorem 3 impossibility construction (Fig. 2) "
@@ -51,5 +53,5 @@ int main() {
             << "\nAs Theorem 3 predicts: every SL+PO mechanism shows a "
                "strictly positive gain\n(gain == P(v*) exactly); CDRM "
                "escapes by giving up PO, L-Pachira by giving up SL.\n";
-  return 0;
+  return harness.finish();
 }

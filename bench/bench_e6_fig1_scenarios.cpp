@@ -2,6 +2,7 @@
 // 1, (middle) as two mutually-referring Sybil nodes with cost 1 each,
 // and (right) as a single node with cost 2. USA compares middle vs
 // right at equal cost; UGSA compares middle vs left with increased cost.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
@@ -9,7 +10,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e6_fig1_scenarios", &argc, argv);
   using namespace itree;
 
   // Fig. 1 places p under an existing solicitor s (C=1).
@@ -46,5 +48,5 @@ int main() {
             << "\nGeometric/L-Luxor fail the USA column (the middle split "
                "collects bubbled-up\nreward from itself); the paper's new "
                "mechanisms keep R_right >= R_middle.\n";
-  return 0;
+  return harness.finish();
 }

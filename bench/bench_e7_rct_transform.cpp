@@ -2,6 +2,7 @@
 // into TDRM's Reward Computation Tree T'. Prints the chain layout for
 // the figure's example, per-chain reward attribution, and transformation
 // statistics/throughput across mu values.
+#include "bench_harness.h"
 #include <chrono>
 #include <iostream>
 
@@ -12,7 +13,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e7_rct_transform", &argc, argv);
   using namespace itree;
 
   const BudgetParams budget = default_budget();
@@ -87,5 +89,5 @@ int main() {
             << stats.to_string()
             << "\nSmaller mu = finer linearization = larger T' (cost is "
                "linear in total chain length).\n";
-  return 0;
+  return harness.finish();
 }

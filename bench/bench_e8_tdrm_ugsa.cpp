@@ -4,6 +4,7 @@
 // family — u with C(u) = mu/2 and k children of contribution mu — over
 // k, showing the profit jump when u raises C(u) to mu, with the paper's
 // threshold k > 1/(a*b*lambda) marked.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/registry.h"
@@ -12,7 +13,8 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e8_tdrm_ugsa", &argc, argv);
   using namespace itree;
 
   const BudgetParams budget = default_budget();
@@ -68,5 +70,5 @@ int main() {
                  "reward, so profit rises with\ncontribution at every k — "
                  "the UGSA violation Theorem 4 concedes.\n";
   }
-  return 0;
+  return harness.finish();
 }

@@ -2,6 +2,7 @@
 // mechanism": its quadratic reward blows through the budget constraint
 // as contributions grow, while Algorithm 4 (TDRM, via the RCT) and every
 // other feasible mechanism stay under Phi*C(T) on every shape.
+#include "bench_harness.h"
 #include <iostream>
 
 #include "core/normalized.h"
@@ -9,7 +10,8 @@
 #include "tree/generators.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e9_budget", &argc, argv);
   using namespace itree;
 
   std::cout << "=== E9: budget utilization R(T) / (Phi*C(T)) ===\n"
@@ -64,5 +66,5 @@ int main() {
                "C(T)-dependent rescale, but measurement shows that breaks "
                "SL, CSI, USB and phi-RPC\n(the road Sec. 5 rejects); the "
                "RCT step of Algorithm 4 avoids both failure modes.\n";
-  return 0;
+  return harness.finish();
 }

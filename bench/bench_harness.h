@@ -1,0 +1,93 @@
+// Shared flag plumbing for the bench binaries: --threads N and
+// --json <path>.
+//
+// The harness strips the two flags from argv (so google-benchmark mains
+// can pass the remainder to benchmark::Initialize), applies the thread
+// count to the process-wide pool, starts the wall clock, and on finish()
+// writes {bench, threads, wall_seconds, metrics, digests} to the JSON
+// path — the BENCH_*.json perf-trajectory format that accumulates
+// across PRs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/bench_json.h"
+#include "util/parallel.h"
+
+namespace itree {
+
+class BenchHarness {
+ public:
+  /// Parses and removes --threads/--json (both `--flag value` and
+  /// `--flag=value` forms) from argv, leaving other flags in place.
+  BenchHarness(std::string name, int* argc, char** argv)
+      : json_(std::move(name)) {
+    int out = 0;
+    for (int in = 0; in < *argc; ++in) {
+      const std::string arg = argv[in];
+      std::string value;
+      if (take_flag(arg, "--threads", in, *argc, argv, &value)) {
+        char* end = nullptr;
+        threads_ = static_cast<std::size_t>(
+            std::strtoull(value.c_str(), &end, 10));
+        if (value.empty() || end == nullptr || *end != '\0') {
+          std::cerr << "--threads needs a non-negative integer, got '"
+                    << value << "'\n";
+          std::exit(2);
+        }
+        continue;
+      }
+      if (take_flag(arg, "--json", in, *argc, argv, &value)) {
+        json_path_ = value;
+        continue;
+      }
+      argv[out++] = argv[in];
+    }
+    *argc = out;
+    set_thread_count(threads_);  // 0 = hardware concurrency
+    json_.set_threads(thread_count());
+    start_ = monotonic_seconds();
+  }
+
+  BenchJson& json() { return json_; }
+
+  /// Records total wall time and writes the JSON file when --json was
+  /// given. Returns the process exit code.
+  int finish() {
+    json_.add_metric("wall_seconds", monotonic_seconds() - start_);
+    if (!json_path_.empty() && !json_.write(json_path_)) {
+      std::cerr << "cannot write " << json_path_ << '\n';
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  /// Matches `--flag value` / `--flag=value`; advances `in` when the
+  /// value was a separate argument.
+  static bool take_flag(const std::string& arg, const std::string& flag,
+                        int& in, int argc, char** argv, std::string* value) {
+    if (arg == flag) {
+      if (in + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      *value = argv[++in];
+      return true;
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+      *value = arg.substr(flag.size() + 1);
+      return true;
+    }
+    return false;
+  }
+
+  BenchJson json_;
+  std::string json_path_;
+  std::size_t threads_ = 0;
+  double start_ = 0.0;
+};
+
+}  // namespace itree

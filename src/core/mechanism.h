@@ -41,10 +41,16 @@ class Mechanism {
 
   /// Computes all rewards for the given referral tree. The result has
   /// one entry per node id; the imaginary root's entry is 0.
+  ///
+  /// Thread-safety contract: compute/reward_of are pure functions of
+  /// (parameters, tree) — implementations must not keep mutable state,
+  /// so one mechanism instance is safely callable from many threads
+  /// concurrently (the parallel matrix and attack search rely on this).
   virtual RewardVector compute(const Tree& tree) const = 0;
 
   /// Reward of a single participant. Default: full compute; mechanisms
-  /// with cheaper single-node paths may override.
+  /// with cheaper single-node paths may override. Same thread-safety
+  /// contract as compute().
   virtual double reward_of(const Tree& tree, NodeId u) const;
 
   /// The property subset the paper claims for this mechanism.

@@ -21,7 +21,6 @@ std::vector<CorpusTree> standard_corpus(const CorpusOptions& options) {
   corpus.push_back(
       {"fig3-example", parse_tree("(2.5 (1 (0.6)) (3.2 (1) (1)))")});
 
-  Rng rng(options.seed);
   struct Model {
     std::string label;
     ContributionSampler sampler;
@@ -34,17 +33,38 @@ std::vector<CorpusTree> standard_corpus(const CorpusOptions& options) {
       {"lognormal", capped_contribution(lognormal_contribution(0.0, 1.0), 12.0)},
       {"pareto", capped_contribution(pareto_contribution(0.5, 1.5), 12.0)},
   };
+  // The random section is generated across the thread pool; spec j's
+  // tree draws only from substream fork(j) of the corpus seed, so the
+  // corpus is identical at every thread count and adding a model never
+  // perturbs the trees of another.
+  struct Spec {
+    std::string label;
+    const ContributionSampler* sampler;
+    bool preferential;
+  };
+  std::vector<Spec> specs;
   for (const Model& model : models) {
     for (std::size_t i = 0; i < options.random_trees_per_model; ++i) {
-      corpus.push_back(
-          {"rrt-" + model.label + "-" + std::to_string(i),
-           random_recursive_tree(options.random_tree_size, model.sampler,
-                                 rng)});
-      corpus.push_back(
-          {"pa-" + model.label + "-" + std::to_string(i),
-           preferential_attachment_tree(options.random_tree_size,
-                                        model.sampler, rng)});
+      specs.push_back(
+          {"rrt-" + model.label + "-" + std::to_string(i), &model.sampler,
+           false});
+      specs.push_back(
+          {"pa-" + model.label + "-" + std::to_string(i), &model.sampler,
+           true});
     }
+  }
+  const std::vector<Tree> trees = generate_trees(
+      specs.size(),
+      [&](Rng& rng, std::size_t j) {
+        return specs[j].preferential
+                   ? preferential_attachment_tree(options.random_tree_size,
+                                                  *specs[j].sampler, rng)
+                   : random_recursive_tree(options.random_tree_size,
+                                           *specs[j].sampler, rng);
+      },
+      Rng(options.seed));
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    corpus.push_back({specs[j].label, trees[j]});
   }
   return corpus;
 }

@@ -5,43 +5,103 @@
 #include "properties/basic_checks.h"
 #include "properties/opportunity_checks.h"
 #include "properties/sybil_checks.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace itree {
 
+namespace {
+
+// The ten checkers, index-addressed so matrix cells (mechanism x check)
+// can fan out over the thread pool. Every checker derives its own
+// randomness from the options' seed, so a cell's report depends only on
+// (mechanism, corpus, options) — never on which thread runs it or in
+// which order: the matrix is bit-identical at every thread count.
+constexpr std::size_t kCheckCount = 10;
+
+PropertyReport run_check(std::size_t check_index, const Mechanism& mechanism,
+                         const std::vector<CorpusTree>& corpus,
+                         const MatrixOptions& options) {
+  const OpportunityOptions opportunity{.check = options.check};
+  switch (check_index) {
+    case 0:
+      return check_budget(mechanism, corpus, options.check);
+    case 1:
+      return check_cci(mechanism, corpus, options.check);
+    case 2:
+      return check_csi(mechanism, corpus, options.check);
+    case 3:
+      return check_rpc(mechanism, corpus, options.check);
+    case 4:
+      return check_po(mechanism, opportunity);
+    case 5:
+      return check_uro(mechanism, opportunity);
+    case 6:
+      return check_sl(mechanism, corpus, options.check);
+    case 7:
+      return check_usb(mechanism, corpus, options.check);
+    case 8:
+      return check_usa(mechanism, options.check, options.search);
+    default:
+      return check_ugsa(mechanism, options.check, options.search);
+  }
+}
+
+std::vector<MatrixRow> run_matrix_on_corpus(
+    const std::vector<MechanismPtr>& mechanisms,
+    const std::vector<CorpusTree>& corpus, const MatrixOptions& options) {
+  // One task per matrix cell. The expensive cells (the USA/UGSA attack
+  // searches) parallelize internally too when run alone; at matrix scale
+  // the cell fan-out already saturates the pool, and nested calls run
+  // inline on their worker (util/parallel.h).
+  const std::size_t cell_count = mechanisms.size() * kCheckCount;
+  std::vector<PropertyReport> reports = parallel_map<PropertyReport>(
+      cell_count,
+      [&](std::size_t cell) {
+        return run_check(cell % kCheckCount, *mechanisms[cell / kCheckCount],
+                         corpus, options);
+      },
+      ParallelOptions{.grain = 1});
+
+  std::vector<MatrixRow> rows;
+  rows.reserve(mechanisms.size());
+  for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+    MatrixRow row;
+    row.mechanism = mechanisms[m]->display_name();
+    row.claimed = mechanisms[m]->claimed_properties();
+    for (std::size_t c = 0; c < kCheckCount; ++c) {
+      PropertyReport& report = reports[m * kCheckCount + c];
+      row.measured[report.property] = std::move(report);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
 MatrixRow run_all_checks(const Mechanism& mechanism,
                          const MatrixOptions& options) {
+  const std::vector<CorpusTree> corpus = standard_corpus(options.corpus);
   MatrixRow row;
   row.mechanism = mechanism.display_name();
   row.claimed = mechanism.claimed_properties();
-
-  const std::vector<CorpusTree> corpus = standard_corpus(options.corpus);
-  OpportunityOptions opportunity{.check = options.check};
-
-  auto record = [&row](PropertyReport report) {
+  std::vector<PropertyReport> reports = parallel_map<PropertyReport>(
+      kCheckCount,
+      [&](std::size_t c) { return run_check(c, mechanism, corpus, options); },
+      ParallelOptions{.grain = 1});
+  for (PropertyReport& report : reports) {
     row.measured[report.property] = std::move(report);
-  };
-  record(check_budget(mechanism, corpus, options.check));
-  record(check_cci(mechanism, corpus, options.check));
-  record(check_csi(mechanism, corpus, options.check));
-  record(check_rpc(mechanism, corpus, options.check));
-  record(check_po(mechanism, opportunity));
-  record(check_uro(mechanism, opportunity));
-  record(check_sl(mechanism, corpus, options.check));
-  record(check_usb(mechanism, corpus, options.check));
-  record(check_usa(mechanism, options.check, options.search));
-  record(check_ugsa(mechanism, options.check, options.search));
+  }
   return row;
 }
 
 std::vector<MatrixRow> run_matrix(const std::vector<MechanismPtr>& mechanisms,
                                   const MatrixOptions& options) {
-  std::vector<MatrixRow> rows;
-  rows.reserve(mechanisms.size());
-  for (const MechanismPtr& mechanism : mechanisms) {
-    rows.push_back(run_all_checks(*mechanism, options));
-  }
-  return rows;
+  // The corpus is deterministic in its options; building it once and
+  // sharing the read-only trees across all cells keeps cells independent.
+  const std::vector<CorpusTree> corpus = standard_corpus(options.corpus);
+  return run_matrix_on_corpus(mechanisms, corpus, options);
 }
 
 std::string render_matrix(const std::vector<MatrixRow>& rows) {

@@ -6,6 +6,7 @@
 #include "tree/generators.h"
 #include "util/almost_equal.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace itree {
@@ -189,18 +190,9 @@ ConfigResult evaluate_honest(const Mechanism& mechanism,
 
 }  // namespace
 
-AttackOutcome search_attacks(const Mechanism& mechanism,
-                             const SybilScenario& scenario,
-                             bool allow_extra_contribution,
-                             const SearchOptions& options) {
-  Rng rng(options.seed);
-  AttackOutcome outcome;
-  const ConfigResult honest = evaluate_honest(mechanism, scenario);
-  outcome.honest_reward = honest.total_reward;
-  outcome.honest_profit = honest.total_reward - honest.total_contribution;
-  outcome.best_reward = -1.0;
-  outcome.best_profit = outcome.honest_profit;  // seeded; beaten only by gain
-
+std::vector<AttackConfig> enumerate_attack_configs(
+    const SybilScenario& scenario, bool allow_extra_contribution,
+    const SearchOptions& options) {
   std::vector<double> multipliers = {1.0};
   if (allow_extra_contribution) {
     multipliers = options.contribution_multipliers;
@@ -213,7 +205,7 @@ AttackOutcome search_attacks(const Mechanism& mechanism,
     identity_counts.insert(identity_counts.begin(), 1);
   }
 
-  bool best_profit_seen = false;
+  std::vector<AttackConfig> configs;
   for (std::size_t k : identity_counts) {
     for (SybilTopology topology : {SybilTopology::kChain, SybilTopology::kStar,
                                    SybilTopology::kTwoLevel}) {
@@ -236,34 +228,69 @@ AttackOutcome search_attacks(const Mechanism& mechanism,
             continue;  // placement is irrelevant without future subtrees
           }
           for (double multiplier : multipliers) {
+            // Random-split variants differ only through their RNG
+            // substream (their enumeration index).
             for (std::size_t variant = 0; variant < split_variants;
                  ++variant) {
-              AttackConfig config{.topology = topology,
-                                  .split = split,
-                                  .placement = placement,
-                                  .identities = k,
-                                  .contribution_multiplier = multiplier};
-              const ConfigResult result =
-                  evaluate_attack(mechanism, scenario, config, rng,
-                                  options.mu);
-              ++outcome.configurations_tried;
-
-              if (multiplier == 1.0 &&
-                  result.total_reward > outcome.best_reward) {
-                outcome.best_reward = result.total_reward;
-                outcome.best_reward_config = config;
-              }
-              const double attack_profit =
-                  result.total_reward - result.total_contribution;
-              if (!best_profit_seen || attack_profit > outcome.best_profit) {
-                outcome.best_profit = attack_profit;
-                outcome.best_profit_config = config;
-                best_profit_seen = true;
-              }
+              configs.push_back(AttackConfig{
+                  .topology = topology,
+                  .split = split,
+                  .placement = placement,
+                  .identities = k,
+                  .contribution_multiplier = multiplier});
             }
           }
         }
       }
+    }
+  }
+  return configs;
+}
+
+AttackOutcome search_attacks(const Mechanism& mechanism,
+                             const SybilScenario& scenario,
+                             bool allow_extra_contribution,
+                             const SearchOptions& options) {
+  AttackOutcome outcome;
+  const ConfigResult honest = evaluate_honest(mechanism, scenario);
+  outcome.honest_reward = honest.total_reward;
+  outcome.honest_profit = honest.total_reward - honest.total_contribution;
+  outcome.best_reward = -1.0;
+  outcome.best_profit = outcome.honest_profit;  // seeded; beaten only by gain
+
+  const std::vector<AttackConfig> configs =
+      enumerate_attack_configs(scenario, allow_extra_contribution, options);
+
+  // Fan the evaluations out: configuration i uses substream fork(i) of
+  // the search seed, so its result is independent of scheduling. The
+  // reduction below scans in enumeration order with strict-greater
+  // updates, which reproduces the sequential first-winner tie-break
+  // exactly at any thread count.
+  const Rng base(options.seed);
+  const std::vector<ConfigResult> results = parallel_map<ConfigResult>(
+      configs.size(), [&](std::size_t i) {
+        Rng rng = base.fork(i);
+        return evaluate_attack(mechanism, scenario, configs[i], rng,
+                               options.mu);
+      });
+
+  bool best_profit_seen = false;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ConfigResult& result = results[i];
+    ++outcome.configurations_tried;
+    if (configs[i].contribution_multiplier == 1.0 &&
+        result.total_reward > outcome.best_reward) {
+      outcome.best_reward = result.total_reward;
+      outcome.best_reward_config = configs[i];
+      outcome.best_reward_stream = i;
+    }
+    const double attack_profit =
+        result.total_reward - result.total_contribution;
+    if (!best_profit_seen || attack_profit > outcome.best_profit) {
+      outcome.best_profit = attack_profit;
+      outcome.best_profit_config = configs[i];
+      outcome.best_profit_stream = i;
+      best_profit_seen = true;
     }
   }
   return outcome;

@@ -82,6 +82,11 @@ struct AttackOutcome {
   double best_profit = 0.0;  ///< max total Sybil profit over all configs
   AttackConfig best_reward_config;
   AttackConfig best_profit_config;
+  /// RNG substream ids of the winning configurations: materializing a
+  /// winner again with Rng(options.seed).fork(stream) reproduces the
+  /// exact evaluated attack (only kRandom splits draw randomness).
+  std::uint64_t best_reward_stream = 0;
+  std::uint64_t best_profit_stream = 0;
   std::size_t configurations_tried = 0;
 };
 
@@ -117,9 +122,21 @@ ConfigResult evaluate_attack(const Mechanism& mechanism,
                              const AttackConfig& config, Rng& rng,
                              double mu = 1.0);
 
+/// Enumerates the attack configurations the search explores, in the
+/// canonical order (the reduction tie-break order). Entry i is evaluated
+/// with substream Rng(options.seed).fork(i).
+std::vector<AttackConfig> enumerate_attack_configs(
+    const SybilScenario& scenario, bool allow_extra_contribution,
+    const SearchOptions& options = {});
+
 /// Runs the full search. `allow_extra_contribution` = false restricts to
 /// equal-cost attacks (USA); true also explores the generalized attack
 /// space (UGSA), including the single-identity contribute-more attack.
+///
+/// Configurations are evaluated across the thread pool with one
+/// deterministic RNG substream per configuration and reduced in
+/// enumeration order (ties keep the earliest configuration), so the
+/// outcome is bit-identical at every thread count.
 AttackOutcome search_attacks(const Mechanism& mechanism,
                              const SybilScenario& scenario,
                              bool allow_extra_contribution,

@@ -45,14 +45,18 @@ AdversaryOutcome run_adaptive_adversary(const Mechanism& mechanism,
     outcome.honest_value += search.honest_profit;
 
     if (search.best_profit > search.honest_profit + 1e-12) {
-      // Execute the winning attack configuration on the real tree.
+      // Execute the winning attack configuration on the real tree,
+      // using the substream it was evaluated with so a kRandom split is
+      // reproduced exactly as searched.
       ++outcome.attacks_chosen;
       outcome.extracted_value += search.best_profit;
       const AttackConfig& config = search.best_profit_config;
+      Rng attack_rng =
+          Rng(options.search.seed).fork(search.best_profit_stream);
       materialize_attack(
           tree, scenario.join_parent,
           options.contribution * config.contribution_multiplier,
-          scenario.future_subtrees, config, rng, options.search.mu);
+          scenario.future_subtrees, config, attack_rng, options.search.mu);
     } else {
       outcome.extracted_value += search.honest_profit;
       const NodeId joined =

@@ -5,6 +5,7 @@
 
 #include "tree/subtree_sums.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace itree {
@@ -205,6 +206,15 @@ std::vector<EpochStats> SimulationEngine::run() {
     history.push_back(step());
   }
   return history;
+}
+
+std::vector<std::vector<EpochStats>> run_simulations(
+    const Mechanism& mechanism, const std::vector<SimulationConfig>& configs) {
+  return parallel_map<std::vector<EpochStats>>(
+      configs.size(), [&](std::size_t i) {
+        SimulationEngine engine(mechanism, configs[i]);
+        return engine.run();
+      });
 }
 
 }  // namespace itree

@@ -112,4 +112,12 @@ class SimulationEngine {
   std::vector<Strategy> person_strategy_;  // per person
 };
 
+/// Runs one independent simulation per config across the thread pool
+/// (each simulation itself is sequential — epochs depend on each other).
+/// Entry i is the history of configs[i]; deterministic in each config's
+/// seed and bit-identical at every thread count. Mechanism::compute is
+/// const and stateless, so one mechanism may serve all simulations.
+std::vector<std::vector<EpochStats>> run_simulations(
+    const Mechanism& mechanism, const std::vector<SimulationConfig>& configs);
+
 }  // namespace itree

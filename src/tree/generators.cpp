@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace itree {
 
@@ -162,6 +163,14 @@ Tree bounded_depth_tree(std::size_t n, std::size_t max_depth,
     ensure(id + 1 == depth_of.size(), "bounded_depth_tree: id bookkeeping");
   }
   return tree;
+}
+
+std::vector<Tree> generate_trees(std::size_t count, const TreeFactory& factory,
+                                 const Rng& base) {
+  return parallel_map<Tree>(count, [&](std::size_t i) {
+    Rng rng = base.fork(i);
+    return factory(rng, i);
+  });
 }
 
 }  // namespace itree

@@ -85,4 +85,16 @@ Tree bounded_depth_tree(std::size_t n, std::size_t max_depth,
                         const ContributionSampler& sampler, Rng& rng,
                         const GrowthOptions& options = {});
 
+// --- Batch generation -------------------------------------------------------
+
+/// Builds one tree of a batch; `rng` is the tree's private substream.
+using TreeFactory = std::function<Tree(Rng& rng, std::size_t index)>;
+
+/// Generates `count` trees across the thread pool. Tree i is produced by
+/// factory(rng_i, i) with rng_i = base.fork(i), so the batch is
+/// bit-identical at every thread count and each tree's randomness is
+/// unaffected by the others (no shared-engine cross-contamination).
+std::vector<Tree> generate_trees(std::size_t count, const TreeFactory& factory,
+                                 const Rng& base);
+
 }  // namespace itree

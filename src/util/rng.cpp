@@ -15,11 +15,24 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   SplitMix64 sm(seed);
   for (auto& word : s_) {
     word = sm.next();
   }
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t base_seed,
+                               std::uint64_t stream_id) {
+  // Offsetting by the golden-ratio increment per stream before the
+  // SplitMix64 finalizer gives well-mixed, distinct seeds for adjacent
+  // stream ids (stream 0 is NOT the base stream itself).
+  SplitMix64 sm(base_seed + 0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  return sm.next();
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  return Rng(derive_seed(seed_, stream_id));
 }
 
 std::uint64_t Rng::next_u64() {

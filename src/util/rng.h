@@ -29,13 +29,32 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
-/// xoshiro256** with convenience distributions. Copyable: forking an Rng
-/// by copy yields an identical stream, which checkers use to replay runs.
+/// xoshiro256** with convenience distributions. Copyable: copying an Rng
+/// yields an identical stream, which checkers use to replay runs.
+///
+/// Substreams: fork(stream_id) derives an independent generator from the
+/// *construction seed* and the stream id only — not from how much of this
+/// stream has been consumed. Index-addressed parallel loops use
+/// `base.fork(i)` so that task i's randomness is identical at any thread
+/// count and unaffected by draws other tasks make.
 class Rng {
  public:
   using result_type = std::uint64_t;
 
   explicit Rng(std::uint64_t seed = 0x1234abcdULL);
+
+  /// SplitMix64-style seed derivation for substream `stream_id` of
+  /// `base_seed`; cheap (two multiplies + shifts) and collision-mixing.
+  static std::uint64_t derive_seed(std::uint64_t base_seed,
+                                   std::uint64_t stream_id);
+
+  /// Independent substream generator: Rng(derive_seed(seed, stream_id))
+  /// where `seed` is the seed this Rng was constructed with. Consuming
+  /// draws from *this does not change what fork returns.
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// The seed this generator was constructed with.
+  std::uint64_t seed() const { return seed_; }
 
   /// Raw 64 random bits.
   std::uint64_t next_u64();
@@ -88,6 +107,7 @@ class Rng {
 
  private:
   std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;  ///< construction seed, the fork() base
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };

@@ -26,6 +26,7 @@
 #include "tree/metrics.h"
 #include "util/args.h"
 #include "util/csv.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -224,6 +225,9 @@ int main(int argc, char** argv) {
   args.add_flag("--shape", "rrt | pa | chain | star (generate)");
   args.add_flag("--contributions",
                 "unit | uniform | lognormal | pareto (generate)");
+  args.add_flag("--threads",
+                "worker threads for check/attack (default: hardware; "
+                "results are identical at any count)");
 
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << '\n';
@@ -237,6 +241,8 @@ int main(int argc, char** argv) {
   }
   const std::string& command = args.positional().front();
   try {
+    set_thread_count(static_cast<std::size_t>(
+        args.get_int_or("--threads", 0)));  // 0 = hardware concurrency
     if (command == "rewards") {
       return cmd_rewards(args);
     }
