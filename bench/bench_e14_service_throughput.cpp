@@ -1,0 +1,174 @@
+// E14 — serving-path throughput: the epoll daemon under loopback load.
+//
+// Boots an in-process Server (ephemeral port) hosting C campaigns and
+// drives it with one blocking client connection per campaign — the
+// deterministic mode: each campaign sees exactly the event stream of
+// its connection's Rng fork, so the final reward digests are identical
+// at every --threads setting, and what this bench adds to the BENCH_*
+// trajectory is the serving overhead (requests/s and latency
+// percentiles) rather than mechanism arithmetic.
+//
+// Flags: --threads N (campaign sharding inside the server), --json
+// <path>, --campaigns C (default 4), --requests R per campaign
+// (default 4000).
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_harness.h"
+#include "core/registry.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace itree;
+
+struct WorkerResult {
+  std::vector<double> latencies_seconds;
+};
+
+/// The loadgen's request mix, one connection pinned to one campaign.
+void drive(std::uint16_t port, std::uint32_t campaign,
+           std::uint64_t requests, Rng rng, WorkerResult* result) {
+  net::Client client("127.0.0.1", port);
+  std::vector<NodeId> mine;
+  result->latencies_seconds.reserve(requests);
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    net::Request request;
+    request.campaign = campaign;
+    if (mine.empty() || rng.bernoulli(0.55)) {
+      request.type = net::MsgType::kJoin;
+      request.node = (mine.empty() || rng.bernoulli(0.15))
+                         ? kRoot
+                         : mine[rng.index(mine.size())];
+      request.amount = rng.uniform(0.0, 3.0);
+    } else if (rng.bernoulli(0.5)) {
+      request.type = net::MsgType::kContribute;
+      request.node = mine[rng.index(mine.size())];
+      request.amount = rng.uniform(0.0, 2.0);
+    } else if (i % 64 == 63) {
+      request.type = net::MsgType::kRewardsBatch;
+    } else {
+      request.type = net::MsgType::kReward;
+      request.node = mine[rng.index(mine.size())];
+    }
+    const double start = monotonic_seconds();
+    const net::Response response = client.call(request);
+    result->latencies_seconds.push_back(monotonic_seconds() - start);
+    if (request.type == net::MsgType::kJoin) {
+      mine.push_back(static_cast<NodeId>(response.id));
+    }
+  }
+}
+
+std::string render_rewards(const std::vector<double>& rewards) {
+  std::string out;
+  char buffer[32];
+  for (const double reward : rewards) {
+    std::snprintf(buffer, sizeof(buffer), "%a,", reward);
+    out += buffer;
+  }
+  return out;
+}
+
+int parse_flag(int* argc, char** argv, const std::string& flag,
+               int fallback) {
+  int out = 1;
+  int value = fallback;
+  for (int in = 1; in < *argc; ++in) {
+    if (flag == argv[in] && in + 1 < *argc) {
+      value = std::atoi(argv[++in]);
+      continue;
+    }
+    argv[out++] = argv[in];
+  }
+  *argc = out;
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  itree::BenchHarness harness("e14_service_throughput", &argc, argv);
+  const auto campaigns = static_cast<std::uint32_t>(
+      parse_flag(&argc, argv, "--campaigns", 4));
+  const auto requests = static_cast<std::uint64_t>(
+      parse_flag(&argc, argv, "--requests", 4000));
+
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  net::ServerConfig config;
+  config.campaigns = campaigns;
+  net::Server server(*mechanism, config);
+  std::thread loop([&server] { server.run(); });
+
+  const Rng base(42);
+  std::vector<WorkerResult> results(campaigns);
+  std::vector<std::thread> workers;
+  const double start = monotonic_seconds();
+  for (std::uint32_t c = 0; c < campaigns; ++c) {
+    workers.emplace_back(drive, server.port(), c, requests,
+                         base.fork(c), &results[c]);
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const double elapsed = monotonic_seconds() - start;
+
+  std::vector<double> latencies;
+  for (const WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_seconds.begin(),
+                     result.latencies_seconds.end());
+  }
+  const double total = static_cast<double>(latencies.size());
+  harness.json().add_metric("requests", total);
+  harness.json().add_metric("throughput_rps", total / elapsed);
+  harness.json().add_metric("latency_p50_ms",
+                            percentile(latencies, 50) * 1e3);
+  harness.json().add_metric("latency_p95_ms",
+                            percentile(latencies, 95) * 1e3);
+  harness.json().add_metric("latency_p99_ms",
+                            percentile(latencies, 99) * 1e3);
+
+  std::cout << "=== E14: reward-service serving throughput ===\n"
+            << campaigns << " campaign(s) x " << requests
+            << " requests, one connection per campaign (deterministic "
+               "mode)\n"
+            << compact_number(total, 0) << " requests in "
+            << compact_number(elapsed, 3) << " s -> "
+            << compact_number(total / elapsed, 0) << " req/s\n"
+            << "latency ms: p50 "
+            << compact_number(percentile(latencies, 50) * 1e3, 3)
+            << "  p95 "
+            << compact_number(percentile(latencies, 95) * 1e3, 3)
+            << "  p99 "
+            << compact_number(percentile(latencies, 99) * 1e3, 3)
+            << '\n';
+
+  // Post-run verification + the thread-count-invariant digests.
+  net::Client verifier("127.0.0.1", server.port());
+  double worst_audit = 0.0;
+  std::string all_rendered;
+  for (std::uint32_t c = 0; c < campaigns; ++c) {
+    worst_audit = std::max(worst_audit, verifier.audit(c));
+    all_rendered += render_rewards(verifier.rewards(c));
+    all_rendered += ';';
+  }
+  harness.json().add_metric("worst_audit_divergence", worst_audit);
+  harness.json().add_digest("final_rewards", all_rendered);
+  std::cout << "worst audit divergence "
+            << compact_number(worst_audit, 12) << ", rewards digest "
+            << digest_hex(fnv1a64(all_rendered)) << '\n';
+
+  verifier.shutdown_server();
+  loop.join();
+  if (worst_audit >= 1e-9) {
+    std::cerr << "audit divergence " << worst_audit << " too large\n";
+    return 1;
+  }
+  return harness.finish();
+}

@@ -1,0 +1,170 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+namespace itree::net {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Client: bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Client: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + what);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+void Client::send_bytes(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("send: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+void Client::send_request(const Request& request) {
+  send_bytes(frame(encode_request(request)));
+}
+
+Response Client::read_response() {
+  std::string payload;
+  while (!decoder_.next(&payload)) {
+    if (decoder_.corrupt()) {
+      throw ProtocolError("server stream corrupt: " +
+                          decoder_.corruption());
+    }
+    char buffer[65536];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      throw std::runtime_error("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("recv: ") +
+                               std::strerror(errno));
+    }
+    decoder_.feed(buffer, static_cast<std::size_t>(n));
+  }
+  return decode_response(payload);
+}
+
+Response Client::call(const Request& request) {
+  send_request(request);
+  return read_checked();
+}
+
+Response Client::read_checked() {
+  Response response = read_response();
+  if (!response.ok()) {
+    throw ServiceError(response.error, response.message);
+  }
+  return response;
+}
+
+NodeId Client::join(std::uint32_t campaign, NodeId referrer,
+                    double initial_contribution) {
+  Request request;
+  request.type = MsgType::kJoin;
+  request.campaign = campaign;
+  request.node = referrer;
+  request.amount = initial_contribution;
+  const Response response = call(request);
+  if (response.id > std::numeric_limits<NodeId>::max()) {
+    throw ProtocolError("join: server returned an impossible id");
+  }
+  return static_cast<NodeId>(response.id);
+}
+
+void Client::contribute(std::uint32_t campaign, NodeId participant,
+                        double amount) {
+  Request request;
+  request.type = MsgType::kContribute;
+  request.campaign = campaign;
+  request.node = participant;
+  request.amount = amount;
+  call(request);
+}
+
+double Client::reward(std::uint32_t campaign, NodeId participant) {
+  Request request;
+  request.type = MsgType::kReward;
+  request.campaign = campaign;
+  request.node = participant;
+  return call(request).value;
+}
+
+std::vector<double> Client::rewards(std::uint32_t campaign) {
+  Request request;
+  request.type = MsgType::kRewardsBatch;
+  request.campaign = campaign;
+  return call(request).rewards;
+}
+
+double Client::audit(std::uint32_t campaign) {
+  Request request;
+  request.type = MsgType::kAudit;
+  request.campaign = campaign;
+  return call(request).value;
+}
+
+StatsBody Client::stats(std::uint32_t campaign) {
+  Request request;
+  request.type = MsgType::kStats;
+  request.campaign = campaign;
+  return call(request).stats;
+}
+
+void Client::shutdown_server() {
+  Request request;
+  request.type = MsgType::kShutdown;
+  call(request);
+}
+
+}  // namespace itree::net

@@ -1,0 +1,82 @@
+// Blocking client for the reward-service wire protocol.
+//
+// One Client owns one TCP connection. The typed helpers (join,
+// contribute, reward...) each send one request and block for its
+// response, throwing ServiceError when the server answers with an
+// error frame. The lower-level send_request / read_response pair
+// supports pipelining — several requests in flight, responses read in
+// order — which the load generator and the backpressure tests use.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.h"
+#include "tree/tree.h"
+
+namespace itree::net {
+
+/// The server refused a request (bad participant, unknown campaign...).
+struct ServiceError : std::runtime_error {
+  ServiceError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code(code) {}
+
+  ErrorCode code;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  // --- Typed round trips --------------------------------------------
+
+  /// Joins `campaign` under `referrer`; returns the assigned id.
+  NodeId join(std::uint32_t campaign, NodeId referrer,
+              double initial_contribution);
+  void contribute(std::uint32_t campaign, NodeId participant,
+                  double amount);
+  double reward(std::uint32_t campaign, NodeId participant);
+  /// Full reward vector (index = node id; entry 0 is the root's 0).
+  std::vector<double> rewards(std::uint32_t campaign);
+  /// Largest incremental-vs-batch divergence (see RewardService::audit).
+  double audit(std::uint32_t campaign);
+  StatsBody stats(std::uint32_t campaign);
+  /// Asks the server to drain and exit; returns once acknowledged.
+  void shutdown_server();
+
+  // --- Pipelined / low-level access ---------------------------------
+
+  /// One request, one response; throws ServiceError on error frames.
+  Response call(const Request& request);
+
+  /// Sends without waiting; pair with read_response() in FIFO order.
+  void send_request(const Request& request);
+  /// Blocks for the next response frame. Throws std::runtime_error if
+  /// the server closes the connection, ProtocolError on wire garbage.
+  Response read_response();
+
+  /// Writes raw bytes, bypassing the framing layer — lets tests inject
+  /// malformed and truncated frames.
+  void send_bytes(std::string_view bytes);
+
+  /// Half-closes the write side (the server sees EOF mid-stream).
+  void shutdown_write();
+
+ private:
+  Response read_checked();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace itree::net

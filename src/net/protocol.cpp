@@ -1,0 +1,305 @@
+#include "net/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace itree::net {
+namespace {
+
+// All integers travel little-endian, assembled byte-by-byte so the
+// encoding does not depend on host endianness.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over one payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : data_(payload) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_++]))
+           << shift;
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_++]))
+           << shift;
+    }
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string bytes(std::size_t n) {
+    need(n);
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  void finish() const {
+    if (remaining() != 0) {
+      throw ProtocolError("trailing bytes after message body");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw ProtocolError("message body truncated");
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_request(const Request& request) {
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(request.type));
+  switch (request.type) {
+    case MsgType::kJoin:
+    case MsgType::kContribute:
+      put_u32(out, request.campaign);
+      put_u64(out, request.node);
+      put_f64(out, request.amount);
+      break;
+    case MsgType::kReward:
+      put_u32(out, request.campaign);
+      put_u64(out, request.node);
+      break;
+    case MsgType::kRewardsBatch:
+    case MsgType::kAudit:
+    case MsgType::kStats:
+      put_u32(out, request.campaign);
+      break;
+    case MsgType::kShutdown:
+      break;
+    default:
+      throw ProtocolError("encode_request: unknown message type");
+  }
+  return out;
+}
+
+Request decode_request(std::string_view payload) {
+  Reader reader(payload);
+  Request request;
+  const std::uint8_t type = reader.u8();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kJoin:
+    case MsgType::kContribute:
+      request.type = static_cast<MsgType>(type);
+      request.campaign = reader.u32();
+      request.node = reader.u64();
+      request.amount = reader.f64();
+      break;
+    case MsgType::kReward:
+      request.type = MsgType::kReward;
+      request.campaign = reader.u32();
+      request.node = reader.u64();
+      break;
+    case MsgType::kRewardsBatch:
+    case MsgType::kAudit:
+    case MsgType::kStats:
+      request.type = static_cast<MsgType>(type);
+      request.campaign = reader.u32();
+      break;
+    case MsgType::kShutdown:
+      request.type = MsgType::kShutdown;
+      break;
+    default:
+      throw ProtocolError("unknown request type " + std::to_string(type));
+  }
+  reader.finish();
+  return request;
+}
+
+std::string encode_response(const Response& response) {
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(response.status));
+  switch (response.status) {
+    case Status::kOk:
+      break;
+    case Status::kOkId:
+      put_u64(out, response.id);
+      break;
+    case Status::kOkValue:
+      put_f64(out, response.value);
+      break;
+    case Status::kOkVector:
+      put_u64(out, response.rewards.size());
+      for (const double reward : response.rewards) {
+        put_f64(out, reward);
+      }
+      break;
+    case Status::kOkStats:
+      put_u64(out, response.stats.events);
+      put_u64(out, response.stats.participants);
+      put_f64(out, response.stats.total_reward);
+      put_u8(out, response.stats.incremental ? 1 : 0);
+      break;
+    case Status::kError:
+      put_u8(out, static_cast<std::uint8_t>(response.error));
+      put_u32(out, static_cast<std::uint32_t>(response.message.size()));
+      out += response.message;
+      break;
+    default:
+      throw ProtocolError("encode_response: unknown status");
+  }
+  return out;
+}
+
+Response decode_response(std::string_view payload) {
+  Reader reader(payload);
+  Response response;
+  const std::uint8_t status = reader.u8();
+  switch (static_cast<Status>(status)) {
+    case Status::kOk:
+      response.status = Status::kOk;
+      break;
+    case Status::kOkId:
+      response.status = Status::kOkId;
+      response.id = reader.u64();
+      break;
+    case Status::kOkValue:
+      response.status = Status::kOkValue;
+      response.value = reader.f64();
+      break;
+    case Status::kOkVector: {
+      response.status = Status::kOkVector;
+      const std::uint64_t count = reader.u64();
+      if (count * 8 > reader.remaining()) {
+        throw ProtocolError("reward vector longer than payload");
+      }
+      response.rewards.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        response.rewards.push_back(reader.f64());
+      }
+      break;
+    }
+    case Status::kOkStats:
+      response.status = Status::kOkStats;
+      response.stats.events = reader.u64();
+      response.stats.participants = reader.u64();
+      response.stats.total_reward = reader.f64();
+      response.stats.incremental = reader.u8() != 0;
+      break;
+    case Status::kError: {
+      response.status = Status::kError;
+      const std::uint8_t code = reader.u8();
+      if (code > static_cast<std::uint8_t>(ErrorCode::kShuttingDown)) {
+        throw ProtocolError("unknown error code " + std::to_string(code));
+      }
+      response.error = static_cast<ErrorCode>(code);
+      const std::uint32_t length = reader.u32();
+      response.message = reader.bytes(length);
+      break;
+    }
+    default:
+      throw ProtocolError("unknown response status " +
+                          std::to_string(status));
+  }
+  reader.finish();
+  return response;
+}
+
+std::string frame(std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame payload size out of range: " +
+                        std::to_string(payload.size()));
+  }
+  std::string out;
+  out.reserve(4 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+Response error_response(ErrorCode code, std::string message) {
+  Response response;
+  response.status = Status::kError;
+  response.error = code;
+  response.message = std::move(message);
+  return response;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (corrupt_) {
+    return;  // poisoned: drop everything until the session closes
+  }
+  buffer_.append(data, size);
+}
+
+bool FrameDecoder::next(std::string* payload) {
+  if (corrupt_) {
+    return false;
+  }
+  if (buffer_.size() - consumed_ < 4) {
+    return false;
+  }
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(
+                  static_cast<std::uint8_t>(buffer_[consumed_ + i]))
+              << (8 * i);
+  }
+  if (length == 0 || length > kMaxFrameBytes) {
+    corrupt_ = true;
+    corruption_ = "frame length " + std::to_string(length) +
+                  " outside (0, " + std::to_string(kMaxFrameBytes) + "]";
+    buffer_.clear();
+    consumed_ = 0;
+    return false;
+  }
+  if (buffer_.size() - consumed_ < 4 + static_cast<std::size_t>(length)) {
+    return false;
+  }
+  payload->assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  // Reclaim consumed prefix once it dominates the buffer, so a
+  // long-lived session does not grow its receive buffer forever.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return true;
+}
+
+}  // namespace itree::net

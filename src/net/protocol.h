@@ -1,0 +1,140 @@
+// Length-prefixed binary wire protocol for the reward-service daemon.
+//
+// Frame layout: a 4-byte little-endian payload length L (1 <= L <=
+// kMaxFrameBytes) followed by L payload bytes. The first payload byte is
+// the message type (requests) or status (responses); remaining fields
+// are fixed-width little-endian integers and raw IEEE-754 doubles, so a
+// reward crosses the wire bit-exact — the loopback equivalence tests
+// compare served and in-process reward vectors with operator==.
+//
+// The protocol is strictly request/response in order per connection;
+// clients may pipeline (send several requests before reading), and the
+// server answers in arrival order. FrameDecoder is the receive half:
+// it accepts arbitrary read fragmentation (partial frames, many frames
+// per read) and flags a connection corrupt on an impossible length
+// prefix instead of buffering unboundedly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itree::net {
+
+/// Hard cap on one frame's payload; a peer announcing more is corrupt
+/// (bounds decoder buffering). 16 MiB fits a REWARDS_BATCH response for
+/// roughly two million participants.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Thrown by the payload codecs on malformed bytes; sessions catch it
+/// at the frame boundary and answer with an error frame.
+struct ProtocolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class MsgType : std::uint8_t {
+  kJoin = 0x01,          ///< campaign, referrer, initial contribution
+  kContribute = 0x02,    ///< campaign, participant, amount
+  kReward = 0x03,        ///< campaign, participant
+  kRewardsBatch = 0x04,  ///< campaign
+  kAudit = 0x05,         ///< campaign
+  kStats = 0x06,         ///< campaign
+  kShutdown = 0x07,      ///< no fields; asks the server to drain
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0x80,       ///< no body
+  kOkId = 0x81,     ///< u64 assigned participant id
+  kOkValue = 0x82,  ///< f64 (reward or audit divergence)
+  kOkVector = 0x83, ///< u64 count + count f64 rewards (index = node id)
+  kOkStats = 0x84,  ///< events, participants, total reward, incremental
+  kError = 0xff,    ///< error code + message
+};
+
+enum class ErrorCode : std::uint8_t {
+  kNone = 0,
+  kBadRequest = 1,      ///< undecodable payload
+  kUnknownCampaign = 2, ///< campaign id out of range
+  kRejected = 3,        ///< the service refused (bad node id, negative
+                        ///< amount, shutdown disabled...)
+  kShuttingDown = 4,    ///< server is draining
+};
+
+/// One client request. `node` is the referrer (kJoin) or the queried /
+/// contributing participant; `amount` is the (initial) contribution.
+/// Fields a message type does not use are ignored by the codec.
+struct Request {
+  MsgType type = MsgType::kStats;
+  std::uint32_t campaign = 0;
+  std::uint64_t node = 0;
+  double amount = 0.0;
+
+  bool operator==(const Request&) const = default;
+};
+
+struct StatsBody {
+  std::uint64_t events = 0;
+  std::uint64_t participants = 0;
+  double total_reward = 0.0;
+  bool incremental = false;
+
+  bool operator==(const StatsBody&) const = default;
+};
+
+/// One server response; which fields are meaningful depends on status.
+struct Response {
+  Status status = Status::kOk;
+  ErrorCode error = ErrorCode::kNone;
+  std::string message;          ///< kError: human-readable cause
+  std::uint64_t id = 0;         ///< kOkId
+  double value = 0.0;           ///< kOkValue
+  std::vector<double> rewards;  ///< kOkVector
+  StatsBody stats;              ///< kOkStats
+
+  bool ok() const { return status != Status::kError; }
+};
+
+/// Payload codecs (no length prefix). Decoders throw ProtocolError on
+/// unknown types, short bodies, or trailing bytes.
+std::string encode_request(const Request& request);
+std::string encode_response(const Response& response);
+Request decode_request(std::string_view payload);
+Response decode_response(std::string_view payload);
+
+/// Prepends the 4-byte length prefix. Throws ProtocolError when the
+/// payload is empty or exceeds kMaxFrameBytes.
+std::string frame(std::string_view payload);
+
+/// Shorthand for an error response.
+Response error_response(ErrorCode code, std::string message);
+
+/// Incremental frame decoder. feed() whatever the socket produced, then
+/// drain complete payloads with next(). Tolerates any fragmentation; a
+/// zero or oversized length prefix poisons the decoder (corrupt()) and
+/// next() returns false forever — the session should send one error
+/// frame and close.
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t size);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// Extracts the next complete payload into *payload; false when more
+  /// bytes are needed (or the stream is corrupt).
+  bool next(std::string* payload);
+
+  bool corrupt() const { return corrupt_; }
+  const std::string& corruption() const { return corruption_; }
+
+  /// Bytes buffered but not yet returned (0 on a frame boundary).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+  std::string corruption_;
+};
+
+}  // namespace itree::net

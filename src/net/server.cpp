@@ -1,0 +1,562 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/bench_json.h"  // monotonic_seconds
+#include "util/parallel.h"
+
+namespace itree::net {
+
+namespace {
+
+/// A peer that neither reads nor disconnects could stall a graceful
+/// drain forever; after this many seconds the drain force-closes.
+constexpr double kDrainDeadlineSeconds = 5.0;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+struct Server::Session {
+  int fd = -1;
+  std::uint64_t serial = 0;
+  FrameDecoder decoder;
+  std::string out;            ///< encoded, not yet fully written
+  std::size_t out_sent = 0;   ///< prefix of `out` already on the wire
+  double last_activity = 0.0;
+  bool reading = true;        ///< EPOLLIN registered
+  bool want_write = false;    ///< EPOLLOUT registered
+  bool close_after_flush = false;
+  bool broken = false;        ///< hard error / EOF: close this tick
+
+  std::size_t pending_bytes() const { return out.size() - out_sent; }
+};
+
+struct Server::PendingRequest {
+  int fd = -1;
+  std::uint64_t serial = 0;
+  Request request;
+  Response response;
+  bool done = false;  ///< response produced inline (shutdown, errors)
+};
+
+Server::Server(const Mechanism& mechanism, ServerConfig config)
+    : config_(std::move(config)) {
+  if (config_.campaigns == 0) {
+    throw std::invalid_argument("Server: need at least one campaign");
+  }
+  campaigns_.reserve(config_.campaigns);
+  for (std::size_t i = 0; i < config_.campaigns; ++i) {
+    campaigns_.push_back(std::make_unique<RecordingService>(mechanism));
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    fail("socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Server: bad host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Server: cannot listen on " + config_.host +
+                             ":" + std::to_string(config_.port) + ": " +
+                             what);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    fail("epoll_create1/eventfd");
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event);
+  event.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+}
+
+Server::~Server() {
+  for (auto& session : sessions_) {
+    if (session) {
+      ::close(session->fd);
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+  }
+}
+
+void Server::request_shutdown() {
+  const std::uint64_t one = 1;
+  // Async-signal-safe: a single write on an eventfd.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+const RecordingService& Server::campaign(std::size_t index) const {
+  return *campaigns_.at(index);
+}
+
+void Server::run() {
+  static constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  double drain_started = 0.0;
+  bool want_drain = false;
+
+  while (true) {
+    const bool need_tick = draining_ || config_.idle_timeout_seconds > 0;
+    const int timeout_ms = need_tick ? 100 : -1;
+    const int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents,
+                                   timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail("epoll_wait");
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t n =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        want_drain = true;
+        continue;
+      }
+      Session* session =
+          (static_cast<std::size_t>(fd) < sessions_.size())
+              ? sessions_[fd].get()
+              : nullptr;
+      if (session == nullptr) {
+        continue;  // closed earlier this tick
+      }
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        session->broken = true;
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) && !draining_) {
+        on_readable(fd);
+      }
+      if (events[i].events & EPOLLOUT) {
+        on_writable(fd);
+      }
+    }
+
+    process_pending();
+
+    // Sweep sessions that broke or finished their final flush.
+    for (std::size_t fd = 0; fd < sessions_.size(); ++fd) {
+      Session* session = sessions_[fd].get();
+      if (session != nullptr &&
+          (session->broken || (session->close_after_flush &&
+                               session->pending_bytes() == 0))) {
+        close_session(static_cast<int>(fd));
+      }
+    }
+
+    const double now = monotonic_seconds();
+    if (config_.idle_timeout_seconds > 0 && !draining_) {
+      harvest_idle(now);
+    }
+
+    if (want_drain && !draining_) {
+      begin_drain();
+      drain_started = now;
+    }
+    if (draining_) {
+      bool flushing = false;
+      for (std::size_t fd = 0; fd < sessions_.size(); ++fd) {
+        Session* session = sessions_[fd].get();
+        if (session == nullptr) {
+          continue;
+        }
+        if (session->pending_bytes() == 0 ||
+            now - drain_started > kDrainDeadlineSeconds) {
+          close_session(static_cast<int>(fd));
+        } else {
+          flushing = true;
+        }
+      }
+      if (!flushing) {
+        break;
+      }
+    }
+  }
+  persist_logs();
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      return;  // EMFILE etc.: drop the pending connection, stay up
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (static_cast<std::size_t>(fd) >= sessions_.size()) {
+      sessions_.resize(fd + 1);
+    }
+    auto session = std::make_unique<Session>();
+    session->fd = fd;
+    session->serial = ++next_serial_;
+    session->last_activity = monotonic_seconds();
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      ::close(fd);
+      continue;
+    }
+    sessions_[fd] = std::move(session);
+    ++counters_.sessions_accepted;
+  }
+}
+
+void Server::on_readable(int fd) {
+  Session& session = *sessions_[fd];
+  char buffer[65536];
+  bool saw_eof = false;
+  while (session.reading) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      session.decoder.feed(buffer, static_cast<std::size_t>(n));
+      session.last_activity = monotonic_seconds();
+      if (static_cast<std::size_t>(n) < sizeof(buffer)) {
+        break;  // likely drained; epoll is level-triggered anyway
+      }
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    session.broken = true;
+    return;
+  }
+
+  std::string payload;
+  while (session.decoder.next(&payload)) {
+    PendingRequest pending;
+    pending.fd = fd;
+    pending.serial = session.serial;
+    try {
+      pending.request = decode_request(payload);
+      if (pending.request.type == MsgType::kShutdown) {
+        pending.done = true;
+        if (config_.allow_remote_shutdown) {
+          pending.response = Response{};  // kOk
+          request_shutdown();
+        } else {
+          pending.response = error_response(
+              ErrorCode::kRejected, "remote shutdown is disabled");
+        }
+      }
+    } catch (const ProtocolError& error) {
+      ++counters_.protocol_errors;
+      pending.done = true;
+      pending.response =
+          error_response(ErrorCode::kBadRequest, error.what());
+    }
+    pending_.push_back(std::move(pending));
+  }
+  if (session.decoder.corrupt()) {
+    // The stream can no longer be framed: answer once, then hang up.
+    ++counters_.protocol_errors;
+    PendingRequest pending;
+    pending.fd = fd;
+    pending.serial = session.serial;
+    pending.done = true;
+    pending.response = error_response(ErrorCode::kBadRequest,
+                                      session.decoder.corruption());
+    pending_.push_back(std::move(pending));
+    session.close_after_flush = true;
+    if (session.reading) {
+      session.reading = false;
+      update_interest(session);
+    }
+  }
+  if (saw_eof) {
+    if (session.decoder.buffered() != 0 && !session.decoder.corrupt()) {
+      ++counters_.protocol_errors;  // mid-frame disconnect
+    }
+    session.broken = true;
+  }
+}
+
+void Server::on_writable(int fd) {
+  Session& session = *sessions_[fd];
+  flush(session);
+  if (session.broken) {
+    return;
+  }
+  // Backpressure release: the peer caught up, resume reading.
+  if (!session.reading && !session.close_after_flush && !draining_ &&
+      session.pending_bytes() < config_.max_write_buffer / 2) {
+    session.reading = true;
+  }
+  update_interest(session);
+}
+
+void Server::process_pending() {
+  if (pending_.empty()) {
+    return;
+  }
+  // Group open work by campaign; each group keeps arrival order, so a
+  // campaign's event sequence is the same no matter how many worker
+  // threads apply the groups.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> groups;
+  std::vector<std::uint32_t> order;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].done) {
+      continue;
+    }
+    const std::uint32_t campaign = pending_[i].request.campaign;
+    auto [it, inserted] = groups.try_emplace(campaign);
+    if (inserted) {
+      order.push_back(campaign);
+    }
+    it->second.push_back(i);
+  }
+  const auto run_group = [&](std::size_t g) {
+    for (const std::size_t i : groups[order[g]]) {
+      pending_[i].response = apply_request(pending_[i].request);
+      pending_[i].done = true;
+    }
+  };
+  if (order.size() > 1) {
+    parallel_for(order.size(), run_group);
+  } else if (order.size() == 1) {
+    run_group(0);
+  }
+
+  for (PendingRequest& pending : pending_) {
+    Session* session =
+        (static_cast<std::size_t>(pending.fd) < sessions_.size())
+            ? sessions_[pending.fd].get()
+            : nullptr;
+    if (session == nullptr || session->serial != pending.serial ||
+        session->broken) {
+      continue;  // peer vanished before its answer was ready
+    }
+    enqueue_response(*session, pending.response);
+    ++counters_.requests_served;
+  }
+  pending_.clear();
+}
+
+Response Server::apply_request(const Request& request) {
+  if (request.campaign >= campaigns_.size()) {
+    return error_response(ErrorCode::kUnknownCampaign,
+                          "unknown campaign " +
+                              std::to_string(request.campaign));
+  }
+  RecordingService& campaign = *campaigns_[request.campaign];
+  Response response;
+  try {
+    if (request.node > std::numeric_limits<NodeId>::max()) {
+      throw std::invalid_argument("node id out of range");
+    }
+    const NodeId node = static_cast<NodeId>(request.node);
+    switch (request.type) {
+      case MsgType::kJoin:
+        response.status = Status::kOkId;
+        response.id = campaign.join(node, request.amount);
+        break;
+      case MsgType::kContribute:
+        campaign.contribute(node, request.amount);
+        response.status = Status::kOk;
+        break;
+      case MsgType::kReward:
+        response.status = Status::kOkValue;
+        response.value = campaign.service().reward(node);
+        break;
+      case MsgType::kRewardsBatch:
+        response.status = Status::kOkVector;
+        response.rewards = campaign.service().rewards();
+        break;
+      case MsgType::kAudit:
+        response.status = Status::kOkValue;
+        response.value = campaign.service().audit();
+        break;
+      case MsgType::kStats:
+        response.status = Status::kOkStats;
+        response.stats.events = campaign.service().events_applied();
+        response.stats.participants =
+            campaign.service().tree().participant_count();
+        response.stats.total_reward = campaign.service().total_reward();
+        response.stats.incremental = campaign.service().incremental();
+        break;
+      case MsgType::kShutdown:
+        // Handled on decode; never reaches a campaign worker.
+        return error_response(ErrorCode::kBadRequest,
+                              "unexpected shutdown frame");
+    }
+  } catch (const std::invalid_argument& error) {
+    return error_response(ErrorCode::kRejected, error.what());
+  }
+  return response;
+}
+
+void Server::enqueue_response(Session& session, const Response& response) {
+  try {
+    session.out += frame(encode_response(response));
+  } catch (const ProtocolError&) {
+    // Response larger than a frame allows (gigantic reward vector):
+    // degrade to an in-protocol error instead of a broken stream.
+    session.out += frame(encode_response(error_response(
+        ErrorCode::kRejected, "response exceeds frame size limit")));
+  }
+  flush(session);
+  if (session.broken) {
+    return;
+  }
+  if (session.reading &&
+      session.pending_bytes() > config_.max_write_buffer) {
+    // Slow reader: stop accepting its requests until it drains.
+    session.reading = false;
+    ++counters_.backpressure_stalls;
+  }
+  update_interest(session);
+}
+
+void Server::flush(Session& session) {
+  while (session.out_sent < session.out.size()) {
+    const ssize_t n =
+        ::send(session.fd, session.out.data() + session.out_sent,
+               session.out.size() - session.out_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      session.out_sent += static_cast<std::size_t>(n);
+      session.last_activity = monotonic_seconds();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    session.broken = true;
+    return;
+  }
+  if (session.out_sent == session.out.size()) {
+    session.out.clear();
+    session.out_sent = 0;
+  } else if (session.out_sent > (1u << 20)) {
+    session.out.erase(0, session.out_sent);
+    session.out_sent = 0;
+  }
+}
+
+void Server::update_interest(Session& session) {
+  const bool want_write = session.pending_bytes() > 0;
+  epoll_event event{};
+  event.events = (session.reading && !draining_ ? EPOLLIN : 0u) |
+                 (want_write ? EPOLLOUT : 0u);
+  event.data.fd = session.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session.fd, &event);
+  session.want_write = want_write;
+}
+
+void Server::close_session(int fd) {
+  if (static_cast<std::size_t>(fd) >= sessions_.size() ||
+      sessions_[fd] == nullptr) {
+    return;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  sessions_[fd].reset();
+  ++counters_.sessions_closed;
+}
+
+void Server::harvest_idle(double now) {
+  for (std::size_t fd = 0; fd < sessions_.size(); ++fd) {
+    Session* session = sessions_[fd].get();
+    if (session != nullptr && session->pending_bytes() == 0 &&
+        now - session->last_activity > config_.idle_timeout_seconds) {
+      ++counters_.sessions_timed_out;
+      close_session(static_cast<int>(fd));
+    }
+  }
+}
+
+void Server::begin_drain() {
+  draining_ = true;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  // Stop reading everywhere; only flush from here on.
+  for (auto& session : sessions_) {
+    if (session) {
+      update_interest(*session);
+    }
+  }
+}
+
+void Server::persist_logs() const {
+  if (config_.persist_dir.empty()) {
+    return;
+  }
+  for (std::size_t i = 0; i < campaigns_.size(); ++i) {
+    campaigns_[i]->log().save(config_.persist_dir + "/campaign_" +
+                              std::to_string(i) + ".log");
+  }
+}
+
+}  // namespace itree::net

@@ -1,0 +1,126 @@
+// Epoll-based non-blocking reward-service daemon core.
+//
+// One Server hosts N campaigns — one RecordingService each — behind a
+// single epoll loop on one listening socket. Requests carry a campaign
+// id; each epoll tick decodes everything the readable sessions
+// produced, groups the requests by campaign, and applies the groups
+// across the process-wide thread pool (util/parallel.h). Campaigns are
+// disjoint state, and within a campaign the tick preserves arrival
+// order, so results are independent of the thread count — with one
+// connection per campaign the whole deployment is bit-deterministic,
+// which the loopback tests and bench_e14 assert.
+//
+// Robustness guarantees (exercised by tests/net_test.cpp):
+//   * malformed payloads get an error frame; the session stays open
+//   * an impossible length prefix gets one error frame, then the
+//     session closes (the byte stream can no longer be trusted)
+//   * mid-frame disconnects discard the partial frame only
+//   * slow readers are backpressured: past `max_write_buffer` pending
+//     bytes the server stops reading that session until the peer drains
+//   * idle sessions are closed after `idle_timeout_seconds`
+//   * request_shutdown() (async-signal-safe) stops accepting, flushes
+//     every pending response, optionally persists the per-campaign
+//     event logs, and returns from run()
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "net/protocol.h"
+#include "server/event_log.h"
+
+namespace itree::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned; see Server::port()
+  std::size_t campaigns = 1;
+  /// Sessions with no traffic for this long are closed; 0 disables.
+  double idle_timeout_seconds = 0.0;
+  /// Write-buffer high-water mark per session; beyond it the server
+  /// stops reading from that session (slow-reader backpressure) until
+  /// the buffer drains below half the mark.
+  std::size_t max_write_buffer = 4u << 20;
+  /// When non-empty: on shutdown each campaign's event log is saved to
+  /// `<persist_dir>/campaign_<i>.log`.
+  std::string persist_dir;
+  /// Whether a SHUTDOWN frame drains the server (a private deployment
+  /// convenience; disable when clients are untrusted).
+  bool allow_remote_shutdown = true;
+};
+
+/// Monotonic operational counters, readable after run() returns (or
+/// from the loop thread).
+struct ServerCounters {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t sessions_timed_out = 0;
+  std::uint64_t backpressure_stalls = 0;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid and clients may
+  /// connect before run() starts). Throws std::runtime_error on any
+  /// socket/epoll setup failure. The mechanism must outlive the server.
+  Server(const Mechanism& mechanism, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually bound port (resolves config.port == 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the event loop until shutdown; safe to call from a dedicated
+  /// thread while clients connect from others.
+  void run();
+
+  /// Requests a graceful drain: async-signal-safe (a single eventfd
+  /// write), callable from any thread or a SIGTERM handler.
+  void request_shutdown();
+
+  /// Campaign state, for post-run inspection (equivalence tests, the
+  /// daemon's exit report). Not synchronized with a running loop.
+  const RecordingService& campaign(std::size_t index) const;
+  std::size_t campaign_count() const { return campaigns_.size(); }
+
+  const ServerCounters& counters() const { return counters_; }
+
+ private:
+  struct Session;
+  struct PendingRequest;
+
+  void accept_ready();
+  void on_readable(int fd);
+  void on_writable(int fd);
+  void process_pending();
+  Response apply_request(const Request& request);
+  void enqueue_response(Session& session, const Response& response);
+  void flush(Session& session);
+  void update_interest(Session& session);
+  void close_session(int fd);
+  void harvest_idle(double now);
+  void begin_drain();
+  void persist_logs() const;
+
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd poked by request_shutdown()
+  bool draining_ = false;
+
+  std::vector<std::unique_ptr<RecordingService>> campaigns_;
+  std::uint64_t next_serial_ = 0;  ///< distinguishes reused fds
+  std::vector<std::unique_ptr<Session>> sessions_;  ///< indexed by fd
+  std::vector<PendingRequest> pending_;  ///< decoded this tick, in order
+  ServerCounters counters_;
+};
+
+}  // namespace itree::net

@@ -1,15 +1,61 @@
 #include "server/event_log.h"
 
+#include <fstream>
 #include <sstream>
 
 #include "util/check.h"
 #include "util/strings.h"
 
 namespace itree {
+namespace {
 
-std::string EventLog::serialize() const {
-  std::ostringstream out;
-  out.precision(17);
+/// True for lines parse skips: blank/whitespace-only and `#` comments.
+bool skippable(const std::string& line) {
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  return first == std::string::npos || line[first] == '#';
+}
+
+void parse_line(const std::string& line, std::size_t line_number,
+                EventLog& log) {
+  std::istringstream fields(line);
+  char kind = 0;
+  unsigned long id = 0;
+  double value = 0.0;
+  fields >> kind >> id >> value;
+  require(!fields.fail(),
+          "EventLog::parse: malformed line " + std::to_string(line_number) +
+              ": '" + line + "'");
+  switch (kind) {
+    case 'J':
+      log.append(JoinEvent{static_cast<NodeId>(id), value});
+      break;
+    case 'C':
+      log.append(ContributeEvent{static_cast<NodeId>(id), value});
+      break;
+    default:
+      require(false, "EventLog::parse: unknown event kind '" +
+                         std::string(1, kind) + "' on line " +
+                         std::to_string(line_number));
+  }
+}
+
+EventLog parse_stream(std::istream& in) {
+  EventLog log;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!skippable(line)) {
+      parse_line(line, line_number, log);
+    }
+  }
+  return log;
+}
+
+}  // namespace
+
+void EventLog::write(std::ostream& out) const {
+  const auto precision = out.precision(17);
   for (const Event& event : events_) {
     if (const auto* join = std::get_if<JoinEvent>(&event)) {
       out << "J " << join->referrer << ' ' << join->initial_contribution
@@ -20,41 +66,38 @@ std::string EventLog::serialize() const {
           << '\n';
     }
   }
+  out.precision(precision);
+}
+
+std::string EventLog::serialize() const {
+  std::ostringstream out;
+  write(out);
   return out.str();
 }
 
 EventLog EventLog::parse(const std::string& text) {
-  EventLog log;
   std::istringstream in(text);
-  std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) {
-      continue;
-    }
-    std::istringstream fields(line);
-    char kind = 0;
-    unsigned long id = 0;
-    double value = 0.0;
-    fields >> kind >> id >> value;
-    require(!fields.fail(),
-            "EventLog::parse: malformed line " + std::to_string(line_number) +
-                ": '" + line + "'");
-    switch (kind) {
-      case 'J':
-        log.append(JoinEvent{static_cast<NodeId>(id), value});
-        break;
-      case 'C':
-        log.append(ContributeEvent{static_cast<NodeId>(id), value});
-        break;
-      default:
-        require(false, "EventLog::parse: unknown event kind '" +
-                           std::string(1, kind) + "' on line " +
-                           std::to_string(line_number));
-    }
+  return parse_stream(in);
+}
+
+void EventLog::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("EventLog::save: cannot open " + path);
   }
-  return log;
+  write(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("EventLog::save: write failed for " + path);
+  }
+}
+
+EventLog EventLog::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("EventLog::load: cannot open " + path);
+  }
+  return parse_stream(in);
 }
 
 RewardService EventLog::replay(const Mechanism& mechanism) const {

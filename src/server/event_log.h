@@ -28,9 +28,18 @@ class EventLog {
   /// One line per event (see format above).
   std::string serialize() const;
 
-  /// Parses a serialized log. Throws std::invalid_argument on malformed
-  /// lines.
+  /// Streams the serialized form to `out` (what serialize() buffers).
+  void write(std::ostream& out) const;
+
+  /// Parses a serialized log. Blank lines and `#` comment lines are
+  /// skipped. Throws std::invalid_argument on malformed lines.
   static EventLog parse(const std::string& text);
+
+  /// Streaming file forms of write()/parse(); save() overwrites.
+  /// Throw std::runtime_error on I/O failure, std::invalid_argument on
+  /// malformed lines.
+  void save(const std::string& path) const;
+  static EventLog load(const std::string& path);
 
   /// Feeds every event through a fresh service for `mechanism`.
   RewardService replay(const Mechanism& mechanism) const;

@@ -46,41 +46,48 @@ const Tree& RewardService::tree() const {
 NodeId RewardService::apply(const JoinEvent& event) {
   require(event.initial_contribution >= 0.0,
           "RewardService: initial contribution must be >= 0");
-  ++events_applied_;
-  dirty_ = true;
+  // Counter and cache state change only after the event validated and
+  // applied: a rejected event must leave the service untouched.
+  NodeId id = kInvalidNode;
   switch (mode_) {
     case Mode::kGeometric:
-      return geometric_state_->add_leaf(event.referrer,
-                                        event.initial_contribution);
-    case Mode::kCdrm:
-      return subtree_state_->add_leaf(event.referrer,
+      id = geometric_state_->add_leaf(event.referrer,
                                       event.initial_contribution);
+      break;
+    case Mode::kCdrm:
+      id = subtree_state_->add_leaf(event.referrer,
+                                    event.initial_contribution);
+      break;
     case Mode::kBatch:
+      id = batch_tree_.add_node(event.referrer,
+                                event.initial_contribution);
       break;
   }
-  return batch_tree_.add_node(event.referrer, event.initial_contribution);
+  ++events_applied_;
+  dirty_ = true;
+  return id;
 }
 
 void RewardService::apply(const ContributeEvent& event) {
   require(event.amount >= 0.0, "RewardService: amount must be >= 0");
-  ++events_applied_;
-  dirty_ = true;
   switch (mode_) {
     case Mode::kGeometric:
       geometric_state_->add_contribution(event.participant, event.amount);
-      return;
+      break;
     case Mode::kCdrm:
       subtree_state_->add_contribution(event.participant, event.amount);
-      return;
+      break;
     case Mode::kBatch:
+      require(batch_tree_.contains(event.participant) &&
+                  event.participant != kRoot,
+              "RewardService: unknown participant");
+      batch_tree_.set_contribution(
+          event.participant,
+          batch_tree_.contribution(event.participant) + event.amount);
       break;
   }
-  require(batch_tree_.contains(event.participant) &&
-              event.participant != kRoot,
-          "RewardService: unknown participant");
-  batch_tree_.set_contribution(
-      event.participant,
-      batch_tree_.contribution(event.participant) + event.amount);
+  ++events_applied_;
+  dirty_ = true;
 }
 
 std::optional<NodeId> RewardService::apply(const Event& event) {

@@ -1,0 +1,390 @@
+// Integration tests for the reward-service daemon: protocol codecs,
+// loopback equivalence with the in-process service, and the robustness
+// guarantees (malformed frames, mid-frame disconnects, backpressure,
+// idle timeouts, graceful drain, persistence).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "core/registry.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "server/event_log.h"
+#include "util/rng.h"
+
+namespace itree::net {
+namespace {
+
+// --- Codec unit tests -----------------------------------------------
+
+TEST(Protocol, RequestsRoundTrip) {
+  const Request cases[] = {
+      {MsgType::kJoin, 3, 17, 2.25},
+      {MsgType::kContribute, 0, 5, -1.5},
+      {MsgType::kReward, 2, 9, 0.0},
+      {MsgType::kRewardsBatch, 1, 0, 0.0},
+      {MsgType::kAudit, 7, 0, 0.0},
+      {MsgType::kStats, 0, 0, 0.0},
+      {MsgType::kShutdown, 0, 0, 0.0},
+  };
+  for (const Request& request : cases) {
+    EXPECT_EQ(decode_request(encode_request(request)), request);
+  }
+}
+
+TEST(Protocol, ResponsesRoundTrip) {
+  Response vector;
+  vector.status = Status::kOkVector;
+  vector.rewards = {0.0, 1.5, 2.25, -0.125};
+  const Response decoded =
+      decode_response(encode_response(vector));
+  EXPECT_EQ(decoded.rewards, vector.rewards);
+
+  Response stats;
+  stats.status = Status::kOkStats;
+  stats.stats = {12, 7, 42.5, true};
+  EXPECT_EQ(decode_response(encode_response(stats)).stats, stats.stats);
+
+  const Response error = error_response(ErrorCode::kRejected, "nope");
+  const Response decoded_error =
+      decode_response(encode_response(error));
+  EXPECT_EQ(decoded_error.error, ErrorCode::kRejected);
+  EXPECT_EQ(decoded_error.message, "nope");
+}
+
+TEST(Protocol, DecodersRejectGarbage) {
+  EXPECT_THROW(decode_request(""), ProtocolError);
+  EXPECT_THROW(decode_request("\x7f"), ProtocolError);
+  EXPECT_THROW(decode_request(std::string("\x01\x00", 2)), ProtocolError);
+  // Valid request plus trailing junk.
+  EXPECT_THROW(
+      decode_request(encode_request({MsgType::kStats, 0, 0, 0.0}) + "x"),
+      ProtocolError);
+  EXPECT_THROW(decode_response("\x00"), ProtocolError);
+}
+
+TEST(Protocol, FrameDecoderHandlesFragmentation) {
+  const std::string one = frame(encode_request({MsgType::kStats, 4, 0, 0.0}));
+  const std::string two =
+      frame(encode_request({MsgType::kJoin, 1, 0, 2.0}));
+  const std::string stream = one + two;
+  // Feed byte by byte: frames must pop exactly at their boundaries.
+  FrameDecoder decoder;
+  std::vector<std::string> payloads;
+  std::string payload;
+  for (const char byte : stream) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(&payload)) {
+      payloads.push_back(payload);
+    }
+  }
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(decode_request(payloads[0]).campaign, 4u);
+  EXPECT_EQ(decode_request(payloads[1]).type, MsgType::kJoin);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Protocol, FrameDecoderFlagsOversizedAndZeroLengths) {
+  for (const std::uint32_t length : {0u, kMaxFrameBytes + 1}) {
+    FrameDecoder decoder;
+    char prefix[4];
+    for (int i = 0; i < 4; ++i) {
+      prefix[i] = static_cast<char>((length >> (8 * i)) & 0xff);
+    }
+    decoder.feed(prefix, sizeof(prefix));
+    std::string payload;
+    EXPECT_FALSE(decoder.next(&payload));
+    EXPECT_TRUE(decoder.corrupt());
+    // Poisoned: further bytes are dropped, next() stays false.
+    decoder.feed("abcdefgh", 8);
+    EXPECT_FALSE(decoder.next(&payload));
+  }
+}
+
+// --- Server fixture -------------------------------------------------
+
+class NetTest : public ::testing::Test {
+ protected:
+  ~NetTest() override { stop(); }
+
+  /// Boots a server on an ephemeral loopback port.
+  void start(const Mechanism& mechanism, ServerConfig config = {}) {
+    config.port = 0;
+    server_ = std::make_unique<Server>(mechanism, std::move(config));
+    loop_ = std::thread([this] { server_->run(); });
+  }
+
+  void stop() {
+    if (server_ != nullptr && loop_.joinable()) {
+      server_->request_shutdown();
+      loop_.join();
+    }
+  }
+
+  Client connect() { return Client("127.0.0.1", server_->port()); }
+
+  std::unique_ptr<Server> server_;
+  std::thread loop_;
+};
+
+/// Applies the seeded random stream from server_test.cpp through
+/// `apply`, which receives (referrer-or-participant, amount, is_join)
+/// and returns the assigned id for joins.
+template <typename Apply>
+void drive_workload(std::uint64_t seed, int events, Apply&& apply) {
+  Rng rng(seed);
+  std::size_t n = 0;
+  for (int event = 0; event < events; ++event) {
+    if (n == 0 || rng.bernoulli(0.65)) {
+      const NodeId parent = (n == 0 || rng.bernoulli(0.1))
+                                ? kRoot
+                                : static_cast<NodeId>(1 + rng.index(n));
+      apply(parent, rng.uniform(0.0, 3.0), true);
+      ++n;
+    } else {
+      apply(static_cast<NodeId>(1 + rng.index(n)), rng.uniform(0.0, 2.0),
+            false);
+    }
+  }
+}
+
+// --- Acceptance: served == in-process, bit for bit ------------------
+
+class LoopbackEquivalence
+    : public NetTest,
+      public ::testing::WithParamInterface<MechanismKind> {};
+
+TEST_P(LoopbackEquivalence, ServedMatchesInProcessBitForBit) {
+  const MechanismPtr mechanism = make_default(GetParam());
+  start(*mechanism);
+  Client client = connect();
+
+  RecordingService reference(*mechanism);
+  drive_workload(61, 300, [&](NodeId node, double amount, bool is_join) {
+    if (is_join) {
+      const NodeId served = client.join(0, node, amount);
+      const NodeId local = reference.join(node, amount);
+      ASSERT_EQ(served, local);
+    } else {
+      client.contribute(0, node, amount);
+      reference.contribute(node, amount);
+    }
+  });
+
+  // The reward vector crosses the wire as raw IEEE-754 bits: equality
+  // here is exact, not approximate.
+  const std::vector<double> served = client.rewards(0);
+  const RewardVector& local = reference.service().rewards();
+  ASSERT_EQ(served.size(), local.size());
+  for (std::size_t u = 0; u < served.size(); ++u) {
+    EXPECT_EQ(served[u], local[u]) << "node " << u;
+  }
+  EXPECT_EQ(client.reward(0, 1), reference.service().reward(1));
+
+  // Pre-payout audit: served and local agree, and the incremental fast
+  // path has not diverged from a batch recompute.
+  const double served_audit = client.audit(0);
+  EXPECT_EQ(served_audit, reference.service().audit());
+  EXPECT_LT(served_audit, 1e-9);
+
+  const StatsBody stats = client.stats(0);
+  EXPECT_EQ(stats.events, reference.service().events_applied());
+  EXPECT_EQ(stats.participants,
+            reference.service().tree().participant_count());
+  EXPECT_EQ(stats.incremental, reference.service().incremental());
+}
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, LoopbackEquivalence,
+                         ::testing::Values(MechanismKind::kGeometric,
+                                           MechanismKind::kCdrmReciprocal,
+                                           MechanismKind::kTdrm));
+
+// --- Routing, errors, robustness ------------------------------------
+
+TEST_F(NetTest, RoutesCampaignsIndependently) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  ServerConfig config;
+  config.campaigns = 3;
+  start(*mechanism, config);
+  Client client = connect();
+  // Different growth per campaign; ids restart from 1 in each.
+  EXPECT_EQ(client.join(0, kRoot, 1.0), 1u);
+  EXPECT_EQ(client.join(1, kRoot, 2.0), 1u);
+  EXPECT_EQ(client.join(1, 1, 4.0), 2u);
+  EXPECT_EQ(client.stats(0).participants, 1u);
+  EXPECT_EQ(client.stats(1).participants, 2u);
+  EXPECT_EQ(client.stats(2).participants, 0u);
+}
+
+TEST_F(NetTest, DomainErrorsBecomeRejectedResponses) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  start(*mechanism);
+  Client client = connect();
+  try {
+    client.contribute(0, 42, 1.0);  // participant does not exist
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code, ErrorCode::kRejected);
+  }
+  try {
+    client.join(99, kRoot, 1.0);  // campaign does not exist
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code, ErrorCode::kUnknownCampaign);
+  }
+  EXPECT_THROW(client.join(0, kRoot, -2.0), ServiceError);
+  // The session survives all three rejections.
+  EXPECT_EQ(client.join(0, kRoot, 1.0), 1u);
+}
+
+TEST_F(NetTest, MalformedPayloadGetsErrorFrameAndSessionSurvives) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  start(*mechanism);
+  Client client = connect();
+  client.send_bytes(frame("\x7fgarbage"));  // unknown message type
+  const Response response = client.read_response();
+  EXPECT_EQ(response.status, Status::kError);
+  EXPECT_EQ(response.error, ErrorCode::kBadRequest);
+  // Framing stayed intact: the next request works.
+  EXPECT_EQ(client.join(0, kRoot, 1.0), 1u);
+}
+
+TEST_F(NetTest, OversizedFrameGetsErrorThenClose) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  start(*mechanism);
+  Client client = connect();
+  const std::uint32_t length = kMaxFrameBytes + 7;
+  char prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((length >> (8 * i)) & 0xff);
+  }
+  client.send_bytes(std::string_view(prefix, sizeof(prefix)));
+  const Response response = client.read_response();
+  EXPECT_EQ(response.status, Status::kError);
+  EXPECT_EQ(response.error, ErrorCode::kBadRequest);
+  // The stream is untrustworthy, so the server hangs up.
+  EXPECT_THROW(client.read_response(), std::runtime_error);
+  // ...but keeps serving everyone else.
+  Client fresh = connect();
+  EXPECT_EQ(fresh.join(0, kRoot, 1.0), 1u);
+}
+
+TEST_F(NetTest, MidFrameDisconnectLeavesServerHealthy) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  start(*mechanism);
+  {
+    Client client = connect();
+    const std::string full = frame(encode_request(
+        {MsgType::kJoin, 0, kRoot, 1.0}));
+    client.send_bytes(
+        std::string_view(full.data(), full.size() / 2));
+    client.shutdown_write();
+    // Destructor closes the socket with half a frame delivered.
+  }
+  Client fresh = connect();
+  EXPECT_EQ(fresh.stats(0).participants, 0u)
+      << "partial frame must not have been applied";
+  EXPECT_EQ(fresh.join(0, kRoot, 1.0), 1u);
+}
+
+TEST_F(NetTest, PipelinedBurstIsAnsweredInOrder) {
+  // A client that sends a large burst before reading anything forces
+  // the server through its write-buffer / EPOLLOUT path: the responses
+  // cannot all fit in the socket buffer while we are not reading.
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  ServerConfig config;
+  config.max_write_buffer = 64 * 1024;  // low mark: force backpressure
+  start(*mechanism, config);
+  Client client = connect();
+  ASSERT_EQ(client.join(0, kRoot, 1.0), 1u);
+  for (int i = 0; i < 200; ++i) {
+    client.send_request({MsgType::kContribute, 0, 1, 0.5});
+    client.send_request({MsgType::kRewardsBatch, 0, 0, 0.0});
+  }
+  double last_reward = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(client.read_response().status, Status::kOk);
+    const Response batch = client.read_response();
+    ASSERT_EQ(batch.status, Status::kOkVector);
+    ASSERT_EQ(batch.rewards.size(), 2u);
+    // Monotone in the pipelined order: responses were not reordered.
+    EXPECT_GT(batch.rewards[1], last_reward);
+    last_reward = batch.rewards[1];
+  }
+  EXPECT_EQ(client.stats(0).events, 201u);
+}
+
+TEST_F(NetTest, IdleSessionsAreClosed) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  ServerConfig config;
+  config.idle_timeout_seconds = 0.2;
+  start(*mechanism, config);
+  Client client = connect();
+  EXPECT_EQ(client.join(0, kRoot, 1.0), 1u);
+  // No traffic: the server must hang up on us within a few sweeps.
+  EXPECT_THROW(client.read_response(), std::runtime_error);
+  stop();  // counters are only synchronized once run() has returned
+  EXPECT_GE(server_->counters().sessions_timed_out, 1u);
+}
+
+TEST_F(NetTest, RemoteShutdownCanBeDisabled) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  ServerConfig config;
+  config.allow_remote_shutdown = false;
+  start(*mechanism, config);
+  Client client = connect();
+  EXPECT_THROW(client.shutdown_server(), ServiceError);
+  EXPECT_EQ(client.join(0, kRoot, 1.0), 1u);  // still serving
+}
+
+TEST_F(NetTest, ShutdownFrameDrainsTheServer) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  start(*mechanism);
+  Client client = connect();
+  EXPECT_EQ(client.join(0, kRoot, 2.0), 1u);
+  client.shutdown_server();  // blocks until the OK frame arrives
+  loop_.join();
+  EXPECT_EQ(server_->campaign(0).service().events_applied(), 1u);
+}
+
+TEST_F(NetTest, PersistsEventLogsOnShutdown) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "itree_net_persist_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  ServerConfig config;
+  config.campaigns = 2;
+  config.persist_dir = dir.string();
+  start(*mechanism, config);
+  {
+    Client client = connect();
+    drive_workload(7, 60, [&](NodeId node, double amount, bool is_join) {
+      if (is_join) {
+        client.join(1, node, amount);
+      } else {
+        client.contribute(1, node, amount);
+      }
+    });
+  }
+  stop();
+
+  // The saved log replays to the exact server-side deployment.
+  const EventLog log = EventLog::load((dir / "campaign_1.log").string());
+  const RewardService replayed = log.replay(*mechanism);
+  const RewardService& live = server_->campaign(1).service();
+  ASSERT_EQ(replayed.tree().node_count(), live.tree().node_count());
+  for (NodeId u = 1; u < replayed.tree().node_count(); ++u) {
+    EXPECT_EQ(replayed.reward(u), live.reward(u));
+  }
+  EXPECT_EQ(EventLog::load((dir / "campaign_0.log").string()).size(), 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace itree::net

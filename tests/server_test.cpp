@@ -1,6 +1,8 @@
 // Tests for the event-sourced reward service and the event log.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/registry.h"
 #include "server/event_log.h"
 #include "server/reward_service.h"
@@ -79,6 +81,40 @@ TEST(RewardServiceTest, RejectsBadEvents) {
   EXPECT_THROW(service.reward(kRoot), std::invalid_argument);
 }
 
+TEST(RewardServiceTest, ErrorPathsLeaveStateUntouched) {
+  // A rejected event must not half-apply: counters, tree size and
+  // rewards all stay as they were.
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  RewardService service(*mechanism);
+  const NodeId a = service.apply(JoinEvent{kRoot, 5.0});
+  const double before = service.reward(a);
+
+  // Contribution to an unknown participant.
+  EXPECT_THROW(service.apply(ContributeEvent{77, 1.0}),
+               std::invalid_argument);
+  // Negative contribution amount to an existing participant.
+  EXPECT_THROW(service.apply(ContributeEvent{a, -0.25}),
+               std::invalid_argument);
+  // Join under an unknown referrer.
+  EXPECT_THROW(service.apply(JoinEvent{99, 1.0}), std::invalid_argument);
+
+  EXPECT_EQ(service.events_applied(), 1u);
+  EXPECT_EQ(service.tree().participant_count(), 1u);
+  EXPECT_EQ(service.reward(a), before);
+}
+
+TEST(RewardServiceTest, AuditOnBatchModeMechanismIsExactlyZero) {
+  // TDRM has no incremental fast path: the service serves the batch
+  // answer itself, so there is nothing to diverge from.
+  const MechanismPtr tdrm = make_default(MechanismKind::kTdrm);
+  RewardService service(*tdrm);
+  ASSERT_FALSE(service.incremental());
+  const NodeId a = service.apply(JoinEvent{kRoot, 3.0});
+  service.apply(JoinEvent{a, 2.0});
+  service.apply(ContributeEvent{a, 1.5});
+  EXPECT_EQ(service.audit(), 0.0);
+}
+
 TEST(EventLogTest, SerializeParseRoundTrip) {
   EventLog log;
   log.append(JoinEvent{kRoot, 2.5});
@@ -95,6 +131,38 @@ TEST(EventLogTest, ParseRejectsGarbage) {
   EXPECT_THROW(EventLog::parse("X 1 2\n"), std::invalid_argument);
   EXPECT_THROW(EventLog::parse("J one 2\n"), std::invalid_argument);
   EXPECT_NO_THROW(EventLog::parse("\nJ 0 1\n\n"));  // blank lines ok
+}
+
+TEST(EventLogTest, ParseSkipsCommentsAndWhitespaceLines) {
+  const EventLog log = EventLog::parse(
+      "# a hand-edited log\n"
+      "J 0 2.5\n"
+      "   \t \n"
+      "  # indented comment\n"
+      "C 1 0.75\n");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(std::get<ContributeEvent>(log.events()[1]),
+            (ContributeEvent{1, 0.75}));
+}
+
+TEST(EventLogTest, SaveAndLoadRoundTripThroughAFile) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "itree_event_log_test.log";
+  EventLog log;
+  log.append(JoinEvent{kRoot, 2.5});
+  log.append(JoinEvent{1, 0.1 + 0.2});  // exercise full precision
+  log.append(ContributeEvent{2, 1.0 / 3.0});
+  log.save(path.string());
+
+  const EventLog loaded = EventLog::load(path.string());
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.events(), log.events());
+  fs::remove(path);
+
+  EXPECT_THROW(EventLog::load("/nonexistent/dir/evt.log"),
+               std::runtime_error);
+  EXPECT_THROW(log.save("/nonexistent/dir/evt.log"), std::runtime_error);
 }
 
 TEST(EventLogTest, ReplayReconstructsTheDeployment) {

@@ -1,0 +1,201 @@
+// `itree-loadgen` — seeded load generator for the reward-service
+// daemon.
+//
+// Replays a synthetic referral workload (a mix of joins, follow-up
+// contributions, reward/stats queries and periodic full-vector reads)
+// over N blocking connections and reports throughput plus p50/p95/p99
+// request latency. Connection c targets campaign (c % campaigns) and
+// draws its events from Rng::fork(c), so with --connections equal to
+// --campaigns every campaign sees one deterministic event sequence and
+// the final reward digests are reproducible — that is the mode the CI
+// smoke job and bench_e14 assert on (see docs/protocol.md).
+//
+// Example (against a local daemon):
+//   itree-loadgen --port 7431 --connections 4 --campaigns 4
+//       --requests 2000 --check
+//
+// --check exits non-zero when any campaign's audit divergence exceeds
+// 1e-9 — the pre-payout invariant a deployment would gate on.
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "util/args.h"
+#include "util/bench_json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace itree;
+
+struct ConnectionReport {
+  std::vector<double> latencies_seconds;
+  std::uint64_t requests = 0;
+  std::string error;  // non-empty: the connection failed
+};
+
+/// Drives one connection's seeded request stream; `rng` must be a
+/// dedicated fork so the stream is identical regardless of how other
+/// connections interleave.
+void drive_connection(const std::string& host, std::uint16_t port,
+                      std::uint32_t campaign, std::uint64_t requests,
+                      Rng rng, ConnectionReport* report) {
+  try {
+    net::Client client(host, port);
+    std::vector<NodeId> mine;  // participants this connection created
+    report->latencies_seconds.reserve(requests);
+    for (std::uint64_t i = 0; i < requests; ++i) {
+      net::Request request;
+      request.campaign = campaign;
+      if (mine.empty() || rng.bernoulli(0.55)) {
+        request.type = net::MsgType::kJoin;
+        request.node = (mine.empty() || rng.bernoulli(0.15))
+                           ? kRoot
+                           : mine[rng.index(mine.size())];
+        request.amount = rng.uniform(0.0, 3.0);
+      } else if (rng.bernoulli(0.5)) {
+        request.type = net::MsgType::kContribute;
+        request.node = mine[rng.index(mine.size())];
+        request.amount = rng.uniform(0.0, 2.0);
+      } else if (i % 64 == 63) {
+        request.type = net::MsgType::kRewardsBatch;
+      } else if (rng.bernoulli(0.8)) {
+        request.type = net::MsgType::kReward;
+        request.node = mine[rng.index(mine.size())];
+      } else {
+        request.type = net::MsgType::kStats;
+      }
+      const double start = monotonic_seconds();
+      const net::Response response = client.call(request);
+      report->latencies_seconds.push_back(monotonic_seconds() - start);
+      ++report->requests;
+      if (request.type == net::MsgType::kJoin) {
+        mine.push_back(static_cast<NodeId>(response.id));
+      }
+    }
+  } catch (const std::exception& error) {
+    report->error = error.what();
+  }
+}
+
+/// Bit-exact rendering of a reward vector for digesting.
+std::string render_rewards(const std::vector<double>& rewards) {
+  std::string out;
+  char buffer[32];
+  for (const double reward : rewards) {
+    std::snprintf(buffer, sizeof(buffer), "%a,", reward);
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("--host", "server address (default 127.0.0.1)");
+  args.add_flag("--port", "server port (default 7431)");
+  args.add_flag("--connections", "concurrent connections (default 4)");
+  args.add_flag("--campaigns",
+                "campaigns to spread connections over (default 1)");
+  args.add_flag("--requests", "requests per connection (default 1000)");
+  args.add_flag("--seed", "workload seed (default 42)");
+  args.add_flag("--check",
+                "exit 1 unless every campaign audit is < 1e-9", false);
+  args.add_flag("--shutdown", "send SHUTDOWN when done", false);
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << '\n';
+    return 2;
+  }
+
+  const std::string host = args.get_or("--host", "127.0.0.1");
+  const auto port =
+      static_cast<std::uint16_t>(args.get_int_or("--port", 7431));
+  const auto connections =
+      static_cast<std::size_t>(args.get_int_or("--connections", 4));
+  const auto campaigns =
+      static_cast<std::uint32_t>(args.get_int_or("--campaigns", 1));
+  const auto requests =
+      static_cast<std::uint64_t>(args.get_int_or("--requests", 1000));
+  const Rng base(static_cast<std::uint64_t>(args.get_int_or("--seed", 42)));
+  if (connections == 0 || campaigns == 0) {
+    std::cerr << "need at least one connection and one campaign\n";
+    return 2;
+  }
+
+  try {
+    std::vector<ConnectionReport> reports(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    const double start = monotonic_seconds();
+    for (std::size_t c = 0; c < connections; ++c) {
+      threads.emplace_back(drive_connection, host, port,
+                           static_cast<std::uint32_t>(c % campaigns),
+                           requests, base.fork(c), &reports[c]);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    const double wall = monotonic_seconds() - start;
+
+    std::vector<double> latencies;
+    std::uint64_t total_requests = 0;
+    for (const ConnectionReport& report : reports) {
+      if (!report.error.empty()) {
+        std::cerr << "connection failed: " << report.error << '\n';
+        return 1;
+      }
+      total_requests += report.requests;
+      latencies.insert(latencies.end(), report.latencies_seconds.begin(),
+                       report.latencies_seconds.end());
+    }
+    std::cout << "itree-loadgen: " << total_requests << " requests over "
+              << connections << " connection(s) in "
+              << compact_number(wall, 3) << " s -> "
+              << compact_number(total_requests / wall, 0) << " req/s\n"
+              << "latency ms: p50 "
+              << compact_number(percentile(latencies, 50) * 1e3, 3)
+              << "  p95 "
+              << compact_number(percentile(latencies, 95) * 1e3, 3)
+              << "  p99 "
+              << compact_number(percentile(latencies, 99) * 1e3, 3)
+              << "  max "
+              << compact_number(
+                     *std::max_element(latencies.begin(), latencies.end()) *
+                         1e3, 3)
+              << '\n';
+
+    // Post-run verification pass over every campaign.
+    net::Client verifier(host, port);
+    double worst_audit = 0.0;
+    for (std::uint32_t campaign = 0; campaign < campaigns; ++campaign) {
+      const double divergence = verifier.audit(campaign);
+      const net::StatsBody stats = verifier.stats(campaign);
+      const std::uint64_t digest =
+          fnv1a64(render_rewards(verifier.rewards(campaign)));
+      worst_audit = std::max(worst_audit, divergence);
+      std::cout << "campaign " << campaign << ": participants "
+                << stats.participants << ", events " << stats.events
+                << ", total reward "
+                << compact_number(stats.total_reward, 6) << ", audit "
+                << compact_number(divergence, 12) << ", rewards digest "
+                << digest_hex(digest) << '\n';
+    }
+    if (args.has("--shutdown")) {
+      verifier.shutdown_server();
+    }
+    if (args.has("--check") && worst_audit >= 1e-9) {
+      std::cerr << "audit divergence " << worst_audit
+                << " exceeds 1e-9\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "itree-loadgen: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -6,6 +6,7 @@
 //   attack     run the Sybil attack search against a scenario tree
 //   dot        emit Graphviz for a tree
 //   generate   emit a generated tree in the s-expression format
+//   replay     rebuild a deployment from a saved event log
 //
 // Trees are read from --tree "<s-expr>" or from a file via --tree-file.
 // Examples:
@@ -19,6 +20,7 @@
 #include "core/factory.h"
 #include "core/registry.h"
 #include "mlm/campaign.h"
+#include "server/event_log.h"
 #include "properties/matrix.h"
 #include "properties/sybil_search.h"
 #include "tree/generators.h"
@@ -200,6 +202,42 @@ int cmd_generate(const ArgParser& args) {
   return 0;
 }
 
+int cmd_replay(const ArgParser& args) {
+  // `itree replay <logfile> [mechanism]` — the mechanism may also come
+  // from --mechanism; re-pricing a saved deployment under a different
+  // mechanism is the point of event sourcing.
+  const std::vector<std::string>& positional = args.positional();
+  if (positional.size() < 2) {
+    std::cerr << "usage: itree replay <logfile> [mechanism]\n";
+    return 2;
+  }
+  MechanismPtr mechanism;
+  try {
+    mechanism = make_mechanism(
+        positional.size() >= 3 ? positional[2]
+                               : args.get_or("--mechanism", "geometric"),
+        parse_param_string(args.get_or("--params", "")));
+  } catch (const std::invalid_argument& error) {
+    std::cerr << error.what() << '\n';
+    return 1;
+  }
+  const EventLog log = EventLog::load(positional[1]);
+  const RewardService service = log.replay(*mechanism);
+  std::cout << "replayed " << log.size() << " events under "
+            << mechanism->display_name() << " ("
+            << (service.incremental() ? "incremental" : "batch")
+            << " mode)\n"
+            << "participants " << service.tree().participant_count()
+            << ", total contribution "
+            << compact_number(service.tree().total_contribution(), 6)
+            << '\n'
+            << "total reward "
+            << compact_number(service.total_reward(), 6)
+            << ", audit divergence "
+            << compact_number(service.audit(), 12) << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,7 +273,7 @@ int main(int argc, char** argv) {
   }
   if (args.positional().empty()) {
     std::cout << args.help(
-        "itree <rewards|check|attack|dot|generate> [flags]\n"
+        "itree <rewards|check|attack|dot|generate|replay> [flags]\n"
         "Incentive Tree mechanisms (Lv & Moscibroda, PODC'13) toolbox.");
     return 0;
   }
@@ -257,6 +295,9 @@ int main(int argc, char** argv) {
     }
     if (command == "generate") {
       return cmd_generate(args);
+    }
+    if (command == "replay") {
+      return cmd_replay(args);
     }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
