@@ -66,16 +66,6 @@ void drive(std::uint16_t port, std::uint32_t campaign,
   }
 }
 
-std::string render_rewards(const std::vector<double>& rewards) {
-  std::string out;
-  char buffer[32];
-  for (const double reward : rewards) {
-    std::snprintf(buffer, sizeof(buffer), "%a,", reward);
-    out += buffer;
-  }
-  return out;
-}
-
 int parse_flag(int* argc, char** argv, const std::string& flag,
                int fallback) {
   int out = 1;
@@ -155,7 +145,7 @@ int main(int argc, char** argv) {
   std::string all_rendered;
   for (std::uint32_t c = 0; c < campaigns; ++c) {
     worst_audit = std::max(worst_audit, verifier.audit(c));
-    all_rendered += render_rewards(verifier.rewards(c));
+    all_rendered += hex_doubles(verifier.rewards(c));
     all_rendered += ';';
   }
   harness.json().add_metric("worst_audit_divergence", worst_audit);

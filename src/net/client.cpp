@@ -10,6 +10,8 @@
 #include <cstring>
 #include <limits>
 
+#include "util/io.h"
+
 namespace itree::net {
 
 Client::Client(const std::string& host, std::uint16_t port) {
@@ -50,18 +52,10 @@ Client::Client(Client&& other) noexcept
 }
 
 void Client::send_bytes(std::string_view bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent,
-                             bytes.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      throw std::runtime_error(std::string("send: ") +
-                               std::strerror(errno));
-    }
-    sent += static_cast<std::size_t>(n);
+  // io::send_all owns the EINTR/partial-write retry loop (shared with
+  // the storage engine's WAL writer).
+  if (!io::send_all(fd_, bytes.data(), bytes.size())) {
+    throw std::runtime_error(std::string("send: ") + std::strerror(errno));
   }
 }
 
@@ -79,18 +73,17 @@ Response Client::read_response() {
                           decoder_.corruption());
     }
     char buffer[65536];
-    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
-    if (n == 0) {
-      throw std::runtime_error("server closed the connection");
+    std::size_t received = 0;
+    switch (io::recv_some(fd_, buffer, sizeof(buffer), &received)) {
+      case io::IoStatus::kProgress:
+        decoder_.feed(buffer, received);
+        break;
+      case io::IoStatus::kEof:
+        throw std::runtime_error("server closed the connection");
+      default:
+        throw std::runtime_error(std::string("recv: ") +
+                                 std::strerror(errno));
     }
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      throw std::runtime_error(std::string("recv: ") +
-                               std::strerror(errno));
-    }
-    decoder_.feed(buffer, static_cast<std::size_t>(n));
   }
   return decode_response(payload);
 }

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "util/bench_json.h"  // monotonic_seconds
+#include "util/io.h"
 #include "util/parallel.h"
 
 namespace itree::net {
@@ -62,8 +63,20 @@ Server::Server(const Mechanism& mechanism, ServerConfig config)
     throw std::invalid_argument("Server: need at least one campaign");
   }
   campaigns_.reserve(config_.campaigns);
-  for (std::size_t i = 0; i < config_.campaigns; ++i) {
-    campaigns_.push_back(std::make_unique<RecordingService>(mechanism));
+  if (!config_.storage.data_dir.empty()) {
+    // Durable deployment: recovery runs here, before the socket is
+    // bound, so clients never observe a partially rebuilt service.
+    storage_ = std::make_unique<storage::Storage>(
+        mechanism, config_.campaigns, config_.storage);
+    for (std::size_t i = 0; i < config_.campaigns; ++i) {
+      campaigns_.push_back(&storage_->campaign(i));
+    }
+  } else {
+    for (std::size_t i = 0; i < config_.campaigns; ++i) {
+      owned_campaigns_.push_back(
+          std::make_unique<RecordingService>(mechanism));
+      campaigns_.push_back(owned_campaigns_.back().get());
+    }
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
@@ -228,6 +241,11 @@ void Server::run() {
       }
     }
   }
+  if (storage_ != nullptr) {
+    // Graceful drain: checkpoint so the next start is O(snapshot) with
+    // no WAL tail to replay.
+    storage_->snapshot_now();
+  }
   persist_logs();
 }
 
@@ -270,24 +288,23 @@ void Server::on_readable(int fd) {
   char buffer[65536];
   bool saw_eof = false;
   while (session.reading) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n > 0) {
-      session.decoder.feed(buffer, static_cast<std::size_t>(n));
+    std::size_t received = 0;
+    const io::IoStatus status =
+        io::recv_some(fd, buffer, sizeof(buffer), &received);
+    if (status == io::IoStatus::kProgress) {
+      session.decoder.feed(buffer, received);
       session.last_activity = monotonic_seconds();
-      if (static_cast<std::size_t>(n) < sizeof(buffer)) {
+      if (received < sizeof(buffer)) {
         break;  // likely drained; epoll is level-triggered anyway
       }
       continue;
     }
-    if (n == 0) {
+    if (status == io::IoStatus::kEof) {
       saw_eof = true;
       break;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    if (status == io::IoStatus::kWouldBlock) {
       break;
-    }
-    if (errno == EINTR) {
-      continue;
     }
     session.broken = true;
     return;
@@ -388,6 +405,13 @@ void Server::process_pending() {
     run_group(0);
   }
 
+  if (storage_ != nullptr) {
+    // Group commit before any response leaves the process: everything
+    // acknowledged this tick is already as durable as the fsync policy
+    // promises. One write()/fsync covers the whole tick.
+    storage_->commit();
+  }
+
   for (PendingRequest& pending : pending_) {
     Session* session =
         (static_cast<std::size_t>(pending.fd) < sessions_.size())
@@ -401,6 +425,14 @@ void Server::process_pending() {
     ++counters_.requests_served;
   }
   pending_.clear();
+}
+
+std::optional<NodeId> Server::apply_event(std::uint32_t campaign_index,
+                                          const Event& event) {
+  if (storage_ != nullptr) {
+    return storage_->apply(campaign_index, event);  // apply + WAL append
+  }
+  return campaigns_[campaign_index]->apply(event);
 }
 
 Response Server::apply_request(const Request& request) {
@@ -419,10 +451,11 @@ Response Server::apply_request(const Request& request) {
     switch (request.type) {
       case MsgType::kJoin:
         response.status = Status::kOkId;
-        response.id = campaign.join(node, request.amount);
+        response.id = *apply_event(request.campaign,
+                                   JoinEvent{node, request.amount});
         break;
       case MsgType::kContribute:
-        campaign.contribute(node, request.amount);
+        apply_event(request.campaign, ContributeEvent{node, request.amount});
         response.status = Status::kOk;
         break;
       case MsgType::kReward:
@@ -480,19 +513,17 @@ void Server::enqueue_response(Session& session, const Response& response) {
 
 void Server::flush(Session& session) {
   while (session.out_sent < session.out.size()) {
-    const ssize_t n =
-        ::send(session.fd, session.out.data() + session.out_sent,
-               session.out.size() - session.out_sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      session.out_sent += static_cast<std::size_t>(n);
+    std::size_t sent = 0;
+    const io::IoStatus status =
+        io::send_some(session.fd, session.out.data() + session.out_sent,
+                      session.out.size() - session.out_sent, &sent);
+    if (status == io::IoStatus::kProgress) {
+      session.out_sent += sent;
       session.last_activity = monotonic_seconds();
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (status == io::IoStatus::kWouldBlock) {
       break;
-    }
-    if (n < 0 && errno == EINTR) {
-      continue;
     }
     session.broken = true;
     return;

@@ -31,6 +31,7 @@
 #include "core/mechanism.h"
 #include "net/protocol.h"
 #include "server/event_log.h"
+#include "storage/storage.h"
 
 namespace itree::net {
 
@@ -50,6 +51,13 @@ struct ServerConfig {
   /// Whether a SHUTDOWN frame drains the server (a private deployment
   /// convenience; disable when clients are untrusted).
   bool allow_remote_shutdown = true;
+  /// Crash-safe persistence, active when `storage.data_dir` is
+  /// non-empty: state recovers from the data directory at startup,
+  /// every accepted event is WAL-logged, and each tick group-commits
+  /// *before* responses are flushed — an acknowledged event is as
+  /// durable as the fsync policy promises. The `campaigns` counts must
+  /// agree with an existing data directory.
+  storage::StorageConfig storage;
 };
 
 /// Monotonic operational counters, readable after run() returns (or
@@ -90,6 +98,9 @@ class Server {
   const RecordingService& campaign(std::size_t index) const;
   std::size_t campaign_count() const { return campaigns_.size(); }
 
+  /// The storage engine, or nullptr when running in-memory only.
+  const storage::Storage* storage() const { return storage_.get(); }
+
   const ServerCounters& counters() const { return counters_; }
 
  private:
@@ -104,6 +115,8 @@ class Server {
   void enqueue_response(Session& session, const Response& response);
   void flush(Session& session);
   void update_interest(Session& session);
+  std::optional<NodeId> apply_event(std::uint32_t campaign_index,
+                                    const Event& event);
   void close_session(int fd);
   void harvest_idle(double now);
   void begin_drain();
@@ -116,7 +129,10 @@ class Server {
   int wake_fd_ = -1;  ///< eventfd poked by request_shutdown()
   bool draining_ = false;
 
-  std::vector<std::unique_ptr<RecordingService>> campaigns_;
+  /// Observers into either owned_campaigns_ or storage_'s campaigns.
+  std::vector<RecordingService*> campaigns_;
+  std::vector<std::unique_ptr<RecordingService>> owned_campaigns_;
+  std::unique_ptr<storage::Storage> storage_;  ///< null when in-memory
   std::uint64_t next_serial_ = 0;  ///< distinguishes reused fds
   std::vector<std::unique_ptr<Session>> sessions_;  ///< indexed by fd
   std::vector<PendingRequest> pending_;  ///< decoded this tick, in order

@@ -1,7 +1,10 @@
 #include "server/event_log.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/check.h"
 #include "util/strings.h"
@@ -9,44 +12,92 @@
 namespace itree {
 namespace {
 
-/// True for lines parse skips: blank/whitespace-only and `#` comments.
-bool skippable(const std::string& line) {
-  const std::size_t first = line.find_first_not_of(" \t\r");
-  return first == std::string::npos || line[first] == '#';
+[[noreturn]] void bad_line(const std::string& why, std::size_t line_number,
+                           const std::string& line) {
+  require(false, "EventLog::parse: " + why + " on line " +
+                     std::to_string(line_number) + ": '" + line + "'");
+  std::abort();  // unreachable; require always throws on false
+}
+
+/// Strict whole-token u64: rejects empty, signs, and trailing characters
+/// (istringstream would silently accept "3x" as 3).
+bool parse_u64(const std::string& token, unsigned long long* out) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoull(token.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool parse_f64(const std::string& token, double* out) {
+  if (token.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0';
 }
 
 void parse_line(const std::string& line, std::size_t line_number,
-                EventLog& log) {
+                EventLog& log,
+                std::unordered_set<unsigned long long>& seen_ids) {
   std::istringstream fields(line);
-  char kind = 0;
-  unsigned long id = 0;
+  std::vector<std::string> tokens;
+  std::string token;
+  while (fields >> token) {
+    tokens.push_back(token);
+  }
+  std::size_t next = 0;
+  if (!tokens.empty() && tokens[0][0] == '@') {
+    unsigned long long event_id = 0;
+    if (!parse_u64(tokens[0].substr(1), &event_id)) {
+      bad_line("malformed event id '" + tokens[0] + "'", line_number, line);
+    }
+    if (!seen_ids.insert(event_id).second) {
+      bad_line("duplicate event id '" + tokens[0] + "'", line_number, line);
+    }
+    next = 1;
+  }
+  if (tokens.size() - next != 3) {
+    bad_line(tokens.size() - next < 3 ? "missing fields" : "trailing garbage",
+             line_number, line);
+  }
+  const std::string& kind = tokens[next];
+  unsigned long long id = 0;
   double value = 0.0;
-  fields >> kind >> id >> value;
-  require(!fields.fail(),
-          "EventLog::parse: malformed line " + std::to_string(line_number) +
-              ": '" + line + "'");
-  switch (kind) {
-    case 'J':
-      log.append(JoinEvent{static_cast<NodeId>(id), value});
-      break;
-    case 'C':
-      log.append(ContributeEvent{static_cast<NodeId>(id), value});
-      break;
-    default:
-      require(false, "EventLog::parse: unknown event kind '" +
-                         std::string(1, kind) + "' on line " +
-                         std::to_string(line_number));
+  if (!parse_u64(tokens[next + 1], &id) || id > kInvalidNode) {
+    bad_line("malformed participant id '" + tokens[next + 1] + "'",
+             line_number, line);
+  }
+  if (!parse_f64(tokens[next + 2], &value)) {
+    bad_line("malformed amount '" + tokens[next + 2] + "'", line_number, line);
+  }
+  if (kind == "J") {
+    log.append(JoinEvent{static_cast<NodeId>(id), value});
+  } else if (kind == "C") {
+    log.append(ContributeEvent{static_cast<NodeId>(id), value});
+  } else {
+    bad_line("unknown event kind '" + kind + "'", line_number, line);
   }
 }
 
 EventLog parse_stream(std::istream& in) {
   EventLog log;
+  std::unordered_set<unsigned long long> seen_ids;
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    if (!skippable(line)) {
-      parse_line(line, line_number, log);
+    // A `#` starts a comment that runs to end of line, whether the
+    // line starts with it or an event precedes it.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      parse_line(line, line_number, log, seen_ids);
     }
   }
   return log;
@@ -54,17 +105,24 @@ EventLog parse_stream(std::istream& in) {
 
 }  // namespace
 
+namespace {
+
+void write_event(std::ostream& out, const Event& event) {
+  if (const auto* join = std::get_if<JoinEvent>(&event)) {
+    out << "J " << join->referrer << ' ' << join->initial_contribution
+        << '\n';
+  } else {
+    const auto& contribute = std::get<ContributeEvent>(event);
+    out << "C " << contribute.participant << ' ' << contribute.amount << '\n';
+  }
+}
+
+}  // namespace
+
 void EventLog::write(std::ostream& out) const {
   const auto precision = out.precision(17);
   for (const Event& event : events_) {
-    if (const auto* join = std::get_if<JoinEvent>(&event)) {
-      out << "J " << join->referrer << ' ' << join->initial_contribution
-          << '\n';
-    } else {
-      const auto& contribute = std::get<ContributeEvent>(event);
-      out << "C " << contribute.participant << ' ' << contribute.amount
-          << '\n';
-    }
+    write_event(out, event);
   }
   out.precision(precision);
 }
@@ -85,7 +143,13 @@ void EventLog::save(const std::string& path) const {
   if (!out) {
     throw std::runtime_error("EventLog::save: cannot open " + path);
   }
-  write(out);
+  out << "# itree event log, " << events_.size() << " events\n";
+  const auto precision = out.precision(17);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out << '@' << i << ' ';
+    write_event(out, events_[i]);
+  }
+  out.precision(precision);
   out.flush();
   if (!out) {
     throw std::runtime_error("EventLog::save: write failed for " + path);
@@ -108,6 +172,17 @@ RewardService EventLog::replay(const Mechanism& mechanism) const {
   return service;
 }
 
+EventLog EventLog::from_tree(const Tree& tree) {
+  EventLog log;
+  // Ids are assigned sequentially by the apply path and parents always
+  // precede children in the arena, so one join per participant in id
+  // order replays back to the identical tree.
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    log.append(JoinEvent{tree.parent(u), tree.contribution(u)});
+  }
+  return log;
+}
+
 NodeId RecordingService::join(NodeId referrer, double initial_contribution) {
   const JoinEvent event{referrer, initial_contribution};
   const NodeId id = service_.apply(event);
@@ -119,6 +194,18 @@ void RecordingService::contribute(NodeId participant, double amount) {
   const ContributeEvent event{participant, amount};
   service_.apply(event);
   log_.append(event);
+}
+
+std::optional<NodeId> RecordingService::apply(const Event& event) {
+  const std::optional<NodeId> id = service_.apply(event);
+  log_.append(event);
+  return id;
+}
+
+void RecordingService::restore_snapshot(const Tree& tree,
+                                        std::uint64_t events_applied) {
+  service_.restore_snapshot(tree, events_applied);
+  log_ = EventLog::from_tree(tree);
 }
 
 }  // namespace itree

@@ -1,13 +1,24 @@
-// Persistent event log: serialization and replay.
+// Persistent event log: the human-readable import/export format.
+//
+// Durability lives in the binary storage engine (src/storage/); this
+// text format is for export, import, and offline replay.
 //
 // Line format (one event per line, whitespace-separated):
-//   J <referrer-id> <initial-contribution>
-//   C <participant-id> <amount>
+//   [@<event-id>] J <referrer-id> <initial-contribution>
+//   [@<event-id>] C <participant-id> <amount>
+// The optional leading `@<event-id>` token names the event; save()
+// writes one per line so exported logs can be audited, and load/parse
+// reject duplicate ids. Blank lines are skipped; `#` starts a comment
+// that runs to end of line (whole-line or inline). Anything after the
+// three event fields other than a comment is an error — a corrupted
+// line must not half-parse.
+//
 // Replay feeds the log through a fresh RewardService, reconstructing
 // the exact deployment state (ids are assigned deterministically in
 // event order).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -25,24 +36,32 @@ class EventLog {
   const std::vector<Event>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
 
-  /// One line per event (see format above).
+  /// One line per event, bare wire form without `@` ids (see format
+  /// above).
   std::string serialize() const;
 
   /// Streams the serialized form to `out` (what serialize() buffers).
   void write(std::ostream& out) const;
 
-  /// Parses a serialized log. Blank lines and `#` comment lines are
-  /// skipped. Throws std::invalid_argument on malformed lines.
+  /// Parses a serialized log (with or without `@` ids / comments).
+  /// Throws std::invalid_argument on malformed lines, trailing garbage,
+  /// or duplicate event ids.
   static EventLog parse(const std::string& text);
 
-  /// Streaming file forms of write()/parse(); save() overwrites.
-  /// Throw std::runtime_error on I/O failure, std::invalid_argument on
-  /// malformed lines.
+  /// Streaming file forms; save() overwrites, writing a header comment
+  /// and an `@<index>` id per line. Throw std::runtime_error on I/O
+  /// failure, std::invalid_argument on malformed input.
   void save(const std::string& path) const;
   static EventLog load(const std::string& path);
 
   /// Feeds every event through a fresh service for `mechanism`.
   RewardService replay(const Mechanism& mechanism) const;
+
+  /// State-equivalent compacted log for an existing tree: one join per
+  /// participant in id order. Replaying it rebuilds `tree` exactly;
+  /// the original event-by-event history is not preserved (that is the
+  /// point of compaction).
+  static EventLog from_tree(const Tree& tree);
 
  private:
   std::vector<Event> events_;
@@ -58,6 +77,18 @@ class RecordingService {
 
   NodeId join(NodeId referrer, double initial_contribution);
   void contribute(NodeId participant, double amount);
+
+  /// Applies any event (join or contribute) and records it; returns
+  /// the assigned id for joins. Nothing is recorded when the service
+  /// rejects the event.
+  std::optional<NodeId> apply(const Event& event);
+
+  /// Resets service and log to a checkpointed tree: the service
+  /// replays one synthetic join per participant through its normal
+  /// apply path (bit-exact state) and the log becomes the equivalent
+  /// compacted history (EventLog::from_tree). `events_applied` restores
+  /// the pre-checkpoint event counter.
+  void restore_snapshot(const Tree& tree, std::uint64_t events_applied);
 
   const RewardService& service() const { return service_; }
   const EventLog& log() const { return log_; }

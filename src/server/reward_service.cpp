@@ -98,6 +98,20 @@ std::optional<NodeId> RewardService::apply(const Event& event) {
   return std::nullopt;
 }
 
+void RewardService::restore_snapshot(const Tree& tree,
+                                     std::size_t events_applied) {
+  require(this->tree().node_count() == 1 && events_applied_ == 0,
+          "RewardService::restore_snapshot: service already has state");
+  require(events_applied >= tree.participant_count(),
+          "RewardService::restore_snapshot: event counter below "
+          "participant count");
+  for (NodeId u = 1; u < tree.node_count(); ++u) {
+    apply(JoinEvent{tree.parent(u), tree.contribution(u)});
+  }
+  events_applied_ = events_applied;
+  dirty_ = true;
+}
+
 double RewardService::reward(NodeId participant) const {
   require(participant != kRoot && tree().contains(participant),
           "RewardService::reward: unknown participant");

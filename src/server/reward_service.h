@@ -35,6 +35,13 @@ class RewardService {
   /// Applies any event; returns the new participant id for joins.
   std::optional<NodeId> apply(const Event& event);
 
+  /// Rebuilds a freshly constructed service from a checkpointed tree by
+  /// replaying one synthetic join per participant through the normal
+  /// apply path (so incremental state is exactly what an uninterrupted
+  /// run would hold), then restores the event counter. The service must
+  /// not have applied any events yet.
+  void restore_snapshot(const Tree& tree, std::size_t events_applied);
+
   /// Current reward of one participant.
   double reward(NodeId participant) const;
 

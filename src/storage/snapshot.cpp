@@ -1,0 +1,177 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "storage/codec.h"
+#include "storage/crc32c.h"
+#include "util/io.h"
+
+namespace itree::storage {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void reject(bool condition, const char* reason) {
+  if (!condition) {
+    throw std::invalid_argument(std::string("snapshot: ") + reason);
+  }
+}
+
+}  // namespace
+
+std::string encode_snapshot(const SnapshotData& data) {
+  std::string payload;
+  put_u64(payload, data.last_seq);
+  put_u32(payload, static_cast<std::uint32_t>(data.campaigns.size()));
+  put_u32(payload, static_cast<std::uint32_t>(data.mechanism.size()));
+  payload += data.mechanism;
+  for (const CampaignSnapshot& campaign : data.campaigns) {
+    put_u64(payload, campaign.events_applied);
+    put_u64(payload, campaign.tree.participant_count());
+    for (NodeId u = 1; u < campaign.tree.node_count(); ++u) {
+      put_u32(payload, campaign.tree.parent(u));
+      put_f64(payload, campaign.tree.contribution(u));
+    }
+  }
+  std::string out;
+  out.reserve(kSnapshotMagic.size() + 8 + payload.size());
+  out += kSnapshotMagic;
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32c(payload));
+  out += payload;
+  return out;
+}
+
+SnapshotData decode_snapshot(std::string_view bytes) {
+  reject(bytes.size() >= kSnapshotMagic.size() + 8, "file too short");
+  reject(bytes.substr(0, kSnapshotMagic.size()) == kSnapshotMagic,
+         "bad magic");
+  ByteReader header(bytes.substr(kSnapshotMagic.size(), 8));
+  const std::uint32_t length = header.u32();
+  const std::uint32_t expected_crc = header.u32();
+  reject(length <= kMaxSnapshotBytes, "impossible payload length");
+  const std::string_view payload = bytes.substr(kSnapshotMagic.size() + 8);
+  reject(payload.size() == length, "payload length mismatch");
+  reject(crc32c(payload) == expected_crc, "checksum mismatch");
+
+  ByteReader in(payload);
+  SnapshotData data;
+  data.last_seq = in.u64();
+  const std::uint32_t campaigns = in.u32();
+  const std::uint32_t name_length = in.u32();
+  reject(name_length <= in.remaining(), "mechanism name truncated");
+  data.mechanism = std::string(in.bytes(name_length));
+  // 12 bytes per participant entry bounds campaign count sanity below.
+  reject(campaigns <= kMaxSnapshotBytes / 16, "impossible campaign count");
+  data.campaigns.reserve(campaigns);
+  for (std::uint32_t c = 0; c < campaigns; ++c) {
+    CampaignSnapshot campaign;
+    campaign.events_applied = in.u64();
+    const std::uint64_t participants = in.u64();
+    reject(participants <= in.remaining() / 12,
+           "participant count exceeds payload");
+    for (std::uint64_t u = 0; u < participants; ++u) {
+      const std::uint32_t parent = in.u32();
+      const double contribution = in.f64();
+      // Tree::add_node validates parent-exists and contribution >= 0
+      // (throws std::invalid_argument), so a CRC-colliding corruption
+      // still cannot build an inconsistent tree.
+      campaign.tree.add_node(static_cast<NodeId>(parent), contribution);
+    }
+    data.campaigns.push_back(std::move(campaign));
+  }
+  in.finish();
+  return data;
+}
+
+std::string snapshot_name(std::uint64_t last_seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "snap-%016llx.snap",
+                static_cast<unsigned long long>(last_seq));
+  return name;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::uint64_t, std::string>> snapshots;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 5 + 16 + 5 || name.rfind("snap-", 0) != 0 ||
+        name.substr(5 + 16) != ".snap") {
+      continue;
+    }
+    const std::string digits = name.substr(5, 16);
+    char* end = nullptr;
+    const std::uint64_t seq = std::strtoull(digits.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') {
+      continue;
+    }
+    snapshots.emplace_back(seq, name);
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+  return snapshots;
+}
+
+void save_snapshot(const std::string& dir, const SnapshotData& data) {
+  const std::string image = encode_snapshot(data);
+  const std::string final_path = dir + "/" + snapshot_name(data.last_seq);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(),
+                        O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    fail("snapshot: cannot create " + tmp_path);
+  }
+  if (!io::write_all(fd, image.data(), image.size()) || !io::fsync_fd(fd)) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    fail("snapshot: write failed for " + tmp_path);
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    fail("snapshot: rename failed for " + final_path);
+  }
+  // The rename itself must survive a crash too.
+  io::fsync_path(dir);
+}
+
+std::optional<SnapshotData> load_latest_snapshot(
+    const std::string& dir, std::vector<std::string>* warnings) {
+  auto snapshots = list_snapshots(dir);
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    const std::string path = dir + "/" + it->second;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      if (warnings != nullptr) {
+        warnings->push_back("cannot open snapshot " + it->second);
+      }
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      return decode_snapshot(buffer.view());
+    } catch (const std::invalid_argument& error) {
+      if (warnings != nullptr) {
+        warnings->push_back("skipping snapshot " + it->second + ": " +
+                            error.what());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace itree::storage

@@ -1,0 +1,82 @@
+// Campaign snapshots: checkpointed deployment state for log compaction.
+//
+// A snapshot captures every campaign of a deployment at one WAL
+// watermark: all events with seq <= last_seq are reflected, so restart
+// cost becomes O(snapshot + WAL tail) instead of O(all events). The
+// tree is stored as (parent, contribution-bits) per participant in id
+// order — ids are assigned sequentially by the apply path, so parents
+// always precede children and the tree rebuilds bit-exactly.
+//
+// On-disk format (`snap-<last_seq, 16 hex digits>.snap`):
+//
+//     8 bytes  magic "ITSNAP01"
+//     u32 LE   payload length
+//     u32 LE   CRC32C(payload)
+//     payload:
+//       u64 last_seq
+//       u32 campaign count
+//       u32 mechanism-name length + bytes   (display name, validated
+//                                            against the live mechanism
+//                                            on recovery)
+//       per campaign:
+//         u64 events applied
+//         u64 participant count
+//         per participant (id order): u32 parent, f64 contribution
+//
+// Snapshots are written to a temp file, fsynced, then renamed into
+// place (with a directory fsync), so a crash mid-snapshot leaves the
+// previous snapshot intact. The loader validates magic, length and CRC
+// and throws std::invalid_argument on any mismatch — a torn or
+// corrupted snapshot is skipped in favour of an older one, never
+// half-loaded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace itree::storage {
+
+inline constexpr std::string_view kSnapshotMagic = "ITSNAP01";
+/// Cap on one snapshot's payload (bounds loader allocation on a
+/// corrupt length field): 1 GiB ~ 80M participants.
+inline constexpr std::uint32_t kMaxSnapshotBytes = 1u << 30;
+
+struct CampaignSnapshot {
+  std::uint64_t events_applied = 0;
+  Tree tree;
+};
+
+struct SnapshotData {
+  std::uint64_t last_seq = 0;  ///< WAL records <= this are reflected
+  std::string mechanism;       ///< Mechanism::display_name()
+  std::vector<CampaignSnapshot> campaigns;
+};
+
+/// Encodes the full file image (magic + header + payload).
+std::string encode_snapshot(const SnapshotData& data);
+
+/// Decodes a file image; throws std::invalid_argument on anything
+/// malformed (bad magic, torn payload, CRC mismatch, invalid tree).
+SnapshotData decode_snapshot(std::string_view bytes);
+
+std::string snapshot_name(std::uint64_t last_seq);
+
+/// `snap-*.snap` files in `dir` as (last_seq, filename), sorted by
+/// seq ascending. Misnamed files are ignored.
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& dir);
+
+/// Writes `data` durably (temp + fsync + rename + dir fsync). Throws
+/// std::runtime_error on I/O failure.
+void save_snapshot(const std::string& dir, const SnapshotData& data);
+
+/// Loads the newest snapshot that validates; skipped corrupt ones are
+/// reported through `warnings`. Returns nullopt when none is usable.
+std::optional<SnapshotData> load_latest_snapshot(
+    const std::string& dir, std::vector<std::string>* warnings);
+
+}  // namespace itree::storage

@@ -1,0 +1,320 @@
+#include "storage/storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "storage/snapshot.h"
+#include "util/io.h"
+
+namespace itree::storage {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+std::string manifest_path(const std::string& dir) { return dir + "/MANIFEST"; }
+
+void write_manifest(const std::string& dir, const Manifest& manifest) {
+  std::ostringstream out;
+  out << "itree-storage v1\n";
+  out << "campaigns " << manifest.campaigns << '\n';
+  out << "mechanism " << manifest.mechanism_name << '\n';
+  out << "params " << manifest.mechanism_params << '\n';
+  out << "display " << manifest.display << '\n';
+  const std::string text = out.str();
+  const std::string path = manifest_path(dir);
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    fail("storage: cannot create " + tmp);
+  }
+  if (!io::write_all(fd, text.data(), text.size()) || !io::fsync_fd(fd)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("storage: write failed for " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("storage: rename failed for " + path);
+  }
+  io::fsync_path(dir);
+}
+
+void truncate_file(const std::string& path, std::uint64_t bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    fail("storage: cannot open " + path + " for truncation");
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0 || !io::fsync_fd(fd)) {
+    ::close(fd);
+    fail("storage: cannot truncate " + path);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+Manifest read_manifest(const std::string& dir) {
+  std::ifstream in(manifest_path(dir));
+  if (!in) {
+    throw std::runtime_error("storage: no MANIFEST in " + dir +
+                             " (not a data directory?)");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "itree-storage v1") {
+    throw std::runtime_error("storage: unsupported MANIFEST header in " + dir);
+  }
+  Manifest manifest;
+  bool have_campaigns = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t space = line.find(' ');
+    const std::string key = line.substr(0, space);
+    const std::string value =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    if (key == "campaigns") {
+      char* end = nullptr;
+      manifest.campaigns = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || manifest.campaigns == 0) {
+        throw std::runtime_error(
+            "storage: bad campaign count in MANIFEST: '" + value + "'");
+      }
+      have_campaigns = true;
+    } else if (key == "mechanism") {
+      manifest.mechanism_name = value;
+    } else if (key == "params") {
+      manifest.mechanism_params = value;
+    } else if (key == "display") {
+      manifest.display = value;
+    }
+    // Unknown keys are tolerated so newer layouts stay readable.
+  }
+  if (!have_campaigns || manifest.display.empty()) {
+    throw std::runtime_error("storage: incomplete MANIFEST in " + dir);
+  }
+  return manifest;
+}
+
+RecoveryResult recover_campaigns(const Mechanism& mechanism,
+                                 std::size_t campaign_count,
+                                 const std::string& dir) {
+  RecoveryResult result;
+  result.campaigns.reserve(campaign_count);
+  for (std::size_t c = 0; c < campaign_count; ++c) {
+    result.campaigns.push_back(std::make_unique<RecordingService>(mechanism));
+  }
+
+  std::uint64_t snapshot_seq = 0;
+  const auto snapshot = load_latest_snapshot(dir, &result.report.warnings);
+  if (snapshot.has_value()) {
+    if (snapshot->mechanism != mechanism.display_name()) {
+      throw std::runtime_error("storage: data directory was written by '" +
+                               snapshot->mechanism + "', not '" +
+                               mechanism.display_name() + "'");
+    }
+    if (snapshot->campaigns.size() != campaign_count) {
+      throw std::runtime_error(
+          "storage: snapshot holds " +
+          std::to_string(snapshot->campaigns.size()) +
+          " campaigns, deployment expects " + std::to_string(campaign_count));
+    }
+    for (std::size_t c = 0; c < campaign_count; ++c) {
+      result.campaigns[c]->restore_snapshot(
+          snapshot->campaigns[c].tree, snapshot->campaigns[c].events_applied);
+    }
+    snapshot_seq = snapshot->last_seq;
+    result.report.used_snapshot = true;
+    result.report.snapshot_seq = snapshot_seq;
+  }
+
+  const auto segments = list_wal_segments(dir);
+  std::uint64_t expected_seq = snapshot_seq + 1;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    // A segment whose successor starts at or below the snapshot
+    // watermark holds only snapshot-covered records; skip reading it.
+    if (i + 1 < segments.size() && segments[i + 1].first <= snapshot_seq + 1) {
+      continue;
+    }
+    const std::string path = dir + "/" + segments[i].second;
+    const WalScan scan = scan_wal_file(path);
+    ++result.report.segments_scanned;
+    if (!scan.clean) {
+      if (i + 1 < segments.size()) {
+        // A torn tail can only be the *last* thing written. Damage in
+        // the middle of the log means committed history is missing;
+        // skipping over it would silently diverge, so fail stop.
+        throw std::runtime_error("storage: corruption inside non-final WAL "
+                                 "segment " +
+                                 segments[i].second + " (" +
+                                 scan.truncation_reason +
+                                 "); refusing to skip committed history");
+      }
+      result.torn_segment_path = path;
+      result.torn_valid_bytes = scan.valid_bytes;
+      result.report.truncated_bytes =
+          std::filesystem::file_size(path) - scan.valid_bytes;
+      result.report.warnings.push_back("torn tail in " + segments[i].second +
+                                       " (" + scan.truncation_reason + "): " +
+                                       std::to_string(
+                                           result.report.truncated_bytes) +
+                                       " bytes discarded");
+    }
+    for (const WalRecord& record : scan.records) {
+      if (record.seq <= snapshot_seq) {
+        continue;  // already reflected in the snapshot
+      }
+      if (record.seq != expected_seq) {
+        throw std::runtime_error(
+            "storage: WAL sequence gap in " + segments[i].second +
+            ": expected " + std::to_string(expected_seq) + ", found " +
+            std::to_string(record.seq));
+      }
+      if (record.campaign >= campaign_count) {
+        throw std::runtime_error(
+            "storage: WAL record for campaign " +
+            std::to_string(record.campaign) + " but deployment has " +
+            std::to_string(campaign_count));
+      }
+      result.campaigns[record.campaign]->apply(record.event);
+      ++expected_seq;
+      ++result.report.tail_records;
+    }
+  }
+  result.next_seq = expected_seq;
+  return result;
+}
+
+Storage::Storage(const Mechanism& mechanism, std::size_t campaigns,
+                 StorageConfig config)
+    : mechanism_(&mechanism), config_(std::move(config)) {
+  if (campaigns == 0) {
+    throw std::invalid_argument("Storage: need at least one campaign");
+  }
+  if (config_.data_dir.empty()) {
+    throw std::invalid_argument("Storage: data_dir must not be empty");
+  }
+  std::filesystem::create_directories(config_.data_dir);
+
+  if (std::filesystem::exists(manifest_path(config_.data_dir))) {
+    const Manifest manifest = read_manifest(config_.data_dir);
+    if (manifest.campaigns != campaigns) {
+      throw std::runtime_error(
+          "storage: data directory holds " +
+          std::to_string(manifest.campaigns) + " campaigns, asked for " +
+          std::to_string(campaigns));
+    }
+    if (manifest.display != mechanism.display_name()) {
+      throw std::runtime_error("storage: data directory belongs to '" +
+                               manifest.display + "', not '" +
+                               mechanism.display_name() + "'");
+    }
+  } else {
+    Manifest manifest;
+    manifest.campaigns = campaigns;
+    manifest.mechanism_name = config_.mechanism_name;
+    manifest.mechanism_params = config_.mechanism_params;
+    manifest.display = mechanism.display_name();
+    write_manifest(config_.data_dir, manifest);
+  }
+
+  RecoveryResult recovered =
+      recover_campaigns(mechanism, campaigns, config_.data_dir);
+  campaigns_ = std::move(recovered.campaigns);
+  recovery_ = std::move(recovered.report);
+  if (!recovered.torn_segment_path.empty()) {
+    truncate_file(recovered.torn_segment_path, recovered.torn_valid_bytes);
+  }
+  writer_ = std::make_unique<WalWriter>(
+      config_.data_dir, recovered.next_seq, config_.fsync,
+      config_.fsync_interval_seconds, config_.segment_bytes);
+}
+
+Storage::~Storage() = default;  // WalWriter's destructor flushes and syncs
+
+RecordingService& Storage::campaign(std::size_t index) {
+  return *campaigns_.at(index);
+}
+
+const RecordingService& Storage::campaign(std::size_t index) const {
+  return *campaigns_.at(index);
+}
+
+std::optional<NodeId> Storage::apply(std::uint32_t index, const Event& event) {
+  RecordingService& campaign = *campaigns_.at(index);
+  // Validate-then-log: a rejected event must not reach the WAL, or
+  // recovery would refuse to replay it.
+  const std::optional<NodeId> id = campaign.apply(event);
+  {
+    const std::lock_guard<std::mutex> lock(wal_mutex_);
+    writer_->append(index, event);
+    ++counters_.events_appended;
+    ++events_since_snapshot_;
+  }
+  return id;
+}
+
+void Storage::commit() {
+  writer_->commit();
+  ++counters_.commits;
+  if (config_.snapshot_every > 0 &&
+      events_since_snapshot_ >= config_.snapshot_every) {
+    snapshot_now();
+  }
+}
+
+void Storage::snapshot_now() {
+  namespace fs = std::filesystem;
+  // Flush + close the active segment first: after this every assigned
+  // sequence number is on disk and every existing segment is frozen,
+  // so the snapshot at next_seq-1 covers the entire WAL and all of it
+  // can be compacted away.
+  writer_->rotate();
+
+  SnapshotData data;
+  data.last_seq = writer_->next_seq() - 1;
+  data.mechanism = mechanism_->display_name();
+  data.campaigns.reserve(campaigns_.size());
+  for (const auto& campaign : campaigns_) {
+    CampaignSnapshot snap;
+    snap.events_applied = campaign->service().events_applied();
+    snap.tree = campaign->service().tree();
+    data.campaigns.push_back(std::move(snap));
+  }
+  save_snapshot(config_.data_dir, data);
+  ++counters_.snapshots_written;
+  events_since_snapshot_ = 0;
+
+  // Compaction: delete WAL segments covered by the snapshot and all
+  // but the two newest snapshots. Failures here cost disk space, not
+  // correctness (recovery filters snapshot-covered records), so they
+  // are ignored.
+  std::error_code ec;
+  for (const auto& [first_seq, name] : list_wal_segments(config_.data_dir)) {
+    if (first_seq <= data.last_seq &&
+        fs::remove(config_.data_dir + "/" + name, ec)) {
+      ++counters_.segments_deleted;
+    }
+  }
+  auto snapshots = list_snapshots(config_.data_dir);
+  while (snapshots.size() > 2) {
+    fs::remove(config_.data_dir + "/" + snapshots.front().second, ec);
+    snapshots.erase(snapshots.begin());
+  }
+  io::fsync_path(config_.data_dir);
+}
+
+}  // namespace itree::storage

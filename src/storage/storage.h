@@ -1,0 +1,164 @@
+// The crash-safe storage engine behind the reward-service daemon.
+//
+// One Storage owns one data directory and the deployment's campaigns
+// (RecordingService each). Every applied event is appended to a
+// checksummed write-ahead log (wal.h); commit() is the group-commit
+// point the server calls once per epoll tick — buffered records hit
+// the disk in one write() and are fsynced per the configured policy
+// *before* responses are flushed to clients, so an acknowledged event
+// is as durable as the policy promises. Periodic snapshots
+// (snapshot.h) checkpoint the full deployment and compact the log, so
+// restart cost is O(snapshot + WAL tail).
+//
+// Recovery invariants (asserted by tests/storage_test.cpp and the CI
+// crash smoke):
+//   * Determinism: recover() replays the WAL tail through the same
+//     RewardService apply path an uninterrupted run uses, in sequence
+//     order, so the recovered per-campaign reward vectors are
+//     bit-identical to an uninterrupted run over the surviving event
+//     prefix — at any thread count.
+//   * Prefix durability: per campaign the surviving events are always
+//     a prefix of the applied order (the WAL is append-only and a torn
+//     tail is truncated, never skipped over).
+//   * Fail-stop: a gap or mid-log tear (possible only after filesystem
+//     level damage) raises std::runtime_error instead of silently
+//     serving partial history.
+//
+// Layout of a data directory:
+//     MANIFEST            deployment identity (text, written once)
+//     wal-<seq16>.log     WAL segments, first contained seq in the name
+//     snap-<seq16>.snap   snapshots, covered watermark in the name
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "server/event_log.h"
+#include "storage/wal.h"
+
+namespace itree::storage {
+
+struct StorageConfig {
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+  /// kInterval: maximum seconds of acknowledged-but-unsynced data.
+  double fsync_interval_seconds = 0.02;
+  /// Total events between automatic snapshots; 0 disables periodic
+  /// snapshots (the server still writes one on graceful drain).
+  std::uint64_t snapshot_every = 0;
+  /// WAL segments rotate past this size.
+  std::uint64_t segment_bytes = 8u << 20;
+  /// Recorded in MANIFEST so `itree recover` can rebuild the mechanism
+  /// without flags: the factory name (e.g. "geometric") and the raw
+  /// --params text.
+  std::string mechanism_name;
+  std::string mechanism_params;
+};
+
+/// Deployment identity, persisted as the MANIFEST file.
+struct Manifest {
+  std::size_t campaigns = 0;
+  std::string mechanism_name;   ///< factory name for make_mechanism()
+  std::string mechanism_params; ///< raw parameter text ("" = defaults)
+  std::string display;          ///< Mechanism::display_name(), validated
+};
+
+/// Parses `dir`/MANIFEST; throws std::runtime_error when missing or
+/// malformed.
+Manifest read_manifest(const std::string& dir);
+
+struct RecoveryReport {
+  bool used_snapshot = false;
+  std::uint64_t snapshot_seq = 0;
+  std::uint64_t tail_records = 0;    ///< WAL records replayed
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t truncated_bytes = 0; ///< torn tail discarded
+  std::vector<std::string> warnings;
+};
+
+/// Result of the pure (read-only) recovery pass: the rebuilt
+/// campaigns plus what a writable open would truncate.
+struct RecoveryResult {
+  std::vector<std::unique_ptr<RecordingService>> campaigns;
+  RecoveryReport report;
+  std::uint64_t next_seq = 1;
+  /// Non-empty when the last segment has a torn tail that a writable
+  /// open must truncate to `torn_valid_bytes`.
+  std::string torn_segment_path;
+  std::uint64_t torn_valid_bytes = 0;
+};
+
+/// Rebuilds deployment state from `dir` without modifying it: latest
+/// valid snapshot, then the WAL tail in sequence order through the
+/// normal apply path. Throws std::runtime_error on mechanism/campaign
+/// mismatch, WAL gaps, or mid-log corruption.
+RecoveryResult recover_campaigns(const Mechanism& mechanism,
+                                 std::size_t campaign_count,
+                                 const std::string& dir);
+
+struct StorageCounters {
+  std::uint64_t events_appended = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t segments_deleted = 0;
+};
+
+class Storage {
+ public:
+  /// Opens (creating if needed) the data directory, writes or
+  /// validates MANIFEST, recovers existing state, truncates a torn WAL
+  /// tail, and positions the writer after the last durable record.
+  /// Throws std::runtime_error on identity mismatch or I/O failure.
+  /// The mechanism must outlive the storage.
+  Storage(const Mechanism& mechanism, std::size_t campaigns,
+          StorageConfig config);
+  ~Storage();
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  RecordingService& campaign(std::size_t index);
+  const RecordingService& campaign(std::size_t index) const;
+  std::size_t campaign_count() const { return campaigns_.size(); }
+
+  /// Applies one event through campaign `index`'s normal apply path
+  /// and logs it. Exceptions from the service propagate and nothing is
+  /// logged. Safe to call concurrently for *different* campaigns (the
+  /// WAL append is serialized internally); per campaign the caller
+  /// must apply serially, as the server's campaign groups do.
+  std::optional<NodeId> apply(std::uint32_t index, const Event& event);
+
+  /// Group commit: one write() for everything applied since the last
+  /// commit, fsync per policy, segment rotation, and — when
+  /// snapshot_every is due — a snapshot + log compaction. Not
+  /// concurrent with apply(); the server calls it between ticks.
+  void commit();
+
+  /// Snapshots all campaigns at the current watermark, then compacts:
+  /// WAL segments fully covered by the snapshot are deleted and only
+  /// the two newest snapshots are retained.
+  void snapshot_now();
+
+  const RecoveryReport& recovery() const { return recovery_; }
+  const StorageCounters& counters() const { return counters_; }
+  std::uint64_t next_seq() const { return writer_->next_seq(); }
+  std::uint64_t wal_fsyncs() const { return writer_->fsync_count(); }
+  const StorageConfig& config() const { return config_; }
+
+ private:
+  const Mechanism* mechanism_;
+  StorageConfig config_;
+  std::vector<std::unique_ptr<RecordingService>> campaigns_;
+  std::unique_ptr<WalWriter> writer_;
+  std::mutex wal_mutex_;  ///< serializes cross-campaign WAL appends
+  RecoveryReport recovery_;
+  StorageCounters counters_;
+  std::uint64_t events_since_snapshot_ = 0;
+};
+
+}  // namespace itree::storage

@@ -1,0 +1,307 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "storage/codec.h"
+#include "storage/crc32c.h"
+#include "util/bench_json.h"  // monotonic_seconds
+#include "util/io.h"
+
+namespace itree::storage {
+namespace {
+
+constexpr std::uint8_t kKindJoin = 1;
+constexpr std::uint8_t kKindContribute = 2;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+std::string encode_wal_payload(const WalRecord& record) {
+  std::string payload;
+  put_u64(payload, record.seq);
+  if (const auto* join = std::get_if<JoinEvent>(&record.event)) {
+    put_u8(payload, kKindJoin);
+    put_u32(payload, record.campaign);
+    put_u64(payload, join->referrer);
+    put_f64(payload, join->initial_contribution);
+  } else {
+    const auto& contribute = std::get<ContributeEvent>(record.event);
+    put_u8(payload, kKindContribute);
+    put_u32(payload, record.campaign);
+    put_u64(payload, contribute.participant);
+    put_f64(payload, contribute.amount);
+  }
+  return payload;
+}
+
+WalRecord decode_wal_payload(std::string_view payload) {
+  ByteReader in(payload);
+  WalRecord record;
+  record.seq = in.u64();
+  const std::uint8_t kind = in.u8();
+  record.campaign = in.u32();
+  const std::uint64_t node = in.u64();
+  const double amount = in.f64();
+  in.finish();
+  if (node > std::numeric_limits<NodeId>::max()) {
+    throw std::invalid_argument("WAL record: node id out of range");
+  }
+  switch (kind) {
+    case kKindJoin:
+      record.event = JoinEvent{static_cast<NodeId>(node), amount};
+      break;
+    case kKindContribute:
+      record.event = ContributeEvent{static_cast<NodeId>(node), amount};
+      break;
+    default:
+      throw std::invalid_argument("WAL record: unknown event kind");
+  }
+  return record;
+}
+
+}  // namespace
+
+FsyncPolicy parse_fsync_policy(const std::string& text) {
+  if (text == "always") {
+    return FsyncPolicy::kAlways;
+  }
+  if (text == "interval") {
+    return FsyncPolicy::kInterval;
+  }
+  if (text == "never") {
+    return FsyncPolicy::kNever;
+  }
+  throw std::invalid_argument("fsync policy must be always|interval|never, got '" +
+                              text + "'");
+}
+
+std::string to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "?";
+}
+
+std::string encode_wal_record(const WalRecord& record) {
+  const std::string payload = encode_wal_payload(record);
+  std::string out;
+  out.reserve(kWalRecordHeaderBytes + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32c(payload));
+  out += payload;
+  return out;
+}
+
+WalScan scan_wal(std::string_view bytes) {
+  WalScan scan;
+  std::size_t pos = 0;
+  const auto stop = [&](const std::string& reason) {
+    scan.clean = false;
+    scan.truncation_reason = reason;
+    return scan;
+  };
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kWalRecordHeaderBytes) {
+      return stop("torn record header");
+    }
+    ByteReader header(bytes.substr(pos, kWalRecordHeaderBytes));
+    const std::uint32_t length = header.u32();
+    const std::uint32_t expected_crc = header.u32();
+    if (length == 0 || length > kMaxWalRecordBytes) {
+      return stop("impossible length prefix " + std::to_string(length));
+    }
+    if (bytes.size() - pos - kWalRecordHeaderBytes < length) {
+      return stop("torn record payload");
+    }
+    const std::string_view payload =
+        bytes.substr(pos + kWalRecordHeaderBytes, length);
+    if (crc32c(payload) != expected_crc) {
+      return stop("checksum mismatch");
+    }
+    try {
+      scan.records.push_back(decode_wal_payload(payload));
+    } catch (const std::invalid_argument& error) {
+      return stop(error.what());
+    }
+    pos += kWalRecordHeaderBytes + length;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+WalScan scan_wal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open WAL segment " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error("cannot read WAL segment " + path);
+  }
+  return scan_wal(buffer.view());
+}
+
+std::string wal_segment_name(std::uint64_t first_seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%016llx.log",
+                static_cast<unsigned long long>(first_seq));
+  return name;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_wal_segments(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 4 + 16 + 4 || name.rfind("wal-", 0) != 0 ||
+        name.substr(4 + 16) != ".log") {
+      continue;
+    }
+    const std::string digits = name.substr(4, 16);
+    char* end = nullptr;
+    const std::uint64_t seq = std::strtoull(digits.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') {
+      continue;
+    }
+    segments.emplace_back(seq, name);
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+WalWriter::WalWriter(std::string dir, std::uint64_t next_seq,
+                     FsyncPolicy policy, double fsync_interval_seconds,
+                     std::uint64_t segment_bytes)
+    : dir_(std::move(dir)),
+      policy_(policy),
+      fsync_interval_seconds_(fsync_interval_seconds),
+      segment_bytes_(std::max<std::uint64_t>(segment_bytes, 1)),
+      segment_first_seq_(next_seq),
+      next_seq_(next_seq),
+      last_sync_(monotonic_seconds()) {}
+
+WalWriter::~WalWriter() {
+  // Best effort: flush whatever is buffered so a graceful exit loses
+  // nothing, but never throw from a destructor.
+  try {
+    sync();
+  } catch (...) {
+  }
+  close_segment();
+}
+
+std::uint64_t WalWriter::append(std::uint32_t campaign,
+                                const Event& event) {
+  WalRecord record;
+  record.seq = next_seq_++;
+  record.campaign = campaign;
+  record.event = event;
+  if (fd_ < 0 && buffer_.empty()) {
+    segment_first_seq_ = record.seq;  // first record of the next segment
+  }
+  buffer_ += encode_wal_record(record);
+  return record.seq;
+}
+
+void WalWriter::open_segment() {
+  // The segment is named after the first sequence number it holds.
+  // O_TRUNC handles the restart-after-torn-tail case where a fully
+  // invalid segment of the same name is being re-used.
+  segment_path_ = dir_ + "/" + wal_segment_name(segment_first_seq_);
+  fd_ = ::open(segment_path_.c_str(),
+               O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    fail("WalWriter: cannot create " + segment_path_);
+  }
+  segment_size_ = 0;
+  ++segments_created_;
+  // Make the directory entry durable so recovery sees the new segment.
+  io::fsync_path(dir_);
+}
+
+void WalWriter::close_segment() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WalWriter::commit() {
+  if (!buffer_.empty()) {
+    if (fd_ < 0) {
+      open_segment();
+    }
+    if (!io::write_all(fd_, buffer_.data(), buffer_.size())) {
+      fail("WalWriter: write failed on " + segment_path_);
+    }
+    segment_size_ += buffer_.size();
+    bytes_appended_ += buffer_.size();
+    buffer_.clear();
+    dirty_since_sync_ = true;
+  }
+  const double now = monotonic_seconds();
+  const bool want_sync =
+      dirty_since_sync_ &&
+      (policy_ == FsyncPolicy::kAlways ||
+       (policy_ == FsyncPolicy::kInterval &&
+        now - last_sync_ >= fsync_interval_seconds_));
+  if (want_sync) {
+    if (!io::fsync_fd(fd_)) {
+      fail("WalWriter: fsync failed on " + segment_path_);
+    }
+    ++fsync_count_;
+    last_sync_ = now;
+    dirty_since_sync_ = false;
+  }
+  if (fd_ >= 0 && segment_size_ >= segment_bytes_) {
+    // Rotate at a record boundary; the next commit creates the next
+    // segment, named after the next unassigned sequence number.
+    if (dirty_since_sync_ && policy_ != FsyncPolicy::kNever) {
+      if (!io::fsync_fd(fd_)) {
+        fail("WalWriter: fsync failed on " + segment_path_);
+      }
+      ++fsync_count_;
+      last_sync_ = monotonic_seconds();
+      dirty_since_sync_ = false;
+    }
+    close_segment();
+  }
+}
+
+void WalWriter::sync() {
+  commit();
+  if (fd_ >= 0 && dirty_since_sync_) {
+    if (!io::fsync_fd(fd_)) {
+      fail("WalWriter: fsync failed on " + segment_path_);
+    }
+    ++fsync_count_;
+    last_sync_ = monotonic_seconds();
+    dirty_since_sync_ = false;
+  }
+}
+
+void WalWriter::rotate() {
+  sync();
+  close_segment();
+}
+
+}  // namespace itree::storage

@@ -1,5 +1,6 @@
 #include "util/strings.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace itree {
@@ -33,5 +34,16 @@ std::string compact_number(double value, int max_decimals) {
 }
 
 std::string yes_no(bool value) { return value ? "yes" : "no"; }
+
+std::string hex_doubles(const std::vector<double>& values) {
+  std::string out;
+  out.reserve(values.size() * 24);
+  char buffer[32];
+  for (const double value : values) {
+    std::snprintf(buffer, sizeof(buffer), "%a,", value);
+    out += buffer;
+  }
+  return out;
+}
 
 }  // namespace itree

@@ -16,4 +16,9 @@ std::string compact_number(double value, int max_decimals = 6);
 /// "yes"/"no" rendering for property matrices.
 std::string yes_no(bool value);
 
+/// Bit-exact `%a` hex-float rendering, comma-separated: the canonical
+/// pre-digest form for reward vectors (loadgen, benches, `itree
+/// recover` must all agree byte-for-byte).
+std::string hex_doubles(const std::vector<double>& values);
+
 }  // namespace itree

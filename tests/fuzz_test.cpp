@@ -8,6 +8,8 @@
 
 #include "net/protocol.h"
 #include "server/event_log.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 #include "tree/io.h"
 #include "util/rng.h"
 
@@ -77,7 +79,8 @@ TEST(Fuzz, EdgeListParserNeverCrashes) {
 
 TEST(Fuzz, EventLogParserNeverCrashes) {
   Rng rng(1003);
-  const std::string alphabet = "JC 0123456789.\n-e";
+  // `@` event-ids and `#` comments included: the full line grammar.
+  const std::string alphabet = "JC 0123456789.\n-e@#";
   for (int trial = 0; trial < 2000; ++trial) {
     const std::string text = random_text(rng, 60, alphabet);
     try {
@@ -174,6 +177,121 @@ TEST(Fuzz, RandomPayloadsNeverCrashTheCodecs) {
     }
   }
   SUCCEED();
+}
+
+TEST(Fuzz, WalScannerNeverCrashesOnRandomBytes) {
+  // The WAL scanner's fuzz contract is stronger than parse-or-throw:
+  // it never throws at all on in-memory bytes, it just stops at the
+  // first record that fails verification.
+  Rng rng(1007);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes;
+    const std::size_t length = rng.index(300);
+    bytes.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      // Bias toward tiny little-endian length prefixes so some records
+      // pass the length check and exercise the CRC path.
+      bytes += static_cast<char>(
+          rng.bernoulli(0.5) ? rng.index(8) : rng.index(256));
+    }
+    const storage::WalScan scan = storage::scan_wal(bytes);
+    EXPECT_LE(scan.valid_bytes, bytes.size());
+    EXPECT_EQ(scan.clean, scan.valid_bytes == bytes.size());
+  }
+}
+
+TEST(Fuzz, WalScannerOnMutatedLogsKeepsOnlyTheVerifiedPrefix) {
+  // Build a valid multi-record log, then flip bytes / truncate at
+  // random. Every record that lies entirely before the first mutated
+  // byte is untouched CRC-verified data and must come back intact;
+  // nothing returned may differ from the original prefix.
+  Rng rng(1008);
+  std::string valid;
+  std::vector<std::string> encoded;
+  std::vector<storage::WalRecord> original;
+  for (std::uint64_t seq = 1; seq <= 30; ++seq) {
+    storage::WalRecord record;
+    record.seq = seq;
+    record.campaign = static_cast<std::uint32_t>(rng.index(4));
+    if (rng.bernoulli(0.6)) {
+      record.event = JoinEvent{static_cast<NodeId>(rng.index(20)),
+                               rng.uniform(0.0, 3.0)};
+    } else {
+      record.event = ContributeEvent{static_cast<NodeId>(rng.index(20)),
+                                     rng.uniform(0.0, 2.0)};
+    }
+    original.push_back(record);
+    encoded.push_back(storage::encode_wal_record(record));
+    valid += encoded.back();
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid.substr(0, 1 + rng.index(valid.size()));
+    std::size_t first_flip = mutated.size();
+    const std::size_t flips = 1 + rng.index(3);
+    for (std::size_t f = 0; f < flips && !mutated.empty(); ++f) {
+      const std::size_t at = rng.index(mutated.size());
+      mutated[at] = static_cast<char>(rng.index(256));
+      first_flip = std::min(first_flip, at);
+    }
+    const storage::WalScan scan = storage::scan_wal(mutated);
+    // Count the records fully contained in the untouched prefix.
+    std::size_t safe = 0, offset = 0;
+    while (safe < encoded.size() &&
+           offset + encoded[safe].size() <= first_flip) {
+      offset += encoded[safe].size();
+      ++safe;
+    }
+    ASSERT_GE(scan.records.size(), safe);
+    for (std::size_t i = 0; i < safe; ++i) {
+      EXPECT_EQ(scan.records[i], original[i]);
+    }
+  }
+}
+
+TEST(Fuzz, SnapshotDecoderNeverCrashesOnMutations) {
+  // decode_snapshot is parse-or-throw: random bytes, flipped bytes and
+  // truncations must all raise std::invalid_argument, never crash or
+  // attempt a giant allocation.
+  Tree tree;
+  const NodeId a = tree.add_node(kRoot, 2.0);
+  tree.add_node(a, 1.0);
+  storage::SnapshotData data;
+  data.last_seq = 12;
+  data.mechanism = "fuzz";
+  data.campaigns.push_back({3, tree});
+  const std::string valid = storage::encode_snapshot(data);
+  EXPECT_NO_THROW(storage::decode_snapshot(valid));
+
+  Rng rng(1009);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string bytes;
+    if (rng.bernoulli(0.7)) {
+      bytes = valid.substr(0, rng.index(valid.size() + 1));
+      const std::size_t flips = rng.index(4);
+      for (std::size_t f = 0; f < flips && !bytes.empty(); ++f) {
+        bytes[rng.index(bytes.size())] =
+            static_cast<char>(rng.index(256));
+      }
+      if (bytes == valid) {
+        continue;
+      }
+    } else {
+      const std::size_t length = rng.index(80);
+      for (std::size_t i = 0; i < length; ++i) {
+        bytes += static_cast<char>(rng.index(256));
+      }
+    }
+    try {
+      (void)storage::decode_snapshot(bytes);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+
+  // An oversized length field must be rejected up front, not
+  // allocated: magic + 0xFFFFFFFF length + junk CRC.
+  std::string oversized(storage::kSnapshotMagic);
+  oversized += std::string(8, '\xff');
+  EXPECT_THROW(storage::decode_snapshot(oversized), std::invalid_argument);
 }
 
 TEST(Fuzz, DeeplyNestedTreesParseWithinStackLimits) {

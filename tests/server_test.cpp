@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/registry.h"
 #include "server/event_log.h"
@@ -143,6 +144,79 @@ TEST(EventLogTest, ParseSkipsCommentsAndWhitespaceLines) {
   ASSERT_EQ(log.size(), 2u);
   EXPECT_EQ(std::get<ContributeEvent>(log.events()[1]),
             (ContributeEvent{1, 0.75}));
+}
+
+TEST(EventLogTest, ParseAcceptsInlineCommentsAndEventIds) {
+  const EventLog log = EventLog::parse(
+      "@0 J 0 2.5   # founder\n"
+      "@1 C 1 0.75# no space before the comment\n"
+      "J 3 1.0\n");  // bare lines still parse (wire form)
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(std::get<JoinEvent>(log.events()[0]), (JoinEvent{kRoot, 2.5}));
+  EXPECT_EQ(std::get<ContributeEvent>(log.events()[1]),
+            (ContributeEvent{1, 0.75}));
+}
+
+TEST(EventLogTest, ParseRejectsDuplicateEventIds) {
+  EXPECT_THROW(EventLog::parse("@7 J 0 1\n@7 C 1 2\n"),
+               std::invalid_argument);
+  // Same id with non-canonical spelling is still the same id.
+  EXPECT_THROW(EventLog::parse("@7 J 0 1\n@07 C 1 2\n"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(EventLog::parse("@7 J 0 1\n@8 C 1 2\n"));
+}
+
+TEST(EventLogTest, ParseRejectsTrailingGarbageAndHalfLines) {
+  EXPECT_THROW(EventLog::parse("J 0 1 extra\n"), std::invalid_argument);
+  EXPECT_THROW(EventLog::parse("J 0\n"), std::invalid_argument);
+  EXPECT_THROW(EventLog::parse("@ J 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(EventLog::parse("@x J 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(EventLog::parse("J 1x 2\n"), std::invalid_argument);
+  EXPECT_THROW(EventLog::parse("C 1 2.5z\n"), std::invalid_argument);
+  EXPECT_THROW(EventLog::parse("J -1 2\n"), std::invalid_argument);
+  // A comment is the only thing allowed after the fields.
+  EXPECT_NO_THROW(EventLog::parse("J 0 1 # fine\n"));
+}
+
+TEST(EventLogTest, SaveWritesAuditableIdsThatLoadBack) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "itree_event_log_ids_test.log";
+  EventLog log;
+  log.append(JoinEvent{kRoot, 2.5});
+  log.append(ContributeEvent{1, 0.75});
+  log.save(path.string());
+
+  std::ifstream in(path);
+  std::string first, second;
+  std::getline(in, first);
+  std::getline(in, second);
+  EXPECT_EQ(first.rfind("#", 0), 0u);  // header comment
+  EXPECT_EQ(second.rfind("@0 ", 0), 0u);  // sequential event ids
+
+  const EventLog loaded = EventLog::load(path.string());
+  EXPECT_EQ(loaded.events(), log.events());
+  // serialize() stays the bare wire form, id-free.
+  EXPECT_EQ(loaded.serialize().find('@'), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(EventLogTest, FromTreeCompactsToStateEquivalentJoins) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  RecordingService recording(*mechanism);
+  const NodeId a = recording.join(kRoot, 4.0);
+  const NodeId b = recording.join(a, 2.0);
+  recording.contribute(b, 1.5);
+  recording.join(b, 0.5);
+
+  const EventLog compacted =
+      EventLog::from_tree(recording.service().tree());
+  // One join per participant, contributions folded in.
+  EXPECT_EQ(compacted.size(),
+            recording.service().tree().participant_count());
+  const RewardService replayed = compacted.replay(*mechanism);
+  EXPECT_EQ(replayed.rewards(), recording.service().rewards());
+  EXPECT_EQ(replayed.tree().contribution(b), 3.5);
 }
 
 TEST(EventLogTest, SaveAndLoadRoundTripThroughAFile) {

@@ -1,0 +1,589 @@
+// Storage-engine tests: CRC32C vectors, WAL framing and torn-tail
+// semantics, snapshot round-trips and corruption fallback, and the
+// headline recovery invariant — at every possible crash point the
+// recovered per-campaign rewards are bit-identical to an uninterrupted
+// run over the surviving event prefix, for both TDRM (batch path) and
+// CDRM (incremental path) campaigns, at any thread count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/registry.h"
+#include "server/event_log.h"
+#include "storage/crc32c.h"
+#include "storage/snapshot.h"
+#include "storage/storage.h"
+#include "storage/wal.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace itree::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Seeded per-campaign workload: joins under random referrers plus
+/// follow-up contributions, the loadgen mix without the queries.
+std::vector<Event> make_stream(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(count);
+  std::size_t participants = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (participants == 0 || rng.bernoulli(0.6)) {
+      const NodeId referrer =
+          (participants == 0 || rng.bernoulli(0.2))
+              ? kRoot
+              : static_cast<NodeId>(1 + rng.index(participants));
+      events.push_back(JoinEvent{referrer, rng.uniform(0.0, 3.0)});
+      ++participants;
+    } else {
+      events.push_back(
+          ContributeEvent{static_cast<NodeId>(1 + rng.index(participants)),
+                          rng.uniform(0.0, 2.0)});
+    }
+  }
+  return events;
+}
+
+// --- CRC32C ---------------------------------------------------------
+
+TEST(Crc32c, KnownAnswerVector) {
+  // The canonical Castagnoli check value (RFC 3720 appendix B.4 test
+  // pattern family): crc32c("123456789") == 0xE3069283.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0u);
+}
+
+TEST(Crc32c, StreamingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::string_view head(data.data(), split);
+    const std::string_view tail(data.data() + split, data.size() - split);
+    EXPECT_EQ(crc32c(tail.data(), tail.size(), crc32c(head)), crc32c(data));
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  const std::string data = "incentive tree";
+  const std::uint32_t good = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      EXPECT_NE(crc32c(flipped), good);
+    }
+  }
+}
+
+// --- WAL framing ----------------------------------------------------
+
+std::vector<WalRecord> sample_records() {
+  return {
+      {1, 0, JoinEvent{kRoot, 2.5}},
+      {2, 1, JoinEvent{kRoot, 0.0}},
+      {3, 0, ContributeEvent{1, 1.25}},
+      {4, 2, JoinEvent{1, 3.75}},
+      {5, 0, ContributeEvent{2, 0.5}},
+  };
+}
+
+std::string encode_all(const std::vector<WalRecord>& records) {
+  std::string bytes;
+  for (const WalRecord& record : records) {
+    bytes += encode_wal_record(record);
+  }
+  return bytes;
+}
+
+TEST(Wal, RecordsRoundTrip) {
+  const std::vector<WalRecord> records = sample_records();
+  const WalScan scan = scan_wal(encode_all(records));
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.records, records);
+}
+
+TEST(Wal, TornTailAtEveryCutRecoversThePrefix) {
+  const std::vector<WalRecord> records = sample_records();
+  const std::string bytes = encode_all(records);
+  // Record boundaries, for deciding how many records each cut keeps.
+  std::vector<std::size_t> boundaries{0};
+  for (const WalRecord& record : records) {
+    boundaries.push_back(boundaries.back() +
+                         encode_wal_record(record).size());
+  }
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const WalScan scan = scan_wal(std::string_view(bytes).substr(0, cut));
+    std::size_t expect_records = 0;
+    while (expect_records + 1 < boundaries.size() &&
+           boundaries[expect_records + 1] <= cut) {
+      ++expect_records;
+    }
+    ASSERT_EQ(scan.records.size(), expect_records) << "cut at " << cut;
+    EXPECT_EQ(scan.valid_bytes, boundaries[expect_records]);
+    EXPECT_EQ(scan.clean, cut == boundaries[expect_records]);
+    for (std::size_t i = 0; i < expect_records; ++i) {
+      EXPECT_EQ(scan.records[i], records[i]);
+    }
+  }
+}
+
+TEST(Wal, FlippedByteStopsTheScanAtThatRecord) {
+  const std::vector<WalRecord> records = sample_records();
+  const std::string bytes = encode_all(records);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    const WalScan scan = scan_wal(corrupt);
+    EXPECT_FALSE(scan.clean) << "flip at " << i;
+    // Only records strictly before the flipped byte may survive, and
+    // the survivors must be uncorrupted.
+    EXPECT_LE(scan.valid_bytes, i);
+    for (std::size_t r = 0; r < scan.records.size(); ++r) {
+      EXPECT_EQ(scan.records[r], records[r]);
+    }
+  }
+}
+
+TEST(Wal, OversizedAndZeroLengthPrefixesAreTruncationsNotAllocations) {
+  std::string bytes;
+  // length = 0xFFFFFFFF with a bogus CRC: must not attempt a 4 GiB read.
+  bytes.assign(8, '\xff');
+  WalScan scan = scan_wal(bytes);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_NE(scan.truncation_reason.find("impossible length"),
+            std::string::npos);
+
+  bytes.assign(8, '\0');  // length == 0 is equally impossible
+  scan = scan_wal(bytes);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(Wal, WriterRotatesSegmentsAtTheConfiguredSize) {
+  const fs::path dir = fresh_dir("itree_storage_wal_rotate");
+  fs::create_directories(dir);
+  {
+    WalWriter writer(dir.string(), 1, FsyncPolicy::kNever, 0.0, 256);
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      writer.append(0, JoinEvent{kRoot, 1.0});
+      if (i % 5 == 4) {
+        writer.commit();
+      }
+    }
+    writer.sync();
+    EXPECT_GE(writer.segments_created(), 2u);
+  }
+  const auto segments = list_wal_segments(dir.string());
+  ASSERT_GE(segments.size(), 2u);
+  EXPECT_EQ(segments.front().first, 1u);
+  // Segments chain contiguously: each file's name is the next seq
+  // after the records of the previous files.
+  std::uint64_t expected = 1;
+  for (const auto& [first_seq, name] : segments) {
+    EXPECT_EQ(first_seq, expected);
+    const WalScan scan = scan_wal_file((dir / name).string());
+    EXPECT_TRUE(scan.clean);
+    expected += scan.records.size();
+  }
+  EXPECT_EQ(expected, 51u);
+  fs::remove_all(dir);
+}
+
+// --- Snapshots ------------------------------------------------------
+
+SnapshotData sample_snapshot() {
+  SnapshotData data;
+  data.last_seq = 77;
+  data.mechanism = "TDRM(test)";
+  CampaignSnapshot a;
+  a.events_applied = 9;
+  const NodeId u1 = a.tree.add_node(kRoot, 2.5);
+  a.tree.add_node(u1, 1.25);
+  a.tree.add_node(u1, 0.0);
+  CampaignSnapshot b;
+  b.events_applied = 0;
+  data.campaigns.push_back(std::move(a));
+  data.campaigns.push_back(std::move(b));
+  return data;
+}
+
+TEST(Snapshot, RoundTripsBitExactly) {
+  const SnapshotData data = sample_snapshot();
+  const SnapshotData decoded = decode_snapshot(encode_snapshot(data));
+  EXPECT_EQ(decoded.last_seq, data.last_seq);
+  EXPECT_EQ(decoded.mechanism, data.mechanism);
+  ASSERT_EQ(decoded.campaigns.size(), data.campaigns.size());
+  for (std::size_t c = 0; c < data.campaigns.size(); ++c) {
+    const Tree& want = data.campaigns[c].tree;
+    const Tree& got = decoded.campaigns[c].tree;
+    EXPECT_EQ(decoded.campaigns[c].events_applied,
+              data.campaigns[c].events_applied);
+    ASSERT_EQ(got.node_count(), want.node_count());
+    for (NodeId u = 1; u < want.node_count(); ++u) {
+      EXPECT_EQ(got.parent(u), want.parent(u));
+      EXPECT_EQ(got.contribution(u), want.contribution(u));  // bit-exact
+    }
+  }
+}
+
+TEST(Snapshot, EveryFlippedByteIsRejected) {
+  const std::string image = encode_snapshot(sample_snapshot());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::string corrupt = image;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    EXPECT_THROW(decode_snapshot(corrupt), std::invalid_argument)
+        << "flip at " << i;
+  }
+  for (std::size_t cut = 0; cut < image.size(); ++cut) {
+    EXPECT_THROW(decode_snapshot(std::string_view(image).substr(0, cut)),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Snapshot, LoaderFallsBackToAnOlderValidSnapshot) {
+  const fs::path dir = fresh_dir("itree_storage_snap_fallback");
+  fs::create_directories(dir);
+  SnapshotData older = sample_snapshot();
+  older.last_seq = 10;
+  SnapshotData newer = sample_snapshot();
+  newer.last_seq = 20;
+  save_snapshot(dir.string(), older);
+  save_snapshot(dir.string(), newer);
+  // Corrupt the newer image in place (simulated bit rot).
+  const fs::path newer_path = dir / snapshot_name(20);
+  std::string image = read_file(newer_path);
+  image[image.size() / 2] ^= 0x10;
+  write_file(newer_path, image);
+
+  std::vector<std::string> warnings;
+  const auto loaded = load_latest_snapshot(dir.string(), &warnings);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->last_seq, 10u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find(snapshot_name(20)), std::string::npos);
+  fs::remove_all(dir);
+}
+
+// --- Storage engine -------------------------------------------------
+
+/// Applies `count` events of each stream through a Storage in `dir`,
+/// committing in small groups, with one mid-run snapshot.
+void run_workload(const Mechanism& mechanism,
+                  const std::vector<std::vector<Event>>& streams,
+                  StorageConfig config, std::size_t snapshot_at) {
+  Storage storage(mechanism, streams.size(), std::move(config));
+  const std::size_t count = streams[0].size();
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t c = 0; c < streams.size(); ++c) {
+      storage.apply(static_cast<std::uint32_t>(c), streams[c][i]);
+    }
+    if (i % 7 == 6) {
+      storage.commit();
+    }
+    if (i == snapshot_at) {
+      storage.snapshot_now();
+    }
+  }
+  storage.commit();
+}
+
+/// The headline invariant. Runs a two-campaign workload (snapshot
+/// mid-way, several WAL segments), then simulates a crash at *every*
+/// byte length of the final WAL segment and checks that recovery
+/// yields, per campaign, exactly an event-prefix of the original
+/// stream with bit-identical rewards to an uninterrupted run over that
+/// prefix.
+void crash_sweep(const std::string& mechanism_name) {
+  const MechanismPtr mechanism =
+      make_mechanism(mechanism_name, parse_param_string(""));
+  const fs::path dir = fresh_dir("itree_storage_sweep_" + mechanism_name);
+  const std::size_t kEvents = 120;
+  const std::vector<std::vector<Event>> streams = {
+      make_stream(901, kEvents), make_stream(902, kEvents)};
+
+  StorageConfig config;
+  config.data_dir = dir.string();
+  config.fsync = FsyncPolicy::kNever;
+  config.segment_bytes = 1500;  // forces several segments
+  run_workload(*mechanism, streams, config, kEvents / 2);
+
+  const auto segments = list_wal_segments(dir.string());
+  ASSERT_FALSE(segments.empty());
+  const fs::path last = dir / segments.back().second;
+  const std::string full_tail = read_file(last);
+  ASSERT_GT(full_tail.size(), 0u);
+
+  std::size_t prefix_lengths_seen = 0;
+  for (std::size_t cut = 0; cut <= full_tail.size(); ++cut) {
+    write_file(last, full_tail.substr(0, cut));
+    const RecoveryResult recovered =
+        recover_campaigns(*mechanism, streams.size(), dir.string());
+    for (std::size_t c = 0; c < streams.size(); ++c) {
+      const RewardService& service = recovered.campaigns[c]->service();
+      const std::size_t survived = service.events_applied();
+      ASSERT_LE(survived, kEvents);
+      // Uninterrupted reference run over the surviving prefix.
+      RewardService reference(*mechanism);
+      for (std::size_t i = 0; i < survived; ++i) {
+        reference.apply(streams[c][i]);
+      }
+      const RewardVector& got = service.rewards();
+      const RewardVector& want = reference.rewards();
+      ASSERT_EQ(got.size(), want.size()) << "cut " << cut;
+      for (std::size_t u = 0; u < want.size(); ++u) {
+        // Bit-identical, not approximately equal.
+        ASSERT_EQ(got[u], want[u]) << "cut " << cut << " campaign " << c;
+      }
+      if (c == 0) {
+        ++prefix_lengths_seen;
+      }
+    }
+  }
+  // Sanity: the sweep exercised many distinct surviving prefixes.
+  EXPECT_GT(prefix_lengths_seen, full_tail.size() / 2);
+  fs::remove_all(dir);
+}
+
+TEST(Storage, CrashAtEveryByteRecoversAPrefixBitExactlyTdrm) {
+  crash_sweep("tdrm");
+}
+
+TEST(Storage, CrashAtEveryByteRecoversAPrefixBitExactlyCdrm) {
+  crash_sweep("cdrm-1");
+}
+
+TEST(Storage, RecoveredStateIsIdenticalAtEveryThreadCount) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kCdrmReciprocal);
+  const std::size_t kCampaigns = 4;
+  const std::size_t kEvents = 150;
+  std::vector<std::vector<Event>> streams;
+  for (std::size_t c = 0; c < kCampaigns; ++c) {
+    streams.push_back(make_stream(700 + c, kEvents));
+  }
+
+  std::vector<RewardVector> reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    set_thread_count(threads);
+    const fs::path dir = fresh_dir("itree_storage_threads");
+    {
+      StorageConfig config;
+      config.data_dir = dir.string();
+      config.fsync = FsyncPolicy::kNever;
+      config.snapshot_every = 100;
+      Storage storage(*mechanism, kCampaigns, config);
+      // Campaign groups on the pool, exactly like a server tick: the
+      // cross-campaign WAL interleave is schedule-dependent, the
+      // per-campaign order is not.
+      for (std::size_t i = 0; i < kEvents; i += 10) {
+        parallel_for(kCampaigns, [&](std::size_t c) {
+          for (std::size_t j = i; j < i + 10; ++j) {
+            storage.apply(static_cast<std::uint32_t>(c), streams[c][j]);
+          }
+        });
+        storage.commit();
+      }
+    }
+    const RecoveryResult recovered =
+        recover_campaigns(*mechanism, kCampaigns, dir.string());
+    std::vector<RewardVector> rewards;
+    for (std::size_t c = 0; c < kCampaigns; ++c) {
+      EXPECT_EQ(recovered.campaigns[c]->service().events_applied(), kEvents);
+      rewards.push_back(recovered.campaigns[c]->service().rewards());
+    }
+    if (reference.empty()) {
+      reference = std::move(rewards);
+    } else {
+      EXPECT_EQ(rewards, reference) << threads << " threads";
+    }
+    fs::remove_all(dir);
+  }
+  set_thread_count(0);
+}
+
+TEST(Storage, WritableOpenTruncatesTheTornTailAndContinues) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  const fs::path dir = fresh_dir("itree_storage_torn");
+  const std::vector<std::vector<Event>> streams = {make_stream(333, 40)};
+  StorageConfig config;
+  config.data_dir = dir.string();
+  config.fsync = FsyncPolicy::kNever;
+  run_workload(*mechanism, streams, config, 20);
+
+  // Simulate a torn final write.
+  auto segments = list_wal_segments(dir.string());
+  ASSERT_FALSE(segments.empty());
+  const fs::path last = dir / segments.back().second;
+  const std::string original = read_file(last);
+  write_file(last, original + "torn!");
+
+  std::size_t survived = 0;
+  {
+    Storage storage(*mechanism, 1, config);
+    EXPECT_EQ(storage.recovery().truncated_bytes, 5u);
+    ASSERT_EQ(storage.recovery().warnings.size(), 1u);
+    survived = storage.campaign(0).service().events_applied();
+    EXPECT_EQ(survived, 40u);
+    // The tail is gone from disk too, and the engine keeps accepting.
+    EXPECT_EQ(read_file(last), original);
+    storage.apply(0, JoinEvent{kRoot, 1.0});
+    storage.commit();
+  }
+  Storage reopened(*mechanism, 1, config);
+  EXPECT_TRUE(reopened.recovery().warnings.empty());
+  EXPECT_EQ(reopened.campaign(0).service().events_applied(), survived + 1);
+  fs::remove_all(dir);
+}
+
+TEST(Storage, MidLogDamageIsFatalNotSilent) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  const fs::path dir = fresh_dir("itree_storage_midlog");
+  const std::vector<std::vector<Event>> streams = {make_stream(444, 80)};
+  StorageConfig config;
+  config.data_dir = dir.string();
+  config.fsync = FsyncPolicy::kNever;
+  config.segment_bytes = 600;
+  // No snapshot: the whole history lives in the WAL.
+  run_workload(*mechanism, streams, config, kInvalidNode);
+
+  auto segments = list_wal_segments(dir.string());
+  ASSERT_GE(segments.size(), 3u);
+
+  // Corruption inside a non-final segment: fail stop.
+  const fs::path middle = dir / segments[1].second;
+  const std::string original = read_file(middle);
+  std::string corrupt = original;
+  corrupt[corrupt.size() / 2] ^= 0x20;
+  write_file(middle, corrupt);
+  EXPECT_THROW(recover_campaigns(*mechanism, 1, dir.string()),
+               std::runtime_error);
+  write_file(middle, original);
+
+  // A missing segment is a sequence gap: fail stop.
+  fs::remove(middle);
+  EXPECT_THROW(recover_campaigns(*mechanism, 1, dir.string()),
+               std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(Storage, ManifestGuardsIdentity) {
+  const MechanismPtr tdrm = make_default(MechanismKind::kTdrm);
+  const MechanismPtr geometric = make_default(MechanismKind::kGeometric);
+  const fs::path dir = fresh_dir("itree_storage_manifest");
+  StorageConfig config;
+  config.data_dir = dir.string();
+  config.fsync = FsyncPolicy::kNever;
+  { Storage storage(*tdrm, 2, config); }
+
+  const Manifest manifest = read_manifest(dir.string());
+  EXPECT_EQ(manifest.campaigns, 2u);
+  EXPECT_EQ(manifest.display, tdrm->display_name());
+
+  EXPECT_THROW(Storage(*geometric, 2, config), std::runtime_error);
+  EXPECT_THROW(Storage(*tdrm, 3, config), std::runtime_error);
+  { Storage storage(*tdrm, 2, config); }  // matching identity reopens
+
+  EXPECT_THROW(read_manifest(fs::temp_directory_path().string()),
+               std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(Storage, SnapshotsCompactTheLogAndBoundRestart) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const fs::path dir = fresh_dir("itree_storage_compact");
+  const std::size_t kEvents = 400;
+  const std::vector<std::vector<Event>> streams = {make_stream(555, kEvents)};
+  StorageConfig config;
+  config.data_dir = dir.string();
+  config.fsync = FsyncPolicy::kNever;
+  config.snapshot_every = 90;
+  config.segment_bytes = 1024;
+  std::uint64_t deleted = 0;
+  {
+    Storage storage(*mechanism, 1, config);
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      storage.apply(0, streams[0][i]);
+      if (i % 8 == 7) {
+        storage.commit();
+      }
+    }
+    storage.commit();
+    EXPECT_GE(storage.counters().snapshots_written, 3u);
+    deleted = storage.counters().segments_deleted;
+  }
+  EXPECT_GT(deleted, 0u);
+  // Retention: at most two snapshots; the WAL holds only the tail
+  // after the newest snapshot.
+  EXPECT_LE(list_snapshots(dir.string()).size(), 2u);
+  const auto snapshots = list_snapshots(dir.string());
+  ASSERT_FALSE(snapshots.empty());
+  for (const auto& [first_seq, name] : list_wal_segments(dir.string())) {
+    EXPECT_GT(first_seq, snapshots.back().first);
+  }
+
+  const RecoveryResult recovered =
+      recover_campaigns(*mechanism, 1, dir.string());
+  EXPECT_TRUE(recovered.report.used_snapshot);
+  EXPECT_EQ(recovered.campaigns[0]->service().events_applied(), kEvents);
+
+  // The recovered state matches the uninterrupted run bit-for-bit.
+  RewardService reference(*mechanism);
+  for (const Event& event : streams[0]) {
+    reference.apply(event);
+  }
+  EXPECT_EQ(recovered.campaigns[0]->service().rewards(),
+            reference.rewards());
+  fs::remove_all(dir);
+}
+
+TEST(Storage, RestoreSnapshotMatchesTheOriginalServiceBitExactly) {
+  for (const MechanismKind kind :
+       {MechanismKind::kTdrm, MechanismKind::kCdrmReciprocal,
+        MechanismKind::kGeometric}) {
+    const MechanismPtr mechanism = make_default(kind);
+    RewardService original(*mechanism);
+    for (const Event& event : make_stream(777, 100)) {
+      original.apply(event);
+    }
+    RecordingService restored(*mechanism);
+    restored.restore_snapshot(original.tree(), original.events_applied());
+    EXPECT_EQ(restored.service().events_applied(),
+              original.events_applied());
+    EXPECT_EQ(restored.service().rewards(), original.rewards());
+    // Incremental aggregates are rebuilt from the summed contributions,
+    // so the audit stays within the deployment gate.
+    EXPECT_LT(restored.service().audit(), 1e-9);
+    // The compacted log replays back to the same state.
+    const RewardService replayed =
+        restored.log().replay(*mechanism);
+    EXPECT_EQ(replayed.rewards(), original.rewards());
+  }
+}
+
+}  // namespace
+}  // namespace itree::storage

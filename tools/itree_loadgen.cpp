@@ -82,17 +82,6 @@ void drive_connection(const std::string& host, std::uint16_t port,
   }
 }
 
-/// Bit-exact rendering of a reward vector for digesting.
-std::string render_rewards(const std::vector<double>& rewards) {
-  std::string out;
-  char buffer[32];
-  for (const double reward : rewards) {
-    std::snprintf(buffer, sizeof(buffer), "%a,", reward);
-    out += buffer;
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,7 +165,7 @@ int main(int argc, char** argv) {
       const double divergence = verifier.audit(campaign);
       const net::StatsBody stats = verifier.stats(campaign);
       const std::uint64_t digest =
-          fnv1a64(render_rewards(verifier.rewards(campaign)));
+          fnv1a64(hex_doubles(verifier.rewards(campaign)));
       worst_audit = std::max(worst_audit, divergence);
       std::cout << "campaign " << campaign << ": participants "
                 << stats.participants << ", events " << stats.events

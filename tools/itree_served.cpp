@@ -8,6 +8,13 @@
 // Examples:
 //   itree-served --port 7431 --campaigns 8 --mechanism geometric
 //   itree-served --port 0 --persist-dir /var/lib/itree  # ephemeral port
+//   itree-served --data-dir /var/lib/itree/data --fsync always
+//
+// With --data-dir the daemon runs on the crash-safe storage engine
+// (docs/storage.md): existing state is recovered before the socket
+// accepts traffic, every accepted event is written to a checksummed
+// WAL, and acknowledgements are only sent after the tick's group
+// commit. A recovery report is printed before "listening on".
 //
 // The "listening on <host>:<port>" line on stdout is flushed before the
 // event loop starts, so scripts can wait for readiness and scrape the
@@ -45,6 +52,15 @@ int main(int argc, char** argv) {
                 "close sessions idle for this many seconds (0 = never)");
   args.add_flag("--persist-dir",
                 "save each campaign's event log here on shutdown");
+  args.add_flag("--data-dir",
+                "crash-safe storage directory (WAL + snapshots)");
+  args.add_flag("--fsync",
+                "WAL fsync policy: always|interval|never (default interval)");
+  args.add_flag("--fsync-interval",
+                "seconds between interval-policy fsyncs (default 0.02)");
+  args.add_flag("--snapshot-every",
+                "snapshot + compact after this many events (0 = only on "
+                "shutdown)");
   args.add_flag("--no-remote-shutdown",
                 "ignore SHUTDOWN frames (signals only)", false);
   args.add_flag("--threads",
@@ -71,8 +87,30 @@ int main(int argc, char** argv) {
         args.get_double_or("--idle-timeout", 0.0);
     config.persist_dir = args.get_or("--persist-dir", "");
     config.allow_remote_shutdown = !args.has("--no-remote-shutdown");
+    config.storage.data_dir = args.get_or("--data-dir", "");
+    config.storage.fsync =
+        storage::parse_fsync_policy(args.get_or("--fsync", "interval"));
+    config.storage.fsync_interval_seconds =
+        args.get_double_or("--fsync-interval", 0.02);
+    config.storage.snapshot_every = static_cast<std::uint64_t>(
+        args.get_int_or("--snapshot-every", 0));
+    config.storage.mechanism_name = args.get_or("--mechanism", "geometric");
+    config.storage.mechanism_params = args.get_or("--params", "");
 
     net::Server server(*mechanism, config);
+    if (server.storage() != nullptr) {
+      const storage::RecoveryReport& recovery =
+          server.storage()->recovery();
+      for (const std::string& warning : recovery.warnings) {
+        std::cout << "itree-served: recovery warning: " << warning << '\n';
+      }
+      std::cout << "itree-served: recovered from "
+                << config.storage.data_dir << ": snapshot seq "
+                << recovery.snapshot_seq << ", WAL tail records "
+                << recovery.tail_records << ", truncated bytes "
+                << recovery.truncated_bytes << ", fsync policy "
+                << to_string(config.storage.fsync) << '\n';
+    }
     g_server = &server;
     std::signal(SIGTERM, handle_signal);
     std::signal(SIGINT, handle_signal);
