@@ -3,9 +3,16 @@
 // O(total RCT chain length)); this bench pins that down across tree
 // sizes and shapes.
 //
-// Flags: --threads N and --json <path> (wall time + a reward-total
-// digest per mechanism; google-benchmark's own flags pass through).
+// Flags: --threads N, --json <path>, and --scale small|full (default
+// full). `--scale small` caps tree sizes at 10k nodes so CI can run
+// the bench as a digest-drift smoke test in seconds; the determinism
+// probe and its digests are identical in both configurations.
+// google-benchmark's own flags pass through.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
 
 #include "bench_harness.h"
 #include "core/registry.h"
@@ -41,49 +48,73 @@ void run_mechanism(benchmark::State& state, MechanismKind kind, int shape) {
                           state.range(0));
 }
 
-void BM_Geometric(benchmark::State& state) {
-  run_mechanism(state, MechanismKind::kGeometric, 0);
+struct Suite {
+  const char* name;
+  MechanismKind kind;
+  int shape;
+  std::int64_t large;  // largest Arg; `--scale small` drops it
+};
+
+// 1M-node runs dominate the full-scale wall time; TdrmHeavyTail stays
+// at 100k because Pareto contributions expand every node into a long
+// RCT chain.
+constexpr Suite kSuites[] = {
+    {"BM_Geometric", MechanismKind::kGeometric, 0, 1000000},
+    {"BM_LLuxor", MechanismKind::kLLuxor, 0, 1000000},
+    {"BM_LPachira", MechanismKind::kLPachira, 0, 1000000},
+    {"BM_SplitProof", MechanismKind::kSplitProof, 0, 1000000},
+    {"BM_Tdrm", MechanismKind::kTdrm, 0, 1000000},
+    {"BM_TdrmHeavyTail", MechanismKind::kTdrm, 2, 100000},
+    {"BM_TdrmDeepChain", MechanismKind::kTdrm, 1, 1000000},
+    {"BM_CdrmReciprocal", MechanismKind::kCdrmReciprocal, 0, 1000000},
+    {"BM_CdrmLogarithmic", MechanismKind::kCdrmLogarithmic, 0, 1000000},
+};
+
+void register_suites(bool small) {
+  for (const Suite& suite : kSuites) {
+    auto* bench = benchmark::RegisterBenchmark(
+        suite.name,
+        [&suite](benchmark::State& state) {
+          run_mechanism(state, suite.kind, suite.shape);
+        });
+    bench->Arg(100)->Arg(10000);
+    if (!small) {
+      bench->Arg(suite.large);
+    }
+  }
 }
-void BM_LLuxor(benchmark::State& state) {
-  run_mechanism(state, MechanismKind::kLLuxor, 0);
-}
-void BM_LPachira(benchmark::State& state) {
-  run_mechanism(state, MechanismKind::kLPachira, 0);
-}
-void BM_SplitProof(benchmark::State& state) {
-  run_mechanism(state, MechanismKind::kSplitProof, 0);
-}
-void BM_Tdrm(benchmark::State& state) {
-  run_mechanism(state, MechanismKind::kTdrm, 0);
-}
-void BM_TdrmHeavyTail(benchmark::State& state) {
-  // Heavy-tailed contributions stress the RCT chain expansion.
-  run_mechanism(state, MechanismKind::kTdrm, 2);
-}
-void BM_TdrmDeepChain(benchmark::State& state) {
-  run_mechanism(state, MechanismKind::kTdrm, 1);
-}
-void BM_CdrmReciprocal(benchmark::State& state) {
-  run_mechanism(state, MechanismKind::kCdrmReciprocal, 0);
-}
-void BM_CdrmLogarithmic(benchmark::State& state) {
-  run_mechanism(state, MechanismKind::kCdrmLogarithmic, 0);
+
+/// Strips `--scale small|full` from argv; returns true for small.
+bool take_scale_flag(int* argc, char** argv) {
+  bool small = false;
+  int out = 0;
+  for (int in = 0; in < *argc; ++in) {
+    std::string value;
+    if (std::strcmp(argv[in], "--scale") == 0 && in + 1 < *argc) {
+      value = argv[++in];
+    } else if (std::strncmp(argv[in], "--scale=", 8) == 0) {
+      value = argv[in] + 8;
+    } else {
+      argv[out++] = argv[in];
+      continue;
+    }
+    if (value == "small") {
+      small = true;
+    } else if (value != "full") {
+      std::cerr << "--scale must be small or full, got '" << value << "'\n";
+      std::exit(2);
+    }
+  }
+  *argc = out;
+  return small;
 }
 
 }  // namespace
 
-BENCHMARK(BM_Geometric)->Arg(100)->Arg(10000)->Arg(1000000);
-BENCHMARK(BM_LLuxor)->Arg(100)->Arg(10000)->Arg(1000000);
-BENCHMARK(BM_LPachira)->Arg(100)->Arg(10000)->Arg(1000000);
-BENCHMARK(BM_SplitProof)->Arg(100)->Arg(10000)->Arg(1000000);
-BENCHMARK(BM_Tdrm)->Arg(100)->Arg(10000)->Arg(1000000);
-BENCHMARK(BM_TdrmHeavyTail)->Arg(100)->Arg(10000)->Arg(100000);
-BENCHMARK(BM_TdrmDeepChain)->Arg(100)->Arg(10000)->Arg(1000000);
-BENCHMARK(BM_CdrmReciprocal)->Arg(100)->Arg(10000)->Arg(1000000);
-BENCHMARK(BM_CdrmLogarithmic)->Arg(100)->Arg(10000)->Arg(1000000);
-
 int main(int argc, char** argv) {
   itree::BenchHarness harness("e13_scalability", &argc, argv);
+  const bool small = take_scale_flag(&argc, argv);
+  register_suites(small);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -10,7 +10,11 @@
 //
 // Flags: --threads N (campaign sharding inside the server), --json
 // <path>, --campaigns C (default 4), --requests R per campaign
-// (default 4000).
+// (default 4000), --mechanism NAME (default geometric; one of
+// geometric, l-luxor, l-pachira, split-proof, tdrm, cdrm-reciprocal,
+// cdrm-logarithmic). TDRM and geometric exercise the incremental
+// serving path; the audit gate then also covers incremental-vs-batch
+// divergence.
 #include <cstdio>
 #include <iostream>
 #include <thread>
@@ -81,6 +85,41 @@ int parse_flag(int* argc, char** argv, const std::string& flag,
   return value;
 }
 
+std::string parse_string_flag(int* argc, char** argv,
+                              const std::string& flag,
+                              const std::string& fallback) {
+  int out = 1;
+  std::string value = fallback;
+  for (int in = 1; in < *argc; ++in) {
+    if (flag == argv[in] && in + 1 < *argc) {
+      value = argv[++in];
+      continue;
+    }
+    argv[out++] = argv[in];
+  }
+  *argc = out;
+  return value;
+}
+
+MechanismKind mechanism_by_name(const std::string& name) {
+  const std::pair<const char*, MechanismKind> table[] = {
+      {"geometric", MechanismKind::kGeometric},
+      {"l-luxor", MechanismKind::kLLuxor},
+      {"l-pachira", MechanismKind::kLPachira},
+      {"split-proof", MechanismKind::kSplitProof},
+      {"tdrm", MechanismKind::kTdrm},
+      {"cdrm-reciprocal", MechanismKind::kCdrmReciprocal},
+      {"cdrm-logarithmic", MechanismKind::kCdrmLogarithmic},
+  };
+  for (const auto& [key, kind] : table) {
+    if (name == key) {
+      return kind;
+    }
+  }
+  std::cerr << "--mechanism: unknown mechanism '" << name << "'\n";
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,8 +128,12 @@ int main(int argc, char** argv) {
       parse_flag(&argc, argv, "--campaigns", 4));
   const auto requests = static_cast<std::uint64_t>(
       parse_flag(&argc, argv, "--requests", 4000));
+  const std::string mechanism_name =
+      parse_string_flag(&argc, argv, "--mechanism", "geometric");
 
-  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const MechanismPtr mechanism =
+      make_default(mechanism_by_name(mechanism_name));
+  harness.json().add_digest("mechanism", mechanism->display_name());
   net::ServerConfig config;
   config.campaigns = campaigns;
   net::Server server(*mechanism, config);

@@ -4,11 +4,15 @@
 // The harness strips the two flags from argv (so google-benchmark mains
 // can pass the remainder to benchmark::Initialize), applies the thread
 // count to the process-wide pool, starts the wall clock, and on finish()
-// writes {bench, threads, wall_seconds, metrics, digests} to the JSON
-// path — the BENCH_*.json perf-trajectory format that accumulates
-// across PRs.
+// writes {bench, threads, wall_seconds, peak_rss_bytes, metrics,
+// digests} to the JSON path — the BENCH_*.json perf-trajectory format
+// that accumulates across PRs. Benches that drive an event stream call
+// record_events(); finish() then also derives reward_events_per_sec.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -53,10 +57,38 @@ class BenchHarness {
 
   BenchJson& json() { return json_; }
 
-  /// Records total wall time and writes the JSON file when --json was
+  /// Counts reward-path events (joins / purchases) the bench pushed
+  /// through a service; finish() derives reward_events_per_sec. Pass
+  /// the measured duration when the bench also does non-event work
+  /// (e.g. a batch comparator), so the rate reflects only event time;
+  /// with seconds = 0 the total wall time is used.
+  void record_events(std::uint64_t count, double seconds = 0.0) {
+    events_ += count;
+    event_seconds_ += seconds;
+  }
+
+  /// Peak resident set of this process in bytes (Linux ru_maxrss is
+  /// reported in KiB); 0 when the kernel refuses the query.
+  static double peak_rss_bytes() {
+    struct rusage usage {};
+    if (::getrusage(RUSAGE_SELF, &usage) != 0) {
+      return 0.0;
+    }
+    return static_cast<double>(usage.ru_maxrss) * 1024.0;
+  }
+
+  /// Records total wall time, peak RSS, and event throughput (when
+  /// record_events was used), then writes the JSON file when --json was
   /// given. Returns the process exit code.
   int finish() {
-    json_.add_metric("wall_seconds", monotonic_seconds() - start_);
+    const double wall = monotonic_seconds() - start_;
+    json_.add_metric("wall_seconds", wall);
+    json_.add_metric("peak_rss_bytes", peak_rss_bytes());
+    const double event_time = event_seconds_ > 0.0 ? event_seconds_ : wall;
+    if (events_ > 0 && event_time > 0.0) {
+      json_.add_metric("reward_events_per_sec",
+                       static_cast<double>(events_) / event_time);
+    }
     if (!json_path_.empty() && !json_.write(json_path_)) {
       std::cerr << "cannot write " << json_path_ << '\n';
       return 1;
@@ -88,6 +120,8 @@ class BenchHarness {
   std::string json_path_;
   std::size_t threads_ = 0;
   double start_ = 0.0;
+  std::uint64_t events_ = 0;
+  double event_seconds_ = 0.0;
 };
 
 }  // namespace itree

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Release perf smoke for the batch kernels and the incremental serving
+# path (docs/perf.md). Runs in seconds, so CI can afford it on every
+# push:
+#
+#   1. bench_e13_scalability --scale small — the 10k-node determinism
+#      probe computes every feasible mechanism's total-reward digest;
+#      the digests must equal scripts/perf_goldens/e13_digests.golden
+#      byte-for-byte. Any flat-kernel change that alters reward bits
+#      fails here before it can silently rewrite the BENCH_* trajectory.
+#   2. bench_e14_service_throughput --mechanism tdrm — drives the epoll
+#      daemon's TDRM *incremental* serving path with the deterministic
+#      per-campaign load; the final_rewards digest must equal
+#      scripts/perf_goldens/e14_tdrm_digest.golden, and the bench itself
+#      fails on audit divergence >= 1e-9.
+#
+# Digests gate, timings do not: CI machines are too noisy to assert
+# wall time, so slowdowns are tracked via the BENCH_*.json trajectory
+# instead while *behaviour* drift fails the build.
+#
+# Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+GOLDENS="$(dirname "$0")/perf_goldens"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Pulls the "digests" entries out of a BENCH-format JSON file, one
+# `name 0x...` pair per line (our own writer's stable formatting).
+digests_of() {
+  grep -o '"[^"]*": "0x[0-9a-f]\{16\}"' "$1" | tr -d '",:'
+}
+
+echo "== e13 small-scale digest probe =="
+"$BUILD_DIR/bench/bench_e13_scalability" --scale small --threads 2 \
+    --json "$WORK/e13.json"
+digests_of "$WORK/e13.json" | tee "$WORK/e13_digests.txt"
+diff -u "$GOLDENS/e13_digests.golden" "$WORK/e13_digests.txt" || {
+  echo "e13 reward digests drifted from the checked-in goldens" >&2
+  exit 1
+}
+
+echo "== e14 TDRM incremental serving path =="
+"$BUILD_DIR/bench/bench_e14_service_throughput" --mechanism tdrm \
+    --campaigns 4 --requests 4000 --threads 2 --json "$WORK/e14.json"
+digests_of "$WORK/e14.json" | grep '^final_rewards ' \
+    | tee "$WORK/e14_digest.txt"
+diff -u "$GOLDENS/e14_tdrm_digest.golden" "$WORK/e14_digest.txt" || {
+  echo "e14 TDRM rewards digest drifted from the checked-in golden" >&2
+  exit 1
+}
+
+echo "perf smoke passed"

@@ -18,16 +18,21 @@ CdrmMechanism::CdrmMechanism(BudgetParams budget, std::string name,
 }
 
 RewardVector CdrmMechanism::compute(const Tree& tree) const {
-  const SubtreeData data = compute_subtree_data(tree);
-  RewardVector rewards(tree.node_count(), 0.0);
-  for (NodeId u = 1; u < tree.node_count(); ++u) {
-    const double x = tree.contribution(u);
-    const double y = data.subtree_contribution[u] - x;
+  return compute_via_flat(tree);
+}
+
+void CdrmMechanism::compute_into(const FlatTreeView& view, TreeWorkspace& ws,
+                                 RewardVector& out) const {
+  compute_subtree_data(view, ws.data);
+  const std::size_t n = view.node_count();
+  out.assign(n, 0.0);
+  for (NodeId u = 1; u < n; ++u) {
+    const double x = view.contribution(u);
+    const double y = ws.data.subtree_contribution[u] - x;
     // R(x, y) is only constrained for x > 0; a zero contribution earns
     // zero reward (keeps phi-RPC tight and the budget safe).
-    rewards[u] = (x > 0.0) ? function_(x, y) : 0.0;
+    out[u] = (x > 0.0) ? function_(x, y) : 0.0;
   }
-  return rewards;
 }
 
 PropertySet CdrmMechanism::claimed_properties() const {

@@ -19,12 +19,18 @@ std::string GeometricMechanism::params_string() const {
 }
 
 RewardVector GeometricMechanism::compute(const Tree& tree) const {
-  RewardVector rewards = geometric_subtree_sums(tree, a_);
-  for (NodeId u = 1; u < tree.node_count(); ++u) {
-    rewards[u] *= b_;
+  return compute_via_flat(tree);
+}
+
+void GeometricMechanism::compute_into(const FlatTreeView& view,
+                                      TreeWorkspace& ws,
+                                      RewardVector& out) const {
+  geometric_subtree_sums(view, a_, ws.sums);
+  out.assign(ws.sums.begin(), ws.sums.end());
+  for (NodeId u = 1; u < view.node_count(); ++u) {
+    out[u] *= b_;
   }
-  rewards[kRoot] = 0.0;
-  return rewards;
+  out[kRoot] = 0.0;
 }
 
 PropertySet GeometricMechanism::claimed_properties() const {

@@ -21,6 +21,8 @@ class GeometricMechanism : public Mechanism {
   std::string name() const override { return "Geometric"; }
   std::string params_string() const override;
   RewardVector compute(const Tree& tree) const override;
+  void compute_into(const FlatTreeView& view, TreeWorkspace& ws,
+                    RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
   double a() const { return a_; }

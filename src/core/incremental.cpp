@@ -68,6 +68,20 @@ double IncrementalGeometricState::geometric_reward(NodeId u, double b) const {
   return b * subtree_sum(u);
 }
 
+std::vector<double> IncrementalGeometricState::export_aggregates() const {
+  std::vector<double> blob = sums_;
+  blob.push_back(total_sum_);
+  return blob;
+}
+
+void IncrementalGeometricState::import_aggregates(
+    const std::vector<double>& blob) {
+  require(blob.size() == tree_.node_count() + 1,
+          "IncrementalGeometricState::import_aggregates: blob size mismatch");
+  sums_.assign(blob.begin(), blob.end() - 1);
+  total_sum_ = blob.back();
+}
+
 IncrementalSubtreeState::IncrementalSubtreeState() { totals_.push_back(0.0); }
 
 IncrementalSubtreeState::IncrementalSubtreeState(const Tree& initial)
@@ -113,6 +127,209 @@ double IncrementalSubtreeState::x_of(NodeId u) const {
 
 double IncrementalSubtreeState::y_of(NodeId u) const {
   return subtree_contribution(u) - x_of(u);
+}
+
+std::vector<double> IncrementalSubtreeState::export_aggregates() const {
+  return totals_;
+}
+
+void IncrementalSubtreeState::import_aggregates(
+    const std::vector<double>& blob) {
+  require(blob.size() == tree_.node_count(),
+          "IncrementalSubtreeState::import_aggregates: blob size mismatch");
+  totals_ = blob;
+}
+
+IncrementalRctState::IncrementalRctState(const TdrmParams& params, double phi)
+    : params_(params),
+      phi_(phi),
+      scale_(params.lambda / params.mu * params.b) {
+  require(params_.mu > 0.0, "IncrementalRctState: mu must be > 0");
+  require(params_.a > 0.0 && params_.a < 1.0,
+          "IncrementalRctState: a must be in (0, 1)");
+  n_.push_back(0);
+  d_.push_back(0.0);
+  h_.push_back(0.0);
+  agg_.push_back(0.0);
+  w_.push_back(0.0);
+  p_.push_back(0.0);
+}
+
+IncrementalRctState::IncrementalRctState(const TdrmParams& params, double phi,
+                                         const Tree& initial)
+    : IncrementalRctState(params, phi) {
+  tree_ = initial;
+  const std::size_t n = tree_.node_count();
+  n_.assign(n, 0);
+  d_.assign(n, 0.0);
+  h_.assign(n, 0.0);
+  agg_.assign(n, 0.0);
+  w_.assign(n, 0.0);
+  p_.assign(n, 0.0);
+  // Children before parents, so D(u) is complete when CH_u is built.
+  for (NodeId u : tree_.postorder()) {
+    for (NodeId child : tree_.children(u)) {
+      d_[u] += params_.a * h_[child];
+    }
+    if (u != kRoot) {
+      rebuild_chain(u);
+      total_agg_ += agg_[u];
+    }
+  }
+}
+
+void IncrementalRctState::rebuild_chain(NodeId u) {
+  const double c = tree_.contribution(u);
+  const double mu = params_.mu;
+  const double a = params_.a;
+  const std::size_t len = rct_chain_length(c, mu);
+  const double head_c = c - static_cast<double>(len - 1) * mu;
+  if (chain_.size() < len) {
+    chain_.resize(len);
+  }
+
+  // S bottom-up; the tail is the only chain node fed by the children.
+  double s = ((len == 1) ? head_c : mu) + d_[u];
+  chain_[len - 1] = s;
+  for (std::size_t i = len - 1; i-- > 0;) {
+    const double ci = (i == 0) ? head_c : mu;
+    s = ci + a * s;
+    chain_[i] = s;
+  }
+  h_[u] = s;
+
+  // A = sum c_i S_i (head first); W = sum c_i a^{N-i} tail-up, leaving
+  // pw = a^{N-1} = P.
+  double aggregate = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double ci = (i == 0) ? head_c : mu;
+    aggregate += ci * chain_[i];
+  }
+  double weight = 0.0;
+  double pw = 1.0;
+  for (std::size_t i = len; i-- > 0;) {
+    const double ci = (i == 0) ? head_c : mu;
+    weight += ci * pw;
+    if (i > 0) {
+      pw *= a;
+    }
+  }
+  n_[u] = static_cast<std::uint32_t>(len);
+  agg_[u] = aggregate;
+  w_[u] = weight;
+  p_[u] = pw;
+}
+
+void IncrementalRctState::bubble_up(NodeId w, double dd) {
+  while (true) {
+    d_[w] += dd;
+    if (w == kRoot) {
+      break;
+    }
+    const double da = w_[w] * dd;
+    agg_[w] += da;
+    total_agg_ += da;
+    const double dh = p_[w] * dd;
+    h_[w] += dh;
+    dd = params_.a * dh;
+    w = tree_.parent(w);
+  }
+}
+
+NodeId IncrementalRctState::add_leaf(NodeId parent, double contribution) {
+  const NodeId leaf = tree_.add_node(parent, contribution);
+  n_.push_back(0);
+  d_.push_back(0.0);
+  h_.push_back(0.0);
+  agg_.push_back(0.0);
+  w_.push_back(0.0);
+  p_.push_back(0.0);
+  rebuild_chain(leaf);
+  total_agg_ += agg_[leaf];
+  bubble_up(parent, params_.a * h_[leaf]);
+  return leaf;
+}
+
+void IncrementalRctState::add_contribution(NodeId u, double delta) {
+  require(tree_.contains(u) && u != kRoot,
+          "IncrementalRctState::add_contribution: bad node");
+  require(delta >= 0.0,
+          "IncrementalRctState::add_contribution: delta must be >= 0");
+  tree_.set_contribution(u, tree_.contribution(u) + delta);
+  const double old_h = h_[u];
+  const double old_agg = agg_[u];
+  rebuild_chain(u);
+  total_agg_ += agg_[u] - old_agg;
+  // The parent's D tracks a*H(u); form the delta from the two products
+  // so a no-op rebuild (delta small enough to leave H unchanged)
+  // bubbles an exact zero.
+  const double dd = params_.a * h_[u] - params_.a * old_h;
+  bubble_up(tree_.parent(u), dd);
+}
+
+double IncrementalRctState::reward(NodeId u) const {
+  require(tree_.contains(u) && u != kRoot,
+          "IncrementalRctState::reward: not a participant");
+  return scale_ * agg_[u] + phi_ * tree_.contribution(u);
+}
+
+double IncrementalRctState::total_reward() const {
+  return scale_ * total_agg_ + phi_ * tree_.total_contribution();
+}
+
+double IncrementalRctState::chain_aggregate(NodeId u) const {
+  require(u < agg_.size(), "IncrementalRctState::chain_aggregate");
+  return agg_[u];
+}
+
+std::size_t IncrementalRctState::chain_length(NodeId u) const {
+  require(u < n_.size(), "IncrementalRctState::chain_length");
+  return n_[u];
+}
+
+std::vector<double> IncrementalRctState::export_aggregates() const {
+  const std::size_t n = tree_.node_count();
+  std::vector<double> blob;
+  blob.reserve(3 * n + 1);
+  blob.insert(blob.end(), d_.begin(), d_.end());
+  blob.insert(blob.end(), h_.begin(), h_.end());
+  blob.insert(blob.end(), agg_.begin(), agg_.end());
+  blob.push_back(total_agg_);
+  return blob;
+}
+
+void IncrementalRctState::import_aggregates(const std::vector<double>& blob) {
+  const std::size_t n = tree_.node_count();
+  require(blob.size() == 3 * n + 1,
+          "IncrementalRctState::import_aggregates: blob size mismatch");
+  d_.assign(blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(n));
+  h_.assign(blob.begin() + static_cast<std::ptrdiff_t>(n),
+            blob.begin() + static_cast<std::ptrdiff_t>(2 * n));
+  agg_.assign(blob.begin() + static_cast<std::ptrdiff_t>(2 * n),
+              blob.begin() + static_cast<std::ptrdiff_t>(3 * n));
+  total_agg_ = blob.back();
+  // N, W, P are pure functions of the contributions — recompute them
+  // (exactly) instead of trusting the blob or a rebuild of the
+  // history-dependent accumulators above.
+  const double a = params_.a;
+  const double mu = params_.mu;
+  for (NodeId u = 1; u < n; ++u) {
+    const double c = tree_.contribution(u);
+    const std::size_t len = rct_chain_length(c, mu);
+    const double head_c = c - static_cast<double>(len - 1) * mu;
+    double weight = 0.0;
+    double pw = 1.0;
+    for (std::size_t i = len; i-- > 0;) {
+      const double ci = (i == 0) ? head_c : mu;
+      weight += ci * pw;
+      if (i > 0) {
+        pw *= a;
+      }
+    }
+    n_[u] = static_cast<std::uint32_t>(len);
+    w_[u] = weight;
+    p_[u] = pw;
+  }
 }
 
 }  // namespace itree

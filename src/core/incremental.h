@@ -11,12 +11,17 @@
 //   * IncrementalGeometricState: maintains S_a(u) = sum a^dep C(v),
 //     serving Geometric and L-Luxor style rewards;
 //   * IncrementalSubtreeState: maintains C(T_u), serving CDRM rewards
-//     and Pachira shares.
+//     and Pachira shares;
+//   * IncrementalRctState: maintains the TDRM (Algorithm 4) chain
+//     aggregates on the *virtual* Reward Computation Tree, never
+//     materializing it.
 // Tests verify event-by-event equivalence with the batch mechanisms.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "core/tdrm.h"
 #include "tree/tree.h"
 
 namespace itree {
@@ -49,6 +54,11 @@ class IncrementalGeometricState {
   const Tree& tree() const { return tree_; }
   double a() const { return a_; }
 
+  /// [S_a(0..n-1) | total_sum]: the history-dependent FP accumulators,
+  /// for bit-exact snapshot resumption (see IncrementalRctState).
+  std::vector<double> export_aggregates() const;
+  void import_aggregates(const std::vector<double>& blob);
+
  private:
   void bubble_up(NodeId from, double delta);
 
@@ -77,9 +87,106 @@ class IncrementalSubtreeState {
 
   const Tree& tree() const { return tree_; }
 
+  /// [C(T_0..n-1)]: the history-dependent FP accumulators, for
+  /// bit-exact snapshot resumption (see IncrementalRctState).
+  std::vector<double> export_aggregates() const;
+  void import_aggregates(const std::vector<double>& blob);
+
  private:
   Tree tree_;
   std::vector<double> totals_;  // C(T_u) per node
+};
+
+/// Maintains TDRM rewards on a growing tree in O(depth) per join and
+/// O(N_u + depth) per purchase, with O(1) reward queries.
+///
+/// TDRM evaluates the geometric rule on the Reward Computation Tree,
+/// where participant u appears as the eps-chain CH_u of
+/// N_u = ceil(C(u)/mu) nodes (head weight C(u) - (N_u-1)*mu, the rest
+/// mu), and the edge (u, v) becomes tail(CH_u) -> head(CH_v). Instead of
+/// materializing that tree, this state keeps per *referral* node the
+/// chain's summary scalars:
+///   D(u) = sum_{v in children(u)} a * H(v)   — the input feeding u's
+///          tail from below (H(v) = S_a at the head of CH_v),
+///   H(u) = S_a(head of CH_u),
+///   A(u) = sum_{i=1..N_u} c_i * S_i          — so that
+///          R(u) = (lambda/mu)*b * A(u) + phi * C(u),
+///   W(u) = dA/dD = sum_i c_i * a^{N_u - i},
+///   P(u) = dH/dD = a^{N_u - 1}.
+/// Chain sums are *linear* in D, so when a descendant event changes
+/// H(v) by dh, every ancestor w updates in O(1): its D gains
+/// dd = a*dh, A gains W(w)*dd, H gains P(w)*dd — and the next dd is
+/// a * (P(w)*dd). A join appends one chain and bubbles; a purchase
+/// rebuilds only u's own chain (N_u may change) in O(N_u) and bubbles.
+/// The per-event cost is therefore O(depth_RCT) — the chain lengths
+/// along u's ancestor path — matching the ISSUE bound.
+///
+/// The maintained values track the batch mechanism to FP accumulation
+/// error (audited to ~1e-12 event-by-event in tests); they are exactly
+/// reproducible from the event stream, which the crash-safe snapshot
+/// path relies on via export_aggregates()/import_aggregates().
+class IncrementalRctState {
+ public:
+  /// `phi` is the fairness floor of the budget (Mechanism::phi()).
+  IncrementalRctState(const TdrmParams& params, double phi);
+
+  /// Builds from an existing tree in O(sum of chain lengths).
+  IncrementalRctState(const TdrmParams& params, double phi,
+                      const Tree& initial);
+
+  /// A join: adds a leaf, builds its chain, bubbles in O(depth).
+  NodeId add_leaf(NodeId parent, double contribution);
+
+  /// A purchase: raises C(u) by delta (>= 0), rebuilds CH_u only, and
+  /// bubbles the head-sum delta to the ancestors.
+  void add_contribution(NodeId u, double delta);
+
+  /// R(u) = (lambda/mu)*b * A(u) + phi * C(u). O(1).
+  double reward(NodeId u) const;
+
+  /// Sum of R(u) over all participants. O(1).
+  double total_reward() const;
+
+  /// A(u): the chain aggregate sum_i c_i * S_i (exposed for tests).
+  double chain_aggregate(NodeId u) const;
+
+  /// N_u currently assumed for u's chain (exposed for tests).
+  std::size_t chain_length(NodeId u) const;
+
+  const Tree& tree() const { return tree_; }
+  const TdrmParams& params() const { return params_; }
+
+  /// Flattens the history-dependent FP accumulators [D | H | A |
+  /// total_A] so a snapshot restore can resume *bit-identically* to the
+  /// continuously-running state (a fresh rebuild from the tree would
+  /// differ in final ulps). Layout: 3 * node_count() + 1 doubles.
+  std::vector<double> export_aggregates() const;
+
+  /// Restores accumulators exported by export_aggregates() from a state
+  /// over an identical tree. The pure-shape scalars (N, W, P) are
+  /// recomputed from contributions, which is exact.
+  void import_aggregates(const std::vector<double>& blob);
+
+ private:
+  /// Recomputes N/H/A/W/P for u's chain from C(u) and D(u). O(N_u).
+  /// The caller owns the total_agg_ adjustment.
+  void rebuild_chain(NodeId u);
+
+  /// Applies a pending increase `dd` of D(w) and walks to the root.
+  void bubble_up(NodeId w, double dd);
+
+  TdrmParams params_;
+  double phi_;
+  double scale_;  // lambda/mu * b
+  Tree tree_;
+  std::vector<std::uint32_t> n_;  // chain length N_u
+  std::vector<double> d_;         // children input D(u)
+  std::vector<double> h_;         // head sum H(u)
+  std::vector<double> agg_;       // chain aggregate A(u)
+  std::vector<double> w_;         // dA/dD
+  std::vector<double> p_;         // dH/dD
+  std::vector<double> chain_;     // scratch: per-level S during rebuild
+  double total_agg_ = 0.0;        // sum of A(u) over participants
 };
 
 }  // namespace itree

@@ -27,6 +27,8 @@ class LTransformMechanism : public Mechanism {
   std::string name() const override;
   std::string params_string() const override;
   RewardVector compute(const Tree& tree) const override;
+  void compute_into(const FlatTreeView& view, TreeWorkspace& ws,
+                    RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
   const Lottree& lottree() const { return *lottree_; }
@@ -46,6 +48,8 @@ class LLuxorMechanism : public Mechanism {
   std::string name() const override { return "L-Luxor"; }
   std::string params_string() const override;
   RewardVector compute(const Tree& tree) const override;
+  void compute_into(const FlatTreeView& view, TreeWorkspace& ws,
+                    RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
   double delta() const { return luxor_.delta(); }
@@ -63,6 +67,8 @@ class LPachiraMechanism : public Mechanism {
   std::string name() const override { return "L-Pachira"; }
   std::string params_string() const override;
   RewardVector compute(const Tree& tree) const override;
+  void compute_into(const FlatTreeView& view, TreeWorkspace& ws,
+                    RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
   double beta() const { return pachira_.beta(); }

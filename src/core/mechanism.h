@@ -16,6 +16,9 @@
 
 namespace itree {
 
+class FlatTreeView;
+struct TreeWorkspace;
+
 /// Rewards indexed by NodeId; entry kRoot is always 0.
 using RewardVector = std::vector<double>;
 
@@ -48,6 +51,15 @@ class Mechanism {
   /// concurrently (the parallel matrix and attack search rely on this).
   virtual RewardVector compute(const Tree& tree) const = 0;
 
+  /// Steady-state batch form: computes all rewards into `out`, reusing
+  /// the scratch buffers of `ws` — allocation-free once the buffers have
+  /// grown to the tree size. Bit-for-bit equal to compute(tree): the
+  /// core mechanisms route their Tree overload through this one. The
+  /// base default falls back to compute(*view.source()). Same
+  /// thread-safety contract as compute(); one (ws, out) pair per thread.
+  virtual void compute_into(const FlatTreeView& view, TreeWorkspace& ws,
+                            RewardVector& out) const;
+
   /// Reward of a single participant. Default: full compute; mechanisms
   /// with cheaper single-node paths may override. Same thread-safety
   /// contract as compute().
@@ -64,6 +76,10 @@ class Mechanism {
 
  protected:
   explicit Mechanism(BudgetParams budget);
+
+  /// Helper for subclasses whose compute(tree) is a thin wrapper over
+  /// compute_into: builds a one-shot view + workspace and dispatches.
+  RewardVector compute_via_flat(const Tree& tree) const;
 
  private:
   BudgetParams budget_;

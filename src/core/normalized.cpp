@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tree/flat_view.h"
+
 namespace itree {
 
 NormalizedPreliminaryTdrm::NormalizedPreliminaryTdrm(BudgetParams budget,
@@ -22,16 +24,21 @@ double NormalizedPreliminaryTdrm::scale_for(const Tree& tree) const {
 }
 
 RewardVector NormalizedPreliminaryTdrm::compute(const Tree& tree) const {
-  RewardVector rewards = raw_.compute(tree);
-  const double total = total_reward(rewards);
-  const double cap = Phi() * tree.total_contribution();
+  return compute_via_flat(tree);
+}
+
+void NormalizedPreliminaryTdrm::compute_into(const FlatTreeView& view,
+                                             TreeWorkspace& ws,
+                                             RewardVector& out) const {
+  raw_.compute_into(view, ws, out);
+  const double total = total_reward(out);
+  const double cap = Phi() * view.total_contribution();
   if (total > cap && total > 0.0) {
     const double scale = cap / total;
-    for (double& r : rewards) {
+    for (double& r : out) {
       r *= scale;
     }
   }
-  return rewards;
 }
 
 PropertySet NormalizedPreliminaryTdrm::claimed_properties() const {

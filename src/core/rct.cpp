@@ -1,15 +1,31 @@
 #include "core/rct.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
 
 namespace itree {
 
+std::size_t rct_chain_length(double contribution, double mu) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(contribution / mu - 1e-12)));
+}
+
 RewardComputationTree::RewardComputationTree(const Tree& referral, double mu)
     : mu_(mu) {
   require(mu > 0.0, "RewardComputationTree: mu must be > 0");
   chains_.resize(referral.node_count());
+
+  // Pre-size the arena: one cheap pass over contributions avoids
+  // repeated reallocation of the (often several-times-larger) RCT.
+  std::size_t rct_nodes = 1;
+  for (NodeId u = 1; u < referral.node_count(); ++u) {
+    rct_nodes += rct_chain_length(referral.contribution(u), mu_);
+  }
+  rct_.reserve(rct_nodes);
+  origin_.reserve(rct_nodes);
+
   origin_.assign(1, kRoot);  // RCT root is the image of the referral root
   chains_[kRoot] = {kRoot};
 
@@ -19,9 +35,7 @@ RewardComputationTree::RewardComputationTree(const Tree& referral, double mu)
       continue;
     }
     const double c = referral.contribution(u);
-    const auto chain_length =
-        std::max<std::size_t>(1, static_cast<std::size_t>(
-                                     std::ceil(c / mu_ - 1e-12)));
+    const std::size_t chain_length = rct_chain_length(c, mu_);
     const double head_contribution =
         c - static_cast<double>(chain_length - 1) * mu_;
 

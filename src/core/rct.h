@@ -16,6 +16,13 @@
 
 namespace itree {
 
+/// N_u = ceil(C(u)/mu), with a 1e-12 slack so a contribution that is an
+/// exact multiple of mu (up to FP rounding) does not gain a spurious
+/// extra chain node; always >= 1. Shared by the RCT builder and by every
+/// code path that must agree with it on chain shape (the flat TDRM batch
+/// kernel and the incremental TDRM serving state).
+std::size_t rct_chain_length(double contribution, double mu);
+
 class RewardComputationTree {
  public:
   /// Builds the RCT of `referral` with contribution cap `mu > 0`.

@@ -23,14 +23,20 @@ std::string SplitProofMechanism::params_string() const {
 }
 
 RewardVector SplitProofMechanism::compute(const Tree& tree) const {
-  const std::vector<std::uint32_t> depths = binary_subtree_depths(tree);
-  RewardVector rewards(tree.node_count(), 0.0);
-  for (NodeId u = 1; u < tree.node_count(); ++u) {
+  return compute_via_flat(tree);
+}
+
+void SplitProofMechanism::compute_into(const FlatTreeView& view,
+                                       TreeWorkspace& ws,
+                                       RewardVector& out) const {
+  binary_subtree_depths(view, ws.depths);
+  const std::size_t n = view.node_count();
+  out.assign(n, 0.0);
+  for (NodeId u = 1; u < n; ++u) {
     const double depth_bonus =
-        1.0 - std::exp2(1.0 - static_cast<double>(depths[u]));
-    rewards[u] = tree.contribution(u) * (b_ + lambda_ * depth_bonus);
+        1.0 - std::exp2(1.0 - static_cast<double>(ws.depths[u]));
+    out[u] = view.contribution(u) * (b_ + lambda_ * depth_bonus);
   }
-  return rewards;
 }
 
 PropertySet SplitProofMechanism::claimed_properties() const {

@@ -32,6 +32,8 @@ class PreliminaryTdrm : public Mechanism {
   std::string name() const override { return "PreliminaryTDRM"; }
   std::string params_string() const override;
   RewardVector compute(const Tree& tree) const override;
+  void compute_into(const FlatTreeView& view, TreeWorkspace& ws,
+                    RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
   double a() const { return a_; }
@@ -56,6 +58,13 @@ class Tdrm : public Mechanism {
   std::string name() const override { return "TDRM"; }
   std::string params_string() const override;
   RewardVector compute(const Tree& tree) const override;
+
+  /// Flat batch kernel: evaluates the chains *virtually*, walking the
+  /// referral tree in postorder and unrolling each CH_u on the fly —
+  /// never materializing the RCT. Bit-for-bit equal to the
+  /// materializing path (compute_via_rct), which tests assert.
+  void compute_into(const FlatTreeView& view, TreeWorkspace& ws,
+                    RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
   const TdrmParams& params() const { return params_; }
@@ -65,6 +74,11 @@ class Tdrm : public Mechanism {
 
   /// Rewards of individual RCT nodes: R'(w) for all w in T'.
   RewardVector compute_on_rct(const RewardComputationTree& rct) const;
+
+  /// The original Algorithm 4 path (materialize the RCT, run the
+  /// geometric rule on it, fold chain rewards back). Kept as the
+  /// reference the flat kernel is checked against.
+  RewardVector compute_via_rct(const Tree& tree) const;
 
  private:
   TdrmParams params_;

@@ -1,0 +1,17 @@
+#include "lottery/lottree.h"
+
+#include "tree/flat_view.h"
+#include "tree/subtree_sums.h"
+#include "util/check.h"
+
+namespace itree {
+
+void Lottree::shares_into(const FlatTreeView& view, TreeWorkspace& ws,
+                          std::vector<double>& out) const {
+  (void)ws;
+  require(view.source() != nullptr,
+          "Lottree::shares_into: view has no source tree");
+  out = shares(*view.source());
+}
+
+}  // namespace itree

@@ -17,20 +17,29 @@ double Pachira::pi(double x) const {
 }
 
 std::vector<double> Pachira::shares(const Tree& tree) const {
-  std::vector<double> out(tree.node_count(), 0.0);
-  const double total = tree.total_contribution();
+  const FlatTreeView view(tree);
+  TreeWorkspace ws;
+  std::vector<double> out;
+  shares_into(view, ws, out);
+  return out;
+}
+
+void Pachira::shares_into(const FlatTreeView& view, TreeWorkspace& ws,
+                          std::vector<double>& out) const {
+  const std::size_t n = view.node_count();
+  out.assign(n, 0.0);
+  const double total = view.total_contribution();
   if (total <= 0.0) {
-    return out;
+    return;
   }
-  const SubtreeData data = compute_subtree_data(tree);
-  for (NodeId u = 1; u < tree.node_count(); ++u) {
-    double share = pi(data.subtree_contribution[u] / total);
-    for (NodeId child : tree.children(u)) {
-      share -= pi(data.subtree_contribution[child] / total);
+  compute_subtree_data(view, ws.data);
+  for (NodeId u = 1; u < n; ++u) {
+    double share = pi(ws.data.subtree_contribution[u] / total);
+    for (NodeId child : view.children(u)) {
+      share -= pi(ws.data.subtree_contribution[child] / total);
     }
     out[u] = share;
   }
-  return out;
 }
 
 }  // namespace itree

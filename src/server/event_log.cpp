@@ -208,4 +208,11 @@ void RecordingService::restore_snapshot(const Tree& tree,
   log_ = EventLog::from_tree(tree);
 }
 
+void RecordingService::restore_snapshot(
+    const Tree& tree, std::uint64_t events_applied,
+    const std::vector<double>& aggregates) {
+  service_.restore_snapshot(tree, events_applied, aggregates);
+  log_ = EventLog::from_tree(tree);
+}
+
 }  // namespace itree

@@ -87,8 +87,13 @@ class RecordingService {
   /// replays one synthetic join per participant through its normal
   /// apply path (bit-exact state) and the log becomes the equivalent
   /// compacted history (EventLog::from_tree). `events_applied` restores
-  /// the pre-checkpoint event counter.
+  /// the pre-checkpoint event counter. The aggregates overload also
+  /// imports the snapshotted FP accumulators (see
+  /// RewardService::export_aggregates) so incremental state resumes
+  /// bit-identically to the uninterrupted run.
   void restore_snapshot(const Tree& tree, std::uint64_t events_applied);
+  void restore_snapshot(const Tree& tree, std::uint64_t events_applied,
+                        const std::vector<double>& aggregates);
 
   const RewardService& service() const { return service_; }
   const EventLog& log() const { return log_; }

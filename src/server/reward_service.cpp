@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/l_transform.h"
+#include "core/tdrm.h"
 #include "util/check.h"
 
 namespace itree {
@@ -28,6 +29,9 @@ RewardService::RewardService(const Mechanism& mechanism)
     mode_ = Mode::kCdrm;
     subtree_state_.emplace();
     cdrm_ = cdrm;
+  } else if (const auto* tdrm = dynamic_cast<const Tdrm*>(mechanism_)) {
+    mode_ = Mode::kTdrm;
+    rct_state_.emplace(tdrm->params(), tdrm->phi());
   }
 }
 
@@ -37,6 +41,8 @@ const Tree& RewardService::tree() const {
       return geometric_state_->tree();
     case Mode::kCdrm:
       return subtree_state_->tree();
+    case Mode::kTdrm:
+      return rct_state_->tree();
     case Mode::kBatch:
       break;
   }
@@ -58,6 +64,9 @@ NodeId RewardService::apply(const JoinEvent& event) {
       id = subtree_state_->add_leaf(event.referrer,
                                     event.initial_contribution);
       break;
+    case Mode::kTdrm:
+      id = rct_state_->add_leaf(event.referrer, event.initial_contribution);
+      break;
     case Mode::kBatch:
       id = batch_tree_.add_node(event.referrer,
                                 event.initial_contribution);
@@ -76,6 +85,9 @@ void RewardService::apply(const ContributeEvent& event) {
       break;
     case Mode::kCdrm:
       subtree_state_->add_contribution(event.participant, event.amount);
+      break;
+    case Mode::kTdrm:
+      rct_state_->add_contribution(event.participant, event.amount);
       break;
     case Mode::kBatch:
       require(batch_tree_.contains(event.participant) &&
@@ -112,6 +124,46 @@ void RewardService::restore_snapshot(const Tree& tree,
   dirty_ = true;
 }
 
+void RewardService::restore_snapshot(const Tree& tree,
+                                     std::size_t events_applied,
+                                     const std::vector<double>& aggregates) {
+  restore_snapshot(tree, events_applied);
+  if (aggregates.empty()) {
+    return;
+  }
+  switch (mode_) {
+    case Mode::kGeometric:
+      geometric_state_->import_aggregates(aggregates);
+      break;
+    case Mode::kCdrm:
+      subtree_state_->import_aggregates(aggregates);
+      break;
+    case Mode::kTdrm:
+      rct_state_->import_aggregates(aggregates);
+      break;
+    case Mode::kBatch:
+      // Batch mode exports no aggregates; tolerate a stray blob (e.g. a
+      // snapshot written under a different service configuration) —
+      // batch rewards are a pure function of the tree anyway.
+      break;
+  }
+  dirty_ = true;
+}
+
+std::vector<double> RewardService::export_aggregates() const {
+  switch (mode_) {
+    case Mode::kGeometric:
+      return geometric_state_->export_aggregates();
+    case Mode::kCdrm:
+      return subtree_state_->export_aggregates();
+    case Mode::kTdrm:
+      return rct_state_->export_aggregates();
+    case Mode::kBatch:
+      break;
+  }
+  return {};
+}
+
 double RewardService::reward(NodeId participant) const {
   require(participant != kRoot && tree().contains(participant),
           "RewardService::reward: unknown participant");
@@ -125,6 +177,8 @@ double RewardService::reward(NodeId participant) const {
       }
       return cdrm_->reward_function(x, subtree_state_->y_of(participant));
     }
+    case Mode::kTdrm:
+      return rct_state_->reward(participant);
     case Mode::kBatch:
       break;
   }
@@ -133,7 +187,18 @@ double RewardService::reward(NodeId participant) const {
 
 const RewardVector& RewardService::rewards() const {
   if (dirty_) {
-    cached_rewards_ = mechanism_->compute(tree());
+    if (mode_ == Mode::kBatch) {
+      cached_rewards_ = mechanism_->compute(tree());
+    } else {
+      // Fill from the incremental O(1) queries; the batch mechanism is
+      // deliberately not touched (tests instrument compute() to prove
+      // this stays true).
+      const Tree& t = tree();
+      cached_rewards_.assign(t.node_count(), 0.0);
+      for (NodeId u = 1; u < t.node_count(); ++u) {
+        cached_rewards_[u] = reward(u);
+      }
+    }
     dirty_ = false;
   }
   return cached_rewards_;
@@ -142,6 +207,9 @@ const RewardVector& RewardService::rewards() const {
 double RewardService::total_reward() const {
   if (mode_ == Mode::kGeometric) {
     return geometric_state_->total_geometric_reward(geometric_b_);
+  }
+  if (mode_ == Mode::kTdrm) {
+    return rct_state_->total_reward();
   }
   return itree::total_reward(rewards());
 }

@@ -1,11 +1,14 @@
 // Event-sourced reward service: the deployment-facing API.
 //
 // Wraps a mechanism behind an event stream. For mechanisms whose
-// aggregates admit O(depth) maintenance (Geometric and the CDRM family)
-// the service answers reward queries from incremental state; for every
-// other mechanism it falls back to a dirty-cached batch computation.
-// `audit()` recomputes from scratch and reports the largest divergence —
-// the operation a real deployment runs before paying out.
+// aggregates admit O(depth) maintenance (Geometric, the CDRM family,
+// and TDRM via the virtual-RCT state) the service answers reward
+// queries from incremental state — including rewards(), which fills its
+// cache from the O(1) queries instead of running a batch compute; for
+// every other mechanism it falls back to a dirty-cached batch
+// computation. `audit()` recomputes from scratch and reports the
+// largest divergence — the operation a real deployment runs before
+// paying out.
 #pragma once
 
 #include <optional>
@@ -37,16 +40,32 @@ class RewardService {
 
   /// Rebuilds a freshly constructed service from a checkpointed tree by
   /// replaying one synthetic join per participant through the normal
-  /// apply path (so incremental state is exactly what an uninterrupted
-  /// run would hold), then restores the event counter. The service must
-  /// not have applied any events yet.
+  /// apply path, then restores the event counter. The service must not
+  /// have applied any events yet. Note: incremental FP accumulators are
+  /// history-dependent, so after a compacting restore they can differ
+  /// from the uninterrupted run in final ulps — use the aggregates
+  /// overload for bit-exact resumption.
   void restore_snapshot(const Tree& tree, std::size_t events_applied);
+
+  /// As above, but additionally imports the FP accumulators captured by
+  /// export_aggregates() on the snapshotting service, making the
+  /// restored incremental state bit-identical to the uninterrupted
+  /// run's (the crash-safe storage engine persists this blob). An empty
+  /// blob skips the import (batch mode, or a pre-v2 snapshot).
+  void restore_snapshot(const Tree& tree, std::size_t events_applied,
+                        const std::vector<double>& aggregates);
+
+  /// Flattens this service's incremental FP accumulators into an opaque
+  /// double blob for snapshot persistence. Empty in batch mode.
+  std::vector<double> export_aggregates() const;
 
   /// Current reward of one participant.
   double reward(NodeId participant) const;
 
-  /// Current rewards of everyone (batch path; root entry is 0). The
-  /// reference stays valid until the next applied event.
+  /// Current rewards of everyone (root entry is 0). Incremental modes
+  /// fill the cache from their O(1) per-participant queries — the batch
+  /// mechanism is NOT invoked. The reference stays valid until the next
+  /// applied event.
   const RewardVector& rewards() const;
 
   /// Total reward paid if the system settled now.
@@ -65,7 +84,7 @@ class RewardService {
   std::size_t events_applied() const { return events_applied_; }
 
  private:
-  enum class Mode { kBatch, kGeometric, kCdrm };
+  enum class Mode { kBatch, kGeometric, kCdrm, kTdrm };
 
   const Mechanism* mechanism_;
   Mode mode_ = Mode::kBatch;
@@ -73,6 +92,7 @@ class RewardService {
   // Exactly one of these backs the service, per mode_.
   std::optional<IncrementalGeometricState> geometric_state_;
   std::optional<IncrementalSubtreeState> subtree_state_;
+  std::optional<IncrementalRctState> rct_state_;
   Tree batch_tree_;
 
   // Geometric fast-path coefficient (b, or Phi*(1-delta) for L-Luxor).

@@ -44,6 +44,10 @@ std::string encode_snapshot(const SnapshotData& data) {
       put_u32(payload, campaign.tree.parent(u));
       put_f64(payload, campaign.tree.contribution(u));
     }
+    put_u64(payload, campaign.aggregates.size());
+    for (double value : campaign.aggregates) {
+      put_f64(payload, value);
+    }
   }
   std::string out;
   out.reserve(kSnapshotMagic.size() + 8 + payload.size());
@@ -56,8 +60,9 @@ std::string encode_snapshot(const SnapshotData& data) {
 
 SnapshotData decode_snapshot(std::string_view bytes) {
   reject(bytes.size() >= kSnapshotMagic.size() + 8, "file too short");
-  reject(bytes.substr(0, kSnapshotMagic.size()) == kSnapshotMagic,
-         "bad magic");
+  const std::string_view magic = bytes.substr(0, kSnapshotMagic.size());
+  const bool v2 = magic == kSnapshotMagic;
+  reject(v2 || magic == kSnapshotMagicV1, "bad magic");
   ByteReader header(bytes.substr(kSnapshotMagic.size(), 8));
   const std::uint32_t length = header.u32();
   const std::uint32_t expected_crc = header.u32();
@@ -89,6 +94,15 @@ SnapshotData decode_snapshot(std::string_view bytes) {
       // (throws std::invalid_argument), so a CRC-colliding corruption
       // still cannot build an inconsistent tree.
       campaign.tree.add_node(static_cast<NodeId>(parent), contribution);
+    }
+    if (v2) {
+      const std::uint64_t aggregates = in.u64();
+      reject(aggregates <= in.remaining() / 8,
+             "aggregate count exceeds payload");
+      campaign.aggregates.reserve(aggregates);
+      for (std::uint64_t i = 0; i < aggregates; ++i) {
+        campaign.aggregates.push_back(in.f64());
+      }
     }
     data.campaigns.push_back(std::move(campaign));
   }

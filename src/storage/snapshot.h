@@ -9,7 +9,7 @@
 //
 // On-disk format (`snap-<last_seq, 16 hex digits>.snap`):
 //
-//     8 bytes  magic "ITSNAP01"
+//     8 bytes  magic "ITSNAP02"
 //     u32 LE   payload length
 //     u32 LE   CRC32C(payload)
 //     payload:
@@ -22,6 +22,16 @@
 //         u64 events applied
 //         u64 participant count
 //         per participant (id order): u32 parent, f64 contribution
+//         u64 aggregate count + f64 each    (v2 only: the service's
+//                                            incremental FP accumulators,
+//                                            RewardService::
+//                                            export_aggregates(); makes
+//                                            a compacting restore
+//                                            bit-identical to the
+//                                            uninterrupted run)
+//
+// v1 snapshots ("ITSNAP01", no aggregate section) are still decoded —
+// campaigns restore with empty aggregates, i.e. the replay-joins path.
 //
 // Snapshots are written to a temp file, fsynced, then renamed into
 // place (with a directory fsync), so a crash mid-snapshot leaves the
@@ -40,7 +50,8 @@
 
 namespace itree::storage {
 
-inline constexpr std::string_view kSnapshotMagic = "ITSNAP01";
+inline constexpr std::string_view kSnapshotMagic = "ITSNAP02";
+inline constexpr std::string_view kSnapshotMagicV1 = "ITSNAP01";
 /// Cap on one snapshot's payload (bounds loader allocation on a
 /// corrupt length field): 1 GiB ~ 80M participants.
 inline constexpr std::uint32_t kMaxSnapshotBytes = 1u << 30;
@@ -48,6 +59,9 @@ inline constexpr std::uint32_t kMaxSnapshotBytes = 1u << 30;
 struct CampaignSnapshot {
   std::uint64_t events_applied = 0;
   Tree tree;
+  /// RewardService::export_aggregates() at snapshot time; empty for
+  /// batch-mode services and v1 snapshots.
+  std::vector<double> aggregates;
 };
 
 struct SnapshotData {

@@ -134,7 +134,8 @@ RecoveryResult recover_campaigns(const Mechanism& mechanism,
     }
     for (std::size_t c = 0; c < campaign_count; ++c) {
       result.campaigns[c]->restore_snapshot(
-          snapshot->campaigns[c].tree, snapshot->campaigns[c].events_applied);
+          snapshot->campaigns[c].tree, snapshot->campaigns[c].events_applied,
+          snapshot->campaigns[c].aggregates);
     }
     snapshot_seq = snapshot->last_seq;
     result.report.used_snapshot = true;
@@ -292,6 +293,7 @@ void Storage::snapshot_now() {
     CampaignSnapshot snap;
     snap.events_applied = campaign->service().events_applied();
     snap.tree = campaign->service().tree();
+    snap.aggregates = campaign->service().export_aggregates();
     data.campaigns.push_back(std::move(snap));
   }
   save_snapshot(config_.data_dir, data);

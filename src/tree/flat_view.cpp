@@ -1,0 +1,68 @@
+#include "tree/flat_view.h"
+
+#include <algorithm>
+
+namespace itree {
+
+void FlatTreeView::rebuild(const Tree& tree) {
+  const std::size_t n = tree.node_count();
+  source_ = &tree;
+  total_contribution_ = tree.total_contribution();
+
+  parent_.resize(n);
+  contribution_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    parent_[u] = (u == kRoot) ? kInvalidNode : tree.parent(u);
+    contribution_[u] = tree.contribution(u);
+  }
+
+  // CSR child ranges. The arena is append-only, so every node's children
+  // were pushed in ascending id order — filling buckets by ascending id
+  // reproduces Tree::children() order exactly.
+  child_start_.assign(n + 1, 0);
+  for (NodeId u = 1; u < n; ++u) {
+    ++child_start_[parent_[u] + 1];
+  }
+  for (std::size_t u = 1; u <= n; ++u) {
+    child_start_[u] += child_start_[u - 1];
+  }
+  child_ids_.resize(n == 0 ? 0 : n - 1);
+  cursor_.assign(child_start_.begin(), child_start_.end() - 1);
+  for (NodeId u = 1; u < n; ++u) {
+    child_ids_[cursor_[parent_[u]]++] = u;
+  }
+
+  // Preorder: the same explicit-stack walk as Tree::subtree(kRoot)
+  // (children pushed in reverse so the first child is visited first).
+  preorder_.clear();
+  preorder_.reserve(n);
+  stack_.clear();
+  stack_.push_back(kRoot);
+  while (!stack_.empty()) {
+    const NodeId v = stack_.back();
+    stack_.pop_back();
+    preorder_.push_back(v);
+    const std::span<const NodeId> kids = children(v);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack_.push_back(*it);
+    }
+  }
+
+  // Postorder: as in Tree::postorder(), the reverse of a preorder that
+  // pushes children forward.
+  postorder_.clear();
+  postorder_.reserve(n);
+  stack_.clear();
+  stack_.push_back(kRoot);
+  while (!stack_.empty()) {
+    const NodeId v = stack_.back();
+    stack_.pop_back();
+    postorder_.push_back(v);
+    for (NodeId child : children(v)) {
+      stack_.push_back(child);
+    }
+  }
+  std::reverse(postorder_.begin(), postorder_.end());
+}
+
+}  // namespace itree

@@ -1,0 +1,78 @@
+// Flat, cache-friendly snapshot of a Tree for batch kernels.
+//
+// Tree stores children as one std::vector per node — ideal for O(1)
+// appends on the serving path, hostile to batch traversal: every child
+// list is its own heap allocation and postorder()/preorder() allocate
+// fresh index vectors per call. FlatTreeView freezes a tree into
+// structure-of-arrays form:
+//   * CSR child ranges (child_start_ / child_ids_) — one contiguous
+//     array instead of n small vectors,
+//   * SoA parent and contribution copies,
+//   * the post- and preorder index sequences, computed once and cached.
+// The traversal orders are exactly Tree::postorder()/preorder() (same
+// algorithm over the same child order), so kernels running over a view
+// produce bit-identical results to the legacy Tree-walking code — the
+// BENCH_* digest trajectory depends on this.
+//
+// rebuild() reuses capacity, so steady-state re-snapshots of a growing
+// tree are allocation-free once the buffers have grown; kernels take
+// caller-owned output/workspace buffers for the same reason (see
+// tree/subtree_sums.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace itree {
+
+class FlatTreeView {
+ public:
+  FlatTreeView() = default;
+  explicit FlatTreeView(const Tree& tree) { rebuild(tree); }
+
+  /// Re-snapshots `tree`. O(n); reuses buffer capacity across calls.
+  void rebuild(const Tree& tree);
+
+  std::size_t node_count() const { return parent_.size(); }
+
+  NodeId parent(NodeId u) const { return parent_[u]; }
+  double contribution(NodeId u) const { return contribution_[u]; }
+  const std::vector<double>& contributions() const { return contribution_; }
+
+  /// C(T), copied from Tree::total_contribution() at rebuild time.
+  double total_contribution() const { return total_contribution_; }
+
+  /// Children of `u`, in the same order Tree::children(u) reports them.
+  std::span<const NodeId> children(NodeId u) const {
+    return {child_ids_.data() + child_start_[u],
+            child_ids_.data() + child_start_[u + 1]};
+  }
+
+  /// Same sequence as Tree::postorder(), computed once per rebuild.
+  const std::vector<NodeId>& postorder() const { return postorder_; }
+
+  /// Same sequence as Tree::preorder(), computed once per rebuild.
+  const std::vector<NodeId>& preorder() const { return preorder_; }
+
+  /// The tree this view was built from (non-owning; valid as long as
+  /// the caller keeps the tree alive and unmodified). Lets generic code
+  /// fall back to Tree-based paths.
+  const Tree* source() const { return source_; }
+
+ private:
+  const Tree* source_ = nullptr;
+  double total_contribution_ = 0.0;
+  std::vector<NodeId> parent_;
+  std::vector<double> contribution_;
+  std::vector<std::uint32_t> child_start_;  // node_count + 1 entries
+  std::vector<NodeId> child_ids_;           // node_count - 1 entries
+  std::vector<NodeId> postorder_;
+  std::vector<NodeId> preorder_;
+  std::vector<NodeId> stack_;          // traversal scratch, kept for reuse
+  std::vector<std::uint32_t> cursor_;  // CSR fill scratch, kept for reuse
+};
+
+}  // namespace itree

@@ -4,42 +4,55 @@
 
 namespace itree {
 
-SubtreeData compute_subtree_data(const Tree& tree) {
-  const std::size_t n = tree.node_count();
-  SubtreeData data;
-  data.subtree_contribution.assign(n, 0.0);
-  data.subtree_size.assign(n, 1);
-  data.depth.assign(n, 0);
+void compute_subtree_data(const FlatTreeView& view, SubtreeData& out) {
+  const std::size_t n = view.node_count();
+  out.subtree_contribution.assign(n, 0.0);
+  out.subtree_size.assign(n, 1);
+  out.depth.assign(n, 0);
 
-  for (NodeId u : tree.postorder()) {
-    data.subtree_contribution[u] += tree.contribution(u);
-    const NodeId p = (u == kRoot) ? kInvalidNode : tree.parent(u);
-    if (p != kInvalidNode) {
-      data.subtree_contribution[p] += data.subtree_contribution[u];
-      data.subtree_size[p] += data.subtree_size[u];
-    }
-  }
-  for (NodeId u : tree.preorder()) {
+  for (NodeId u : view.postorder()) {
+    out.subtree_contribution[u] += view.contribution(u);
     if (u != kRoot) {
-      data.depth[u] = data.depth[tree.parent(u)] + 1;
+      const NodeId p = view.parent(u);
+      out.subtree_contribution[p] += out.subtree_contribution[u];
+      out.subtree_size[p] += out.subtree_size[u];
     }
   }
+  for (NodeId u : view.preorder()) {
+    if (u != kRoot) {
+      out.depth[u] = out.depth[view.parent(u)] + 1;
+    }
+  }
+}
+
+SubtreeData compute_subtree_data(const Tree& tree) {
+  const FlatTreeView view(tree);
+  SubtreeData data;
+  compute_subtree_data(view, data);
   return data;
 }
 
-std::vector<double> geometric_subtree_sums(const Tree& tree, double a) {
-  std::vector<double> sums(tree.node_count(), 0.0);
-  for (NodeId u : tree.postorder()) {
-    double s = tree.contribution(u);
-    for (NodeId child : tree.children(u)) {
-      s += a * sums[child];
+void geometric_subtree_sums(const FlatTreeView& view, double a,
+                            std::vector<double>& out) {
+  out.assign(view.node_count(), 0.0);
+  for (NodeId u : view.postorder()) {
+    double s = view.contribution(u);
+    for (NodeId child : view.children(u)) {
+      s += a * out[child];
     }
-    sums[u] = s;
+    out[u] = s;
   }
+}
+
+std::vector<double> geometric_subtree_sums(const Tree& tree, double a) {
+  const FlatTreeView view(tree);
+  std::vector<double> sums;
+  geometric_subtree_sums(view, a, sums);
   return sums;
 }
 
-std::vector<std::uint32_t> binary_subtree_depths(const Tree& tree) {
+void binary_subtree_depths(const FlatTreeView& view,
+                           std::vector<std::uint32_t>& out) {
   // Depth of the deepest complete binary tree embeddable (as a minor)
   // in T_u — the Strahler-number recurrence. A complete binary tree of
   // depth k+1 needs two disjoint subtrees each embedding depth k, so with
@@ -48,12 +61,12 @@ std::vector<std::uint32_t> binary_subtree_depths(const Tree& tree) {
   // split-proof mechanism bases rewards on (paper Sec. 4.3): a chain has
   // constant depth no matter how long it grows, which is exactly why
   // that mechanism fails CSI.
-  std::vector<std::uint32_t> depth(tree.node_count(), 1);
-  for (NodeId u : tree.postorder()) {
+  out.assign(view.node_count(), 1);
+  for (NodeId u : view.postorder()) {
     std::uint32_t first = 0;   // largest child depth
     std::uint32_t second = 0;  // second largest child depth
-    for (NodeId child : tree.children(u)) {
-      const std::uint32_t d = depth[child];
+    for (NodeId child : view.children(u)) {
+      const std::uint32_t d = out[child];
       if (d > first) {
         second = first;
         first = d;
@@ -61,9 +74,15 @@ std::vector<std::uint32_t> binary_subtree_depths(const Tree& tree) {
         second = d;
       }
     }
-    depth[u] = std::max<std::uint32_t>({1, first, second + 1});
+    out[u] = std::max<std::uint32_t>({1, first, second + 1});
   }
-  return depth;
+}
+
+std::vector<std::uint32_t> binary_subtree_depths(const Tree& tree) {
+  const FlatTreeView view(tree);
+  std::vector<std::uint32_t> depths;
+  binary_subtree_depths(view, depths);
+  return depths;
 }
 
 }  // namespace itree

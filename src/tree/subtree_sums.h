@@ -4,11 +4,20 @@
 //   * Geometric / TDRM:  S_a(u) = C(u) + a * sum_{child c} S_a(c)
 //     so that R(u) = b * S_a(u)  (Alg. 1) — one postorder pass.
 //   * Pachira: needs C(T_u) per node — same pass.
+//
+// Each aggregate comes in two forms: the legacy Tree-based function
+// (allocates its result, builds a FlatTreeView internally) and a flat
+// kernel over a FlatTreeView writing into caller-owned buffers. The
+// flat kernels run the identical arithmetic in the identical order, so
+// the two forms are bit-for-bit equal (asserted by
+// tests/flat_view_test.cpp); steady-state callers hold a TreeWorkspace
+// and recompute with zero allocations.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "tree/flat_view.h"
 #include "tree/tree.h"
 
 namespace itree {
@@ -20,15 +29,31 @@ struct SubtreeData {
   std::vector<std::uint32_t> depth;          ///< dep_root(u)
 };
 
+/// Reusable scratch buffers for the flat batch kernels. One workspace
+/// per thread of batch work; buffers grow to the largest tree seen and
+/// then stay allocation-free.
+struct TreeWorkspace {
+  std::vector<double> sums;   ///< geometric sums / share scratch
+  SubtreeData data;           ///< compute_subtree_data output
+  std::vector<std::uint32_t> depths;  ///< binary_subtree_depths output
+  std::vector<double> chain;  ///< per-chain S buffer (TDRM kernel)
+  std::vector<double> heads;  ///< per-referral-node head sums (TDRM)
+};
+
 SubtreeData compute_subtree_data(const Tree& tree);
+void compute_subtree_data(const FlatTreeView& view, SubtreeData& out);
 
 /// S_a(u) = sum_{v in T_u} a^{dep_u(v)} C(v), for all u, in O(n).
 std::vector<double> geometric_subtree_sums(const Tree& tree, double a);
+void geometric_subtree_sums(const FlatTreeView& view, double a,
+                            std::vector<double>& out);
 
 /// Depth of the deepest *binary* subtree rooted at each node: every node
 /// may keep at most two of its children. Used by the Emek et al.
 /// split-proof baseline (paper Sec. 4.3). A leaf has depth 1; 0 is
 /// returned only for nonexistent structure (never here). O(n).
 std::vector<std::uint32_t> binary_subtree_depths(const Tree& tree);
+void binary_subtree_depths(const FlatTreeView& view,
+                           std::vector<std::uint32_t>& out);
 
 }  // namespace itree

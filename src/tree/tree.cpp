@@ -10,6 +10,12 @@ Tree::Tree() {
   contribution_.push_back(0.0);
 }
 
+void Tree::reserve(std::size_t nodes) {
+  parent_.reserve(nodes);
+  children_.reserve(nodes);
+  contribution_.reserve(nodes);
+}
+
 void Tree::check_node(NodeId u, const char* what) const {
   require(contains(u), std::string(what) + ": node does not exist");
 }

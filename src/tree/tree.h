@@ -44,6 +44,11 @@ class Tree {
   /// Creates a tree containing only the imaginary root.
   Tree();
 
+  /// Pre-sizes the arena for `nodes` total nodes (including the
+  /// imaginary root). Purely a capacity hint; no-op when already large
+  /// enough.
+  void reserve(std::size_t nodes);
+
   /// Adds a participant with the given contribution as a child of
   /// `parent`. Returns the new node's id. Requires `parent` to exist and
   /// `contribution >= 0`.

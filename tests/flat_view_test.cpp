@@ -1,0 +1,143 @@
+// Tests for the flat, cache-friendly tree snapshot (tree/flat_view.h)
+// and the batch kernels that run over it: traversal orders must equal
+// the legacy Tree walks exactly, and every flat kernel / compute_into
+// path must be bit-for-bit equal to its Tree-based reference — the
+// BENCH_* digest trajectory depends on this.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/tdrm.h"
+#include "tree/flat_view.h"
+#include "tree/generators.h"
+#include "tree/io.h"
+#include "tree/subtree_sums.h"
+
+namespace itree {
+namespace {
+
+std::vector<Tree> corpus() {
+  std::vector<Tree> trees;
+  trees.push_back(Tree{});  // root only
+  trees.push_back(parse_tree("(5 (3 (4)) (2))"));
+  trees.push_back(make_chain(40, 1.5));
+  trees.push_back(make_star(40, 2.0, 1.0));
+  Rng rng(7);
+  trees.push_back(
+      random_recursive_tree(300, uniform_contribution(0.0, 3.0), rng));
+  trees.push_back(random_recursive_tree(
+      200, capped_contribution(pareto_contribution(0.5, 1.2), 40.0), rng));
+  return trees;
+}
+
+TEST(FlatTreeView, StructureMirrorsTree) {
+  for (const Tree& tree : corpus()) {
+    const FlatTreeView view(tree);
+    ASSERT_EQ(view.node_count(), tree.node_count());
+    EXPECT_EQ(view.source(), &tree);
+    EXPECT_EQ(view.total_contribution(), tree.total_contribution());
+    for (NodeId u = 0; u < tree.node_count(); ++u) {
+      if (u != kRoot) {
+        EXPECT_EQ(view.parent(u), tree.parent(u));
+      }
+      EXPECT_EQ(view.contribution(u), tree.contribution(u));
+      const auto span = view.children(u);
+      const std::vector<NodeId> expected = tree.children(u);
+      ASSERT_EQ(span.size(), expected.size()) << "node " << u;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(span[i], expected[i]) << "node " << u << " child " << i;
+      }
+    }
+  }
+}
+
+TEST(FlatTreeView, TraversalOrdersEqualTreeExactly) {
+  for (const Tree& tree : corpus()) {
+    const FlatTreeView view(tree);
+    EXPECT_EQ(view.postorder(), tree.postorder());
+    EXPECT_EQ(view.preorder(), tree.preorder());
+  }
+}
+
+TEST(FlatTreeView, RebuildReusesBuffersAcrossTrees) {
+  FlatTreeView view;
+  for (const Tree& tree : corpus()) {
+    view.rebuild(tree);
+    const FlatTreeView fresh(tree);
+    EXPECT_EQ(view.postorder(), fresh.postorder());
+    EXPECT_EQ(view.preorder(), fresh.preorder());
+    EXPECT_EQ(view.contributions(), fresh.contributions());
+  }
+}
+
+TEST(FlatKernels, GeometricSumsBitEqualToTreePath) {
+  TreeWorkspace ws;
+  for (const Tree& tree : corpus()) {
+    const FlatTreeView view(tree);
+    for (const double a : {0.3, 0.5, 0.9}) {
+      const std::vector<double> reference = geometric_subtree_sums(tree, a);
+      geometric_subtree_sums(view, a, ws.sums);
+      ASSERT_EQ(ws.sums.size(), reference.size());
+      for (NodeId u = 0; u < tree.node_count(); ++u) {
+        EXPECT_EQ(ws.sums[u], reference[u]) << "node " << u << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST(FlatKernels, SubtreeDataBitEqualToTreePath) {
+  TreeWorkspace ws;
+  for (const Tree& tree : corpus()) {
+    const FlatTreeView view(tree);
+    const SubtreeData reference = compute_subtree_data(tree);
+    compute_subtree_data(view, ws.data);
+    EXPECT_EQ(ws.data.subtree_contribution, reference.subtree_contribution);
+    EXPECT_EQ(ws.data.subtree_size, reference.subtree_size);
+    EXPECT_EQ(ws.data.depth, reference.depth);
+  }
+}
+
+TEST(FlatKernels, BinaryDepthsEqualTreePath) {
+  TreeWorkspace ws;
+  for (const Tree& tree : corpus()) {
+    const FlatTreeView view(tree);
+    binary_subtree_depths(view, ws.depths);
+    EXPECT_EQ(ws.depths, binary_subtree_depths(tree));
+  }
+}
+
+TEST(FlatKernels, EveryMechanismComputeIntoBitEqualToCompute) {
+  TreeWorkspace ws;
+  RewardVector out;
+  for (const Tree& tree : corpus()) {
+    const FlatTreeView view(tree);
+    for (const MechanismPtr& mechanism : all_mechanisms()) {
+      const RewardVector reference = mechanism->compute(tree);
+      mechanism->compute_into(view, ws, out);
+      ASSERT_EQ(out.size(), reference.size()) << mechanism->display_name();
+      for (NodeId u = 0; u < tree.node_count(); ++u) {
+        EXPECT_EQ(out[u], reference[u])
+            << mechanism->display_name() << " node " << u;
+      }
+    }
+  }
+}
+
+TEST(FlatKernels, VirtualRctTdrmBitEqualToMaterializedRct) {
+  // The flat TDRM kernel unrolls each eps-chain on the fly; the
+  // reference path materializes the whole RCT. Same arithmetic order ->
+  // bit-identical rewards.
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  const auto* tdrm = dynamic_cast<const Tdrm*>(mechanism.get());
+  ASSERT_NE(tdrm, nullptr);
+  for (const Tree& tree : corpus()) {
+    const RewardVector reference = tdrm->compute_via_rct(tree);
+    const RewardVector flat = tdrm->compute(tree);
+    ASSERT_EQ(flat.size(), reference.size());
+    for (NodeId u = 0; u < tree.node_count(); ++u) {
+      EXPECT_EQ(flat[u], reference[u]) << "node " << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itree

@@ -17,10 +17,12 @@ TEST(RewardServiceTest, SelectsIncrementalModeWhereSupported) {
   const MechanismPtr lluxor = make_default(MechanismKind::kLLuxor);
   const MechanismPtr cdrm = make_default(MechanismKind::kCdrmReciprocal);
   const MechanismPtr tdrm = make_default(MechanismKind::kTdrm);
+  const MechanismPtr split_proof = make_default(MechanismKind::kSplitProof);
   EXPECT_TRUE(RewardService(*geometric).incremental());
   EXPECT_TRUE(RewardService(*lluxor).incremental());
   EXPECT_TRUE(RewardService(*cdrm).incremental());
-  EXPECT_FALSE(RewardService(*tdrm).incremental());
+  EXPECT_TRUE(RewardService(*tdrm).incremental());
+  EXPECT_FALSE(RewardService(*split_proof).incremental());
 }
 
 TEST(RewardServiceTest, JoinAndContributeUpdateRewards) {
@@ -105,10 +107,10 @@ TEST(RewardServiceTest, ErrorPathsLeaveStateUntouched) {
 }
 
 TEST(RewardServiceTest, AuditOnBatchModeMechanismIsExactlyZero) {
-  // TDRM has no incremental fast path: the service serves the batch
-  // answer itself, so there is nothing to diverge from.
-  const MechanismPtr tdrm = make_default(MechanismKind::kTdrm);
-  RewardService service(*tdrm);
+  // SplitProof has no incremental fast path: the service serves the
+  // batch answer itself, so there is nothing to diverge from.
+  const MechanismPtr split_proof = make_default(MechanismKind::kSplitProof);
+  RewardService service(*split_proof);
   ASSERT_FALSE(service.incremental());
   const NodeId a = service.apply(JoinEvent{kRoot, 3.0});
   service.apply(JoinEvent{a, 2.0});

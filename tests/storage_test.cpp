@@ -571,17 +571,24 @@ TEST(Storage, RestoreSnapshotMatchesTheOriginalServiceBitExactly) {
       original.apply(event);
     }
     RecordingService restored(*mechanism);
-    restored.restore_snapshot(original.tree(), original.events_applied());
+    restored.restore_snapshot(original.tree(), original.events_applied(),
+                              original.export_aggregates());
     EXPECT_EQ(restored.service().events_applied(),
               original.events_applied());
+    // The aggregates blob carries the original's FP accumulators, so
+    // the compacting restore is bit-identical to the uninterrupted run.
     EXPECT_EQ(restored.service().rewards(), original.rewards());
-    // Incremental aggregates are rebuilt from the summed contributions,
-    // so the audit stays within the deployment gate.
     EXPECT_LT(restored.service().audit(), 1e-9);
-    // The compacted log replays back to the same state.
+    // Replaying the compacted log through a *fresh* service rebuilds
+    // the accumulators from the one-join-per-participant history, so
+    // its rewards match only to FP accumulation error, not bitwise.
     const RewardService replayed =
         restored.log().replay(*mechanism);
-    EXPECT_EQ(replayed.rewards(), original.rewards());
+    const RewardVector& expected = original.rewards();
+    ASSERT_EQ(replayed.rewards().size(), expected.size());
+    for (std::size_t u = 0; u < expected.size(); ++u) {
+      EXPECT_NEAR(replayed.rewards()[u], expected[u], 1e-9);
+    }
   }
 }
 
