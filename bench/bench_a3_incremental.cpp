@@ -5,22 +5,31 @@
 // what the O(depth) fast path buys a real service.
 //
 // Two sections:
-//  1. the mechanism table (Geometric, L-Luxor, TDRM, both CDRMs) with
-//     exact batch-per-event comparison and per-event latency
-//     percentiles on the incremental path;
-//  2. a 100k-event TDRM stream where the batch comparator is *sampled*
-//     (a full recompute every K events, cost extrapolated) because
-//     recomputing after all 100k events would be O(n^2) in total. The
-//     final reward vectors of both paths must agree element-wise to
-//     1e-9, their 9-significant-digit total-reward digests must be
-//     equal, and the service audit must stay under 1e-9, otherwise the
-//     bench fails. (Bit-exact equality is not expected here: the
+//  1. the mechanism table (Geometric, L-Luxor, TDRM, both CDRMs,
+//     split-proof) with exact batch-per-event comparison and per-event
+//     latency percentiles on the incremental path;
+//  2. 100k-event streams — one per incrementally-served mechanism
+//     (TDRM, CDRM-1, CDRM-2, Geometric, split-proof) — where the batch
+//     comparator is *sampled* (a full recompute every K events, cost
+//     extrapolated) because recomputing after all 100k events would be
+//     O(n^2) in total. The final reward vectors of both paths must
+//     agree element-wise to 1e-9 (relative for large rewards), their
+//     9-significant-digit total-reward digests must be equal, the
+//     service audit must stay under 1e-9, and the final reward bits
+//     must be identical under 1/2/8 pool threads, otherwise the bench
+//     fails. (Bit-exact equality with batch is not expected: the
 //     incremental path accumulates per-event deltas, so the last few
 //     ulps legitimately differ from a fresh batch recompute.)
+//
+// --scale small shrinks both sections (used by scripts/perf_smoke.sh,
+// including its TSan leg) while keeping every correctness gate and a
+// uniform 10x speedup floor; the default full scale is what refreshes
+// BENCH_a3_incremental.json.
 #include "bench_harness.h"
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <iostream>
 
 #include "core/registry.h"
@@ -125,19 +134,27 @@ StreamResult run_stream(const Mechanism& mechanism, std::size_t events,
   return result;
 }
 
-/// The 100k-event TDRM demonstration: full incremental stream vs a
-/// sampled batch comparator. Returns the achieved speedup; fails the
-/// process when digests differ or the audit exceeds 1e-9.
-double run_large_tdrm_stream(BenchHarness& harness, std::size_t events,
-                             std::uint64_t seed) {
+/// One large-stream demonstration per incrementally-served mechanism.
+struct LargeStreamSpec {
+  MechanismKind kind;
+  const char* prefix;  ///< metric prefix: "tdrm", "cdrm1", ...
+  double min_speedup;  ///< hard gate on the achieved ratio
+};
+
+/// The large-stream demonstration: full incremental stream vs a sampled
+/// batch comparator, plus a 1/2/8-thread bit-determinism check. Fails
+/// the process when any correctness gate trips; returns the speedup.
+double run_large_stream(BenchHarness& harness, const LargeStreamSpec& spec,
+                        std::size_t events, std::uint64_t seed) {
   using clock = std::chrono::steady_clock;
-  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  const MechanismPtr mechanism = make_default(spec.kind);
+  const std::string prefix = spec.prefix;
 
   // Incremental pass over the full stream.
   Rng rng(seed);
   RewardService service(*mechanism);
   if (!service.incremental()) {
-    std::cerr << "TDRM service is not incremental\n";
+    std::cerr << prefix << " service is not incremental\n";
     std::exit(1);
   }
   double sink = 0.0;
@@ -163,7 +180,7 @@ double run_large_tdrm_stream(BenchHarness& harness, std::size_t events,
   // the cost of recomputing after *every* event from those samples.
   Rng batch_rng(seed);
   Tree tree;
-  const std::size_t stride = 1000;
+  const std::size_t stride = std::max<std::size_t>(events / 100, 1);
   double sampled_secs = 0.0;
   std::size_t samples = 0;
   RewardVector batch_rewards;
@@ -186,38 +203,69 @@ double run_large_tdrm_stream(BenchHarness& harness, std::size_t events,
       batch_secs_per_event * static_cast<double>(events);
   const double speedup = estimated_batch_secs / incremental_secs;
 
-  // Correctness gates: element-wise agreement to 1e-9, equal 9-digit
-  // total-reward digests (the trajectory format e13 uses), tight audit.
+  // Correctness gates: element-wise agreement to 1e-9 (relative above
+  // reward magnitude 1 — a 100k-delta accumulation legitimately carries
+  // magnitude-proportional rounding), equal 9-digit total-reward
+  // digests (the trajectory format e13 uses), tight audit.
   const RewardVector& incremental_rewards = service.rewards();
   double worst_diff = 0.0;
+  double worst_scaled_diff = 0.0;
   for (std::size_t u = 0; u < incremental_rewards.size(); ++u) {
-    worst_diff = std::max(
-        worst_diff, std::abs(incremental_rewards[u] - batch_rewards[u]));
+    const double diff =
+        std::abs(incremental_rewards[u] - batch_rewards[u]);
+    worst_diff = std::max(worst_diff, diff);
+    worst_scaled_diff = std::max(
+        worst_scaled_diff, diff / std::max(1.0, std::abs(batch_rewards[u])));
   }
   const std::string incremental_digest =
       compact_number(total_reward(incremental_rewards), 9);
   const std::string batch_digest =
       compact_number(total_reward(batch_rewards), 9);
   const double audit = service.audit();
-  harness.json().add_metric("tdrm_stream_events",
+
+  // Thread-count bit-determinism: the identical stream replayed under
+  // 1/2/8 pool threads must produce bit-identical final reward vectors
+  // (the serving path never runs the parallel batch kernels).
+  const std::size_t previous_threads = thread_count();
+  std::uint64_t thread_digests[3] = {};
+  std::size_t t = 0;
+  bool threads_invariant = true;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    set_thread_count(threads);
+    Rng replay_rng(seed);
+    RewardService replay(*mechanism);
+    for (std::size_t i = 0; i < events; ++i) {
+      service_event(replay, replay_rng);
+    }
+    thread_digests[t] = fnv1a64(hex_doubles(replay.rewards()));
+    threads_invariant = threads_invariant &&
+                        thread_digests[t] == thread_digests[0];
+    ++t;
+  }
+  set_thread_count(previous_threads);
+
+  harness.json().add_metric(prefix + "_stream_events",
                             static_cast<double>(events));
-  harness.json().add_metric("tdrm_incremental_events_per_sec",
+  harness.json().add_metric(prefix + "_incremental_events_per_sec",
                             static_cast<double>(events) / incremental_secs);
-  harness.json().add_metric("tdrm_estimated_batch_events_per_sec",
+  harness.json().add_metric(prefix + "_estimated_batch_events_per_sec",
                             static_cast<double>(events) /
                                 estimated_batch_secs);
-  harness.json().add_metric("tdrm_speedup_vs_batch", speedup);
-  harness.json().add_metric("tdrm_latency_p50_us",
+  harness.json().add_metric(prefix + "_speedup_vs_batch", speedup);
+  harness.json().add_metric(prefix + "_latency_p50_us",
                             percentile(latencies, 50) * 1e6);
-  harness.json().add_metric("tdrm_latency_p95_us",
+  harness.json().add_metric(prefix + "_latency_p95_us",
                             percentile(latencies, 95) * 1e6);
-  harness.json().add_metric("tdrm_latency_p99_us",
+  harness.json().add_metric(prefix + "_latency_p99_us",
                             percentile(latencies, 99) * 1e6);
-  harness.json().add_metric("tdrm_worst_batch_divergence", worst_diff);
-  harness.json().add_metric("tdrm_audit_divergence", audit);
-  harness.json().add_digest("tdrm_stream_rewards", incremental_digest);
+  harness.json().add_metric(prefix + "_worst_batch_divergence", worst_diff);
+  harness.json().add_metric(prefix + "_audit_divergence", audit);
+  harness.json().add_digest(prefix + "_stream_rewards", incremental_digest);
+  harness.json().add_digest(prefix + "_stream_reward_bits",
+                            digest_hex(thread_digests[0]));
 
-  std::cout << "--- 100k-event TDRM stream (sampled batch comparator) ---\n"
+  std::cout << "--- " << events << "-event " << mechanism->display_name()
+            << " stream (sampled batch comparator) ---\n"
             << service.tree().participant_count() << " participants after "
             << events << " events\n"
             << "incremental: "
@@ -238,14 +286,28 @@ double run_large_tdrm_stream(BenchHarness& harness, std::size_t events,
             << compact_number(audit, 12) << ", worst vs batch "
             << compact_number(worst_diff, 12) << ", total-reward digests "
             << (incremental_digest == batch_digest ? "EQUAL" : "DIFFER")
-            << " (" << digest_hex(fnv1a64(incremental_digest)) << ")\n\n";
+            << " (" << digest_hex(fnv1a64(incremental_digest))
+            << "), 1/2/8-thread reward bits "
+            << (threads_invariant ? "EQUAL" : "DIFFER") << " ("
+            << digest_hex(thread_digests[0]) << ")\n\n";
 
-  if (incremental_digest != batch_digest || worst_diff > 1e-9) {
-    std::cerr << "incremental and batch reward vectors diverged\n";
+  if (incremental_digest != batch_digest || worst_scaled_diff > 1e-9) {
+    std::cerr << prefix
+              << ": incremental and batch reward vectors diverged\n";
     std::exit(1);
   }
   if (audit > 1e-9) {
-    std::cerr << "audit divergence " << audit << " too large\n";
+    std::cerr << prefix << ": audit divergence " << audit
+              << " too large\n";
+    std::exit(1);
+  }
+  if (!threads_invariant) {
+    std::cerr << prefix << ": reward bits vary with the thread count\n";
+    std::exit(1);
+  }
+  if (speedup < spec.min_speedup) {
+    std::cerr << prefix << ": incremental speedup " << speedup
+              << "x is below the " << spec.min_speedup << "x bar\n";
     std::exit(1);
   }
   return speedup;
@@ -257,18 +319,33 @@ int main(int argc, char** argv) {
   itree::BenchHarness harness("a3_incremental", &argc, argv);
   using namespace itree;
 
+  // --scale small|full (default full): small is the perf-smoke /
+  // sanitizer configuration — same gates, shorter streams.
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      small = std::strcmp(argv[i + 1], "small") == 0;
+      ++i;
+    } else if (std::strcmp(argv[i], "--scale=small") == 0) {
+      small = true;
+    }
+  }
+
   std::cout << "=== A3: incremental vs batch event processing ===\n\n"
             << "Stream of 70% joins / 30% purchases with a reward query "
                "after every event.\n\n";
 
   TextTable table({"mechanism", "events", "incremental ev/s", "batch ev/s",
                    "speedup", "p50 us", "p99 us", "audit |divergence|"});
+  const std::vector<std::size_t> table_events =
+      small ? std::vector<std::size_t>{1000, 5000}
+            : std::vector<std::size_t>{2000, 20000};
   for (MechanismKind kind :
        {MechanismKind::kGeometric, MechanismKind::kLLuxor,
         MechanismKind::kTdrm, MechanismKind::kCdrmReciprocal,
-        MechanismKind::kCdrmLogarithmic}) {
+        MechanismKind::kCdrmLogarithmic, MechanismKind::kSplitProof}) {
     const MechanismPtr mechanism = make_default(kind);
-    for (std::size_t events : {2000u, 20000u}) {
+    for (const std::size_t events : table_events) {
       const StreamResult result = run_stream(*mechanism, events, 99);
       table.add_row({mechanism->display_name(), std::to_string(events),
                      TextTable::num(result.incremental_events_per_sec, 0),
@@ -283,11 +360,20 @@ int main(int argc, char** argv) {
   }
   std::cout << table.to_string() << '\n';
 
-  const double speedup = run_large_tdrm_stream(harness, 100000, 4242);
-  if (speedup < 10.0) {
-    std::cerr << "TDRM incremental speedup " << speedup
-              << "x is below the 10x bar\n";
-    return 1;
+  // The CDRM-1 floor is deliberately the highest: decay = 1 aggregates
+  // are a single add per ancestor, so the O(depth)-vs-O(n) gap is at
+  // its widest there. Small scale flattens every floor to 10x (less
+  // stream, smaller trees, sanitizer noise).
+  const LargeStreamSpec specs[] = {
+      {MechanismKind::kTdrm, "tdrm", 10.0},
+      {MechanismKind::kCdrmReciprocal, "cdrm1", small ? 10.0 : 50.0},
+      {MechanismKind::kCdrmLogarithmic, "cdrm2", 10.0},
+      {MechanismKind::kGeometric, "geometric", 10.0},
+      {MechanismKind::kSplitProof, "splitproof", 10.0},
+  };
+  const std::size_t stream_events = small ? 20000 : 100000;
+  for (const LargeStreamSpec& spec : specs) {
+    run_large_stream(harness, spec, stream_events, 4242);
   }
 
   std::cout << "Batch is O(n) per event (O(n^2) per deployment); the "

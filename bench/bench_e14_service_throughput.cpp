@@ -12,9 +12,11 @@
 // <path>, --campaigns C (default 4), --requests R per campaign
 // (default 4000), --mechanism NAME (default geometric; one of
 // geometric, l-luxor, l-pachira, split-proof, tdrm, cdrm-reciprocal,
-// cdrm-logarithmic). TDRM and geometric exercise the incremental
-// serving path; the audit gate then also covers incremental-vs-batch
-// divergence.
+// cdrm-logarithmic — or the short aliases cdrm1, cdrm2, splitproof).
+// Every mechanism except L-Pachira exercises an incremental serving
+// path; the audit gate then also covers incremental-vs-batch
+// divergence, and reward_events_per_sec reports the join/contribute
+// rate the daemon sustained for the chosen mechanism.
 #include <cstdio>
 #include <iostream>
 #include <thread>
@@ -34,6 +36,7 @@ using namespace itree;
 
 struct WorkerResult {
   std::vector<double> latencies_seconds;
+  std::uint64_t reward_events = 0;  ///< joins + contributions sent
 };
 
 /// The loadgen's request mix, one connection pinned to one campaign.
@@ -64,6 +67,10 @@ void drive(std::uint16_t port, std::uint32_t campaign,
     const double start = monotonic_seconds();
     const net::Response response = client.call(request);
     result->latencies_seconds.push_back(monotonic_seconds() - start);
+    if (request.type == net::MsgType::kJoin ||
+        request.type == net::MsgType::kContribute) {
+      ++result->reward_events;
+    }
     if (request.type == net::MsgType::kJoin) {
       mine.push_back(static_cast<NodeId>(response.id));
     }
@@ -110,6 +117,10 @@ MechanismKind mechanism_by_name(const std::string& name) {
       {"tdrm", MechanismKind::kTdrm},
       {"cdrm-reciprocal", MechanismKind::kCdrmReciprocal},
       {"cdrm-logarithmic", MechanismKind::kCdrmLogarithmic},
+      // Short aliases used by scripts/perf_smoke.sh and itree-loadgen.
+      {"cdrm1", MechanismKind::kCdrmReciprocal},
+      {"cdrm2", MechanismKind::kCdrmLogarithmic},
+      {"splitproof", MechanismKind::kSplitProof},
   };
   for (const auto& [key, kind] : table) {
     if (name == key) {
@@ -153,10 +164,14 @@ int main(int argc, char** argv) {
   const double elapsed = monotonic_seconds() - start;
 
   std::vector<double> latencies;
+  std::uint64_t reward_events = 0;
   for (const WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_seconds.begin(),
                      result.latencies_seconds.end());
+    reward_events += result.reward_events;
   }
+  // finish() derives the per-mechanism reward_events_per_sec metric.
+  harness.record_events(reward_events, elapsed);
   const double total = static_cast<double>(latencies.size());
   harness.json().add_metric("requests", total);
   harness.json().add_metric("throughput_rps", total / elapsed);
@@ -173,7 +188,11 @@ int main(int argc, char** argv) {
                "mode)\n"
             << compact_number(total, 0) << " requests in "
             << compact_number(elapsed, 3) << " s -> "
-            << compact_number(total / elapsed, 0) << " req/s\n"
+            << compact_number(total / elapsed, 0) << " req/s ("
+            << mechanism_name << ": "
+            << compact_number(static_cast<double>(reward_events) / elapsed,
+                              0)
+            << " reward events/s)\n"
             << "latency ms: p50 "
             << compact_number(percentile(latencies, 50) * 1e3, 3)
             << "  p95 "

@@ -8,11 +8,16 @@
 #      the digests must equal scripts/perf_goldens/e13_digests.golden
 #      byte-for-byte. Any flat-kernel change that alters reward bits
 #      fails here before it can silently rewrite the BENCH_* trajectory.
-#   2. bench_e14_service_throughput --mechanism tdrm — drives the epoll
-#      daemon's TDRM *incremental* serving path with the deterministic
-#      per-campaign load; the final_rewards digest must equal
-#      scripts/perf_goldens/e14_tdrm_digest.golden, and the bench itself
-#      fails on audit divergence >= 1e-9.
+#   2. bench_e14_service_throughput --mechanism {tdrm,cdrm1,geometric}
+#      — drives the epoll daemon's *incremental* serving paths (the
+#      virtual-RCT chain state and the generalized ancestor-aggregate
+#      engine) with the deterministic per-campaign load; each
+#      final_rewards digest must equal its golden under
+#      scripts/perf_goldens/, and the bench itself fails on audit
+#      divergence >= 1e-9.
+#   3. bench_a3_incremental --scale small — self-gating: fails below a
+#      10x incremental-vs-batch speedup for any served mechanism, above
+#      1e-9 divergence, or on a cross-thread-count digest mismatch.
 #
 # Digests gate, timings do not: CI machines are too noisy to assert
 # wall time, so slowdowns are tracked via the BENCH_*.json trajectory
@@ -41,14 +46,22 @@ diff -u "$GOLDENS/e13_digests.golden" "$WORK/e13_digests.txt" || {
   exit 1
 }
 
-echo "== e14 TDRM incremental serving path =="
-"$BUILD_DIR/bench/bench_e14_service_throughput" --mechanism tdrm \
-    --campaigns 4 --requests 4000 --threads 2 --json "$WORK/e14.json"
-digests_of "$WORK/e14.json" | grep '^final_rewards ' \
-    | tee "$WORK/e14_digest.txt"
-diff -u "$GOLDENS/e14_tdrm_digest.golden" "$WORK/e14_digest.txt" || {
-  echo "e14 TDRM rewards digest drifted from the checked-in golden" >&2
-  exit 1
-}
+for mechanism in tdrm cdrm1 geometric; do
+  echo "== e14 $mechanism incremental serving path =="
+  "$BUILD_DIR/bench/bench_e14_service_throughput" --mechanism "$mechanism" \
+      --campaigns 4 --requests 4000 --threads 2 \
+      --json "$WORK/e14_$mechanism.json"
+  digests_of "$WORK/e14_$mechanism.json" | grep '^final_rewards ' \
+      | tee "$WORK/e14_${mechanism}_digest.txt"
+  diff -u "$GOLDENS/e14_${mechanism}_digest.golden" \
+      "$WORK/e14_${mechanism}_digest.txt" || {
+    echo "e14 $mechanism rewards digest drifted from the golden" >&2
+    exit 1
+  }
+done
+
+echo "== a3 incremental-engine speedup + determinism gates =="
+"$BUILD_DIR/bench/bench_a3_incremental" --scale small --threads 2 \
+    --json "$WORK/a3.json"
 
 echo "perf smoke passed"

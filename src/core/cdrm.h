@@ -41,6 +41,19 @@ class CdrmMechanism : public Mechanism {
                     RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
+  /// CDRM rewards are pure functions R(x_p, y_p) of (own, subtree-self)
+  /// (Theorem 5), so the plain (decay = 1) subtree total serves them.
+  AggregateSupport aggregate_support() const override {
+    return {.supported = true, .decay = 1.0};
+  }
+  double reward_from_aggregates(
+      const NodeAggregates& aggregates) const override {
+    const double x = aggregates.own;
+    // Same zero-contribution guard as the batch kernel: R(x, y) is only
+    // constrained for x > 0.
+    return (x > 0.0) ? function_(x, aggregates.subtree - x) : 0.0;
+  }
+
   /// Evaluates the underlying R(x, y).
   double reward_function(double x, double y) const { return function_(x, y); }
 

@@ -92,7 +92,7 @@ MechanismPtr make_mechanism(const std::string& name, const ParamMap& params,
     const double beta = take(remaining, "beta", 0.2);
     const double delta = take(remaining, "delta", 2.0);
     mechanism = std::make_unique<LPachiraMechanism>(budget, beta, delta);
-  } else if (name == "split-proof") {
+  } else if (name == "split-proof" || name == "splitproof") {
     const double b = take(remaining, "b", 0.1);
     const double lambda = take(remaining, "lambda", 0.35);
     mechanism = std::make_unique<SplitProofMechanism>(budget, b, lambda);
@@ -111,10 +111,10 @@ MechanismPtr make_mechanism(const std::string& name, const ParamMap& params,
     tdrm.a = take(remaining, "a", tdrm.a);
     tdrm.b = take(remaining, "b", tdrm.b);
     mechanism = std::make_unique<Tdrm>(budget, tdrm);
-  } else if (name == "cdrm-1") {
+  } else if (name == "cdrm-1" || name == "cdrm1") {
     const double theta = take(remaining, "theta", 0.4);
     mechanism = std::make_unique<CdrmReciprocal>(budget, theta);
-  } else if (name == "cdrm-2") {
+  } else if (name == "cdrm-2" || name == "cdrm2") {
     const double theta = take(remaining, "theta", 0.4);
     mechanism = std::make_unique<CdrmLogarithmic>(budget, theta);
   } else {

@@ -25,6 +25,16 @@ class GeometricMechanism : public Mechanism {
                     RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
+  /// R(u) = b * S_a(u): served from the decay-a subtree aggregate, with
+  /// an O(1) total (R(T) = b * sum of aggregates).
+  AggregateSupport aggregate_support() const override {
+    return {.supported = true, .decay = a_, .total_coefficient = b_};
+  }
+  double reward_from_aggregates(
+      const NodeAggregates& aggregates) const override {
+    return b_ * aggregates.subtree;
+  }
+
   double a() const { return a_; }
   double b() const { return b_; }
 

@@ -1,31 +1,45 @@
 #include "core/incremental.h"
 
+#include <algorithm>
+
 #include "tree/subtree_sums.h"
 #include "util/check.h"
 
 namespace itree {
 
-IncrementalGeometricState::IncrementalGeometricState(double a) : a_(a) {
-  require(a > 0.0 && a < 1.0,
-          "IncrementalGeometricState: a must be in (0, 1)");
-  sums_.push_back(0.0);
-}
+IncrementalSubtreeState::IncrementalSubtreeState()
+    : IncrementalSubtreeState(Config{}) {}
 
-IncrementalGeometricState::IncrementalGeometricState(double a,
-                                                     const Tree& initial)
-    : a_(a), tree_(initial) {
-  require(a > 0.0 && a < 1.0,
-          "IncrementalGeometricState: a must be in (0, 1)");
-  sums_ = geometric_subtree_sums(tree_, a_);
-  for (NodeId u = 1; u < tree_.node_count(); ++u) {
-    total_sum_ += sums_[u];
+IncrementalSubtreeState::IncrementalSubtreeState(Config config)
+    : config_(config) {
+  require(config_.decay > 0.0 && config_.decay <= 1.0,
+          "IncrementalSubtreeState: decay must be in (0, 1]");
+  sums_.push_back(0.0);
+  if (config_.track_binary_depth) {
+    bd_.push_back(1);
+    bd_first_.push_back(0);
+    bd_second_.push_back(0);
   }
 }
 
-void IncrementalGeometricState::bubble_up(NodeId from, double delta) {
-  // A contribution change of `delta` at `from` changes S_a(w) by
-  // a^{dep_w(from)} * delta for every ancestor w. total_sum_ gains
-  // delta * (1 + a + a^2 + ...) along the path, excluding the root.
+IncrementalSubtreeState::IncrementalSubtreeState(Config config,
+                                                 const Tree& initial)
+    : config_(config), tree_(initial) {
+  require(config_.decay > 0.0 && config_.decay <= 1.0,
+          "IncrementalSubtreeState: decay must be in (0, 1]");
+  sums_ = geometric_subtree_sums(tree_, config_.decay);
+  for (NodeId u = 1; u < tree_.node_count(); ++u) {
+    total_sum_ += sums_[u];
+  }
+  if (config_.track_binary_depth) {
+    rebuild_binary_depths();
+  }
+}
+
+void IncrementalSubtreeState::bubble_up(NodeId from, double delta) {
+  // A contribution change of `delta` at `from` changes S(w) by
+  // decay^{dep_w(from)} * delta for every ancestor w. total_sum_ gains
+  // the same geometric series along the path, excluding the root.
   NodeId w = from;
   double scaled = delta;
   while (true) {
@@ -37,66 +51,83 @@ void IncrementalGeometricState::bubble_up(NodeId from, double delta) {
       break;
     }
     w = tree_.parent(w);
-    scaled *= a_;
+    scaled *= config_.decay;
   }
 }
 
-NodeId IncrementalGeometricState::add_leaf(NodeId parent,
-                                           double contribution) {
-  const NodeId leaf = tree_.add_node(parent, contribution);
-  sums_.push_back(0.0);
-  bubble_up(leaf, contribution);
-  return leaf;
+void IncrementalSubtreeState::binary_depth_child_changed(
+    NodeId parent, std::uint32_t old_bd, std::uint32_t new_bd) {
+  // Walks up updating each node's top-two child depths; stops as soon
+  // as a BD is unchanged (the classic Strahler-update early exit). BDs
+  // only grow (the tree only grows), so updates are monotone.
+  NodeId p = parent;
+  std::uint32_t child_old = old_bd;  // 0 = a newly inserted child
+  std::uint32_t child_new = new_bd;
+  while (true) {
+    std::uint32_t& first = bd_first_[p];
+    std::uint32_t& second = bd_second_[p];
+    if (child_old == 0) {
+      if (child_new > first) {
+        second = first;
+        first = child_new;
+      } else if (child_new > second) {
+        second = child_new;
+      }
+    } else if (child_old == first && second < first) {
+      // The unique maximum child deepened; the runner-up is untouched.
+      first = child_new;
+    } else if (child_new > first) {
+      second = first;
+      first = child_new;
+    } else if (child_new > second) {
+      second = child_new;
+    }
+    const std::uint32_t updated = std::max({1u, first, second + 1});
+    if (updated == bd_[p] || p == kRoot) {
+      bd_[p] = updated;
+      break;
+    }
+    child_old = bd_[p];
+    bd_[p] = updated;
+    child_new = updated;
+    p = tree_.parent(p);
+  }
 }
 
-void IncrementalGeometricState::add_contribution(NodeId u, double delta) {
-  require(tree_.contains(u) && u != kRoot,
-          "IncrementalGeometricState::add_contribution: bad node");
-  require(delta >= 0.0,
-          "IncrementalGeometricState::add_contribution: delta must be >= 0");
-  tree_.set_contribution(u, tree_.contribution(u) + delta);
-  bubble_up(u, delta);
-}
-
-double IncrementalGeometricState::subtree_sum(NodeId u) const {
-  require(u < sums_.size(), "IncrementalGeometricState::subtree_sum");
-  return sums_[u];
-}
-
-double IncrementalGeometricState::geometric_reward(NodeId u, double b) const {
-  require(u != kRoot, "IncrementalGeometricState: the root earns nothing");
-  return b * subtree_sum(u);
-}
-
-std::vector<double> IncrementalGeometricState::export_aggregates() const {
-  std::vector<double> blob = sums_;
-  blob.push_back(total_sum_);
-  return blob;
-}
-
-void IncrementalGeometricState::import_aggregates(
-    const std::vector<double>& blob) {
-  require(blob.size() == tree_.node_count() + 1,
-          "IncrementalGeometricState::import_aggregates: blob size mismatch");
-  sums_.assign(blob.begin(), blob.end() - 1);
-  total_sum_ = blob.back();
-}
-
-IncrementalSubtreeState::IncrementalSubtreeState() { totals_.push_back(0.0); }
-
-IncrementalSubtreeState::IncrementalSubtreeState(const Tree& initial)
-    : tree_(initial) {
-  totals_ = compute_subtree_data(tree_).subtree_contribution;
+void IncrementalSubtreeState::rebuild_binary_depths() {
+  const std::size_t n = tree_.node_count();
+  bd_.assign(n, 1);
+  bd_first_.assign(n, 0);
+  bd_second_.assign(n, 0);
+  for (NodeId u : tree_.postorder()) {
+    for (NodeId child : tree_.children(u)) {
+      const std::uint32_t d = bd_[child];
+      if (d > bd_first_[u]) {
+        bd_second_[u] = bd_first_[u];
+        bd_first_[u] = d;
+      } else if (d > bd_second_[u]) {
+        bd_second_[u] = d;
+      }
+    }
+    bd_[u] = std::max({1u, bd_first_[u], bd_second_[u] + 1});
+  }
 }
 
 NodeId IncrementalSubtreeState::add_leaf(NodeId parent, double contribution) {
   const NodeId leaf = tree_.add_node(parent, contribution);
-  totals_.push_back(contribution);
-  for (NodeId w = parent;; w = tree_.parent(w)) {
-    totals_[w] += contribution;
-    if (w == kRoot) {
-      break;
-    }
+  sums_.push_back(0.0);
+  if (config_.track_binary_depth) {
+    // Integer shape maintenance stays immediate even in batch mode —
+    // it is exact in any order, and later events may query BD.
+    bd_.push_back(1);
+    bd_first_.push_back(0);
+    bd_second_.push_back(0);
+    binary_depth_child_changed(parent, 0, 1);
+  }
+  if (batching_) {
+    pending_.push_back({leaf, contribution});
+  } else {
+    bubble_up(leaf, contribution);
   }
   return leaf;
 }
@@ -107,37 +138,80 @@ void IncrementalSubtreeState::add_contribution(NodeId u, double delta) {
   require(delta >= 0.0,
           "IncrementalSubtreeState::add_contribution: delta must be >= 0");
   tree_.set_contribution(u, tree_.contribution(u) + delta);
-  for (NodeId w = u;; w = tree_.parent(w)) {
-    totals_[w] += delta;
-    if (w == kRoot) {
-      break;
-    }
+  if (batching_) {
+    pending_.push_back({u, delta});
+  } else {
+    bubble_up(u, delta);
   }
 }
 
-double IncrementalSubtreeState::subtree_contribution(NodeId u) const {
-  require(u < totals_.size(), "IncrementalSubtreeState::subtree_contribution");
-  return totals_[u];
+void IncrementalSubtreeState::flush_batch() {
+  // Replaying in arrival order runs the identical additions in the
+  // identical sequence as per-event processing — bit-for-bit equal.
+  for (const PendingWalk& walk : pending_) {
+    bubble_up(walk.from, walk.delta);
+  }
+  pending_.clear();
+  batching_ = false;
+}
+
+double IncrementalSubtreeState::subtree_aggregate(NodeId u) const {
+  require(u < sums_.size(), "IncrementalSubtreeState::subtree_aggregate");
+  require(pending_.empty(),
+          "IncrementalSubtreeState: pending batched walks; flush_batch() "
+          "before querying");
+  return sums_[u];
 }
 
 double IncrementalSubtreeState::x_of(NodeId u) const {
-  require(u != kRoot, "IncrementalSubtreeState::x_of: not a participant");
+  require(tree_.contains(u) && u != kRoot,
+          "IncrementalSubtreeState::x_of: not a participant");
   return tree_.contribution(u);
 }
 
 double IncrementalSubtreeState::y_of(NodeId u) const {
-  return subtree_contribution(u) - x_of(u);
+  return subtree_aggregate(u) - x_of(u);
+}
+
+double IncrementalSubtreeState::total_aggregate() const {
+  require(pending_.empty(),
+          "IncrementalSubtreeState: pending batched walks; flush_batch() "
+          "before querying");
+  return total_sum_;
+}
+
+std::uint32_t IncrementalSubtreeState::binary_depth(NodeId u) const {
+  require(config_.track_binary_depth,
+          "IncrementalSubtreeState::binary_depth: not tracked");
+  require(u < bd_.size(), "IncrementalSubtreeState::binary_depth");
+  return bd_[u];
 }
 
 std::vector<double> IncrementalSubtreeState::export_aggregates() const {
-  return totals_;
+  require(pending_.empty(),
+          "IncrementalSubtreeState: pending batched walks; flush_batch() "
+          "before exporting");
+  std::vector<double> blob = sums_;
+  blob.push_back(total_sum_);
+  return blob;
 }
 
 void IncrementalSubtreeState::import_aggregates(
     const std::vector<double>& blob) {
-  require(blob.size() == tree_.node_count(),
+  const std::size_t n = tree_.node_count();
+  require(blob.size() == n + 1 || blob.size() == n,
           "IncrementalSubtreeState::import_aggregates: blob size mismatch");
-  totals_ = blob;
+  if (blob.size() == n + 1) {
+    sums_.assign(blob.begin(), blob.end() - 1);
+    total_sum_ = blob.back();
+  } else {
+    // Legacy pre-v3 layout: per-node totals without the running total.
+    sums_ = blob;
+    total_sum_ = 0.0;
+    for (NodeId u = 1; u < n; ++u) {
+      total_sum_ += sums_[u];
+    }
+  }
 }
 
 IncrementalRctState::IncrementalRctState(const TdrmParams& params, double phi)
@@ -236,6 +310,19 @@ void IncrementalRctState::bubble_up(NodeId w, double dd) {
   }
 }
 
+void IncrementalRctState::apply_pending() {
+  for (const PendingWalk& walk : pending_) {
+    total_agg_ += walk.total_add;
+    bubble_up(walk.parent, walk.dd);
+  }
+  pending_.clear();
+}
+
+void IncrementalRctState::flush_batch() {
+  apply_pending();
+  batching_ = false;
+}
+
 NodeId IncrementalRctState::add_leaf(NodeId parent, double contribution) {
   const NodeId leaf = tree_.add_node(parent, contribution);
   n_.push_back(0);
@@ -244,9 +331,18 @@ NodeId IncrementalRctState::add_leaf(NodeId parent, double contribution) {
   agg_.push_back(0.0);
   w_.push_back(0.0);
   p_.push_back(0.0);
+  // The leaf's own chain reads nothing upstream (D(leaf) = 0), so it is
+  // built immediately even in batch mode — only the ancestor walk and
+  // the total add defer, with dd and A(leaf) captured now. Earlier
+  // pending walks cannot touch a node that did not exist yet, so the
+  // captured values equal what per-event processing would have used.
   rebuild_chain(leaf);
-  total_agg_ += agg_[leaf];
-  bubble_up(parent, params_.a * h_[leaf]);
+  if (batching_) {
+    pending_.push_back({parent, params_.a * h_[leaf], agg_[leaf]});
+  } else {
+    total_agg_ += agg_[leaf];
+    bubble_up(parent, params_.a * h_[leaf]);
+  }
   return leaf;
 }
 
@@ -255,6 +351,13 @@ void IncrementalRctState::add_contribution(NodeId u, double delta) {
           "IncrementalRctState::add_contribution: bad node");
   require(delta >= 0.0,
           "IncrementalRctState::add_contribution: delta must be >= 0");
+  // rebuild_chain reads D(u), H(u) and A(u), which pending walks may
+  // still owe — drain them first (in order), then apply immediately.
+  // This preserves exact event order, so batched streams stay
+  // bit-identical to per-event ones.
+  if (!pending_.empty()) {
+    apply_pending();
+  }
   tree_.set_contribution(u, tree_.contribution(u) + delta);
   const double old_h = h_[u];
   const double old_agg = agg_[u];
@@ -270,15 +373,24 @@ void IncrementalRctState::add_contribution(NodeId u, double delta) {
 double IncrementalRctState::reward(NodeId u) const {
   require(tree_.contains(u) && u != kRoot,
           "IncrementalRctState::reward: not a participant");
+  require(pending_.empty(),
+          "IncrementalRctState: pending batched walks; flush_batch() "
+          "before querying");
   return scale_ * agg_[u] + phi_ * tree_.contribution(u);
 }
 
 double IncrementalRctState::total_reward() const {
+  require(pending_.empty(),
+          "IncrementalRctState: pending batched walks; flush_batch() "
+          "before querying");
   return scale_ * total_agg_ + phi_ * tree_.total_contribution();
 }
 
 double IncrementalRctState::chain_aggregate(NodeId u) const {
   require(u < agg_.size(), "IncrementalRctState::chain_aggregate");
+  require(pending_.empty(),
+          "IncrementalRctState: pending batched walks; flush_batch() "
+          "before querying");
   return agg_[u];
 }
 
@@ -288,6 +400,9 @@ std::size_t IncrementalRctState::chain_length(NodeId u) const {
 }
 
 std::vector<double> IncrementalRctState::export_aggregates() const {
+  require(pending_.empty(),
+          "IncrementalRctState: pending batched walks; flush_batch() "
+          "before exporting");
   const std::size_t n = tree_.node_count();
   std::vector<double> blob;
   blob.reserve(3 * n + 1);

@@ -8,13 +8,26 @@
 //   * add_contribution(u, delta)         (a repeat purchase)
 // — in O(depth(u)) per event (only ancestors' aggregates change), with
 // O(1) reward queries for the supported mechanisms:
-//   * IncrementalGeometricState: maintains S_a(u) = sum a^dep C(v),
-//     serving Geometric and L-Luxor style rewards;
-//   * IncrementalSubtreeState: maintains C(T_u), serving CDRM rewards
-//     and Pachira shares;
+//   * IncrementalSubtreeState: the generic ancestor-aggregate engine.
+//     Maintains the decay-weighted subtree sum
+//       S(u) = C(u) + decay * sum_{child c} S(c)
+//     (decay = 1 gives the plain total C(T_u) that CDRM's (x, y) split
+//     needs; decay = a gives the geometric sum S_a(u)), optionally plus
+//     the binary-subtree depth BD(u) the split-proof mechanism prices
+//     on. Mechanisms consume it via Mechanism::reward_from_aggregates().
 //   * IncrementalRctState: maintains the TDRM (Algorithm 4) chain
 //     aggregates on the *virtual* Reward Computation Tree, never
 //     materializing it.
+//
+// Dirty-ancestor batching: both states support begin_batch() /
+// flush_batch(). In batch mode the FP ancestor walks of a burst of
+// events are deferred and replayed — in exact arrival order — by
+// flush_batch(), so the server can coalesce a tick's events into one
+// cache-warm pass per campaign before answering reward queries. Because
+// the deferred walks run the identical arithmetic in the identical
+// order, batched processing is bit-for-bit equal to per-event
+// processing (tests assert this), which keeps WAL-replay crash
+// recovery bit-exact regardless of how the live run was batched.
 // Tests verify event-by-event equivalence with the batch mechanisms.
 #pragma once
 
@@ -26,75 +39,116 @@
 
 namespace itree {
 
-/// Maintains the geometric-decay subtree sums S_a(u) of a growing tree.
-/// The tree is owned by the state object: all mutations must go through
-/// it so the aggregates stay consistent.
-class IncrementalGeometricState {
+/// The generic ancestor-aggregate engine: decay-weighted subtree sums
+/// (and optionally binary depths) of a growing tree. The tree is owned
+/// by the state object: all mutations must go through it so the
+/// aggregates stay consistent.
+class IncrementalSubtreeState {
  public:
-  explicit IncrementalGeometricState(double a);
+  /// Mirrors Mechanism::AggregateSupport: what to maintain.
+  struct Config {
+    double decay = 1.0;  ///< per-level weight, in (0, 1]
+    bool track_binary_depth = false;
+  };
+
+  /// Plain totals, no binary depth (Config{} — spelled as two
+  /// constructors because an in-class `= {}` default argument cannot
+  /// use Config's member initializers before the class is complete).
+  IncrementalSubtreeState();
+
+  explicit IncrementalSubtreeState(Config config);
 
   /// Builds from an existing tree in O(n).
-  IncrementalGeometricState(double a, const Tree& initial);
+  IncrementalSubtreeState(Config config, const Tree& initial);
 
-  /// A join: adds a leaf and updates ancestors in O(depth).
+  /// Plain-total convenience (decay = 1, no binary depth).
+  explicit IncrementalSubtreeState(const Tree& initial)
+      : IncrementalSubtreeState(Config{}, initial) {}
+
+  /// A join: adds a leaf and updates ancestors in O(depth). In batch
+  /// mode the FP walk is deferred (the id assignment, the tree update
+  /// and the integer BD maintenance are always immediate).
   NodeId add_leaf(NodeId parent, double contribution);
 
   /// A purchase: raises C(u) by delta (>= 0) and updates ancestors.
   void add_contribution(NodeId u, double delta);
 
-  /// S_a(u) = sum_{v in T_u} a^{dep_u(v)} C(v), maintained exactly.
-  double subtree_sum(NodeId u) const;
+  /// Enters batch mode: subsequent events queue their ancestor walks.
+  void begin_batch() { batching_ = true; }
 
-  /// Geometric reward b * S_a(u) for a participant.
-  double geometric_reward(NodeId u, double b) const;
+  /// Replays every queued walk in arrival order and leaves batch mode.
+  /// Bit-for-bit equal to having processed the events one by one.
+  void flush_batch();
 
-  /// sum over participants of b * S_a(u) — maintained in O(1) per event.
-  double total_geometric_reward(double b) const { return b * total_sum_; }
+  bool batching() const { return batching_; }
+  std::size_t pending_walks() const { return pending_.size(); }
 
-  const Tree& tree() const { return tree_; }
-  double a() const { return a_; }
+  /// S(u) = sum_{v in T_u} decay^{dep_u(v)} C(v). Requires no pending
+  /// walks (the serving layer flushes before querying).
+  double subtree_aggregate(NodeId u) const;
 
-  /// [S_a(0..n-1) | total_sum]: the history-dependent FP accumulators,
-  /// for bit-exact snapshot resumption (see IncrementalRctState).
-  std::vector<double> export_aggregates() const;
-  void import_aggregates(const std::vector<double>& blob);
-
- private:
-  void bubble_up(NodeId from, double delta);
-
-  double a_;
-  Tree tree_;
-  std::vector<double> sums_;  // S_a per node
-  double total_sum_ = 0.0;    // sum of S_a over participants
-};
-
-/// Maintains plain subtree contribution totals C(T_u) of a growing tree
-/// (the aggregate CDRM and Pachira need).
-class IncrementalSubtreeState {
- public:
-  IncrementalSubtreeState();
-  explicit IncrementalSubtreeState(const Tree& initial);
-
-  NodeId add_leaf(NodeId parent, double contribution);
-  void add_contribution(NodeId u, double delta);
-
-  /// C(T_u).
-  double subtree_contribution(NodeId u) const;
+  /// Alias for the decay = 1 reading: C(T_u).
+  double subtree_contribution(NodeId u) const {
+    return subtree_aggregate(u);
+  }
 
   /// CDRM inputs for participant u: x = C(u), y = C(T_u) - C(u).
   double x_of(NodeId u) const;
   double y_of(NodeId u) const;
 
-  const Tree& tree() const { return tree_; }
+  /// Sum of S(u) over participants — maintained in O(1) per event.
+  double total_aggregate() const;
 
-  /// [C(T_0..n-1)]: the history-dependent FP accumulators, for
-  /// bit-exact snapshot resumption (see IncrementalRctState).
+  /// BD(u): depth of the deepest embeddable binary subtree (Strahler
+  /// recurrence; tree/subtree_sums.h). Exact — a pure integer function
+  /// of the tree shape. Requires track_binary_depth.
+  std::uint32_t binary_depth(NodeId u) const;
+
+  const Tree& tree() const { return tree_; }
+  const Config& config() const { return config_; }
+
+  /// [S(0..n-1) | total]: the history-dependent FP accumulators, for
+  /// bit-exact snapshot resumption (see IncrementalRctState). Binary
+  /// depths are *not* exported — they are recomputed exactly from the
+  /// restored tree shape.
   std::vector<double> export_aggregates() const;
+
+  /// Restores accumulators exported by export_aggregates() from a state
+  /// over an identical tree. Also accepts the legacy node_count()-sized
+  /// layout (pre-v3 snapshots of plain subtree totals, no trailing
+  /// total) — the total is then recomputed from the per-node sums.
   void import_aggregates(const std::vector<double>& blob);
 
  private:
+  struct PendingWalk {
+    NodeId from;
+    double delta;
+  };
+
+  /// Adds `delta` at `from` and decay-scaled along the root path,
+  /// accumulating the participant total.
+  void bubble_up(NodeId from, double delta);
+
+  /// Records that `child`'s BD changed (old_bd == 0: a new child) and
+  /// propagates top-two-child updates upward until BD stabilizes.
+  void binary_depth_child_changed(NodeId parent, std::uint32_t old_bd,
+                                  std::uint32_t new_bd);
+
+  /// Rebuilds bd_/bd_first_/bd_second_ from the tree shape in O(n).
+  void rebuild_binary_depths();
+
+  Config config_;
   Tree tree_;
-  std::vector<double> totals_;  // C(T_u) per node
+  std::vector<double> sums_;  ///< S per node
+  double total_sum_ = 0.0;    ///< sum of S over participants
+  // Binary-depth maintenance (track_binary_depth only): BD plus the
+  // top-two child BDs per node, so a child's change updates the parent
+  // in O(1) and propagation stops as soon as BD is unchanged.
+  std::vector<std::uint32_t> bd_;
+  std::vector<std::uint32_t> bd_first_;
+  std::vector<std::uint32_t> bd_second_;
+  bool batching_ = false;
+  std::vector<PendingWalk> pending_;
 };
 
 /// Maintains TDRM rewards on a growing tree in O(depth) per join and
@@ -121,6 +175,13 @@ class IncrementalSubtreeState {
 /// The per-event cost is therefore O(depth_RCT) — the chain lengths
 /// along u's ancestor path — matching the ISSUE bound.
 ///
+/// Batch mode (begin_batch/flush_batch) defers join walks: the leaf's
+/// chain is still built immediately (it reads nothing upstream), but
+/// the total-aggregate add and the ancestor walk queue until flush. A
+/// purchase *flushes first* — rebuild_chain reads D(u), which pending
+/// walks may still owe — then applies immediately, preserving exact
+/// event order and hence bit-equality with per-event processing.
+///
 /// The maintained values track the batch mechanism to FP accumulation
 /// error (audited to ~1e-12 event-by-event in tests); they are exactly
 /// reproducible from the event stream, which the crash-safe snapshot
@@ -141,7 +202,17 @@ class IncrementalRctState {
   /// bubbles the head-sum delta to the ancestors.
   void add_contribution(NodeId u, double delta);
 
-  /// R(u) = (lambda/mu)*b * A(u) + phi * C(u). O(1).
+  /// Enters batch mode (see class comment).
+  void begin_batch() { batching_ = true; }
+
+  /// Replays queued join walks in arrival order; leaves batch mode.
+  void flush_batch();
+
+  bool batching() const { return batching_; }
+  std::size_t pending_walks() const { return pending_.size(); }
+
+  /// R(u) = (lambda/mu)*b * A(u) + phi * C(u). O(1). Requires no
+  /// pending walks.
   double reward(NodeId u) const;
 
   /// Sum of R(u) over all participants. O(1).
@@ -168,12 +239,22 @@ class IncrementalRctState {
   void import_aggregates(const std::vector<double>& blob);
 
  private:
+  struct PendingWalk {
+    NodeId parent;     ///< walk start (the joined leaf's parent)
+    double dd;         ///< a * H(leaf), captured at event time
+    double total_add;  ///< A(leaf), owed to total_agg_
+  };
+
   /// Recomputes N/H/A/W/P for u's chain from C(u) and D(u). O(N_u).
   /// The caller owns the total_agg_ adjustment.
   void rebuild_chain(NodeId u);
 
   /// Applies a pending increase `dd` of D(w) and walks to the root.
   void bubble_up(NodeId w, double dd);
+
+  /// Replays pending_ in order (does not leave batch mode; purchases
+  /// use this mid-batch).
+  void apply_pending();
 
   TdrmParams params_;
   double phi_;
@@ -187,6 +268,8 @@ class IncrementalRctState {
   std::vector<double> p_;         // dH/dD
   std::vector<double> chain_;     // scratch: per-level S during rebuild
   double total_agg_ = 0.0;        // sum of A(u) over participants
+  bool batching_ = false;
+  std::vector<PendingWalk> pending_;
 };
 
 }  // namespace itree

@@ -65,6 +65,20 @@ void LLuxorMechanism::compute_into(const FlatTreeView& view, TreeWorkspace& ws,
   scaled_shares_into(luxor_, view, ws, Phi(), out);
 }
 
+AggregateSupport LLuxorMechanism::aggregate_support() const {
+  return {.supported = true,
+          .decay = luxor_.delta(),
+          .total_coefficient = Phi() * (1.0 - luxor_.delta())};
+}
+
+double LLuxorMechanism::reward_from_aggregates(
+    const NodeAggregates& aggregates) const {
+  // The effective geometric coefficient b = Phi*(1-delta); the subtree
+  // aggregate is S_delta(u).
+  const double b = Phi() * (1.0 - luxor_.delta());
+  return b * aggregates.subtree;
+}
+
 PropertySet LLuxorMechanism::claimed_properties() const {
   // Sec. 4.2: "L-Luxor is very similar to the (a,b)-Geometric Mechanism,
   // and achieves the same properties" — i.e. the Theorem 1 profile.

@@ -52,6 +52,12 @@ class LLuxorMechanism : public Mechanism {
                     RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
+  /// L-Luxor(delta) == Geometric(a=delta, b=Phi*(1-delta)), so the
+  /// serving path is the decay-delta aggregate with that coefficient.
+  AggregateSupport aggregate_support() const override;
+  double reward_from_aggregates(
+      const NodeAggregates& aggregates) const override;
+
   double delta() const { return luxor_.delta(); }
 
  private:

@@ -1,5 +1,7 @@
 #include "core/mechanism.h"
 
+#include <stdexcept>
+
 #include "tree/flat_view.h"
 #include "tree/subtree_sums.h"
 #include "util/check.h"
@@ -29,6 +31,11 @@ RewardVector Mechanism::compute_via_flat(const Tree& tree) const {
   RewardVector out;
   compute_into(view, ws, out);
   return out;
+}
+
+double Mechanism::reward_from_aggregates(const NodeAggregates&) const {
+  throw std::logic_error("Mechanism::reward_from_aggregates: " + name() +
+                         " declares no aggregate support");
 }
 
 double Mechanism::reward_of(const Tree& tree, NodeId u) const {

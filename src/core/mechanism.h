@@ -7,6 +7,7 @@
 //   phi — the per-participant fairness floor of phi-RPC (phi <= Phi).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,39 @@ struct TreeWorkspace;
 
 /// Rewards indexed by NodeId; entry kRoot is always 0.
 using RewardVector = std::vector<double>;
+
+/// The per-participant ancestor aggregates a serving deployment
+/// maintains incrementally (core/incremental.h): everything a
+/// topology-light mechanism needs to price one participant in O(1).
+struct NodeAggregates {
+  /// C(u): the participant's own contribution.
+  double own = 0.0;
+  /// The decay-weighted subtree sum sum_{v in T_u} decay^{dep_u(v)} C(v)
+  /// under the decay this mechanism declared in aggregate_support().
+  /// With decay == 1 this is the plain subtree total C(T_u).
+  double subtree = 0.0;
+  /// BD(u), the deepest embeddable binary subtree (Strahler depth);
+  /// only populated when aggregate_support().binary_depth is set.
+  std::uint32_t binary_depth = 0;
+};
+
+/// A mechanism's declaration of how the generic ancestor-aggregate
+/// engine can serve it. When `supported`, RewardService maintains one
+/// decay-weighted subtree sum per node (plus the binary depth if
+/// requested) in O(depth) per event and answers reward queries through
+/// reward_from_aggregates() in O(1) — batch compute() never runs on the
+/// serving path.
+struct AggregateSupport {
+  bool supported = false;
+  /// Per-level weight of the maintained subtree sum, in (0, 1].
+  double decay = 1.0;
+  /// Additionally maintain BD(u) (the split-proof mechanism's input).
+  bool binary_depth = false;
+  /// When > 0: the total reward is total_coefficient * (sum over
+  /// participants of their subtree aggregate), answerable in O(1).
+  /// 0 means "sum the per-participant rewards".
+  double total_coefficient = 0.0;
+};
 
 struct BudgetParams {
   double Phi = 0.5;   ///< budget fraction, 0 < Phi <= 1
@@ -64,6 +98,18 @@ class Mechanism {
   /// with cheaper single-node paths may override. Same thread-safety
   /// contract as compute().
   virtual double reward_of(const Tree& tree, NodeId u) const;
+
+  /// How the generic ancestor-aggregate engine can serve this
+  /// mechanism; default: not at all (batch mode). Overriders must also
+  /// implement reward_from_aggregates() with arithmetic matching their
+  /// serving-path expectations (tests audit incremental vs batch).
+  virtual AggregateSupport aggregate_support() const { return {}; }
+
+  /// O(1) reward from the maintained aggregates. Only called when
+  /// aggregate_support().supported; the base throws std::logic_error.
+  /// Must be a pure function of `aggregates` (same thread-safety
+  /// contract as compute()).
+  virtual double reward_from_aggregates(const NodeAggregates& aggregates) const;
 
   /// The property subset the paper claims for this mechanism.
   virtual PropertySet claimed_properties() const = 0;

@@ -39,6 +39,15 @@ void SplitProofMechanism::compute_into(const FlatTreeView& view,
   }
 }
 
+double SplitProofMechanism::reward_from_aggregates(
+    const NodeAggregates& aggregates) const {
+  // Identical expression to compute_into, so the serving path is
+  // bit-for-bit the batch reward (BD is an integer, maintained exactly).
+  const double depth_bonus =
+      1.0 - std::exp2(1.0 - static_cast<double>(aggregates.binary_depth));
+  return aggregates.own * (b_ + lambda_ * depth_bonus);
+}
+
 PropertySet SplitProofMechanism::claimed_properties() const {
   // Sec. 4.3: fails CSI. In our arbitrary-contribution port the
   // budget-safe payout also gives up PO/URO (see header), and — as the

@@ -38,6 +38,15 @@ class SplitProofMechanism : public Mechanism {
                     RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
+  /// R(u) depends only on C(u) and BD(u), so the aggregate engine
+  /// serves it with binary-depth tracking (the subtree sum itself is
+  /// unused by the reward, but BD maintenance rides the same walks).
+  AggregateSupport aggregate_support() const override {
+    return {.supported = true, .decay = 1.0, .binary_depth = true};
+  }
+  double reward_from_aggregates(
+      const NodeAggregates& aggregates) const override;
+
   double b() const { return b_; }
   double lambda() const { return lambda_; }
 

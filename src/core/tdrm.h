@@ -36,6 +36,16 @@ class PreliminaryTdrm : public Mechanism {
                     RewardVector& out) const override;
   PropertySet claimed_properties() const override;
 
+  /// R(u) = C(u) * b * S_a(u): a pure function of (own, decay-a
+  /// aggregate). Quadratic in C(u), so there is no O(1) total.
+  AggregateSupport aggregate_support() const override {
+    return {.supported = true, .decay = a_};
+  }
+  double reward_from_aggregates(
+      const NodeAggregates& aggregates) const override {
+    return aggregates.own * b_ * aggregates.subtree;
+  }
+
   double a() const { return a_; }
   double b() const { return b_; }
 

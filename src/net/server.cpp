@@ -78,6 +78,11 @@ Server::Server(const Mechanism& mechanism, ServerConfig config)
       campaigns_.push_back(owned_campaigns_.back().get());
     }
   }
+  // After recovery: recovery itself only applies events, which strict
+  // mode never rejects.
+  for (RecordingService* campaign : campaigns_) {
+    campaign->set_require_incremental(config_.require_incremental);
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
@@ -393,16 +398,57 @@ void Server::process_pending() {
     }
     it->second.push_back(i);
   }
+  // Dirty-set batching: a burst of events for one campaign defers its
+  // per-event ancestor walks and replays them in one coalesced pass —
+  // flushed before any query frame in the burst, so answers are always
+  // current (and bit-identical to per-event processing; see
+  // core/incremental.h). Stats are per-group locals summed afterwards:
+  // groups run on pool threads and must not race on counters_.
+  struct GroupStats {
+    std::uint64_t batched = 0;
+    std::uint64_t flushes = 0;
+  };
+  std::vector<GroupStats> group_stats(order.size());
   const auto run_group = [&](std::size_t g) {
-    for (const std::size_t i : groups[order[g]]) {
+    const std::uint32_t campaign_index = order[g];
+    RecordingService* campaign = campaign_index < campaigns_.size()
+                                     ? campaigns_[campaign_index]
+                                     : nullptr;
+    bool batching = false;
+    for (const std::size_t i : groups[campaign_index]) {
+      const MsgType type = pending_[i].request.type;
+      const bool is_event =
+          type == MsgType::kJoin || type == MsgType::kContribute;
+      if (campaign != nullptr) {
+        if (is_event && !batching) {
+          campaign->begin_batch();
+          batching = true;
+        } else if (!is_event && batching) {
+          campaign->flush_batch();
+          batching = false;
+          ++group_stats[g].flushes;
+        }
+      }
       pending_[i].response = apply_request(pending_[i].request);
       pending_[i].done = true;
+      if (is_event && batching &&
+          pending_[i].response.status != Status::kError) {
+        ++group_stats[g].batched;
+      }
+    }
+    if (batching) {
+      campaign->flush_batch();
+      ++group_stats[g].flushes;
     }
   };
   if (order.size() > 1) {
     parallel_for(order.size(), run_group);
   } else if (order.size() == 1) {
     run_group(0);
+  }
+  for (const GroupStats& stats : group_stats) {
+    counters_.events_batched += stats.batched;
+    counters_.batch_flushes += stats.flushes;
   }
 
   if (storage_ != nullptr) {

@@ -51,6 +51,11 @@ struct ServerConfig {
   /// Whether a SHUTDOWN frame drains the server (a private deployment
   /// convenience; disable when clients are untrusted).
   bool allow_remote_shutdown = true;
+  /// Strict serving mode: reward queries on a mechanism without an
+  /// incremental path are rejected with a stable error frame instead of
+  /// silently running an O(n) batch compute per query (see
+  /// RewardServiceOptions::require_incremental).
+  bool require_incremental = false;
   /// Crash-safe persistence, active when `storage.data_dir` is
   /// non-empty: state recovers from the data directory at startup,
   /// every accepted event is WAL-logged, and each tick group-commits
@@ -69,6 +74,12 @@ struct ServerCounters {
   std::uint64_t protocol_errors = 0;
   std::uint64_t sessions_timed_out = 0;
   std::uint64_t backpressure_stalls = 0;
+  /// Events whose incremental ancestor walk was deferred into a
+  /// coalesced per-campaign flush (dirty-set batching; see
+  /// core/incremental.h).
+  std::uint64_t events_batched = 0;
+  /// Coalesced flush passes run (one per campaign per burst).
+  std::uint64_t batch_flushes = 0;
 };
 
 class Server {

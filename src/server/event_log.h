@@ -72,11 +72,20 @@ class EventLog {
 /// lockstep.
 class RecordingService {
  public:
-  explicit RecordingService(const Mechanism& mechanism)
-      : service_(mechanism) {}
+  explicit RecordingService(const Mechanism& mechanism,
+                            RewardServiceOptions options = {})
+      : service_(mechanism, options) {}
 
   NodeId join(NodeId referrer, double initial_contribution);
   void contribute(NodeId participant, double amount);
+
+  /// Batch-coalescing passthroughs (see RewardService::begin_batch).
+  void begin_batch() { service_.begin_batch(); }
+  void flush_batch() { service_.flush_batch(); }
+
+  void set_require_incremental(bool strict) {
+    service_.set_require_incremental(strict);
+  }
 
   /// Applies any event (join or contribute) and records it; returns
   /// the assigned id for joins. Nothing is recorded when the service

@@ -1,34 +1,26 @@
 #include "server/reward_service.h"
 
 #include <cmath>
+#include <iostream>
+#include <stdexcept>
 
-#include "core/l_transform.h"
 #include "core/tdrm.h"
 #include "util/check.h"
 
 namespace itree {
 
-RewardService::RewardService(const Mechanism& mechanism)
-    : mechanism_(&mechanism) {
-  // Select the incremental fast path where the mechanism's structure
-  // allows it. dynamic_cast keeps the Mechanism interface clean: the
-  // service, not the mechanism, owns deployment concerns.
-  if (const auto* geometric =
-          dynamic_cast<const GeometricMechanism*>(mechanism_)) {
-    mode_ = Mode::kGeometric;
-    geometric_state_.emplace(geometric->a());
-    geometric_b_ = geometric->b();
-  } else if (const auto* lluxor =
-                 dynamic_cast<const LLuxorMechanism*>(mechanism_)) {
-    // L-Luxor(delta) == Geometric(a=delta, b=Phi*(1-delta)).
-    mode_ = Mode::kGeometric;
-    geometric_state_.emplace(lluxor->delta());
-    geometric_b_ = lluxor->Phi() * (1.0 - lluxor->delta());
-  } else if (const auto* cdrm =
-                 dynamic_cast<const CdrmMechanism*>(mechanism_)) {
-    mode_ = Mode::kCdrm;
-    subtree_state_.emplace();
-    cdrm_ = cdrm;
+RewardService::RewardService(const Mechanism& mechanism,
+                             RewardServiceOptions options)
+    : mechanism_(&mechanism), options_(options) {
+  // Mechanisms declare their own aggregate needs; the service just
+  // instantiates the matching engine. TDRM's chain state is the one
+  // bespoke path left (its aggregates live on the virtual RCT, not the
+  // referral tree).
+  support_ = mechanism_->aggregate_support();
+  if (support_.supported) {
+    mode_ = Mode::kAggregate;
+    aggregate_state_.emplace(IncrementalSubtreeState::Config{
+        support_.decay, support_.binary_depth});
   } else if (const auto* tdrm = dynamic_cast<const Tdrm*>(mechanism_)) {
     mode_ = Mode::kTdrm;
     rct_state_.emplace(tdrm->params(), tdrm->phi());
@@ -37,10 +29,8 @@ RewardService::RewardService(const Mechanism& mechanism)
 
 const Tree& RewardService::tree() const {
   switch (mode_) {
-    case Mode::kGeometric:
-      return geometric_state_->tree();
-    case Mode::kCdrm:
-      return subtree_state_->tree();
+    case Mode::kAggregate:
+      return aggregate_state_->tree();
     case Mode::kTdrm:
       return rct_state_->tree();
     case Mode::kBatch:
@@ -56,13 +46,9 @@ NodeId RewardService::apply(const JoinEvent& event) {
   // applied: a rejected event must leave the service untouched.
   NodeId id = kInvalidNode;
   switch (mode_) {
-    case Mode::kGeometric:
-      id = geometric_state_->add_leaf(event.referrer,
+    case Mode::kAggregate:
+      id = aggregate_state_->add_leaf(event.referrer,
                                       event.initial_contribution);
-      break;
-    case Mode::kCdrm:
-      id = subtree_state_->add_leaf(event.referrer,
-                                    event.initial_contribution);
       break;
     case Mode::kTdrm:
       id = rct_state_->add_leaf(event.referrer, event.initial_contribution);
@@ -80,11 +66,8 @@ NodeId RewardService::apply(const JoinEvent& event) {
 void RewardService::apply(const ContributeEvent& event) {
   require(event.amount >= 0.0, "RewardService: amount must be >= 0");
   switch (mode_) {
-    case Mode::kGeometric:
-      geometric_state_->add_contribution(event.participant, event.amount);
-      break;
-    case Mode::kCdrm:
-      subtree_state_->add_contribution(event.participant, event.amount);
+    case Mode::kAggregate:
+      aggregate_state_->add_contribution(event.participant, event.amount);
       break;
     case Mode::kTdrm:
       rct_state_->add_contribution(event.participant, event.amount);
@@ -110,6 +93,66 @@ std::optional<NodeId> RewardService::apply(const Event& event) {
   return std::nullopt;
 }
 
+void RewardService::begin_batch() {
+  switch (mode_) {
+    case Mode::kAggregate:
+      aggregate_state_->begin_batch();
+      break;
+    case Mode::kTdrm:
+      rct_state_->begin_batch();
+      break;
+    case Mode::kBatch:
+      break;  // batch-compute mode has no per-event walks to defer
+  }
+}
+
+void RewardService::flush_batch() {
+  switch (mode_) {
+    case Mode::kAggregate:
+      aggregate_state_->flush_batch();
+      break;
+    case Mode::kTdrm:
+      rct_state_->flush_batch();
+      break;
+    case Mode::kBatch:
+      break;
+  }
+}
+
+bool RewardService::batching() const {
+  switch (mode_) {
+    case Mode::kAggregate:
+      return aggregate_state_->batching();
+    case Mode::kTdrm:
+      return rct_state_->batching();
+    case Mode::kBatch:
+      break;
+  }
+  return false;
+}
+
+void RewardService::ensure_flushed() const {
+  if (mode_ == Mode::kAggregate && aggregate_state_->batching()) {
+    aggregate_state_->flush_batch();
+  } else if (mode_ == Mode::kTdrm && rct_state_->batching()) {
+    rct_state_->flush_batch();
+  }
+}
+
+void RewardService::note_batch_fallback() const {
+  if (options_.require_incremental) {
+    throw std::invalid_argument("RewardService: mechanism '" +
+                                mechanism_->display_name() +
+                                "' has no incremental serving path");
+  }
+  if (!warned_batch_fallback_) {
+    warned_batch_fallback_ = true;
+    std::cerr << "reward service: falling back to O(n) batch compute for "
+              << mechanism_->display_name()
+              << " (no incremental path); further fallbacks not logged\n";
+  }
+}
+
 void RewardService::restore_snapshot(const Tree& tree,
                                      std::size_t events_applied) {
   require(this->tree().node_count() == 1 && events_applied_ == 0,
@@ -132,11 +175,8 @@ void RewardService::restore_snapshot(const Tree& tree,
     return;
   }
   switch (mode_) {
-    case Mode::kGeometric:
-      geometric_state_->import_aggregates(aggregates);
-      break;
-    case Mode::kCdrm:
-      subtree_state_->import_aggregates(aggregates);
+    case Mode::kAggregate:
+      aggregate_state_->import_aggregates(aggregates);
       break;
     case Mode::kTdrm:
       rct_state_->import_aggregates(aggregates);
@@ -151,11 +191,10 @@ void RewardService::restore_snapshot(const Tree& tree,
 }
 
 std::vector<double> RewardService::export_aggregates() const {
+  ensure_flushed();
   switch (mode_) {
-    case Mode::kGeometric:
-      return geometric_state_->export_aggregates();
-    case Mode::kCdrm:
-      return subtree_state_->export_aggregates();
+    case Mode::kAggregate:
+      return aggregate_state_->export_aggregates();
     case Mode::kTdrm:
       return rct_state_->export_aggregates();
     case Mode::kBatch:
@@ -164,20 +203,34 @@ std::vector<double> RewardService::export_aggregates() const {
   return {};
 }
 
+AggregateKind RewardService::aggregate_kind() const {
+  switch (mode_) {
+    case Mode::kAggregate:
+      return AggregateKind::kAggregateEngine;
+    case Mode::kTdrm:
+      return AggregateKind::kRctChain;
+    case Mode::kBatch:
+      break;
+  }
+  return AggregateKind::kNone;
+}
+
 double RewardService::reward(NodeId participant) const {
   require(participant != kRoot && tree().contains(participant),
           "RewardService::reward: unknown participant");
   switch (mode_) {
-    case Mode::kGeometric:
-      return geometric_state_->geometric_reward(participant, geometric_b_);
-    case Mode::kCdrm: {
-      const double x = subtree_state_->x_of(participant);
-      if (x <= 0.0) {
-        return 0.0;
+    case Mode::kAggregate: {
+      ensure_flushed();
+      NodeAggregates aggregates;
+      aggregates.own = aggregate_state_->tree().contribution(participant);
+      aggregates.subtree = aggregate_state_->subtree_aggregate(participant);
+      if (support_.binary_depth) {
+        aggregates.binary_depth = aggregate_state_->binary_depth(participant);
       }
-      return cdrm_->reward_function(x, subtree_state_->y_of(participant));
+      return mechanism_->reward_from_aggregates(aggregates);
     }
     case Mode::kTdrm:
+      ensure_flushed();
       return rct_state_->reward(participant);
     case Mode::kBatch:
       break;
@@ -186,8 +239,12 @@ double RewardService::reward(NodeId participant) const {
 }
 
 const RewardVector& RewardService::rewards() const {
+  if (mode_ == Mode::kBatch && options_.require_incremental) {
+    note_batch_fallback();  // throws
+  }
   if (dirty_) {
     if (mode_ == Mode::kBatch) {
+      note_batch_fallback();  // logs once
       cached_rewards_ = mechanism_->compute(tree());
     } else {
       // Fill from the incremental O(1) queries; the batch mechanism is
@@ -205,10 +262,14 @@ const RewardVector& RewardService::rewards() const {
 }
 
 double RewardService::total_reward() const {
-  if (mode_ == Mode::kGeometric) {
-    return geometric_state_->total_geometric_reward(geometric_b_);
+  if (mode_ == Mode::kAggregate && support_.total_coefficient > 0.0) {
+    // R(u) = coeff * S(u) summed over participants: O(1) from the
+    // engine's running total.
+    ensure_flushed();
+    return support_.total_coefficient * aggregate_state_->total_aggregate();
   }
   if (mode_ == Mode::kTdrm) {
+    ensure_flushed();
     return rct_state_->total_reward();
   }
   return itree::total_reward(rewards());
@@ -218,6 +279,7 @@ double RewardService::audit() const {
   if (mode_ == Mode::kBatch) {
     return 0.0;
   }
+  ensure_flushed();
   const RewardVector batch = mechanism_->compute(tree());
   double worst = 0.0;
   for (NodeId u = 1; u < tree().node_count(); ++u) {

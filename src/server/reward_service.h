@@ -1,32 +1,60 @@
 // Event-sourced reward service: the deployment-facing API.
 //
-// Wraps a mechanism behind an event stream. For mechanisms whose
-// aggregates admit O(depth) maintenance (Geometric, the CDRM family,
-// and TDRM via the virtual-RCT state) the service answers reward
-// queries from incremental state — including rewards(), which fills its
-// cache from the O(1) queries instead of running a batch compute; for
-// every other mechanism it falls back to a dirty-cached batch
-// computation. `audit()` recomputes from scratch and reports the
-// largest divergence — the operation a real deployment runs before
-// paying out.
+// Wraps a mechanism behind an event stream. Mechanisms that declare
+// aggregate support (Mechanism::aggregate_support() — Geometric,
+// L-Luxor, the CDRM family, split-proof, PreliminaryTDRM) are served by
+// the generic ancestor-aggregate engine (core/incremental.h): O(depth)
+// per event, O(1) per reward query via
+// Mechanism::reward_from_aggregates(). TDRM keeps its dedicated
+// virtual-RCT chain state. Every other mechanism falls back to a
+// dirty-cached batch computation — logged once per service, or rejected
+// with a stable error when `require_incremental` is set (strict serving
+// deployments want a loud failure, not a silent O(n)-per-query cliff).
+//
+// Batching: begin_batch()/flush_batch() let the serving layer coalesce
+// a burst of events into one deferred ancestor-walk pass (see
+// core/incremental.h for the bit-exactness contract). Reward queries on
+// a batching service flush lazily, so correctness never depends on the
+// caller pairing the calls.
+//
+// `audit()` recomputes from scratch and reports the largest divergence
+// — the operation a real deployment runs before paying out.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
-#include "core/cdrm.h"
-#include "core/geometric.h"
 #include "core/incremental.h"
 #include "core/mechanism.h"
 #include "server/event.h"
 
 namespace itree {
 
+/// Which incremental accumulator family a service persists in
+/// snapshots. Stored as the aggregate-kind byte of snapshot format v3
+/// (storage/snapshot.h), so recovery can detect a blob written by a
+/// differently-configured service instead of mis-importing it.
+enum class AggregateKind : std::uint8_t {
+  kNone = 0,             ///< batch mode: no accumulators
+  kAggregateEngine = 1,  ///< IncrementalSubtreeState blob
+  kRctChain = 2,         ///< IncrementalRctState blob (TDRM)
+};
+
+struct RewardServiceOptions {
+  /// Strict serving mode: reward queries on a mechanism without an
+  /// incremental path throw std::invalid_argument (a stable,
+  /// client-visible rejection) instead of silently running a batch
+  /// compute per query. Events still apply either way.
+  bool require_incremental = false;
+};
+
 class RewardService {
  public:
   /// The mechanism must outlive the service. An incremental fast path is
   /// selected automatically when the mechanism supports one.
-  explicit RewardService(const Mechanism& mechanism);
+  explicit RewardService(const Mechanism& mechanism,
+                         RewardServiceOptions options = {});
 
   /// Applies a join; returns the assigned participant id.
   NodeId apply(const JoinEvent& event);
@@ -37,6 +65,18 @@ class RewardService {
 
   /// Applies any event; returns the new participant id for joins.
   std::optional<NodeId> apply(const Event& event);
+
+  /// Enters batch mode: incremental ancestor walks of subsequent events
+  /// are deferred until flush_batch() (or the next reward query, which
+  /// flushes lazily). No-op in batch-compute mode.
+  void begin_batch();
+
+  /// Replays deferred walks in arrival order and leaves batch mode.
+  /// Bit-for-bit equal to per-event processing.
+  void flush_batch();
+
+  /// True while begin_batch() is in effect on the incremental state.
+  bool batching() const;
 
   /// Rebuilds a freshly constructed service from a checkpointed tree by
   /// replaying one synthetic join per participant through the normal
@@ -59,13 +99,18 @@ class RewardService {
   /// double blob for snapshot persistence. Empty in batch mode.
   std::vector<double> export_aggregates() const;
 
+  /// The accumulator family export_aggregates() produces — persisted as
+  /// the snapshot-v3 kind byte.
+  AggregateKind aggregate_kind() const;
+
   /// Current reward of one participant.
   double reward(NodeId participant) const;
 
   /// Current rewards of everyone (root entry is 0). Incremental modes
   /// fill the cache from their O(1) per-participant queries — the batch
   /// mechanism is NOT invoked. The reference stays valid until the next
-  /// applied event.
+  /// applied event. In strict mode (require_incremental) a batch-only
+  /// mechanism throws std::invalid_argument here instead.
   const RewardVector& rewards() const;
 
   /// Total reward paid if the system settled now.
@@ -79,29 +124,42 @@ class RewardService {
   /// before each payout cycle.
   double audit() const;
 
+  void set_require_incremental(bool strict) {
+    options_.require_incremental = strict;
+  }
+  const RewardServiceOptions& options() const { return options_; }
+
   const Tree& tree() const;
   const Mechanism& mechanism() const { return *mechanism_; }
   std::size_t events_applied() const { return events_applied_; }
 
  private:
-  enum class Mode { kBatch, kGeometric, kCdrm, kTdrm };
+  enum class Mode { kBatch, kAggregate, kTdrm };
+
+  /// Flushes a lazily-pending batch before a query reads aggregates.
+  /// The states are mutable for exactly this: queries are logically
+  /// const (the flushed values are the values per-event processing
+  /// would already hold).
+  void ensure_flushed() const;
+
+  /// Throws (strict) or warns once (lenient) before a batch compute on
+  /// the serving path.
+  void note_batch_fallback() const;
 
   const Mechanism* mechanism_;
+  RewardServiceOptions options_;
   Mode mode_ = Mode::kBatch;
+  AggregateSupport support_;  // valid when mode_ == kAggregate
 
-  // Exactly one of these backs the service, per mode_.
-  std::optional<IncrementalGeometricState> geometric_state_;
-  std::optional<IncrementalSubtreeState> subtree_state_;
-  std::optional<IncrementalRctState> rct_state_;
+  // Exactly one of these backs the service, per mode_ (mutable for the
+  // lazy flush — see ensure_flushed()).
+  mutable std::optional<IncrementalSubtreeState> aggregate_state_;
+  mutable std::optional<IncrementalRctState> rct_state_;
   Tree batch_tree_;
-
-  // Geometric fast-path coefficient (b, or Phi*(1-delta) for L-Luxor).
-  double geometric_b_ = 0.0;
-  // CDRM fast path evaluates the mechanism's own R(x, y).
-  const CdrmMechanism* cdrm_ = nullptr;
 
   mutable RewardVector cached_rewards_;
   mutable bool dirty_ = true;
+  mutable bool warned_batch_fallback_ = false;
   std::size_t events_applied_ = 0;
 };
 

@@ -44,6 +44,7 @@ std::string encode_snapshot(const SnapshotData& data) {
       put_u32(payload, campaign.tree.parent(u));
       put_f64(payload, campaign.tree.contribution(u));
     }
+    put_u8(payload, campaign.aggregate_kind);
     put_u64(payload, campaign.aggregates.size());
     for (double value : campaign.aggregates) {
       put_f64(payload, value);
@@ -61,8 +62,9 @@ std::string encode_snapshot(const SnapshotData& data) {
 SnapshotData decode_snapshot(std::string_view bytes) {
   reject(bytes.size() >= kSnapshotMagic.size() + 8, "file too short");
   const std::string_view magic = bytes.substr(0, kSnapshotMagic.size());
-  const bool v2 = magic == kSnapshotMagic;
-  reject(v2 || magic == kSnapshotMagicV1, "bad magic");
+  const bool v3 = magic == kSnapshotMagic;
+  const bool v2 = magic == kSnapshotMagicV2;
+  reject(v3 || v2 || magic == kSnapshotMagicV1, "bad magic");
   ByteReader header(bytes.substr(kSnapshotMagic.size(), 8));
   const std::uint32_t length = header.u32();
   const std::uint32_t expected_crc = header.u32();
@@ -95,7 +97,8 @@ SnapshotData decode_snapshot(std::string_view bytes) {
       // still cannot build an inconsistent tree.
       campaign.tree.add_node(static_cast<NodeId>(parent), contribution);
     }
-    if (v2) {
+    if (v3 || v2) {
+      campaign.aggregate_kind = v3 ? in.u8() : kAggregateKindUnspecified;
       const std::uint64_t aggregates = in.u64();
       reject(aggregates <= in.remaining() / 8,
              "aggregate count exceeds payload");

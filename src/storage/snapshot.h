@@ -9,7 +9,7 @@
 //
 // On-disk format (`snap-<last_seq, 16 hex digits>.snap`):
 //
-//     8 bytes  magic "ITSNAP02"
+//     8 bytes  magic "ITSNAP03"
 //     u32 LE   payload length
 //     u32 LE   CRC32C(payload)
 //     payload:
@@ -22,7 +22,14 @@
 //         u64 events applied
 //         u64 participant count
 //         per participant (id order): u32 parent, f64 contribution
-//         u64 aggregate count + f64 each    (v2 only: the service's
+//         u8  aggregate kind                (v3 only: which incremental
+//                                            accumulator family wrote
+//                                            the blob — the
+//                                            server::AggregateKind value;
+//                                            lets recovery detect a blob
+//                                            from a differently-
+//                                            configured service)
+//         u64 aggregate count + f64 each    (v2+: the service's
 //                                            incremental FP accumulators,
 //                                            RewardService::
 //                                            export_aggregates(); makes
@@ -30,8 +37,11 @@
 //                                            bit-identical to the
 //                                            uninterrupted run)
 //
-// v1 snapshots ("ITSNAP01", no aggregate section) are still decoded —
-// campaigns restore with empty aggregates, i.e. the replay-joins path.
+// v2 snapshots ("ITSNAP02", no kind byte) still decode — the kind comes
+// back as kAggregateKindUnspecified, which recovery treats as "trust
+// the blob if its size fits" (the pre-v3 behaviour). v1 snapshots
+// ("ITSNAP01", no aggregate section at all) decode with empty
+// aggregates, i.e. the replay-joins path.
 //
 // Snapshots are written to a temp file, fsynced, then renamed into
 // place (with a directory fsync), so a crash mid-snapshot leaves the
@@ -50,15 +60,23 @@
 
 namespace itree::storage {
 
-inline constexpr std::string_view kSnapshotMagic = "ITSNAP02";
+inline constexpr std::string_view kSnapshotMagic = "ITSNAP03";
+inline constexpr std::string_view kSnapshotMagicV2 = "ITSNAP02";
 inline constexpr std::string_view kSnapshotMagicV1 = "ITSNAP01";
 /// Cap on one snapshot's payload (bounds loader allocation on a
 /// corrupt length field): 1 GiB ~ 80M participants.
 inline constexpr std::uint32_t kMaxSnapshotBytes = 1u << 30;
 
+/// Kind byte of v2 snapshots, which predate the field: the writer's
+/// accumulator family is unknown; recovery accepts the blob as before.
+inline constexpr std::uint8_t kAggregateKindUnspecified = 255;
+
 struct CampaignSnapshot {
   std::uint64_t events_applied = 0;
   Tree tree;
+  /// server::AggregateKind of the writing service (v3), 0 for v1, or
+  /// kAggregateKindUnspecified for v2 images.
+  std::uint8_t aggregate_kind = 0;
   /// RewardService::export_aggregates() at snapshot time; empty for
   /// batch-mode services and v1 snapshots.
   std::vector<double> aggregates;

@@ -133,9 +133,28 @@ RecoveryResult recover_campaigns(const Mechanism& mechanism,
           " campaigns, deployment expects " + std::to_string(campaign_count));
     }
     for (std::size_t c = 0; c < campaign_count; ++c) {
-      result.campaigns[c]->restore_snapshot(
-          snapshot->campaigns[c].tree, snapshot->campaigns[c].events_applied,
-          snapshot->campaigns[c].aggregates);
+      const CampaignSnapshot& snap = snapshot->campaigns[c];
+      const auto expected_kind = static_cast<std::uint8_t>(
+          result.campaigns[c]->service().aggregate_kind());
+      if (!snap.aggregates.empty() &&
+          snap.aggregate_kind != kAggregateKindUnspecified &&
+          snap.aggregate_kind != expected_kind) {
+        // The blob was written by a differently-configured service
+        // (e.g. a mode change between runs). Rewards are still a pure
+        // function of the tree, so recover from the tree alone; only
+        // the final-ulp bit-exactness of resumed accumulators is lost.
+        result.report.warnings.push_back(
+            "campaign " + std::to_string(c) +
+            ": snapshot aggregate kind " +
+            std::to_string(snap.aggregate_kind) + " does not match the "
+            "service's kind " + std::to_string(expected_kind) +
+            "; restoring without aggregates");
+        result.campaigns[c]->restore_snapshot(snap.tree,
+                                              snap.events_applied);
+      } else {
+        result.campaigns[c]->restore_snapshot(snap.tree, snap.events_applied,
+                                              snap.aggregates);
+      }
     }
     snapshot_seq = snapshot->last_seq;
     result.report.used_snapshot = true;
@@ -293,6 +312,8 @@ void Storage::snapshot_now() {
     CampaignSnapshot snap;
     snap.events_applied = campaign->service().events_applied();
     snap.tree = campaign->service().tree();
+    snap.aggregate_kind =
+        static_cast<std::uint8_t>(campaign->service().aggregate_kind());
     snap.aggregates = campaign->service().export_aggregates();
     data.campaigns.push_back(std::move(snap));
   }

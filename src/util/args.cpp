@@ -72,13 +72,37 @@ std::string ArgParser::get_or(const std::string& name,
 double ArgParser::get_double_or(const std::string& name,
                                 double fallback) const {
   const auto value = get(name);
-  return value ? std::stod(*value) : fallback;
+  if (!value) {
+    return fallback;
+  }
+  std::size_t consumed = 0;
+  double parsed = fallback;
+  try {
+    parsed = std::stod(*value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  require(consumed == value->size() && !value->empty(),
+          name + ": expected a number, got '" + *value + "'");
+  return parsed;
 }
 
 std::int64_t ArgParser::get_int_or(const std::string& name,
                                    std::int64_t fallback) const {
   const auto value = get(name);
-  return value ? std::stoll(*value) : fallback;
+  if (!value) {
+    return fallback;
+  }
+  std::size_t consumed = 0;
+  std::int64_t parsed = fallback;
+  try {
+    parsed = std::stoll(*value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  require(consumed == value->size() && !value->empty(),
+          name + ": expected an integer, got '" + *value + "'");
+  return parsed;
 }
 
 std::string ArgParser::help(const std::string& program_summary) const {

@@ -1,5 +1,6 @@
 // Tests for the incremental reward-maintenance states: event-by-event
-// equivalence with the batch mechanisms.
+// equivalence with the batch mechanisms, binary-depth maintenance, and
+// the bit-exactness contract of dirty-set batching.
 #include <gtest/gtest.h>
 
 #include "core/geometric.h"
@@ -7,17 +8,25 @@
 #include "tree/generators.h"
 #include "tree/io.h"
 #include "tree/subtree_sums.h"
+#include "util/strings.h"
 
 namespace itree {
 namespace {
 
-TEST(IncrementalGeometric, RejectsBadDecay) {
-  EXPECT_THROW(IncrementalGeometricState(0.0), std::invalid_argument);
-  EXPECT_THROW(IncrementalGeometricState(1.0), std::invalid_argument);
+IncrementalSubtreeState geometric_state(double decay) {
+  return IncrementalSubtreeState(
+      IncrementalSubtreeState::Config{.decay = decay});
 }
 
-TEST(IncrementalGeometric, MatchesBatchOnHandExample) {
-  IncrementalGeometricState state(0.5);
+TEST(IncrementalAggregate, RejectsBadDecay) {
+  EXPECT_THROW(geometric_state(0.0), std::invalid_argument);
+  EXPECT_THROW(geometric_state(-0.5), std::invalid_argument);
+  EXPECT_THROW(geometric_state(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(geometric_state(1.0));  // plain totals
+}
+
+TEST(IncrementalAggregate, MatchesBatchOnHandExample) {
+  IncrementalSubtreeState state = geometric_state(0.5);
   const NodeId a = state.add_leaf(kRoot, 5.0);
   const NodeId b = state.add_leaf(a, 3.0);
   state.add_leaf(b, 4.0);
@@ -25,95 +34,94 @@ TEST(IncrementalGeometric, MatchesBatchOnHandExample) {
   const std::vector<double> batch =
       geometric_subtree_sums(state.tree(), 0.5);
   for (NodeId u = 0; u < state.tree().node_count(); ++u) {
-    EXPECT_NEAR(state.subtree_sum(u), batch[u], 1e-12) << "node " << u;
+    EXPECT_NEAR(state.subtree_aggregate(u), batch[u], 1e-12)
+        << "node " << u;
   }
 }
 
-TEST(IncrementalGeometric, ContributionUpdatesBubbleUp) {
-  IncrementalGeometricState state(0.5);
+TEST(IncrementalAggregate, ContributionUpdatesBubbleUp) {
+  IncrementalSubtreeState state = geometric_state(0.5);
   const NodeId a = state.add_leaf(kRoot, 1.0);
   const NodeId b = state.add_leaf(a, 1.0);
   state.add_contribution(b, 2.0);
-  EXPECT_NEAR(state.subtree_sum(b), 3.0, 1e-12);
-  EXPECT_NEAR(state.subtree_sum(a), 1.0 + 0.5 * 3.0, 1e-12);
+  EXPECT_NEAR(state.subtree_aggregate(b), 3.0, 1e-12);
+  EXPECT_NEAR(state.subtree_aggregate(a), 1.0 + 0.5 * 3.0, 1e-12);
 }
 
-TEST(IncrementalGeometric, RandomEventStreamMatchesBatch) {
+void random_event(IncrementalSubtreeState& state, Rng& rng) {
+  if (state.tree().participant_count() == 0 || rng.bernoulli(0.6)) {
+    const NodeId parent =
+        state.tree().participant_count() == 0 || rng.bernoulli(0.15)
+            ? kRoot
+            : static_cast<NodeId>(
+                  1 + rng.index(state.tree().participant_count()));
+    state.add_leaf(parent, rng.uniform(0.0, 3.0));
+  } else {
+    const NodeId u = static_cast<NodeId>(
+        1 + rng.index(state.tree().participant_count()));
+    state.add_contribution(u, rng.uniform(0.0, 2.0));
+  }
+}
+
+TEST(IncrementalAggregate, RandomEventStreamMatchesBatch) {
   Rng rng(51);
-  IncrementalGeometricState state(0.4);
+  IncrementalSubtreeState state = geometric_state(0.4);
   for (int event = 0; event < 400; ++event) {
-    if (state.tree().participant_count() == 0 || rng.bernoulli(0.6)) {
-      const NodeId parent =
-          state.tree().participant_count() == 0 || rng.bernoulli(0.15)
-              ? kRoot
-              : static_cast<NodeId>(
-                    1 + rng.index(state.tree().participant_count()));
-      state.add_leaf(parent, rng.uniform(0.0, 3.0));
-    } else {
-      const NodeId u = static_cast<NodeId>(
-          1 + rng.index(state.tree().participant_count()));
-      state.add_contribution(u, rng.uniform(0.0, 2.0));
-    }
+    random_event(state, rng);
   }
   const std::vector<double> batch =
       geometric_subtree_sums(state.tree(), 0.4);
   double expected_total = 0.0;
   for (NodeId u = 1; u < state.tree().node_count(); ++u) {
-    EXPECT_NEAR(state.subtree_sum(u), batch[u], 1e-9);
+    EXPECT_NEAR(state.subtree_aggregate(u), batch[u], 1e-9);
     expected_total += batch[u];
   }
-  EXPECT_NEAR(state.total_geometric_reward(0.2), 0.2 * expected_total, 1e-9);
+  EXPECT_NEAR(state.total_aggregate(), expected_total, 1e-9);
 }
 
-TEST(IncrementalGeometric, BuildsFromExistingTree) {
+TEST(IncrementalAggregate, BuildsFromExistingTree) {
   const Tree tree = parse_tree("(5 (3 (4)) (2))");
-  IncrementalGeometricState state(0.5, tree);
+  IncrementalSubtreeState state(
+      IncrementalSubtreeState::Config{.decay = 0.5}, tree);
   const std::vector<double> batch = geometric_subtree_sums(tree, 0.5);
   for (NodeId u = 0; u < tree.node_count(); ++u) {
-    EXPECT_NEAR(state.subtree_sum(u), batch[u], 1e-12);
+    EXPECT_NEAR(state.subtree_aggregate(u), batch[u], 1e-12);
   }
   // And keeps tracking after construction.
   state.add_leaf(1, 7.0);
   const std::vector<double> after =
       geometric_subtree_sums(state.tree(), 0.5);
-  EXPECT_NEAR(state.subtree_sum(1), after[1], 1e-12);
+  EXPECT_NEAR(state.subtree_aggregate(1), after[1], 1e-12);
 }
 
-TEST(IncrementalGeometric, GeometricRewardMatchesMechanism) {
+TEST(IncrementalAggregate, GeometricRewardMatchesMechanism) {
   const BudgetParams budget{.Phi = 0.5, .phi = 0.05};
   const GeometricMechanism mechanism(budget, 0.5, 0.2);
-  IncrementalGeometricState state(0.5);
+  IncrementalSubtreeState state = geometric_state(0.5);
   const NodeId a = state.add_leaf(kRoot, 5.0);
   state.add_leaf(a, 3.0);
   const RewardVector batch = mechanism.compute(state.tree());
-  EXPECT_NEAR(state.geometric_reward(a, 0.2), batch[a], 1e-12);
+  const NodeAggregates aggregates{.own = state.x_of(a),
+                                  .subtree = state.subtree_aggregate(a)};
+  EXPECT_NEAR(mechanism.reward_from_aggregates(aggregates), batch[a],
+              1e-12);
 }
 
-TEST(IncrementalGeometric, RejectsRootQueriesAndBadUpdates) {
-  IncrementalGeometricState state(0.5);
+TEST(IncrementalAggregate, RejectsRootQueriesAndBadUpdates) {
+  IncrementalSubtreeState state = geometric_state(0.5);
   const NodeId a = state.add_leaf(kRoot, 1.0);
-  EXPECT_THROW(state.geometric_reward(kRoot, 0.2), std::invalid_argument);
+  EXPECT_THROW(state.x_of(kRoot), std::invalid_argument);
   EXPECT_THROW(state.add_contribution(a, -1.0), std::invalid_argument);
   EXPECT_THROW(state.add_contribution(99, 1.0), std::invalid_argument);
+  EXPECT_THROW(state.binary_depth(a), std::invalid_argument)
+      << "binary depth must be rejected when not tracked";
 }
 
 TEST(IncrementalSubtree, MatchesBatchOnRandomStream) {
   Rng rng(52);
   IncrementalSubtreeState state;
   for (int event = 0; event < 300; ++event) {
-    if (state.tree().participant_count() == 0 || rng.bernoulli(0.7)) {
-      const NodeId parent =
-          state.tree().participant_count() == 0 || rng.bernoulli(0.1)
-              ? kRoot
-              : static_cast<NodeId>(
-                    1 + rng.index(state.tree().participant_count()));
-      state.add_leaf(parent, rng.uniform(0.0, 4.0));
-    } else {
-      state.add_contribution(
-          static_cast<NodeId>(1 +
-                              rng.index(state.tree().participant_count())),
-          rng.uniform(0.0, 1.0));
-    }
+    random_event(state, rng);
   }
   const SubtreeData batch = compute_subtree_data(state.tree());
   for (NodeId u = 0; u < state.tree().node_count(); ++u) {
@@ -138,6 +146,158 @@ TEST(IncrementalSubtree, BuildsFromExistingTree) {
   IncrementalSubtreeState state(tree);
   EXPECT_DOUBLE_EQ(state.subtree_contribution(1), 6.5);
   EXPECT_DOUBLE_EQ(state.subtree_contribution(2), 4.5);
+}
+
+// --- binary-depth maintenance --------------------------------------
+
+IncrementalSubtreeState depth_state() {
+  return IncrementalSubtreeState(
+      IncrementalSubtreeState::Config{.decay = 1.0,
+                                      .track_binary_depth = true});
+}
+
+TEST(IncrementalBinaryDepth, MatchesBatchKernelOnHandExample) {
+  IncrementalSubtreeState state = depth_state();
+  // A chain never raises BD beyond... check every insertion.
+  const NodeId a = state.add_leaf(kRoot, 1.0);
+  EXPECT_EQ(state.binary_depth(a), 1u);
+  const NodeId b = state.add_leaf(a, 1.0);
+  EXPECT_EQ(state.binary_depth(a), 1u) << "one child: still a chain";
+  const NodeId c = state.add_leaf(a, 1.0);
+  EXPECT_EQ(state.binary_depth(a), 2u) << "two leaf children embed depth 2";
+  state.add_leaf(b, 1.0);
+  state.add_leaf(b, 1.0);
+  EXPECT_EQ(state.binary_depth(b), 2u);
+  EXPECT_EQ(state.binary_depth(a), 2u)
+      << "needs BOTH children at depth 2 for depth 3";
+  state.add_leaf(c, 1.0);
+  state.add_leaf(c, 1.0);
+  EXPECT_EQ(state.binary_depth(c), 2u);
+  EXPECT_EQ(state.binary_depth(a), 3u);
+  const std::vector<std::uint32_t> batch =
+      binary_subtree_depths(state.tree());
+  for (NodeId u = 1; u < state.tree().node_count(); ++u) {
+    EXPECT_EQ(state.binary_depth(u), batch[u]) << "node " << u;
+  }
+}
+
+TEST(IncrementalBinaryDepth, MatchesBatchKernelOnRandomStreams) {
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    Rng rng(seed);
+    IncrementalSubtreeState state = depth_state();
+    for (int event = 0; event < 500; ++event) {
+      random_event(state, rng);
+    }
+    const std::vector<std::uint32_t> batch =
+        binary_subtree_depths(state.tree());
+    for (NodeId u = 1; u < state.tree().node_count(); ++u) {
+      ASSERT_EQ(state.binary_depth(u), batch[u])
+          << "seed " << seed << " node " << u;
+    }
+  }
+}
+
+TEST(IncrementalBinaryDepth, RebuiltFromTreeMatchesMaintained) {
+  Rng rng(12);
+  IncrementalSubtreeState state = depth_state();
+  for (int event = 0; event < 300; ++event) {
+    random_event(state, rng);
+  }
+  const IncrementalSubtreeState rebuilt(
+      IncrementalSubtreeState::Config{.decay = 1.0,
+                                      .track_binary_depth = true},
+      state.tree());
+  for (NodeId u = 1; u < state.tree().node_count(); ++u) {
+    ASSERT_EQ(state.binary_depth(u), rebuilt.binary_depth(u));
+  }
+}
+
+// --- dirty-set batching --------------------------------------------
+
+std::string aggregate_bits(const IncrementalSubtreeState& state) {
+  return hex_doubles(state.export_aggregates());
+}
+
+TEST(IncrementalBatching, BatchedStreamIsBitIdenticalToPerEvent) {
+  for (double decay : {1.0, 0.4}) {
+    Rng per_event_rng(77);
+    Rng batched_rng(77);
+    IncrementalSubtreeState per_event = geometric_state(decay);
+    IncrementalSubtreeState batched = geometric_state(decay);
+    for (int burst = 0; burst < 20; ++burst) {
+      batched.begin_batch();
+      for (int event = 0; event < 25; ++event) {
+        random_event(per_event, per_event_rng);
+        random_event(batched, batched_rng);
+      }
+      EXPECT_GT(batched.pending_walks(), 0u);
+      batched.flush_batch();
+      ASSERT_EQ(aggregate_bits(per_event), aggregate_bits(batched))
+          << "decay " << decay << " burst " << burst;
+    }
+  }
+}
+
+TEST(IncrementalBatching, QueriesRequireAFlush) {
+  IncrementalSubtreeState state = geometric_state(1.0);
+  const NodeId a = state.add_leaf(kRoot, 1.0);
+  state.begin_batch();
+  state.add_contribution(a, 2.0);
+  EXPECT_THROW(state.subtree_aggregate(a), std::invalid_argument);
+  EXPECT_THROW(state.total_aggregate(), std::invalid_argument);
+  EXPECT_THROW(state.export_aggregates(), std::invalid_argument);
+  state.flush_batch();
+  EXPECT_DOUBLE_EQ(state.subtree_aggregate(a), 3.0);
+  EXPECT_FALSE(state.batching());
+}
+
+TEST(IncrementalBatching, RctBatchedJoinsAreBitIdenticalToPerEvent) {
+  const TdrmParams params{};
+  auto rct_event = [](IncrementalRctState& state, Rng& rng) {
+    if (state.tree().participant_count() == 0 || rng.bernoulli(0.7)) {
+      const NodeId parent =
+          state.tree().participant_count() == 0 || rng.bernoulli(0.1)
+              ? kRoot
+              : static_cast<NodeId>(
+                    1 + rng.index(state.tree().participant_count()));
+      state.add_leaf(parent, rng.uniform(0.0, 4.0));
+    } else {
+      // Purchases drain the pending queue internally (they must read
+      // current chain state) and then apply eagerly — still in order.
+      state.add_contribution(
+          static_cast<NodeId>(
+              1 + rng.index(state.tree().participant_count())),
+          rng.uniform(0.0, 2.0));
+    }
+  };
+  Rng per_event_rng(91);
+  Rng batched_rng(91);
+  IncrementalRctState per_event(params, 0.05);
+  IncrementalRctState batched(params, 0.05);
+  for (int burst = 0; burst < 15; ++burst) {
+    batched.begin_batch();
+    for (int event = 0; event < 30; ++event) {
+      rct_event(per_event, per_event_rng);
+      rct_event(batched, batched_rng);
+    }
+    batched.flush_batch();
+    ASSERT_EQ(hex_doubles(per_event.export_aggregates()),
+              hex_doubles(batched.export_aggregates()))
+        << "burst " << burst;
+  }
+}
+
+TEST(IncrementalBatching, RctQueriesRequireAFlush) {
+  const TdrmParams params{};
+  IncrementalRctState state(params, 0.05);
+  const NodeId a = state.add_leaf(kRoot, 1.0);
+  state.begin_batch();
+  state.add_leaf(a, 2.0);
+  EXPECT_EQ(state.pending_walks(), 1u);
+  EXPECT_THROW(state.reward(a), std::invalid_argument);
+  EXPECT_THROW(state.total_reward(), std::invalid_argument);
+  state.flush_batch();
+  EXPECT_NO_THROW(state.reward(a));
 }
 
 }  // namespace

@@ -18,11 +18,15 @@ TEST(RewardServiceTest, SelectsIncrementalModeWhereSupported) {
   const MechanismPtr cdrm = make_default(MechanismKind::kCdrmReciprocal);
   const MechanismPtr tdrm = make_default(MechanismKind::kTdrm);
   const MechanismPtr split_proof = make_default(MechanismKind::kSplitProof);
+  const MechanismPtr lpachira = make_default(MechanismKind::kLPachira);
   EXPECT_TRUE(RewardService(*geometric).incremental());
   EXPECT_TRUE(RewardService(*lluxor).incremental());
   EXPECT_TRUE(RewardService(*cdrm).incremental());
   EXPECT_TRUE(RewardService(*tdrm).incremental());
-  EXPECT_FALSE(RewardService(*split_proof).incremental());
+  EXPECT_TRUE(RewardService(*split_proof).incremental());
+  // L-Pachira's reward depends on a global order statistic, so it is
+  // the one mechanism left on the batch path.
+  EXPECT_FALSE(RewardService(*lpachira).incremental());
 }
 
 TEST(RewardServiceTest, JoinAndContributeUpdateRewards) {
@@ -72,6 +76,7 @@ INSTANTIATE_TEST_SUITE_P(IncrementalMechanisms, ServiceEquivalence,
                                            MechanismKind::kLLuxor,
                                            MechanismKind::kCdrmReciprocal,
                                            MechanismKind::kCdrmLogarithmic,
+                                           MechanismKind::kSplitProof,
                                            MechanismKind::kTdrm,
                                            MechanismKind::kLPachira));
 
@@ -107,10 +112,10 @@ TEST(RewardServiceTest, ErrorPathsLeaveStateUntouched) {
 }
 
 TEST(RewardServiceTest, AuditOnBatchModeMechanismIsExactlyZero) {
-  // SplitProof has no incremental fast path: the service serves the
+  // L-Pachira has no incremental fast path: the service serves the
   // batch answer itself, so there is nothing to diverge from.
-  const MechanismPtr split_proof = make_default(MechanismKind::kSplitProof);
-  RewardService service(*split_proof);
+  const MechanismPtr lpachira = make_default(MechanismKind::kLPachira);
+  RewardService service(*lpachira);
   ASSERT_FALSE(service.incremental());
   const NodeId a = service.apply(JoinEvent{kRoot, 3.0});
   service.apply(JoinEvent{a, 2.0});

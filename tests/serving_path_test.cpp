@@ -11,6 +11,7 @@
 #include "core/incremental.h"
 #include "core/rct.h"
 #include "core/registry.h"
+#include "core/split_proof.h"
 #include "core/tdrm.h"
 #include "server/reward_service.h"
 #include "tree/generators.h"
@@ -135,6 +136,16 @@ class CountingGeometric : public GeometricMechanism {
   mutable int batch_computes = 0;
 };
 
+class CountingSplitProof : public SplitProofMechanism {
+ public:
+  CountingSplitProof() : SplitProofMechanism(default_budget(), 0.1, 0.3) {}
+  RewardVector compute(const Tree& tree) const override {
+    ++batch_computes;
+    return SplitProofMechanism::compute(tree);
+  }
+  mutable int batch_computes = 0;
+};
+
 template <typename CountingMechanism>
 void expect_no_batch_compute_on_serving_path() {
   CountingMechanism mechanism;
@@ -171,6 +182,61 @@ TEST(ServingPath, GeometricRewardsNeverInvokeBatchCompute) {
   expect_no_batch_compute_on_serving_path<CountingGeometric>();
 }
 
+TEST(ServingPath, SplitProofRewardsNeverInvokeBatchCompute) {
+  expect_no_batch_compute_on_serving_path<CountingSplitProof>();
+}
+
+/// Drives `events` seeded events through a service on the generalized
+/// aggregate engine and compares the final incremental reward vector
+/// against one batch compute. Long streams (the acceptance criterion
+/// runs 100k events) accumulate rounding differently than the batch
+/// postorder, so the bound is relative for large magnitudes:
+/// |inc - batch| <= tol * max(1, |batch|).
+void run_aggregate_stream(MechanismKind kind, int events,
+                          std::uint64_t seed) {
+  const MechanismPtr mechanism = make_default(kind);
+  RewardService service(*mechanism);
+  ASSERT_TRUE(service.incremental()) << mechanism->display_name();
+  Rng rng(seed);
+  for (int event = 0; event < events; ++event) {
+    const std::size_t n = service.tree().participant_count();
+    if (n == 0 || rng.bernoulli(0.6)) {
+      const NodeId parent =
+          (n == 0 || rng.bernoulli(0.15))
+              ? kRoot
+              : static_cast<NodeId>(1 + rng.index(n));
+      service.apply(JoinEvent{parent, rng.uniform(0.0, 2.5)});
+    } else {
+      service.apply(ContributeEvent{static_cast<NodeId>(1 + rng.index(n)),
+                                    rng.uniform(0.0, 1.5)});
+    }
+  }
+  const RewardVector& incremental = service.rewards();
+  const RewardVector batch = mechanism->compute(service.tree());
+  ASSERT_EQ(incremental.size(), batch.size());
+  for (NodeId u = 1; u < batch.size(); ++u) {
+    const double scale = std::max(1.0, std::fabs(batch[u]));
+    ASSERT_LE(std::fabs(incremental[u] - batch[u]), 1e-12 * scale)
+        << mechanism->display_name() << " node " << u;
+  }
+}
+
+TEST(ServingPath, Cdrm1HundredThousandEventStreamMatchesBatch) {
+  run_aggregate_stream(MechanismKind::kCdrmReciprocal, 100000, 401);
+}
+
+TEST(ServingPath, Cdrm2HundredThousandEventStreamMatchesBatch) {
+  run_aggregate_stream(MechanismKind::kCdrmLogarithmic, 100000, 402);
+}
+
+TEST(ServingPath, GeometricHundredThousandEventStreamMatchesBatch) {
+  run_aggregate_stream(MechanismKind::kGeometric, 100000, 403);
+}
+
+TEST(ServingPath, SplitProofLongStreamMatchesBatch) {
+  run_aggregate_stream(MechanismKind::kSplitProof, 20000, 404);
+}
+
 /// Replays one fixed event stream and returns the bit rendering of the
 /// final reward vector.
 std::string stream_reward_bits(const Mechanism& mechanism,
@@ -197,7 +263,8 @@ TEST(ServingPath, RewardBitsInvariantUnderThreadCount) {
   const std::size_t restore = thread_count();
   for (MechanismKind kind :
        {MechanismKind::kTdrm, MechanismKind::kGeometric,
-        MechanismKind::kCdrmReciprocal}) {
+        MechanismKind::kCdrmReciprocal, MechanismKind::kCdrmLogarithmic,
+        MechanismKind::kSplitProof}) {
     const MechanismPtr mechanism = make_default(kind);
     set_thread_count(1);
     const std::string one = stream_reward_bits(*mechanism, 888);
@@ -211,36 +278,137 @@ TEST(ServingPath, RewardBitsInvariantUnderThreadCount) {
   set_thread_count(restore);
 }
 
-TEST(ServingPath, RctAggregateRoundTripIsBitExact) {
+TEST(ServingPath, AggregateRoundTripIsBitExact) {
   // export/import of the opaque accumulator blob must reproduce the
-  // running state's rewards bit-for-bit (the crash-safe snapshot v2
-  // contract; see storage/snapshot.h).
-  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
-  RewardService original(*mechanism);
-  Rng rng(91);
-  for (int event = 0; event < 200; ++event) {
-    const std::size_t n = original.tree().participant_count();
-    if (n == 0 || rng.bernoulli(0.6)) {
-      const NodeId parent =
-          (n == 0 || rng.bernoulli(0.2))
-              ? kRoot
-              : static_cast<NodeId>(1 + rng.index(n));
-      original.apply(JoinEvent{parent, rng.uniform(0.0, 3.0)});
-    } else {
-      original.apply(ContributeEvent{
-          static_cast<NodeId>(1 + rng.index(n)), rng.uniform(0.0, 2.0)});
+  // running state's rewards bit-for-bit (the crash-safe snapshot v3
+  // contract; see storage/snapshot.h) — for the RCT chain state and for
+  // every mechanism on the generalized aggregate engine.
+  for (MechanismKind kind :
+       {MechanismKind::kTdrm, MechanismKind::kGeometric,
+        MechanismKind::kLLuxor, MechanismKind::kCdrmReciprocal,
+        MechanismKind::kCdrmLogarithmic, MechanismKind::kSplitProof}) {
+    const MechanismPtr mechanism = make_default(kind);
+    RewardService original(*mechanism);
+    Rng rng(91);
+    for (int event = 0; event < 200; ++event) {
+      const std::size_t n = original.tree().participant_count();
+      if (n == 0 || rng.bernoulli(0.6)) {
+        const NodeId parent =
+            (n == 0 || rng.bernoulli(0.2))
+                ? kRoot
+                : static_cast<NodeId>(1 + rng.index(n));
+        original.apply(JoinEvent{parent, rng.uniform(0.0, 3.0)});
+      } else {
+        original.apply(ContributeEvent{
+            static_cast<NodeId>(1 + rng.index(n)), rng.uniform(0.0, 2.0)});
+      }
+    }
+    RewardService restored(*mechanism);
+    restored.restore_snapshot(original.tree(), original.events_applied(),
+                              original.export_aggregates());
+    const RewardVector expected = original.rewards();
+    const RewardVector& actual = restored.rewards();
+    ASSERT_EQ(actual.size(), expected.size());
+    for (NodeId u = 0; u < expected.size(); ++u) {
+      ASSERT_EQ(actual[u], expected[u])
+          << mechanism->display_name() << " node " << u;
+    }
+    EXPECT_EQ(restored.total_reward(), original.total_reward())
+        << mechanism->display_name();
+
+    // A restored service must also continue the stream bit-identically.
+    Rng continued_rng(17);
+    for (RewardService* service : {&original, &restored}) {
+      Rng fork = continued_rng;
+      for (int event = 0; event < 50; ++event) {
+        const std::size_t n = service->tree().participant_count();
+        if (fork.bernoulli(0.5)) {
+          service->apply(JoinEvent{
+              static_cast<NodeId>(1 + fork.index(n)),
+              fork.uniform(0.0, 2.0)});
+        } else {
+          service->apply(ContributeEvent{
+              static_cast<NodeId>(1 + fork.index(n)),
+              fork.uniform(0.0, 1.0)});
+        }
+      }
+    }
+    EXPECT_EQ(hex_doubles(restored.rewards()),
+              hex_doubles(original.rewards()))
+        << mechanism->display_name();
+  }
+}
+
+/// Replays one fixed stream with or without dirty-set batching (bursts
+/// of 40 events between begin_batch/flush_batch) and returns the bit
+/// rendering of the final rewards.
+std::string bursty_stream_reward_bits(const Mechanism& mechanism,
+                                      std::uint64_t seed, bool batched) {
+  RewardService service(mechanism);
+  Rng rng(seed);
+  for (int burst = 0; burst < 10; ++burst) {
+    if (batched) {
+      service.begin_batch();
+    }
+    for (int event = 0; event < 40; ++event) {
+      const std::size_t n = service.tree().participant_count();
+      if (n == 0 || rng.bernoulli(0.6)) {
+        const NodeId parent =
+            (n == 0 || rng.bernoulli(0.15))
+                ? kRoot
+                : static_cast<NodeId>(1 + rng.index(n));
+        service.apply(JoinEvent{parent, rng.uniform(0.0, 2.0)});
+      } else {
+        service.apply(ContributeEvent{
+            static_cast<NodeId>(1 + rng.index(n)), rng.uniform(0.0, 1.5)});
+      }
+    }
+    if (batched) {
+      service.flush_batch();
     }
   }
-  RewardService restored(*mechanism);
-  restored.restore_snapshot(original.tree(), original.events_applied(),
-                            original.export_aggregates());
-  const RewardVector& expected = original.rewards();
-  const RewardVector& actual = restored.rewards();
-  ASSERT_EQ(actual.size(), expected.size());
-  for (NodeId u = 0; u < expected.size(); ++u) {
-    EXPECT_EQ(actual[u], expected[u]) << "node " << u;
+  return hex_doubles(service.rewards());
+}
+
+TEST(ServingPath, DirtySetBatchingIsBitIdenticalToPerEvent) {
+  // The server coalesces a tick's events between begin_batch and
+  // flush_batch; the deferred ancestor walks replay in arrival order,
+  // so the final bits must be indistinguishable from per-event updates
+  // — including TDRM purchases, which drain the pending queue early.
+  for (MechanismKind kind :
+       {MechanismKind::kGeometric, MechanismKind::kCdrmReciprocal,
+        MechanismKind::kSplitProof, MechanismKind::kTdrm}) {
+    const MechanismPtr mechanism = make_default(kind);
+    EXPECT_EQ(bursty_stream_reward_bits(*mechanism, 777, false),
+              bursty_stream_reward_bits(*mechanism, 777, true))
+        << mechanism->display_name();
   }
-  EXPECT_EQ(restored.total_reward(), original.total_reward());
+}
+
+TEST(ServingPath, StrictModeRejectsBatchFallbackWithStableError) {
+  // L-Pachira has no incremental path; under require_incremental the
+  // service must answer reward queries with a stable error instead of
+  // silently running O(n) batch computes on the serving path.
+  const MechanismPtr mechanism = make_default(MechanismKind::kLPachira);
+  RewardService service(*mechanism,
+                        RewardServiceOptions{.require_incremental = true});
+  ASSERT_FALSE(service.incremental());
+  const NodeId u = service.apply(JoinEvent{kRoot, 1.0});
+  service.apply(ContributeEvent{u, 0.5});  // events still apply fine
+  EXPECT_EQ(service.events_applied(), 2u);
+  EXPECT_THROW(service.rewards(), std::invalid_argument);
+  EXPECT_THROW(service.reward(u), std::invalid_argument);
+  EXPECT_THROW(service.total_reward(), std::invalid_argument);
+  // The error is stable, not corrupting: lifting strict mode serves the
+  // same state via the batch path.
+  service.set_require_incremental(false);
+  EXPECT_EQ(service.rewards().size(), service.tree().node_count());
+  // Incremental mechanisms are unaffected by strict mode.
+  const MechanismPtr geometric = make_default(MechanismKind::kGeometric);
+  RewardService strict_ok(*geometric,
+                          RewardServiceOptions{.require_incremental = true});
+  strict_ok.apply(JoinEvent{kRoot, 2.0});
+  EXPECT_NO_THROW(strict_ok.rewards());
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "core/factory.h"
 #include "core/registry.h"
 #include "server/event_log.h"
+#include "storage/codec.h"
 #include "storage/crc32c.h"
 #include "storage/snapshot.h"
 #include "storage/storage.h"
@@ -249,6 +250,63 @@ TEST(Snapshot, RoundTripsBitExactly) {
       EXPECT_EQ(got.contribution(u), want.contribution(u));  // bit-exact
     }
   }
+}
+
+TEST(Snapshot, V3RoundTripsAggregateKindAndBlob) {
+  SnapshotData data = sample_snapshot();
+  data.campaigns[0].aggregate_kind = 1;  // AggregateKind::kAggregateEngine
+  data.campaigns[0].aggregates = {1.5, 2.25, 0.0, 3.75};
+  const SnapshotData decoded = decode_snapshot(encode_snapshot(data));
+  ASSERT_EQ(decoded.campaigns.size(), 2u);
+  EXPECT_EQ(decoded.campaigns[0].aggregate_kind, 1);
+  ASSERT_EQ(decoded.campaigns[0].aggregates.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(decoded.campaigns[0].aggregates[i],
+              data.campaigns[0].aggregates[i]);  // bit-exact
+  }
+  EXPECT_EQ(decoded.campaigns[1].aggregate_kind, 0);
+  EXPECT_TRUE(decoded.campaigns[1].aggregates.empty());
+}
+
+TEST(Snapshot, DecodesV2ImagesWithUnspecifiedAggregateKind) {
+  // Hand-encode the v2 layout (no per-campaign aggregate-kind byte) to
+  // pin the upgrade path: images written before the v3 format change
+  // must keep decoding, with the kind reported as "unspecified" so
+  // recovery trusts the blob as it always did.
+  SnapshotData data = sample_snapshot();
+  data.campaigns[0].aggregates = {0.5, 1.5};
+  std::string payload;
+  put_u64(payload, data.last_seq);
+  put_u32(payload, static_cast<std::uint32_t>(data.campaigns.size()));
+  put_u32(payload, static_cast<std::uint32_t>(data.mechanism.size()));
+  payload += data.mechanism;
+  for (const CampaignSnapshot& campaign : data.campaigns) {
+    put_u64(payload, campaign.events_applied);
+    put_u64(payload, campaign.tree.participant_count());
+    for (NodeId u = 1; u < campaign.tree.node_count(); ++u) {
+      put_u32(payload, campaign.tree.parent(u));
+      put_f64(payload, campaign.tree.contribution(u));
+    }
+    put_u64(payload, campaign.aggregates.size());
+    for (double value : campaign.aggregates) {
+      put_f64(payload, value);
+    }
+  }
+  std::string image(kSnapshotMagicV2);
+  put_u32(image, static_cast<std::uint32_t>(payload.size()));
+  put_u32(image, crc32c(payload));
+  image += payload;
+
+  const SnapshotData decoded = decode_snapshot(image);
+  EXPECT_EQ(decoded.last_seq, data.last_seq);
+  ASSERT_EQ(decoded.campaigns.size(), 2u);
+  EXPECT_EQ(decoded.campaigns[0].aggregate_kind, kAggregateKindUnspecified);
+  EXPECT_EQ(decoded.campaigns[1].aggregate_kind, kAggregateKindUnspecified);
+  ASSERT_EQ(decoded.campaigns[0].aggregates.size(), 2u);
+  EXPECT_EQ(decoded.campaigns[0].aggregates[0], 0.5);
+  EXPECT_EQ(decoded.campaigns[0].aggregates[1], 1.5);
+  EXPECT_EQ(decoded.campaigns[0].tree.node_count(),
+            data.campaigns[0].tree.node_count());
 }
 
 TEST(Snapshot, EveryFlippedByteIsRejected) {

@@ -35,8 +35,26 @@ using namespace itree;
 struct ConnectionReport {
   std::vector<double> latencies_seconds;
   std::uint64_t requests = 0;
+  std::uint64_t reward_events = 0;  ///< joins + contributions sent
   std::string error;  // non-empty: the connection failed
 };
+
+/// Mechanism labels accepted by --mechanism; purely a report label (the
+/// mechanism itself is chosen when the daemon starts), but validated so
+/// a typo'd benchmark run fails loudly instead of mislabelling results.
+constexpr const char* kMechanismLabels[] = {
+    "geometric", "luxor",      "l-luxor",   "cdrm1",  "cdrm2",
+    "splitproof", "tdrm",      "pachira",   "l-pachira",
+};
+
+bool known_mechanism_label(const std::string& label) {
+  for (const char* known : kMechanismLabels) {
+    if (label == known) {
+      return true;
+    }
+  }
+  return false;
+}
 
 /// Drives one connection's seeded request stream; `rng` must be a
 /// dedicated fork so the stream is identical regardless of how other
@@ -73,6 +91,10 @@ void drive_connection(const std::string& host, std::uint16_t port,
       const net::Response response = client.call(request);
       report->latencies_seconds.push_back(monotonic_seconds() - start);
       ++report->requests;
+      if (request.type == net::MsgType::kJoin ||
+          request.type == net::MsgType::kContribute) {
+        ++report->reward_events;
+      }
       if (request.type == net::MsgType::kJoin) {
         mine.push_back(static_cast<NodeId>(response.id));
       }
@@ -93,6 +115,9 @@ int main(int argc, char** argv) {
                 "campaigns to spread connections over (default 1)");
   args.add_flag("--requests", "requests per connection (default 1000)");
   args.add_flag("--seed", "workload seed (default 42)");
+  args.add_flag("--mechanism",
+                "label the report with the served mechanism: "
+                "geometric|cdrm1|cdrm2|splitproof|tdrm|...");
   args.add_flag("--check",
                 "exit 1 unless every campaign audit is < 1e-9", false);
   args.add_flag("--shutdown", "send SHUTDOWN when done", false);
@@ -101,22 +126,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::string host = args.get_or("--host", "127.0.0.1");
-  const auto port =
-      static_cast<std::uint16_t>(args.get_int_or("--port", 7431));
-  const auto connections =
-      static_cast<std::size_t>(args.get_int_or("--connections", 4));
-  const auto campaigns =
-      static_cast<std::uint32_t>(args.get_int_or("--campaigns", 1));
-  const auto requests =
-      static_cast<std::uint64_t>(args.get_int_or("--requests", 1000));
-  const Rng base(static_cast<std::uint64_t>(args.get_int_or("--seed", 42)));
-  if (connections == 0 || campaigns == 0) {
-    std::cerr << "need at least one connection and one campaign\n";
-    return 2;
-  }
-
   try {
+    // Numeric flags are validated here (bad values throw), so parsing
+    // failures print one clean line instead of aborting mid-run.
+    const std::string host = args.get_or("--host", "127.0.0.1");
+    const auto port =
+        static_cast<std::uint16_t>(args.get_int_or("--port", 7431));
+    const auto connections =
+        static_cast<std::size_t>(args.get_int_or("--connections", 4));
+    const auto campaigns =
+        static_cast<std::uint32_t>(args.get_int_or("--campaigns", 1));
+    const auto requests =
+        static_cast<std::uint64_t>(args.get_int_or("--requests", 1000));
+    const Rng base(
+        static_cast<std::uint64_t>(args.get_int_or("--seed", 42)));
+    const std::string mechanism = args.get_or("--mechanism", "");
+    if (connections == 0 || campaigns == 0) {
+      std::cerr << "need at least one connection and one campaign\n";
+      return 2;
+    }
+    if (!mechanism.empty() && !known_mechanism_label(mechanism)) {
+      std::cerr << "unknown --mechanism label '" << mechanism
+                << "' (expected geometric|cdrm1|cdrm2|splitproof|tdrm|"
+                   "luxor|l-luxor|pachira|l-pachira)\n";
+      return 2;
+    }
+
     std::vector<ConnectionReport> reports(connections);
     std::vector<std::thread> threads;
     threads.reserve(connections);
@@ -133,12 +168,14 @@ int main(int argc, char** argv) {
 
     std::vector<double> latencies;
     std::uint64_t total_requests = 0;
+    std::uint64_t total_events = 0;
     for (const ConnectionReport& report : reports) {
       if (!report.error.empty()) {
         std::cerr << "connection failed: " << report.error << '\n';
         return 1;
       }
       total_requests += report.requests;
+      total_events += report.reward_events;
       latencies.insert(latencies.end(), report.latencies_seconds.begin(),
                        report.latencies_seconds.end());
     }
@@ -146,6 +183,11 @@ int main(int argc, char** argv) {
               << connections << " connection(s) in "
               << compact_number(wall, 3) << " s -> "
               << compact_number(total_requests / wall, 0) << " req/s\n"
+              << "mechanism "
+              << (mechanism.empty() ? "(unlabelled)" : mechanism)
+              << ": reward_events_per_sec "
+              << compact_number(total_events / wall, 0) << " ("
+              << total_events << " join/contribute events)\n"
               << "latency ms: p50 "
               << compact_number(percentile(latencies, 50) * 1e3, 3)
               << "  p95 "

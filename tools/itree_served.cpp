@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
                 "shutdown)");
   args.add_flag("--no-remote-shutdown",
                 "ignore SHUTDOWN frames (signals only)", false);
+  args.add_flag("--require-incremental",
+                "reject reward queries (stable error frame) instead of "
+                "falling back to O(n) batch computes when the mechanism "
+                "has no incremental serving path", false);
   args.add_flag("--threads",
                 "worker threads for campaign sharding (default: hardware)");
   if (!args.parse(argc, argv)) {
@@ -87,6 +91,7 @@ int main(int argc, char** argv) {
         args.get_double_or("--idle-timeout", 0.0);
     config.persist_dir = args.get_or("--persist-dir", "");
     config.allow_remote_shutdown = !args.has("--no-remote-shutdown");
+    config.require_incremental = args.has("--require-incremental");
     config.storage.data_dir = args.get_or("--data-dir", "");
     config.storage.fsync =
         storage::parse_fsync_policy(args.get_or("--fsync", "interval"));
@@ -130,7 +135,9 @@ int main(int argc, char** argv) {
               << counters.requests_served << ", protocol errors "
               << counters.protocol_errors << ", idle timeouts "
               << counters.sessions_timed_out << ", backpressure stalls "
-              << counters.backpressure_stalls << '\n';
+              << counters.backpressure_stalls << ", events batched "
+              << counters.events_batched << ", batch flushes "
+              << counters.batch_flushes << '\n';
     double worst_audit = 0.0;
     for (std::size_t i = 0; i < server.campaign_count(); ++i) {
       const RewardService& service = server.campaign(i).service();
