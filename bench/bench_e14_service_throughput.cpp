@@ -4,20 +4,29 @@
 // drives it with one blocking client connection per campaign — the
 // deterministic mode: each campaign sees exactly the event stream of
 // its connection's Rng fork, so the final reward digests are identical
-// at every --threads setting, and what this bench adds to the BENCH_*
-// trajectory is the serving overhead (requests/s and latency
-// percentiles) rather than mechanism arithmetic.
+// at every --threads/--reactors/--batch/--pipeline setting, and what
+// this bench adds to the BENCH_* trajectory is the serving overhead
+// (requests/s and latency percentiles) rather than mechanism
+// arithmetic.
 //
-// Flags: --threads N (campaign sharding inside the server), --json
-// <path>, --campaigns C (default 4), --requests R per campaign
-// (default 4000), --mechanism NAME (default geometric; one of
-// geometric, l-luxor, l-pachira, split-proof, tdrm, cdrm-reciprocal,
-// cdrm-logarithmic — or the short aliases cdrm1, cdrm2, splitproof).
-// Every mechanism except L-Pachira exercises an incremental serving
-// path; the audit gate then also covers incremental-vs-batch
-// divergence, and reward_events_per_sec reports the join/contribute
-// rate the daemon sustained for the chosen mechanism.
+// Flags: --threads N (campaign sharding inside a 1-reactor server),
+// --reactors N (shared-nothing SO_REUSEPORT loops), --batch B
+// (coalesce event runs into EVENT_BATCH frames; same event stream,
+// fewer frames), --pipeline W (frames in flight per connection),
+// --open-loop RATE (after the measured closed-loop pass, run a second
+// pass at a fixed arrival schedule of RATE requests/s total and record
+// latency percentiles measured from each request's scheduled arrival —
+// the honest queueing view), --json <path>, --campaigns C (default 4),
+// --requests R per campaign (default 4000), --mechanism NAME (default
+// geometric; one of geometric, l-luxor, l-pachira, split-proof, tdrm,
+// cdrm-reciprocal, cdrm-logarithmic — or the short aliases cdrm1,
+// cdrm2, splitproof). Every mechanism except L-Pachira exercises an
+// incremental serving path; the audit gate then also covers
+// incremental-vs-batch divergence, and reward_events_per_sec reports
+// the join/contribute rate the daemon sustained.
+#include <chrono>
 #include <cstdio>
+#include <deque>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -36,45 +45,189 @@ using namespace itree;
 
 struct WorkerResult {
   std::vector<double> latencies_seconds;
+  std::uint64_t frames = 0;         ///< request frames sent
   std::uint64_t reward_events = 0;  ///< joins + contributions sent
 };
 
-/// The loadgen's request mix, one connection pinned to one campaign.
+/// One workload decision — THE request mix. Both drivers consume the
+/// rng through this function, so the per-campaign event sequence (and
+/// the final reward digests) are independent of batching, pipelining
+/// and reactor count.
+struct Decision {
+  bool is_event = false;
+  net::BatchEvent event;          ///< valid when is_event
+  net::MsgType query_type = net::MsgType::kReward;
+  std::uint64_t query_node = 0;
+};
+
+Decision next_decision(Rng& rng, std::uint64_t i,
+                       const std::vector<NodeId>& mine) {
+  Decision decision;
+  if (mine.empty() || rng.bernoulli(0.55)) {
+    decision.is_event = true;
+    decision.event.kind = net::BatchEvent::kJoin;
+    decision.event.node = (mine.empty() || rng.bernoulli(0.15))
+                              ? kRoot
+                              : mine[rng.index(mine.size())];
+    decision.event.amount = rng.uniform(0.0, 3.0);
+  } else if (rng.bernoulli(0.5)) {
+    decision.is_event = true;
+    decision.event.kind = net::BatchEvent::kContribute;
+    decision.event.node = mine[rng.index(mine.size())];
+    decision.event.amount = rng.uniform(0.0, 2.0);
+  } else if (i % 64 == 63) {
+    decision.query_type = net::MsgType::kRewardsBatch;
+  } else {
+    decision.query_type = net::MsgType::kReward;
+    decision.query_node = mine[rng.index(mine.size())];
+  }
+  return decision;
+}
+
+/// Classic closed-loop driver: one frame per request, strict
+/// request/response, latency per round trip.
 void drive(std::uint16_t port, std::uint32_t campaign,
            std::uint64_t requests, Rng rng, WorkerResult* result) {
   net::Client client("127.0.0.1", port);
   std::vector<NodeId> mine;
   result->latencies_seconds.reserve(requests);
   for (std::uint64_t i = 0; i < requests; ++i) {
+    const Decision decision = next_decision(rng, i, mine);
     net::Request request;
     request.campaign = campaign;
-    if (mine.empty() || rng.bernoulli(0.55)) {
-      request.type = net::MsgType::kJoin;
-      request.node = (mine.empty() || rng.bernoulli(0.15))
-                         ? kRoot
-                         : mine[rng.index(mine.size())];
-      request.amount = rng.uniform(0.0, 3.0);
-    } else if (rng.bernoulli(0.5)) {
-      request.type = net::MsgType::kContribute;
-      request.node = mine[rng.index(mine.size())];
-      request.amount = rng.uniform(0.0, 2.0);
-    } else if (i % 64 == 63) {
-      request.type = net::MsgType::kRewardsBatch;
+    if (decision.is_event) {
+      request.type = decision.event.kind == net::BatchEvent::kJoin
+                         ? net::MsgType::kJoin
+                         : net::MsgType::kContribute;
+      request.node = decision.event.node;
+      request.amount = decision.event.amount;
     } else {
-      request.type = net::MsgType::kReward;
-      request.node = mine[rng.index(mine.size())];
+      request.type = decision.query_type;
+      request.node = decision.query_node;
     }
     const double start = monotonic_seconds();
     const net::Response response = client.call(request);
     result->latencies_seconds.push_back(monotonic_seconds() - start);
-    if (request.type == net::MsgType::kJoin ||
-        request.type == net::MsgType::kContribute) {
+    ++result->frames;
+    if (decision.is_event) {
       ++result->reward_events;
-    }
-    if (request.type == net::MsgType::kJoin) {
-      mine.push_back(static_cast<NodeId>(response.id));
+      if (request.type == net::MsgType::kJoin) {
+        mine.push_back(static_cast<NodeId>(response.id));
+      }
     }
   }
+}
+
+struct StreamOptions {
+  std::uint32_t batch = 1;
+  std::uint32_t pipeline = 1;
+  double rate_per_connection = 0.0;  ///< > 0: open-loop pacing
+  NodeId next_id = 1;  ///< first id the server will assign (campaign
+                       ///< may hold survivors of an earlier pass)
+};
+
+/// Streamed driver: EVENT_BATCH coalescing + pipelining, optionally
+/// paced on a fixed open-loop arrival schedule. Participant ids are
+/// predicted (the server assigns them sequentially per campaign) and
+/// verified against every EVENT_BATCH response — sound because this
+/// connection is the campaign's only writer.
+void drive_streamed(std::uint16_t port, std::uint32_t campaign,
+                    std::uint64_t requests, Rng rng, StreamOptions options,
+                    WorkerResult* result) {
+  net::Client client("127.0.0.1", port);
+  std::vector<NodeId> mine;
+  NodeId next_id = options.next_id;
+  std::vector<net::BatchEvent> pending;
+  std::vector<std::uint64_t> pending_expected;
+  double pending_reference = 0.0;
+  struct Frame {
+    double reference_time = 0.0;
+    std::vector<std::uint64_t> expected;  ///< empty for query frames
+    bool is_batch = false;
+  };
+  std::deque<Frame> inflight;
+  result->latencies_seconds.reserve(requests);
+  const double start = monotonic_seconds();
+
+  const auto settle_down_to = [&](std::size_t limit) {
+    while (inflight.size() > limit) {
+      const Frame& frame = inflight.front();
+      const net::Response response = client.read_response();
+      if (!response.ok()) {
+        throw net::ServiceError(response.error, response.message);
+      }
+      if (frame.is_batch && response.batch_results != frame.expected) {
+        throw std::runtime_error("EVENT_BATCH id prediction mismatch");
+      }
+      result->latencies_seconds.push_back(monotonic_seconds() -
+                                          frame.reference_time);
+      inflight.pop_front();
+    }
+  };
+  const auto flush_pending = [&] {
+    if (pending.empty()) {
+      return;
+    }
+    net::Request request;
+    request.type = net::MsgType::kEventBatch;
+    request.campaign = campaign;
+    request.batch = std::move(pending);
+    pending.clear();
+    Frame frame;
+    frame.reference_time = pending_reference;
+    frame.expected = std::move(pending_expected);
+    frame.is_batch = true;
+    pending_expected.clear();
+    result->reward_events += request.batch.size();
+    settle_down_to(options.pipeline - 1);
+    client.send_request(request);
+    ++result->frames;
+    inflight.push_back(std::move(frame));
+  };
+
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    double reference = monotonic_seconds();
+    if (options.rate_per_connection > 0.0) {
+      const double scheduled =
+          start + static_cast<double>(i) / options.rate_per_connection;
+      const double now = monotonic_seconds();
+      if (now < scheduled) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(scheduled - now));
+      }
+      reference = scheduled;  // latency charged from the schedule
+    }
+    const Decision decision = next_decision(rng, i, mine);
+    if (decision.is_event) {
+      if (pending.empty()) {
+        pending_reference = reference;
+      }
+      if (decision.event.kind == net::BatchEvent::kJoin) {
+        mine.push_back(next_id);
+        pending_expected.push_back(next_id++);
+      } else {
+        pending_expected.push_back(0);
+      }
+      pending.push_back(decision.event);
+      if (pending.size() >= options.batch) {
+        flush_pending();
+      }
+      continue;
+    }
+    flush_pending();
+    net::Request request;
+    request.type = decision.query_type;
+    request.campaign = campaign;
+    request.node = decision.query_node;
+    Frame frame;
+    frame.reference_time = reference;
+    settle_down_to(options.pipeline - 1);
+    client.send_request(request);
+    ++result->frames;
+    inflight.push_back(std::move(frame));
+  }
+  flush_pending();
+  settle_down_to(0);
 }
 
 int parse_flag(int* argc, char** argv, const std::string& flag,
@@ -139,14 +292,29 @@ int main(int argc, char** argv) {
       parse_flag(&argc, argv, "--campaigns", 4));
   const auto requests = static_cast<std::uint64_t>(
       parse_flag(&argc, argv, "--requests", 4000));
+  const auto reactors = static_cast<std::size_t>(
+      parse_flag(&argc, argv, "--reactors", 1));
+  StreamOptions stream;
+  stream.batch =
+      static_cast<std::uint32_t>(parse_flag(&argc, argv, "--batch", 1));
+  stream.pipeline = static_cast<std::uint32_t>(
+      parse_flag(&argc, argv, "--pipeline", 1));
+  const auto open_loop_rate = static_cast<double>(
+      parse_flag(&argc, argv, "--open-loop", 0));
   const std::string mechanism_name =
       parse_string_flag(&argc, argv, "--mechanism", "geometric");
+  if (stream.batch == 0 || stream.pipeline == 0) {
+    std::cerr << "--batch and --pipeline must be >= 1\n";
+    return 2;
+  }
+  const bool streamed = stream.batch > 1 || stream.pipeline > 1;
 
   const MechanismPtr mechanism =
       make_default(mechanism_by_name(mechanism_name));
   harness.json().add_digest("mechanism", mechanism->display_name());
   net::ServerConfig config;
   config.campaigns = campaigns;
+  config.reactors = reactors;
   net::Server server(*mechanism, config);
   std::thread loop([&server] { server.run(); });
 
@@ -155,8 +323,13 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   const double start = monotonic_seconds();
   for (std::uint32_t c = 0; c < campaigns; ++c) {
-    workers.emplace_back(drive, server.port(), c, requests,
-                         base.fork(c), &results[c]);
+    if (streamed) {
+      workers.emplace_back(drive_streamed, server.port(), c, requests,
+                           base.fork(c), stream, &results[c]);
+    } else {
+      workers.emplace_back(drive, server.port(), c, requests,
+                           base.fork(c), &results[c]);
+    }
   }
   for (std::thread& worker : workers) {
     worker.join();
@@ -164,16 +337,24 @@ int main(int argc, char** argv) {
   const double elapsed = monotonic_seconds() - start;
 
   std::vector<double> latencies;
+  std::uint64_t frames = 0;
   std::uint64_t reward_events = 0;
   for (const WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_seconds.begin(),
                      result.latencies_seconds.end());
+    frames += result.frames;
     reward_events += result.reward_events;
   }
   // finish() derives the per-mechanism reward_events_per_sec metric.
   harness.record_events(reward_events, elapsed);
-  const double total = static_cast<double>(latencies.size());
+  const auto total = static_cast<double>(campaigns) *
+                     static_cast<double>(requests);
+  harness.json().add_metric("reactors", static_cast<double>(reactors));
+  harness.json().add_metric("batch", static_cast<double>(stream.batch));
+  harness.json().add_metric("pipeline",
+                            static_cast<double>(stream.pipeline));
   harness.json().add_metric("requests", total);
+  harness.json().add_metric("frames", static_cast<double>(frames));
   harness.json().add_metric("throughput_rps", total / elapsed);
   harness.json().add_metric("latency_p50_ms",
                             percentile(latencies, 50) * 1e3);
@@ -185,15 +366,17 @@ int main(int argc, char** argv) {
   std::cout << "=== E14: reward-service serving throughput ===\n"
             << campaigns << " campaign(s) x " << requests
             << " requests, one connection per campaign (deterministic "
-               "mode)\n"
-            << compact_number(total, 0) << " requests in "
-            << compact_number(elapsed, 3) << " s -> "
-            << compact_number(total / elapsed, 0) << " req/s ("
-            << mechanism_name << ": "
+               "mode), "
+            << reactors << " reactor(s), batch " << stream.batch
+            << ", pipeline " << stream.pipeline << '\n'
+            << compact_number(total, 0) << " requests ("
+            << frames << " frames) in " << compact_number(elapsed, 3)
+            << " s -> " << compact_number(total / elapsed, 0)
+            << " req/s (" << mechanism_name << ": "
             << compact_number(static_cast<double>(reward_events) / elapsed,
                               0)
             << " reward events/s)\n"
-            << "latency ms: p50 "
+            << "closed-loop latency ms/frame: p50 "
             << compact_number(percentile(latencies, 50) * 1e3, 3)
             << "  p95 "
             << compact_number(percentile(latencies, 95) * 1e3, 3)
@@ -205,9 +388,14 @@ int main(int argc, char** argv) {
   net::Client verifier("127.0.0.1", server.port());
   double worst_audit = 0.0;
   std::string all_rendered;
+  std::vector<NodeId> next_ids(campaigns);
   for (std::uint32_t c = 0; c < campaigns; ++c) {
     worst_audit = std::max(worst_audit, verifier.audit(c));
-    all_rendered += hex_doubles(verifier.rewards(c));
+    const std::vector<double> rewards = verifier.rewards(c);
+    // Ids are dense (0 = root), so the vector size is the next id the
+    // server will assign — the open-loop pass resumes from there.
+    next_ids[c] = static_cast<NodeId>(rewards.size());
+    all_rendered += hex_doubles(rewards);
     all_rendered += ';';
   }
   harness.json().add_metric("worst_audit_divergence", worst_audit);
@@ -215,6 +403,58 @@ int main(int argc, char** argv) {
   std::cout << "worst audit divergence "
             << compact_number(worst_audit, 12) << ", rewards digest "
             << digest_hex(fnv1a64(all_rendered)) << '\n';
+
+  if (open_loop_rate > 0.0) {
+    // Open-loop pass: fixed arrival schedule, latency charged from
+    // each request's *scheduled* arrival — under overload this is the
+    // honest number (closed-loop self-throttles and hides the queue).
+    // Runs after the digest capture above, so goldens are unaffected.
+    StreamOptions open = stream;
+    open.rate_per_connection =
+        open_loop_rate / static_cast<double>(campaigns);
+    std::vector<WorkerResult> open_results(campaigns);
+    std::vector<std::thread> open_workers;
+    const double open_start = monotonic_seconds();
+    for (std::uint32_t c = 0; c < campaigns; ++c) {
+      StreamOptions per = open;
+      per.next_id = next_ids[c];
+      open_workers.emplace_back(drive_streamed, server.port(), c,
+                                requests, base.fork(campaigns + c), per,
+                                &open_results[c]);
+    }
+    for (std::thread& worker : open_workers) {
+      worker.join();
+    }
+    const double open_elapsed = monotonic_seconds() - open_start;
+    std::vector<double> open_latencies;
+    std::uint64_t open_events = 0;
+    for (const WorkerResult& result : open_results) {
+      open_latencies.insert(open_latencies.end(),
+                            result.latencies_seconds.begin(),
+                            result.latencies_seconds.end());
+      open_events += result.reward_events;
+    }
+    harness.record_events(open_events, open_elapsed);
+    harness.json().add_metric("open_loop_offered_rps", open_loop_rate);
+    harness.json().add_metric("open_loop_achieved_rps",
+                              total / open_elapsed);
+    harness.json().add_metric("open_latency_p50_ms",
+                              percentile(open_latencies, 50) * 1e3);
+    harness.json().add_metric("open_latency_p95_ms",
+                              percentile(open_latencies, 95) * 1e3);
+    harness.json().add_metric("open_latency_p99_ms",
+                              percentile(open_latencies, 99) * 1e3);
+    std::cout << "open-loop @ " << compact_number(open_loop_rate, 0)
+              << " req/s offered, "
+              << compact_number(total / open_elapsed, 0)
+              << " achieved; latency ms from scheduled arrival: p50 "
+              << compact_number(percentile(open_latencies, 50) * 1e3, 3)
+              << "  p95 "
+              << compact_number(percentile(open_latencies, 95) * 1e3, 3)
+              << "  p99 "
+              << compact_number(percentile(open_latencies, 99) * 1e3, 3)
+              << '\n';
+  }
 
   verifier.shutdown_server();
   loop.join();

@@ -46,18 +46,29 @@ diff -u "$GOLDENS/e13_digests.golden" "$WORK/e13_digests.txt" || {
   exit 1
 }
 
+# Each mechanism runs twice: the classic single-reactor per-frame mode
+# and the multi-reactor batched+pipelined wire path. Both must hit the
+# SAME golden — the determinism contract says the reactor count, the
+# EVENT_BATCH framing and pipelining change throughput, never reward
+# bits (docs/protocol.md).
 for mechanism in tdrm cdrm1 geometric; do
-  echo "== e14 $mechanism incremental serving path =="
-  "$BUILD_DIR/bench/bench_e14_service_throughput" --mechanism "$mechanism" \
-      --campaigns 4 --requests 4000 --threads 2 \
-      --json "$WORK/e14_$mechanism.json"
-  digests_of "$WORK/e14_$mechanism.json" | grep '^final_rewards ' \
-      | tee "$WORK/e14_${mechanism}_digest.txt"
-  diff -u "$GOLDENS/e14_${mechanism}_digest.golden" \
-      "$WORK/e14_${mechanism}_digest.txt" || {
-    echo "e14 $mechanism rewards digest drifted from the golden" >&2
-    exit 1
-  }
+  for variant in "classic:--threads 2" \
+                 "reactors2:--reactors 2 --batch 64 --pipeline 8"; do
+    name="${variant%%:*}"
+    flags="${variant#*:}"
+    echo "== e14 $mechanism incremental serving path ($name) =="
+    # shellcheck disable=SC2086  # flags are intentionally word-split
+    "$BUILD_DIR/bench/bench_e14_service_throughput" \
+        --mechanism "$mechanism" --campaigns 4 --requests 4000 $flags \
+        --json "$WORK/e14_$mechanism.json"
+    digests_of "$WORK/e14_$mechanism.json" | grep '^final_rewards ' \
+        | tee "$WORK/e14_${mechanism}_digest.txt"
+    diff -u "$GOLDENS/e14_${mechanism}_digest.golden" \
+        "$WORK/e14_${mechanism}_digest.txt" || {
+      echo "e14 $mechanism ($name) rewards digest drifted from the golden" >&2
+      exit 1
+    }
+  done
 done
 
 echo "== a3 incremental-engine speedup + determinism gates =="

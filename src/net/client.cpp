@@ -154,6 +154,36 @@ StatsBody Client::stats(std::uint32_t campaign) {
   return call(request).stats;
 }
 
+BatchResult Client::send_events(std::uint32_t campaign,
+                                std::span<const BatchEvent> events) {
+  Request request;
+  request.type = MsgType::kEventBatch;
+  request.campaign = campaign;
+  request.batch.assign(events.begin(), events.end());
+  send_request(request);
+  // Not read_checked(): a partial batch is an in-band outcome — the
+  // applied prefix is real server state the caller must see.
+  Response response = read_response();
+  if (response.status == Status::kError) {
+    throw ServiceError(response.error, response.message);
+  }
+  if (response.status != Status::kOkBatch) {
+    throw ProtocolError("send_events: unexpected response status");
+  }
+  BatchResult result;
+  result.requested = response.batch_count;
+  result.results = std::move(response.batch_results);
+  result.error = response.error;
+  result.message = std::move(response.message);
+  return result;
+}
+
+ServerStatsBody Client::server_stats() {
+  Request request;
+  request.type = MsgType::kServerStats;
+  return call(request).server_stats;
+}
+
 void Client::shutdown_server() {
   Request request;
   request.type = MsgType::kShutdown;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -25,6 +26,21 @@ struct ServiceError : std::runtime_error {
       : std::runtime_error(message), code(code) {}
 
   ErrorCode code;
+};
+
+/// Outcome of one EVENT_BATCH submission. The server applies events in
+/// order until the first rejection: `results` holds one entry per
+/// *applied* event (the assigned id for joins, 0 for contributions).
+/// When complete() is false, the event at index results.size() was
+/// rejected and error/message carry the cause; later events in the
+/// batch were not applied.
+struct BatchResult {
+  std::uint32_t requested = 0;
+  std::vector<std::uint64_t> results;
+  ErrorCode error = ErrorCode::kNone;
+  std::string message;
+
+  bool complete() const { return results.size() == requested; }
 };
 
 class Client {
@@ -51,6 +67,16 @@ class Client {
   /// Largest incremental-vs-batch divergence (see RewardService::audit).
   double audit(std::uint32_t campaign);
   StatsBody stats(std::uint32_t campaign);
+  /// Submits many reward events in one EVENT_BATCH frame — one round
+  /// trip and one server-side coalesced flush for the whole span. An
+  /// in-protocol rejection is reported in the result, not thrown (the
+  /// applied prefix is real state either way); wire-level failures
+  /// still throw.
+  BatchResult send_events(std::uint32_t campaign,
+                          std::span<const BatchEvent> events);
+  /// Live server-wide operational counters (SERVER_STATS round trip);
+  /// does not disturb the serving loops.
+  ServerStatsBody server_stats();
   /// Asks the server to drain and exit; returns once acknowledged.
   void shutdown_server();
 

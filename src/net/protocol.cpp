@@ -89,6 +89,84 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
+void encode_error_tail(std::string& out, ErrorCode code,
+                       const std::string& message) {
+  put_u8(out, static_cast<std::uint8_t>(code));
+  put_u32(out, static_cast<std::uint32_t>(message.size()));
+  out += message;
+}
+
+void decode_error_tail(Reader& reader, Response& response) {
+  const std::uint8_t code = reader.u8();
+  if (code > static_cast<std::uint8_t>(ErrorCode::kShuttingDown)) {
+    throw ProtocolError("unknown error code " + std::to_string(code));
+  }
+  response.error = static_cast<ErrorCode>(code);
+  const std::uint32_t length = reader.u32();
+  response.message = reader.bytes(length);
+}
+
+/// Appends the payload of `response` (no length prefix) to `out`.
+void encode_response_into(std::string& out, const Response& response) {
+  put_u8(out, static_cast<std::uint8_t>(response.status));
+  switch (response.status) {
+    case Status::kOk:
+      break;
+    case Status::kOkId:
+      put_u64(out, response.id);
+      break;
+    case Status::kOkValue:
+      put_f64(out, response.value);
+      break;
+    case Status::kOkVector:
+      put_u64(out, response.rewards.size());
+      for (const double reward : response.rewards) {
+        put_f64(out, reward);
+      }
+      break;
+    case Status::kOkStats:
+      put_u64(out, response.stats.events);
+      put_u64(out, response.stats.participants);
+      put_f64(out, response.stats.total_reward);
+      put_u8(out, response.stats.incremental ? 1 : 0);
+      break;
+    case Status::kOkBatch: {
+      if (response.batch_results.size() > response.batch_count) {
+        throw ProtocolError("kOkBatch: more results than batch events");
+      }
+      put_u32(out, response.batch_count);
+      put_u32(out, static_cast<std::uint32_t>(response.batch_results.size()));
+      for (const std::uint64_t result : response.batch_results) {
+        put_u64(out, result);
+      }
+      if (response.batch_results.size() < response.batch_count) {
+        encode_error_tail(out, response.error, response.message);
+      }
+      break;
+    }
+    case Status::kOkServerStats: {
+      const ServerStatsBody& s = response.server_stats;
+      put_u64(out, s.reactors);
+      put_u64(out, s.sessions_accepted);
+      put_u64(out, s.sessions_closed);
+      put_u64(out, s.requests_served);
+      put_u64(out, s.protocol_errors);
+      put_u64(out, s.sessions_timed_out);
+      put_u64(out, s.backpressure_stalls);
+      put_u64(out, s.events_batched);
+      put_u64(out, s.batch_flushes);
+      put_u64(out, s.requests_forwarded);
+      put_u64(out, s.event_batches);
+      break;
+    }
+    case Status::kError:
+      encode_error_tail(out, response.error, response.message);
+      break;
+    default:
+      throw ProtocolError("encode_response: unknown status");
+  }
+}
+
 }  // namespace
 
 std::string encode_request(const Request& request) {
@@ -111,7 +189,23 @@ std::string encode_request(const Request& request) {
       put_u32(out, request.campaign);
       break;
     case MsgType::kShutdown:
+    case MsgType::kServerStats:
       break;
+    case MsgType::kEventBatch: {
+      put_u32(out, request.campaign);
+      put_u32(out, static_cast<std::uint32_t>(request.batch.size()));
+      out.reserve(out.size() +
+                  request.batch.size() * kBatchEventWireBytes);
+      for (const BatchEvent& event : request.batch) {
+        if (event.kind > BatchEvent::kContribute) {
+          throw ProtocolError("encode_request: unknown batch event kind");
+        }
+        put_u8(out, event.kind);
+        put_u64(out, event.node);
+        put_f64(out, event.amount);
+      }
+      break;
+    }
     default:
       throw ProtocolError("encode_request: unknown message type");
   }
@@ -142,8 +236,31 @@ Request decode_request(std::string_view payload) {
       request.campaign = reader.u32();
       break;
     case MsgType::kShutdown:
-      request.type = MsgType::kShutdown;
+    case MsgType::kServerStats:
+      request.type = static_cast<MsgType>(type);
       break;
+    case MsgType::kEventBatch: {
+      request.type = MsgType::kEventBatch;
+      request.campaign = reader.u32();
+      const std::uint32_t count = reader.u32();
+      if (static_cast<std::uint64_t>(count) * kBatchEventWireBytes !=
+          reader.remaining()) {
+        throw ProtocolError("EVENT_BATCH count does not match payload size");
+      }
+      request.batch.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        BatchEvent event;
+        event.kind = reader.u8();
+        if (event.kind > BatchEvent::kContribute) {
+          throw ProtocolError("EVENT_BATCH: unknown event kind " +
+                              std::to_string(event.kind));
+        }
+        event.node = reader.u64();
+        event.amount = reader.f64();
+        request.batch.push_back(event);
+      }
+      break;
+    }
     default:
       throw ProtocolError("unknown request type " + std::to_string(type));
   }
@@ -153,36 +270,7 @@ Request decode_request(std::string_view payload) {
 
 std::string encode_response(const Response& response) {
   std::string out;
-  put_u8(out, static_cast<std::uint8_t>(response.status));
-  switch (response.status) {
-    case Status::kOk:
-      break;
-    case Status::kOkId:
-      put_u64(out, response.id);
-      break;
-    case Status::kOkValue:
-      put_f64(out, response.value);
-      break;
-    case Status::kOkVector:
-      put_u64(out, response.rewards.size());
-      for (const double reward : response.rewards) {
-        put_f64(out, reward);
-      }
-      break;
-    case Status::kOkStats:
-      put_u64(out, response.stats.events);
-      put_u64(out, response.stats.participants);
-      put_f64(out, response.stats.total_reward);
-      put_u8(out, response.stats.incremental ? 1 : 0);
-      break;
-    case Status::kError:
-      put_u8(out, static_cast<std::uint8_t>(response.error));
-      put_u32(out, static_cast<std::uint32_t>(response.message.size()));
-      out += response.message;
-      break;
-    default:
-      throw ProtocolError("encode_response: unknown status");
-  }
+  encode_response_into(out, response);
   return out;
 }
 
@@ -221,15 +309,44 @@ Response decode_response(std::string_view payload) {
       response.stats.total_reward = reader.f64();
       response.stats.incremental = reader.u8() != 0;
       break;
+    case Status::kOkBatch: {
+      response.status = Status::kOkBatch;
+      response.batch_count = reader.u32();
+      const std::uint32_t applied = reader.u32();
+      if (applied > response.batch_count) {
+        throw ProtocolError("kOkBatch: applied count exceeds batch count");
+      }
+      if (static_cast<std::uint64_t>(applied) * 8 > reader.remaining()) {
+        throw ProtocolError("kOkBatch: results longer than payload");
+      }
+      response.batch_results.reserve(applied);
+      for (std::uint32_t i = 0; i < applied; ++i) {
+        response.batch_results.push_back(reader.u64());
+      }
+      if (applied < response.batch_count) {
+        decode_error_tail(reader, response);
+      }
+      break;
+    }
+    case Status::kOkServerStats: {
+      response.status = Status::kOkServerStats;
+      ServerStatsBody& s = response.server_stats;
+      s.reactors = reader.u64();
+      s.sessions_accepted = reader.u64();
+      s.sessions_closed = reader.u64();
+      s.requests_served = reader.u64();
+      s.protocol_errors = reader.u64();
+      s.sessions_timed_out = reader.u64();
+      s.backpressure_stalls = reader.u64();
+      s.events_batched = reader.u64();
+      s.batch_flushes = reader.u64();
+      s.requests_forwarded = reader.u64();
+      s.event_batches = reader.u64();
+      break;
+    }
     case Status::kError: {
       response.status = Status::kError;
-      const std::uint8_t code = reader.u8();
-      if (code > static_cast<std::uint8_t>(ErrorCode::kShuttingDown)) {
-        throw ProtocolError("unknown error code " + std::to_string(code));
-      }
-      response.error = static_cast<ErrorCode>(code);
-      const std::uint32_t length = reader.u32();
-      response.message = reader.bytes(length);
+      decode_error_tail(reader, response);
       break;
     }
     default:
@@ -250,6 +367,32 @@ std::string frame(std::string_view payload) {
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   out += payload;
   return out;
+}
+
+void append_framed_response(std::string& out, const Response& response) {
+  const std::size_t start = out.size();
+  out.append(4, '\0');  // length prefix, patched below
+  try {
+    encode_response_into(out, response);
+  } catch (...) {
+    out.resize(start);
+    throw;
+  }
+  const std::size_t payload_size = out.size() - start - 4;
+  if (payload_size == 0 || payload_size > kMaxFrameBytes) {
+    out.resize(start);
+    throw ProtocolError("frame payload size out of range: " +
+                        std::to_string(payload_size));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out[start + i] =
+        static_cast<char>((payload_size >> (8 * i)) & 0xff);
+  }
+}
+
+const std::string& ok_frame() {
+  static const std::string kOkFrame = frame(encode_response(Response{}));
+  return kOkFrame;
 }
 
 Response error_response(ErrorCode code, std::string message) {

@@ -9,10 +9,14 @@
 //
 // The protocol is strictly request/response in order per connection;
 // clients may pipeline (send several requests before reading), and the
-// server answers in arrival order. FrameDecoder is the receive half:
-// it accepts arbitrary read fragmentation (partial frames, many frames
-// per read) and flags a connection corrupt on an impossible length
-// prefix instead of buffering unboundedly.
+// server answers in arrival order — including when requests on one
+// connection route to different reactors (docs/protocol.md). The
+// EVENT_BATCH message is the batch-friendly fast path: many reward
+// events in one frame, one response frame, one ancestor-walk flush.
+// FrameDecoder is the receive half: it accepts arbitrary read
+// fragmentation (partial frames, many frames per read) and flags a
+// connection corrupt on an impossible length prefix instead of
+// buffering unboundedly.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +29,7 @@ namespace itree::net {
 
 /// Hard cap on one frame's payload; a peer announcing more is corrupt
 /// (bounds decoder buffering). 16 MiB fits a REWARDS_BATCH response for
-/// roughly two million participants.
+/// roughly two million participants, or an EVENT_BATCH of ~987k events.
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
 /// Thrown by the payload codecs on malformed bytes; sessions catch it
@@ -42,6 +46,8 @@ enum class MsgType : std::uint8_t {
   kAudit = 0x05,         ///< campaign
   kStats = 0x06,         ///< campaign
   kShutdown = 0x07,      ///< no fields; asks the server to drain
+  kEventBatch = 0x08,    ///< campaign, count, count x batch events
+  kServerStats = 0x09,   ///< no fields; live server-wide counters
 };
 
 enum class Status : std::uint8_t {
@@ -50,6 +56,8 @@ enum class Status : std::uint8_t {
   kOkValue = 0x82,  ///< f64 (reward or audit divergence)
   kOkVector = 0x83, ///< u64 count + count f64 rewards (index = node id)
   kOkStats = 0x84,  ///< events, participants, total reward, incremental
+  kOkBatch = 0x85,  ///< EVENT_BATCH result: applied prefix + ids
+  kOkServerStats = 0x86,  ///< live operational counters
   kError = 0xff,    ///< error code + message
 };
 
@@ -62,14 +70,32 @@ enum class ErrorCode : std::uint8_t {
   kShuttingDown = 4,    ///< server is draining
 };
 
+/// One entry of an EVENT_BATCH frame: a join (node = referrer) or a
+/// contribution (node = participant).
+struct BatchEvent {
+  static constexpr std::uint8_t kJoin = 0;
+  static constexpr std::uint8_t kContribute = 1;
+
+  std::uint8_t kind = kJoin;
+  std::uint64_t node = 0;
+  double amount = 0.0;
+
+  bool operator==(const BatchEvent&) const = default;
+};
+
+/// Wire bytes of one BatchEvent (kind u8 + node u64 + amount f64).
+inline constexpr std::size_t kBatchEventWireBytes = 17;
+
 /// One client request. `node` is the referrer (kJoin) or the queried /
 /// contributing participant; `amount` is the (initial) contribution.
-/// Fields a message type does not use are ignored by the codec.
+/// Fields a message type does not use are ignored by the codec;
+/// `batch` is only meaningful for kEventBatch.
 struct Request {
   MsgType type = MsgType::kStats;
   std::uint32_t campaign = 0;
   std::uint64_t node = 0;
   double amount = 0.0;
+  std::vector<BatchEvent> batch;
 
   bool operator==(const Request&) const = default;
 };
@@ -83,15 +109,43 @@ struct StatsBody {
   bool operator==(const StatsBody&) const = default;
 };
 
+/// Live server-wide operational counters (SERVER_STATS response):
+/// per-reactor counters summed at the moment the frame is served, so a
+/// deployment can be monitored without stopping it.
+struct ServerStatsBody {
+  std::uint64_t reactors = 0;
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t sessions_timed_out = 0;
+  std::uint64_t backpressure_stalls = 0;
+  std::uint64_t events_batched = 0;
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t event_batches = 0;
+
+  bool operator==(const ServerStatsBody&) const = default;
+};
+
 /// One server response; which fields are meaningful depends on status.
+/// kOkBatch: `batch_count` echoes the request's event count and
+/// `batch_results` holds one u64 per *applied* event (assigned id for
+/// joins, 0 for contributions). When the applied prefix is shorter than
+/// the request (`batch_results.size() < batch_count`) the event at
+/// index batch_results.size() was rejected and `error` / `message`
+/// carry the cause; later events were not applied.
 struct Response {
   Status status = Status::kOk;
   ErrorCode error = ErrorCode::kNone;
-  std::string message;          ///< kError: human-readable cause
+  std::string message;          ///< kError / partial kOkBatch: cause
   std::uint64_t id = 0;         ///< kOkId
   double value = 0.0;           ///< kOkValue
   std::vector<double> rewards;  ///< kOkVector
   StatsBody stats;              ///< kOkStats
+  ServerStatsBody server_stats; ///< kOkServerStats
+  std::uint32_t batch_count = 0;           ///< kOkBatch
+  std::vector<std::uint64_t> batch_results; ///< kOkBatch
 
   bool ok() const { return status != Status::kError; }
 };
@@ -106,6 +160,18 @@ Response decode_response(std::string_view payload);
 /// Prepends the 4-byte length prefix. Throws ProtocolError when the
 /// payload is empty or exceeds kMaxFrameBytes.
 std::string frame(std::string_view payload);
+
+/// Appends the framed encoding of `response` directly to `out` —
+/// the serving hot path's zero-temporary variant of
+/// `out += frame(encode_response(response))`. The length prefix is
+/// patched in place after the payload is encoded. Throws ProtocolError
+/// (leaving `out` unchanged) when the payload exceeds kMaxFrameBytes.
+void append_framed_response(std::string& out, const Response& response);
+
+/// The pre-encoded frame of a plain OK response (CONTRIBUTE ack) — the
+/// most common response byte string, shared so the hot path appends it
+/// without re-encoding.
+const std::string& ok_frame();
 
 /// Shorthand for an error response.
 Response error_response(ErrorCode code, std::string message);

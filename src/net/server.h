@@ -1,30 +1,47 @@
-// Epoll-based non-blocking reward-service daemon core.
+// Multi-reactor epoll reward-service daemon core.
 //
-// One Server hosts N campaigns — one RecordingService each — behind a
-// single epoll loop on one listening socket. Requests carry a campaign
-// id; each epoll tick decodes everything the readable sessions
-// produced, groups the requests by campaign, and applies the groups
-// across the process-wide thread pool (util/parallel.h). Campaigns are
-// disjoint state, and within a campaign the tick preserves arrival
-// order, so results are independent of the thread count — with one
-// connection per campaign the whole deployment is bit-deterministic,
-// which the loopback tests and bench_e14 assert.
+// One Server hosts N campaigns behind `config.reactors` shared-nothing
+// reactor threads. Every reactor owns its own SO_REUSEPORT listening
+// socket, epoll loop, sessions and counters; the kernel spreads
+// incoming connections across the reactors. Campaigns are statically
+// partitioned: campaign c is owned by reactor (c mod reactors), and all
+// of c's events and queries are applied by that reactor — the hot loop
+// never shares mechanism state. A request arriving on a session of a
+// *different* reactor is forwarded to the owner over a lock-free SPSC
+// ring (one ring per ordered reactor pair; see net/spsc_ring.h) and its
+// response travels back the same way; a per-session sequence number
+// reorders cross-reactor responses so one connection always sees its
+// answers in request order, exactly as the single-loop server did.
+//
+// Within a reactor each tick decodes everything its readable sessions
+// produced, groups requests by campaign (dirty-set batching per
+// campaign, EVENT_BATCH frames applied in one pass), group-commits the
+// storage engine *before* any response is flushed (ack-after-durable),
+// and gathers queued response chunks into vectored sendmsg calls.
+// Campaigns are disjoint state and within a campaign arrival order is
+// preserved, so with one connection per campaign the whole deployment
+// is bit-deterministic at any reactor or thread count — which the
+// loopback tests and bench_e14 assert.
 //
 // Robustness guarantees (exercised by tests/net_test.cpp):
 //   * malformed payloads get an error frame; the session stays open
 //   * an impossible length prefix gets one error frame, then the
 //     session closes (the byte stream can no longer be trusted)
-//   * mid-frame disconnects discard the partial frame only
+//   * mid-frame disconnects discard the partial frame only — an
+//     EVENT_BATCH frame is all-or-nothing at the framing layer
 //   * slow readers are backpressured: past `max_write_buffer` pending
 //     bytes the server stops reading that session until the peer drains
 //   * idle sessions are closed after `idle_timeout_seconds`
-//   * request_shutdown() (async-signal-safe) stops accepting, flushes
-//     every pending response, optionally persists the per-campaign
-//     event logs, and returns from run()
+//   * request_shutdown() (async-signal-safe) stops accepting on every
+//     reactor, settles in-flight cross-reactor traffic, flushes every
+//     pending response, optionally persists the per-campaign event
+//     logs, and returns from run()
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,10 +52,16 @@
 
 namespace itree::net {
 
+class Reactor;  // internal to server.cpp
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = kernel-assigned; see Server::port()
   std::size_t campaigns = 1;
+  /// Reactor threads, each with its own SO_REUSEPORT listener and epoll
+  /// loop. Campaign c is owned by reactor (c mod reactors). 1 preserves
+  /// the classic single-loop behaviour (cross-reactor machinery idle).
+  std::size_t reactors = 1;
   /// Sessions with no traffic for this long are closed; 0 disables.
   double idle_timeout_seconds = 0.0;
   /// Write-buffer high-water mark per session; beyond it the server
@@ -58,15 +81,17 @@ struct ServerConfig {
   bool require_incremental = false;
   /// Crash-safe persistence, active when `storage.data_dir` is
   /// non-empty: state recovers from the data directory at startup,
-  /// every accepted event is WAL-logged, and each tick group-commits
-  /// *before* responses are flushed — an acknowledged event is as
-  /// durable as the fsync policy promises. The `campaigns` counts must
-  /// agree with an existing data directory.
+  /// every accepted event is WAL-logged, and each reactor tick
+  /// group-commits *before* its responses are flushed — an acknowledged
+  /// event is as durable as the fsync policy promises. The `campaigns`
+  /// count must agree with an existing data directory.
   storage::StorageConfig storage;
 };
 
-/// Monotonic operational counters, readable after run() returns (or
-/// from the loop thread).
+/// Monotonic operational counters. Each reactor keeps its own atomic
+/// set; Server::counters() sums them (exact once run() returned, a
+/// live snapshot otherwise — also served over the wire as the
+/// SERVER_STATS message without stopping the daemon).
 struct ServerCounters {
   std::uint64_t sessions_accepted = 0;
   std::uint64_t sessions_closed = 0;
@@ -76,32 +101,39 @@ struct ServerCounters {
   std::uint64_t backpressure_stalls = 0;
   /// Events whose incremental ancestor walk was deferred into a
   /// coalesced per-campaign flush (dirty-set batching; see
-  /// core/incremental.h).
+  /// core/incremental.h). EVENT_BATCH events land here too.
   std::uint64_t events_batched = 0;
   /// Coalesced flush passes run (one per campaign per burst).
   std::uint64_t batch_flushes = 0;
+  /// Requests routed to their owning reactor over an SPSC ring.
+  std::uint64_t requests_forwarded = 0;
+  /// EVENT_BATCH frames decoded.
+  std::uint64_t event_batches = 0;
 };
 
 class Server {
  public:
-  /// Binds and listens immediately (so port() is valid and clients may
-  /// connect before run() starts). Throws std::runtime_error on any
-  /// socket/epoll setup failure. The mechanism must outlive the server.
+  /// Binds and listens immediately on every reactor's socket (so
+  /// port() is valid and clients may connect before run() starts).
+  /// Throws std::runtime_error on any socket/epoll setup failure. The
+  /// mechanism must outlive the server.
   Server(const Mechanism& mechanism, ServerConfig config);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// The actually bound port (resolves config.port == 0).
+  /// The actually bound port (resolves config.port == 0); shared by
+  /// every reactor's SO_REUSEPORT listener.
   std::uint16_t port() const { return port_; }
 
-  /// Runs the event loop until shutdown; safe to call from a dedicated
-  /// thread while clients connect from others.
+  /// Runs reactor 0 on the calling thread and the remaining reactors
+  /// on dedicated threads until shutdown; safe to call from a
+  /// dedicated thread while clients connect from others.
   void run();
 
-  /// Requests a graceful drain: async-signal-safe (a single eventfd
-  /// write), callable from any thread or a SIGTERM handler.
+  /// Requests a graceful drain: async-signal-safe (one eventfd write
+  /// per reactor), callable from any thread or a SIGTERM handler.
   void request_shutdown();
 
   /// Campaign state, for post-run inspection (equivalence tests, the
@@ -112,42 +144,41 @@ class Server {
   /// The storage engine, or nullptr when running in-memory only.
   const storage::Storage* storage() const { return storage_.get(); }
 
-  const ServerCounters& counters() const { return counters_; }
+  /// Sums the per-reactor counters. Exact after run() returns; while
+  /// the loops are live it is a relaxed-atomic snapshot (what the
+  /// SERVER_STATS wire message reports).
+  ServerCounters counters() const;
+
+  std::size_t reactor_count() const;
 
  private:
-  struct Session;
-  struct PendingRequest;
+  friend class Reactor;
 
-  void accept_ready();
-  void on_readable(int fd);
-  void on_writable(int fd);
-  void process_pending();
-  Response apply_request(const Request& request);
-  void enqueue_response(Session& session, const Response& response);
-  void flush(Session& session);
-  void update_interest(Session& session);
+  /// Applies one event to a campaign — through the storage engine (WAL
+  /// append) when durable, directly otherwise. Returns the assigned id
+  /// for joins.
   std::optional<NodeId> apply_event(std::uint32_t campaign_index,
                                     const Event& event);
-  void close_session(int fd);
-  void harvest_idle(double now);
-  void begin_drain();
+
+  /// Executes one campaign-owning request (called only by the owning
+  /// reactor, inside its tick).
+  Response apply_request(const Request& request);
+
+  /// Builds the SERVER_STATS response body from the live counters.
+  ServerStatsBody live_server_stats() const;
+
   void persist_logs() const;
 
   ServerConfig config_;
   std::uint16_t port_ = 0;
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  ///< eventfd poked by request_shutdown()
-  bool draining_ = false;
 
   /// Observers into either owned_campaigns_ or storage_'s campaigns.
   std::vector<RecordingService*> campaigns_;
   std::vector<std::unique_ptr<RecordingService>> owned_campaigns_;
   std::unique_ptr<storage::Storage> storage_;  ///< null when in-memory
-  std::uint64_t next_serial_ = 0;  ///< distinguishes reused fds
-  std::vector<std::unique_ptr<Session>> sessions_;  ///< indexed by fd
-  std::vector<PendingRequest> pending_;  ///< decoded this tick, in order
-  ServerCounters counters_;
+
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<bool> drain_requested_{false};
 };
 
 }  // namespace itree::net

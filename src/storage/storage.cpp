@@ -274,6 +274,9 @@ const RecordingService& Storage::campaign(std::size_t index) const {
 }
 
 std::optional<NodeId> Storage::apply(std::uint32_t index, const Event& event) {
+  // Shared lock: reactors apply concurrently (different campaigns);
+  // only a snapshot needs the world stopped.
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
   RecordingService& campaign = *campaigns_.at(index);
   // Validate-then-log: a rejected event must not reach the WAL, or
   // recovery would refuse to replay it.
@@ -288,15 +291,31 @@ std::optional<NodeId> Storage::apply(std::uint32_t index, const Event& event) {
 }
 
 void Storage::commit() {
-  writer_->commit();
-  ++counters_.commits;
-  if (config_.snapshot_every > 0 &&
-      events_since_snapshot_ >= config_.snapshot_every) {
-    snapshot_now();
+  bool snapshot_due = false;
+  {
+    const std::shared_lock<std::shared_mutex> state(state_mutex_);
+    const std::lock_guard<std::mutex> lock(wal_mutex_);
+    writer_->commit();
+    ++counters_.commits;
+    snapshot_due = config_.snapshot_every > 0 &&
+                   events_since_snapshot_ >= config_.snapshot_every;
+  }
+  if (snapshot_due) {
+    const std::unique_lock<std::shared_mutex> state(state_mutex_);
+    // Re-check: another reactor may have just snapshotted between the
+    // shared and exclusive sections.
+    if (events_since_snapshot_ >= config_.snapshot_every) {
+      snapshot_locked();
+    }
   }
 }
 
 void Storage::snapshot_now() {
+  const std::unique_lock<std::shared_mutex> state(state_mutex_);
+  snapshot_locked();
+}
+
+void Storage::snapshot_locked() {
   namespace fs = std::filesystem;
   // Flush + close the active segment first: after this every assigned
   // sequence number is on disk and every existing segment is frozen,

@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -129,19 +130,23 @@ class Storage {
   /// Applies one event through campaign `index`'s normal apply path
   /// and logs it. Exceptions from the service propagate and nothing is
   /// logged. Safe to call concurrently for *different* campaigns (the
-  /// WAL append is serialized internally); per campaign the caller
-  /// must apply serially, as the server's campaign groups do.
+  /// WAL append is serialized internally, snapshots are excluded via a
+  /// shared lock); per campaign the caller must apply serially, as the
+  /// owning reactor's campaign groups do.
   std::optional<NodeId> apply(std::uint32_t index, const Event& event);
 
   /// Group commit: one write() for everything applied since the last
   /// commit, fsync per policy, segment rotation, and — when
-  /// snapshot_every is due — a snapshot + log compaction. Not
-  /// concurrent with apply(); the server calls it between ticks.
+  /// snapshot_every is due — a snapshot + log compaction. Safe to call
+  /// concurrently with apply()/commit() on other reactor threads; each
+  /// reactor calls it at the end of its tick, before flushing that
+  /// tick's responses.
   void commit();
 
   /// Snapshots all campaigns at the current watermark, then compacts:
   /// WAL segments fully covered by the snapshot are deleted and only
-  /// the two newest snapshots are retained.
+  /// the two newest snapshots are retained. Takes the exclusive lock
+  /// (quiesces concurrent apply/commit) for the duration.
   void snapshot_now();
 
   const RecoveryReport& recovery() const { return recovery_; }
@@ -151,10 +156,21 @@ class Storage {
   const StorageConfig& config() const { return config_; }
 
  private:
+  /// Snapshot body; caller holds state_mutex_ exclusively.
+  void snapshot_locked();
+
   const Mechanism* mechanism_;
   StorageConfig config_;
   std::vector<std::unique_ptr<RecordingService>> campaigns_;
   std::unique_ptr<WalWriter> writer_;
+  /// Two-level locking for the multi-reactor server. state_mutex_ is
+  /// held shared by apply()/commit() (reactors run concurrently;
+  /// per-campaign serialization is the caller's ownership discipline)
+  /// and exclusively by snapshots, which must observe every campaign
+  /// at one quiesced watermark. wal_mutex_ nests inside it and
+  /// serializes the cross-campaign WAL writer. Lock order:
+  /// state_mutex_ then wal_mutex_, always.
+  std::shared_mutex state_mutex_;
   std::mutex wal_mutex_;  ///< serializes cross-campaign WAL appends
   RecoveryReport recovery_;
   StorageCounters counters_;

@@ -159,6 +159,113 @@ TEST(Fuzz, TruncatedFramesNeverYieldPayloads) {
   }
 }
 
+TEST(Fuzz, BatchedFramesRoundTripAndSurviveMutation) {
+  // EVENT_BATCH frames carry a count field that must match the body
+  // byte-for-byte (count x 17). Random valid batches must round-trip
+  // exactly; any single-byte mutation of the count/kind region must
+  // either still decode to a well-formed batch or throw ProtocolError,
+  // never crash or mis-size a read.
+  Rng rng(1010);
+  for (int trial = 0; trial < 500; ++trial) {
+    net::Request request;
+    request.type = net::MsgType::kEventBatch;
+    request.campaign = static_cast<std::uint32_t>(rng.index(8));
+    const std::size_t count = rng.index(20);
+    for (std::size_t i = 0; i < count; ++i) {
+      net::BatchEvent event;
+      event.kind = rng.bernoulli(0.5) ? net::BatchEvent::kJoin
+                                      : net::BatchEvent::kContribute;
+      event.node = rng.index(1000);
+      event.amount = rng.uniform(0.0, 5.0);
+      request.batch.push_back(event);
+    }
+    const std::string payload = net::encode_request(request);
+    EXPECT_EQ(net::decode_request(payload), request);
+
+    std::string mutated = payload;
+    mutated[rng.index(mutated.size())] =
+        static_cast<char>(rng.index(256));
+    try {
+      (void)net::decode_request(mutated);
+    } catch (const net::ProtocolError&) {
+    }
+    // Truncations must always be flagged, not partially applied.
+    if (payload.size() > 1) {
+      try {
+        (void)net::decode_request(
+            std::string_view(payload).substr(0, rng.index(payload.size())));
+      } catch (const net::ProtocolError&) {
+      }
+    }
+  }
+}
+
+TEST(Fuzz, BatchedFrameStreamsNeverCrashTheDecoder) {
+  // Streams that interleave valid EVENT_BATCH / kOkBatch frames with
+  // garbage frames, fed in random fragments: the frame decoder and both
+  // codecs must stay parse-or-throw across every boundary.
+  Rng rng(1011);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string stream;
+    const std::size_t frames = 1 + rng.index(6);
+    for (std::size_t f = 0; f < frames; ++f) {
+      if (rng.bernoulli(0.4)) {
+        net::Request request;
+        request.type = net::MsgType::kEventBatch;
+        request.campaign = static_cast<std::uint32_t>(rng.index(4));
+        const std::size_t count = rng.index(6);
+        for (std::size_t i = 0; i < count; ++i) {
+          request.batch.push_back(
+              {static_cast<std::uint8_t>(rng.index(2)), rng.index(50),
+               rng.uniform(0.0, 2.0)});
+        }
+        stream += net::frame(net::encode_request(request));
+      } else if (rng.bernoulli(0.5)) {
+        net::Response response;
+        response.status = net::Status::kOkBatch;
+        response.batch_count = static_cast<std::uint32_t>(rng.index(6));
+        for (std::uint32_t i = 0; i < response.batch_count; ++i) {
+          if (rng.bernoulli(0.8)) {
+            response.batch_results.push_back(rng.index(100));
+          }
+        }
+        if (response.batch_results.size() < response.batch_count) {
+          response.error = net::ErrorCode::kRejected;
+          response.message = "fuzz";
+        }
+        stream += net::frame(net::encode_response(response));
+      } else {
+        std::string junk;
+        const std::size_t length = 1 + rng.index(30);
+        for (std::size_t i = 0; i < length; ++i) {
+          junk += static_cast<char>(rng.index(256));
+        }
+        stream += net::frame(junk);
+      }
+    }
+    net::FrameDecoder decoder;
+    std::size_t fed = 0;
+    while (fed < stream.size() && !decoder.corrupt()) {
+      const std::size_t chunk =
+          std::min(stream.size() - fed, 1 + rng.index(24));
+      decoder.feed(stream.data() + fed, chunk);
+      fed += chunk;
+      std::string payload;
+      while (decoder.next(&payload)) {
+        try {
+          (void)net::decode_request(payload);
+        } catch (const net::ProtocolError&) {
+        }
+        try {
+          (void)net::decode_response(payload);
+        } catch (const net::ProtocolError&) {
+        }
+      }
+    }
+  }
+  SUCCEED();
+}
+
 TEST(Fuzz, RandomPayloadsNeverCrashTheCodecs) {
   Rng rng(1006);
   for (int trial = 0; trial < 3000; ++trial) {

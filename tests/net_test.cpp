@@ -4,14 +4,18 @@
 // idle timeouts, graceful drain, persistence).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "core/registry.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "net/spsc_ring.h"
 #include "server/event_log.h"
 #include "util/rng.h"
 
@@ -102,6 +106,115 @@ TEST(Protocol, FrameDecoderFlagsOversizedAndZeroLengths) {
     decoder.feed("abcdefgh", 8);
     EXPECT_FALSE(decoder.next(&payload));
   }
+}
+
+TEST(Protocol, EventBatchRequestsRoundTrip) {
+  Request request;
+  request.type = MsgType::kEventBatch;
+  request.campaign = 6;
+  request.batch = {
+      {BatchEvent::kJoin, kRoot, 1.5},
+      {BatchEvent::kJoin, 1, 0.25},
+      {BatchEvent::kContribute, 2, 3.125},
+  };
+  EXPECT_EQ(decode_request(encode_request(request)), request);
+  // An empty batch is legal on the wire (a no-op the server acks).
+  request.batch.clear();
+  EXPECT_EQ(decode_request(encode_request(request)), request);
+}
+
+TEST(Protocol, BatchResponsesRoundTripCompleteAndPartial) {
+  Response complete;
+  complete.status = Status::kOkBatch;
+  complete.batch_count = 3;
+  complete.batch_results = {1, 2, 0};
+  const Response decoded = decode_response(encode_response(complete));
+  EXPECT_EQ(decoded.batch_count, 3u);
+  EXPECT_EQ(decoded.batch_results, complete.batch_results);
+  EXPECT_EQ(decoded.error, ErrorCode::kNone);
+
+  // Partial outcome: the error tail travels only when the applied
+  // prefix is shorter than the request.
+  Response partial;
+  partial.status = Status::kOkBatch;
+  partial.batch_count = 5;
+  partial.batch_results = {1, 0};
+  partial.error = ErrorCode::kRejected;
+  partial.message = "no such participant";
+  const Response half = decode_response(encode_response(partial));
+  EXPECT_EQ(half.batch_count, 5u);
+  EXPECT_EQ(half.batch_results, partial.batch_results);
+  EXPECT_EQ(half.error, ErrorCode::kRejected);
+  EXPECT_EQ(half.message, "no such participant");
+}
+
+TEST(Protocol, ServerStatsResponsesRoundTrip) {
+  Response response;
+  response.status = Status::kOkServerStats;
+  response.server_stats = {4, 10, 9, 12345, 1, 2, 3, 777, 42, 99, 7};
+  EXPECT_EQ(decode_response(encode_response(response)).server_stats,
+            response.server_stats);
+}
+
+TEST(Protocol, EventBatchDecoderRejectsCountMismatchAndBadKind) {
+  Request request;
+  request.type = MsgType::kEventBatch;
+  request.batch = {{BatchEvent::kContribute, 7, 1.0}};
+  const std::string good = encode_request(request);
+  // Count says one event but the body carries none.
+  EXPECT_THROW(decode_request(good.substr(0, 9)), ProtocolError);
+  // Extra bytes beyond count * kBatchEventWireBytes.
+  EXPECT_THROW(decode_request(good + "x"), ProtocolError);
+  // Unknown event kind byte (first byte after campaign + count).
+  std::string bad_kind = good;
+  bad_kind[9] = 2;
+  EXPECT_THROW(decode_request(bad_kind), ProtocolError);
+}
+
+// --- SPSC ring unit tests -------------------------------------------
+
+TEST(SpscRing, FifoOrderWrapAroundAndFullness) {
+  SpscRing<int> ring(3);  // rounds up to the next power of two
+  EXPECT_EQ(ring.capacity(), 4u);
+  int out = 0;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.pop(&out));
+  // Several laps around the buffer: indices keep wrapping cleanly.
+  int next = 0;
+  for (int lap = 0; lap < 5; ++lap) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(ring.push(next + i));
+    }
+    EXPECT_FALSE(ring.push(999));  // full: the item is rejected
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(ring.pop(&out));
+      EXPECT_EQ(out, next + i);
+    }
+    next += 4;
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRing, TwoThreadHandoffPreservesEverySlot) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kItems = 200000;
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      std::uint64_t item = i;
+      while (!ring.push(std::move(item))) {
+      }
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kItems) {
+    std::uint64_t got = 0;
+    if (ring.pop(&got)) {
+      ASSERT_EQ(got, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
 }
 
 // --- Server fixture -------------------------------------------------
@@ -384,6 +497,395 @@ TEST_F(NetTest, PersistsEventLogsOnShutdown) {
   }
   EXPECT_EQ(EventLog::load((dir / "campaign_0.log").string()).size(), 0u);
   fs::remove_all(dir);
+}
+
+// --- EVENT_BATCH semantics ------------------------------------------
+
+TEST_F(NetTest, EventBatchAppliesThePrefixUpToTheFirstRejection) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  start(*mechanism);
+  Client client = connect();
+  const std::vector<BatchEvent> batch = {
+      {BatchEvent::kJoin, kRoot, 1.0},     // -> id 1
+      {BatchEvent::kJoin, 1, 2.0},         // -> id 2
+      {BatchEvent::kContribute, 2, 0.5},   // ok
+      {BatchEvent::kContribute, 99, 1.0},  // no such participant
+      {BatchEvent::kJoin, kRoot, 4.0},     // must NOT be applied
+  };
+  const BatchResult result = client.send_events(0, batch);
+  EXPECT_EQ(result.requested, 5u);
+  ASSERT_EQ(result.results.size(), 3u);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.results[0], 1u);
+  EXPECT_EQ(result.results[1], 2u);
+  EXPECT_EQ(result.results[2], 0u);
+  EXPECT_EQ(result.error, ErrorCode::kRejected);
+  EXPECT_FALSE(result.message.empty());
+  // Server state is exactly the applied prefix — the rejected event and
+  // everything after it left no trace.
+  EXPECT_EQ(client.stats(0).participants, 2u);
+  EXPECT_EQ(client.stats(0).events, 3u);
+  // The session survives and id assignment continues from the prefix.
+  const std::vector<BatchEvent> follow = {{BatchEvent::kJoin, 1, 1.0}};
+  const BatchResult more = client.send_events(0, follow);
+  EXPECT_TRUE(more.complete());
+  ASSERT_EQ(more.results.size(), 1u);
+  EXPECT_EQ(more.results[0], 3u);
+}
+
+TEST_F(NetTest, EventBatchMatchesPerFrameBitForBit) {
+  // The same events through EVENT_BATCH frames and through per-event
+  // frames must land on the same reward bits: batching is a wire-path
+  // optimization, never a semantic change.
+  const MechanismPtr mechanism = make_default(MechanismKind::kTdrm);
+  std::vector<BatchEvent> events;
+  drive_workload(83, 250, [&](NodeId node, double amount, bool is_join) {
+    events.push_back({is_join ? BatchEvent::kJoin : BatchEvent::kContribute,
+                      node, amount});
+  });
+
+  start(*mechanism);
+  {
+    Client client = connect();
+    for (const BatchEvent& event : events) {
+      if (event.kind == BatchEvent::kJoin) {
+        client.join(0, static_cast<NodeId>(event.node), event.amount);
+      } else {
+        client.contribute(0, static_cast<NodeId>(event.node),
+                          event.amount);
+      }
+    }
+  }
+  Client probe = connect();
+  const std::vector<double> per_frame = probe.rewards(0);
+  stop();
+
+  start(*mechanism);
+  Client batched = connect();
+  // Feed the same stream in uneven slices to cross flush boundaries.
+  std::size_t at = 0, slice = 1;
+  while (at < events.size()) {
+    const std::size_t take = std::min(slice, events.size() - at);
+    const BatchResult result = batched.send_events(
+        0, std::span<const BatchEvent>(events.data() + at, take));
+    ASSERT_TRUE(result.complete());
+    at += take;
+    slice = slice % 64 + 7;
+  }
+  EXPECT_EQ(batched.rewards(0), per_frame);
+  EXPECT_EQ(batched.stats(0).events, events.size());
+}
+
+TEST_F(NetTest, EventBatchToUnknownCampaignIsRejectedInBand) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  start(*mechanism);
+  Client client = connect();
+  const std::vector<BatchEvent> batch = {{BatchEvent::kJoin, kRoot, 1.0}};
+  try {
+    client.send_events(7, batch);
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& error) {
+    EXPECT_EQ(error.code, ErrorCode::kUnknownCampaign);
+  }
+  EXPECT_EQ(client.join(0, kRoot, 1.0), 1u);  // session intact
+}
+
+TEST_F(NetTest, MidBatchDisconnectAppliesNothing) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  start(*mechanism);
+  {
+    Client client = connect();
+    Request request;
+    request.type = MsgType::kEventBatch;
+    for (int i = 0; i < 100; ++i) {
+      request.batch.push_back({BatchEvent::kJoin, kRoot, 1.0});
+    }
+    const std::string full = frame(encode_request(request));
+    // Half an EVENT_BATCH frame, then a hangup mid-stream.
+    client.send_bytes(std::string_view(full.data(), full.size() / 2));
+    client.shutdown_write();
+  }
+  Client fresh = connect();
+  EXPECT_EQ(fresh.stats(0).participants, 0u)
+      << "a partial batch frame must be discarded whole";
+  EXPECT_EQ(fresh.stats(0).events, 0u);
+  EXPECT_EQ(fresh.join(0, kRoot, 1.0), 1u);
+}
+
+TEST_F(NetTest, PipelinedBatchesUnderBackpressureStayOrdered) {
+  // EVENT_BATCH frames interleaved with full-vector queries, pipelined
+  // without reading, against a low write-buffer mark and two reactors:
+  // the responses must come back in request order even while sessions
+  // are paused for backpressure and batches cross reactors.
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  ServerConfig config;
+  config.max_write_buffer = 64 * 1024;
+  config.reactors = 2;
+  start(*mechanism, config);
+  Client client = connect();
+
+  // A wide campaign so every REWARDS_BATCH response is ~16 KB.
+  std::vector<BatchEvent> seed(2000, {BatchEvent::kJoin, kRoot, 1.0});
+  ASSERT_TRUE(client.send_events(0, seed).complete());
+
+  const std::vector<BatchEvent> bump = {
+      {BatchEvent::kContribute, 1, 0.5},
+      {BatchEvent::kContribute, 1, 0.25},
+  };
+  Request batch_request;
+  batch_request.type = MsgType::kEventBatch;
+  batch_request.campaign = 0;
+  batch_request.batch = bump;
+  constexpr int kRounds = 100;
+  for (int i = 0; i < kRounds; ++i) {
+    client.send_request(batch_request);
+    client.send_request({MsgType::kRewardsBatch, 0, 0, 0.0});
+  }
+  double last_reward = 0.0;
+  for (int i = 0; i < kRounds; ++i) {
+    const Response ack = client.read_response();
+    ASSERT_EQ(ack.status, Status::kOkBatch);
+    EXPECT_EQ(ack.batch_results, std::vector<std::uint64_t>({0, 0}));
+    const Response vector = client.read_response();
+    ASSERT_EQ(vector.status, Status::kOkVector);
+    ASSERT_EQ(vector.rewards.size(), 2001u);
+    // Strictly monotone in pipeline order: no reordering, no skipped
+    // flush.
+    EXPECT_GT(vector.rewards[1], last_reward);
+    last_reward = vector.rewards[1];
+  }
+  EXPECT_EQ(client.stats(0).events,
+            2000u + 2u * static_cast<std::uint64_t>(kRounds));
+  stop();
+  EXPECT_GT(server_->counters().backpressure_stalls, 0u)
+      << "the test must actually exercise the pause/resume path";
+}
+
+// --- Multi-reactor determinism and ordering -------------------------
+
+/// One scripted event against a known campaign, with the id the server
+/// must assign when it is a join (ids are sequential per campaign).
+struct ScriptedEvent {
+  std::uint32_t campaign = 0;
+  BatchEvent event;
+  NodeId expected_id = 0;
+};
+
+std::vector<ScriptedEvent> scripted_workload(std::uint64_t seed,
+                                             int events,
+                                             std::uint32_t campaigns) {
+  Rng rng(seed);
+  std::vector<std::size_t> n(campaigns, 0);
+  std::vector<ScriptedEvent> script;
+  script.reserve(static_cast<std::size_t>(events));
+  for (int i = 0; i < events; ++i) {
+    ScriptedEvent entry;
+    entry.campaign = static_cast<std::uint32_t>(rng.index(campaigns));
+    std::size_t& size = n[entry.campaign];
+    if (size == 0 || rng.bernoulli(0.6)) {
+      const NodeId parent = (size == 0 || rng.bernoulli(0.15))
+                                ? kRoot
+                                : static_cast<NodeId>(1 + rng.index(size));
+      entry.event = {BatchEvent::kJoin, parent, rng.uniform(0.0, 3.0)};
+      entry.expected_id = static_cast<NodeId>(++size);
+    } else {
+      entry.event = {BatchEvent::kContribute,
+                     static_cast<NodeId>(1 + rng.index(size)),
+                     rng.uniform(0.0, 2.0)};
+    }
+    script.push_back(entry);
+  }
+  return script;
+}
+
+enum class DriveMode { kSync, kPipelined, kBatched };
+
+/// Replays `script` over one connection in the given wire style,
+/// asserting every join id along the way.
+void replay_script(Client& client,
+                   const std::vector<ScriptedEvent>& script,
+                   DriveMode mode) {
+  switch (mode) {
+    case DriveMode::kSync:
+      for (const ScriptedEvent& entry : script) {
+        if (entry.event.kind == BatchEvent::kJoin) {
+          ASSERT_EQ(client.join(entry.campaign,
+                                static_cast<NodeId>(entry.event.node),
+                                entry.event.amount),
+                    entry.expected_id);
+        } else {
+          client.contribute(entry.campaign,
+                            static_cast<NodeId>(entry.event.node),
+                            entry.event.amount);
+        }
+      }
+      break;
+    case DriveMode::kPipelined: {
+      for (const ScriptedEvent& entry : script) {
+        Request request;
+        request.type = entry.event.kind == BatchEvent::kJoin
+                           ? MsgType::kJoin
+                           : MsgType::kContribute;
+        request.campaign = entry.campaign;
+        request.node = entry.event.node;
+        request.amount = entry.event.amount;
+        client.send_request(request);
+      }
+      for (const ScriptedEvent& entry : script) {
+        const Response response = client.read_response();
+        if (entry.event.kind == BatchEvent::kJoin) {
+          ASSERT_EQ(response.status, Status::kOkId);
+          ASSERT_EQ(response.id, entry.expected_id);
+        } else {
+          ASSERT_EQ(response.status, Status::kOk);
+        }
+      }
+      break;
+    }
+    case DriveMode::kBatched: {
+      // Maximal same-campaign runs become EVENT_BATCH frames.
+      std::size_t at = 0;
+      while (at < script.size()) {
+        std::size_t end = at + 1;
+        while (end < script.size() &&
+               script[end].campaign == script[at].campaign) {
+          ++end;
+        }
+        std::vector<BatchEvent> batch;
+        batch.reserve(end - at);
+        for (std::size_t i = at; i < end; ++i) {
+          batch.push_back(script[i].event);
+        }
+        const BatchResult result =
+            client.send_events(script[at].campaign, batch);
+        ASSERT_TRUE(result.complete());
+        for (std::size_t i = at; i < end; ++i) {
+          ASSERT_EQ(result.results[i - at], script[i].expected_id);
+        }
+        at = end;
+      }
+      break;
+    }
+  }
+}
+
+class ReactorInvariance
+    : public NetTest,
+      public ::testing::WithParamInterface<MechanismKind> {};
+
+TEST_P(ReactorInvariance, RewardBitsIgnoreReactorCountAndWireStyle) {
+  // The determinism contract of docs/protocol.md: reactor count,
+  // pipelining and EVENT_BATCH framing change throughput, never reward
+  // bits. Every (reactors, wire style) cell must produce reward vectors
+  // that equal the 1-reactor synchronous baseline with operator== on
+  // raw doubles.
+  const MechanismPtr mechanism = make_default(GetParam());
+  constexpr std::uint32_t kCampaigns = 5;
+  const std::vector<ScriptedEvent> script =
+      scripted_workload(97, 400, kCampaigns);
+
+  std::vector<std::vector<double>> baseline;
+  for (const std::size_t reactors : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{8}}) {
+    for (const DriveMode mode : {DriveMode::kSync, DriveMode::kPipelined,
+                                 DriveMode::kBatched}) {
+      ServerConfig config;
+      config.campaigns = kCampaigns;
+      config.reactors = reactors;
+      start(*mechanism, config);
+      Client client = connect();
+      replay_script(client, script, mode);
+      std::vector<std::vector<double>> got;
+      for (std::uint32_t c = 0; c < kCampaigns; ++c) {
+        got.push_back(client.rewards(c));
+        EXPECT_LT(client.audit(c), 1e-9);
+      }
+      stop();
+      if (baseline.empty()) {
+        baseline = std::move(got);
+      } else {
+        EXPECT_EQ(got, baseline)
+            << "reactors=" << reactors << " mode="
+            << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, ReactorInvariance,
+                         ::testing::Values(MechanismKind::kGeometric,
+                                           MechanismKind::kCdrmReciprocal,
+                                           MechanismKind::kTdrm));
+
+TEST_F(NetTest, CrossReactorResponsesStayInRequestOrder) {
+  // One connection touching four campaigns behind two reactors: at
+  // least two campaigns are owned by the reactor that did NOT accept
+  // the connection, so their requests ride the forwarding rings — and
+  // the per-session sequencer must still release every response in
+  // exact request order.
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  ServerConfig config;
+  config.campaigns = 4;
+  config.reactors = 2;
+  start(*mechanism, config);
+  Client client = connect();
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    ASSERT_EQ(client.join(c, kRoot, 1.0), 1u);
+  }
+  constexpr int kRounds = 120;
+  for (int i = 0; i < kRounds; ++i) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      client.send_request({MsgType::kContribute, c, 1, 0.25});
+    }
+    client.send_request(
+        {MsgType::kStats, static_cast<std::uint32_t>(i % 4), 0, 0.0});
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      ASSERT_EQ(client.read_response().status, Status::kOk)
+          << "round " << i << " campaign " << c;
+    }
+    const Response stats = client.read_response();
+    ASSERT_EQ(stats.status, Status::kOkStats);
+    // Campaign i%4 has its join plus one contribution per completed
+    // round; an out-of-order release would break this exact count.
+    EXPECT_EQ(stats.stats.events, static_cast<std::uint64_t>(i) + 2)
+        << "round " << i;
+  }
+  stop();
+  EXPECT_GT(server_->counters().requests_forwarded, 0u)
+      << "the layout must actually exercise cross-reactor forwarding";
+}
+
+TEST_F(NetTest, LiveServerStatsReflectServingWithoutStopping) {
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  ServerConfig config;
+  config.campaigns = 4;
+  config.reactors = 2;
+  start(*mechanism, config);
+  Client client = connect();
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    ASSERT_EQ(client.join(c, kRoot, 1.0), 1u);
+  }
+  std::vector<BatchEvent> batch(10, {BatchEvent::kContribute, 1, 0.5});
+  ASSERT_TRUE(client.send_events(1, batch).complete());
+
+  const ServerStatsBody stats = client.server_stats();
+  EXPECT_EQ(stats.reactors, 2u);
+  EXPECT_GE(stats.sessions_accepted, 1u);
+  EXPECT_GE(stats.requests_served, 5u);
+  EXPECT_EQ(stats.event_batches, 1u);
+  EXPECT_GE(stats.events_batched, 14u);  // 4 joins + 10 batched events
+  EXPECT_GT(stats.batch_flushes, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+
+  // The probe is live: more traffic, larger counters, same server.
+  client.contribute(0, 1, 1.0);
+  const ServerStatsBody later = client.server_stats();
+  EXPECT_GE(later.requests_served, stats.requests_served + 1);
+  // And the summed totals agree with the post-drain counters.
+  stop();
+  EXPECT_EQ(server_->counters().event_batches, 1u);
 }
 
 }  // namespace

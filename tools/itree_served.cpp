@@ -1,12 +1,17 @@
 // `itree-served` — the epoll reward-service daemon.
 //
-// Boots one Server hosting N campaigns of the chosen mechanism and
-// serves the binary wire protocol (docs/protocol.md) until SIGTERM /
-// SIGINT / a SHUTDOWN frame, then drains gracefully and prints an exit
-// report (session/request counters plus a per-campaign audit).
+// Boots one Server hosting N campaigns of the chosen mechanism behind
+// `--reactors` shared-nothing epoll loops (SO_REUSEPORT; see
+// net/server.h) and serves the binary wire protocol (docs/protocol.md)
+// until SIGTERM / SIGINT / a SHUTDOWN frame, then drains gracefully and
+// prints an exit report: one human-readable summary line plus one
+// machine-readable JSON object (counters, per-campaign state, worst
+// audit divergence) on its own line, so deployment scripts can assert
+// on exact fields instead of scraping prose.
 //
 // Examples:
 //   itree-served --port 7431 --campaigns 8 --mechanism geometric
+//   itree-served --reactors 4 --campaigns 8   # four epoll loops
 //   itree-served --port 0 --persist-dir /var/lib/itree  # ephemeral port
 //   itree-served --data-dir /var/lib/itree/data --fsync always
 //
@@ -19,8 +24,10 @@
 // The "listening on <host>:<port>" line on stdout is flushed before the
 // event loop starts, so scripts can wait for readiness and scrape the
 // resolved port (useful with --port 0).
+#include <algorithm>
 #include <csignal>
 #include <iostream>
+#include <sstream>
 
 #include "core/factory.h"
 #include "net/server.h"
@@ -67,8 +74,12 @@ int main(int argc, char** argv) {
                 "reject reward queries (stable error frame) instead of "
                 "falling back to O(n) batch computes when the mechanism "
                 "has no incremental serving path", false);
+  args.add_flag("--reactors",
+                "shared-nothing epoll reactor threads, each with its own "
+                "SO_REUSEPORT listener (default 1)");
   args.add_flag("--threads",
-                "worker threads for campaign sharding (default: hardware)");
+                "worker threads for campaign sharding when --reactors is 1 "
+                "(default: hardware)");
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << '\n';
     return 2;
@@ -87,6 +98,8 @@ int main(int argc, char** argv) {
         args.get_int_or("--port", 7431));
     config.campaigns =
         static_cast<std::size_t>(args.get_int_or("--campaigns", 1));
+    config.reactors =
+        static_cast<std::size_t>(args.get_int_or("--reactors", 1));
     config.idle_timeout_seconds =
         args.get_double_or("--idle-timeout", 0.0);
     config.persist_dir = args.get_or("--persist-dir", "");
@@ -124,34 +137,63 @@ int main(int argc, char** argv) {
     std::cout << "itree-served: listening on " << config.host << ':'
               << server.port() << " (" << config.campaigns
               << " campaign(s), " << mechanism->display_name() << ", "
+              << server.reactor_count() << " reactor(s), "
               << thread_count() << " thread(s))\n"
               << std::flush;
     server.run();
     g_server = nullptr;
 
-    const net::ServerCounters& counters = server.counters();
+    const net::ServerCounters counters = server.counters();
     std::cout << "itree-served: drained. sessions accepted "
               << counters.sessions_accepted << ", requests served "
-              << counters.requests_served << ", protocol errors "
-              << counters.protocol_errors << ", idle timeouts "
-              << counters.sessions_timed_out << ", backpressure stalls "
-              << counters.backpressure_stalls << ", events batched "
-              << counters.events_batched << ", batch flushes "
-              << counters.batch_flushes << '\n';
+              << counters.requests_served << ", forwarded "
+              << counters.requests_forwarded << ", protocol errors "
+              << counters.protocol_errors << '\n';
+    // Machine-readable exit report: one JSON object on one line.
+    std::ostringstream report;
+    report << "{\"daemon\":\"itree-served\""
+           << ",\"mechanism\":\"" << mechanism->display_name() << '"'
+           << ",\"reactors\":" << server.reactor_count()
+           << ",\"threads\":" << thread_count()
+           << ",\"counters\":{"
+           << "\"sessions_accepted\":" << counters.sessions_accepted
+           << ",\"sessions_closed\":" << counters.sessions_closed
+           << ",\"requests_served\":" << counters.requests_served
+           << ",\"protocol_errors\":" << counters.protocol_errors
+           << ",\"sessions_timed_out\":" << counters.sessions_timed_out
+           << ",\"backpressure_stalls\":" << counters.backpressure_stalls
+           << ",\"events_batched\":" << counters.events_batched
+           << ",\"batch_flushes\":" << counters.batch_flushes
+           << ",\"requests_forwarded\":" << counters.requests_forwarded
+           << ",\"event_batches\":" << counters.event_batches << '}';
+    if (server.storage() != nullptr) {
+      const storage::StorageCounters& stored =
+          server.storage()->counters();
+      report << ",\"storage\":{"
+             << "\"events_appended\":" << stored.events_appended
+             << ",\"commits\":" << stored.commits
+             << ",\"snapshots_written\":" << stored.snapshots_written
+             << ",\"wal_fsyncs\":" << server.storage()->wal_fsyncs()
+             << '}';
+    }
+    report << ",\"campaigns\":[";
     double worst_audit = 0.0;
     for (std::size_t i = 0; i < server.campaign_count(); ++i) {
       const RewardService& service = server.campaign(i).service();
       const double divergence = service.audit();
       worst_audit = std::max(worst_audit, divergence);
-      std::cout << "  campaign " << i << ": participants "
-                << service.tree().participant_count() << ", events "
-                << service.events_applied() << ", total reward "
-                << compact_number(service.total_reward(), 6)
-                << ", audit divergence "
-                << compact_number(divergence, 12) << '\n';
+      report << (i == 0 ? "" : ",") << "{\"campaign\":" << i
+             << ",\"participants\":"
+             << service.tree().participant_count()
+             << ",\"events\":" << service.events_applied()
+             << ",\"total_reward\":"
+             << compact_number(service.total_reward(), 6)
+             << ",\"audit_divergence\":"
+             << compact_number(divergence, 12) << '}';
     }
-    std::cout << "itree-served: worst audit divergence "
-              << compact_number(worst_audit, 12) << '\n';
+    report << "],\"worst_audit_divergence\":"
+           << compact_number(worst_audit, 12) << '}';
+    std::cout << report.str() << '\n';
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "itree-served: " << error.what() << '\n';
