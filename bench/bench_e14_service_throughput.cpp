@@ -24,10 +24,20 @@
 // incremental serving path; the audit gate then also covers
 // incremental-vs-batch divergence, and reward_events_per_sec reports
 // the join/contribute rate the daemon sustained.
+//
+// --read-scaling {0|1} (default 1) appends a replication read-scaling
+// section: a fresh durable primary plus two WAL-shipped in-memory
+// replicas, a saturating background writer, and the same reward-query
+// load measured twice — all readers on the primary, then readers
+// spread across primary + replicas. Runs on its own servers after the
+// main pass, so the final_rewards digest is unaffected.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -35,6 +45,7 @@
 #include "core/registry.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "replication/replica.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -230,6 +241,250 @@ void drive_streamed(std::uint16_t port, std::uint32_t campaign,
   settle_down_to(0);
 }
 
+/// Read-scaling section: does adding WAL-shipped read replicas buy
+/// reward-query throughput while the primary absorbs a write-heavy
+/// stream? A durable primary is seeded with a fixed population, two
+/// in-memory replicas bootstrap from it, and a closed-loop EVENT_BATCH
+/// writer runs throughout; the identical reward-query load is then
+/// measured with every reader on the primary (baseline) and with the
+/// readers spread across primary + replicas. Replica lag is sampled in
+/// records during the replicated pass. Finishes with a bit-exactness
+/// check: after the writer stops and the replicas drain, every
+/// campaign's reward vector must match the primary's exactly.
+bool run_read_scaling(itree::BenchHarness& harness,
+                      const Mechanism& mechanism,
+                      const std::string& mechanism_name,
+                      std::uint32_t campaigns,
+                      std::uint64_t queries_per_reader,
+                      std::size_t reactors) {
+  namespace fs = std::filesystem;
+  constexpr std::uint64_t kSeedJoins = 400;  ///< participants/campaign
+  constexpr std::size_t kReaders = 2;  ///< one per replica when spread
+  const fs::path dir =
+      fs::temp_directory_path() / "itree_e14_read_scaling";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  net::ServerConfig primary_config;
+  primary_config.campaigns = campaigns;
+  primary_config.reactors = reactors;
+  primary_config.storage.data_dir = dir.string();
+  primary_config.storage.mechanism_name = mechanism_name;
+  // Strict durability is the deployment where read offload matters
+  // most: every commit fsyncs, so the primary's write path stalls on
+  // the disk while replica reads keep flowing.
+  primary_config.storage.fsync = storage::FsyncPolicy::kAlways;
+  net::Server primary(mechanism, primary_config);
+  std::thread primary_loop([&primary] { primary.run(); });
+
+  // Seed the population the readers will query. The writer only
+  // contributes, so the id range stays valid on every endpoint.
+  net::Client seeder("127.0.0.1", primary.port());
+  {
+    Rng rng(2026);
+    for (std::uint32_t c = 0; c < campaigns; ++c) {
+      std::vector<net::BatchEvent> batch;
+      for (std::uint64_t j = 0; j < kSeedJoins; ++j) {
+        net::BatchEvent event;
+        event.kind = net::BatchEvent::kJoin;
+        event.node = (j == 0 || rng.bernoulli(0.2))
+                         ? kRoot
+                         : static_cast<NodeId>(1 + rng.index(j));
+        event.amount = rng.uniform(0.0, 3.0);
+        batch.push_back(event);
+        if (batch.size() == 64) {
+          seeder.send_events(c, batch);
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) {
+        seeder.send_events(c, batch);
+      }
+    }
+  }
+  const std::uint64_t seeded_seq = seeder.server_stats().committed_seq;
+
+  struct Replica {
+    std::unique_ptr<net::Server> server;
+    std::unique_ptr<replication::ReplicaSync> sync;
+    std::thread loop;
+  };
+  replication::ReplicaOptions repl_options;
+  repl_options.primary_port = primary.port();
+  std::vector<std::unique_ptr<Replica>> replicas;
+  for (int r = 0; r < 2; ++r) {
+    auto replica = std::make_unique<Replica>();
+    net::ServerConfig config;
+    config.campaigns = campaigns;
+    config.reactors = 1;
+    replica->server = std::make_unique<net::Server>(mechanism, config);
+    replica->sync = std::make_unique<replication::ReplicaSync>(
+        mechanism, *replica->server, repl_options);
+    replica->server->attach_replica(replica->sync.get(),
+                                    repl_options.serve_stale_seconds);
+    replica->loop =
+        std::thread([server = replica->server.get()] { server->run(); });
+    replicas.push_back(std::move(replica));
+  }
+  const auto wait_applied = [&](std::uint64_t seq) {
+    for (const auto& replica : replicas) {
+      while (replica->sync->applied_floor() < seq) {
+        if (replica->sync->failed()) {
+          std::cerr << "read-scaling: replica failed: "
+                    << replica->sync->last_error() << '\n';
+          return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return true;
+  };
+  bool healthy = wait_applied(seeded_seq);
+
+  // Open-loop writer at a fixed offered rate — both measured passes
+  // see the *same* primary write load (and the replicas apply the same
+  // stream in both), so the passes differ only in where reads land.
+  // Each EVENT_BATCH commit fsyncs (kAlways), stalling the primary's
+  // write path the way a strict-durability deployment does.
+  constexpr double kWriteBatchesPerSecond = 150.0;
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    net::Client client("127.0.0.1", primary.port());
+    Rng rng(7);
+    std::vector<net::BatchEvent> batch(64);
+    const double start = monotonic_seconds();
+    for (std::uint64_t i = 0;
+         !stop_writer.load(std::memory_order_relaxed); ++i) {
+      const double scheduled =
+          start + static_cast<double>(i) / kWriteBatchesPerSecond;
+      const double now = monotonic_seconds();
+      if (now < scheduled) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(scheduled - now));
+      }
+      const auto c = static_cast<std::uint32_t>(rng.index(campaigns));
+      for (net::BatchEvent& event : batch) {
+        event.kind = net::BatchEvent::kContribute;
+        event.node = static_cast<NodeId>(1 + rng.index(kSeedJoins));
+        event.amount = rng.uniform(0.0, 1.0);
+      }
+      client.send_events(c, batch);
+    }
+  });
+
+  const auto run_pass = [&](const std::vector<std::uint16_t>& ports) {
+    std::vector<std::thread> threads;
+    const double start = monotonic_seconds();
+    for (std::size_t t = 0; t < ports.size(); ++t) {
+      threads.emplace_back([&, t] {
+        net::Client client("127.0.0.1", ports[t]);
+        Rng rng(100 + static_cast<std::uint64_t>(t));
+        for (std::uint64_t q = 0; q < queries_per_reader; ++q) {
+          const auto c = static_cast<std::uint32_t>(rng.index(campaigns));
+          client.reward(c, static_cast<NodeId>(1 + rng.index(kSeedJoins)));
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    const double elapsed = monotonic_seconds() - start;
+    return static_cast<double>(queries_per_reader * ports.size()) /
+           elapsed;
+  };
+
+  double primary_rps = 0.0;
+  double replicated_rps = 0.0;
+  std::vector<double> lag_samples;
+  if (healthy) {
+    primary_rps = run_pass(std::vector<std::uint16_t>(
+        kReaders, primary.port()));
+
+    // Replicated topology: the primary keeps the writes, the replicas
+    // take all the reads (one reader pinned per endpoint type is the
+    // classic read-offload deployment).
+    std::vector<std::uint16_t> spread;
+    for (std::size_t t = 0; t < kReaders; ++t) {
+      spread.push_back(
+          replicas[t % replicas.size()]->server->port());
+    }
+    std::atomic<bool> stop_sampler{false};
+    std::thread sampler([&] {
+      do {
+        for (const auto& replica : replicas) {
+          const std::uint64_t shipped = replica->sync->primary_seq();
+          const std::uint64_t applied = replica->sync->applied_floor();
+          lag_samples.push_back(
+              shipped > applied
+                  ? static_cast<double>(shipped - applied)
+                  : 0.0);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      } while (!stop_sampler.load(std::memory_order_relaxed));
+    });
+    replicated_rps = run_pass(spread);
+    stop_sampler.store(true, std::memory_order_relaxed);
+    sampler.join();
+  }
+
+  stop_writer.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  // Convergence + bit-exactness: once the replicas drain the writer's
+  // tail, their reward vectors must equal the primary's exactly.
+  bool identical = healthy;
+  if (healthy) {
+    healthy = wait_applied(seeder.server_stats().committed_seq);
+    identical = healthy;
+    for (std::uint32_t c = 0; identical && c < campaigns; ++c) {
+      const std::vector<double> expect = seeder.rewards(c);
+      for (const auto& replica : replicas) {
+        net::Client reader("127.0.0.1", replica->server->port());
+        if (reader.rewards(c) != expect) {
+          std::cerr << "read-scaling: replica rewards diverged in "
+                       "campaign "
+                    << c << '\n';
+          identical = false;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const auto& replica : replicas) {
+    replica->server->request_shutdown();
+  }
+  for (const auto& replica : replicas) {
+    replica->loop.join();
+  }
+  primary.request_shutdown();
+  primary_loop.join();
+  fs::remove_all(dir, ec);
+  if (!healthy || !identical) {
+    return false;
+  }
+
+  const double lag_p99 = percentile(lag_samples, 99);
+  harness.json().add_metric("read_scaling_primary_rps", primary_rps);
+  harness.json().add_metric("read_scaling_replicated_rps",
+                            replicated_rps);
+  harness.json().add_metric("read_scaling_speedup",
+                            replicated_rps / primary_rps);
+  harness.json().add_metric("read_scaling_replica_lag_p99_records",
+                            lag_p99);
+  std::cout << "read scaling (" << kReaders
+            << " readers, fsync-always primary under "
+            << compact_number(kWriteBatchesPerSecond * 64.0, 0)
+            << " writes/s): primary-only "
+            << compact_number(primary_rps, 0)
+            << " reward queries/s; primary + 2 replicas "
+            << compact_number(replicated_rps, 0) << " queries/s ("
+            << compact_number(replicated_rps / primary_rps, 2)
+            << "x); replica lag p99 " << compact_number(lag_p99, 0)
+            << " records\n";
+  return true;
+}
+
 int parse_flag(int* argc, char** argv, const std::string& flag,
                int fallback) {
   int out = 1;
@@ -303,6 +558,8 @@ int main(int argc, char** argv) {
       parse_flag(&argc, argv, "--open-loop", 0));
   const std::string mechanism_name =
       parse_string_flag(&argc, argv, "--mechanism", "geometric");
+  const bool read_scaling =
+      parse_flag(&argc, argv, "--read-scaling", 1) != 0;
   if (stream.batch == 0 || stream.pipeline == 0) {
     std::cerr << "--batch and --pipeline must be >= 1\n";
     return 2;
@@ -461,6 +718,14 @@ int main(int argc, char** argv) {
   if (worst_audit >= 1e-9) {
     std::cerr << "audit divergence " << worst_audit << " too large\n";
     return 1;
+  }
+
+  if (read_scaling) {
+    // Own servers, own data dir — the digests above are untouched.
+    if (!run_read_scaling(harness, *mechanism, mechanism_name, campaigns,
+                          requests, reactors)) {
+      return 1;
+    }
   }
   return harness.finish();
 }

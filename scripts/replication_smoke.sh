@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Replication smoke for the WAL-shipping read-replica path
+# (docs/replication.md). One durable primary plus two replicas (one
+# durable — snapshot-seeded data dir — and one purely in-memory):
+#
+#   1. Token-consistent reads: a loadgen writes to the primary while
+#      every reward query goes round-robin to the replicas carrying the
+#      last write ack's sequence token, so each read observes the
+#      writer's own writes across the primary/replica boundary; the
+#      --check audit gate runs on top.
+#   2. Write fencing: a write workload pointed at a replica must be
+#      refused (NOT_PRIMARY carries the primary's endpoint), not
+#      silently absorbed.
+#   3. Digest equality: after the stream drains, the per-campaign
+#      verification lines (participants, events, total reward, rewards
+#      digest) must be byte-identical on the primary and both replicas.
+#      The audit field is a tiny float from an incremental-vs-batch
+#      recompute and is compared by --check, not by diff.
+#
+# Usage: scripts/replication_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVED="$BUILD_DIR/tools/itree-served"
+LOADGEN="$BUILD_DIR/tools/itree-loadgen"
+WORK="$(mktemp -d)"
+PIDS=()
+trap 'kill -KILL "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+start_daemon() {  # $1 = log name, rest = extra itree-served flags
+  local log="$WORK/$1"
+  shift
+  : > "$log"
+  "$SERVED" --port 0 --campaigns 3 "$@" > "$log" 2>&1 &
+  PIDS+=("$!")
+  for _ in $(seq 1 150); do
+    grep -q 'listening on' "$log" && break
+    sleep 0.1
+  done
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log")
+  if [ -z "$PORT" ]; then
+    echo "daemon failed to start:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+}
+
+# Per-campaign verification lines of one endpoint, audit field
+# stripped (see header).
+verify_lines() {  # $1 = port
+  "$LOADGEN" --port "$1" --campaigns 3 --verify-only \
+      | grep '^campaign ' | sed 's/, audit [^,]*//'
+}
+
+echo "== boot: durable primary, durable replica, in-memory replica =="
+start_daemon primary.log --data-dir "$WORK/primary" --reactors 2
+PRIMARY_PORT=$PORT
+start_daemon replica1.log --replica-of "127.0.0.1:$PRIMARY_PORT" \
+    --data-dir "$WORK/replica1"
+R1_PORT=$PORT
+start_daemon replica2.log --replica-of "127.0.0.1:$PRIMARY_PORT"
+R2_PORT=$PORT
+
+echo "== token-consistent reads through both replicas =="
+"$LOADGEN" --port "$PRIMARY_PORT" --connections 3 --campaigns 3 \
+    --requests 2000 \
+    --replica "127.0.0.1:$R1_PORT,127.0.0.1:$R2_PORT" --check
+
+echo "== writes against a replica are fenced off =="
+if "$LOADGEN" --port "$R1_PORT" --connections 1 --campaigns 1 \
+    --requests 50 > "$WORK/fence.log" 2>&1; then
+  echo "a replica accepted writes" >&2
+  cat "$WORK/fence.log" >&2
+  exit 1
+fi
+grep -q "$PRIMARY_PORT" "$WORK/fence.log"  # redirect names the primary
+
+echo "== digest equality: primary and both replicas =="
+verify_lines "$PRIMARY_PORT" > "$WORK/primary.txt"
+cat "$WORK/primary.txt"
+for endpoint in "$R1_PORT:replica1" "$R2_PORT:replica2"; do
+  port="${endpoint%%:*}"
+  name="${endpoint#*:}"
+  caught_up=""
+  for _ in $(seq 1 100); do  # the replicas may still be draining
+    verify_lines "$port" > "$WORK/$name.txt"
+    if diff -q "$WORK/primary.txt" "$WORK/$name.txt" > /dev/null; then
+      caught_up=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ -z "$caught_up" ]; then
+    echo "$name never converged on the primary's state:" >&2
+    diff -u "$WORK/primary.txt" "$WORK/$name.txt" >&2 || true
+    exit 1
+  fi
+  echo "-- $name state identical to the primary"
+done
+
+# Graceful drains, replicas first: each wait fails the script unless
+# the daemon (and, for the durable ones, its drain snapshot) exited
+# cleanly.
+kill -TERM "${PIDS[1]}" "${PIDS[2]}"
+wait "${PIDS[1]}"
+wait "${PIDS[2]}"
+kill -TERM "${PIDS[0]}"
+wait "${PIDS[0]}"
+PIDS=()
+echo "replication smoke passed"

@@ -6,9 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 #include "util/io.h"
 
@@ -40,6 +43,26 @@ Client::Client(const std::string& host, std::uint16_t port) {
   }
 }
 
+Client Client::connect_with_retry(const std::string& host,
+                                  std::uint16_t port,
+                                  double max_wait_seconds) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration<double>(max_wait_seconds);
+  auto backoff = std::chrono::milliseconds(10);
+  while (true) {
+    try {
+      return Client(host, port);
+    } catch (const std::runtime_error&) {
+      if (clock::now() + backoff >= deadline) {
+        throw;  // budget spent: surface the last connect error
+      }
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(640));
+  }
+}
+
 Client::~Client() {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -47,7 +70,9 @@ Client::~Client() {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+    : fd_(other.fd_),
+      decoder_(std::move(other.decoder_)),
+      last_write_seq_(other.last_write_seq_) {
   other.fd_ = -1;
 }
 
@@ -85,7 +110,16 @@ Response Client::read_response() {
                                  std::strerror(errno));
     }
   }
-  return decode_response(payload);
+  Response response = decode_response(payload);
+  // Track write-ack tokens on the single response funnel, so raw
+  // call()/pipelined users get read-your-writes tokens too, not just
+  // the typed helpers. Only write acks carry a token in these
+  // statuses; REPL_* watermarks use their own statuses.
+  if (response.status == Status::kOk || response.status == Status::kOkId ||
+      response.status == Status::kOkBatch) {
+    note_write_ack(response);
+  }
+  return response;
 }
 
 Response Client::call(const Request& request) {
@@ -99,6 +133,12 @@ Response Client::read_checked() {
     throw ServiceError(response.error, response.message);
   }
   return response;
+}
+
+void Client::note_write_ack(const Response& response) {
+  if (response.seq > last_write_seq_) {
+    last_write_seq_ = response.seq;
+  }
 }
 
 NodeId Client::join(std::uint32_t campaign, NodeId referrer,
@@ -130,6 +170,16 @@ double Client::reward(std::uint32_t campaign, NodeId participant) {
   request.type = MsgType::kReward;
   request.campaign = campaign;
   request.node = participant;
+  return call(request).value;
+}
+
+double Client::reward_query_at(std::uint32_t campaign, NodeId participant,
+                               std::uint64_t min_seq) {
+  Request request;
+  request.type = MsgType::kRewardAt;
+  request.campaign = campaign;
+  request.node = participant;
+  request.seq = min_seq;
   return call(request).value;
 }
 
@@ -175,6 +225,7 @@ BatchResult Client::send_events(std::uint32_t campaign,
   result.results = std::move(response.batch_results);
   result.error = response.error;
   result.message = std::move(response.message);
+  result.seq = response.seq;
   return result;
 }
 

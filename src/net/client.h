@@ -39,6 +39,8 @@ struct BatchResult {
   std::vector<std::uint64_t> results;
   ErrorCode error = ErrorCode::kNone;
   std::string message;
+  /// Write-ack token of the last applied event (0 on in-memory servers).
+  std::uint64_t seq = 0;
 
   bool complete() const { return results.size() == requested; }
 };
@@ -48,6 +50,14 @@ class Client {
   /// Connects immediately; throws std::runtime_error on failure.
   Client(const std::string& host, std::uint16_t port);
   ~Client();
+
+  /// Connects with bounded exponential backoff (10 ms doubling to
+  /// 640 ms) on connection refusal/reset, for up to `max_wait_seconds`
+  /// — tools no longer race server startup with sleeps. Throws the
+  /// last connect error once the budget is spent.
+  static Client connect_with_retry(const std::string& host,
+                                   std::uint16_t port,
+                                   double max_wait_seconds = 10.0);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -62,6 +72,12 @@ class Client {
   void contribute(std::uint32_t campaign, NodeId participant,
                   double amount);
   double reward(std::uint32_t campaign, NodeId participant);
+  /// Reward query carrying a read-your-writes token: on a replica the
+  /// answer reflects at least sequence `min_seq` (a write ack's token),
+  /// or ServiceError(kReplicaLagging) if the replica cannot catch up
+  /// within its staleness bound. On a primary it behaves like reward().
+  double reward_query_at(std::uint32_t campaign, NodeId participant,
+                         std::uint64_t min_seq);
   /// Full reward vector (index = node id; entry 0 is the root's 0).
   std::vector<double> rewards(std::uint32_t campaign);
   /// Largest incremental-vs-batch divergence (see RewardService::audit).
@@ -98,11 +114,18 @@ class Client {
   /// Half-closes the write side (the server sees EOF mid-stream).
   void shutdown_write();
 
+  /// Token of this connection's most recent acknowledged write (join /
+  /// contribute / send_events), 0 before any durable write. Hand it to
+  /// reward_query_at on a replica for read-your-writes.
+  std::uint64_t last_write_seq() const { return last_write_seq_; }
+
  private:
   Response read_checked();
+  void note_write_ack(const Response& response);
 
   int fd_ = -1;
   FrameDecoder decoder_;
+  std::uint64_t last_write_seq_ = 0;
 };
 
 }  // namespace itree::net

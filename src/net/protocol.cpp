@@ -98,7 +98,7 @@ void encode_error_tail(std::string& out, ErrorCode code,
 
 void decode_error_tail(Reader& reader, Response& response) {
   const std::uint8_t code = reader.u8();
-  if (code > static_cast<std::uint8_t>(ErrorCode::kShuttingDown)) {
+  if (code > static_cast<std::uint8_t>(ErrorCode::kSeqCompacted)) {
     throw ProtocolError("unknown error code " + std::to_string(code));
   }
   response.error = static_cast<ErrorCode>(code);
@@ -111,9 +111,15 @@ void encode_response_into(std::string& out, const Response& response) {
   put_u8(out, static_cast<std::uint8_t>(response.status));
   switch (response.status) {
     case Status::kOk:
+      // Optional trailing write-ack token. Omitted when zero so the
+      // shared pre-encoded ok_frame() stays valid for tokenless acks.
+      if (response.seq != 0) {
+        put_u64(out, response.seq);
+      }
       break;
     case Status::kOkId:
       put_u64(out, response.id);
+      put_u64(out, response.seq);
       break;
     case Status::kOkValue:
       put_f64(out, response.value);
@@ -142,6 +148,7 @@ void encode_response_into(std::string& out, const Response& response) {
       if (response.batch_results.size() < response.batch_count) {
         encode_error_tail(out, response.error, response.message);
       }
+      put_u64(out, response.seq);  // token of the last applied event
       break;
     }
     case Status::kOkServerStats: {
@@ -157,8 +164,34 @@ void encode_response_into(std::string& out, const Response& response) {
       put_u64(out, s.batch_flushes);
       put_u64(out, s.requests_forwarded);
       put_u64(out, s.event_batches);
+      put_u64(out, s.role);
+      put_u64(out, s.committed_seq);
+      put_u64(out, s.applied_seq);
+      put_u64(out, s.primary_seq);
+      put_u64(out, s.repl_records_shipped);
+      put_u64(out, s.token_waits);
+      put_u64(out, s.token_bounces);
+      put_u64(out, s.writes_redirected);
       break;
     }
+    case Status::kOkReplHello:
+      put_u32(out, response.repl.version);
+      put_u32(out, response.repl.campaigns);
+      put_u64(out, response.seq);
+      put_u64(out, response.repl.min_available_seq);
+      put_u32(out, static_cast<std::uint32_t>(response.repl.mechanism.size()));
+      out += response.repl.mechanism;
+      break;
+    case Status::kOkReplSnapshot:
+    case Status::kOkReplSegment:
+      put_u64(out, response.seq);
+      put_u64(out, response.repl.min_available_seq);
+      put_u32(out, static_cast<std::uint32_t>(response.repl.payload.size()));
+      out += response.repl.payload;
+      break;
+    case Status::kOkReplHeartbeat:
+      put_u64(out, response.seq);
+      break;
     case Status::kError:
       encode_error_tail(out, response.error, response.message);
       break;
@@ -188,8 +221,23 @@ std::string encode_request(const Request& request) {
     case MsgType::kStats:
       put_u32(out, request.campaign);
       break;
+    case MsgType::kRewardAt:
+      put_u32(out, request.campaign);
+      put_u64(out, request.node);
+      put_u64(out, request.seq);
+      break;
     case MsgType::kShutdown:
     case MsgType::kServerStats:
+    case MsgType::kReplSnapshot:
+    case MsgType::kReplHeartbeat:
+      break;
+    case MsgType::kReplHello:
+      put_u32(out, kReplProtocolVersion);
+      put_u64(out, request.seq);
+      break;
+    case MsgType::kReplSegment:
+      put_u64(out, request.seq);
+      put_u32(out, request.max_records);
       break;
     case MsgType::kEventBatch: {
       put_u32(out, request.campaign);
@@ -235,9 +283,32 @@ Request decode_request(std::string_view payload) {
       request.type = static_cast<MsgType>(type);
       request.campaign = reader.u32();
       break;
+    case MsgType::kRewardAt:
+      request.type = MsgType::kRewardAt;
+      request.campaign = reader.u32();
+      request.node = reader.u64();
+      request.seq = reader.u64();
+      break;
     case MsgType::kShutdown:
     case MsgType::kServerStats:
+    case MsgType::kReplSnapshot:
+    case MsgType::kReplHeartbeat:
       request.type = static_cast<MsgType>(type);
+      break;
+    case MsgType::kReplHello: {
+      request.type = MsgType::kReplHello;
+      const std::uint32_t version = reader.u32();
+      if (version != kReplProtocolVersion) {
+        throw ProtocolError("unsupported replication protocol version " +
+                            std::to_string(version));
+      }
+      request.seq = reader.u64();
+      break;
+    }
+    case MsgType::kReplSegment:
+      request.type = MsgType::kReplSegment;
+      request.seq = reader.u64();
+      request.max_records = reader.u32();
       break;
     case MsgType::kEventBatch: {
       request.type = MsgType::kEventBatch;
@@ -281,10 +352,14 @@ Response decode_response(std::string_view payload) {
   switch (static_cast<Status>(status)) {
     case Status::kOk:
       response.status = Status::kOk;
+      if (reader.remaining() == 8) {
+        response.seq = reader.u64();
+      }
       break;
     case Status::kOkId:
       response.status = Status::kOkId;
       response.id = reader.u64();
+      response.seq = reader.u64();
       break;
     case Status::kOkValue:
       response.status = Status::kOkValue;
@@ -326,6 +401,7 @@ Response decode_response(std::string_view payload) {
       if (applied < response.batch_count) {
         decode_error_tail(reader, response);
       }
+      response.seq = reader.u64();
       break;
     }
     case Status::kOkServerStats: {
@@ -342,8 +418,39 @@ Response decode_response(std::string_view payload) {
       s.batch_flushes = reader.u64();
       s.requests_forwarded = reader.u64();
       s.event_batches = reader.u64();
+      s.role = reader.u64();
+      s.committed_seq = reader.u64();
+      s.applied_seq = reader.u64();
+      s.primary_seq = reader.u64();
+      s.repl_records_shipped = reader.u64();
+      s.token_waits = reader.u64();
+      s.token_bounces = reader.u64();
+      s.writes_redirected = reader.u64();
       break;
     }
+    case Status::kOkReplHello: {
+      response.status = Status::kOkReplHello;
+      response.repl.version = reader.u32();
+      response.repl.campaigns = reader.u32();
+      response.seq = reader.u64();
+      response.repl.min_available_seq = reader.u64();
+      const std::uint32_t length = reader.u32();
+      response.repl.mechanism = reader.bytes(length);
+      break;
+    }
+    case Status::kOkReplSnapshot:
+    case Status::kOkReplSegment: {
+      response.status = static_cast<Status>(status);
+      response.seq = reader.u64();
+      response.repl.min_available_seq = reader.u64();
+      const std::uint32_t length = reader.u32();
+      response.repl.payload = reader.bytes(length);
+      break;
+    }
+    case Status::kOkReplHeartbeat:
+      response.status = Status::kOkReplHeartbeat;
+      response.seq = reader.u64();
+      break;
     case Status::kError: {
       response.status = Status::kError;
       decode_error_tail(reader, response);

@@ -48,6 +48,14 @@ enum class MsgType : std::uint8_t {
   kShutdown = 0x07,      ///< no fields; asks the server to drain
   kEventBatch = 0x08,    ///< campaign, count, count x batch events
   kServerStats = 0x09,   ///< no fields; live server-wide counters
+  kRewardAt = 0x0a,      ///< campaign, participant, min applied seq
+  // Replication stream (replica -> primary), 0x10-0x13. The replica is
+  // an ordinary pipelining client of the primary; shipping is pull-based
+  // so it composes with the strictly request/response framing.
+  kReplHello = 0x10,     ///< protocol version, replica's last applied seq
+  kReplSnapshot = 0x11,  ///< no fields; full snapshot v3 image
+  kReplSegment = 0x12,   ///< from seq, max records
+  kReplHeartbeat = 0x13, ///< no fields; primary's committed seq
 };
 
 enum class Status : std::uint8_t {
@@ -58,6 +66,10 @@ enum class Status : std::uint8_t {
   kOkStats = 0x84,  ///< events, participants, total reward, incremental
   kOkBatch = 0x85,  ///< EVENT_BATCH result: applied prefix + ids
   kOkServerStats = 0x86,  ///< live operational counters
+  kOkReplHello = 0x90,    ///< version, campaigns, committed/min seq, mech
+  kOkReplSnapshot = 0x91, ///< committed seq + snapshot v3 image
+  kOkReplSegment = 0x92,  ///< committed/min seq + raw WAL record bytes
+  kOkReplHeartbeat = 0x93,///< committed seq
   kError = 0xff,    ///< error code + message
 };
 
@@ -68,6 +80,12 @@ enum class ErrorCode : std::uint8_t {
   kRejected = 3,        ///< the service refused (bad node id, negative
                         ///< amount, shutdown disabled...)
   kShuttingDown = 4,    ///< server is draining
+  kNotPrimary = 5,      ///< write sent to a read replica; message names
+                        ///< the primary as "host:port"
+  kReplicaLagging = 6,  ///< REWARD_AT token not applied within the
+                        ///< replica's --serve-stale-ms bound
+  kSeqCompacted = 7,    ///< REPL_SEGMENT from_seq older than the
+                        ///< primary's oldest retained WAL record
 };
 
 /// One entry of an EVENT_BATCH frame: a join (node = referrer) or a
@@ -89,13 +107,18 @@ inline constexpr std::size_t kBatchEventWireBytes = 17;
 /// One client request. `node` is the referrer (kJoin) or the queried /
 /// contributing participant; `amount` is the (initial) contribution.
 /// Fields a message type does not use are ignored by the codec;
-/// `batch` is only meaningful for kEventBatch.
+/// `batch` is only meaningful for kEventBatch. `seq` is the
+/// read-your-writes token (kRewardAt: minimum applied sequence), the
+/// replica's last applied sequence (kReplHello), or the first requested
+/// sequence (kReplSegment); `max_records` bounds a kReplSegment reply.
 struct Request {
   MsgType type = MsgType::kStats;
   std::uint32_t campaign = 0;
   std::uint64_t node = 0;
   double amount = 0.0;
   std::vector<BatchEvent> batch;
+  std::uint64_t seq = 0;
+  std::uint32_t max_records = 0;
 
   bool operator==(const Request&) const = default;
 };
@@ -125,8 +148,33 @@ struct ServerStatsBody {
   std::uint64_t requests_forwarded = 0;
   std::uint64_t event_batches = 0;
 
+  // Replication (all zero on a standalone primary without replicas):
+  std::uint64_t role = 0;            ///< 0 primary/standalone, 1 replica
+  std::uint64_t committed_seq = 0;   ///< durable WAL watermark (primary)
+  std::uint64_t applied_seq = 0;     ///< replica: applied floor
+  std::uint64_t primary_seq = 0;     ///< replica: primary's committed seq
+  std::uint64_t repl_records_shipped = 0;
+  std::uint64_t token_waits = 0;     ///< REWARD_AT queries parked
+  std::uint64_t token_bounces = 0;   ///< parked queries past stale bound
+  std::uint64_t writes_redirected = 0;
+
   bool operator==(const ServerStatsBody&) const = default;
 };
+
+/// Replication response body (kOkReplHello / kOkReplSnapshot /
+/// kOkReplSegment). The committed sequence rides in Response::seq.
+struct ReplBody {
+  std::uint32_t version = 0;        ///< kOkReplHello
+  std::uint32_t campaigns = 0;      ///< kOkReplHello
+  std::uint64_t min_available_seq = 0;  ///< oldest shippable seq
+  std::string mechanism;            ///< kOkReplHello: display name
+  std::string payload;              ///< snapshot image / raw WAL records
+
+  bool operator==(const ReplBody&) const = default;
+};
+
+/// Replication wire protocol version spoken by this build.
+inline constexpr std::uint32_t kReplProtocolVersion = 1;
 
 /// One server response; which fields are meaningful depends on status.
 /// kOkBatch: `batch_count` echoes the request's event count and
@@ -135,6 +183,13 @@ struct ServerStatsBody {
 /// the request (`batch_results.size() < batch_count`) the event at
 /// index batch_results.size() was rejected and `error` / `message`
 /// carry the cause; later events were not applied.
+///
+/// `seq` is the write-ack consistency token: the WAL sequence assigned
+/// to the acked event (kOkId always carries it; kOk and kOkBatch carry
+/// it when the server is durable — 0 means "no token", an in-memory
+/// deployment). For replication statuses it is the primary's committed
+/// sequence. Clients hand the token back via kRewardAt for
+/// read-your-writes on a replica.
 struct Response {
   Status status = Status::kOk;
   ErrorCode error = ErrorCode::kNone;
@@ -146,6 +201,8 @@ struct Response {
   ServerStatsBody server_stats; ///< kOkServerStats
   std::uint32_t batch_count = 0;           ///< kOkBatch
   std::vector<std::uint64_t> batch_results; ///< kOkBatch
+  std::uint64_t seq = 0;        ///< write-ack token / committed seq
+  ReplBody repl;                ///< kOkRepl* bodies
 
   bool ok() const { return status != Status::kError; }
 };

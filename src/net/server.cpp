@@ -98,6 +98,9 @@ class Reactor {
     kBatchFlushes,
     kRequestsForwarded,
     kEventBatches,
+    kTokenWaits,
+    kTokenBounces,
+    kWritesRedirected,
     kCounterCount,
   };
 
@@ -162,6 +165,10 @@ class Reactor {
   void accept_ready();
   void on_readable(int fd);
   void on_writable(int fd);
+  void apply_feed();
+  void service_parked();
+  void dispatch(std::uint32_t origin, const CrossToken& token,
+                Response&& response);
   void route(Session& session, std::uint64_t seq, Request&& request);
   void forward_request(std::uint32_t owner, CrossRequest&& message);
   void push_response(std::uint32_t origin, CrossResponse&& message);
@@ -194,6 +201,16 @@ class Reactor {
   std::vector<std::unique_ptr<Session>> sessions_;  ///< indexed by fd
   /// This tick's campaign work, in arrival order (local + forwarded).
   std::vector<ReactorWork> inbox_;
+  /// Replica mode: REWARD_AT queries whose token is beyond the applied
+  /// floor, waiting (until `deadline`) for the feed to catch up.
+  struct ParkedQuery {
+    std::uint32_t origin = 0;
+    CrossToken token;
+    Request request;
+    double deadline = 0.0;
+  };
+  std::vector<ParkedQuery> parked_;
+  std::vector<ReplicaFeed::Item> feed_items_;  ///< drain scratch buffer
   /// Forwarded requests still awaiting their cross-reactor response.
   std::uint64_t outstanding_ = 0;
   /// Inbound rings, indexed by producing reactor. Entry [index_] is
@@ -306,7 +323,11 @@ void Reactor::run() {
   while (true) {
     const bool need_tick =
         draining_ || server_.config_.idle_timeout_seconds > 0;
-    const int timeout_ms = draining_ ? 20 : (need_tick ? 100 : -1);
+    // Parked token queries need their deadlines checked even when the
+    // feed is silent, so a replica with parked work ticks briskly.
+    const int timeout_ms = draining_     ? 20
+                           : !parked_.empty() ? 5
+                           : (need_tick ? 100 : -1);
     const int ready =
         ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (ready < 0) {
@@ -348,7 +369,9 @@ void Reactor::run() {
     }
 
     drain_request_rings();
+    apply_feed();
     process_tick();
+    service_parked();
     drain_response_rings();
     flush_touched();
 
@@ -507,6 +530,91 @@ void Reactor::on_readable(int fd) {
   }
 }
 
+void Reactor::apply_feed() {
+  ReplicaFeed* feed = server_.replica_feed_;
+  if (feed == nullptr) {
+    return;
+  }
+  feed_items_.clear();
+  if (!feed->drain(index_, &feed_items_)) {
+    return;
+  }
+  std::uint64_t through = 0;
+  RecordingService* batching = nullptr;
+  std::uint64_t batched = 0;
+  for (const ReplicaFeed::Item& item : feed_items_) {
+    if (item.is_event) {
+      RecordingService* campaign = server_.campaigns_[item.campaign];
+      if (campaign != batching) {
+        if (batching != nullptr) {
+          batching->flush_batch();
+          count(kBatchFlushes);
+        }
+        campaign->begin_batch();
+        batching = campaign;
+      }
+      // A shipped record was validated by the primary; a rejection here
+      // means the histories diverged, and the throw fail-stops the
+      // replica rather than serving silently wrong rewards.
+      campaign->apply(item.event);
+      ++batched;
+    }
+    if (item.through > through) {
+      through = item.through;
+    }
+  }
+  if (batching != nullptr) {
+    batching->flush_batch();
+    count(kBatchFlushes);
+  }
+  count(kEventsBatched, batched);
+  if (through > 0) {
+    feed->note_applied(index_, through);
+  }
+}
+
+void Reactor::service_parked() {
+  if (parked_.empty()) {
+    return;
+  }
+  const std::uint64_t floor = server_.replica_feed_->applied_floor();
+  const double now = monotonic_seconds();
+  std::size_t kept = 0;
+  for (ParkedQuery& parked : parked_) {
+    if (parked.request.seq <= floor) {
+      dispatch(parked.origin, parked.token,
+               server_.apply_request(parked.request));
+    } else if (draining_ || now > parked.deadline) {
+      count(kTokenBounces);
+      dispatch(parked.origin, parked.token,
+               error_response(
+                   ErrorCode::kReplicaLagging,
+                   "replica applied seq " + std::to_string(floor) +
+                       " has not reached token " +
+                       std::to_string(parked.request.seq) +
+                       " within the staleness bound"));
+    } else {
+      parked_[kept++] = std::move(parked);
+    }
+  }
+  parked_.resize(kept);
+}
+
+void Reactor::dispatch(std::uint32_t origin, const CrossToken& token,
+                       Response&& response) {
+  if (origin == index_) {
+    Session* session = session_for(token);
+    if (session != nullptr && !session->broken) {
+      deliver(*session, token.seq, std::move(response));
+    }
+    return;
+  }
+  CrossResponse message;
+  message.token = token;
+  message.response = std::move(response);
+  push_response(origin, std::move(message));
+}
+
 void Reactor::route(Session& session, std::uint64_t seq,
                     Request&& request) {
   if (request.type == MsgType::kShutdown) {
@@ -525,6 +633,25 @@ void Reactor::route(Session& session, std::uint64_t seq,
     response.status = Status::kOkServerStats;
     response.server_stats = server_.live_server_stats();
     deliver(session, seq, std::move(response));
+    return;
+  }
+  if (request.type == MsgType::kReplHello ||
+      request.type == MsgType::kReplSnapshot ||
+      request.type == MsgType::kReplSegment ||
+      request.type == MsgType::kReplHeartbeat) {
+    // Served inline on whichever reactor accepted the replica's
+    // connection; the storage engine's own locking makes this safe.
+    deliver(session, seq, server_.handle_replication(request));
+    return;
+  }
+  if (server_.replica_feed_ != nullptr &&
+      (request.type == MsgType::kJoin ||
+       request.type == MsgType::kContribute ||
+       request.type == MsgType::kEventBatch)) {
+    count(kWritesRedirected);
+    deliver(session, seq,
+            error_response(ErrorCode::kNotPrimary,
+                           server_.replica_feed_->primary_endpoint()));
     return;
   }
   if (request.campaign >= server_.campaigns_.size()) {
@@ -631,6 +758,31 @@ void Reactor::process_tick() {
   }
   std::vector<ReactorWork> tick;
   tick.swap(inbox_);
+  if (server_.replica_feed_ != nullptr) {
+    // Read-your-writes: a REWARD_AT whose token is past the applied
+    // floor parks until the feed catches up (or the staleness deadline
+    // bounces it). Queries are order-free against each other, so
+    // parking one does not reorder its session's responses — the
+    // per-session sequencer still releases answers in request order.
+    const std::uint64_t floor = server_.replica_feed_->applied_floor();
+    const double deadline =
+        monotonic_seconds() + server_.serve_stale_seconds_;
+    std::size_t kept = 0;
+    for (ReactorWork& work : tick) {
+      if (work.request.type == MsgType::kRewardAt &&
+          work.request.seq > floor) {
+        count(kTokenWaits);
+        parked_.push_back(ParkedQuery{work.origin, work.token,
+                                      std::move(work.request), deadline});
+      } else {
+        tick[kept++] = std::move(work);
+      }
+    }
+    tick.resize(kept);
+    if (tick.empty()) {
+      return;
+    }
+  }
   // Group work by campaign; each group keeps arrival order, so a
   // campaign's event sequence is independent of reactor placement and
   // thread count.
@@ -712,17 +864,7 @@ void Reactor::process_tick() {
   }
 
   for (ReactorWork& work : tick) {
-    if (work.origin == index_) {
-      Session* session = session_for(work.token);
-      if (session != nullptr && !session->broken) {
-        deliver(*session, work.token.seq, std::move(work.response));
-      }
-      continue;
-    }
-    CrossResponse message;
-    message.token = work.token;
-    message.response = std::move(work.response);
-    push_response(work.origin, std::move(message));
+    dispatch(work.origin, work.token, std::move(work.response));
   }
 }
 
@@ -764,7 +906,7 @@ void Reactor::append_response(Session& session, const Response& response) {
   }
   std::string& tail = session.outq.back();
   const std::size_t before = tail.size();
-  if (response.status == Status::kOk) {
+  if (response.status == Status::kOk && response.seq == 0) {
     tail += ok_frame();  // pre-encoded ACK, the most common response
   } else {
     try {
@@ -929,7 +1071,7 @@ void Reactor::begin_drain() {
 // --- Server -----------------------------------------------------------
 
 Server::Server(const Mechanism& mechanism, ServerConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), mechanism_(&mechanism) {
   if (config_.campaigns == 0) {
     throw std::invalid_argument("Server: need at least one campaign");
   }
@@ -968,6 +1110,18 @@ Server::Server(const Mechanism& mechanism, ServerConfig config)
 
 Server::~Server() = default;
 
+void Server::attach_replica(ReplicaFeed* feed, double serve_stale_seconds) {
+  replica_feed_ = feed;
+  serve_stale_seconds_ = serve_stale_seconds;
+  if (storage_ != nullptr) {
+    // Reactors apply shipped records to the services without the
+    // storage engine's state lock; a mid-run snapshot would observe a
+    // torn world. The drain-time snapshot (after the reactors exited)
+    // still runs.
+    storage_->disable_periodic_snapshots();
+  }
+}
+
 void Server::request_shutdown() {
   drain_requested_.store(true, std::memory_order_release);
   // Async-signal-safe: one eventfd write per reactor.
@@ -999,6 +1153,10 @@ ServerCounters Server::counters() const {
     total.requests_forwarded +=
         reactor->counter(Reactor::kRequestsForwarded);
     total.event_batches += reactor->counter(Reactor::kEventBatches);
+    total.token_waits += reactor->counter(Reactor::kTokenWaits);
+    total.token_bounces += reactor->counter(Reactor::kTokenBounces);
+    total.writes_redirected +=
+        reactor->counter(Reactor::kWritesRedirected);
   }
   return total;
 }
@@ -1017,10 +1175,30 @@ ServerStatsBody Server::live_server_stats() const {
   stats.batch_flushes = c.batch_flushes;
   stats.requests_forwarded = c.requests_forwarded;
   stats.event_batches = c.event_batches;
+  stats.token_waits = c.token_waits;
+  stats.token_bounces = c.token_bounces;
+  stats.writes_redirected = c.writes_redirected;
+  if (storage_ != nullptr) {
+    stats.committed_seq = storage_->committed_seq();
+  }
+  if (replica_feed_ != nullptr) {
+    stats.role = 1;
+    stats.applied_seq = replica_feed_->applied_floor();
+    stats.primary_seq = replica_feed_->primary_seq();
+    stats.repl_records_shipped = replica_feed_->records_shipped();
+  }
   return stats;
 }
 
 void Server::run() {
+  if (replica_feed_ != nullptr) {
+    std::vector<std::function<void()>> wakers;
+    wakers.reserve(reactors_.size());
+    for (const auto& reactor : reactors_) {
+      wakers.push_back([raw = reactor.get()] { raw->wake(); });
+    }
+    replica_feed_->start(std::move(wakers));
+  }
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(reactors_.size());
   threads.reserve(reactors_.size() - 1);
@@ -1043,6 +1221,15 @@ void Server::run() {
   for (std::thread& thread : threads) {
     thread.join();
   }
+  if (replica_feed_ != nullptr) {
+    // Join the puller before touching its queues, then apply whatever
+    // it shipped but no reactor drained — single-threaded now — so the
+    // final snapshot lands on a clean record boundary.
+    replica_feed_->stop();
+    for (const auto& reactor : reactors_) {
+      reactor->apply_feed();
+    }
+  }
   for (const std::exception_ptr& error : errors) {
     if (error) {
       std::rethrow_exception(error);
@@ -1057,9 +1244,11 @@ void Server::run() {
 }
 
 std::optional<NodeId> Server::apply_event(std::uint32_t campaign_index,
-                                          const Event& event) {
+                                          const Event& event,
+                                          std::uint64_t* out_seq) {
   if (storage_ != nullptr) {
-    return storage_->apply(campaign_index, event);  // apply + WAL append
+    // apply + WAL append; out_seq receives the assigned sequence.
+    return storage_->apply(campaign_index, event, out_seq);
   }
   return campaigns_[campaign_index]->apply(event);
 }
@@ -1081,11 +1270,13 @@ Response Server::apply_request(const Request& request) {
       case MsgType::kJoin:
         response.status = Status::kOkId;
         response.id = *apply_event(request.campaign,
-                                   JoinEvent{node, request.amount});
+                                   JoinEvent{node, request.amount},
+                                   &response.seq);
         break;
       case MsgType::kContribute:
         apply_event(request.campaign,
-                    ContributeEvent{node, request.amount});
+                    ContributeEvent{node, request.amount},
+                    &response.seq);
         response.status = Status::kOk;
         break;
       case MsgType::kEventBatch: {
@@ -1104,10 +1295,12 @@ Response Server::apply_request(const Request& request) {
             const NodeId batch_node = static_cast<NodeId>(event.node);
             if (event.kind == BatchEvent::kJoin) {
               response.batch_results.push_back(*apply_event(
-                  request.campaign, JoinEvent{batch_node, event.amount}));
+                  request.campaign, JoinEvent{batch_node, event.amount},
+                  &response.seq));
             } else {
               apply_event(request.campaign,
-                          ContributeEvent{batch_node, event.amount});
+                          ContributeEvent{batch_node, event.amount},
+                          &response.seq);
               response.batch_results.push_back(0);
             }
           } catch (const std::invalid_argument& error) {
@@ -1119,6 +1312,13 @@ Response Server::apply_request(const Request& request) {
         break;
       }
       case MsgType::kReward:
+        response.status = Status::kOkValue;
+        response.value = campaign.service().reward(node);
+        break;
+      case MsgType::kRewardAt:
+        // On the primary (and on a replica once the parking gate let it
+        // through) the token is satisfied by construction: serve it as
+        // a plain reward query.
         response.status = Status::kOkValue;
         response.value = campaign.service().reward(node);
         break;
@@ -1140,12 +1340,92 @@ Response Server::apply_request(const Request& request) {
         break;
       case MsgType::kShutdown:
       case MsgType::kServerStats:
+      case MsgType::kReplHello:
+      case MsgType::kReplSnapshot:
+      case MsgType::kReplSegment:
+      case MsgType::kReplHeartbeat:
         // Handled at decode; never reaches a campaign worker.
         return error_response(ErrorCode::kBadRequest,
                               "unexpected control frame");
     }
   } catch (const std::invalid_argument& error) {
     return error_response(ErrorCode::kRejected, error.what());
+  }
+  return response;
+}
+
+Response Server::handle_replication(const Request& request) {
+  if (replica_feed_ != nullptr) {
+    return error_response(ErrorCode::kRejected,
+                          "this server is a replica; the replication "
+                          "stream is served by the primary at " +
+                              replica_feed_->primary_endpoint());
+  }
+  if (storage_ == nullptr) {
+    return error_response(ErrorCode::kRejected,
+                          "replication requires a durable primary "
+                          "(start it with --data-dir)");
+  }
+  Response response;
+  switch (request.type) {
+    case MsgType::kReplHello: {
+      const std::uint64_t committed = storage_->committed_seq();
+      if (request.seq > committed) {
+        return error_response(
+            ErrorCode::kRejected,
+            "replica claims applied seq " + std::to_string(request.seq) +
+                " beyond the primary's committed " +
+                std::to_string(committed) + "; histories diverged");
+      }
+      response.status = Status::kOkReplHello;
+      response.seq = committed;
+      response.repl.version = kReplProtocolVersion;
+      response.repl.campaigns =
+          static_cast<std::uint32_t>(campaigns_.size());
+      response.repl.min_available_seq = storage_->min_available_seq();
+      response.repl.mechanism = mechanism_->display_name();
+      break;
+    }
+    case MsgType::kReplSnapshot: {
+      std::string image = storage_->encode_state_snapshot();
+      // The image must fit one frame (with the body's fixed fields);
+      // deployments beyond ~16 MiB of state need file-level seeding.
+      if (image.size() + 64 > kMaxFrameBytes) {
+        return error_response(ErrorCode::kRejected,
+                              "snapshot image exceeds the frame size "
+                              "limit; seed the replica from a file copy");
+      }
+      response.status = Status::kOkReplSnapshot;
+      response.seq = storage_->committed_seq();
+      response.repl.min_available_seq = storage_->min_available_seq();
+      response.repl.payload = std::move(image);
+      break;
+    }
+    case MsgType::kReplSegment: {
+      storage::ReplicationWindow window =
+          storage_->read_replication_window(request.seq,
+                                            request.max_records);
+      if (window.count == 0 && request.seq < window.min_available_seq) {
+        return error_response(
+            ErrorCode::kSeqCompacted,
+            "records from seq " + std::to_string(request.seq) +
+                " were compacted (oldest available " +
+                std::to_string(window.min_available_seq) +
+                "); re-bootstrap from a snapshot");
+      }
+      response.status = Status::kOkReplSegment;
+      response.seq = window.committed_seq;
+      response.repl.min_available_seq = window.min_available_seq;
+      response.repl.payload = std::move(window.records);
+      break;
+    }
+    case MsgType::kReplHeartbeat:
+      response.status = Status::kOkReplHeartbeat;
+      response.seq = storage_->committed_seq();
+      break;
+    default:
+      return error_response(ErrorCode::kBadRequest,
+                            "not a replication frame");
   }
   return response;
 }

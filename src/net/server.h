@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -53,6 +54,49 @@
 namespace itree::net {
 
 class Reactor;  // internal to server.cpp
+
+/// The stream of primary records feeding a replica server's reactors.
+/// Implemented by replication::ReplicaSync (src/replication); the
+/// interface lives here so net does not depend on the replication
+/// library. One consumer slot per reactor; campaign c's records go to
+/// consumer (c mod reactors), watermark-only items go to every
+/// consumer so lag floors advance even on reactors that own no
+/// campaigns of the current batch.
+class ReplicaFeed {
+ public:
+  struct Item {
+    std::uint32_t campaign = 0;
+    bool is_event = false;    ///< false: watermark advance only
+    Event event;              ///< valid when is_event
+    std::uint64_t through = 0;  ///< applied floor after this item
+  };
+
+  virtual ~ReplicaFeed() = default;
+
+  /// Starts the shipping thread; `wakers[i]` pokes consumer i's
+  /// reactor after a push. Called by Server::run() before the reactors
+  /// start.
+  virtual void start(std::vector<std::function<void()>> wakers) = 0;
+  /// Stops and joins the shipping thread (idempotent).
+  virtual void stop() = 0;
+  /// Moves consumer `consumer`'s pending items into *out (appending).
+  /// Returns false when there was nothing pending.
+  virtual bool drain(std::size_t consumer, std::vector<Item>* out) = 0;
+  /// Consumer `consumer` finished applying everything up to `through`.
+  virtual void note_applied(std::size_t consumer, std::uint64_t through) = 0;
+  /// min over consumers of their applied watermark — every record at
+  /// or below it is visible to queries on every campaign.
+  virtual std::uint64_t applied_floor() const = 0;
+  /// The primary's committed sequence as of the last exchange.
+  virtual std::uint64_t primary_seq() const = 0;
+  virtual std::uint64_t records_shipped() const = 0;
+  /// "host:port" of the primary, for write-redirect error messages.
+  virtual const std::string& primary_endpoint() const = 0;
+  /// True after an unrecoverable shipping failure (divergent
+  /// histories, mechanism mismatch); the replica keeps serving its
+  /// last applied state.
+  virtual bool failed() const = 0;
+};
 
 struct ServerConfig {
   std::string host = "127.0.0.1";
@@ -109,6 +153,12 @@ struct ServerCounters {
   std::uint64_t requests_forwarded = 0;
   /// EVENT_BATCH frames decoded.
   std::uint64_t event_batches = 0;
+  /// REWARD_AT queries parked until the replica applied their token.
+  std::uint64_t token_waits = 0;
+  /// Parked queries bounced at the --serve-stale-ms deadline.
+  std::uint64_t token_bounces = 0;
+  /// Writes rejected with kNotPrimary on a replica.
+  std::uint64_t writes_redirected = 0;
 };
 
 class Server {
@@ -144,6 +194,23 @@ class Server {
   /// The storage engine, or nullptr when running in-memory only.
   const storage::Storage* storage() const { return storage_.get(); }
 
+  /// Turns this server into a read replica: writes bounce with a
+  /// kNotPrimary redirect, `feed`'s records are applied by the owning
+  /// reactors, and REWARD_AT queries whose token is beyond the applied
+  /// floor wait up to `serve_stale_seconds` before bouncing with
+  /// kReplicaLagging. Must be called before run(); the feed must
+  /// outlive it. The feed's consumer count must equal reactor_count().
+  void attach_replica(ReplicaFeed* feed, double serve_stale_seconds);
+
+  bool is_replica() const { return replica_feed_ != nullptr; }
+
+  /// Mutable campaign/storage access for replica bootstrap (snapshot
+  /// restore + tail replay before run(); src/replication only).
+  RecordingService& mutable_campaign(std::size_t index) {
+    return *campaigns_.at(index);
+  }
+  storage::Storage* mutable_storage() { return storage_.get(); }
+
   /// Sums the per-reactor counters. Exact after run() returns; while
   /// the loops are live it is a relaxed-atomic snapshot (what the
   /// SERVER_STATS wire message reports).
@@ -156,13 +223,19 @@ class Server {
 
   /// Applies one event to a campaign — through the storage engine (WAL
   /// append) when durable, directly otherwise. Returns the assigned id
-  /// for joins.
+  /// for joins; `out_seq` (durable only) receives the WAL sequence —
+  /// the write-ack consistency token.
   std::optional<NodeId> apply_event(std::uint32_t campaign_index,
-                                    const Event& event);
+                                    const Event& event,
+                                    std::uint64_t* out_seq = nullptr);
 
   /// Executes one campaign-owning request (called only by the owning
   /// reactor, inside its tick).
   Response apply_request(const Request& request);
+
+  /// Serves one REPL_* frame on the primary (any reactor thread; the
+  /// storage engine's locking makes it safe).
+  Response handle_replication(const Request& request);
 
   /// Builds the SERVER_STATS response body from the live counters.
   ServerStatsBody live_server_stats() const;
@@ -171,6 +244,9 @@ class Server {
 
   ServerConfig config_;
   std::uint16_t port_ = 0;
+  const Mechanism* mechanism_ = nullptr;
+  ReplicaFeed* replica_feed_ = nullptr;  ///< non-null: read replica
+  double serve_stale_seconds_ = 1.0;
 
   /// Observers into either owned_campaigns_ or storage_'s campaigns.
   std::vector<RecordingService*> campaigns_;

@@ -1,0 +1,67 @@
+#include "replication/repl_client.h"
+
+namespace itree::replication {
+
+ReplClient::ReplClient(const std::string& host, std::uint16_t port,
+                       double connect_timeout_seconds)
+    : client_(net::Client::connect_with_retry(host, port,
+                                              connect_timeout_seconds)) {}
+
+PrimaryInfo ReplClient::hello(std::uint64_t last_applied_seq) {
+  net::Request request;
+  request.type = net::MsgType::kReplHello;
+  request.seq = last_applied_seq;
+  const net::Response response = client_.call(request);
+  if (response.status != net::Status::kOkReplHello) {
+    throw net::ProtocolError("REPL_HELLO: unexpected response status");
+  }
+  PrimaryInfo info;
+  info.version = response.repl.version;
+  info.campaigns = response.repl.campaigns;
+  info.committed_seq = response.seq;
+  info.min_available_seq = response.repl.min_available_seq;
+  info.mechanism = response.repl.mechanism;
+  return info;
+}
+
+SnapshotFetch ReplClient::fetch_snapshot() {
+  net::Request request;
+  request.type = net::MsgType::kReplSnapshot;
+  net::Response response = client_.call(request);
+  if (response.status != net::Status::kOkReplSnapshot) {
+    throw net::ProtocolError("REPL_SNAPSHOT: unexpected response status");
+  }
+  SnapshotFetch fetch;
+  fetch.committed_seq = response.seq;
+  fetch.image = std::move(response.repl.payload);
+  return fetch;
+}
+
+SegmentFetch ReplClient::fetch_segment(std::uint64_t from_seq,
+                                       std::uint32_t max_records) {
+  net::Request request;
+  request.type = net::MsgType::kReplSegment;
+  request.seq = from_seq;
+  request.max_records = max_records;
+  net::Response response = client_.call(request);
+  if (response.status != net::Status::kOkReplSegment) {
+    throw net::ProtocolError("REPL_SEGMENT: unexpected response status");
+  }
+  SegmentFetch fetch;
+  fetch.committed_seq = response.seq;
+  fetch.min_available_seq = response.repl.min_available_seq;
+  fetch.records = std::move(response.repl.payload);
+  return fetch;
+}
+
+std::uint64_t ReplClient::heartbeat() {
+  net::Request request;
+  request.type = net::MsgType::kReplHeartbeat;
+  const net::Response response = client_.call(request);
+  if (response.status != net::Status::kOkReplHeartbeat) {
+    throw net::ProtocolError("REPL_HEARTBEAT: unexpected response status");
+  }
+  return response.seq;
+}
+
+}  // namespace itree::replication

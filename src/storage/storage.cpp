@@ -261,6 +261,7 @@ Storage::Storage(const Mechanism& mechanism, std::size_t campaigns,
   writer_ = std::make_unique<WalWriter>(
       config_.data_dir, recovered.next_seq, config_.fsync,
       config_.fsync_interval_seconds, config_.segment_bytes);
+  committed_seq_.store(recovered.next_seq - 1, std::memory_order_release);
 }
 
 Storage::~Storage() = default;  // WalWriter's destructor flushes and syncs
@@ -273,7 +274,8 @@ const RecordingService& Storage::campaign(std::size_t index) const {
   return *campaigns_.at(index);
 }
 
-std::optional<NodeId> Storage::apply(std::uint32_t index, const Event& event) {
+std::optional<NodeId> Storage::apply(std::uint32_t index, const Event& event,
+                                     std::uint64_t* out_seq) {
   // Shared lock: reactors apply concurrently (different campaigns);
   // only a snapshot needs the world stopped.
   const std::shared_lock<std::shared_mutex> state(state_mutex_);
@@ -283,11 +285,141 @@ std::optional<NodeId> Storage::apply(std::uint32_t index, const Event& event) {
   const std::optional<NodeId> id = campaign.apply(event);
   {
     const std::lock_guard<std::mutex> lock(wal_mutex_);
-    writer_->append(index, event);
+    const std::uint64_t seq = writer_->append(index, event);
     ++counters_.events_appended;
     ++events_since_snapshot_;
+    push_repl_tail_locked(seq, index, event);
+    if (out_seq != nullptr) {
+      *out_seq = seq;
+    }
   }
   return id;
+}
+
+void Storage::append_replicated(const WalRecord& record) {
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
+  const std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (writer_->next_seq() != record.seq) {
+    throw std::runtime_error(
+        "storage: shipped record seq " + std::to_string(record.seq) +
+        " does not continue the local WAL at " +
+        std::to_string(writer_->next_seq()) +
+        "; replica and primary histories diverged");
+  }
+  writer_->append(record.campaign, record.event);
+  ++counters_.events_appended;
+  ++events_since_snapshot_;
+  push_repl_tail_locked(record.seq, record.campaign, record.event);
+}
+
+void Storage::push_repl_tail_locked(std::uint64_t seq, std::uint32_t campaign,
+                                    const Event& event) {
+  if (config_.repl_tail_records == 0) {
+    return;
+  }
+  repl_tail_.emplace_back(seq,
+                          encode_wal_record(WalRecord{seq, campaign, event}));
+  while (repl_tail_.size() > config_.repl_tail_records) {
+    repl_tail_.pop_front();
+  }
+}
+
+std::uint64_t Storage::min_available_seq() const {
+  const auto segments = list_wal_segments(config_.data_dir);
+  return segments.empty() ? committed_seq() + 1 : segments.front().first;
+}
+
+ReplicationWindow Storage::read_replication_window(std::uint64_t from_seq,
+                                                   std::uint32_t max_records) {
+  ReplicationWindow window;
+  window.committed_seq = committed_seq();
+  if (from_seq == 0) {
+    from_seq = 1;
+  }
+  if (max_records == 0) {
+    max_records = 1;
+  }
+  {
+    // Fast path: a caught-up replica's window lives in the in-memory
+    // tail — no disk reads on the steady-state shipping path.
+    const std::lock_guard<std::mutex> lock(wal_mutex_);
+    if (!repl_tail_.empty() && from_seq >= repl_tail_.front().first) {
+      window.min_available_seq = repl_tail_.front().first;
+      for (std::size_t i = from_seq - repl_tail_.front().first;
+           i < repl_tail_.size() && window.count < max_records; ++i) {
+        if (repl_tail_[i].first > window.committed_seq) {
+          break;  // appended but not yet committed; never ship it
+        }
+        window.records += repl_tail_[i].second;
+        ++window.count;
+      }
+      return window;
+    }
+  }
+  // Slow path: a lagging replica reads straight from the segment
+  // files. Concurrent compaction may delete a segment between listing
+  // and scanning; serve what survived — the replica just asks again
+  // and then sees the advanced min_available_seq.
+  const auto segments = list_wal_segments(config_.data_dir);
+  if (segments.empty()) {
+    window.min_available_seq = window.committed_seq + 1;
+    return window;
+  }
+  window.min_available_seq = segments.front().first;
+  if (from_seq < window.min_available_seq) {
+    return window;  // compacted away; replica must re-bootstrap
+  }
+  std::uint64_t expected = from_seq;
+  bool done = false;
+  for (std::size_t i = 0; i < segments.size() && !done; ++i) {
+    // Skip segments wholly before the requested range.
+    if (i + 1 < segments.size() && segments[i + 1].first <= from_seq) {
+      continue;
+    }
+    WalScan scan;
+    try {
+      scan = scan_wal_file(config_.data_dir + "/" + segments[i].second);
+    } catch (const std::runtime_error&) {
+      break;  // deleted by concurrent compaction
+    }
+    for (const WalRecord& record : scan.records) {
+      if (record.seq < from_seq) {
+        continue;
+      }
+      if (record.seq != expected || record.seq > window.committed_seq ||
+          window.count >= max_records) {
+        done = true;
+        break;
+      }
+      window.records += encode_wal_record(record);
+      ++window.count;
+      ++expected;
+    }
+  }
+  return window;
+}
+
+std::string Storage::encode_state_snapshot() {
+  const std::unique_lock<std::shared_mutex> state(state_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(wal_mutex_);
+    writer_->sync();
+    committed_seq_.store(writer_->next_seq() - 1, std::memory_order_release);
+  }
+  SnapshotData data;
+  data.last_seq = writer_->next_seq() - 1;
+  data.mechanism = mechanism_->display_name();
+  data.campaigns.reserve(campaigns_.size());
+  for (const auto& campaign : campaigns_) {
+    CampaignSnapshot snap;
+    snap.events_applied = campaign->service().events_applied();
+    snap.tree = campaign->service().tree();
+    snap.aggregate_kind =
+        static_cast<std::uint8_t>(campaign->service().aggregate_kind());
+    snap.aggregates = campaign->service().export_aggregates();
+    data.campaigns.push_back(std::move(snap));
+  }
+  return encode_snapshot(data);
 }
 
 void Storage::commit() {
@@ -296,6 +428,7 @@ void Storage::commit() {
     const std::shared_lock<std::shared_mutex> state(state_mutex_);
     const std::lock_guard<std::mutex> lock(wal_mutex_);
     writer_->commit();
+    committed_seq_.store(writer_->next_seq() - 1, std::memory_order_release);
     ++counters_.commits;
     snapshot_due = config_.snapshot_every > 0 &&
                    events_since_snapshot_ >= config_.snapshot_every;
@@ -322,6 +455,7 @@ void Storage::snapshot_locked() {
   // so the snapshot at next_seq-1 covers the entire WAL and all of it
   // can be compacted away.
   writer_->rotate();
+  committed_seq_.store(writer_->next_seq() - 1, std::memory_order_release);
 
   SnapshotData data;
   data.last_seq = writer_->next_seq() - 1;

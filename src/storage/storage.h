@@ -30,12 +30,15 @@
 //     snap-<seq16>.snap   snapshots, covered watermark in the name
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/mechanism.h"
@@ -59,6 +62,10 @@ struct StorageConfig {
   /// --params text.
   std::string mechanism_name;
   std::string mechanism_params;
+  /// Committed records kept in memory for replication shipping, so a
+  /// caught-up replica never touches the disk path. 0 disables the
+  /// tail buffer (replicas then ship straight from segment files).
+  std::size_t repl_tail_records = 65536;
 };
 
 /// Deployment identity, persisted as the MANIFEST file.
@@ -109,6 +116,18 @@ struct StorageCounters {
   std::uint64_t segments_deleted = 0;
 };
 
+/// One batch of the replication stream: committed WAL records starting
+/// at the requested sequence, in their framed on-disk encoding (the
+/// replica CRC-verifies with the same scanner recovery uses).
+struct ReplicationWindow {
+  std::string records;      ///< concatenated encode_wal_record() bytes
+  std::uint32_t count = 0;  ///< records in `records`
+  std::uint64_t committed_seq = 0;      ///< durable watermark now
+  std::uint64_t min_available_seq = 1;  ///< oldest shippable seq; a
+                                        ///< from_seq below it was
+                                        ///< compacted away
+};
+
 class Storage {
  public:
   /// Opens (creating if needed) the data directory, writes or
@@ -132,8 +151,33 @@ class Storage {
   /// logged. Safe to call concurrently for *different* campaigns (the
   /// WAL append is serialized internally, snapshots are excluded via a
   /// shared lock); per campaign the caller must apply serially, as the
-  /// owning reactor's campaign groups do.
-  std::optional<NodeId> apply(std::uint32_t index, const Event& event);
+  /// owning reactor's campaign groups do. When `out_seq` is non-null it
+  /// receives the WAL sequence assigned to the event — the write-ack
+  /// consistency token (durable only after the next commit()).
+  std::optional<NodeId> apply(std::uint32_t index, const Event& event,
+                              std::uint64_t* out_seq = nullptr);
+
+  /// Replica-side ingest: logs a record shipped from the primary,
+  /// asserting it continues the local sequence exactly (a gap or
+  /// repeat means the streams diverged — fail stop). The caller is the
+  /// single replication puller thread; the shipped event must also be
+  /// applied to the owning campaign by its reactor.
+  void append_replicated(const WalRecord& record);
+
+  /// Primary-side shipping: committed records from `from_seq` on
+  /// (served from the in-memory tail when possible, else re-read from
+  /// segment files), at most `max_records` of them. An empty window
+  /// with min_available_seq > from_seq means the range was compacted
+  /// and the replica must re-bootstrap from a snapshot.
+  ReplicationWindow read_replication_window(std::uint64_t from_seq,
+                                            std::uint32_t max_records);
+
+  /// Encodes a snapshot v3 image of the full deployment at the current
+  /// watermark *without* writing it to disk or compacting — the
+  /// replica-bootstrap payload. Quiesces apply/commit (exclusive lock)
+  /// and makes every assigned sequence durable first, so the image's
+  /// last_seq equals committed_seq() on return.
+  std::string encode_state_snapshot();
 
   /// Group commit: one write() for everything applied since the last
   /// commit, fsync per policy, segment rotation, and — when
@@ -142,6 +186,11 @@ class Storage {
   /// reactor calls it at the end of its tick, before flushing that
   /// tick's responses.
   void commit();
+
+  /// Replica mode: shipped records are applied to the services outside
+  /// the state lock, so commit()-triggered snapshots must not run.
+  /// Call before any concurrent use.
+  void disable_periodic_snapshots() { config_.snapshot_every = 0; }
 
   /// Snapshots all campaigns at the current watermark, then compacts:
   /// WAL segments fully covered by the snapshot are deleted and only
@@ -152,12 +201,24 @@ class Storage {
   const RecoveryReport& recovery() const { return recovery_; }
   const StorageCounters& counters() const { return counters_; }
   std::uint64_t next_seq() const { return writer_->next_seq(); }
+  /// Highest sequence guaranteed written to the segment file (advanced
+  /// by commit()/snapshots). Only committed records are shipped.
+  std::uint64_t committed_seq() const {
+    return committed_seq_.load(std::memory_order_acquire);
+  }
+  /// Oldest sequence still shippable (the first record on disk);
+  /// committed_seq()+1 when the log is empty. Anything older was
+  /// compacted into a snapshot.
+  std::uint64_t min_available_seq() const;
   std::uint64_t wal_fsyncs() const { return writer_->fsync_count(); }
   const StorageConfig& config() const { return config_; }
 
  private:
   /// Snapshot body; caller holds state_mutex_ exclusively.
   void snapshot_locked();
+  /// Appends to the replication tail buffer; caller holds wal_mutex_.
+  void push_repl_tail_locked(std::uint64_t seq, std::uint32_t campaign,
+                             const Event& event);
 
   const Mechanism* mechanism_;
   StorageConfig config_;
@@ -175,6 +236,12 @@ class Storage {
   RecoveryReport recovery_;
   StorageCounters counters_;
   std::uint64_t events_since_snapshot_ = 0;
+  /// Advanced after the writer's buffer reaches the file. Readable
+  /// lock-free by the replication serving path and SERVER_STATS.
+  std::atomic<std::uint64_t> committed_seq_{0};
+  /// Recent records in on-disk encoding, (seq, bytes), guarded by
+  /// wal_mutex_; contiguous seqs, capped at repl_tail_records.
+  std::deque<std::pair<std::uint64_t, std::string>> repl_tail_;
 };
 
 }  // namespace itree::storage

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "net/protocol.h"
+#include "replication/replica.h"
 #include "server/event_log.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
@@ -399,6 +400,202 @@ TEST(Fuzz, SnapshotDecoderNeverCrashesOnMutations) {
   std::string oversized(storage::kSnapshotMagic);
   oversized += std::string(8, '\xff');
   EXPECT_THROW(storage::decode_snapshot(oversized), std::invalid_argument);
+}
+
+TEST(Fuzz, ReplicationFramesSurviveMutationAndTruncation) {
+  // The replication frames ride the same codecs as everything else:
+  // every REPL_* request and OK_REPL_* response, mutated or truncated
+  // at any point, must parse or throw ProtocolError — never crash or
+  // return without consuming the whole payload.
+  Rng rng(1010);
+  std::vector<std::string> seeds;
+
+  net::Request hello;
+  hello.type = net::MsgType::kReplHello;
+  hello.seq = 123456789;
+  seeds.push_back(net::encode_request(hello));
+  net::Request snapshot;
+  snapshot.type = net::MsgType::kReplSnapshot;
+  seeds.push_back(net::encode_request(snapshot));
+  net::Request segment;
+  segment.type = net::MsgType::kReplSegment;
+  segment.seq = 42;
+  segment.max_records = 8192;
+  seeds.push_back(net::encode_request(segment));
+  net::Request heartbeat;
+  heartbeat.type = net::MsgType::kReplHeartbeat;
+  seeds.push_back(net::encode_request(heartbeat));
+
+  net::Response ok_hello;
+  ok_hello.status = net::Status::kOkReplHello;
+  ok_hello.seq = 99;
+  ok_hello.repl = {net::kReplProtocolVersion, 4, 7, "TDRM", ""};
+  seeds.push_back(net::encode_response(ok_hello));
+  net::Response ok_snapshot;
+  ok_snapshot.status = net::Status::kOkReplSnapshot;
+  ok_snapshot.seq = 99;
+  ok_snapshot.repl.payload = std::string(64, '\x5a');
+  seeds.push_back(net::encode_response(ok_snapshot));
+  net::Response ok_segment;
+  ok_segment.status = net::Status::kOkReplSegment;
+  ok_segment.seq = 99;
+  ok_segment.repl.min_available_seq = 3;
+  ok_segment.repl.payload =
+      storage::encode_wal_record({7, 1, JoinEvent{kRoot, 1.5}});
+  seeds.push_back(net::encode_response(ok_segment));
+  net::Response ok_heartbeat;
+  ok_heartbeat.status = net::Status::kOkReplHeartbeat;
+  ok_heartbeat.seq = 99;
+  seeds.push_back(net::encode_response(ok_heartbeat));
+
+  for (const std::string& seed : seeds) {
+    // Round trip sanity: the unmutated encodings parse.
+    try {
+      (void)net::decode_request(seed);
+    } catch (const net::ProtocolError&) {
+      (void)net::decode_response(seed);  // must be the response seed then
+    }
+    // Every truncation point.
+    for (std::size_t cut = 0; cut < seed.size(); ++cut) {
+      const std::string torn = seed.substr(0, cut);
+      try {
+        (void)net::decode_request(torn);
+      } catch (const net::ProtocolError&) {
+      }
+      try {
+        (void)net::decode_response(torn);
+      } catch (const net::ProtocolError&) {
+      }
+    }
+    // Random byte flips, sometimes several.
+    for (int trial = 0; trial < 600; ++trial) {
+      std::string mutated = seed;
+      const std::size_t flips = 1 + rng.index(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        mutated[rng.index(mutated.size())] =
+            static_cast<char>(rng.index(256));
+      }
+      try {
+        (void)net::decode_request(mutated);
+      } catch (const net::ProtocolError&) {
+      }
+      try {
+        (void)net::decode_response(mutated);
+      } catch (const net::ProtocolError&) {
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, ShippedRecordDecoderAcceptsOnlyCleanContiguousPrefixes) {
+  // decode_shipped_records is the replica's trust boundary for bytes
+  // shipped by REPL_SEGMENT. Its contract is stronger than the raw
+  // scanner's: never throw, and anything returned must be an exact,
+  // gap-free prefix of the true record stream starting at the expected
+  // sequence — a torn or bit-flipped batch yields a shorter prefix the
+  // replica re-requests, never divergence.
+  Rng rng(1011);
+  std::vector<storage::WalRecord> original;
+  std::vector<std::string> encoded;
+  std::string blob;
+  for (std::uint64_t seq = 11; seq <= 40; ++seq) {
+    storage::WalRecord record;
+    record.seq = seq;
+    record.campaign = static_cast<std::uint32_t>(rng.index(4));
+    if (rng.bernoulli(0.6)) {
+      record.event = JoinEvent{static_cast<NodeId>(rng.index(20)),
+                               rng.uniform(0.0, 3.0)};
+    } else {
+      record.event = ContributeEvent{static_cast<NodeId>(1 + rng.index(20)),
+                                     rng.uniform(0.0, 2.0)};
+    }
+    original.push_back(record);
+    encoded.push_back(storage::encode_wal_record(record));
+    blob += encoded.back();
+  }
+
+  const auto expect_clean_prefix =
+      [&](const replication::ShippedBatch& batch) {
+        ASSERT_LE(batch.records.size(), original.size());
+        for (std::size_t i = 0; i < batch.records.size(); ++i) {
+          ASSERT_EQ(batch.records[i], original[i]) << "record " << i;
+        }
+      };
+
+  // The full blob round-trips.
+  const replication::ShippedBatch whole =
+      replication::decode_shipped_records(blob, 11);
+  EXPECT_TRUE(whole.clean);
+  ASSERT_EQ(whole.records.size(), original.size());
+  expect_clean_prefix(whole);
+
+  // Every truncation point: only whole-record prefixes, clean iff the
+  // cut landed exactly on a boundary.
+  std::vector<std::size_t> boundaries = {0};
+  for (const std::string& record : encoded) {
+    boundaries.push_back(boundaries.back() + record.size());
+  }
+  for (std::size_t cut = 0; cut <= blob.size(); ++cut) {
+    const replication::ShippedBatch batch =
+        replication::decode_shipped_records(blob.substr(0, cut), 11);
+    expect_clean_prefix(batch);
+    const bool on_boundary =
+        std::find(boundaries.begin(), boundaries.end(), cut) !=
+        boundaries.end();
+    EXPECT_EQ(batch.clean, on_boundary) << "cut " << cut;
+    if (!on_boundary) {
+      EXPECT_FALSE(batch.reason.empty());
+    }
+  }
+
+  // Bit flips: whatever survives is an untouched prefix.
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = blob;
+    const std::size_t flips = 1 + rng.index(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.index(mutated.size());
+      mutated[at] = static_cast<char>(mutated[at] ^ (1u << rng.index(8)));
+    }
+    const replication::ShippedBatch batch =
+        replication::decode_shipped_records(mutated, 11);
+    expect_clean_prefix(batch);
+  }
+
+  // A sequence gap (dropped middle record) stops the batch at the gap
+  // even though every record is individually CRC-clean.
+  std::string gapped;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    if (i != 5) {
+      gapped += encoded[i];
+    }
+  }
+  const replication::ShippedBatch gap =
+      replication::decode_shipped_records(gapped, 11);
+  EXPECT_FALSE(gap.clean);
+  EXPECT_EQ(gap.records.size(), 5u);
+  expect_clean_prefix(gap);
+  EXPECT_NE(gap.reason.find("gap"), std::string::npos);
+
+  // A batch whose first record is not the expected sequence is wholly
+  // rejected (the primary answered the wrong window).
+  const replication::ShippedBatch skewed =
+      replication::decode_shipped_records(blob, 12);
+  EXPECT_FALSE(skewed.clean);
+  EXPECT_TRUE(skewed.records.empty());
+
+  // Pure noise never crashes.
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string noise;
+    const std::size_t length = rng.index(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      noise += static_cast<char>(
+          rng.bernoulli(0.5) ? rng.index(8) : rng.index(256));
+    }
+    const replication::ShippedBatch batch =
+        replication::decode_shipped_records(noise, 1);
+    EXPECT_TRUE(batch.records.empty() || batch.records.front().seq == 1);
+  }
 }
 
 TEST(Fuzz, DeeplyNestedTreesParseWithinStackLimits) {

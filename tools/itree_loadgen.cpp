@@ -58,8 +58,43 @@ struct ConnectionReport {
   std::vector<double> latencies_seconds;
   std::uint64_t requests = 0;  ///< frames sent (a batch frame counts 1)
   std::uint64_t reward_events = 0;  ///< joins + contributions sent
+  std::uint64_t replica_reads = 0;  ///< queries routed to replicas
   std::string error;  // non-empty: the connection failed
 };
+
+/// Parses "host:port[,host:port...]" (the --replica flag).
+std::vector<std::pair<std::string, std::uint16_t>> parse_endpoints(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+  if (text.empty()) {
+    return endpoints;
+  }
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string part = text.substr(begin, end - begin);
+    const std::size_t colon = part.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == part.size()) {
+      throw std::invalid_argument("--replica: expected HOST:PORT, got '" +
+                                  part + "'");
+    }
+    const int port = std::stoi(part.substr(colon + 1));
+    if (port <= 0 || port > 65535) {
+      throw std::invalid_argument("--replica: bad port in '" + part + "'");
+    }
+    endpoints.emplace_back(part.substr(0, colon),
+                           static_cast<std::uint16_t>(port));
+    begin = end + 1;
+    if (end == text.size()) {
+      break;
+    }
+  }
+  return endpoints;
+}
 
 /// Mechanism labels accepted by --mechanism; purely a report label (the
 /// mechanism itself is chosen when the daemon starts), but validated so
@@ -120,25 +155,58 @@ Decision next_decision(Rng& rng, std::uint32_t campaign, std::uint64_t i,
 /// closed-loop one-frame-at-a-time mode; `rng` must be a dedicated
 /// fork so the stream is identical regardless of how other connections
 /// interleave.
-void drive_connection(const std::string& host, std::uint16_t port,
-                      std::uint32_t campaign, std::uint64_t requests,
-                      Rng rng, ConnectionReport* report) {
+void drive_connection(
+    const std::string& host, std::uint16_t port, std::uint32_t campaign,
+    std::uint64_t requests, Rng rng,
+    const std::vector<std::pair<std::string, std::uint16_t>>& replicas,
+    ConnectionReport* report) {
   try {
-    net::Client client(host, port);
+    net::Client client = net::Client::connect_with_retry(host, port);
+    // Read split: with --replica, query frames go round-robin to the
+    // replicas instead of the primary. Reward queries carry this
+    // connection's last write-ack token (REWARD_AT), so every read
+    // observes this writer's own events — read-your-writes across the
+    // primary/replica boundary. The event stream itself is untouched,
+    // so the final reward digests are unchanged by the split.
+    std::vector<net::Client> readers;
+    readers.reserve(replicas.size());
+    for (const auto& [replica_host, replica_port] : replicas) {
+      readers.push_back(
+          net::Client::connect_with_retry(replica_host, replica_port));
+    }
     std::vector<NodeId> mine;  // participants this connection created
     report->latencies_seconds.reserve(requests);
     for (std::uint64_t i = 0; i < requests; ++i) {
       const Decision decision = next_decision(rng, campaign, i, mine);
       net::Request request = decision.query;
+      net::Client* target = &client;
       if (decision.is_event) {
         request.type = decision.event.kind == net::BatchEvent::kJoin
                            ? net::MsgType::kJoin
                            : net::MsgType::kContribute;
         request.node = decision.event.node;
         request.amount = decision.event.amount;
+      } else if (!readers.empty()) {
+        target = &readers[report->replica_reads % readers.size()];
+        ++report->replica_reads;
+        if (request.type == net::MsgType::kReward) {
+          request.type = net::MsgType::kRewardAt;
+          request.seq = client.last_write_seq();
+        }
       }
       const double start = monotonic_seconds();
-      const net::Response response = client.call(request);
+      net::Response response;
+      try {
+        response = target->call(request);
+      } catch (const std::exception& error) {
+        throw std::runtime_error(
+            "request " + std::to_string(static_cast<int>(request.type)) +
+            " (campaign " + std::to_string(request.campaign) + ", node " +
+            std::to_string(request.node) + ", seq " +
+            std::to_string(request.seq) + ", target " +
+            (target == &client ? "primary" : "replica") +
+            "): " + error.what());
+      }
       report->latencies_seconds.push_back(monotonic_seconds() - start);
       ++report->requests;
       if (decision.is_event) {
@@ -197,7 +265,7 @@ void drive_connection_streamed(const std::string& host, std::uint16_t port,
                                StreamOptions options,
                                ConnectionReport* report) {
   try {
-    net::Client client(host, port);
+    net::Client client = net::Client::connect_with_retry(host, port);
     std::vector<NodeId> mine;
     // The server assigns ids sequentially per campaign; seed the
     // prediction from live state so streamed runs compose (a second
@@ -316,6 +384,15 @@ int main(int argc, char** argv) {
                 "(0 = closed loop; > 0 requires --connections == "
                 "--campaigns); latency is measured from each request's "
                 "scheduled arrival");
+  args.add_flag("--replica",
+                "read replicas as HOST:PORT[,HOST:PORT...] (classic mode "
+                "only): query frames go round-robin to the replicas, "
+                "reward queries as REWARD_AT carrying the writer's last "
+                "write-ack token (read-your-writes)");
+  args.add_flag("--verify-only",
+                "skip the workload; just run the per-campaign "
+                "verification pass (audit, stats, rewards digest) against "
+                "--host/--port and honour --check/--shutdown", false);
   args.add_flag("--check",
                 "exit 1 unless every campaign audit is < 1e-9", false);
   args.add_flag("--shutdown", "send SHUTDOWN when done", false);
@@ -370,75 +447,100 @@ int main(int argc, char** argv) {
     }
     stream.rate_per_connection =
         open_loop_rate / static_cast<double>(connections);
+    const std::vector<std::pair<std::string, std::uint16_t>> replicas =
+        parse_endpoints(args.get_or("--replica", ""));
+    if (!replicas.empty() && streamed) {
+      // Streamed frames mix events and queries in one pipeline; a read
+      // split would reorder them across connections.
+      std::cerr << "--replica requires the classic mode (no --batch/"
+                   "--pipeline/--open-loop)\n";
+      return 2;
+    }
+    const bool verify_only = args.has("--verify-only");
 
-    std::vector<ConnectionReport> reports(connections);
-    std::vector<std::thread> threads;
-    threads.reserve(connections);
-    const double start = monotonic_seconds();
-    for (std::size_t c = 0; c < connections; ++c) {
-      const auto campaign = static_cast<std::uint32_t>(c % campaigns);
+    if (!verify_only) {
+      std::vector<ConnectionReport> reports(connections);
+      std::vector<std::thread> threads;
+      threads.reserve(connections);
+      const double start = monotonic_seconds();
+      for (std::size_t c = 0; c < connections; ++c) {
+        const auto campaign = static_cast<std::uint32_t>(c % campaigns);
+        if (streamed) {
+          threads.emplace_back(drive_connection_streamed, host, port,
+                               campaign, requests, base.fork(c), stream,
+                               &reports[c]);
+        } else {
+          threads.emplace_back(drive_connection, host, port, campaign,
+                               requests, base.fork(c), std::cref(replicas),
+                               &reports[c]);
+        }
+      }
+      for (std::thread& thread : threads) {
+        thread.join();
+      }
+      const double wall = monotonic_seconds() - start;
+
+      std::vector<double> latencies;
+      std::uint64_t total_requests = 0;
+      std::uint64_t total_events = 0;
+      std::uint64_t replica_reads = 0;
+      for (const ConnectionReport& report : reports) {
+        if (!report.error.empty()) {
+          std::cerr << "connection failed: " << report.error << '\n';
+          return 1;
+        }
+        total_requests += report.requests;
+        total_events += report.reward_events;
+        replica_reads += report.replica_reads;
+        latencies.insert(latencies.end(), report.latencies_seconds.begin(),
+                         report.latencies_seconds.end());
+      }
+      std::cout << "itree-loadgen: " << total_requests << " frames over "
+                << connections << " connection(s) in "
+                << compact_number(wall, 3) << " s -> "
+                << compact_number(total_requests / wall, 0) << " req/s";
       if (streamed) {
-        threads.emplace_back(drive_connection_streamed, host, port,
-                             campaign, requests, base.fork(c), stream,
-                             &reports[c]);
-      } else {
-        threads.emplace_back(drive_connection, host, port, campaign,
-                             requests, base.fork(c), &reports[c]);
+        std::cout << " (batch " << stream.batch << ", pipeline "
+                  << stream.pipeline;
+        if (open_loop_rate > 0.0) {
+          std::cout << ", open-loop " << compact_number(open_loop_rate, 0)
+                    << "/s offered";
+        }
+        std::cout << ')';
       }
+      if (!replicas.empty()) {
+        std::cout << " (" << replica_reads << " reads on "
+                  << replicas.size() << " replica(s))";
+      }
+      const double max_latency =
+          latencies.empty()
+              ? 0.0
+              : *std::max_element(latencies.begin(), latencies.end());
+      if (latencies.empty()) {
+        latencies.push_back(0.0);  // --requests 0: keep the report shape
+      }
+      std::cout << '\n'
+                << "mechanism "
+                << (mechanism.empty() ? "(unlabelled)" : mechanism)
+                << ": reward_events_per_sec "
+                << compact_number(total_events / wall, 0) << " ("
+                << total_events << " join/contribute events)\n"
+                << (open_loop_rate > 0.0 ? "latency ms (from scheduled "
+                                           "arrival): p50 "
+                                         : "latency ms: p50 ")
+                << compact_number(percentile(latencies, 50) * 1e3, 3)
+                << "  p95 "
+                << compact_number(percentile(latencies, 95) * 1e3, 3)
+                << "  p99 "
+                << compact_number(percentile(latencies, 99) * 1e3, 3)
+                << "  max " << compact_number(max_latency * 1e3, 3)
+                << '\n';
     }
-    for (std::thread& thread : threads) {
-      thread.join();
-    }
-    const double wall = monotonic_seconds() - start;
 
-    std::vector<double> latencies;
-    std::uint64_t total_requests = 0;
-    std::uint64_t total_events = 0;
-    for (const ConnectionReport& report : reports) {
-      if (!report.error.empty()) {
-        std::cerr << "connection failed: " << report.error << '\n';
-        return 1;
-      }
-      total_requests += report.requests;
-      total_events += report.reward_events;
-      latencies.insert(latencies.end(), report.latencies_seconds.begin(),
-                       report.latencies_seconds.end());
-    }
-    std::cout << "itree-loadgen: " << total_requests << " frames over "
-              << connections << " connection(s) in "
-              << compact_number(wall, 3) << " s -> "
-              << compact_number(total_requests / wall, 0) << " req/s";
-    if (streamed) {
-      std::cout << " (batch " << stream.batch << ", pipeline "
-                << stream.pipeline;
-      if (open_loop_rate > 0.0) {
-        std::cout << ", open-loop " << compact_number(open_loop_rate, 0)
-                  << "/s offered";
-      }
-      std::cout << ')';
-    }
-    std::cout << '\n'
-              << "mechanism "
-              << (mechanism.empty() ? "(unlabelled)" : mechanism)
-              << ": reward_events_per_sec "
-              << compact_number(total_events / wall, 0) << " ("
-              << total_events << " join/contribute events)\n"
-              << (open_loop_rate > 0.0 ? "latency ms (from scheduled "
-                                         "arrival): p50 "
-                                       : "latency ms: p50 ")
-              << compact_number(percentile(latencies, 50) * 1e3, 3)
-              << "  p95 "
-              << compact_number(percentile(latencies, 95) * 1e3, 3)
-              << "  p99 "
-              << compact_number(percentile(latencies, 99) * 1e3, 3)
-              << "  max "
-              << compact_number(
-                     *std::max_element(latencies.begin(), latencies.end()) *
-                         1e3, 3)
-              << '\n';
-
-    // Post-run verification pass over every campaign.
-    net::Client verifier(host, port);
+    // Verification pass over every campaign (the whole run with
+    // --verify-only — e.g. digest comparison across a primary and its
+    // replicas after the replication stream drained).
+    net::Client verifier = net::Client::connect_with_retry(host, port);
     double worst_audit = 0.0;
     for (std::uint32_t campaign = 0; campaign < campaigns; ++campaign) {
       const double divergence = verifier.audit(campaign);

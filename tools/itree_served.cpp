@@ -26,11 +26,15 @@
 // resolved port (useful with --port 0).
 #include <algorithm>
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/factory.h"
 #include "net/server.h"
+#include "replication/replica.h"
 #include "util/args.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -43,6 +47,22 @@ void handle_signal(int) {
   if (g_server != nullptr) {
     g_server->request_shutdown();  // one async-signal-safe eventfd write
   }
+}
+
+/// Splits "host:port"; throws std::invalid_argument on anything else.
+std::pair<std::string, std::uint16_t> parse_endpoint(
+    const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    throw std::invalid_argument("expected HOST:PORT, got '" + text + "'");
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(text.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+    throw std::invalid_argument("bad port in '" + text + "'");
+  }
+  return {text.substr(0, colon), static_cast<std::uint16_t>(port)};
 }
 
 }  // namespace
@@ -77,6 +97,16 @@ int main(int argc, char** argv) {
   args.add_flag("--reactors",
                 "shared-nothing epoll reactor threads, each with its own "
                 "SO_REUSEPORT listener (default 1)");
+  args.add_flag("--replica-of",
+                "run as a read replica of the primary at HOST:PORT: "
+                "bootstrap from its snapshot/WAL, apply its shipped "
+                "records continuously, serve reads, redirect writes");
+  args.add_flag("--serve-stale-ms",
+                "replica: bounce REWARD_AT tokens not applied within "
+                "this many milliseconds (default 1000)");
+  args.add_flag("--repl-poll-ms",
+                "replica: puller idle-poll cadence in milliseconds "
+                "(default 2)");
   args.add_flag("--threads",
                 "worker threads for campaign sharding when --reactors is 1 "
                 "(default: hardware)");
@@ -115,7 +145,40 @@ int main(int argc, char** argv) {
     config.storage.mechanism_name = args.get_or("--mechanism", "geometric");
     config.storage.mechanism_params = args.get_or("--params", "");
 
+    const std::string replica_of = args.get_or("--replica-of", "");
+    replication::ReplicaOptions replica_options;
+    if (!replica_of.empty()) {
+      const auto [primary_host, primary_port] = parse_endpoint(replica_of);
+      replica_options.primary_host = primary_host;
+      replica_options.primary_port = primary_port;
+      replica_options.serve_stale_seconds =
+          args.get_double_or("--serve-stale-ms", 1000.0) / 1000.0;
+      replica_options.poll_interval_seconds =
+          args.get_double_or("--repl-poll-ms", 2.0) / 1000.0;
+      // The campaign count comes from the primary, not from flags (the
+      // mechanism still must be configured to match; the bootstrap
+      // validates it against the primary's display name). A durable
+      // replica's data dir is prepared first: kept when it can catch
+      // up, wiped and re-seeded from a primary snapshot otherwise.
+      const replication::PrimaryInfo info =
+          config.storage.data_dir.empty()
+              ? replication::probe_primary(replica_options)
+              : replication::prepare_replica_data_dir(
+                    config.storage.data_dir, replica_options);
+      config.campaigns = info.campaigns;
+      // Replica reactors apply shipped records outside the storage
+      // state lock; commit-triggered snapshots must not run.
+      config.storage.snapshot_every = 0;
+    }
+
     net::Server server(*mechanism, config);
+    std::unique_ptr<replication::ReplicaSync> replica_sync;
+    if (!replica_of.empty()) {
+      replica_sync = std::make_unique<replication::ReplicaSync>(
+          *mechanism, server, replica_options);
+      server.attach_replica(replica_sync.get(),
+                            replica_options.serve_stale_seconds);
+    }
     if (server.storage() != nullptr) {
       const storage::RecoveryReport& recovery =
           server.storage()->recovery();
@@ -138,7 +201,10 @@ int main(int argc, char** argv) {
               << server.port() << " (" << config.campaigns
               << " campaign(s), " << mechanism->display_name() << ", "
               << server.reactor_count() << " reactor(s), "
-              << thread_count() << " thread(s))\n"
+              << thread_count() << " thread(s)"
+              << (replica_sync != nullptr ? ", replica of " + replica_of
+                                          : std::string())
+              << ")\n"
               << std::flush;
     server.run();
     g_server = nullptr;
@@ -175,6 +241,22 @@ int main(int argc, char** argv) {
              << ",\"snapshots_written\":" << stored.snapshots_written
              << ",\"wal_fsyncs\":" << server.storage()->wal_fsyncs()
              << '}';
+    }
+    if (replica_sync != nullptr) {
+      if (replica_sync->failed()) {
+        std::cerr << "itree-served: replication stopped: "
+                  << replica_sync->last_error() << '\n';
+      }
+      report << ",\"replication\":{"
+             << "\"primary\":\"" << replica_of << '"'
+             << ",\"primary_seq\":" << replica_sync->primary_seq()
+             << ",\"applied_seq\":" << replica_sync->applied_floor()
+             << ",\"records_shipped\":" << replica_sync->records_shipped()
+             << ",\"token_waits\":" << counters.token_waits
+             << ",\"token_bounces\":" << counters.token_bounces
+             << ",\"writes_redirected\":" << counters.writes_redirected
+             << ",\"failed\":"
+             << (replica_sync->failed() ? "true" : "false") << '}';
     }
     report << ",\"campaigns\":[";
     double worst_audit = 0.0;
