@@ -31,6 +31,15 @@
 // load measured twice — all readers on the primary, then readers
 // spread across primary + replicas. Runs on its own servers after the
 // main pass, so the final_rewards digest is unaffected.
+//
+// --shards N (default 0 = off) appends a router write-scaling section:
+// the identical per-campaign EVENT_BATCH write streams are measured
+// against a single server directly and against an itree-router
+// topology of N shard servers (campaign mod N), and the final reward
+// vectors must be bit-identical both ways. On multi-core hosts the
+// speedup is the point; on single-core CI the digest equality plus the
+// routed p50 overhead is. Own servers, after the main pass — the
+// final_rewards digest is unaffected.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -46,6 +55,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "replication/replica.h"
+#include "router/router.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -485,6 +495,198 @@ bool run_read_scaling(itree::BenchHarness& harness,
   return true;
 }
 
+/// Write-only driver for the --shards section: a closed loop of
+/// 64-event EVENT_BATCH frames (joins + contributions), latency per
+/// frame. Participant ids are predicted (this connection is the
+/// campaign's only writer) and verified against every response, so a
+/// misrouted frame fails loudly instead of skewing the digest.
+void drive_write_stream(std::uint16_t port, std::uint32_t campaign,
+                        std::uint64_t events, Rng rng,
+                        WorkerResult* result) {
+  constexpr std::size_t kBatch = 64;
+  net::Client client("127.0.0.1", port);
+  std::vector<NodeId> mine;
+  NodeId next_id = 1;
+  std::vector<net::BatchEvent> batch;
+  std::vector<std::uint64_t> expected;
+  const auto flush = [&] {
+    if (batch.empty()) {
+      return;
+    }
+    const double start = monotonic_seconds();
+    const net::BatchResult acked = client.send_events(campaign, batch);
+    result->latencies_seconds.push_back(monotonic_seconds() - start);
+    if (acked.error != net::ErrorCode::kNone ||
+        acked.results != expected) {
+      throw std::runtime_error("write-scaling: id prediction mismatch");
+    }
+    ++result->frames;
+    result->reward_events += batch.size();
+    batch.clear();
+    expected.clear();
+  };
+  for (std::uint64_t i = 0; i < events; ++i) {
+    net::BatchEvent event;
+    if (mine.empty() || rng.bernoulli(0.35)) {
+      event.kind = net::BatchEvent::kJoin;
+      event.node = (mine.empty() || rng.bernoulli(0.15))
+                       ? kRoot
+                       : mine[rng.index(mine.size())];
+      event.amount = rng.uniform(0.0, 3.0);
+      mine.push_back(next_id);
+      expected.push_back(next_id++);
+    } else {
+      event.kind = net::BatchEvent::kContribute;
+      event.node = mine[rng.index(mine.size())];
+      event.amount = rng.uniform(0.0, 2.0);
+      expected.push_back(0);
+    }
+    batch.push_back(event);
+    if (batch.size() >= kBatch) {
+      flush();
+    }
+  }
+  flush();
+}
+
+/// Router write-scaling section: the same per-campaign write streams
+/// measured against one server directly and against an in-process
+/// itree-router fronting `shards` shard servers. The digests must be
+/// bit-identical; the throughput ratio is the scale-out claim.
+bool run_write_scaling(itree::BenchHarness& harness,
+                       const Mechanism& mechanism,
+                       std::uint32_t campaigns,
+                       std::uint64_t events_per_campaign,
+                       std::size_t shards) {
+  const Rng base(777);
+  // Writes are an order of magnitude cheaper than the mixed main-pass
+  // load, so the stream is widened to keep each measured pass long
+  // enough (thousands of frames) for stable percentiles on busy hosts.
+  const std::uint64_t events = events_per_campaign * 8;
+  struct PassResult {
+    double events_per_sec = 0.0;
+    double p50_ms = 0.0;
+    std::vector<std::vector<double>> rewards;
+  };
+  const auto run_pass = [&](std::uint16_t port,
+                            std::uint16_t verify_port) {
+    std::vector<WorkerResult> results(campaigns);
+    std::vector<std::thread> writers;
+    const double start = monotonic_seconds();
+    for (std::uint32_t c = 0; c < campaigns; ++c) {
+      writers.emplace_back(drive_write_stream, port, c, events,
+                           base.fork(c), &results[c]);
+    }
+    for (std::thread& writer : writers) {
+      writer.join();
+    }
+    const double elapsed = monotonic_seconds() - start;
+    PassResult pass;
+    std::vector<double> latencies;
+    std::uint64_t events = 0;
+    for (const WorkerResult& result : results) {
+      latencies.insert(latencies.end(), result.latencies_seconds.begin(),
+                       result.latencies_seconds.end());
+      events += result.reward_events;
+    }
+    pass.events_per_sec = static_cast<double>(events) / elapsed;
+    pass.p50_ms = percentile(latencies, 50) * 1e3;
+    net::Client verifier("127.0.0.1", verify_port);
+    for (std::uint32_t c = 0; c < campaigns; ++c) {
+      pass.rewards.push_back(verifier.rewards(c));
+    }
+    harness.record_events(events, elapsed);
+    return pass;
+  };
+
+  // Direct pass: one server, one reactor — the pre-sharding deployment.
+  net::ServerConfig direct_config;
+  direct_config.campaigns = campaigns;
+  net::Server direct(mechanism, direct_config);
+  std::thread direct_loop([&direct] { direct.run(); });
+  const PassResult single = run_pass(direct.port(), direct.port());
+  {
+    net::Client stop("127.0.0.1", direct.port());
+    stop.shutdown_server();
+  }
+  direct_loop.join();
+
+  // Routed pass: `shards` single-reactor shard servers (each hosting
+  // the FULL campaign count, as the supervisor starts them) behind a
+  // router; campaign c lands on shard (c mod shards).
+  std::vector<std::unique_ptr<net::Server>> workers;
+  std::vector<std::thread> worker_loops;
+  router::RouterConfig router_config;
+  router_config.campaigns = campaigns;
+  for (std::size_t s = 0; s < shards; ++s) {
+    net::ServerConfig config;
+    config.campaigns = campaigns;
+    workers.push_back(std::make_unique<net::Server>(mechanism, config));
+    worker_loops.emplace_back(
+        [server = workers.back().get()] { server->run(); });
+    router_config.shards.push_back(
+        "127.0.0.1:" + std::to_string(workers.back()->port()));
+  }
+  router::Router router(router_config);
+  std::thread router_loop([&router] { router.run(); });
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    try {
+      net::Client probe("127.0.0.1", router.port());
+      const net::ShardMapBody map = probe.shard_map();
+      std::size_t healthy = 0;
+      for (const net::ShardMapEntry& entry : map.shards) {
+        healthy += entry.healthy;
+      }
+      if (healthy == shards) {
+        break;
+      }
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const PassResult routed = run_pass(router.port(), router.port());
+  router.request_shutdown();
+  router_loop.join();
+  for (const auto& worker : workers) {
+    worker->request_shutdown();
+  }
+  for (std::thread& loop : worker_loops) {
+    loop.join();
+  }
+
+  if (routed.rewards != single.rewards) {
+    std::cerr << "write scaling: routed rewards diverged from the "
+                 "single-process run\n";
+    return false;
+  }
+  const double speedup = routed.events_per_sec / single.events_per_sec;
+  const double overhead = single.p50_ms > 0.0
+                              ? routed.p50_ms / single.p50_ms - 1.0
+                              : 0.0;
+  harness.json().add_metric("write_scaling_shards",
+                            static_cast<double>(shards));
+  harness.json().add_metric("write_scaling_direct_eps",
+                            single.events_per_sec);
+  harness.json().add_metric("write_scaling_routed_eps",
+                            routed.events_per_sec);
+  harness.json().add_metric("write_scaling_speedup", speedup);
+  harness.json().add_metric("write_scaling_direct_p50_ms", single.p50_ms);
+  harness.json().add_metric("write_scaling_routed_p50_ms", routed.p50_ms);
+  harness.json().add_metric("write_scaling_routed_p50_overhead",
+                            overhead);
+  std::cout << "write scaling (" << shards
+            << " shard server(s) behind the router, EVENT_BATCH x64): "
+            << "direct " << compact_number(single.events_per_sec, 0)
+            << " events/s, routed "
+            << compact_number(routed.events_per_sec, 0) << " events/s ("
+            << compact_number(speedup, 2) << "x); rewards bit-identical; "
+            << "routed p50 " << compact_number(routed.p50_ms, 3)
+            << " ms vs direct " << compact_number(single.p50_ms, 3)
+            << " ms (" << compact_number(overhead * 100.0, 1)
+            << "% overhead)\n";
+  return true;
+}
+
 int parse_flag(int* argc, char** argv, const std::string& flag,
                int fallback) {
   int out = 1;
@@ -560,6 +762,8 @@ int main(int argc, char** argv) {
       parse_string_flag(&argc, argv, "--mechanism", "geometric");
   const bool read_scaling =
       parse_flag(&argc, argv, "--read-scaling", 1) != 0;
+  const auto shards = static_cast<std::size_t>(
+      parse_flag(&argc, argv, "--shards", 0));
   if (stream.batch == 0 || stream.pipeline == 0) {
     std::cerr << "--batch and --pipeline must be >= 1\n";
     return 2;
@@ -724,6 +928,14 @@ int main(int argc, char** argv) {
     // Own servers, own data dir — the digests above are untouched.
     if (!run_read_scaling(harness, *mechanism, mechanism_name, campaigns,
                           requests, reactors)) {
+      return 1;
+    }
+  }
+  if (shards > 0) {
+    // Own servers again; digest equality with the direct run is the
+    // hard gate, throughput/latency ratios are the reported claim.
+    if (!run_write_scaling(harness, *mechanism, campaigns, requests,
+                           shards)) {
       return 1;
     }
   }

@@ -1,0 +1,198 @@
+#!/usr/bin/env bash
+# Sharding smoke for the campaign-sharded router path (docs/sharding.md).
+# One itree-router in supervisor mode fronting 2 durable shard workers
+# (--fsync always so a SIGKILL loses nothing), plus one WAL-shipped
+# read replica per shard attached directly to its worker:
+#
+#   1. Mixed load through the router with the --check audit gate: every
+#      frame crosses the proxy, campaign c lands on shard (c mod 2).
+#   2. Read-your-writes across the full stack: a writer drives campaign
+#      0 through the router while its reward queries go to shard 0's
+#      replica carrying the last write ack's token — the token passes
+#      the router unchanged, so the (shard, seq) scoping must hold.
+#   3. Digest equality: the per-campaign verification lines seen
+#      through the router must be byte-identical to the owning worker's
+#      and (after draining) the owning worker's replica's.
+#   4. Kill-one-worker leg: shard 1's worker dies with SIGKILL, the
+#      supervisor respawns it on the same port, WAL recovery restores
+#      the exact state, and the replica resumes from its last good
+#      sequence. The restart must be visible in the worker's stats_seq
+#      (loadgen --stats-seq-floor fails) while the router's own
+#      aggregated stats_seq keeps rising (the same probe passes).
+#
+# Usage: scripts/router_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROUTER="$BUILD_DIR/tools/itree-router"
+SERVED="$BUILD_DIR/tools/itree-served"
+LOADGEN="$BUILD_DIR/tools/itree-loadgen"
+WORK="$(mktemp -d)"
+PIDS=()
+trap 'kill -KILL "${PIDS[@]}" 2>/dev/null || true;
+      pkill -KILL -f "$WORK/fleet" 2>/dev/null || true;
+      rm -rf "$WORK"' EXIT
+
+# Per-campaign verification lines of one endpoint, audit field stripped
+# (the audit float is gated by --check, not compared by diff).
+verify_lines() {  # $1 = port
+  "$LOADGEN" --port "$1" --campaigns 4 --verify-only \
+      | grep '^campaign ' | sed 's/, audit [^,]*//'
+}
+
+stats_seq_of() {  # $1 = port
+  "$LOADGEN" --port "$1" --campaigns 4 --verify-only \
+      | sed -n 's/^server stats_seq \([0-9]*\).*/\1/p'
+}
+
+echo "== boot: router --spawn 2 (fsync always) + 1 replica per shard =="
+: > "$WORK/router.log"
+"$ROUTER" --port 0 --campaigns 4 --spawn 2 --data-dir "$WORK/fleet" \
+    --fsync always > "$WORK/router.log" 2>&1 &
+PIDS+=("$!")
+for _ in $(seq 1 150); do
+  grep -q 'itree-router: listening on' "$WORK/router.log" && break
+  sleep 0.1
+done
+ROUTER_PORT=$(sed -n \
+    's/.*itree-router: listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$WORK/router.log")
+W0_PORT=$(sed -n \
+    's/.*spawned shard 0 worker at [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$WORK/router.log")
+W1_PORT=$(sed -n \
+    's/.*spawned shard 1 worker at [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$WORK/router.log")
+if [ -z "$ROUTER_PORT" ] || [ -z "$W0_PORT" ] || [ -z "$W1_PORT" ]; then
+  echo "router failed to start:" >&2
+  cat "$WORK/router.log" >&2
+  exit 1
+fi
+
+start_replica() {  # $1 = log name, $2 = primary port
+  local log="$WORK/$1"
+  : > "$log"
+  "$SERVED" --port 0 --campaigns 4 --replica-of "127.0.0.1:$2" \
+      > "$log" 2>&1 &
+  PIDS+=("$!")
+  for _ in $(seq 1 150); do
+    grep -q 'listening on' "$log" && break
+    sleep 0.1
+  done
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log")
+  if [ -z "$PORT" ]; then
+    echo "replica failed to start:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+}
+start_replica replica0.log "$W0_PORT"
+R0_PORT=$PORT
+start_replica replica1.log "$W1_PORT"
+R1_PORT=$PORT
+
+echo "== mixed load through the router (campaign c -> shard c mod 2) =="
+"$LOADGEN" --port "$ROUTER_PORT" --connections 4 --campaigns 4 \
+    --requests 1500 --check
+ROUTER_SEQ=$(stats_seq_of "$ROUTER_PORT")
+W1_SEQ=$(stats_seq_of "$W1_PORT")
+
+echo "== read-your-writes: router writes, shard-0 replica reads =="
+"$LOADGEN" --port "$ROUTER_PORT" --connections 1 --campaigns 1 \
+    --requests 400 --replica "127.0.0.1:$R0_PORT" --check
+
+echo "== digest equality: router vs owning workers vs replicas =="
+verify_lines "$ROUTER_PORT" > "$WORK/router.txt"
+cat "$WORK/router.txt"
+grep '^campaign [02]:' "$WORK/router.txt" > "$WORK/want_shard0.txt"
+grep '^campaign [13]:' "$WORK/router.txt" > "$WORK/want_shard1.txt"
+for endpoint in "$W0_PORT:worker0:want_shard0" \
+                "$W1_PORT:worker1:want_shard1" \
+                "$R0_PORT:replica0:want_shard0" \
+                "$R1_PORT:replica1:want_shard1"; do
+  port="${endpoint%%:*}"
+  rest="${endpoint#*:}"
+  name="${rest%%:*}"
+  want="${rest#*:}"
+  caught_up=""
+  for _ in $(seq 1 100); do  # the replicas may still be draining
+    verify_lines "$port" \
+        | grep -E "^campaign ($(sed -n 's/^campaign \([0-9]*\):.*/\1/p' \
+            "$WORK/$want.txt" | paste -sd'|' -)):" \
+        > "$WORK/$name.txt" || true
+    if diff -q "$WORK/$want.txt" "$WORK/$name.txt" > /dev/null; then
+      caught_up=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ -z "$caught_up" ]; then
+    echo "$name diverged from the router's view of its campaigns:" >&2
+    diff -u "$WORK/$want.txt" "$WORK/$name.txt" >&2 || true
+    exit 1
+  fi
+  echo "-- $name state identical to the router's"
+done
+
+echo "== kill-one-worker: SIGKILL shard 1, supervisor restarts it =="
+OLD_PID=$(pgrep -f "data-dir $WORK/fleet/shard_1" | head -1)
+kill -KILL "$OLD_PID"
+respawned=""
+for _ in $(seq 1 150); do
+  NEW_PID=$(pgrep -f "data-dir $WORK/fleet/shard_1" | head -1 || true)
+  if [ -n "$NEW_PID" ] && [ "$NEW_PID" != "$OLD_PID" ]; then
+    respawned=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$respawned" ]; then
+  echo "supervisor never respawned shard 1" >&2
+  cat "$WORK/router.log" >&2
+  exit 1
+fi
+recovered=""
+for _ in $(seq 1 100); do  # WAL recovery + router redial settle
+  if verify_lines "$ROUTER_PORT" > "$WORK/after_kill.txt" 2>/dev/null \
+      && diff -q "$WORK/router.txt" "$WORK/after_kill.txt" > /dev/null
+  then
+    recovered=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$recovered" ]; then
+  echo "state after the worker restart diverged:" >&2
+  diff -u "$WORK/router.txt" "$WORK/after_kill.txt" >&2 || true
+  exit 1
+fi
+echo "-- WAL recovery restored the exact pre-kill state"
+
+# The restarted worker's stats_seq restarted from 1 — a floor probe
+# against it must fail — while the router process never restarted, so
+# its aggregated stats_seq keeps rising and the same probe passes.
+if "$LOADGEN" --port "$W1_PORT" --campaigns 4 --verify-only \
+    --stats-seq-floor "$W1_SEQ" --check > "$WORK/floor.log" 2>&1; then
+  echo "worker restart was not detected via stats_seq" >&2
+  cat "$WORK/floor.log" >&2
+  exit 1
+fi
+"$LOADGEN" --port "$ROUTER_PORT" --campaigns 4 --verify-only \
+    --stats-seq-floor "$ROUTER_SEQ" --check > /dev/null
+echo "-- stats_seq flagged the worker restart, router's kept rising"
+
+echo "== writes still flow through the restarted shard =="
+"$LOADGEN" --port "$ROUTER_PORT" --connections 4 --campaigns 4 \
+    --requests 300 --check
+
+# Graceful drains: replicas first, then the router (which SIGTERMs its
+# workers). Each wait fails the script unless the exit was clean.
+kill -TERM "${PIDS[1]}" "${PIDS[2]}"
+wait "${PIDS[1]}"
+wait "${PIDS[2]}"
+kill -TERM "${PIDS[0]}"
+wait "${PIDS[0]}"
+PIDS=()
+# The exit report must attest exactly one supervised restart (shard 1).
+grep -q '"worker_restarts":\[0,1\]' "$WORK/router.log"
+echo "router smoke passed"

@@ -6,13 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <limits>
-#include <thread>
 
+#include "net/retry.h"
 #include "util/io.h"
 
 namespace itree::net {
@@ -46,21 +44,7 @@ Client::Client(const std::string& host, std::uint16_t port) {
 Client Client::connect_with_retry(const std::string& host,
                                   std::uint16_t port,
                                   double max_wait_seconds) {
-  using clock = std::chrono::steady_clock;
-  const auto deadline =
-      clock::now() + std::chrono::duration<double>(max_wait_seconds);
-  auto backoff = std::chrono::milliseconds(10);
-  while (true) {
-    try {
-      return Client(host, port);
-    } catch (const std::runtime_error&) {
-      if (clock::now() + backoff >= deadline) {
-        throw;  // budget spent: surface the last connect error
-      }
-    }
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, std::chrono::milliseconds(640));
-  }
+  return net::connect_with_retry(host, port, max_wait_seconds);
 }
 
 Client::~Client() {
@@ -233,6 +217,12 @@ ServerStatsBody Client::server_stats() {
   Request request;
   request.type = MsgType::kServerStats;
   return call(request).server_stats;
+}
+
+ShardMapBody Client::shard_map() {
+  Request request;
+  request.type = MsgType::kShardMap;
+  return call(request).shard_map;
 }
 
 void Client::shutdown_server() {

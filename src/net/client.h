@@ -54,7 +54,8 @@ class Client {
   /// Connects with bounded exponential backoff (10 ms doubling to
   /// 640 ms) on connection refusal/reset, for up to `max_wait_seconds`
   /// — tools no longer race server startup with sleeps. Throws the
-  /// last connect error once the budget is spent.
+  /// last connect error once the budget is spent. Thin wrapper over
+  /// the shared `net::connect_with_retry` in net/retry.h.
   static Client connect_with_retry(const std::string& host,
                                    std::uint16_t port,
                                    double max_wait_seconds = 10.0);
@@ -93,6 +94,9 @@ class Client {
   /// Live server-wide operational counters (SERVER_STATS round trip);
   /// does not disturb the serving loops.
   ServerStatsBody server_stats();
+  /// The router's campaign -> shard map (SHARD_MAP round trip); a
+  /// non-router server rejects the frame with kBadRequest.
+  ShardMapBody shard_map();
   /// Asks the server to drain and exit; returns once acknowledged.
   void shutdown_server();
 

@@ -98,7 +98,7 @@ void encode_error_tail(std::string& out, ErrorCode code,
 
 void decode_error_tail(Reader& reader, Response& response) {
   const std::uint8_t code = reader.u8();
-  if (code > static_cast<std::uint8_t>(ErrorCode::kSeqCompacted)) {
+  if (code > static_cast<std::uint8_t>(ErrorCode::kShardDown)) {
     throw ProtocolError("unknown error code " + std::to_string(code));
   }
   response.error = static_cast<ErrorCode>(code);
@@ -172,6 +172,19 @@ void encode_response_into(std::string& out, const Response& response) {
       put_u64(out, s.token_waits);
       put_u64(out, s.token_bounces);
       put_u64(out, s.writes_redirected);
+      put_u64(out, s.stats_seq);
+      break;
+    }
+    case Status::kOkShardMap: {
+      put_u32(out, response.shard_map.campaigns);
+      put_u32(out,
+              static_cast<std::uint32_t>(response.shard_map.shards.size()));
+      for (const ShardMapEntry& shard : response.shard_map.shards) {
+        put_u32(out, static_cast<std::uint32_t>(shard.endpoint.size()));
+        out += shard.endpoint;
+        put_u8(out, shard.healthy ? 1 : 0);
+        put_u64(out, shard.restarts);
+      }
       break;
     }
     case Status::kOkReplHello:
@@ -228,6 +241,7 @@ std::string encode_request(const Request& request) {
       break;
     case MsgType::kShutdown:
     case MsgType::kServerStats:
+    case MsgType::kShardMap:
     case MsgType::kReplSnapshot:
     case MsgType::kReplHeartbeat:
       break;
@@ -291,6 +305,7 @@ Request decode_request(std::string_view payload) {
       break;
     case MsgType::kShutdown:
     case MsgType::kServerStats:
+    case MsgType::kShardMap:
     case MsgType::kReplSnapshot:
     case MsgType::kReplHeartbeat:
       request.type = static_cast<MsgType>(type);
@@ -426,6 +441,26 @@ Response decode_response(std::string_view payload) {
       s.token_waits = reader.u64();
       s.token_bounces = reader.u64();
       s.writes_redirected = reader.u64();
+      s.stats_seq = reader.u64();
+      break;
+    }
+    case Status::kOkShardMap: {
+      response.status = Status::kOkShardMap;
+      response.shard_map.campaigns = reader.u32();
+      const std::uint32_t count = reader.u32();
+      // Each entry needs at least its length prefix + health + restarts.
+      if (static_cast<std::uint64_t>(count) * 13 > reader.remaining()) {
+        throw ProtocolError("shard map longer than payload");
+      }
+      response.shard_map.shards.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ShardMapEntry shard;
+        const std::uint32_t length = reader.u32();
+        shard.endpoint = reader.bytes(length);
+        shard.healthy = reader.u8();
+        shard.restarts = reader.u64();
+        response.shard_map.shards.push_back(std::move(shard));
+      }
       break;
     }
     case Status::kOkReplHello: {

@@ -49,6 +49,7 @@ enum class MsgType : std::uint8_t {
   kEventBatch = 0x08,    ///< campaign, count, count x batch events
   kServerStats = 0x09,   ///< no fields; live server-wide counters
   kRewardAt = 0x0a,      ///< campaign, participant, min applied seq
+  kShardMap = 0x0b,      ///< no fields; the router's campaign -> shard map
   // Replication stream (replica -> primary), 0x10-0x13. The replica is
   // an ordinary pipelining client of the primary; shipping is pull-based
   // so it composes with the strictly request/response framing.
@@ -66,6 +67,7 @@ enum class Status : std::uint8_t {
   kOkStats = 0x84,  ///< events, participants, total reward, incremental
   kOkBatch = 0x85,  ///< EVENT_BATCH result: applied prefix + ids
   kOkServerStats = 0x86,  ///< live operational counters
+  kOkShardMap = 0x87,     ///< campaigns + per-shard endpoint/health
   kOkReplHello = 0x90,    ///< version, campaigns, committed/min seq, mech
   kOkReplSnapshot = 0x91, ///< committed seq + snapshot v3 image
   kOkReplSegment = 0x92,  ///< committed/min seq + raw WAL record bytes
@@ -86,6 +88,8 @@ enum class ErrorCode : std::uint8_t {
                         ///< replica's --serve-stale-ms bound
   kSeqCompacted = 7,    ///< REPL_SEGMENT from_seq older than the
                         ///< primary's oldest retained WAL record
+  kShardDown = 8,       ///< the router cannot reach the owning shard
+                        ///< worker; message names the shard + endpoint
 };
 
 /// One entry of an EVENT_BATCH frame: a join (node = referrer) or a
@@ -158,7 +162,34 @@ struct ServerStatsBody {
   std::uint64_t token_bounces = 0;   ///< parked queries past stale bound
   std::uint64_t writes_redirected = 0;
 
+  /// Monotonic per-process poll counter, bumped every time this body is
+  /// served. Consecutive polls of the same process observe strictly
+  /// increasing values, so a poller (the router's SERVER_STATS
+  /// aggregation, loadgen --verify-only) seeing `stats_seq <= previous`
+  /// knows the process restarted and every cumulative counter above
+  /// reset — instead of silently summing counters from a fresh process.
+  std::uint64_t stats_seq = 0;
+
   bool operator==(const ServerStatsBody&) const = default;
+};
+
+/// One shard of a router's campaign -> shard map (kOkShardMap).
+struct ShardMapEntry {
+  std::string endpoint;        ///< worker "host:port"
+  std::uint8_t healthy = 0;    ///< 1 when the backend link is up
+  std::uint64_t restarts = 0;  ///< supervisor restarts of this worker
+
+  bool operator==(const ShardMapEntry&) const = default;
+};
+
+/// SHARD_MAP response body: campaign c is owned by shard
+/// (c mod shards.size()); the map is static for the router's lifetime
+/// (only the health/restart fields change between polls).
+struct ShardMapBody {
+  std::uint32_t campaigns = 0;
+  std::vector<ShardMapEntry> shards;
+
+  bool operator==(const ShardMapBody&) const = default;
 };
 
 /// Replication response body (kOkReplHello / kOkReplSnapshot /
@@ -203,6 +234,7 @@ struct Response {
   std::vector<std::uint64_t> batch_results; ///< kOkBatch
   std::uint64_t seq = 0;        ///< write-ack token / committed seq
   ReplBody repl;                ///< kOkRepl* bodies
+  ShardMapBody shard_map;       ///< kOkShardMap
 
   bool ok() const { return status != Status::kError; }
 };

@@ -1,0 +1,76 @@
+// Shared bounded-exponential-backoff discipline for anything that talks
+// to a daemon that may not be up yet (or just crashed and is being
+// restarted): tool connect loops, the replication puller, the router's
+// backend pool. One schedule class so every retry path in the tree ages
+// identically — 10 ms doubling to a cap, reset on success — plus the
+// blocking `connect_with_retry` built on it (the former
+// Client::connect_with_retry body, hoisted here so non-Client callers
+// share it).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+
+namespace itree::net {
+
+/// Bounded exponential backoff schedule: `next()` yields the current
+/// delay and doubles it up to `cap`; `reset()` restores the initial
+/// delay after a success. Purely a schedule — callers decide whether to
+/// sleep (blocking loops) or arm a timer (the router's epoll loop).
+class Backoff {
+ public:
+  explicit Backoff(
+      std::chrono::milliseconds initial = std::chrono::milliseconds(10),
+      std::chrono::milliseconds cap = std::chrono::milliseconds(640))
+      : initial_(initial), cap_(cap), next_(initial) {}
+
+  /// The delay to wait before the next attempt; doubles the schedule.
+  std::chrono::milliseconds next() {
+    const std::chrono::milliseconds delay = next_;
+    next_ = std::min(next_ * 2, cap_);
+    return delay;
+  }
+
+  /// The delay `next()` would return, without advancing the schedule.
+  std::chrono::milliseconds peek() const { return next_; }
+
+  void reset() { next_ = initial_; }
+
+  /// Blocking convenience: sleeps for `next()`.
+  void sleep_next() { std::this_thread::sleep_for(next()); }
+
+ private:
+  std::chrono::milliseconds initial_;
+  std::chrono::milliseconds cap_;
+  std::chrono::milliseconds next_;
+};
+
+/// Connects with bounded exponential backoff on connection
+/// refusal/reset, for up to `max_wait_seconds` — tools no longer race
+/// daemon startup with sleeps. Throws the last connect error once the
+/// budget is spent. `Client::connect_with_retry` delegates here.
+inline Client connect_with_retry(const std::string& host,
+                                 std::uint16_t port,
+                                 double max_wait_seconds = 10.0) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration<double>(max_wait_seconds);
+  Backoff backoff;
+  while (true) {
+    try {
+      return Client(host, port);
+    } catch (const std::runtime_error&) {
+      if (clock::now() + backoff.peek() >= deadline) {
+        throw;  // budget spent: surface the last connect error
+      }
+    }
+    backoff.sleep_next();
+  }
+}
+
+}  // namespace itree::net

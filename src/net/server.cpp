@@ -635,6 +635,14 @@ void Reactor::route(Session& session, std::uint64_t seq,
     deliver(session, seq, std::move(response));
     return;
   }
+  if (request.type == MsgType::kShardMap) {
+    // Shard maps are a router concept; a worker answering one would
+    // invent a topology it does not have.
+    deliver(session, seq,
+            error_response(ErrorCode::kBadRequest,
+                           "SHARD_MAP: this endpoint is not a router"));
+    return;
+  }
   if (request.type == MsgType::kReplHello ||
       request.type == MsgType::kReplSnapshot ||
       request.type == MsgType::kReplSegment ||
@@ -1187,6 +1195,11 @@ ServerStatsBody Server::live_server_stats() const {
     stats.primary_seq = replica_feed_->primary_seq();
     stats.repl_records_shipped = replica_feed_->records_shipped();
   }
+  // Strictly increasing per served body within one process: a poller
+  // whose next observation is <= its previous one knows the process
+  // restarted and the cumulative counters reset.
+  stats.stats_seq =
+      stats_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   return stats;
 }
 
@@ -1340,6 +1353,7 @@ Response Server::apply_request(const Request& request) {
         break;
       case MsgType::kShutdown:
       case MsgType::kServerStats:
+      case MsgType::kShardMap:
       case MsgType::kReplHello:
       case MsgType::kReplSnapshot:
       case MsgType::kReplSegment:

@@ -255,6 +255,9 @@ class Server {
 
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::atomic<bool> drain_requested_{false};
+  /// SERVER_STATS poll counter (ServerStatsBody::stats_seq); mutable
+  /// because serving a read-only stats body bumps it.
+  mutable std::atomic<std::uint64_t> stats_seq_{0};
 };
 
 }  // namespace itree::net

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "net/retry.h"
 #include "storage/snapshot.h"
 #include "storage/storage.h"
 
@@ -343,10 +344,12 @@ void ReplicaSync::dispatch_batch(std::vector<storage::WalRecord> records) {
 }
 
 void ReplicaSync::pull_loop() {
-  using namespace std::chrono_literals;
   const auto poll =
       std::chrono::duration<double>(options_.poll_interval_seconds);
-  auto backoff = 10ms;
+  // Shared retry discipline (net/retry.h); capped low — a replica
+  // should notice a restarted primary quickly.
+  net::Backoff backoff(std::chrono::milliseconds(10),
+                       std::chrono::milliseconds(200));
   while (!stop_.load(std::memory_order_acquire)) {
     SegmentFetch fetch;
     bool idle = false;
@@ -383,18 +386,16 @@ void ReplicaSync::pull_loop() {
       }
       // kShuttingDown and friends: the primary may come back.
       client_.reset();
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, std::chrono::milliseconds(200));
+      backoff.sleep_next();
       continue;
     } catch (const std::exception&) {
       // Socket-level failure or wire garbage: reconnect and re-request
       // from the last good sequence.
       client_.reset();
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, std::chrono::milliseconds(200));
+      backoff.sleep_next();
       continue;
     }
-    backoff = 10ms;
+    backoff.reset();
     if (idle || fetch.records.empty()) {
       std::this_thread::sleep_for(
           std::chrono::duration_cast<std::chrono::nanoseconds>(poll));

@@ -152,8 +152,35 @@ TEST(Protocol, ServerStatsResponsesRoundTrip) {
   Response response;
   response.status = Status::kOkServerStats;
   response.server_stats = {4, 10, 9, 12345, 1, 2, 3, 777, 42, 99, 7};
-  EXPECT_EQ(decode_response(encode_response(response)).server_stats,
-            response.server_stats);
+  response.server_stats.stats_seq = 31337;  // restart-detection counter
+  const ServerStatsBody decoded =
+      decode_response(encode_response(response)).server_stats;
+  EXPECT_EQ(decoded, response.server_stats);
+  EXPECT_EQ(decoded.stats_seq, 31337u);
+}
+
+TEST(Protocol, ShardMapResponsesRoundTrip) {
+  Response response;
+  response.status = Status::kOkShardMap;
+  response.shard_map.campaigns = 16;
+  response.shard_map.shards = {{"127.0.0.1:7431", 1, 0},
+                               {"127.0.0.1:7432", 0, 3}};
+  const Response decoded = decode_response(encode_response(response));
+  EXPECT_EQ(decoded.status, Status::kOkShardMap);
+  EXPECT_EQ(decoded.shard_map, response.shard_map);
+}
+
+TEST(Protocol, ShardMapDecoderBoundsShardCountAgainstPayload) {
+  Response response;
+  response.status = Status::kOkShardMap;
+  response.shard_map.campaigns = 4;
+  response.shard_map.shards = {{"127.0.0.1:7431", 1, 0}};
+  std::string bytes = encode_response(response);
+  // Inflate the shard-count field (LE32 after status + campaigns) far
+  // beyond the remaining payload: the decoder must throw, not allocate.
+  bytes[5] = '\xff';
+  bytes[6] = '\xff';
+  EXPECT_THROW(decode_response(bytes), ProtocolError);
 }
 
 TEST(Protocol, EventBatchDecoderRejectsCountMismatchAndBadKind) {

@@ -395,6 +395,11 @@ int main(int argc, char** argv) {
                 "--host/--port and honour --check/--shutdown", false);
   args.add_flag("--check",
                 "exit 1 unless every campaign audit is < 1e-9", false);
+  args.add_flag("--stats-seq-floor",
+                "verify pass: the stats_seq printed by an earlier poll of "
+                "the same process; seeing a value at or below it means the "
+                "process restarted (cumulative counters reset) — warn, and "
+                "with --check exit 1");
   args.add_flag("--shutdown", "send SHUTDOWN when done", false);
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << '\n';
@@ -555,12 +560,37 @@ int main(int argc, char** argv) {
                 << compact_number(divergence, 12) << ", rewards digest "
                 << digest_hex(digest) << '\n';
     }
+    // One SERVER_STATS poll closes the verify pass. Its stats_seq is
+    // strictly increasing per process (a router serves its own), so a
+    // later poll passing this value back via --stats-seq-floor detects
+    // a restart in between — cumulative counters that reset to zero
+    // would otherwise read as a healthy, quiet server.
+    bool stats_reset = false;
+    const net::ServerStatsBody server_stats = verifier.server_stats();
+    std::cout << "server stats_seq " << server_stats.stats_seq
+              << " (requests served " << server_stats.requests_served
+              << ", sessions accepted " << server_stats.sessions_accepted
+              << ")\n";
+    if (args.has("--stats-seq-floor")) {
+      const auto floor_seq =
+          static_cast<std::uint64_t>(args.get_int_or("--stats-seq-floor", 0));
+      if (server_stats.stats_seq <= floor_seq) {
+        stats_reset = true;
+        std::cerr << "itree-loadgen: stats_seq " << server_stats.stats_seq
+                  << " <= floor " << floor_seq
+                  << ": the server restarted between polls (cumulative "
+                     "counters reset)\n";
+      }
+    }
     if (args.has("--shutdown")) {
       verifier.shutdown_server();
     }
     if (args.has("--check") && worst_audit >= 1e-9) {
       std::cerr << "audit divergence " << worst_audit
                 << " exceeds 1e-9\n";
+      return 1;
+    }
+    if (args.has("--check") && stats_reset) {
       return 1;
     }
     return 0;
