@@ -1,21 +1,31 @@
 // E13 — systems hygiene: reward computation throughput for every
-// mechanism (google-benchmark). All mechanisms run in O(n) (TDRM in
-// O(total RCT chain length)); this bench pins that down across tree
-// sizes and shapes.
+// mechanism (google-benchmark), plus the giant-tree snapshot sweep.
+// All mechanisms run in O(n) (TDRM in O(total RCT chain length)); this
+// bench pins that down across tree sizes and shapes.
 //
-// Flags: --threads N, --json <path>, and --scale small|full (default
-// full). `--scale small` caps tree sizes at 10k nodes so CI can run
-// the bench as a digest-drift smoke test in seconds; the determinism
-// probe and its digests are identical in both configurations.
+// Flags: --threads N, --json <path>, and --scale small|full|giant
+// (default full). `--scale small` caps tree sizes at 10k nodes so CI
+// can run the bench as a digest-drift smoke test in seconds; the
+// determinism probe and its digests are identical in every
+// configuration. `--scale giant` skips the google-benchmark suites and
+// instead sweeps SoA-arena build rate, snapshot-v4 save time, and
+// rebuild-load (v3 record stream) vs mmap-load (v4 image) time over
+// multi-million-node trees — the O(file) recovery claim of
+// docs/storage.md — asserting that both load paths produce
+// bit-identical rewards. `--giant-nodes N` overrides the sweep's sizes
+// (CI smoke uses a small N; the default sweep tops out at 10M nodes).
 // google-benchmark's own flags pass through.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_harness.h"
 #include "core/registry.h"
+#include "storage/snapshot.h"
 #include "tree/generators.h"
 #include "util/strings.h"
 
@@ -84,40 +94,152 @@ void register_suites(bool small) {
   }
 }
 
-/// Strips `--scale small|full` from argv; returns true for small.
-bool take_scale_flag(int* argc, char** argv) {
+struct ScaleConfig {
   bool small = false;
+  bool giant = false;
+  /// --scale giant sweep sizes; overridden by --giant-nodes N.
+  std::vector<std::int64_t> giant_sizes = {1000000, 3000000, 10000000};
+};
+
+/// Strips `--scale small|full|giant` and `--giant-nodes N` from argv.
+ScaleConfig take_scale_flags(int* argc, char** argv) {
+  ScaleConfig config;
   int out = 0;
   for (int in = 0; in < *argc; ++in) {
     std::string value;
+    bool nodes = false;
     if (std::strcmp(argv[in], "--scale") == 0 && in + 1 < *argc) {
       value = argv[++in];
     } else if (std::strncmp(argv[in], "--scale=", 8) == 0) {
       value = argv[in] + 8;
+    } else if (std::strcmp(argv[in], "--giant-nodes") == 0 &&
+               in + 1 < *argc) {
+      value = argv[++in];
+      nodes = true;
+    } else if (std::strncmp(argv[in], "--giant-nodes=", 14) == 0) {
+      value = argv[in] + 14;
+      nodes = true;
     } else {
       argv[out++] = argv[in];
       continue;
     }
-    if (value == "small") {
-      small = true;
+    if (nodes) {
+      char* end = nullptr;
+      const long long n = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || n <= 0) {
+        std::cerr << "--giant-nodes needs a positive integer, got '" << value
+                  << "'\n";
+        std::exit(2);
+      }
+      config.giant_sizes = {static_cast<std::int64_t>(n)};
+    } else if (value == "small") {
+      config.small = true;
+    } else if (value == "giant") {
+      config.giant = true;
     } else if (value != "full") {
-      std::cerr << "--scale must be small or full, got '" << value << "'\n";
+      std::cerr << "--scale must be small, full or giant, got '" << value
+                << "'\n";
       std::exit(2);
     }
   }
   *argc = out;
-  return small;
+  return config;
+}
+
+/// The giant-tree sweep: per size, builds an SoA arena tree, writes a
+/// v4 image, then times the two load paths — the v3 record-stream
+/// rebuild and the v4 mmap bulk adoption — and gates on their decoded
+/// trees yielding bit-identical geometric rewards. Returns the number
+/// of divergences (0 = pass).
+int run_giant_sweep(itree::BenchHarness& harness,
+                    const std::vector<std::int64_t>& sizes) {
+  namespace fs = std::filesystem;
+  const MechanismPtr mechanism = make_default(MechanismKind::kGeometric);
+  const fs::path dir = fs::temp_directory_path() / "itree_e13_giant";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  int divergences = 0;
+  for (const std::int64_t n : sizes) {
+    const std::string tag = "giant_" + std::to_string(n);
+    double t0 = monotonic_seconds();
+    Tree tree = make_tree(n, 0);
+    const double build_seconds = monotonic_seconds() - t0;
+
+    storage::SnapshotData data;
+    data.last_seq = static_cast<std::uint64_t>(n);
+    data.mechanism = mechanism->display_name();
+    storage::CampaignSnapshot snap;
+    snap.events_applied = static_cast<std::uint64_t>(n);
+    snap.tree = std::move(tree);
+    data.campaigns.push_back(std::move(snap));
+
+    t0 = monotonic_seconds();
+    storage::save_snapshot(dir.string(), data, storage::SnapshotFormat::kV4);
+    const double save_seconds = monotonic_seconds() - t0;
+    const fs::path image = dir / storage::snapshot_name(data.last_seq);
+    const double image_bytes = static_cast<double>(fs::file_size(image));
+
+    // Rebuild-load: the v3 record stream, decoded participant by
+    // participant (the pre-v4 recovery cost).
+    const std::string v3 = storage::encode_snapshot(data);
+    t0 = monotonic_seconds();
+    const storage::SnapshotData rebuilt = storage::decode_snapshot(v3);
+    const double rebuild_seconds = monotonic_seconds() - t0;
+
+    // mmap-load: header parse + one CRC pass + bulk column adoption.
+    t0 = monotonic_seconds();
+    const storage::SnapshotData mapped =
+        storage::MappedSnapshot(image.string()).materialize();
+    const double mmap_seconds = monotonic_seconds() - t0;
+
+    const std::string reward_rebuild = itree::compact_number(
+        itree::total_reward(mechanism->compute(rebuilt.campaigns[0].tree)),
+        9);
+    const std::string reward_mmap = itree::compact_number(
+        itree::total_reward(mechanism->compute(mapped.campaigns[0].tree)),
+        9);
+    if (reward_mmap != reward_rebuild ||
+        mapped.campaigns[0].tree.node_count() !=
+            rebuilt.campaigns[0].tree.node_count()) {
+      std::cerr << "e13 giant: mmap-loaded tree diverges from the "
+                   "rebuild-loaded tree at n="
+                << n << '\n';
+      ++divergences;
+    }
+    harness.json().add_digest(tag + "_mmap_total_reward", reward_mmap);
+    harness.json().add_metric(tag + "_build_nodes_per_sec",
+                              static_cast<double>(n) / build_seconds);
+    harness.json().add_metric(tag + "_image_bytes", image_bytes);
+    harness.json().add_metric(tag + "_save_v4_seconds", save_seconds);
+    harness.json().add_metric(tag + "_load_rebuild_seconds",
+                              rebuild_seconds);
+    harness.json().add_metric(tag + "_load_mmap_seconds", mmap_seconds);
+    harness.json().add_metric(tag + "_mmap_speedup",
+                              rebuild_seconds / mmap_seconds);
+    std::cout << tag << ": build " << build_seconds << "s, save(v4) "
+              << save_seconds << "s, load rebuild " << rebuild_seconds
+              << "s, load mmap " << mmap_seconds << "s ("
+              << rebuild_seconds / mmap_seconds << "x)\n";
+    fs::remove(image);
+  }
+  fs::remove_all(dir);
+  return divergences;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   itree::BenchHarness harness("e13_scalability", &argc, argv);
-  const bool small = take_scale_flag(&argc, argv);
-  register_suites(small);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  const ScaleConfig scale = take_scale_flags(&argc, argv);
+  int divergences = 0;
+  if (scale.giant) {
+    divergences = run_giant_sweep(harness, scale.giant_sizes);
+  } else {
+    register_suites(scale.small);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
   // Determinism probe for the trajectory: total reward of every
   // mechanism on a fixed 10k-node tree must never drift across PRs.
   const Tree probe = make_tree(10000, 0);
@@ -128,5 +250,6 @@ int main(int argc, char** argv) {
         itree::compact_number(
             itree::total_reward(mechanism->compute(probe)), 9));
   }
-  return harness.finish();
+  const int rc = harness.finish();
+  return divergences > 0 ? 1 : rc;
 }

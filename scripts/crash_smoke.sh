@@ -13,6 +13,12 @@
 # (recovery + torn-tail truncation), and require a fresh loadgen
 # --check pass plus a clean graceful drain.
 #
+# Variant 3 — v4 snapshot image adoption: the drain snapshot must be an
+# ITSNAP04 page-aligned image, and `itree recover --digest` over it
+# (mmap + bulk column adoption, empty WAL tail) must reproduce the
+# campaign lines of a pre-drain recovery (snapshot + WAL-tail replay)
+# byte-for-byte.
+#
 # Usage: scripts/crash_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -68,6 +74,21 @@ start_daemon --fsync interval --snapshot-every 500
 grep 'recovered from' "$WORK/served.log"
 "$LOADGEN" --port "$PORT" --connections 3 --campaigns 3 \
     --requests 300 --check
+
+echo "== variant 3: v4 snapshot adoption matches WAL-tail replay =="
+# The daemon is idle now: recover the committed state the slow way
+# (older snapshot + WAL-tail replay) before the drain compacts it.
+"$ITREE" recover "$WORK/data" --digest | grep '^campaign ' | sort \
+    > "$WORK/pre_drain.txt"
 kill -TERM "$PID"
 wait "$PID"  # non-zero unless the drain (snapshot + compaction) succeeded
+SNAP=$(ls "$WORK/data"/snap-*.snap | sort | tail -1)
+if [ "$(head -c 8 "$SNAP")" != "ITSNAP04" ]; then
+  echo "drain snapshot is not a v4 image: $SNAP" >&2
+  exit 1
+fi
+"$ITREE" recover "$WORK/data" --digest | tee "$WORK/recover_v4.log"
+grep '^campaign ' "$WORK/recover_v4.log" | sort > "$WORK/post_drain.txt"
+diff -u "$WORK/pre_drain.txt" "$WORK/post_drain.txt"
+echo "-- v4 image adoption reproduces the replayed state bit-for-bit"
 echo "crash smoke passed"

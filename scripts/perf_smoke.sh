@@ -8,6 +8,12 @@
 #      the digests must equal scripts/perf_goldens/e13_digests.golden
 #      byte-for-byte. Any flat-kernel change that alters reward bits
 #      fails here before it can silently rewrite the BENCH_* trajectory.
+#   1b. bench_e13_scalability --scale giant --giant-nodes 200000 — the
+#      SoA-arena giant-tree sweep at a CI-sized node count: builds the
+#      arena, writes a v4 snapshot image, loads it back via both the v3
+#      record-stream rebuild and the v4 mmap bulk adoption, and fails
+#      on any bit divergence between the two; the mmap-load reward
+#      digest must equal scripts/perf_goldens/e13_giant_digest.golden.
 #   2. bench_e14_service_throughput --mechanism {tdrm,cdrm1,geometric}
 #      — drives the epoll daemon's *incremental* serving paths (the
 #      virtual-RCT chain state and the generalized ancestor-aggregate
@@ -43,6 +49,16 @@ echo "== e13 small-scale digest probe =="
 digests_of "$WORK/e13.json" | tee "$WORK/e13_digests.txt"
 diff -u "$GOLDENS/e13_digests.golden" "$WORK/e13_digests.txt" || {
   echo "e13 reward digests drifted from the checked-in goldens" >&2
+  exit 1
+}
+
+echo "== e13 giant-tree mmap-load digest probe =="
+"$BUILD_DIR/bench/bench_e13_scalability" --scale giant \
+    --giant-nodes 200000 --threads 2 --json "$WORK/e13_giant.json"
+digests_of "$WORK/e13_giant.json" | grep '^giant_' \
+    | tee "$WORK/e13_giant_digest.txt"
+diff -u "$GOLDENS/e13_giant_digest.golden" "$WORK/e13_giant_digest.txt" || {
+  echo "e13 giant mmap-load digest drifted from the golden" >&2
   exit 1
 }
 

@@ -214,6 +214,17 @@ void IncrementalSubtreeState::import_aggregates(
   }
 }
 
+void IncrementalSubtreeState::adopt_tree(Tree&& tree) {
+  require(tree_.node_count() == 1 && pending_.empty(),
+          "IncrementalSubtreeState::adopt_tree: state already has nodes");
+  tree_ = std::move(tree);
+  sums_.assign(tree_.node_count(), 0.0);
+  total_sum_ = 0.0;
+  if (config_.track_binary_depth) {
+    rebuild_binary_depths();
+  }
+}
+
 IncrementalRctState::IncrementalRctState(const TdrmParams& params, double phi)
     : params_(params),
       phi_(phi),
@@ -445,6 +456,20 @@ void IncrementalRctState::import_aggregates(const std::vector<double>& blob) {
     w_[u] = weight;
     p_[u] = pw;
   }
+}
+
+void IncrementalRctState::adopt_tree(Tree&& tree) {
+  require(tree_.node_count() == 1 && pending_.empty(),
+          "IncrementalRctState::adopt_tree: state already has nodes");
+  tree_ = std::move(tree);
+  const std::size_t n = tree_.node_count();
+  n_.assign(n, 0);
+  d_.assign(n, 0.0);
+  h_.assign(n, 0.0);
+  agg_.assign(n, 0.0);
+  w_.assign(n, 0.0);
+  p_.assign(n, 0.0);
+  total_agg_ = 0.0;
 }
 
 }  // namespace itree

@@ -119,6 +119,16 @@ class IncrementalSubtreeState {
   /// total) — the total is then recomputed from the per-node sums.
   void import_aggregates(const std::vector<double>& blob);
 
+  /// Bulk restore: takes ownership of a checkpointed tree with the FP
+  /// accumulators zeroed; the caller must immediately
+  /// import_aggregates() a blob exported over an identical tree (the
+  /// import overwrites every FP value, so adopt + import is
+  /// bit-identical to replaying the joins + import — without the
+  /// O(sum of depths) ancestor walks). Binary depths, a pure integer
+  /// function of the shape, are rebuilt exactly. Requires a fresh
+  /// state.
+  void adopt_tree(Tree&& tree);
+
  private:
   struct PendingWalk {
     NodeId from;
@@ -237,6 +247,13 @@ class IncrementalRctState {
   /// over an identical tree. The pure-shape scalars (N, W, P) are
   /// recomputed from contributions, which is exact.
   void import_aggregates(const std::vector<double>& blob);
+
+  /// Bulk restore counterpart of IncrementalSubtreeState::adopt_tree:
+  /// takes ownership of a checkpointed tree with every chain
+  /// accumulator zeroed; the mandatory import_aggregates() that follows
+  /// overwrites the FP state and recomputes N/W/P exactly. Requires a
+  /// fresh state.
+  void adopt_tree(Tree&& tree);
 
  private:
   struct PendingWalk {

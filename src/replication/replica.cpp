@@ -87,11 +87,14 @@ PrimaryInfo prepare_replica_data_dir(const std::string& data_dir,
   fs::create_directories(data_dir);
   if (info.committed_seq > 0) {
     const SnapshotFetch fetch = client.fetch_snapshot();
-    // decode validates magic/length/CRC; save re-encodes the identical
-    // image durably (temp + fsync + rename), the same path periodic
-    // snapshots use.
-    storage::save_snapshot(data_dir,
-                           storage::decode_snapshot(fetch.image));
+    // Validate in place (magic/length/CRCs — for a v4 image every
+    // section is checksummed without decoding a single participant)
+    // and persist the primary's bytes verbatim (temp + fsync + rename):
+    // no decode/re-encode round trip, and the saved image keeps the
+    // primary's format so local recovery can mmap-adopt it directly.
+    const std::uint64_t last_seq =
+        storage::validate_snapshot_image(fetch.image);
+    storage::save_snapshot_image(data_dir, fetch.image, last_seq);
   }
   return info;
 }
@@ -145,7 +148,7 @@ ReplicaSync::~ReplicaSync() { stop(); }
 
 void ReplicaSync::bootstrap_from_snapshot(const PrimaryInfo& info) {
   const SnapshotFetch fetch = client_->fetch_snapshot();
-  const storage::SnapshotData data = storage::decode_snapshot(fetch.image);
+  storage::SnapshotData data = storage::decode_snapshot(fetch.image);
   if (data.mechanism != mechanism_->display_name()) {
     throw std::runtime_error(
         "replica: snapshot image is for mechanism '" + data.mechanism +
@@ -158,20 +161,11 @@ void ReplicaSync::bootstrap_from_snapshot(const PrimaryInfo& info) {
         std::to_string(server_->campaign_count()));
   }
   for (std::size_t c = 0; c < data.campaigns.size(); ++c) {
-    const storage::CampaignSnapshot& snap = data.campaigns[c];
-    RecordingService& campaign = server_->mutable_campaign(c);
-    const auto expected_kind =
-        static_cast<std::uint8_t>(campaign.service().aggregate_kind());
-    if (!snap.aggregates.empty() &&
-        snap.aggregate_kind != storage::kAggregateKindUnspecified &&
-        snap.aggregate_kind != expected_kind) {
-      // Written by a differently-configured service; the tree alone
-      // still rebuilds correct rewards (see storage recovery).
-      campaign.restore_snapshot(snap.tree, snap.events_applied);
-    } else {
-      campaign.restore_snapshot(snap.tree, snap.events_applied,
-                                snap.aggregates);
-    }
+    // Same adopt-or-replay policy as storage recovery: bulk-adopt the
+    // decoded tree when the aggregate blob matches, replay otherwise.
+    storage::restore_campaign_from_snapshot(server_->mutable_campaign(c),
+                                            std::move(data.campaigns[c]), c,
+                                            nullptr);
   }
   shipped_ = data.last_seq;
   (void)info;

@@ -215,4 +215,12 @@ void RecordingService::restore_snapshot(
   log_ = EventLog::from_tree(tree);
 }
 
+void RecordingService::adopt_snapshot(Tree&& tree,
+                                      std::uint64_t events_applied,
+                                      const std::vector<double>& aggregates) {
+  // The compacted log must be built before the tree is moved away.
+  log_ = EventLog::from_tree(tree);
+  service_.adopt_snapshot(std::move(tree), events_applied, aggregates);
+}
+
 }  // namespace itree

@@ -104,6 +104,14 @@ class RecordingService {
   void restore_snapshot(const Tree& tree, std::uint64_t events_applied,
                         const std::vector<double>& aggregates);
 
+  /// Bulk counterpart (see RewardService::adopt_snapshot): the tree is
+  /// moved straight into the service's arena and the accumulators are
+  /// imported from the blob — no synthetic-join replay. The log becomes
+  /// the same compacted history restore_snapshot would produce.
+  /// Incremental services require a non-empty matching blob.
+  void adopt_snapshot(Tree&& tree, std::uint64_t events_applied,
+                      const std::vector<double>& aggregates);
+
   const RewardService& service() const { return service_; }
   const EventLog& log() const { return log_; }
 

@@ -190,6 +190,38 @@ void RewardService::restore_snapshot(const Tree& tree,
   dirty_ = true;
 }
 
+void RewardService::adopt_snapshot(Tree&& tree, std::size_t events_applied,
+                                   const std::vector<double>& aggregates) {
+  require(this->tree().node_count() == 1 && events_applied_ == 0,
+          "RewardService::adopt_snapshot: service already has state");
+  require(events_applied >= tree.participant_count(),
+          "RewardService::adopt_snapshot: event counter below "
+          "participant count");
+  switch (mode_) {
+    case Mode::kAggregate:
+      require(!aggregates.empty(),
+              "RewardService::adopt_snapshot: incremental service needs the "
+              "aggregate blob (use restore_snapshot to replay instead)");
+      aggregate_state_->adopt_tree(std::move(tree));
+      aggregate_state_->import_aggregates(aggregates);
+      break;
+    case Mode::kTdrm:
+      require(!aggregates.empty(),
+              "RewardService::adopt_snapshot: incremental service needs the "
+              "aggregate blob (use restore_snapshot to replay instead)");
+      rct_state_->adopt_tree(std::move(tree));
+      rct_state_->import_aggregates(aggregates);
+      break;
+    case Mode::kBatch:
+      // Batch rewards are a pure function of the tree; a stray blob
+      // from a differently-configured writer is irrelevant here.
+      batch_tree_ = std::move(tree);
+      break;
+  }
+  events_applied_ = events_applied;
+  dirty_ = true;
+}
+
 std::vector<double> RewardService::export_aggregates() const {
   ensure_flushed();
   switch (mode_) {

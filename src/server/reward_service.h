@@ -95,6 +95,20 @@ class RewardService {
   void restore_snapshot(const Tree& tree, std::size_t events_applied,
                         const std::vector<double>& aggregates);
 
+  /// Bulk restore: moves the checkpointed tree straight into the
+  /// incremental state's arena and overwrites the FP accumulators from
+  /// `aggregates` — bit-identical to restore_snapshot(tree, events,
+  /// aggregates) (the replay's FP values are overwritten by the import
+  /// there anyway), but O(n) column adoption instead of an
+  /// O(sum of depths) synthetic-join replay. Incremental modes require
+  /// a non-empty blob (whose family must match aggregate_kind(); sizes
+  /// are validated) — without one, only the replay path reproduces the
+  /// historical FP accumulation order, so callers fall back to
+  /// restore_snapshot. Batch mode ignores the blob. The service must
+  /// not have applied any events yet.
+  void adopt_snapshot(Tree&& tree, std::size_t events_applied,
+                      const std::vector<double>& aggregates);
+
   /// Flattens this service's incremental FP accumulators into an opaque
   /// double blob for snapshot persistence. Empty in batch mode.
   std::vector<double> export_aggregates() const;

@@ -3,13 +3,16 @@
 // A snapshot captures every campaign of a deployment at one WAL
 // watermark: all events with seq <= last_seq are reflected, so restart
 // cost becomes O(snapshot + WAL tail) instead of O(all events). The
-// tree is stored as (parent, contribution-bits) per participant in id
-// order — ids are assigned sequentially by the apply path, so parents
-// always precede children and the tree rebuilds bit-exactly.
+// tree is stored per participant in id order — ids are assigned
+// sequentially by the apply path, so parents always precede children
+// and the tree rebuilds bit-exactly.
 //
-// On-disk format (`snap-<last_seq, 16 hex digits>.snap`):
+// Two on-disk generations share the `snap-<last_seq, 16 hex>.snap`
+// naming; the loader sniffs the magic.
 //
-//     8 bytes  magic "ITSNAP03"
+// v1–v3 ("ITSNAP01".."ITSNAP03"): one checksummed record —
+//
+//     8 bytes  magic
 //     u32 LE   payload length
 //     u32 LE   CRC32C(payload)
 //     payload:
@@ -37,16 +40,56 @@
 //                                            bit-identical to the
 //                                            uninterrupted run)
 //
-// v2 snapshots ("ITSNAP02", no kind byte) still decode — the kind comes
-// back as kAggregateKindUnspecified, which recovery treats as "trust
-// the blob if its size fits" (the pre-v3 behaviour). v1 snapshots
-// ("ITSNAP01", no aggregate section at all) decode with empty
-// aggregates, i.e. the replay-joins path.
+// v2 snapshots (no kind byte) still decode — the kind comes back as
+// kAggregateKindUnspecified, which recovery treats as "trust the blob
+// if its size fits" (the pre-v3 behaviour). v1 snapshots (no aggregate
+// section at all) decode with empty aggregates, i.e. the replay-joins
+// path.
+//
+// v4 ("ITSNAP04"): an immutable, page-aligned tree image laid out so a
+// loader can mmap the file and bulk-adopt the columns without decoding
+// per-participant records —
+//
+//     header record (zero-padded to a page multiple):
+//       8 bytes  magic "ITSNAP04"
+//       u32 LE   header payload length
+//       u32 LE   CRC32C(header payload)
+//       payload:
+//         u64 last_seq
+//         u64 file size            (whole image; catches truncation
+//                                   before any section is touched)
+//         u32 page size            (kSnapshotPageSize)
+//         u32 campaign count
+//         u32 mechanism-name length + bytes
+//         per campaign:
+//           u64 events applied
+//           u64 participant count
+//           u64 aggregate count
+//           u8  aggregate kind
+//           u64 parents offset     (page-aligned)
+//           u64 contributions offset
+//           u64 aggregates offset
+//           u32 parents CRC32C
+//           u32 contributions CRC32C
+//           u32 aggregates CRC32C
+//     sections (each page-aligned, zero-padded, in campaign order):
+//       parents         participant count x u32 LE (participant u's
+//                       parent at index u-1)
+//       contributions   participant count x f64 LE
+//       aggregates      aggregate count x f64 LE
+//
+// On little-endian hardware the sections are exactly the live arena's
+// parent/contribution columns and the aggregate blob, so encode and
+// decode are memcpy-class, and a mapped image feeds Tree::from_arrays
+// straight from the page cache — snapshot load cost is O(file), not
+// O(rebuild). Every section carries its own CRC32C; decode verifies all
+// of them (MappedSnapshot::verify() does the same for validate-only
+// paths).
 //
 // Snapshots are written to a temp file, fsynced, then renamed into
 // place (with a directory fsync), so a crash mid-snapshot leaves the
-// previous snapshot intact. The loader validates magic, length and CRC
-// and throws std::invalid_argument on any mismatch — a torn or
+// previous snapshot intact. The loaders validate magic, lengths and
+// CRCs and throw std::invalid_argument on any mismatch — a torn or
 // corrupted snapshot is skipped in favour of an older one, never
 // half-loaded.
 #pragma once
@@ -60,21 +103,28 @@
 
 namespace itree::storage {
 
+inline constexpr std::string_view kSnapshotMagicV4 = "ITSNAP04";
 inline constexpr std::string_view kSnapshotMagic = "ITSNAP03";
 inline constexpr std::string_view kSnapshotMagicV2 = "ITSNAP02";
 inline constexpr std::string_view kSnapshotMagicV1 = "ITSNAP01";
-/// Cap on one snapshot's payload (bounds loader allocation on a
-/// corrupt length field): 1 GiB ~ 80M participants.
+/// Cap on one v1–v3 snapshot's payload (bounds loader allocation on a
+/// corrupt length field): 1 GiB ~ 80M participants. v4 images carry
+/// their own file size instead and validate section extents against it.
 inline constexpr std::uint32_t kMaxSnapshotBytes = 1u << 30;
+/// Section alignment of v4 images.
+inline constexpr std::uint32_t kSnapshotPageSize = 4096;
 
 /// Kind byte of v2 snapshots, which predate the field: the writer's
 /// accumulator family is unknown; recovery accepts the blob as before.
 inline constexpr std::uint8_t kAggregateKindUnspecified = 255;
 
+/// Which generation save_snapshot()/Storage write. Decode always sniffs.
+enum class SnapshotFormat : std::uint8_t { kV3 = 3, kV4 = 4 };
+
 struct CampaignSnapshot {
   std::uint64_t events_applied = 0;
   Tree tree;
-  /// server::AggregateKind of the writing service (v3), 0 for v1, or
+  /// server::AggregateKind of the writing service (v3/v4), 0 for v1, or
   /// kAggregateKindUnspecified for v2 images.
   std::uint8_t aggregate_kind = 0;
   /// RewardService::export_aggregates() at snapshot time; empty for
@@ -88,12 +138,24 @@ struct SnapshotData {
   std::vector<CampaignSnapshot> campaigns;
 };
 
-/// Encodes the full file image (magic + header + payload).
+/// Encodes the v3 file image (magic + header + payload).
 std::string encode_snapshot(const SnapshotData& data);
 
-/// Decodes a file image; throws std::invalid_argument on anything
-/// malformed (bad magic, torn payload, CRC mismatch, invalid tree).
+/// Encodes the v4 page-aligned image.
+std::string encode_snapshot_v4(const SnapshotData& data);
+
+/// Decodes a file image of any generation (sniffs the magic); throws
+/// std::invalid_argument on anything malformed (bad magic, torn
+/// payload, CRC mismatch, invalid tree). v4 images are fully
+/// CRC-verified (header and every section).
 SnapshotData decode_snapshot(std::string_view bytes);
+
+/// Validates an image without building any tree: magic/length/CRC for
+/// v1–v3, header + geometry + section CRCs for v4. Returns the image's
+/// last_seq; throws std::invalid_argument on any mismatch. This is the
+/// replica-bootstrap trust boundary: O(file) CRC scan, no O(n)
+/// participant decode.
+std::uint64_t validate_snapshot_image(std::string_view bytes);
 
 std::string snapshot_name(std::uint64_t last_seq);
 
@@ -104,11 +166,61 @@ std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
 
 /// Writes `data` durably (temp + fsync + rename + dir fsync). Throws
 /// std::runtime_error on I/O failure.
-void save_snapshot(const std::string& dir, const SnapshotData& data);
+void save_snapshot(const std::string& dir, const SnapshotData& data,
+                   SnapshotFormat format = SnapshotFormat::kV4);
+
+/// Writes an already-encoded image durably under the canonical
+/// `snap-<last_seq>.snap` name, byte-for-byte (replica bootstrap saves
+/// the primary's image without a decode/re-encode round trip). The
+/// caller is expected to have validated the bytes
+/// (validate_snapshot_image).
+void save_snapshot_image(const std::string& dir, std::string_view image,
+                         std::uint64_t last_seq);
 
 /// Loads the newest snapshot that validates; skipped corrupt ones are
 /// reported through `warnings`. Returns nullopt when none is usable.
+/// v4 images are loaded through an mmap (MappedSnapshot), so the bytes
+/// stream from the page cache instead of a read-into-buffer copy.
 std::optional<SnapshotData> load_latest_snapshot(
     const std::string& dir, std::vector<std::string>* warnings);
+
+/// A v4 snapshot file mapped read-only into memory. The constructor
+/// maps the file (falling back to a buffered read when mmap is
+/// unavailable) and validates the header record — magic, length, CRC,
+/// file size and section geometry — so last_seq()/mechanism() are
+/// trustworthy immediately; section payloads stay untouched (and
+/// unfaulted) until verify() or materialize() streams them. Throws
+/// std::runtime_error on I/O failure, std::invalid_argument when the
+/// file is not a well-formed v4 image.
+class MappedSnapshot {
+ public:
+  explicit MappedSnapshot(const std::string& path);
+  ~MappedSnapshot();
+
+  MappedSnapshot(MappedSnapshot&& other) noexcept;
+  MappedSnapshot& operator=(MappedSnapshot&& other) noexcept;
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  std::string_view bytes() const;
+  std::uint64_t last_seq() const { return last_seq_; }
+  const std::string& mechanism() const { return mechanism_; }
+
+  /// CRC-verifies every section (one sequential pass over the image);
+  /// throws std::invalid_argument on any mismatch.
+  void verify() const;
+
+  /// Decodes the image into live arenas (verifies everything, like
+  /// decode_snapshot). On little-endian hardware the tree columns are
+  /// bulk-copied out of the mapping into Tree::from_arrays.
+  SnapshotData materialize() const;
+
+ private:
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::string fallback_;  ///< used when mmap is unavailable
+  std::uint64_t last_seq_ = 0;
+  std::string mechanism_;
+};
 
 }  // namespace itree::storage

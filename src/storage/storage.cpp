@@ -31,6 +31,9 @@ void write_manifest(const std::string& dir, const Manifest& manifest) {
   out << "mechanism " << manifest.mechanism_name << '\n';
   out << "params " << manifest.mechanism_params << '\n';
   out << "display " << manifest.display << '\n';
+  if (!manifest.snapshot_format.empty()) {
+    out << "snapshot-format " << manifest.snapshot_format << '\n';
+  }
   const std::string text = out.str();
   const std::string path = manifest_path(dir);
   const std::string tmp = path + ".tmp";
@@ -100,6 +103,8 @@ Manifest read_manifest(const std::string& dir) {
       manifest.mechanism_params = value;
     } else if (key == "display") {
       manifest.display = value;
+    } else if (key == "snapshot-format") {
+      manifest.snapshot_format = value;
     }
     // Unknown keys are tolerated so newer layouts stay readable.
   }
@@ -107,6 +112,44 @@ Manifest read_manifest(const std::string& dir) {
     throw std::runtime_error("storage: incomplete MANIFEST in " + dir);
   }
   return manifest;
+}
+
+void restore_campaign_from_snapshot(RecordingService& campaign,
+                                    CampaignSnapshot&& snap,
+                                    std::size_t index,
+                                    std::vector<std::string>* warnings) {
+  const auto service_kind = campaign.service().aggregate_kind();
+  const auto expected_kind = static_cast<std::uint8_t>(service_kind);
+  if (!snap.aggregates.empty() &&
+      snap.aggregate_kind != kAggregateKindUnspecified &&
+      snap.aggregate_kind != expected_kind) {
+    // The blob was written by a differently-configured service (e.g. a
+    // mode change between runs). Rewards are still a pure function of
+    // the tree, so recover from the tree alone; only the final-ulp
+    // bit-exactness of resumed accumulators is lost.
+    if (warnings != nullptr) {
+      warnings->push_back(
+          "campaign " + std::to_string(index) + ": snapshot aggregate kind " +
+          std::to_string(snap.aggregate_kind) + " does not match the "
+          "service's kind " + std::to_string(expected_kind) +
+          "; restoring without aggregates");
+    }
+    campaign.restore_snapshot(snap.tree, snap.events_applied);
+    return;
+  }
+  if (snap.aggregates.empty() && service_kind != AggregateKind::kNone) {
+    // No blob (a v1 image, or a batch-configured writer feeding an
+    // incremental reader): only the synthetic-join replay reproduces a
+    // valid FP accumulation history for the incremental state.
+    campaign.restore_snapshot(snap.tree, snap.events_applied);
+    return;
+  }
+  // Blob present and compatible (or a batch service, which needs none):
+  // bulk-adopt the tree and import — the import overwrites every FP
+  // accumulator, so this is bit-identical to replay + import without
+  // the O(sum of depths) ancestor walks.
+  campaign.adopt_snapshot(std::move(snap.tree), snap.events_applied,
+                          snap.aggregates);
 }
 
 RecoveryResult recover_campaigns(const Mechanism& mechanism,
@@ -119,7 +162,7 @@ RecoveryResult recover_campaigns(const Mechanism& mechanism,
   }
 
   std::uint64_t snapshot_seq = 0;
-  const auto snapshot = load_latest_snapshot(dir, &result.report.warnings);
+  auto snapshot = load_latest_snapshot(dir, &result.report.warnings);
   if (snapshot.has_value()) {
     if (snapshot->mechanism != mechanism.display_name()) {
       throw std::runtime_error("storage: data directory was written by '" +
@@ -133,28 +176,9 @@ RecoveryResult recover_campaigns(const Mechanism& mechanism,
           " campaigns, deployment expects " + std::to_string(campaign_count));
     }
     for (std::size_t c = 0; c < campaign_count; ++c) {
-      const CampaignSnapshot& snap = snapshot->campaigns[c];
-      const auto expected_kind = static_cast<std::uint8_t>(
-          result.campaigns[c]->service().aggregate_kind());
-      if (!snap.aggregates.empty() &&
-          snap.aggregate_kind != kAggregateKindUnspecified &&
-          snap.aggregate_kind != expected_kind) {
-        // The blob was written by a differently-configured service
-        // (e.g. a mode change between runs). Rewards are still a pure
-        // function of the tree, so recover from the tree alone; only
-        // the final-ulp bit-exactness of resumed accumulators is lost.
-        result.report.warnings.push_back(
-            "campaign " + std::to_string(c) +
-            ": snapshot aggregate kind " +
-            std::to_string(snap.aggregate_kind) + " does not match the "
-            "service's kind " + std::to_string(expected_kind) +
-            "; restoring without aggregates");
-        result.campaigns[c]->restore_snapshot(snap.tree,
-                                              snap.events_applied);
-      } else {
-        result.campaigns[c]->restore_snapshot(snap.tree, snap.events_applied,
-                                              snap.aggregates);
-      }
+      restore_campaign_from_snapshot(*result.campaigns[c],
+                                     std::move(snapshot->campaigns[c]), c,
+                                     &result.report.warnings);
     }
     snapshot_seq = snapshot->last_seq;
     result.report.used_snapshot = true;
@@ -248,6 +272,8 @@ Storage::Storage(const Mechanism& mechanism, std::size_t campaigns,
     manifest.mechanism_name = config_.mechanism_name;
     manifest.mechanism_params = config_.mechanism_params;
     manifest.display = mechanism.display_name();
+    manifest.snapshot_format =
+        config_.snapshot_format == SnapshotFormat::kV4 ? "v4" : "v3";
     write_manifest(config_.data_dir, manifest);
   }
 
@@ -419,7 +445,9 @@ std::string Storage::encode_state_snapshot() {
     snap.aggregates = campaign->service().export_aggregates();
     data.campaigns.push_back(std::move(snap));
   }
-  return encode_snapshot(data);
+  return config_.snapshot_format == SnapshotFormat::kV4
+             ? encode_snapshot_v4(data)
+             : encode_snapshot(data);
 }
 
 void Storage::commit() {
@@ -470,7 +498,7 @@ void Storage::snapshot_locked() {
     snap.aggregates = campaign->service().export_aggregates();
     data.campaigns.push_back(std::move(snap));
   }
-  save_snapshot(config_.data_dir, data);
+  save_snapshot(config_.data_dir, data, config_.snapshot_format);
   ++counters_.snapshots_written;
   events_since_snapshot_ = 0;
 

@@ -43,6 +43,7 @@
 
 #include "core/mechanism.h"
 #include "server/event_log.h"
+#include "storage/snapshot.h"
 #include "storage/wal.h"
 
 namespace itree::storage {
@@ -52,6 +53,10 @@ struct StorageConfig {
   FsyncPolicy fsync = FsyncPolicy::kInterval;
   /// kInterval: maximum seconds of acknowledged-but-unsynced data.
   double fsync_interval_seconds = 0.02;
+  /// On-disk generation for snapshots this storage writes (recovery
+  /// reads every generation regardless). v4 is the mmap-able
+  /// page-aligned image; v3 is the record-per-participant form.
+  SnapshotFormat snapshot_format = SnapshotFormat::kV4;
   /// Total events between automatic snapshots; 0 disables periodic
   /// snapshots (the server still writes one on graceful drain).
   std::uint64_t snapshot_every = 0;
@@ -74,6 +79,10 @@ struct Manifest {
   std::string mechanism_name;   ///< factory name for make_mechanism()
   std::string mechanism_params; ///< raw parameter text ("" = defaults)
   std::string display;          ///< Mechanism::display_name(), validated
+  /// Informational: the snapshot generation configured when the
+  /// directory was created ("v3"/"v4"). Recovery sniffs each file's
+  /// magic, so this is documentation for operators, not a contract.
+  std::string snapshot_format;
 };
 
 /// Parses `dir`/MANIFEST; throws std::runtime_error when missing or
@@ -108,6 +117,21 @@ struct RecoveryResult {
 RecoveryResult recover_campaigns(const Mechanism& mechanism,
                                  std::size_t campaign_count,
                                  const std::string& dir);
+
+/// Restores one freshly-constructed campaign from a decoded snapshot —
+/// the policy shared by recover_campaigns() and replica bootstrap.
+/// When the aggregate blob is present and its kind matches the
+/// service's accumulator family, the tree is bulk-adopted and the blob
+/// imported (bit-identical to replay + import, O(n) column moves
+/// instead of an O(sum of depths) synthetic-join replay). A missing
+/// blob falls back to the replay path (the only one reproducing the
+/// historical FP accumulation order); a kind mismatch restores from the
+/// tree alone and notes it in `warnings` (may be null). `index` labels
+/// the warning.
+void restore_campaign_from_snapshot(RecordingService& campaign,
+                                    CampaignSnapshot&& snap,
+                                    std::size_t index,
+                                    std::vector<std::string>* warnings);
 
 struct StorageCounters {
   std::uint64_t events_appended = 0;
@@ -172,7 +196,8 @@ class Storage {
   ReplicationWindow read_replication_window(std::uint64_t from_seq,
                                             std::uint32_t max_records);
 
-  /// Encodes a snapshot v3 image of the full deployment at the current
+  /// Encodes a snapshot image (config().snapshot_format generation) of
+  /// the full deployment at the current
   /// watermark *without* writing it to disk or compacting — the
   /// replica-bootstrap payload. Quiesces apply/commit (exclusive lock)
   /// and makes every assigned sequence durable first, so the image's

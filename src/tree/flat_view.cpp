@@ -9,28 +9,27 @@ void FlatTreeView::rebuild(const Tree& tree) {
   source_ = &tree;
   total_contribution_ = tree.total_contribution();
 
-  parent_.resize(n);
-  contribution_.resize(n);
-  for (NodeId u = 0; u < n; ++u) {
-    parent_[u] = (u == kRoot) ? kInvalidNode : tree.parent(u);
-    contribution_[u] = tree.contribution(u);
-  }
+  // The arena already is SoA: bulk-copy its parent and contribution
+  // columns (the arena stores kInvalidNode for the root's parent, the
+  // same convention the view exposes).
+  const std::span<const NodeId> parents = tree.parent_array();
+  const std::span<const double> contributions = tree.contribution_array();
+  parent_.assign(parents.begin(), parents.end());
+  contribution_.assign(contributions.begin(), contributions.end());
 
-  // CSR child ranges. The arena is append-only, so every node's children
-  // were pushed in ascending id order — filling buckets by ascending id
-  // reproduces Tree::children() order exactly.
-  child_start_.assign(n + 1, 0);
-  for (NodeId u = 1; u < n; ++u) {
-    ++child_start_[parent_[u] + 1];
-  }
-  for (std::size_t u = 1; u <= n; ++u) {
-    child_start_[u] += child_start_[u - 1];
-  }
+  // CSR child ranges in one pass over the arena's sibling chains. Chain
+  // order is join order, which in an append-only arena is ascending id
+  // order — exactly what the old counting-sort fill produced.
+  child_start_.resize(n + 1);
   child_ids_.resize(n == 0 ? 0 : n - 1);
-  cursor_.assign(child_start_.begin(), child_start_.end() - 1);
-  for (NodeId u = 1; u < n; ++u) {
-    child_ids_[cursor_[parent_[u]]++] = u;
+  std::uint32_t cursor = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    child_start_[u] = cursor;
+    for (NodeId child : tree.children(u)) {
+      child_ids_[cursor++] = child;
+    }
   }
+  child_start_[n] = cursor;
 
   // Preorder: the same explicit-stack walk as Tree::subtree(kRoot)
   // (children pushed in reverse so the first child is visited first).

@@ -1,13 +1,13 @@
 // Flat, cache-friendly snapshot of a Tree for batch kernels.
 //
-// Tree stores children as one std::vector per node — ideal for O(1)
-// appends on the serving path, hostile to batch traversal: every child
-// list is its own heap allocation and postorder()/preorder() allocate
-// fresh index vectors per call. FlatTreeView freezes a tree into
-// structure-of-arrays form:
-//   * CSR child ranges (child_start_ / child_ids_) — one contiguous
-//     array instead of n small vectors,
-//   * SoA parent and contribution copies,
+// The live Tree is a struct-of-arrays arena with first-child /
+// next-sibling links — ideal for O(1) appends on the serving path.
+// Batch kernels want the children of each node contiguous and the
+// traversal orders precomputed; FlatTreeView freezes a tree into that
+// form:
+//   * CSR child ranges (child_start_ / child_ids_), filled by one pass
+//     over the arena's sibling chains,
+//   * parent and contribution columns bulk-copied from the arena,
 //   * the post- and preorder index sequences, computed once and cached.
 // The traversal orders are exactly Tree::postorder()/preorder() (same
 // algorithm over the same child order), so kernels running over a view
@@ -71,8 +71,7 @@ class FlatTreeView {
   std::vector<NodeId> child_ids_;           // node_count - 1 entries
   std::vector<NodeId> postorder_;
   std::vector<NodeId> preorder_;
-  std::vector<NodeId> stack_;          // traversal scratch, kept for reuse
-  std::vector<std::uint32_t> cursor_;  // CSR fill scratch, kept for reuse
+  std::vector<NodeId> stack_;  // traversal scratch, kept for reuse
 };
 
 }  // namespace itree

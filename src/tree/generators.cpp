@@ -36,6 +36,7 @@ ContributionSampler capped_contribution(ContributionSampler sampler,
 Tree make_chain(const std::vector<double>& contributions) {
   require(!contributions.empty(), "make_chain: needs at least one node");
   Tree tree;
+  tree.reserve(contributions.size() + 1);
   NodeId parent = kRoot;
   for (double c : contributions) {
     parent = tree.add_node(parent, c);
@@ -51,6 +52,7 @@ Tree make_star(std::size_t n, double hub_contribution,
                double leaf_contribution) {
   require(n >= 1, "make_star: needs at least one node");
   Tree tree;
+  tree.reserve(n + 1);
   const NodeId hub = tree.add_independent(hub_contribution);
   for (std::size_t i = 1; i < n; ++i) {
     tree.add_node(hub, leaf_contribution);
@@ -62,6 +64,12 @@ Tree make_kary(std::size_t levels, std::size_t arity, double contribution) {
   require(levels >= 1, "make_kary: needs at least one level");
   require(arity >= 1, "make_kary: arity must be >= 1");
   Tree tree;
+  std::size_t total = 1, level_size = 1;
+  for (std::size_t level = 1; level < levels; ++level) {
+    level_size *= arity;
+    total += level_size;
+  }
+  tree.reserve(total + 1);
   std::vector<NodeId> frontier{tree.add_independent(contribution)};
   for (std::size_t level = 1; level < levels; ++level) {
     std::vector<NodeId> next;
@@ -80,6 +88,7 @@ Tree make_caterpillar(std::size_t spine_length, std::size_t legs,
                       double contribution) {
   require(spine_length >= 1, "make_caterpillar: spine must be non-empty");
   Tree tree;
+  tree.reserve(spine_length * (1 + legs) + 1);
   NodeId spine = kRoot;
   for (std::size_t i = 0; i < spine_length; ++i) {
     spine = tree.add_node(spine, contribution);
@@ -107,6 +116,7 @@ NodeId pick_parent_uniform(const Tree& tree, Rng& rng,
 Tree random_recursive_tree(std::size_t n, const ContributionSampler& sampler,
                            Rng& rng, const GrowthOptions& options) {
   Tree tree;
+  tree.reserve(n + 1);
   for (std::size_t i = 0; i < n; ++i) {
     tree.add_node(pick_parent_uniform(tree, rng, options), sampler(rng));
   }
@@ -117,6 +127,7 @@ Tree preferential_attachment_tree(std::size_t n,
                                   const ContributionSampler& sampler, Rng& rng,
                                   const GrowthOptions& options) {
   Tree tree;
+  tree.reserve(n + 1);
   // weight(u) = 1 + #children(u); maintained incrementally. Entry 0
   // (root) is excluded from the weighted draw.
   std::vector<double> weights;
@@ -152,6 +163,7 @@ Tree bounded_depth_tree(std::size_t n, std::size_t max_depth,
                         const GrowthOptions& options) {
   require(max_depth >= 1, "bounded_depth_tree: max_depth must be >= 1");
   Tree tree;
+  tree.reserve(n + 1);
   std::vector<std::size_t> depth_of{0};  // per node id
   for (std::size_t i = 0; i < n; ++i) {
     NodeId parent = pick_parent_uniform(tree, rng, options);

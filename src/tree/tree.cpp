@@ -6,13 +6,21 @@ namespace itree {
 
 Tree::Tree() {
   parent_.push_back(kInvalidNode);
-  children_.emplace_back();
+  first_child_.push_back(kInvalidNode);
+  last_child_.push_back(kInvalidNode);
+  next_sibling_.push_back(kInvalidNode);
+  prev_sibling_.push_back(kInvalidNode);
+  depth_.push_back(0);
   contribution_.push_back(0.0);
 }
 
 void Tree::reserve(std::size_t nodes) {
   parent_.reserve(nodes);
-  children_.reserve(nodes);
+  first_child_.reserve(nodes);
+  last_child_.reserve(nodes);
+  next_sibling_.reserve(nodes);
+  prev_sibling_.reserve(nodes);
+  depth_.reserve(nodes);
   contribution_.reserve(nodes);
 }
 
@@ -20,16 +28,52 @@ void Tree::check_node(NodeId u, const char* what) const {
   require(contains(u), std::string(what) + ": node does not exist");
 }
 
+void Tree::append_unchecked(NodeId parent, double contribution) {
+  const auto id = static_cast<NodeId>(parent_.size());
+  // Read the link state *before* any push_back: a reallocation must not
+  // invalidate what the chain splice below needs.
+  const NodeId tail = last_child_[parent];
+  const std::uint32_t parent_depth = depth_[parent];
+  parent_.push_back(parent);
+  first_child_.push_back(kInvalidNode);
+  last_child_.push_back(kInvalidNode);
+  next_sibling_.push_back(kInvalidNode);
+  prev_sibling_.push_back(tail);
+  depth_.push_back(parent_depth + 1);
+  contribution_.push_back(contribution);
+  if (tail == kInvalidNode) {
+    first_child_[parent] = id;
+  } else {
+    next_sibling_[tail] = id;
+  }
+  last_child_[parent] = id;
+  total_contribution_ += contribution;
+}
+
 NodeId Tree::add_node(NodeId parent, double contribution) {
   check_node(parent, "Tree::add_node");
   require(contribution >= 0.0, "Tree::add_node: contribution must be >= 0");
   const auto id = static_cast<NodeId>(parent_.size());
-  parent_.push_back(parent);
-  children_.emplace_back();
-  contribution_.push_back(contribution);
-  children_[parent].push_back(id);
-  total_contribution_ += contribution;
+  append_unchecked(parent, contribution);
   return id;
+}
+
+Tree Tree::from_arrays(std::span<const NodeId> parents,
+                       std::span<const double> contributions) {
+  require(parents.size() == contributions.size(),
+          "Tree::from_arrays: parent / contribution array size mismatch");
+  Tree tree;
+  tree.reserve(parents.size() + 1);
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    // Ids are assigned sequentially, so "parent already exists" is
+    // exactly parents[i] <= i (participant i + 1's parent is at most i).
+    require(parents[i] <= i,
+            "Tree::from_arrays: parent id does not precede the node");
+    require(contributions[i] >= 0.0,
+            "Tree::from_arrays: contribution must be >= 0");
+    tree.append_unchecked(parents[i], contributions[i]);
+  }
+  return tree;
 }
 
 NodeId Tree::parent(NodeId u) const {
@@ -37,9 +81,9 @@ NodeId Tree::parent(NodeId u) const {
   return parent_[u];
 }
 
-const std::vector<NodeId>& Tree::children(NodeId u) const {
+ChildRange Tree::children(NodeId u) const {
   check_node(u, "Tree::children");
-  return children_[u];
+  return ChildRange(next_sibling_.data(), first_child_[u]);
 }
 
 double Tree::contribution(NodeId u) const {
@@ -60,54 +104,65 @@ void Tree::set_contribution(NodeId u, double contribution) {
 void Tree::remove_last_node() {
   require(parent_.size() > 1, "Tree::remove_last_node: no participants");
   const NodeId last = static_cast<NodeId>(parent_.size() - 1);
-  ensure(children_[last].empty(),
+  ensure(first_child_[last] == kInvalidNode,
          "Tree::remove_last_node: the last node must be a leaf");
   const NodeId p = parent_[last];
-  ensure(!children_[p].empty() && children_[p].back() == last,
+  ensure(last_child_[p] == last,
          "Tree::remove_last_node: the last node must be its parent's "
          "newest child");
-  children_[p].pop_back();
+  // Unlink from the parent's child chain in O(1) via the back pointer.
+  const NodeId prev = prev_sibling_[last];
+  last_child_[p] = prev;
+  if (prev == kInvalidNode) {
+    first_child_[p] = kInvalidNode;
+  } else {
+    next_sibling_[prev] = kInvalidNode;
+  }
   total_contribution_ -= contribution_[last];
   parent_.pop_back();
-  children_.pop_back();
+  first_child_.pop_back();
+  last_child_.pop_back();
+  next_sibling_.pop_back();
+  prev_sibling_.pop_back();
+  depth_.pop_back();
   contribution_.pop_back();
 }
 
 std::size_t Tree::depth(NodeId u) const {
   check_node(u, "Tree::depth");
-  std::size_t d = 0;
-  while (u != kRoot) {
-    u = parent_[u];
-    ++d;
-  }
-  return d;
+  return depth_[u];
 }
 
 bool Tree::is_ancestor(NodeId ancestor, NodeId u) const {
   check_node(ancestor, "Tree::is_ancestor");
   check_node(u, "Tree::is_ancestor");
-  while (true) {
-    if (u == ancestor) {
-      return true;
-    }
-    if (u == kRoot) {
-      return false;
-    }
+  if (depth_[ancestor] > depth_[u]) {
+    return false;
+  }
+  // Walk u up exactly the depth difference; no per-step root test.
+  for (std::uint32_t d = depth_[u]; d > depth_[ancestor]; --d) {
     u = parent_[u];
   }
+  return u == ancestor;
 }
 
 std::vector<NodeId> Tree::subtree(NodeId u) const {
   check_node(u, "Tree::subtree");
   std::vector<NodeId> out;
+  // First-child/next-sibling preorder: popping v visits it, then its
+  // first child (pushed last) before its next sibling — the same order
+  // as the old walk that pushed each child vector reversed. The start
+  // node's own siblings are outside the subtree and never pushed.
   std::vector<NodeId> stack{u};
   while (!stack.empty()) {
     const NodeId v = stack.back();
     stack.pop_back();
     out.push_back(v);
-    const auto& kids = children_[v];
-    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-      stack.push_back(*it);
+    if (v != u && next_sibling_[v] != kInvalidNode) {
+      stack.push_back(next_sibling_[v]);
+    }
+    if (first_child_[v] != kInvalidNode) {
+      stack.push_back(first_child_[v]);
     }
   }
   return out;
@@ -124,8 +179,11 @@ double Tree::subtree_contribution(NodeId u) const {
 std::vector<NodeId> Tree::preorder() const { return subtree(kRoot); }
 
 std::vector<NodeId> Tree::postorder() const {
-  // Preorder visits parents before children; reversing a preorder that
-  // pushes children left-to-right yields a valid postorder.
+  // The mirror of subtree(): a last-child/prev-sibling walk visits
+  // parents before children with children right-to-left — exactly the
+  // old forward pass that pushed each child vector in order — and
+  // reversing it yields the same postorder (children left-to-right,
+  // every child before its parent).
   std::vector<NodeId> order;
   order.reserve(node_count());
   std::vector<NodeId> stack{kRoot};
@@ -133,8 +191,11 @@ std::vector<NodeId> Tree::postorder() const {
     const NodeId v = stack.back();
     stack.pop_back();
     order.push_back(v);
-    for (NodeId child : children_[v]) {
-      stack.push_back(child);
+    if (v != kRoot && prev_sibling_[v] != kInvalidNode) {
+      stack.push_back(prev_sibling_[v]);
+    }
+    if (last_child_[v] != kInvalidNode) {
+      stack.push_back(last_child_[v]);
     }
   }
   std::vector<NodeId> out(order.rbegin(), order.rend());
@@ -145,6 +206,9 @@ NodeId graft_subtree(Tree& dst, NodeId dst_parent, const Tree& src,
                      NodeId src_node) {
   require(src_node != kRoot,
           "graft_subtree: cannot graft the imaginary root; use graft_forest");
+  require(&dst != &src,
+          "graft_subtree: grafting a tree into itself would walk a "
+          "chain it is mutating");
   const NodeId copied_root =
       dst.add_node(dst_parent, src.contribution(src_node));
   // Pair stack of (src node, its copy's id). Children are *added* in

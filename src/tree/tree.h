@@ -5,14 +5,31 @@
 // contribution 0 whose children are the forest roots. Node weights are
 // contributions C(u) >= 0.
 //
-// The structure is arena-backed (indices, no pointers) and append-only:
-// participants join over time, as the CSI / USA property definitions
-// require, but never leave. Contributions are mutable (needed by the CCI
-// and SL checkers, and by the "buyer keeps purchasing" MLM view).
+// The structure is a struct-of-arrays arena (indices, no pointers, no
+// per-node heap allocations) and append-only: participants join over
+// time, as the CSI / USA property definitions require, but never leave.
+// Contributions are mutable (needed by the CCI and SL checkers, and by
+// the "buyer keeps purchasing" MLM view).
+//
+// Layout: seven parallel arrays indexed by NodeId —
+//   parent_        parent id (kInvalidNode for the root)
+//   first_child_   head of the child list (kInvalidNode if leaf)
+//   last_child_    tail of the child list (O(1) append)
+//   next_sibling_  forward sibling chain, in join order
+//   prev_sibling_  backward sibling chain (O(1) remove_last_node and the
+//                  mirrored postorder walk)
+//   depth_         cached depth (O(1) depth queries; ancestor walks on
+//                  the serving hot path early-exit on it)
+//   contribution_  C(u)
+// Child order is join order, exactly as the old vector-of-vectors arena
+// reported it, so every traversal and hence every FP evaluation order —
+// and the BENCH digest trajectory — is unchanged.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +56,77 @@ inline constexpr NodeId kRoot = 0;
 
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
+/// A node's children as a lightweight view over the arena's sibling
+/// chain, in join order (the order the old per-node child vectors kept).
+/// Valid until the next structural mutation of the tree.
+class ChildRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeId*;
+    using reference = NodeId;
+
+    iterator() = default;
+    iterator(const NodeId* next_sibling, NodeId at)
+        : next_sibling_(next_sibling), at_(at) {}
+
+    NodeId operator*() const { return at_; }
+    iterator& operator++() {
+      at_ = next_sibling_[at_];
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    bool operator==(const iterator& other) const { return at_ == other.at_; }
+    bool operator!=(const iterator& other) const { return at_ != other.at_; }
+
+   private:
+    const NodeId* next_sibling_ = nullptr;
+    NodeId at_ = kInvalidNode;
+  };
+
+  ChildRange(const NodeId* next_sibling, NodeId first)
+      : next_sibling_(next_sibling), first_(first) {}
+
+  iterator begin() const { return {next_sibling_, first_}; }
+  iterator end() const { return {next_sibling_, kInvalidNode}; }
+
+  bool empty() const { return first_ == kInvalidNode; }
+  NodeId front() const { return first_; }
+
+  /// Number of children — O(degree), it walks the chain.
+  std::size_t size() const {
+    std::size_t count = 0;
+    for (NodeId at = first_; at != kInvalidNode; at = next_sibling_[at]) {
+      ++count;
+    }
+    return count;
+  }
+
+  /// i-th child in join order — O(i).
+  NodeId operator[](std::size_t i) const {
+    NodeId at = first_;
+    while (i-- > 0) {
+      at = next_sibling_[at];
+    }
+    return at;
+  }
+
+  std::vector<NodeId> to_vector() const {
+    return std::vector<NodeId>(begin(), end());
+  }
+
+ private:
+  const NodeId* next_sibling_;
+  NodeId first_;
+};
+
 class Tree {
  public:
   /// Creates a tree containing only the imaginary root.
@@ -46,12 +134,21 @@ class Tree {
 
   /// Pre-sizes the arena for `nodes` total nodes (including the
   /// imaginary root). Purely a capacity hint; no-op when already large
-  /// enough.
+  /// enough. Generators pass their target size through here so giant
+  /// trees build without reallocation.
   void reserve(std::size_t nodes);
+
+  /// Bulk-builds a tree from parallel participant arrays in id order:
+  /// participant u = i + 1 has parent parents[i] (< u) and contribution
+  /// contributions[i] (>= 0) — the snapshot-image layout. One linear
+  /// pass over the arena; throws std::invalid_argument on any
+  /// out-of-order parent or negative contribution.
+  static Tree from_arrays(std::span<const NodeId> parents,
+                          std::span<const double> contributions);
 
   /// Adds a participant with the given contribution as a child of
   /// `parent`. Returns the new node's id. Requires `parent` to exist and
-  /// `contribution >= 0`.
+  /// `contribution >= 0`. O(1).
   NodeId add_node(NodeId parent, double contribution);
 
   /// Adds a participant who joined independently of any solicitation
@@ -71,7 +168,9 @@ class Tree {
   /// Parent of `u`; the root's parent is kInvalidNode.
   NodeId parent(NodeId u) const;
 
-  const std::vector<NodeId>& children(NodeId u) const;
+  /// Children of `u` in join order. The range reads the arena in place;
+  /// it is valid until the next structural mutation.
+  ChildRange children(NodeId u) const;
 
   double contribution(NodeId u) const;
 
@@ -80,19 +179,22 @@ class Tree {
   void set_contribution(NodeId u, double contribution);
 
   /// Removes the most recently added node. In an append-only arena the
-  /// highest id is always a leaf, which makes add/remove an O(1)
-  /// "probe" operation (used by the simulator to measure marginal
-  /// rewards without copying the tree). The root cannot be removed.
+  /// highest id is always a leaf and its parent's newest child, which
+  /// makes add/remove an O(1) "probe" operation (used by the simulator
+  /// to measure marginal rewards without copying the tree). The root
+  /// cannot be removed.
   void remove_last_node();
 
   /// C(T): total contribution over all nodes (root contributes 0).
   double total_contribution() const { return total_contribution_; }
 
-  /// Depth of `u`: number of edges from the root. O(depth).
+  /// Depth of `u`: number of edges from the root. O(1) — cached in the
+  /// arena at insertion.
   std::size_t depth(NodeId u) const;
 
   /// True when `ancestor` lies on the path from `u` to the root
-  /// (a node is an ancestor of itself). O(depth).
+  /// (a node is an ancestor of itself). O(depth difference), with an
+  /// O(1) depth-comparison early exit.
   bool is_ancestor(NodeId ancestor, NodeId u) const;
 
   /// All nodes of the subtree T_u in preorder. O(|T_u|).
@@ -111,11 +213,25 @@ class Tree {
   /// Participant ids (all nodes except the imaginary root), in id order.
   std::vector<NodeId> participants() const;
 
+  /// Raw arena columns, indexed by node id (entry 0 is the imaginary
+  /// root: parent kInvalidNode, contribution 0). FlatTreeView rebuilds
+  /// and the snapshot-image writer bulk-copy these instead of walking
+  /// accessors. Valid until the next mutation.
+  std::span<const NodeId> parent_array() const { return parent_; }
+  std::span<const double> contribution_array() const { return contribution_; }
+
  private:
   void check_node(NodeId u, const char* what) const;
+  /// Arena append without the parent/contribution validation — the
+  /// from_arrays bulk path has already validated.
+  void append_unchecked(NodeId parent, double contribution);
 
   std::vector<NodeId> parent_;
-  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> prev_sibling_;
+  std::vector<std::uint32_t> depth_;
   std::vector<double> contribution_;
   double total_contribution_ = 0.0;
 };

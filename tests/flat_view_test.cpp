@@ -41,7 +41,7 @@ TEST(FlatTreeView, StructureMirrorsTree) {
       }
       EXPECT_EQ(view.contribution(u), tree.contribution(u));
       const auto span = view.children(u);
-      const std::vector<NodeId> expected = tree.children(u);
+      const std::vector<NodeId> expected = tree.children(u).to_vector();
       ASSERT_EQ(span.size(), expected.size()) << "node " << u;
       for (std::size_t i = 0; i < expected.size(); ++i) {
         EXPECT_EQ(span[i], expected[i]) << "node " << u << " child " << i;

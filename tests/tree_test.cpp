@@ -178,6 +178,83 @@ TEST(Tree, ProbePatternLeavesTreeBitIdentical) {
   EXPECT_EQ(tree.total_contribution(), total_before);
 }
 
+TEST(Tree, RemoveLastNodeUnlinksOnlyTheNewestSibling) {
+  // Arena regression: removing the newest node must rewire the tail of
+  // its parent's sibling chain (last-child and prev/next links) while
+  // leaving the older siblings untouched, and the next append must land
+  // after the surviving tail, not after the removed node.
+  Tree tree;
+  const NodeId p = tree.add_independent(1.0);
+  const NodeId a = tree.add_node(p, 2.0);
+  const NodeId b = tree.add_node(p, 3.0);
+  tree.add_node(p, 4.0);
+  tree.remove_last_node();
+  EXPECT_EQ(tree.children(p).to_vector(), (std::vector<NodeId>{a, b}));
+  const NodeId c = tree.add_node(p, 5.0);
+  EXPECT_EQ(tree.children(p).to_vector(), (std::vector<NodeId>{a, b, c}));
+  EXPECT_DOUBLE_EQ(tree.total_contribution(), 11.0);
+}
+
+TEST(Tree, RemoveLastNodeKeepsTheForestRootChainIntact) {
+  // Same invariant at the imaginary root's child list (forest roots).
+  Tree tree;
+  const NodeId a = tree.add_independent(1.0);
+  const NodeId b = tree.add_independent(2.0);
+  tree.add_independent(3.0);
+  tree.remove_last_node();
+  EXPECT_EQ(tree.children(kRoot).to_vector(), (std::vector<NodeId>{a, b}));
+  const NodeId c = tree.add_independent(4.0);
+  EXPECT_EQ(tree.children(kRoot).to_vector(),
+            (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(Tree, FromArraysRebuildsTheArenaBitExactly) {
+  // The snapshot-image decode path: bulk-build from the parent and
+  // contribution columns must reproduce every arena relation — parents,
+  // contributions, cached depths, child order — of the incrementally
+  // built original.
+  const Tree want = parse_tree("(5 (3 (4) (1)) (2)) (7 (6))");
+  const Tree got = Tree::from_arrays(want.parent_array().subspan(1),
+                                     want.contribution_array().subspan(1));
+  ASSERT_EQ(got.node_count(), want.node_count());
+  EXPECT_EQ(got.total_contribution(), want.total_contribution());
+  for (NodeId u = 0; u < want.node_count(); ++u) {
+    EXPECT_EQ(got.parent(u), want.parent(u));
+    EXPECT_EQ(got.contribution(u), want.contribution(u));
+    EXPECT_EQ(got.depth(u), want.depth(u));
+    EXPECT_EQ(got.children(u).to_vector(), want.children(u).to_vector());
+  }
+  EXPECT_EQ(to_string(got), to_string(want));
+}
+
+TEST(Tree, FromArraysRejectsMalformedColumns) {
+  const std::vector<double> ones = {1.0, 1.0};
+  // Participant 2's parent must precede it (id <= 1).
+  const std::vector<NodeId> forward = {0, 2};
+  EXPECT_THROW(Tree::from_arrays(forward, ones), std::invalid_argument);
+  const std::vector<NodeId> chain = {0, 1};
+  const std::vector<double> negative = {1.0, -2.0};
+  EXPECT_THROW(Tree::from_arrays(chain, negative), std::invalid_argument);
+  const std::vector<double> short_contribs = {1.0};
+  EXPECT_THROW(Tree::from_arrays(chain, short_contribs),
+               std::invalid_argument);
+}
+
+TEST(Tree, GraftSubtreeCarriesContributionsAndDepths) {
+  // Grafting re-anchors the copied subtree: contributions carry over
+  // bit-exactly and the cached depths are recomputed at the new anchor.
+  const Tree src = parse_tree("(5 (3 (4)))");  // depths 1, 2, 3
+  Tree dst;
+  const NodeId a = dst.add_independent(1.0);
+  const NodeId b = dst.add_node(a, 1.0);  // depth 2
+  const NodeId copy = graft_subtree(dst, b, src, 1);
+  EXPECT_EQ(dst.depth(copy), 3u);
+  EXPECT_EQ(dst.children(copy).size(), 1u);
+  EXPECT_EQ(dst.depth(dst.children(copy)[0]), 4u);
+  EXPECT_DOUBLE_EQ(dst.total_contribution(), 14.0);
+  EXPECT_DOUBLE_EQ(dst.subtree_contribution(copy), 12.0);
+}
+
 TEST(TreeIo, RoundTripsSExpressions) {
   const std::string text = "(5 (3) (2 (1))) (4)";
   const Tree tree = parse_tree(text);
