@@ -13,11 +13,17 @@
 # (recovery + torn-tail truncation), and require a fresh loadgen
 # --check pass plus a clean graceful drain.
 #
-# Variant 3 — v4 snapshot image adoption: the drain snapshot must be an
-# ITSNAP04 page-aligned image, and `itree recover --digest` over it
-# (mmap + bulk column adoption, empty WAL tail) must reproduce the
-# campaign lines of a pre-drain recovery (snapshot + WAL-tail replay)
-# byte-for-byte.
+# Variant 3 — v5 snapshot image adoption (the default generation): the
+# drain snapshot must be an ITSNAP05 full-arena image, and `itree
+# recover --digest` over it (mmap + zero-rebuild column adoption, empty
+# WAL tail) must reproduce the campaign lines of a pre-drain recovery
+# (snapshot + WAL-tail replay) byte-for-byte.
+#
+# Variant 4 — v4 snapshot image adoption: the same drain/recover
+# round-trip with `--snapshot-format v4` forced, proving the previous
+# generation (ITSNAP04, parents+contributions + linked rebuild) still
+# recovers bit-for-bit — including a cross-generation bootstrap, since
+# the daemon starts from variant 3's v5 image before draining to v4.
 #
 # Usage: scripts/crash_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -75,7 +81,7 @@ grep 'recovered from' "$WORK/served.log"
 "$LOADGEN" --port "$PORT" --connections 3 --campaigns 3 \
     --requests 300 --check
 
-echo "== variant 3: v4 snapshot adoption matches WAL-tail replay =="
+echo "== variant 3: v5 snapshot adoption matches WAL-tail replay =="
 # The daemon is idle now: recover the committed state the slow way
 # (older snapshot + WAL-tail replay) before the drain compacts it.
 "$ITREE" recover "$WORK/data" --digest | grep '^campaign ' | sort \
@@ -83,12 +89,32 @@ echo "== variant 3: v4 snapshot adoption matches WAL-tail replay =="
 kill -TERM "$PID"
 wait "$PID"  # non-zero unless the drain (snapshot + compaction) succeeded
 SNAP=$(ls "$WORK/data"/snap-*.snap | sort | tail -1)
+if [ "$(head -c 8 "$SNAP")" != "ITSNAP05" ]; then
+  echo "drain snapshot is not a v5 image: $SNAP" >&2
+  exit 1
+fi
+"$ITREE" recover "$WORK/data" --digest | tee "$WORK/recover_v5.log"
+grep '^campaign ' "$WORK/recover_v5.log" | sort > "$WORK/post_drain.txt"
+diff -u "$WORK/pre_drain.txt" "$WORK/post_drain.txt"
+echo "-- v5 image adoption reproduces the replayed state bit-for-bit"
+
+echo "== variant 4: v4 snapshot adoption matches WAL-tail replay =="
+# Bootstrap from the v5 drain image, add traffic, then drain to the
+# previous on-disk generation and round-trip through it.
+start_daemon --fsync interval --snapshot-every 500 --snapshot-format v4
+"$LOADGEN" --port "$PORT" --connections 3 --campaigns 3 \
+    --requests 300 --check
+"$ITREE" recover "$WORK/data" --digest | grep '^campaign ' | sort \
+    > "$WORK/pre_drain_v4.txt"
+kill -TERM "$PID"
+wait "$PID"
+SNAP=$(ls "$WORK/data"/snap-*.snap | sort | tail -1)
 if [ "$(head -c 8 "$SNAP")" != "ITSNAP04" ]; then
   echo "drain snapshot is not a v4 image: $SNAP" >&2
   exit 1
 fi
 "$ITREE" recover "$WORK/data" --digest | tee "$WORK/recover_v4.log"
-grep '^campaign ' "$WORK/recover_v4.log" | sort > "$WORK/post_drain.txt"
-diff -u "$WORK/pre_drain.txt" "$WORK/post_drain.txt"
+grep '^campaign ' "$WORK/recover_v4.log" | sort > "$WORK/post_drain_v4.txt"
+diff -u "$WORK/pre_drain_v4.txt" "$WORK/post_drain_v4.txt"
 echo "-- v4 image adoption reproduces the replayed state bit-for-bit"
 echo "crash smoke passed"

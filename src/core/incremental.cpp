@@ -52,6 +52,15 @@ void IncrementalSubtreeState::bubble_up(NodeId from, double delta) {
     }
     w = tree_.parent(w);
     scaled *= config_.decay;
+    // Underflow early exit: delta >= 0 and decay in (0, 1] keep scaled
+    // non-negative, so once it hits +0.0 every remaining ancestor would
+    // add +0.0 to an accumulator that is never -0.0 (they start at +0.0
+    // and only ever gain non-negative terms; exact cancellation yields
+    // +0.0 under round-to-nearest) — a bitwise no-op. Deep-chain shapes
+    // (eps-chain) cut from O(depth) to O(log(delta) / log(decay)).
+    if (scaled == 0.0) {
+      break;
+    }
   }
 }
 
@@ -308,7 +317,15 @@ void IncrementalRctState::rebuild_chain(NodeId u) {
 void IncrementalRctState::bubble_up(NodeId w, double dd) {
   while (true) {
     d_[w] += dd;
-    if (w == kRoot) {
+    // Underflow early exit, same argument as the subtree engine's:
+    // contributions >= 0, mu > 0 and a in (0, 1) keep every chain
+    // scalar (W, P, H, D, A) non-negative, so dd >= 0 throughout the
+    // walk and no accumulator is ever -0.0. Once dd multiplies down to
+    // +0.0, da and dh are +0.0 too and every remaining ancestor update
+    // is a bitwise no-op — stop walking. On deep RCT chains this caps
+    // the hot-path walk at the float underflow horizon instead of
+    // O(depth).
+    if (w == kRoot || dd == 0.0) {
       break;
     }
     const double da = w_[w] * dd;

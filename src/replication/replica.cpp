@@ -87,11 +87,13 @@ PrimaryInfo prepare_replica_data_dir(const std::string& data_dir,
   fs::create_directories(data_dir);
   if (info.committed_seq > 0) {
     const SnapshotFetch fetch = client.fetch_snapshot();
-    // Validate in place (magic/length/CRCs — for a v4 image every
+    // Validate in place (magic/length/CRCs — for a v4/v5 image every
     // section is checksummed without decoding a single participant)
     // and persist the primary's bytes verbatim (temp + fsync + rename):
     // no decode/re-encode round trip, and the saved image keeps the
-    // primary's format so local recovery can mmap-adopt it directly.
+    // primary's format so local recovery can mmap-adopt it directly (a
+    // shipped v5 image stands the replica's trees up straight over the
+    // mapping — no per-node work between fetch and serving).
     const std::uint64_t last_seq =
         storage::validate_snapshot_image(fetch.image);
     storage::save_snapshot_image(data_dir, fetch.image, last_seq);

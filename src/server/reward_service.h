@@ -105,7 +105,11 @@ class RewardService {
   /// are validated) — without one, only the replay path reproduces the
   /// historical FP accumulation order, so callers fall back to
   /// restore_snapshot. Batch mode ignores the blob. The service must
-  /// not have applied any events yet.
+  /// not have applied any events yet. A tree adopted from a mapped v5
+  /// snapshot (Tree::adopt_columns) moves in with its columns still
+  /// *borrowing* the mapping — the service then serves reward queries
+  /// straight from the page cache, and the first mutating event
+  /// privatizes only the columns it touches.
   void adopt_snapshot(Tree&& tree, std::size_t events_applied,
                       const std::vector<double>& aggregates);
 

@@ -6,8 +6,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -20,6 +22,7 @@
 #include "storage/crc32c.h"
 #include "util/check.h"
 #include "util/io.h"
+#include "util/parallel.h"
 
 namespace itree::storage {
 namespace {
@@ -209,9 +212,10 @@ void verify_v4_sections(std::string_view bytes, const V4Header& header) {
   }
 }
 
-SnapshotData decode_snapshot_v4(std::string_view bytes) {
-  const V4Header header = parse_v4_header(bytes);
-  verify_v4_sections(bytes, header);
+/// Builds the live arenas from an already CRC-verified v4 image
+/// (decode_snapshot_v4 verifies first; MappedSnapshot::materialize()
+/// shares the verify() CRC walk instead of repeating it).
+SnapshotData build_v4(std::string_view bytes, const V4Header& header) {
   SnapshotData data;
   data.last_seq = header.last_seq;
   data.mechanism = header.mechanism;
@@ -240,6 +244,269 @@ SnapshotData decode_snapshot_v4(std::string_view bytes) {
     data.campaigns.push_back(std::move(campaign));
   }
   return data;
+}
+
+SnapshotData decode_snapshot_v4(std::string_view bytes) {
+  const V4Header header = parse_v4_header(bytes);
+  verify_v4_sections(bytes, header);
+  return build_v4(bytes, header);
+}
+
+// ---- v5 header ----------------------------------------------------------
+
+/// Section order within one campaign's entry (offsets, CRCs, and the
+/// on-disk layout all use it).
+enum V5Section : std::size_t {
+  kSecParent = 0,
+  kSecFirstChild,
+  kSecLastChild,
+  kSecNextSibling,
+  kSecPrevSibling,
+  kSecDepth,
+  kSecContribution,
+  kSecSkip,
+  kSecAggregates,
+  kV5SectionCount,
+};
+
+constexpr std::array<std::uint64_t, kV5SectionCount> kV5ElemSize = {
+    4, 4, 4, 4, 4, 4, 8, 4, 8};
+
+constexpr std::array<const char*, kV5SectionCount> kV5CrcMismatch = {
+    "parent section checksum mismatch",
+    "first-child section checksum mismatch",
+    "last-child section checksum mismatch",
+    "next-sibling section checksum mismatch",
+    "prev-sibling section checksum mismatch",
+    "depth section checksum mismatch",
+    "contribution section checksum mismatch",
+    "skip section checksum mismatch",
+    "aggregates section checksum mismatch"};
+
+struct V5Campaign {
+  std::uint64_t events_applied = 0;
+  std::uint64_t node_count = 0;  ///< INCLUDING the imaginary root
+  std::uint64_t aggregate_count = 0;
+  std::uint64_t skip_count = 0;  ///< 0 (absent) or node_count
+  std::uint8_t aggregate_kind = 0;
+  double total_contribution = 0.0;
+  std::array<std::uint64_t, kV5SectionCount> offsets = {};
+  std::array<std::uint32_t, kV5SectionCount> crcs = {};
+
+  std::uint64_t section_count(std::size_t s) const {
+    switch (s) {
+      case kSecSkip:
+        return skip_count;
+      case kSecAggregates:
+        return aggregate_count;
+      default:
+        return node_count;
+    }
+  }
+};
+
+struct V5Header {
+  std::uint64_t last_seq = 0;
+  std::string mechanism;
+  std::vector<V5Campaign> campaigns;
+};
+
+// Fixed bytes per campaign entry in the header payload.
+constexpr std::size_t kV5CampaignEntryBytes =
+    8 * 4 + 1 + 8 + kV5SectionCount * (8 + 4);
+
+/// Parses and fully validates the v5 header record, exactly like
+/// parse_v4_header: after this every section's (offset, count) pair is
+/// page-aligned and in bounds; section bytes are vouched for by
+/// verify_v5_sections.
+V5Header parse_v5_header(std::string_view bytes) {
+  reject(bytes.size() >= kSnapshotMagicV5.size() + 8, "file too short");
+  reject(bytes.substr(0, kSnapshotMagicV5.size()) == kSnapshotMagicV5,
+         "bad magic");
+  ByteReader fixed(bytes.substr(kSnapshotMagicV5.size(), 8));
+  const std::uint32_t length = fixed.u32();
+  const std::uint32_t expected_crc = fixed.u32();
+  reject(length <= bytes.size() - kSnapshotMagicV5.size() - 8,
+         "header length exceeds file");
+  const std::string_view payload =
+      bytes.substr(kSnapshotMagicV5.size() + 8, length);
+  reject(crc32c(payload) == expected_crc, "header checksum mismatch");
+
+  ByteReader in(payload);
+  V5Header header;
+  header.last_seq = in.u64();
+  const std::uint64_t file_size = in.u64();
+  reject(file_size == bytes.size(), "file size mismatch (truncated image?)");
+  reject(in.u32() == kSnapshotPageSize, "unsupported page size");
+  const std::uint32_t campaigns = in.u32();
+  const std::uint32_t name_length = in.u32();
+  reject(name_length <= in.remaining(), "mechanism name truncated");
+  header.mechanism = std::string(in.bytes(name_length));
+  reject(campaigns <= in.remaining() / kV5CampaignEntryBytes,
+         "campaign count exceeds header");
+  header.campaigns.reserve(campaigns);
+  for (std::uint32_t c = 0; c < campaigns; ++c) {
+    V5Campaign campaign;
+    campaign.events_applied = in.u64();
+    campaign.node_count = in.u64();
+    campaign.aggregate_count = in.u64();
+    campaign.skip_count = in.u64();
+    campaign.aggregate_kind = in.u8();
+    campaign.total_contribution = in.f64();
+    for (std::size_t s = 0; s < kV5SectionCount; ++s) {
+      campaign.offsets[s] = in.u64();
+    }
+    for (std::size_t s = 0; s < kV5SectionCount; ++s) {
+      campaign.crcs[s] = in.u32();
+    }
+    reject(campaign.node_count >= 1, "missing the imaginary root row");
+    reject(campaign.node_count < kInvalidNode, "impossible node count");
+    reject(campaign.skip_count == 0 ||
+               campaign.skip_count == campaign.node_count,
+           "skip section count mismatch");
+    reject(std::isfinite(campaign.total_contribution),
+           "total contribution not finite");
+    for (std::size_t s = 0; s < kV5SectionCount; ++s) {
+      check_section(campaign.offsets[s], campaign.section_count(s),
+                    kV5ElemSize[s], file_size);
+    }
+    header.campaigns.push_back(campaign);
+  }
+  in.finish();
+  return header;
+}
+
+/// The section-CRC walk; sections are independent, so the checks run in
+/// parallel (deterministic — every section's pass/fail is a pure
+/// function of the bytes; on mismatch the first failure in submission
+/// order is rethrown).
+void verify_v5_sections(std::string_view bytes, const V5Header& header) {
+  struct Job {
+    std::uint64_t offset, length;
+    std::uint32_t crc;
+    std::size_t section;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(header.campaigns.size() * kV5SectionCount);
+  for (const V5Campaign& campaign : header.campaigns) {
+    for (std::size_t s = 0; s < kV5SectionCount; ++s) {
+      jobs.push_back({campaign.offsets[s],
+                      campaign.section_count(s) * kV5ElemSize[s],
+                      campaign.crcs[s], s});
+    }
+  }
+  parallel_for(jobs.size(), [&](std::size_t i) {
+    const Job& job = jobs[i];
+    reject(crc32c(bytes.substr(job.offset, job.length)) == job.crc,
+           kV5CrcMismatch[job.section]);
+  });
+}
+
+/// Owned copies of one campaign's v5 sections — the keepalive of trees
+/// adopted through the buffered (non-mmap or big-endian) path.
+struct OwnedV5Columns {
+  std::vector<NodeId> parent, first_child, last_child, next_sibling,
+      prev_sibling, jump;
+  std::vector<std::uint32_t> depth;
+  std::vector<double> contribution;
+};
+
+/// Builds the campaigns from an already CRC-verified v5 image. With
+/// `mapping` set (the mmap path on little-endian hardware) the trees
+/// adopt the image's columns *in place* — zero per-node construction
+/// work, the mapping pinned by each tree's keepalive. Otherwise every
+/// section is copied once (endian-converting if needed) into an owned
+/// holder the trees borrow from instead.
+SnapshotData build_v5(std::string_view bytes, const V5Header& header,
+                      std::shared_ptr<const void> mapping) {
+  constexpr bool kLittleEndian =
+      std::endian::native == std::endian::little;
+  const bool in_place = kLittleEndian && mapping != nullptr;
+  SnapshotData data;
+  data.last_seq = header.last_seq;
+  data.mechanism = header.mechanism;
+  data.campaigns.reserve(header.campaigns.size());
+  for (const V5Campaign& entry : header.campaigns) {
+    CampaignSnapshot campaign;
+    campaign.events_applied = entry.events_applied;
+    campaign.aggregate_kind = entry.aggregate_kind;
+    const std::size_t n = entry.node_count;
+    Tree::Columns columns;
+    if (in_place) {
+      // Page-aligned sections in a page-aligned mapping: the arena
+      // columns ARE these bytes.
+      const char* base = bytes.data();
+      const auto u32_at = [&](std::size_t s) {
+        return std::span<const std::uint32_t>(
+            reinterpret_cast<const std::uint32_t*>(base + entry.offsets[s]),
+            n);
+      };
+      columns.parent = u32_at(kSecParent);
+      columns.first_child = u32_at(kSecFirstChild);
+      columns.last_child = u32_at(kSecLastChild);
+      columns.next_sibling = u32_at(kSecNextSibling);
+      columns.prev_sibling = u32_at(kSecPrevSibling);
+      columns.depth = u32_at(kSecDepth);
+      columns.contribution = std::span<const double>(
+          reinterpret_cast<const double*>(base +
+                                          entry.offsets[kSecContribution]),
+          n);
+      if (entry.skip_count != 0) {
+        columns.jump = u32_at(kSecSkip);
+      }
+      // adopt_columns re-validates every link invariant (parallel,
+      // read-only), so even a CRC-colliding corruption cannot stand up
+      // an inconsistent tree.
+      campaign.tree =
+          Tree::adopt_columns(columns, entry.total_contribution, mapping);
+    } else {
+      auto owned = std::make_shared<OwnedV5Columns>();
+      const auto copy_u32 = [&](std::vector<NodeId>& dst, std::size_t s) {
+        dst.resize(n);
+        read_u32_section(bytes.substr(entry.offsets[s], n * 4), dst.data(),
+                         n);
+      };
+      copy_u32(owned->parent, kSecParent);
+      copy_u32(owned->first_child, kSecFirstChild);
+      copy_u32(owned->last_child, kSecLastChild);
+      copy_u32(owned->next_sibling, kSecNextSibling);
+      copy_u32(owned->prev_sibling, kSecPrevSibling);
+      owned->depth.resize(n);
+      read_u32_section(bytes.substr(entry.offsets[kSecDepth], n * 4),
+                       owned->depth.data(), n);
+      owned->contribution.resize(n);
+      read_f64_section(bytes.substr(entry.offsets[kSecContribution], n * 8),
+                       owned->contribution.data(), n);
+      if (entry.skip_count != 0) {
+        copy_u32(owned->jump, kSecSkip);
+        columns.jump = owned->jump;
+      }
+      columns.parent = owned->parent;
+      columns.first_child = owned->first_child;
+      columns.last_child = owned->last_child;
+      columns.next_sibling = owned->next_sibling;
+      columns.prev_sibling = owned->prev_sibling;
+      columns.depth = owned->depth;
+      columns.contribution = owned->contribution;
+      campaign.tree = Tree::adopt_columns(columns, entry.total_contribution,
+                                          std::move(owned));
+    }
+    campaign.aggregates.resize(entry.aggregate_count);
+    read_f64_section(
+        bytes.substr(entry.offsets[kSecAggregates],
+                     entry.aggregate_count * 8),
+        campaign.aggregates.data(), entry.aggregate_count);
+    data.campaigns.push_back(std::move(campaign));
+  }
+  return data;
+}
+
+SnapshotData decode_snapshot_v5(std::string_view bytes) {
+  const V5Header header = parse_v5_header(bytes);
+  verify_v5_sections(bytes, header);
+  // No mapping to adopt from a transient buffer: the copy path gives
+  // the trees their own (shared) storage.
+  return build_v5(bytes, header, nullptr);
 }
 
 SnapshotData decode_snapshot_legacy(std::string_view bytes) {
@@ -423,8 +690,96 @@ std::string encode_snapshot_v4(const SnapshotData& data) {
   return out;
 }
 
+std::string encode_snapshot_v5(const SnapshotData& data) {
+  // Pass 1: compute the layout. Header record first, then each
+  // campaign's nine sections, every section page-aligned. The skip
+  // section is optional in the format but this writer always emits it —
+  // readers that drop it (or older writers) fall back to a recompute.
+  const std::size_t payload_size =
+      8 + 8 + 4 + 4 + 4 + data.mechanism.size() +
+      data.campaigns.size() * kV5CampaignEntryBytes;
+  const std::uint64_t header_bytes =
+      align_up(kSnapshotMagicV5.size() + 8 + payload_size);
+  std::vector<std::array<std::uint64_t, kV5SectionCount>> layout;
+  layout.reserve(data.campaigns.size());
+  std::uint64_t cursor = header_bytes;
+  for (const CampaignSnapshot& campaign : data.campaigns) {
+    const std::uint64_t n = campaign.tree.node_count();
+    std::array<std::uint64_t, kV5SectionCount> offsets{};
+    for (std::size_t s = 0; s < kV5SectionCount; ++s) {
+      offsets[s] = cursor;
+      const std::uint64_t count = s == kSecAggregates
+                                      ? campaign.aggregates.size()
+                                      : n;  // skip always written
+      cursor += align_up(count * kV5ElemSize[s]);
+    }
+    layout.push_back(offsets);
+  }
+  const std::uint64_t file_size = cursor;
+
+  // Pass 2: fill the sections (zero padding comes free from resize),
+  // checksumming each one for the header table. The sections are the
+  // whole arena columns, imaginary root row included, so a reader can
+  // adopt them in place.
+  std::string out(file_size, '\0');
+  std::string payload;
+  payload.reserve(payload_size);
+  put_u64(payload, data.last_seq);
+  put_u64(payload, file_size);
+  put_u32(payload, kSnapshotPageSize);
+  put_u32(payload, static_cast<std::uint32_t>(data.campaigns.size()));
+  put_u32(payload, static_cast<std::uint32_t>(data.mechanism.size()));
+  payload += data.mechanism;
+  for (std::size_t c = 0; c < data.campaigns.size(); ++c) {
+    const CampaignSnapshot& campaign = data.campaigns[c];
+    const Tree& tree = campaign.tree;
+    const std::uint64_t n = tree.node_count();
+    const auto& offsets = layout[c];
+    write_u32_section(out, offsets[kSecParent], tree.parent_array());
+    write_u32_section(out, offsets[kSecFirstChild], tree.first_child_array());
+    write_u32_section(out, offsets[kSecLastChild], tree.last_child_array());
+    write_u32_section(out, offsets[kSecNextSibling],
+                      tree.next_sibling_array());
+    write_u32_section(out, offsets[kSecPrevSibling],
+                      tree.prev_sibling_array());
+    write_u32_section(out, offsets[kSecDepth], tree.depth_array());
+    write_f64_section(out, offsets[kSecContribution],
+                      tree.contribution_array());
+    write_u32_section(out, offsets[kSecSkip], tree.jump_array());
+    write_f64_section(out, offsets[kSecAggregates], campaign.aggregates);
+    put_u64(payload, campaign.events_applied);
+    put_u64(payload, n);
+    put_u64(payload, campaign.aggregates.size());
+    put_u64(payload, n);  // skip_count: this writer always persists it
+    put_u8(payload, campaign.aggregate_kind);
+    put_f64(payload, tree.total_contribution());
+    for (std::size_t s = 0; s < kV5SectionCount; ++s) {
+      put_u64(payload, offsets[s]);
+    }
+    for (std::size_t s = 0; s < kV5SectionCount; ++s) {
+      const std::uint64_t count =
+          s == kSecAggregates ? campaign.aggregates.size() : n;
+      put_u32(payload,
+              crc32c({out.data() + offsets[s], count * kV5ElemSize[s]}));
+    }
+  }
+  ensure(payload.size() == payload_size, "snapshot v5: header layout drift");
+
+  std::string header;
+  header.reserve(kSnapshotMagicV5.size() + 8 + payload.size());
+  header += kSnapshotMagicV5;
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header, crc32c(payload));
+  header += payload;
+  std::memcpy(out.data(), header.data(), header.size());
+  return out;
+}
+
 SnapshotData decode_snapshot(std::string_view bytes) {
   reject(bytes.size() >= kSnapshotMagicV4.size(), "file too short");
+  if (bytes.substr(0, kSnapshotMagicV5.size()) == kSnapshotMagicV5) {
+    return decode_snapshot_v5(bytes);
+  }
   if (bytes.substr(0, kSnapshotMagicV4.size()) == kSnapshotMagicV4) {
     return decode_snapshot_v4(bytes);
   }
@@ -433,6 +788,11 @@ SnapshotData decode_snapshot(std::string_view bytes) {
 
 std::uint64_t validate_snapshot_image(std::string_view bytes) {
   reject(bytes.size() >= kSnapshotMagicV4.size() + 8, "file too short");
+  if (bytes.substr(0, kSnapshotMagicV5.size()) == kSnapshotMagicV5) {
+    const V5Header header = parse_v5_header(bytes);
+    verify_v5_sections(bytes, header);
+    return header.last_seq;
+  }
   if (bytes.substr(0, kSnapshotMagicV4.size()) == kSnapshotMagicV4) {
     const V4Header header = parse_v4_header(bytes);
     verify_v4_sections(bytes, header);
@@ -484,7 +844,9 @@ std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
 
 void save_snapshot(const std::string& dir, const SnapshotData& data,
                    SnapshotFormat format) {
-  const std::string image = format == SnapshotFormat::kV4
+  const std::string image = format == SnapshotFormat::kV5
+                                ? encode_snapshot_v5(data)
+                            : format == SnapshotFormat::kV4
                                 ? encode_snapshot_v4(data)
                                 : encode_snapshot(data);
   write_image_durably(dir, image, data.last_seq);
@@ -508,13 +870,15 @@ std::optional<SnapshotData> load_latest_snapshot(
         }
         continue;
       }
-      // Sniff the magic: v4 images load through an mmap so the columns
-      // stream straight from the page cache; older generations are
-      // buffered and decoded record by record.
+      // Sniff the magic: v4/v5 images load through an mmap so the
+      // columns stream straight from the page cache (and a v5 image's
+      // columns are adopted in place, pinned by the trees' keepalive);
+      // older generations are buffered and decoded record by record.
       char magic[8] = {};
       in.read(magic, sizeof(magic));
       if (in.gcount() == sizeof(magic) &&
-          std::string_view(magic, sizeof(magic)) == kSnapshotMagicV4) {
+          (std::string_view(magic, sizeof(magic)) == kSnapshotMagicV4 ||
+           std::string_view(magic, sizeof(magic)) == kSnapshotMagicV5)) {
         in.close();
         return MappedSnapshot(path).materialize();
       }
@@ -540,6 +904,28 @@ std::optional<SnapshotData> load_latest_snapshot(
 
 // ---- MappedSnapshot -----------------------------------------------------
 
+struct MappingHolder {
+  void* map = nullptr;
+  std::size_t size = 0;
+  std::string fallback;  ///< used when mmap is unavailable
+
+  MappingHolder() = default;
+  MappingHolder(const MappingHolder&) = delete;
+  MappingHolder& operator=(const MappingHolder&) = delete;
+  ~MappingHolder() {
+    if (map != nullptr) {
+      ::munmap(map, size);
+    }
+  }
+
+  std::string_view bytes() const {
+    if (map != nullptr) {
+      return {static_cast<const char*>(map), size};
+    }
+    return fallback;
+  }
+};
+
 MappedSnapshot::MappedSnapshot(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
@@ -550,76 +936,81 @@ MappedSnapshot::MappedSnapshot(const std::string& path) {
     ::close(fd);
     fail("snapshot: cannot stat " + path);
   }
+  auto holder = std::make_shared<MappingHolder>();
   const auto size = static_cast<std::size_t>(st.st_size);
   if (size > 0) {
     void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     if (map != MAP_FAILED) {
-      map_ = map;
-      map_size_ = size;
+      holder->map = map;
+      holder->size = size;
+      // The verify/adopt pass streams the whole image front to back;
+      // tell the kernel so readahead keeps up and the first fault
+      // doesn't stall on a cold page cache.
+#ifdef MADV_SEQUENTIAL
+      ::madvise(map, size, MADV_SEQUENTIAL);
+#endif
+#ifdef MADV_WILLNEED
+      ::madvise(map, size, MADV_WILLNEED);
+#endif
     }
   }
-  if (map_ == nullptr) {
+  if (holder->map == nullptr) {
     // mmap unavailable (exotic filesystem, size 0): buffered fallback.
-    fallback_.resize(size);
-    if (!io::read_exact(fd, fallback_.data(), size)) {
+    holder->fallback.resize(size);
+    if (!io::read_exact(fd, holder->fallback.data(), size)) {
       ::close(fd);
       fail("snapshot: short read of " + path);
     }
   }
   ::close(fd);
-  try {
-    const V4Header header = parse_v4_header(bytes());
+  // If header parsing throws, holder_'s destructor unmaps.
+  holder_ = std::move(holder);
+  const std::string_view image = holder_->bytes();
+  if (image.size() >= kSnapshotMagicV5.size() &&
+      image.substr(0, kSnapshotMagicV5.size()) == kSnapshotMagicV5) {
+    version_ = 5;
+    const V5Header header = parse_v5_header(image);
     last_seq_ = header.last_seq;
     mechanism_ = header.mechanism;
-  } catch (...) {
-    if (map_ != nullptr) {
-      ::munmap(map_, map_size_);
-      map_ = nullptr;
-    }
-    throw;
+  } else {
+    version_ = 4;
+    const V4Header header = parse_v4_header(image);
+    last_seq_ = header.last_seq;
+    mechanism_ = header.mechanism;
   }
 }
 
-MappedSnapshot::~MappedSnapshot() {
-  if (map_ != nullptr) {
-    ::munmap(map_, map_size_);
-  }
-}
+MappedSnapshot::~MappedSnapshot() = default;
+MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept = default;
+MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept =
+    default;
 
-MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept
-    : map_(std::exchange(other.map_, nullptr)),
-      map_size_(std::exchange(other.map_size_, 0)),
-      fallback_(std::move(other.fallback_)),
-      last_seq_(other.last_seq_),
-      mechanism_(std::move(other.mechanism_)) {}
-
-MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
-  if (this != &other) {
-    if (map_ != nullptr) {
-      ::munmap(map_, map_size_);
-    }
-    map_ = std::exchange(other.map_, nullptr);
-    map_size_ = std::exchange(other.map_size_, 0);
-    fallback_ = std::move(other.fallback_);
-    last_seq_ = other.last_seq_;
-    mechanism_ = std::move(other.mechanism_);
-  }
-  return *this;
-}
-
-std::string_view MappedSnapshot::bytes() const {
-  if (map_ != nullptr) {
-    return {static_cast<const char*>(map_), map_size_};
-  }
-  return fallback_;
-}
+std::string_view MappedSnapshot::bytes() const { return holder_->bytes(); }
 
 void MappedSnapshot::verify() const {
-  verify_v4_sections(bytes(), parse_v4_header(bytes()));
+  if (verified_) {
+    return;  // the image is immutable; one section-CRC walk suffices
+  }
+  if (version_ == 5) {
+    verify_v5_sections(bytes(), parse_v5_header(bytes()));
+  } else {
+    verify_v4_sections(bytes(), parse_v4_header(bytes()));
+  }
+  verified_ = true;
 }
 
 SnapshotData MappedSnapshot::materialize() const {
-  return decode_snapshot_v4(bytes());
+  verify();
+  if (version_ == 5) {
+    // Adopt straight out of the mapping when there is one; the buffered
+    // fallback copies (std::string gives no alignment guarantee).
+    std::shared_ptr<const void> mapping;
+    if (holder_->map != nullptr) {
+      mapping = holder_;
+    }
+    return build_v5(bytes(), parse_v5_header(bytes()), std::move(mapping));
+  }
+  return build_v4(bytes(), parse_v4_header(bytes()));
 }
 
 }  // namespace itree::storage

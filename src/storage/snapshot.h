@@ -86,6 +86,51 @@
 // of them (MappedSnapshot::verify() does the same for validate-only
 // paths).
 //
+// v5 ("ITSNAP05"): the zero-rebuild generation. Same record framing as
+// v4, but the image persists the *entire* 8-column arena — parent,
+// first_child, last_child, next_sibling, prev_sibling, depth,
+// contribution, plus the optional skew-binary ancestor-skip column —
+// each as its own page-aligned, individually CRC'd section, with the
+// imaginary root's row included (node_count = participants + 1). A
+// mapped v5 image therefore needs *no link reconstruction at all*:
+// Tree::adopt_columns points the arena columns straight into the
+// read-only mapping (after a parallel O(1)-per-node read-only
+// validation pass), and columns privatize copy-on-first-mutation, so a
+// read-heavy replica serves reward queries directly from the page
+// cache without ever copying the link columns —
+//
+//     header record (zero-padded to a page multiple):
+//       8 bytes  magic "ITSNAP05"
+//       u32 LE   header payload length
+//       u32 LE   CRC32C(header payload)
+//       payload:
+//         u64 last_seq
+//         u64 file size
+//         u32 page size            (kSnapshotPageSize)
+//         u32 campaign count
+//         u32 mechanism-name length + bytes
+//         per campaign:
+//           u64 events applied
+//           u64 node count         (INCLUDING the imaginary root)
+//           u64 aggregate count
+//           u64 skip count         (0 = skip section absent, else node
+//                                   count; readers recompute when absent)
+//           u8  aggregate kind
+//           f64 total contribution (the writer's live accumulated C(T) —
+//                                   history-dependent FP, adopted
+//                                   bit-exactly for exact resumption)
+//           u64 x 9  section offsets (parent, first_child, last_child,
+//                                     next_sibling, prev_sibling, depth,
+//                                     contribution, skip, aggregates;
+//                                     each page-aligned)
+//           u32 x 9  section CRC32Cs (same order)
+//     sections (each page-aligned, zero-padded, in campaign order):
+//       parent / first_child / last_child /
+//       next_sibling / prev_sibling / depth   node count x u32 LE
+//       contribution                          node count x f64 LE
+//       skip                                  skip count x u32 LE
+//       aggregates                            aggregate count x f64 LE
+//
 // Snapshots are written to a temp file, fsynced, then renamed into
 // place (with a directory fsync), so a crash mid-snapshot leaves the
 // previous snapshot intact. The loaders validate magic, lengths and
@@ -95,6 +140,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -103,6 +149,7 @@
 
 namespace itree::storage {
 
+inline constexpr std::string_view kSnapshotMagicV5 = "ITSNAP05";
 inline constexpr std::string_view kSnapshotMagicV4 = "ITSNAP04";
 inline constexpr std::string_view kSnapshotMagic = "ITSNAP03";
 inline constexpr std::string_view kSnapshotMagicV2 = "ITSNAP02";
@@ -119,7 +166,7 @@ inline constexpr std::uint32_t kSnapshotPageSize = 4096;
 inline constexpr std::uint8_t kAggregateKindUnspecified = 255;
 
 /// Which generation save_snapshot()/Storage write. Decode always sniffs.
-enum class SnapshotFormat : std::uint8_t { kV3 = 3, kV4 = 4 };
+enum class SnapshotFormat : std::uint8_t { kV3 = 3, kV4 = 4, kV5 = 5 };
 
 struct CampaignSnapshot {
   std::uint64_t events_applied = 0;
@@ -144,16 +191,20 @@ std::string encode_snapshot(const SnapshotData& data);
 /// Encodes the v4 page-aligned image.
 std::string encode_snapshot_v4(const SnapshotData& data);
 
+/// Encodes the v5 full-arena page-aligned image (always writes the
+/// optional skip section).
+std::string encode_snapshot_v5(const SnapshotData& data);
+
 /// Decodes a file image of any generation (sniffs the magic); throws
 /// std::invalid_argument on anything malformed (bad magic, torn
-/// payload, CRC mismatch, invalid tree). v4 images are fully
+/// payload, CRC mismatch, invalid tree). v4/v5 images are fully
 /// CRC-verified (header and every section).
 SnapshotData decode_snapshot(std::string_view bytes);
 
 /// Validates an image without building any tree: magic/length/CRC for
-/// v1–v3, header + geometry + section CRCs for v4. Returns the image's
-/// last_seq; throws std::invalid_argument on any mismatch. This is the
-/// replica-bootstrap trust boundary: O(file) CRC scan, no O(n)
+/// v1–v3, header + geometry + section CRCs for v4/v5. Returns the
+/// image's last_seq; throws std::invalid_argument on any mismatch. This
+/// is the replica-bootstrap trust boundary: O(file) CRC scan, no O(n)
 /// participant decode.
 std::uint64_t validate_snapshot_image(std::string_view bytes);
 
@@ -167,7 +218,7 @@ std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
 /// Writes `data` durably (temp + fsync + rename + dir fsync). Throws
 /// std::runtime_error on I/O failure.
 void save_snapshot(const std::string& dir, const SnapshotData& data,
-                   SnapshotFormat format = SnapshotFormat::kV4);
+                   SnapshotFormat format = SnapshotFormat::kV5);
 
 /// Writes an already-encoded image durably under the canonical
 /// `snap-<last_seq>.snap` name, byte-for-byte (replica bootstrap saves
@@ -179,19 +230,28 @@ void save_snapshot_image(const std::string& dir, std::string_view image,
 
 /// Loads the newest snapshot that validates; skipped corrupt ones are
 /// reported through `warnings`. Returns nullopt when none is usable.
-/// v4 images are loaded through an mmap (MappedSnapshot), so the bytes
-/// stream from the page cache instead of a read-into-buffer copy.
+/// v4/v5 images are loaded through an mmap (MappedSnapshot), so the
+/// bytes stream from the page cache instead of a read-into-buffer copy
+/// — and a v5 image's arena columns are adopted in place: the returned
+/// trees serve directly from the mapping (which stays pinned by their
+/// keepalive) until first mutation.
 std::optional<SnapshotData> load_latest_snapshot(
     const std::string& dir, std::vector<std::string>* warnings);
 
-/// A v4 snapshot file mapped read-only into memory. The constructor
+/// The mapping (or buffered fallback) behind a MappedSnapshot, shared
+/// so trees adopted out of a v5 image can pin it past the
+/// MappedSnapshot's own lifetime. Unmaps on destruction.
+struct MappingHolder;
+
+/// A v4/v5 snapshot file mapped read-only into memory. The constructor
 /// maps the file (falling back to a buffered read when mmap is
-/// unavailable) and validates the header record — magic, length, CRC,
+/// unavailable), advises the kernel of the upcoming sequential scan
+/// (madvise), and validates the header record — magic, length, CRC,
 /// file size and section geometry — so last_seq()/mechanism() are
 /// trustworthy immediately; section payloads stay untouched (and
 /// unfaulted) until verify() or materialize() streams them. Throws
 /// std::runtime_error on I/O failure, std::invalid_argument when the
-/// file is not a well-formed v4 image.
+/// file is not a well-formed v4/v5 image.
 class MappedSnapshot {
  public:
   explicit MappedSnapshot(const std::string& path);
@@ -205,22 +265,30 @@ class MappedSnapshot {
   std::string_view bytes() const;
   std::uint64_t last_seq() const { return last_seq_; }
   const std::string& mechanism() const { return mechanism_; }
+  /// 4 or 5 — the image generation the magic declared.
+  int version() const { return version_; }
 
-  /// CRC-verifies every section (one sequential pass over the image);
-  /// throws std::invalid_argument on any mismatch.
+  /// CRC-verifies every section and caches the result, so verify() +
+  /// materialize() (or repeated verify()) cost exactly one section-CRC
+  /// walk over the image. Throws std::invalid_argument on any mismatch.
   void verify() const;
 
   /// Decodes the image into live arenas (verifies everything, like
-  /// decode_snapshot). On little-endian hardware the tree columns are
-  /// bulk-copied out of the mapping into Tree::from_arrays.
+  /// decode_snapshot; the section-CRC walk is shared with verify()).
+  /// v4: the tree columns feed Tree::from_arrays straight from the
+  /// mapping. v5 on little-endian hardware: the returned trees *adopt*
+  /// the mapped columns in place — zero per-node construction work —
+  /// and keep the mapping alive for as long as they borrow from it.
   SnapshotData materialize() const;
 
  private:
-  void* map_ = nullptr;
-  std::size_t map_size_ = 0;
-  std::string fallback_;  ///< used when mmap is unavailable
+  std::shared_ptr<const MappingHolder> holder_;
   std::uint64_t last_seq_ = 0;
   std::string mechanism_;
+  int version_ = 4;
+  /// Set once the section-CRC walk has passed (merged verify/decode
+  /// CRC pass); the underlying image is immutable.
+  mutable bool verified_ = false;
 };
 
 }  // namespace itree::storage

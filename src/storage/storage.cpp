@@ -273,7 +273,9 @@ Storage::Storage(const Mechanism& mechanism, std::size_t campaigns,
     manifest.mechanism_params = config_.mechanism_params;
     manifest.display = mechanism.display_name();
     manifest.snapshot_format =
-        config_.snapshot_format == SnapshotFormat::kV4 ? "v4" : "v3";
+        config_.snapshot_format == SnapshotFormat::kV5   ? "v5"
+        : config_.snapshot_format == SnapshotFormat::kV4 ? "v4"
+                                                         : "v3";
     write_manifest(config_.data_dir, manifest);
   }
 
@@ -445,7 +447,9 @@ std::string Storage::encode_state_snapshot() {
     snap.aggregates = campaign->service().export_aggregates();
     data.campaigns.push_back(std::move(snap));
   }
-  return config_.snapshot_format == SnapshotFormat::kV4
+  return config_.snapshot_format == SnapshotFormat::kV5
+             ? encode_snapshot_v5(data)
+         : config_.snapshot_format == SnapshotFormat::kV4
              ? encode_snapshot_v4(data)
              : encode_snapshot(data);
 }

@@ -54,9 +54,11 @@ struct StorageConfig {
   /// kInterval: maximum seconds of acknowledged-but-unsynced data.
   double fsync_interval_seconds = 0.02;
   /// On-disk generation for snapshots this storage writes (recovery
-  /// reads every generation regardless). v4 is the mmap-able
-  /// page-aligned image; v3 is the record-per-participant form.
-  SnapshotFormat snapshot_format = SnapshotFormat::kV4;
+  /// reads every generation regardless). v5 is the full-arena image
+  /// whose columns are adopted in place from the mapping (zero link
+  /// rebuild); v4 is the mmap-able parents+contributions image; v3 is
+  /// the record-per-participant form.
+  SnapshotFormat snapshot_format = SnapshotFormat::kV5;
   /// Total events between automatic snapshots; 0 disables periodic
   /// snapshots (the server still writes one on graceful drain).
   std::uint64_t snapshot_every = 0;
@@ -80,8 +82,9 @@ struct Manifest {
   std::string mechanism_params; ///< raw parameter text ("" = defaults)
   std::string display;          ///< Mechanism::display_name(), validated
   /// Informational: the snapshot generation configured when the
-  /// directory was created ("v3"/"v4"). Recovery sniffs each file's
-  /// magic, so this is documentation for operators, not a contract.
+  /// directory was created ("v3"/"v4"/"v5"). Recovery sniffs each
+  /// file's magic, so this is documentation for operators, not a
+  /// contract.
   std::string snapshot_format;
 };
 

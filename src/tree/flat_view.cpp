@@ -4,6 +4,16 @@
 
 namespace itree {
 
+void FlatTreeView::reserve(std::size_t nodes) {
+  parent_.reserve(nodes);
+  contribution_.reserve(nodes);
+  child_start_.reserve(nodes + 1);
+  child_ids_.reserve(nodes == 0 ? 0 : nodes - 1);
+  preorder_.reserve(nodes);
+  postorder_.reserve(nodes);
+  stack_.reserve(nodes);
+}
+
 void FlatTreeView::rebuild(const Tree& tree) {
   const std::size_t n = tree.node_count();
   source_ = &tree;

@@ -33,6 +33,11 @@ class FlatTreeView {
   FlatTreeView() = default;
   explicit FlatTreeView(const Tree& tree) { rebuild(tree); }
 
+  /// Pre-sizes every buffer for `nodes` total nodes, so a following
+  /// rebuild() allocates nothing (generators and benches pass their
+  /// target size through here, mirroring Tree::reserve).
+  void reserve(std::size_t nodes);
+
   /// Re-snapshots `tree`. O(n); reuses buffer capacity across calls.
   void rebuild(const Tree& tree);
 

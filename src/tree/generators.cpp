@@ -131,6 +131,7 @@ Tree preferential_attachment_tree(std::size_t n,
   // weight(u) = 1 + #children(u); maintained incrementally. Entry 0
   // (root) is excluded from the weighted draw.
   std::vector<double> weights;
+  weights.reserve(n);
   double weight_total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     NodeId parent = kRoot;
@@ -164,7 +165,9 @@ Tree bounded_depth_tree(std::size_t n, std::size_t max_depth,
   require(max_depth >= 1, "bounded_depth_tree: max_depth must be >= 1");
   Tree tree;
   tree.reserve(n + 1);
-  std::vector<std::size_t> depth_of{0};  // per node id
+  std::vector<std::size_t> depth_of;  // per node id
+  depth_of.reserve(n + 1);
+  depth_of.push_back(0);
   for (std::size_t i = 0; i < n; ++i) {
     NodeId parent = pick_parent_uniform(tree, rng, options);
     while (depth_of[parent] >= max_depth) {

@@ -1,8 +1,19 @@
 #include "tree/tree.h"
 
+#include <algorithm>
+
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace itree {
+namespace {
+
+/// Below this size the serial append path wins (pool dispatch overhead);
+/// the output is bit-identical either way, so the threshold only moves
+/// work between code paths, never changes results.
+constexpr std::size_t kParallelBuildThreshold = 1u << 16;
+
+}  // namespace
 
 Tree::Tree() {
   parent_.push_back(kInvalidNode);
@@ -11,6 +22,7 @@ Tree::Tree() {
   next_sibling_.push_back(kInvalidNode);
   prev_sibling_.push_back(kInvalidNode);
   depth_.push_back(0);
+  jump_.push_back(kRoot);
   contribution_.push_back(0.0);
 }
 
@@ -21,11 +33,23 @@ void Tree::reserve(std::size_t nodes) {
   next_sibling_.reserve(nodes);
   prev_sibling_.reserve(nodes);
   depth_.reserve(nodes);
+  jump_.reserve(nodes);
   contribution_.reserve(nodes);
 }
 
 void Tree::check_node(NodeId u, const char* what) const {
   require(contains(u), std::string(what) + ": node does not exist");
+}
+
+NodeId Tree::jump_for(NodeId parent) const {
+  // Skew-binary skip pointers (Myers' applicative lists): when the two
+  // depth gaps above the parent's jump are equal, the new node skips
+  // both; otherwise it points at the parent. O(1) to maintain, and the
+  // resulting ancestor walks take O(log depth) hops.
+  const NodeId j1 = jump_[parent];
+  const NodeId j2 = jump_[j1];
+  const std::uint32_t d = depth_[parent];
+  return (d - depth_[j1] == depth_[j1] - depth_[j2]) ? j2 : parent;
 }
 
 void Tree::append_unchecked(NodeId parent, double contribution) {
@@ -34,19 +58,21 @@ void Tree::append_unchecked(NodeId parent, double contribution) {
   // invalidate what the chain splice below needs.
   const NodeId tail = last_child_[parent];
   const std::uint32_t parent_depth = depth_[parent];
+  const NodeId jump = jump_for(parent);
   parent_.push_back(parent);
   first_child_.push_back(kInvalidNode);
   last_child_.push_back(kInvalidNode);
   next_sibling_.push_back(kInvalidNode);
   prev_sibling_.push_back(tail);
   depth_.push_back(parent_depth + 1);
+  jump_.push_back(jump);
   contribution_.push_back(contribution);
   if (tail == kInvalidNode) {
-    first_child_[parent] = id;
+    first_child_.mut(parent) = id;
   } else {
-    next_sibling_[tail] = id;
+    next_sibling_.mut(tail) = id;
   }
-  last_child_[parent] = id;
+  last_child_.mut(parent) = id;
   total_contribution_ += contribution;
 }
 
@@ -58,12 +84,9 @@ NodeId Tree::add_node(NodeId parent, double contribution) {
   return id;
 }
 
-Tree Tree::from_arrays(std::span<const NodeId> parents,
-                       std::span<const double> contributions) {
-  require(parents.size() == contributions.size(),
-          "Tree::from_arrays: parent / contribution array size mismatch");
-  Tree tree;
-  tree.reserve(parents.size() + 1);
+void Tree::build_links_serial(std::span<const NodeId> parents,
+                              std::span<const double> contributions) {
+  reserve(parents.size() + 1);
   for (std::size_t i = 0; i < parents.size(); ++i) {
     // Ids are assigned sequentially, so "parent already exists" is
     // exactly parents[i] <= i (participant i + 1's parent is at most i).
@@ -71,9 +94,318 @@ Tree Tree::from_arrays(std::span<const NodeId> parents,
             "Tree::from_arrays: parent id does not precede the node");
     require(contributions[i] >= 0.0,
             "Tree::from_arrays: contribution must be >= 0");
-    tree.append_unchecked(parents[i], contributions[i]);
+    append_unchecked(parents[i], contributions[i]);
   }
+}
+
+Tree Tree::from_arrays(std::span<const NodeId> parents,
+                       std::span<const double> contributions) {
+  require(parents.size() == contributions.size(),
+          "Tree::from_arrays: parent / contribution array size mismatch");
+  Tree tree;
+  const std::size_t n = parents.size();
+  if (n < kParallelBuildThreshold || thread_count() == 1) {
+    tree.build_links_serial(parents, contributions);
+    return tree;
+  }
+
+  // Parallel link reconstruction: a deterministic block-stable counting
+  // sort of the children by parent bucket (no atomics — per-(block,
+  // bucket) counts make every write's destination a pure function of
+  // the input), then an independent sibling-chain splice per bucket.
+  // Every output is a uniquely determined integer, and the one FP value
+  // (the contribution total) is summed serially in id order, so the
+  // result is bit-identical to the serial append path at any thread
+  // count.
+  const std::size_t node_count = n + 1;
+  const std::size_t blocks =
+      std::min<std::size_t>(thread_count() * 4,
+                            (n + kParallelBuildThreshold / 4 - 1) /
+                                (kParallelBuildThreshold / 4));
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+  const std::size_t buckets = blocks;  // over parent-id space [0, n]
+  const std::size_t bucket_width = (node_count + buckets - 1) / buckets;
+
+  // Pass 1 — validate + count children per (input block, parent bucket).
+  std::vector<std::uint32_t> counts(blocks * buckets, 0);
+  parallel_for(blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    std::uint32_t* mine = counts.data() + b * buckets;
+    for (std::size_t i = lo; i < hi; ++i) {
+      require(parents[i] <= i,
+              "Tree::from_arrays: parent id does not precede the node");
+      require(contributions[i] >= 0.0,
+              "Tree::from_arrays: contribution must be >= 0");
+      ++mine[parents[i] / bucket_width];
+    }
+  });
+
+  // Exclusive scan, bucket-major: each (block, bucket) pair gets a
+  // contiguous destination range, so a bucket's region holds its
+  // children ordered by (block, index) — ascending id, i.e. join order.
+  std::vector<std::uint32_t> starts(blocks * buckets);
+  std::vector<std::uint32_t> bucket_start(buckets + 1);
+  std::uint32_t cursor = 0;
+  for (std::size_t p = 0; p < buckets; ++p) {
+    bucket_start[p] = cursor;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      starts[b * buckets + p] = cursor;
+      cursor += counts[b * buckets + p];
+    }
+  }
+  bucket_start[buckets] = cursor;
+  ensure(cursor == n, "Tree::from_arrays: counting sort drift");
+
+  // Pass 2 — scatter the child ids into bucket order.
+  std::vector<NodeId> sorted(n);
+  parallel_for(blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    std::uint32_t* cur = starts.data() + b * buckets;
+    for (std::size_t i = lo; i < hi; ++i) {
+      sorted[cur[parents[i] / bucket_width]++] = static_cast<NodeId>(i + 1);
+    }
+  });
+
+  // Pass 3 — splice the sibling chains, one bucket of parents per task.
+  // A bucket owns a contiguous parent-id range exclusively; every write
+  // (first/last_child of an owned parent, next/prev_sibling of its
+  // children) has a unique writing bucket, so the passes are race-free
+  // without synchronization.
+  std::vector<NodeId> parent_col(node_count);
+  parent_col[kRoot] = kInvalidNode;
+  std::memcpy(parent_col.data() + 1, parents.data(), n * sizeof(NodeId));
+  std::vector<NodeId> first_child(node_count, kInvalidNode);
+  std::vector<NodeId> last_child(node_count, kInvalidNode);
+  std::vector<NodeId> next_sibling(node_count, kInvalidNode);
+  std::vector<NodeId> prev_sibling(node_count, kInvalidNode);
+  parallel_for(buckets, [&](std::size_t p) {
+    for (std::uint32_t s = bucket_start[p]; s < bucket_start[p + 1]; ++s) {
+      const NodeId id = sorted[s];
+      const NodeId parent = parent_col[id];
+      const NodeId tail = last_child[parent];
+      prev_sibling[id] = tail;
+      if (tail == kInvalidNode) {
+        first_child[parent] = id;
+      } else {
+        next_sibling[tail] = id;
+      }
+      last_child[parent] = id;
+    }
+  });
+
+  // Depth and skip columns: forward scans (parent < child), cheap
+  // relative to the scatter; the FP total is summed in id order — the
+  // exact order the serial appends accumulate it in.
+  std::vector<std::uint32_t> depth(node_count);
+  std::vector<NodeId> jump(node_count);
+  depth[kRoot] = 0;
+  jump[kRoot] = kRoot;
+  for (NodeId u = 1; u < node_count; ++u) {
+    const NodeId parent = parent_col[u];
+    depth[u] = depth[parent] + 1;
+    const NodeId j1 = jump[parent];
+    const NodeId j2 = jump[j1];
+    jump[u] = (depth[parent] - depth[j1] == depth[j1] - depth[j2]) ? j2
+                                                                   : parent;
+  }
+  std::vector<double> contribution(node_count);
+  contribution[kRoot] = 0.0;
+  std::memcpy(contribution.data() + 1, contributions.data(),
+              n * sizeof(double));
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += contributions[i];
+  }
+
+  tree.parent_.take(std::move(parent_col));
+  tree.first_child_.take(std::move(first_child));
+  tree.last_child_.take(std::move(last_child));
+  tree.next_sibling_.take(std::move(next_sibling));
+  tree.prev_sibling_.take(std::move(prev_sibling));
+  tree.depth_.take(std::move(depth));
+  tree.jump_.take(std::move(jump));
+  tree.contribution_.take(std::move(contribution));
+  tree.total_contribution_ = total;
   return tree;
+}
+
+Tree Tree::adopt_columns(const Columns& columns, double total_contribution,
+                         std::shared_ptr<const void> keepalive) {
+  const std::size_t n = columns.parent.size();
+  require(n >= 1, "Tree::adopt_columns: missing the imaginary root");
+  require(n < kInvalidNode, "Tree::adopt_columns: impossible node count");
+  require(columns.first_child.size() == n && columns.last_child.size() == n &&
+              columns.next_sibling.size() == n &&
+              columns.prev_sibling.size() == n && columns.depth.size() == n &&
+              columns.contribution.size() == n,
+          "Tree::adopt_columns: column size mismatch");
+  require(columns.jump.empty() || columns.jump.size() == n,
+          "Tree::adopt_columns: skip column size mismatch");
+  const NodeId* parent = columns.parent.data();
+  const NodeId* first_child = columns.first_child.data();
+  const NodeId* last_child = columns.last_child.data();
+  const NodeId* next_sibling = columns.next_sibling.data();
+  const NodeId* prev_sibling = columns.prev_sibling.data();
+  const std::uint32_t* depth = columns.depth.data();
+  const double* contribution = columns.contribution.data();
+  require(parent[kRoot] == kInvalidNode && depth[kRoot] == 0 &&
+              contribution[kRoot] == 0.0 &&
+              next_sibling[kRoot] == kInvalidNode &&
+              prev_sibling[kRoot] == kInvalidNode,
+          "Tree::adopt_columns: malformed root row");
+  const bool has_jump = !columns.jump.empty();
+  const NodeId* jump = has_jump ? columns.jump.data() : nullptr;
+  if (has_jump) {
+    require(jump[kRoot] == kRoot, "Tree::adopt_columns: root skip pointer");
+  }
+
+  // Safety scan, not a semantic one: every load below is indexed by u,
+  // so the whole pass streams each column forward at memory-bandwidth
+  // cost — no dependent random reads, which is what keeps mmap-adoption
+  // O(bytes) while a link rebuild (or a cross-link proof, see
+  // validate_links()) pays a cache miss per node. The range checks are
+  // chosen so that every traversal over the adopted arena terminates
+  // and stays in bounds regardless of the column *values*: parent and
+  // skip pointers strictly precede their node (upward walks reach the
+  // root in <= u steps), child/next-sibling links strictly follow it
+  // (downward walks strictly increase), and ids never reach
+  // node_count. Semantic link integrity is the caller's trust boundary
+  // — the snapshot layer's per-section CRCs.
+  parallel_for(n, [&](std::size_t ui) {
+    const auto u = static_cast<NodeId>(ui);
+    const NodeId fc = first_child[u];
+    const NodeId lc = last_child[u];
+    if (fc == kInvalidNode) {
+      require(lc == kInvalidNode, "Tree::adopt_columns: last child of a leaf");
+    } else {
+      require(fc > u && fc < n && lc >= fc && lc < n,
+              "Tree::adopt_columns: child link out of range");
+    }
+    if (u == kRoot) {
+      return;
+    }
+    require(parent[u] < u,
+            "Tree::adopt_columns: parent id does not precede the node");
+    require(contribution[u] >= 0.0,
+            "Tree::adopt_columns: negative contribution");
+    require(depth[u] >= 1 && depth[u] <= u,
+            "Tree::adopt_columns: depth out of range");
+    const NodeId nx = next_sibling[u];
+    require(nx == kInvalidNode || (nx > u && nx < n),
+            "Tree::adopt_columns: next-sibling out of range");
+    const NodeId pv = prev_sibling[u];
+    require(pv == kInvalidNode || pv < u,
+            "Tree::adopt_columns: prev-sibling out of range");
+    if (has_jump) {
+      require(jump[u] <= parent[u],
+              "Tree::adopt_columns: skip pointer out of range");
+    }
+  });
+
+  Tree tree;
+  tree.parent_.borrow(parent, n);
+  tree.first_child_.borrow(first_child, n);
+  tree.last_child_.borrow(last_child, n);
+  tree.next_sibling_.borrow(next_sibling, n);
+  tree.prev_sibling_.borrow(prev_sibling, n);
+  tree.depth_.borrow(depth, n);
+  tree.contribution_.borrow(contribution, n);
+  if (!columns.jump.empty()) {
+    tree.jump_.borrow(columns.jump.data(), n);
+  } else {
+    // Optional section absent: recompute the skip pointers — a pure
+    // integer function of parent/depth — in one forward scan.
+    std::vector<NodeId> jump(n);
+    jump[kRoot] = kRoot;
+    for (NodeId u = 1; u < n; ++u) {
+      const NodeId p = parent[u];
+      const NodeId j1 = jump[p];
+      const NodeId j2 = jump[j1];
+      jump[u] = (depth[p] - depth[j1] == depth[j1] - depth[j2]) ? j2 : p;
+    }
+    tree.jump_.take(std::move(jump));
+  }
+  tree.total_contribution_ = total_contribution;
+  tree.keepalive_ = std::move(keepalive);
+  return tree;
+}
+
+void Tree::validate_links() const {
+  const std::size_t n = node_count();
+  const NodeId* parent = parent_.data();
+  const NodeId* first_child = first_child_.data();
+  const NodeId* last_child = last_child_.data();
+  const NodeId* next_sibling = next_sibling_.data();
+  const NodeId* prev_sibling = prev_sibling_.data();
+  const std::uint32_t* depth = depth_.data();
+  const NodeId* jump = jump_.data();
+  const double* contribution = contribution_.data();
+  require(parent[kRoot] == kInvalidNode && depth[kRoot] == 0 &&
+             contribution[kRoot] == 0.0 &&
+             next_sibling[kRoot] == kInvalidNode &&
+             prev_sibling[kRoot] == kInvalidNode && jump[kRoot] == kRoot,
+         "Tree::validate_links: malformed root row");
+
+  // Parallel read-only cross-link proof, O(1) per node. The local
+  // invariants below force the links to be exactly the canonical
+  // append-order build: per parent, next/prev are mutually inverse and
+  // strictly id-increasing, every chain ends at the unique last_child
+  // (next == invalid) and starts at the unique first_child (prev ==
+  // invalid), so the sibling lists form one chain per parent covering
+  // all of its children in ascending id order; depth obeys the parent
+  // recurrence and jump the skew-binary one.
+  parallel_for(n, [&](std::size_t ui) {
+    const auto u = static_cast<NodeId>(ui);
+    if (u != kRoot) {
+      require(parent[u] < u,
+             "Tree::validate_links: parent id does not precede the node");
+      require(contribution[u] >= 0.0,
+             "Tree::validate_links: negative contribution");
+      require(depth[u] == depth[parent[u]] + 1,
+             "Tree::validate_links: depth column inconsistent");
+      const NodeId nx = next_sibling[u];
+      if (nx == kInvalidNode) {
+        require(last_child[parent[u]] == u,
+               "Tree::validate_links: sibling chain tail mismatch");
+      } else {
+        require(nx < n && nx > u && parent[nx] == parent[u] &&
+                   prev_sibling[nx] == u,
+               "Tree::validate_links: next-sibling link inconsistent");
+      }
+      const NodeId pv = prev_sibling[u];
+      if (pv == kInvalidNode) {
+        require(first_child[parent[u]] == u,
+               "Tree::validate_links: sibling chain head mismatch");
+      } else {
+        require(pv < u && parent[pv] == parent[u] && next_sibling[pv] == u,
+               "Tree::validate_links: prev-sibling link inconsistent");
+      }
+      const NodeId p = parent[u];
+      const NodeId j1 = jump[p];
+      // Bounds before trusting: p's own check runs concurrently, so
+      // never index through an unvalidated value.
+      require(j1 <= p, "Tree::validate_links: skip column inconsistent");
+      const NodeId j2 = jump[j1];
+      require(j2 <= j1, "Tree::validate_links: skip column inconsistent");
+      const NodeId want =
+          (depth[p] - depth[j1] == depth[j1] - depth[j2]) ? j2 : p;
+      require(jump[u] == want, "Tree::validate_links: skip column inconsistent");
+    }
+    const NodeId fc = first_child[u];
+    const NodeId lc = last_child[u];
+    if (fc == kInvalidNode) {
+      require(lc == kInvalidNode, "Tree::validate_links: last child of a leaf");
+    } else {
+      require(fc < n && fc > u && parent[fc] == u &&
+                 prev_sibling[fc] == kInvalidNode,
+             "Tree::validate_links: first-child link inconsistent");
+      require(lc < n && lc > u && parent[lc] == u &&
+                 next_sibling[lc] == kInvalidNode,
+             "Tree::validate_links: last-child link inconsistent");
+    }
+  });
 }
 
 NodeId Tree::parent(NodeId u) const {
@@ -98,7 +430,7 @@ void Tree::set_contribution(NodeId u, double contribution) {
   require(u != kRoot || contribution == 0.0,
           "Tree::set_contribution: the imaginary root contributes 0");
   total_contribution_ += contribution - contribution_[u];
-  contribution_[u] = contribution;
+  contribution_.mut(u) = contribution;
 }
 
 void Tree::remove_last_node() {
@@ -112,11 +444,11 @@ void Tree::remove_last_node() {
          "newest child");
   // Unlink from the parent's child chain in O(1) via the back pointer.
   const NodeId prev = prev_sibling_[last];
-  last_child_[p] = prev;
+  last_child_.mut(p) = prev;
   if (prev == kInvalidNode) {
-    first_child_[p] = kInvalidNode;
+    first_child_.mut(p) = kInvalidNode;
   } else {
-    next_sibling_[prev] = kInvalidNode;
+    next_sibling_.mut(prev) = kInvalidNode;
   }
   total_contribution_ -= contribution_[last];
   parent_.pop_back();
@@ -125,6 +457,7 @@ void Tree::remove_last_node() {
   next_sibling_.pop_back();
   prev_sibling_.pop_back();
   depth_.pop_back();
+  jump_.pop_back();
   contribution_.pop_back();
 }
 
@@ -133,17 +466,41 @@ std::size_t Tree::depth(NodeId u) const {
   return depth_[u];
 }
 
+NodeId Tree::ancestor_at_depth(NodeId u, std::uint32_t d) const {
+  check_node(u, "Tree::ancestor_at_depth");
+  require(d <= depth_[u],
+          "Tree::ancestor_at_depth: target deeper than the node");
+  // Path-compressed walk: take the skip pointer whenever it does not
+  // overshoot, else a single parent hop. Skew-binary spacing makes this
+  // O(log depth) hops total.
+  while (depth_[u] > d) {
+    const NodeId j = jump_[u];
+    u = depth_[j] >= d ? j : parent_[u];
+  }
+  return u;
+}
+
 bool Tree::is_ancestor(NodeId ancestor, NodeId u) const {
   check_node(ancestor, "Tree::is_ancestor");
   check_node(u, "Tree::is_ancestor");
   if (depth_[ancestor] > depth_[u]) {
     return false;
   }
-  // Walk u up exactly the depth difference; no per-step root test.
-  for (std::uint32_t d = depth_[u]; d > depth_[ancestor]; --d) {
-    u = parent_[u];
-  }
-  return u == ancestor;
+  return ancestor_at_depth(u, depth_[ancestor]) == ancestor;
+}
+
+std::size_t Tree::allocation_count() const {
+  return parent_.allocations() + first_child_.allocations() +
+         last_child_.allocations() + next_sibling_.allocations() +
+         prev_sibling_.allocations() + depth_.allocations() +
+         jump_.allocations() + contribution_.allocations();
+}
+
+std::size_t Tree::borrowed_column_count() const {
+  return static_cast<std::size_t>(parent_.borrowed()) +
+         first_child_.borrowed() + last_child_.borrowed() +
+         next_sibling_.borrowed() + prev_sibling_.borrowed() +
+         depth_.borrowed() + jump_.borrowed() + contribution_.borrowed();
 }
 
 std::vector<NodeId> Tree::subtree(NodeId u) const {

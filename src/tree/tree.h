@@ -11,7 +11,7 @@
 // Contributions are mutable (needed by the CCI and SL checkers, and by
 // the "buyer keeps purchasing" MLM view).
 //
-// Layout: seven parallel arrays indexed by NodeId —
+// Layout: eight parallel arrays indexed by NodeId —
 //   parent_        parent id (kInvalidNode for the root)
 //   first_child_   head of the child list (kInvalidNode if leaf)
 //   last_child_    tail of the child list (O(1) append)
@@ -20,15 +20,29 @@
 //                  mirrored postorder walk)
 //   depth_         cached depth (O(1) depth queries; ancestor walks on
 //                  the serving hot path early-exit on it)
+//   jump_          skew-binary ancestor skip pointer (O(1) to maintain
+//                  per append, O(log depth) is_ancestor /
+//                  ancestor_at_depth — the path-compressed walks deep
+//                  eps-chain / RCT shapes need)
 //   contribution_  C(u)
 // Child order is join order, exactly as the old vector-of-vectors arena
 // reported it, so every traversal and hence every FP evaluation order —
 // and the BENCH digest trajectory — is unchanged.
+//
+// Columns are borrow-capable (ArenaColumn): a tree stood up from an
+// mmap-ed v5 snapshot image (Tree::adopt_columns) starts life with every
+// column pointing into the read-only mapping — zero per-node work — and
+// privatizes a column into owned memory only on that column's first
+// mutation (copy-on-first-mutation, per column, so a read-heavy replica
+// never copies the link columns at all). A keepalive shared_ptr pins the
+// mapping for as long as any borrowing tree (or copy of one) is alive.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <iterator>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -55,6 +69,178 @@ std::vector<NodeId> graft_forest(Tree& dst, NodeId dst_parent,
 inline constexpr NodeId kRoot = 0;
 
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// One arena column: an owned vector that can instead *borrow* read-only
+/// storage (an mmap-ed snapshot section). Reads always go through
+/// data_/size_; every mutating operation first privatizes a borrowed
+/// column (one bulk copy), after which it behaves exactly like the
+/// vector it wraps. Copying a borrowed column copies the borrow (cheap),
+/// not the bytes — the owner of the borrowed storage (Tree's keepalive)
+/// must outlive every copy.
+template <typename T>
+class ArenaColumn {
+ public:
+  ArenaColumn() = default;
+
+  ArenaColumn(const ArenaColumn& other) : owned_(other.owned_) {
+    if (other.borrowed_) {
+      data_ = other.data_;
+      size_ = other.size_;
+      borrowed_ = true;
+    } else {
+      sync();
+    }
+  }
+
+  ArenaColumn(ArenaColumn&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        borrowed_(other.borrowed_),
+        allocations_(other.allocations_) {
+    // A moved vector keeps its heap buffer, but re-sync anyway so the
+    // pointer never dangles on empty/borrowed edge cases.
+    if (borrowed_) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      sync();
+    }
+    other.reset();
+  }
+
+  ArenaColumn& operator=(const ArenaColumn& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      borrowed_ = other.borrowed_;
+      allocations_ = other.allocations_;
+      if (borrowed_) {
+        data_ = other.data_;
+        size_ = other.size_;
+      } else {
+        sync();
+      }
+    }
+    return *this;
+  }
+
+  ArenaColumn& operator=(ArenaColumn&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      borrowed_ = other.borrowed_;
+      allocations_ = other.allocations_;
+      if (borrowed_) {
+        data_ = other.data_;
+        size_ = other.size_;
+      } else {
+        sync();
+      }
+      other.reset();
+    }
+    return *this;
+  }
+
+  /// Points the column at caller-owned read-only storage. The previous
+  /// contents are discarded, and the allocation counter restarts: an
+  /// adopted column reports only the work done since adoption (its
+  /// privatization, if any), not the root-row bootstrap it replaced.
+  void borrow(const T* data, std::size_t size) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    data_ = data;
+    size_ = size;
+    borrowed_ = true;
+    allocations_ = 0;
+  }
+
+  bool borrowed() const { return borrowed_; }
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& back() const { return data_[size_ - 1]; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  /// Mutable access to one slot; privatizes a borrowed column first.
+  T& mut(std::size_t i) {
+    ensure_owned();
+    return owned_[i];
+  }
+
+  void push_back(const T& value) {
+    ensure_owned();
+    if (owned_.size() == owned_.capacity()) {
+      ++allocations_;
+    }
+    owned_.push_back(value);
+    sync();
+  }
+
+  void pop_back() {
+    ensure_owned();
+    owned_.pop_back();
+    sync();
+  }
+
+  void reserve(std::size_t n) {
+    if (n <= size_) {
+      return;  // capacity hint already satisfied (or a borrowed prefix)
+    }
+    ensure_owned();
+    if (n > owned_.capacity()) {
+      ++allocations_;
+      owned_.reserve(n);
+      sync();
+    }
+  }
+
+  /// Takes ownership of a fully built vector (the parallel bulk-build
+  /// path constructs columns as plain vectors first).
+  void take(std::vector<T>&& values) {
+    borrowed_ = false;
+    ++allocations_;
+    owned_ = std::move(values);
+    sync();
+  }
+
+  /// Replaces the contents with an owned copy of `values`.
+  void assign(std::span<const T> values) {
+    borrowed_ = false;
+    ++allocations_;
+    owned_.assign(values.begin(), values.end());
+    sync();
+  }
+
+  /// Copies borrowed storage into owned memory (no-op when owned).
+  void ensure_owned() {
+    if (!borrowed_) {
+      return;
+    }
+    ++allocations_;
+    owned_.assign(data_, data_ + size_);
+    borrowed_ = false;
+    sync();
+  }
+
+  /// Heap allocations this column has performed (growth reallocations +
+  /// privatizations) — the bench's pre-sizing report.
+  std::size_t allocations() const { return allocations_; }
+
+ private:
+  void sync() {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  void reset() {
+    owned_.clear();
+    borrowed_ = false;
+    sync();
+  }
+
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool borrowed_ = false;
+  std::size_t allocations_ = 0;
+};
 
 /// A node's children as a lightweight view over the arena's sibling
 /// chain, in join order (the order the old per-node child vectors kept).
@@ -129,6 +315,21 @@ class ChildRange {
 
 class Tree {
  public:
+  /// The full-arena column set, spans indexed by node id (entry 0 is the
+  /// imaginary root). `jump` may be empty — adopt_columns then
+  /// recomputes the skip pointers from parent/depth (older v5 writers
+  /// may omit the optional section).
+  struct Columns {
+    std::span<const NodeId> parent;
+    std::span<const NodeId> first_child;
+    std::span<const NodeId> last_child;
+    std::span<const NodeId> next_sibling;
+    std::span<const NodeId> prev_sibling;
+    std::span<const std::uint32_t> depth;
+    std::span<const double> contribution;
+    std::span<const NodeId> jump;
+  };
+
   /// Creates a tree containing only the imaginary root.
   Tree();
 
@@ -140,11 +341,46 @@ class Tree {
 
   /// Bulk-builds a tree from parallel participant arrays in id order:
   /// participant u = i + 1 has parent parents[i] (< u) and contribution
-  /// contributions[i] (>= 0) — the snapshot-image layout. One linear
-  /// pass over the arena; throws std::invalid_argument on any
+  /// contributions[i] (>= 0) — the snapshot-image layout. Runs the link
+  /// reconstruction (child/sibling chains) in parallel over
+  /// util/parallel when the tree is large enough to pay for it; the
+  /// result is bit-identical to the serial append path at any thread
+  /// count (links and depths are uniquely determined integers, and the
+  /// contribution total is summed serially in id order — the same order
+  /// the appends would use). Throws std::invalid_argument on any
   /// out-of-order parent or negative contribution.
   static Tree from_arrays(std::span<const NodeId> parents,
                           std::span<const double> contributions);
+
+  /// Stands up a fully linked tree directly over externally owned
+  /// column storage (the v5 snapshot path): every column *borrows* the
+  /// given spans — zero per-node construction work — and `keepalive` is
+  /// pinned for the lifetime of the tree and all its copies (pass the
+  /// mmap holder). Adoption runs a *safety* scan, not a semantic one:
+  /// purely sequential per-column range checks (parents and skip
+  /// pointers precede their nodes, sibling/child links stay in
+  /// (u, node_count), contributions non-negative, well-formed root row)
+  /// that guarantee every traversal terminates and never reads out of
+  /// bounds, at memory-bandwidth cost. Semantic integrity of the links
+  /// is the caller's trust boundary — the snapshot layer's per-section
+  /// CRCs — and can be proven on demand with validate_links(); a
+  /// corrupt-but-CRC-colliding image can at worst misreport rewards,
+  /// never crash, hang, or touch foreign memory. Throws
+  /// std::invalid_argument on any violation. `total_contribution` is
+  /// the writer's accumulated C(T) (history-dependent FP), adopted
+  /// bit-exactly.
+  static Tree adopt_columns(const Columns& columns, double total_contribution,
+                            std::shared_ptr<const void> keepalive);
+
+  /// Full O(1)-per-node cross-link verification of the arena: sibling
+  /// chains mutually inverse, consistent with first/last-child and
+  /// strictly id-increasing (which forces exactly the canonical
+  /// append-order chains), depth recurrence, and the skew-binary skip
+  /// recurrence. Parallel, read-only; throws std::invalid_argument on
+  /// the first violation. Tests, fuzzers and paranoid operators run
+  /// this after adopt_columns; the serving path relies on the snapshot
+  /// CRCs instead (see adopt_columns).
+  void validate_links() const;
 
   /// Adds a participant with the given contribution as a child of
   /// `parent`. Returns the new node's id. Requires `parent` to exist and
@@ -192,9 +428,14 @@ class Tree {
   /// arena at insertion.
   std::size_t depth(NodeId u) const;
 
+  /// The ancestor of `u` at depth `d` (requires d <= depth(u)).
+  /// O(log depth) via the skew-binary skip column.
+  NodeId ancestor_at_depth(NodeId u, std::uint32_t d) const;
+
   /// True when `ancestor` lies on the path from `u` to the root
-  /// (a node is an ancestor of itself). O(depth difference), with an
-  /// O(1) depth-comparison early exit.
+  /// (a node is an ancestor of itself). O(log depth) — a
+  /// path-compressed walk over the skip column, with an O(1)
+  /// depth-comparison early exit.
   bool is_ancestor(NodeId ancestor, NodeId u) const;
 
   /// All nodes of the subtree T_u in preorder. O(|T_u|).
@@ -215,25 +456,62 @@ class Tree {
 
   /// Raw arena columns, indexed by node id (entry 0 is the imaginary
   /// root: parent kInvalidNode, contribution 0). FlatTreeView rebuilds
-  /// and the snapshot-image writer bulk-copy these instead of walking
+  /// and the snapshot-image writers bulk-copy these instead of walking
   /// accessors. Valid until the next mutation.
-  std::span<const NodeId> parent_array() const { return parent_; }
-  std::span<const double> contribution_array() const { return contribution_; }
+  std::span<const NodeId> parent_array() const { return parent_.span(); }
+  std::span<const double> contribution_array() const {
+    return contribution_.span();
+  }
+  std::span<const NodeId> first_child_array() const {
+    return first_child_.span();
+  }
+  std::span<const NodeId> last_child_array() const {
+    return last_child_.span();
+  }
+  std::span<const NodeId> next_sibling_array() const {
+    return next_sibling_.span();
+  }
+  std::span<const NodeId> prev_sibling_array() const {
+    return prev_sibling_.span();
+  }
+  std::span<const std::uint32_t> depth_array() const { return depth_.span(); }
+  std::span<const NodeId> jump_array() const { return jump_.span(); }
+
+  /// Heap allocations the arena has performed across all columns
+  /// (growth reallocations and copy-on-write privatizations). A
+  /// generator-hinted build performs exactly one per column; an adopted
+  /// tree starts at 0 and pays one per column it mutates.
+  std::size_t allocation_count() const;
+
+  /// Columns still backed by externally owned storage (8 right after
+  /// adopt_columns, dropping as mutations privatize them; 0 for a tree
+  /// built through the append path).
+  std::size_t borrowed_column_count() const;
 
  private:
   void check_node(NodeId u, const char* what) const;
   /// Arena append without the parent/contribution validation — the
   /// from_arrays bulk path has already validated.
   void append_unchecked(NodeId parent, double contribution);
+  /// The skew-binary skip pointer for a node whose parent is `parent`.
+  NodeId jump_for(NodeId parent) const;
+  /// Serial single-pass link reconstruction (small trees, and the
+  /// reference the parallel path is tested against).
+  void build_links_serial(std::span<const NodeId> parents,
+                          std::span<const double> contributions);
 
-  std::vector<NodeId> parent_;
-  std::vector<NodeId> first_child_;
-  std::vector<NodeId> last_child_;
-  std::vector<NodeId> next_sibling_;
-  std::vector<NodeId> prev_sibling_;
-  std::vector<std::uint32_t> depth_;
-  std::vector<double> contribution_;
+  ArenaColumn<NodeId> parent_;
+  ArenaColumn<NodeId> first_child_;
+  ArenaColumn<NodeId> last_child_;
+  ArenaColumn<NodeId> next_sibling_;
+  ArenaColumn<NodeId> prev_sibling_;
+  ArenaColumn<std::uint32_t> depth_;
+  ArenaColumn<NodeId> jump_;
+  ArenaColumn<double> contribution_;
   double total_contribution_ = 0.0;
+  /// Pins the storage borrowed columns point into (the mmap holder of
+  /// an adopted v5 image); shared across copies of the tree.
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace itree

@@ -18,10 +18,25 @@ inline void require(bool condition, const std::string& message) {
   }
 }
 
+/// Literal-message overload: nothing is constructed on the success
+/// path, so per-node validation loops (Tree::from_arrays,
+/// Tree::adopt_columns) stay allocation-free.
+inline void require(bool condition, const char* message) {
+  if (!condition) [[unlikely]] {
+    throw std::invalid_argument(message);
+  }
+}
+
 /// Throws std::logic_error — used for internal invariants that indicate a
 /// bug in this library rather than caller error.
 inline void ensure(bool condition, const std::string& message) {
   if (!condition) {
+    throw std::logic_error(message);
+  }
+}
+
+inline void ensure(bool condition, const char* message) {
+  if (!condition) [[unlikely]] {
     throw std::logic_error(message);
   }
 }

@@ -490,6 +490,104 @@ TEST(Fuzz, SnapshotV4DecoderNeverCrashesOnMutations) {
                std::invalid_argument);
 }
 
+TEST(Fuzz, SnapshotV5DecoderNeverCrashesOnMutations) {
+  // Mirror of the v4 fuzzer for the full-arena ITSNAP05 generation: a
+  // mutation must either fail a CRC/geometry check (std::invalid_argument)
+  // or decode to data identical to the pristine image — and because v5
+  // adopts the persisted link columns instead of rebuilding them, a
+  // surviving decode must also reproduce every link, depth and skip
+  // pointer and pass the full cross-link proof. Never a crash, never a
+  // giant allocation, never a silently divergent arena.
+  Tree tree;
+  const NodeId a = tree.add_node(kRoot, 2.0);
+  const NodeId b = tree.add_node(a, 1.0);
+  tree.add_node(a, 0.5);
+  tree.add_node(b, 0.25);
+  storage::SnapshotData data;
+  data.last_seq = 12;
+  data.mechanism = "fuzz";
+  data.campaigns.push_back({3, tree, 1, {0.5, 1.5, 2.5}});
+  const std::string valid = storage::encode_snapshot_v5(data);
+  const storage::SnapshotData want = storage::decode_snapshot(valid);
+  const Tree& want_tree = want.campaigns[0].tree;
+
+  Rng rng(2029);
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::string bytes;
+    if (rng.bernoulli(0.7)) {
+      bytes = valid.substr(0, rng.index(valid.size() + 1));
+      const std::size_t flips = rng.index(4);
+      for (std::size_t f = 0; f < flips && !bytes.empty(); ++f) {
+        bytes[rng.index(bytes.size())] =
+            static_cast<char>(rng.index(256));
+      }
+    } else {
+      const std::size_t length = rng.index(200);
+      bytes = std::string(storage::kSnapshotMagicV5);
+      for (std::size_t i = 0; i < length; ++i) {
+        bytes += static_cast<char>(rng.index(256));
+      }
+    }
+    try {
+      const storage::SnapshotData decoded = storage::decode_snapshot(bytes);
+      // Survived the CRCs: must be byte-for-byte the original state,
+      // arena links included.
+      ASSERT_EQ(decoded.last_seq, want.last_seq);
+      ASSERT_EQ(decoded.mechanism, want.mechanism);
+      ASSERT_EQ(decoded.campaigns.size(), want.campaigns.size());
+      ASSERT_EQ(decoded.campaigns[0].aggregates,
+                want.campaigns[0].aggregates);
+      const Tree& got_tree = decoded.campaigns[0].tree;
+      ASSERT_EQ(got_tree.node_count(), want_tree.node_count());
+      ASSERT_EQ(got_tree.total_contribution(),
+                want_tree.total_contribution());
+      for (NodeId u = 0; u < want_tree.node_count(); ++u) {
+        ASSERT_EQ(got_tree.contribution(u), want_tree.contribution(u));
+        ASSERT_EQ(got_tree.depth(u), want_tree.depth(u));
+        ASSERT_EQ(got_tree.children(u).to_vector(),
+                  want_tree.children(u).to_vector());
+      }
+      ASSERT_TRUE(std::equal(got_tree.jump_array().begin(),
+                             got_tree.jump_array().end(),
+                             want_tree.jump_array().begin()));
+      got_tree.validate_links();
+    } catch (const std::invalid_argument&) {
+    }
+    // The validate-only scan obeys the same parse-or-throw contract.
+    try {
+      (void)storage::validate_snapshot_image(bytes);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+
+  // A header advertising a huge node count must fail geometry
+  // validation (sections would overrun the file), not allocate. The
+  // header CRC is recomputed so the geometry check, not the checksum,
+  // is what rejects it.
+  std::string huge = valid;
+  // node_count sits after last_seq(8) + file_size(8) + page(4) +
+  // campaigns(4) + name len(4) + name(4) + events(8) in the payload,
+  // which starts at byte 16 of the image.
+  const std::size_t node_count_at = 16 + 8 + 8 + 4 + 4 + 4 + 4 + 8;
+  for (std::size_t i = 0; i < 8; ++i) {
+    huge[node_count_at + i] = '\xfe';
+  }
+  std::uint32_t header_len = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    header_len |= static_cast<std::uint32_t>(
+                      static_cast<unsigned char>(huge[8 + i]))
+                  << (8 * i);
+  }
+  const std::uint32_t crc = storage::crc32c(
+      std::string_view(huge).substr(16, header_len));
+  for (std::size_t i = 0; i < 4; ++i) {
+    huge[12 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  EXPECT_THROW(storage::decode_snapshot(huge), std::invalid_argument);
+  EXPECT_THROW(storage::validate_snapshot_image(huge),
+               std::invalid_argument);
+}
+
 TEST(Fuzz, ReplicationFramesSurviveMutationAndTruncation) {
   // The replication frames ride the same codecs as everything else:
   // every REPL_* request and OK_REPL_* response, mutated or truncated

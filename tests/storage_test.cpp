@@ -6,6 +6,7 @@
 // CDRM (incremental path) campaigns, at any thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -429,6 +430,124 @@ TEST(Snapshot, V4EveryTruncationAndExtensionIsRejected) {
                std::invalid_argument);
 }
 
+// --- Snapshot v5 (full-arena images, zero-rebuild adoption) ---------
+
+TEST(Snapshot, V5RoundTripsBitExactly) {
+  const SnapshotData data = sample_snapshot_with_blob();
+  const std::string image = encode_snapshot_v5(data);
+  EXPECT_EQ(std::string_view(image).substr(0, 8), kSnapshotMagicV5);
+  EXPECT_EQ(image.size() % kSnapshotPageSize, 0u);
+  EXPECT_EQ(validate_snapshot_image(image), data.last_seq);
+  const SnapshotData decoded = decode_snapshot(image);
+  expect_snapshot_equal(decoded, data);
+  // The full arena travels in the image: links, depths and the skip
+  // column come back bit-identical, proven by the cross-link check.
+  for (std::size_t c = 0; c < data.campaigns.size(); ++c) {
+    const Tree& want = data.campaigns[c].tree;
+    const Tree& got = decoded.campaigns[c].tree;
+    for (NodeId u = 0; u < want.node_count(); ++u) {
+      EXPECT_EQ(got.depth(u), want.depth(u));
+      EXPECT_EQ(got.children(u).to_vector(), want.children(u).to_vector());
+    }
+    EXPECT_TRUE(std::equal(got.jump_array().begin(), got.jump_array().end(),
+                           want.jump_array().begin()));
+    EXPECT_EQ(got.total_contribution(), want.total_contribution());
+    got.validate_links();
+  }
+}
+
+TEST(Snapshot, V5AndV4ImagesDecodeIdentically) {
+  const SnapshotData data = sample_snapshot_with_blob();
+  expect_snapshot_equal(decode_snapshot(encode_snapshot_v5(data)),
+                        decode_snapshot(encode_snapshot_v4(data)));
+  expect_snapshot_equal(decode_snapshot(encode_snapshot_v5(data)),
+                        decode_snapshot(encode_snapshot(data)));
+}
+
+TEST(Snapshot, V5FlippedBytesThrowOrDecodeUnchanged) {
+  // Same contract as v4: every flip in a read region is CRC- or
+  // geometry-checked, flips in page padding are semantically invisible.
+  // Decode either throws or returns exactly the original data.
+  const std::string image = encode_snapshot_v5(sample_snapshot_with_blob());
+  const SnapshotData want = decode_snapshot(image);
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::string corrupt = image;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    try {
+      expect_snapshot_equal(decode_snapshot(corrupt), want);
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(Snapshot, V5EveryTruncationAndExtensionIsRejected) {
+  const std::string image = encode_snapshot_v5(sample_snapshot_with_blob());
+  for (std::size_t cut = 0; cut < image.size(); ++cut) {
+    const std::string_view prefix = std::string_view(image).substr(0, cut);
+    EXPECT_THROW(decode_snapshot(prefix), std::invalid_argument);
+    EXPECT_THROW(validate_snapshot_image(prefix), std::invalid_argument);
+  }
+  EXPECT_THROW(decode_snapshot(image + std::string(1, '\0')),
+               std::invalid_argument);
+}
+
+TEST(Snapshot, MappedV5SnapshotAdoptsTheArenaInPlace) {
+  const fs::path dir = fresh_dir("itree_storage_v5_mmap");
+  fs::create_directories(dir);
+  const SnapshotData data = sample_snapshot_with_blob();
+  save_snapshot(dir.string(), data);  // kV5 is the default generation
+  const fs::path path = dir / snapshot_name(data.last_seq);
+  const std::string raw = read_file(path);
+  EXPECT_EQ(std::string_view(raw).substr(0, 8), kSnapshotMagicV5);
+  {
+    MappedSnapshot mapped(path.string());
+    EXPECT_EQ(mapped.version(), 5);
+    EXPECT_EQ(mapped.last_seq(), data.last_seq);
+    EXPECT_EQ(mapped.mechanism(), data.mechanism);
+    mapped.verify();  // must not throw
+    const SnapshotData adopted = mapped.materialize();
+    expect_snapshot_equal(adopted, decode_snapshot(raw));
+    // Zero-rebuild: every tree column still borrows the mapping, and
+    // the links prove out without a single per-node construction step.
+    for (const CampaignSnapshot& campaign : adopted.campaigns) {
+      EXPECT_EQ(campaign.tree.borrowed_column_count(), 8u);
+      EXPECT_EQ(campaign.tree.allocation_count(), 0u);
+      campaign.tree.validate_links();
+    }
+    // The adopted trees outlive the MappedSnapshot handle (keepalive).
+    MappedSnapshot moved = std::move(mapped);
+    expect_snapshot_equal(moved.materialize(), data);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Snapshot, MappedV5SnapshotRejectsDamagedImages) {
+  const fs::path dir = fresh_dir("itree_storage_v5_mmap_bad");
+  fs::create_directories(dir);
+  const std::string image = encode_snapshot_v5(sample_snapshot_with_blob());
+
+  const fs::path torn = dir / "torn.snap";
+  write_file(torn, image.substr(0, image.size() - 1));
+  EXPECT_THROW(MappedSnapshot(torn.string()), std::invalid_argument);
+
+  // A flip in the first arena section passes header validation but
+  // fails the section CRC in verify() and materialize().
+  std::string corrupt = image;
+  corrupt[kSnapshotPageSize] =
+      static_cast<char>(corrupt[kSnapshotPageSize] ^ 1);
+  const fs::path rotted = dir / "rot.snap";
+  write_file(rotted, corrupt);
+  MappedSnapshot mapped(rotted.string());
+  EXPECT_EQ(mapped.version(), 5);
+  EXPECT_EQ(mapped.last_seq(), 77u);  // header still validates
+  EXPECT_THROW(mapped.verify(), std::invalid_argument);
+  EXPECT_THROW(mapped.materialize(), std::invalid_argument);
+  fs::remove_all(dir);
+}
+
 TEST(Snapshot, DecodesV1ImagesWithEmptyAggregates) {
   // Hand-encode the v1 layout (no aggregate section, no kind byte) to
   // pin the oldest upgrade path: the tree decodes, the aggregates come
@@ -549,46 +668,87 @@ TEST(Storage, AdoptRestoreMatchesReplayRestoreForEveryMechanism) {
                               v3.campaigns[0].events_applied,
                               v3.campaigns[0].aggregates);
 
-    // The v4 mmap-load, through the shared recovery/bootstrap policy.
-    fs::create_directories(dir);
-    save_snapshot(dir.string(), data, SnapshotFormat::kV4);
-    SnapshotData v4 =
-        MappedSnapshot((dir / snapshot_name(data.last_seq)).string())
-            .materialize();
-    RecordingService adopted(*mechanism);
-    std::vector<std::string> warnings;
-    restore_campaign_from_snapshot(adopted, std::move(v4.campaigns[0]), 0,
-                                   &warnings);
-    EXPECT_TRUE(warnings.empty()) << mechanism->display_name();
-
-    EXPECT_EQ(adopted.service().events_applied(), original.events_applied());
-    EXPECT_EQ(adopted.service().rewards(), replayed.service().rewards())
-        << mechanism->display_name();
-    EXPECT_EQ(adopted.log().serialize(), replayed.log().serialize());
-    if (original.aggregate_kind() != AggregateKind::kNone) {
-      // The imported blob makes the resumption bit-identical to the
-      // uninterrupted run (batch rewards are instead a pure function of
-      // the decoded tree, whose re-summed contribution total can differ
-      // from the live run's in final ulps).
-      EXPECT_EQ(adopted.service().rewards(), original.rewards())
-          << mechanism->display_name();
-    } else {
-      const RewardVector& got = adopted.service().rewards();
-      const RewardVector& want = original.rewards();
-      ASSERT_EQ(got.size(), want.size());
-      for (std::size_t u = 0; u < want.size(); ++u) {
-        EXPECT_NEAR(got[u], want[u], 1e-9) << mechanism->display_name();
+    // The mmap-load, through the shared recovery/bootstrap policy —
+    // for both mapped generations (v4 rebuilds the links in parallel,
+    // v5 adopts the persisted arena in place with zero per-node work).
+    for (const SnapshotFormat format :
+         {SnapshotFormat::kV4, SnapshotFormat::kV5}) {
+      fs::create_directories(dir);
+      save_snapshot(dir.string(), data, format);
+      SnapshotData mapped =
+          MappedSnapshot((dir / snapshot_name(data.last_seq)).string())
+              .materialize();
+      if (format == SnapshotFormat::kV5) {
+        EXPECT_EQ(mapped.campaigns[0].tree.borrowed_column_count(), 8u);
       }
-    }
+      const bool v5 = format == SnapshotFormat::kV5;
+      RecordingService adopted(*mechanism);
+      std::vector<std::string> warnings;
+      restore_campaign_from_snapshot(adopted, std::move(mapped.campaigns[0]),
+                                     0, &warnings);
+      EXPECT_TRUE(warnings.empty()) << mechanism->display_name();
 
-    // The adopted state keeps matching under further traffic.
-    for (const Event& event : make_stream(99, 50)) {
-      adopted.apply(event);
-      replayed.apply(event);
+      EXPECT_EQ(adopted.service().events_applied(),
+                original.events_applied());
+      EXPECT_EQ(adopted.log().serialize(), replayed.log().serialize());
+      const auto expect_near = [&](const RewardVector& got,
+                                   const RewardVector& want) {
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t u = 0; u < want.size(); ++u) {
+          EXPECT_NEAR(got[u], want[u], 1e-9) << mechanism->display_name();
+        }
+      };
+      if (original.aggregate_kind() != AggregateKind::kNone) {
+        // The imported blob makes the resumption bit-identical to the
+        // uninterrupted run AND the replay restore (which imports the
+        // same blob).
+        EXPECT_EQ(adopted.service().rewards(), replayed.service().rewards())
+            << mechanism->display_name();
+        EXPECT_EQ(adopted.service().rewards(), original.rewards())
+            << mechanism->display_name();
+      } else if (v5) {
+        // Batch rewards are a pure function of the tree. The v5 image
+        // carries the live arena — including the history-dependent
+        // contribution total — bit-exactly, so the adopted service
+        // matches the uninterrupted run bitwise, and the replay restore
+        // (whose re-summed total differs in final ulps) approximately.
+        EXPECT_EQ(adopted.service().rewards(), original.rewards())
+            << mechanism->display_name();
+        expect_near(adopted.service().rewards(), replayed.service().rewards());
+      } else {
+        // The v4 decode re-sums the total in id order, exactly like the
+        // replay path: bitwise vs the replay, approximate vs the live run.
+        EXPECT_EQ(adopted.service().rewards(), replayed.service().rewards())
+            << mechanism->display_name();
+        expect_near(adopted.service().rewards(), original.rewards());
+      }
+
+      // The adopted state keeps matching under further traffic (for an
+      // adopted v5 arena the first join also privatizes the borrowed
+      // columns mid-stream). v5 tracks the uninterrupted original
+      // bitwise; v4 tracks a replay-restored continuation.
+      if (v5) {
+        for (const Event& event : make_stream(99, 50)) {
+          adopted.apply(event);
+          original.apply(event);
+        }
+        EXPECT_EQ(adopted.service().rewards(), original.rewards())
+            << mechanism->display_name();
+      } else {
+        RecordingService fresh_replay(*mechanism);
+        fresh_replay.restore_snapshot(v3.campaigns[0].tree,
+                                      v3.campaigns[0].events_applied,
+                                      v3.campaigns[0].aggregates);
+        for (const Event& event : make_stream(99, 50)) {
+          adopted.apply(event);
+          fresh_replay.apply(event);
+        }
+        EXPECT_EQ(adopted.service().rewards(),
+                  fresh_replay.service().rewards())
+            << mechanism->display_name();
+      }
+      fs::remove_all(dir);
     }
-    EXPECT_EQ(adopted.service().rewards(), replayed.service().rewards())
-        << mechanism->display_name();
-    fs::remove_all(dir);
   }
 }
 
@@ -894,7 +1054,7 @@ TEST(Storage, SnapshotsCompactTheLogAndBoundRestart) {
 TEST(Storage, SnapshotFormatConfigControlsTheOnDiskGeneration) {
   const MechanismPtr mechanism = make_default(MechanismKind::kCdrmReciprocal);
   for (const SnapshotFormat format :
-       {SnapshotFormat::kV4, SnapshotFormat::kV3}) {
+       {SnapshotFormat::kV5, SnapshotFormat::kV4, SnapshotFormat::kV3}) {
     const fs::path dir = fresh_dir("itree_storage_format");
     const std::vector<std::vector<Event>> streams = {make_stream(606, 60)};
     StorageConfig config;
@@ -903,14 +1063,19 @@ TEST(Storage, SnapshotFormatConfigControlsTheOnDiskGeneration) {
     config.snapshot_format = format;
     run_workload(*mechanism, streams, config, 30);
 
-    const bool v4 = format == SnapshotFormat::kV4;
     const auto snapshots = list_snapshots(dir.string());
     ASSERT_FALSE(snapshots.empty());
     const std::string image = read_file(dir / snapshots.back().second);
-    EXPECT_EQ(std::string_view(image).substr(0, 8),
-              v4 ? kSnapshotMagicV4 : kSnapshotMagic);
+    const std::string_view magic =
+        format == SnapshotFormat::kV5   ? kSnapshotMagicV5
+        : format == SnapshotFormat::kV4 ? kSnapshotMagicV4
+                                        : kSnapshotMagic;
+    EXPECT_EQ(std::string_view(image).substr(0, 8), magic);
     // MANIFEST records the configured generation (informational).
-    EXPECT_EQ(read_manifest(dir.string()).snapshot_format, v4 ? "v4" : "v3");
+    EXPECT_EQ(read_manifest(dir.string()).snapshot_format,
+              format == SnapshotFormat::kV5   ? "v5"
+              : format == SnapshotFormat::kV4 ? "v4"
+                                              : "v3");
     // Either generation recovers bit-identically to the uninterrupted
     // run (the loader sniffs the magic; config only steers the writer).
     const RecoveryResult recovered =

@@ -1,10 +1,18 @@
 // Unit tests for the referral tree substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
+#include "core/registry.h"
+#include "tree/generators.h"
 #include "tree/io.h"
 #include "tree/tree.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/strings.h"
 
 namespace itree {
 namespace {
@@ -253,6 +261,299 @@ TEST(Tree, GraftSubtreeCarriesContributionsAndDepths) {
   EXPECT_EQ(dst.depth(dst.children(copy)[0]), 4u);
   EXPECT_DOUBLE_EQ(dst.total_contribution(), 14.0);
   EXPECT_DOUBLE_EQ(dst.subtree_contribution(copy), 12.0);
+}
+
+// --- Skew-binary skip column (path-compressed ancestor walks) -------
+
+TEST(Tree, AncestorAtDepthWalksADeepChain) {
+  Tree tree;
+  std::vector<NodeId> path{kRoot};
+  NodeId tip = kRoot;
+  for (int i = 0; i < 50000; ++i) {
+    tip = tree.add_node(tip, 1.0);
+    path.push_back(tip);
+  }
+  for (const std::uint32_t d : {0u, 1u, 2u, 3u, 1023u, 4096u, 49999u, 50000u}) {
+    EXPECT_EQ(tree.ancestor_at_depth(tip, d), path[d]) << "depth " << d;
+  }
+  EXPECT_TRUE(tree.is_ancestor(path[1], tip));
+  EXPECT_TRUE(tree.is_ancestor(path[25000], tip));
+  EXPECT_FALSE(tree.is_ancestor(tip, path[25000]));
+  tree.validate_links();
+}
+
+TEST(Tree, AncestorAtDepthMatchesAParentWalkOnRandomTrees) {
+  Rng rng(99);
+  const Tree tree =
+      random_recursive_tree(3000, uniform_contribution(0.0, 1.0), rng);
+  tree.validate_links();
+  Rng pick(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto u = static_cast<NodeId>(pick.index(tree.node_count()));
+    const auto target =
+        static_cast<std::uint32_t>(pick.index(tree.depth(u) + 1));
+    NodeId want = u;
+    while (tree.depth(want) > target) {
+      want = tree.parent(want);
+    }
+    EXPECT_EQ(tree.ancestor_at_depth(u, target), want);
+    EXPECT_TRUE(tree.is_ancestor(want, u));
+  }
+}
+
+TEST(Tree, SkipColumnSurvivesRemoveLastNodeProbes) {
+  // The probe pattern must leave the skip column exactly as if the
+  // removed node had never existed (remove_last_node pops all columns).
+  Tree tree = parse_tree("(1 (2 (3)) (4))");
+  const std::vector<NodeId> before(tree.jump_array().begin(),
+                                   tree.jump_array().end());
+  tree.add_node(3, 1.0);
+  tree.remove_last_node();
+  const std::vector<NodeId> after(tree.jump_array().begin(),
+                                  tree.jump_array().end());
+  EXPECT_EQ(after, before);
+  tree.validate_links();
+}
+
+// --- Bulk builds: parallel from_arrays and column adoption ----------
+
+/// Borrow-view of every column of an existing tree (the shape the v5
+/// snapshot decoder hands to adopt_columns).
+Tree::Columns columns_of(const Tree& tree, bool with_jump = true) {
+  Tree::Columns columns;
+  columns.parent = tree.parent_array();
+  columns.first_child = tree.first_child_array();
+  columns.last_child = tree.last_child_array();
+  columns.next_sibling = tree.next_sibling_array();
+  columns.prev_sibling = tree.prev_sibling_array();
+  columns.depth = tree.depth_array();
+  columns.contribution = tree.contribution_array();
+  if (with_jump) {
+    columns.jump = tree.jump_array();
+  }
+  return columns;
+}
+
+/// Owned, tamper-able copies of a tree's columns for rejection tests.
+struct OwnedColumns {
+  explicit OwnedColumns(const Tree& tree)
+      : parent(tree.parent_array().begin(), tree.parent_array().end()),
+        first_child(tree.first_child_array().begin(),
+                    tree.first_child_array().end()),
+        last_child(tree.last_child_array().begin(),
+                   tree.last_child_array().end()),
+        next_sibling(tree.next_sibling_array().begin(),
+                     tree.next_sibling_array().end()),
+        prev_sibling(tree.prev_sibling_array().begin(),
+                     tree.prev_sibling_array().end()),
+        depth(tree.depth_array().begin(), tree.depth_array().end()),
+        contribution(tree.contribution_array().begin(),
+                     tree.contribution_array().end()),
+        jump(tree.jump_array().begin(), tree.jump_array().end()) {}
+
+  Tree::Columns view() const {
+    return {parent,       first_child, last_child,   next_sibling,
+            prev_sibling, depth,       contribution, jump};
+  }
+
+  std::vector<NodeId> parent, first_child, last_child, next_sibling;
+  std::vector<NodeId> prev_sibling;
+  std::vector<std::uint32_t> depth;
+  std::vector<double> contribution;
+  std::vector<NodeId> jump;
+};
+
+TEST(TreeAdopt, BorrowsEveryColumnAndMatchesTheOriginal) {
+  const Tree want = parse_tree("(5 (3 (4) (1)) (2)) (7 (6))");
+  const Tree got =
+      Tree::adopt_columns(columns_of(want), want.total_contribution(), nullptr);
+  EXPECT_EQ(got.borrowed_column_count(), 8u);
+  EXPECT_EQ(got.allocation_count(), 0u);
+  EXPECT_EQ(got.total_contribution(), want.total_contribution());
+  ASSERT_EQ(got.node_count(), want.node_count());
+  for (NodeId u = 0; u < want.node_count(); ++u) {
+    EXPECT_EQ(got.parent(u), want.parent(u));
+    EXPECT_EQ(got.depth(u), want.depth(u));
+    EXPECT_EQ(got.contribution(u), want.contribution(u));
+    EXPECT_EQ(got.children(u).to_vector(), want.children(u).to_vector());
+  }
+  got.validate_links();
+  EXPECT_EQ(to_string(got), to_string(want));
+}
+
+TEST(TreeAdopt, PrivatizesOnlyTheMutatedColumn) {
+  const Tree src = parse_tree("(1 (2) (3))");
+  Tree adopted =
+      Tree::adopt_columns(columns_of(src), src.total_contribution(), nullptr);
+  EXPECT_EQ(adopted.borrowed_column_count(), 8u);
+
+  // A contribution edit privatizes exactly the contribution column; the
+  // source arena stays untouched.
+  adopted.set_contribution(2, 9.0);
+  EXPECT_EQ(adopted.borrowed_column_count(), 7u);
+  EXPECT_EQ(adopted.allocation_count(), 1u);
+  EXPECT_DOUBLE_EQ(adopted.contribution(2), 9.0);
+  EXPECT_DOUBLE_EQ(src.contribution(2), 2.0);
+
+  // An append touches every column.
+  adopted.add_node(1, 1.0);
+  EXPECT_EQ(adopted.borrowed_column_count(), 0u);
+  EXPECT_EQ(adopted.node_count(), src.node_count() + 1);
+  EXPECT_EQ(src.node_count(), 4u);
+  adopted.validate_links();
+}
+
+TEST(TreeAdopt, KeepaliveOutlivesTheSourceHandle) {
+  auto src = std::make_shared<Tree>(parse_tree("(5 (3) (2 (1)))"));
+  const std::string want = to_string(*src);
+  Tree adopted =
+      Tree::adopt_columns(columns_of(*src), src->total_contribution(), src);
+  src.reset();  // the adopted tree's keepalive still pins the arena
+  EXPECT_EQ(to_string(adopted), want);
+  Tree copy = adopted;  // copies share the pin (and the borrow)
+  EXPECT_EQ(copy.borrowed_column_count(), 8u);
+  adopted = Tree();  // dropping one handle keeps the other alive
+  EXPECT_EQ(to_string(copy), want);
+  copy.validate_links();
+}
+
+TEST(TreeAdopt, RecomputesTheSkipColumnWhenAbsent) {
+  Rng rng(7);
+  const Tree src =
+      random_recursive_tree(500, fixed_contribution(1.0), rng);
+  const Tree adopted = Tree::adopt_columns(
+      columns_of(src, /*with_jump=*/false), src.total_contribution(), nullptr);
+  EXPECT_EQ(adopted.borrowed_column_count(), 7u);  // jump is recomputed, owned
+  ASSERT_EQ(adopted.jump_array().size(), src.jump_array().size());
+  EXPECT_TRUE(std::equal(adopted.jump_array().begin(),
+                         adopted.jump_array().end(),
+                         src.jump_array().begin()));
+  adopted.validate_links();
+}
+
+TEST(TreeAdopt, RejectsUnsafeColumns) {
+  const Tree src = parse_tree("(1 (2) (3))");  // ids 1..3, 3 participants
+  const double total = src.total_contribution();
+  const auto adopt = [&](const OwnedColumns& c) {
+    return Tree::adopt_columns(c.view(), total, nullptr);
+  };
+  {
+    OwnedColumns c(src);
+    c.parent[2] = 3;  // forward reference
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+    c.parent[2] = 2;  // self reference
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+  {
+    OwnedColumns c(src);
+    c.contribution[3] = -1.0;
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+  {
+    OwnedColumns c(src);
+    c.depth[2] = 0;  // participants sit strictly below the root
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+    c.depth[2] = 3;  // deeper than its id allows
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+  {
+    OwnedColumns c(src);
+    c.next_sibling[2] = 2;  // sibling chains must strictly increase
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+    c.next_sibling[2] = 99;  // out of bounds
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+  {
+    OwnedColumns c(src);
+    c.prev_sibling[2] = 3;  // prev links must strictly decrease
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+  {
+    OwnedColumns c(src);
+    c.first_child[1] = 2;
+    c.last_child[1] = kInvalidNode;  // half-open child interval
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+  {
+    OwnedColumns c(src);
+    c.jump[2] = 2;  // skip pointers never pass the parent
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+  {
+    OwnedColumns c(src);
+    c.parent[0] = 0;  // malformed root row
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+  {
+    OwnedColumns c(src);
+    c.depth.pop_back();  // column size mismatch
+    EXPECT_THROW(adopt(c), std::invalid_argument);
+  }
+}
+
+TEST(TreeAdopt, ValidateLinksCatchesSafeButInconsistentLinks) {
+  // A corruption the O(bytes) adoption safety scan admits (every id in
+  // range, every traversal terminates) but the full cross-link proof
+  // rejects: node 1 claims to be childless while node 2 still points at
+  // it. This is the CRC-collision backstop tests and fuzzers run.
+  const Tree src = parse_tree("(1 (2))");
+  OwnedColumns c(src);
+  c.first_child[1] = kInvalidNode;
+  c.last_child[1] = kInvalidNode;
+  const Tree adopted =
+      Tree::adopt_columns(c.view(), src.total_contribution(), nullptr);
+  EXPECT_THROW(adopted.validate_links(), std::invalid_argument);
+  src.validate_links();  // the untampered arena proves clean
+}
+
+TEST(Tree, FromArraysParallelIsBitIdenticalAcrossThreadCounts) {
+  // 70k participants clears the parallel-build threshold (1 << 16), so
+  // threads > 1 exercises the counting-sort CSR path against the serial
+  // append reference — every column, the FP contribution total, and
+  // every mechanism's reward digest must come out bit-identical.
+  Rng rng(1234);
+  const Tree want =
+      random_recursive_tree(70000, uniform_contribution(0.0, 2.0), rng);
+  std::vector<std::string> want_digests;
+  for (const MechanismPtr& mechanism : all_mechanisms()) {
+    want_digests.push_back(hex_doubles(mechanism->compute(want)));
+  }
+  const std::size_t restore = thread_count();
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    set_thread_count(threads);
+    const Tree got = Tree::from_arrays(want.parent_array().subspan(1),
+                                       want.contribution_array().subspan(1));
+    ASSERT_EQ(got.node_count(), want.node_count()) << threads << " threads";
+    const auto expect_column_equal = [&](auto got_span, auto want_span,
+                                         const char* name) {
+      ASSERT_EQ(got_span.size(), want_span.size()) << name;
+      EXPECT_TRUE(
+          std::equal(got_span.begin(), got_span.end(), want_span.begin()))
+          << name << " at " << threads << " threads";
+    };
+    expect_column_equal(got.parent_array(), want.parent_array(), "parent");
+    expect_column_equal(got.first_child_array(), want.first_child_array(),
+                        "first_child");
+    expect_column_equal(got.last_child_array(), want.last_child_array(),
+                        "last_child");
+    expect_column_equal(got.next_sibling_array(), want.next_sibling_array(),
+                        "next_sibling");
+    expect_column_equal(got.prev_sibling_array(), want.prev_sibling_array(),
+                        "prev_sibling");
+    expect_column_equal(got.depth_array(), want.depth_array(), "depth");
+    expect_column_equal(got.jump_array(), want.jump_array(), "jump");
+    expect_column_equal(got.contribution_array(), want.contribution_array(),
+                        "contribution");
+    EXPECT_EQ(got.total_contribution(), want.total_contribution());
+    got.validate_links();
+    std::size_t m = 0;
+    for (const MechanismPtr& mechanism : all_mechanisms()) {
+      EXPECT_EQ(hex_doubles(mechanism->compute(got)), want_digests[m++])
+          << mechanism->display_name() << " at " << threads << " threads";
+    }
+  }
+  set_thread_count(restore);
 }
 
 TEST(TreeIo, RoundTripsSExpressions) {
